@@ -1,0 +1,86 @@
+//! Microbenchmarks of the checkpoint machinery: content diffing, checksum,
+//! and store installation — the per-period cost on the primary and backup
+//! (experiment E5's mechanism in isolation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ds_sim::prelude::SimTime;
+use oftt::checkpoint::{checksum, diff, Checkpoint, CheckpointPayload, CheckpointStore, VarSet};
+
+fn image(vars: usize, bytes_per_var: usize, stamp: u8) -> VarSet {
+    (0..vars).map(|i| (format!("var{i:05}"), vec![stamp; bytes_per_var])).collect()
+}
+
+/// `dirty` variables changed between the two images.
+fn dirtied(base: &VarSet, dirty: usize) -> VarSet {
+    let mut out = base.clone();
+    for (i, (_, bytes)) in out.iter_mut().enumerate() {
+        if i < dirty {
+            bytes[0] ^= 0xFF;
+        }
+    }
+    out
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint/diff");
+    for (vars, dirty) in [(256usize, 8usize), (256, 256), (4096, 64)] {
+        let base = image(vars, 64, 1);
+        let next = dirtied(&base, dirty);
+        group.throughput(Throughput::Elements(vars as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}vars_{dirty}dirty")),
+            &(base, next),
+            |b, (base, next)| b.iter(|| diff(std::hint::black_box(base), std::hint::black_box(next))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint/checksum");
+    for vars in [64usize, 1024] {
+        let img = image(vars, 64, 3);
+        let bytes: u64 = img.values().map(|v| v.len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &img, |b, img| {
+            b.iter(|| checksum(std::hint::black_box(img)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_offer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint/store_offer");
+    // Install a full image then a stream of deltas — the backup's steady
+    // state.
+    group.bench_function("full_then_64_deltas", |b| {
+        let full = Checkpoint::new(
+            1,
+            1,
+            SimTime::ZERO,
+            CheckpointPayload::Full(image(256, 64, 1)),
+        );
+        let deltas: Vec<Checkpoint> = (2..66)
+            .map(|seq| {
+                Checkpoint::new(
+                    1,
+                    seq,
+                    SimTime::from_millis(seq),
+                    CheckpointPayload::Delta(image(4, 64, seq as u8)),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut store = CheckpointStore::new();
+            store.offer(std::hint::black_box(&full));
+            for delta in &deltas {
+                store.offer(std::hint::black_box(delta));
+            }
+            store.position()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_checksum, bench_store_offer);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Simulator-throughput benches: how many simulated events per wall-second
+//! the substrate sustains — the budget every experiment spends from.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ds_net::link::Link;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, Endpoint, Envelope, Process, ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::{SimDuration, SimTime};
+
+/// Two chatty processes exchanging messages as fast as delivery allows.
+struct Chatter {
+    peer: Endpoint,
+}
+
+impl Process for Chatter {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        env.send_msg(self.peer.clone(), 0u64);
+    }
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if let Ok(n) = envelope.body.downcast::<u64>() {
+            env.send_msg(envelope.from, n + 1);
+        }
+    }
+}
+
+fn build_chatter(seed: u64) -> ClusterSim {
+    let mut cs = ClusterSim::new(seed);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, Link::dual());
+    let peer_b = Endpoint::new(b, "chat");
+    cs.register_service(a, "chat", Box::new(move || Box::new(Chatter { peer: peer_b.clone() })), true);
+    let peer_a = Endpoint::new(a, "chat");
+    cs.register_service(b, "chat", Box::new(move || Box::new(Chatter { peer: peer_a.clone() })), true);
+    cs
+}
+
+fn bench_message_round_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/message_round_trips");
+    // ~1 RTT per ~0.8 ms of sim time; 10 sim-seconds ≈ 12k deliveries.
+    group.throughput(Throughput::Elements(12_000));
+    group.sample_size(20);
+    group.bench_function("10_sim_seconds", |b| {
+        b.iter(|| {
+            let mut cs = build_chatter(1);
+            cs.start();
+            cs.run_until(SimTime::from_secs(10));
+            cs.cluster().counters().delivered
+        })
+    });
+    group.finish();
+}
+
+/// Timer-heavy workload: many periodic processes.
+struct Ticker;
+impl Process for Ticker {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        env.set_timer(SimDuration::from_millis(10), 1);
+    }
+    fn on_timer(&mut self, _token: u64, env: &mut dyn ProcessEnv) {
+        env.set_timer(SimDuration::from_millis(10), 1);
+    }
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/timers");
+    group.throughput(Throughput::Elements(32 * 1000));
+    group.sample_size(20);
+    group.bench_function("32_tickers_10_sim_seconds", |b| {
+        b.iter(|| {
+            let mut cs = ClusterSim::new(2);
+            let node = cs.add_node(NodeConfig::default());
+            for i in 0..32 {
+                cs.register_service(node, format!("tick{i}"), Box::new(|| Box::new(Ticker)), true);
+            }
+            cs.start();
+            cs.run_until(SimTime::from_secs(10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_round_trips, bench_timer_wheel);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the marshaling codec (the NDR analog): RPC argument
+//! and checkpoint payload encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ds_sim::prelude::SimTime;
+use plant::telephone::CallEvent;
+
+fn call_event() -> CallEvent {
+    CallEvent::Started { caller: 7, line: 3, at: SimTime::from_millis(123_456) }
+}
+
+fn checkpoint_image(vars: usize, bytes_per_var: usize) -> oftt::checkpoint::VarSet {
+    (0..vars).map(|i| (format!("var{i:05}"), vec![0xAB; bytes_per_var])).collect()
+}
+
+fn bench_call_event(c: &mut Criterion) {
+    let event = call_event();
+    let encoded = comsim::marshal::to_bytes(&event).unwrap();
+    let mut group = c.benchmark_group("marshal/call_event");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| comsim::marshal::to_bytes(std::hint::black_box(&event)).unwrap())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            comsim::marshal::from_bytes::<CallEvent>(std::hint::black_box(&encoded)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_images(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal/checkpoint_image");
+    for vars in [16usize, 256, 4096] {
+        let image = checkpoint_image(vars, 64);
+        let encoded = comsim::marshal::to_bytes(&image).unwrap();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", vars), &image, |b, image| {
+            b.iter(|| comsim::marshal::to_bytes(std::hint::black_box(image)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", vars), &encoded, |b, encoded| {
+            b.iter(|| {
+                comsim::marshal::from_bytes::<oftt::checkpoint::VarSet>(std::hint::black_box(
+                    encoded,
+                ))
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_call_event, bench_checkpoint_images);
+criterion_main!(benches);

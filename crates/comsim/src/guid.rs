@@ -1,0 +1,140 @@
+//! GUIDs and their COM-specific newtypes (IIDs, CLSIDs).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit globally unique identifier, COM-style.
+///
+/// # Examples
+///
+/// ```
+/// use comsim::guid::Guid;
+///
+/// const IID_IUNKNOWN: Guid = Guid::from_parts(0x00000000, 0x0000, 0x0000, 0xC000_000000000046);
+/// assert_eq!(IID_IUNKNOWN.to_string(), "{00000000-0000-0000-C000-000000000046}");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Guid {
+    data1: u32,
+    data2: u16,
+    data3: u16,
+    data4: u64,
+}
+
+impl Guid {
+    /// Builds a GUID from its canonical parts (the final part packs the
+    /// 8-byte `Data4` field big-endian, as written in registry strings).
+    pub const fn from_parts(data1: u32, data2: u16, data3: u16, data4: u64) -> Self {
+        Guid { data1, data2, data3, data4 }
+    }
+
+    /// Derives a stable GUID from a name (FNV-1a over the bytes, split
+    /// across the fields). Not cryptographic — a deterministic stand-in for
+    /// `uuidgen` so reproductions don't hard-code 128-bit literals.
+    pub fn from_name(name: &str) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h1: u64 = OFFSET;
+        let mut h2: u64 = OFFSET ^ 0x5bd1_e995;
+        for b in name.bytes() {
+            h1 = (h1 ^ b as u64).wrapping_mul(PRIME);
+            h2 = (h2 ^ (b as u64).rotate_left(13)).wrapping_mul(PRIME);
+        }
+        Guid {
+            data1: (h1 >> 32) as u32,
+            data2: (h1 >> 16) as u16,
+            data3: h1 as u16,
+            data4: h2,
+        }
+    }
+
+    /// The all-zero GUID (`GUID_NULL`).
+    pub const NULL: Guid = Guid::from_parts(0, 0, 0, 0);
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{:08X}-{:04X}-{:04X}-{:04X}-{:012X}}}",
+            self.data1,
+            self.data2,
+            self.data3,
+            (self.data4 >> 48) as u16,
+            self.data4 & 0xFFFF_FFFF_FFFF
+        )
+    }
+}
+
+/// Interface identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Iid(pub Guid);
+
+impl Iid {
+    /// Derives an IID from an interface name.
+    pub fn from_name(name: &str) -> Self {
+        Iid(Guid::from_name(name))
+    }
+}
+
+impl fmt::Display for Iid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IID:{}", self.0)
+    }
+}
+
+/// Class identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Clsid(pub Guid);
+
+impl Clsid {
+    /// Derives a CLSID from a class name.
+    pub fn from_name(name: &str) -> Self {
+        Clsid(Guid::from_name(name))
+    }
+}
+
+impl fmt::Display for Clsid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLSID:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_registry_format() {
+        let g = Guid::from_parts(0xDEADBEEF, 0x1234, 0x5678, 0x9ABC_DEF012345678);
+        assert_eq!(g.to_string(), "{DEADBEEF-1234-5678-9ABC-DEF012345678}");
+    }
+
+    #[test]
+    fn from_name_is_deterministic_and_distinct() {
+        assert_eq!(Guid::from_name("IOPCServer"), Guid::from_name("IOPCServer"));
+        assert_ne!(Guid::from_name("IOPCServer"), Guid::from_name("IOPCItemMgt"));
+        assert_ne!(Guid::from_name("a"), Guid::from_name("b"));
+    }
+
+    #[test]
+    fn null_guid_is_all_zero() {
+        assert_eq!(Guid::NULL.to_string(), "{00000000-0000-0000-0000-000000000000}");
+    }
+
+    #[test]
+    fn iid_and_clsid_are_distinct_types_with_same_content() {
+        let iid = Iid::from_name("X");
+        let clsid = Clsid::from_name("X");
+        assert_eq!(iid.0, clsid.0);
+        assert!(iid.to_string().starts_with("IID:"));
+        assert!(clsid.to_string().starts_with("CLSID:"));
+    }
+}

@@ -1,0 +1,206 @@
+//! HRESULT-style status codes and the crate's error type.
+//!
+//! COM reports every outcome as a 32-bit `HRESULT`; the paper's Section 3.3
+//! complains specifically about how little DCOM's RPC layer says when a peer
+//! dies. We reproduce the code space (severity bit, facility, code) and the
+//! handful of constants the toolkit traffics in, wrapped in an idiomatic
+//! Rust error type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit COM status code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HResult(pub u32);
+
+impl HResult {
+    /// Success.
+    pub const S_OK: HResult = HResult(0x0000_0000);
+    /// Success with a false/negative answer.
+    pub const S_FALSE: HResult = HResult(0x0000_0001);
+    /// Unspecified failure.
+    pub const E_FAIL: HResult = HResult(0x8000_4005);
+    /// The requested interface is not supported.
+    pub const E_NOINTERFACE: HResult = HResult(0x8000_4002);
+    /// Invalid argument.
+    pub const E_INVALIDARG: HResult = HResult(0x8007_0057);
+    /// Class not registered.
+    pub const REGDB_E_CLASSNOTREG: HResult = HResult(0x8004_0154);
+    /// The RPC connection to the server was severed (server process died).
+    pub const RPC_E_DISCONNECTED: HResult = HResult(0x8001_0108);
+    /// The remote call timed out.
+    pub const RPC_E_TIMEOUT: HResult = HResult(0x8001_011F);
+    /// The remote server machine is unavailable.
+    pub const RPC_E_SERVER_UNAVAILABLE: HResult = HResult(0x800706BA);
+    /// Marshaling failed (malformed packet).
+    pub const RPC_E_INVALID_DATA: HResult = HResult(0x8001_000F);
+    /// OFTT-specific: operation only valid on the primary node.
+    pub const OFTT_E_NOT_PRIMARY: HResult = HResult(0x8004_F001);
+    /// OFTT-specific: no checkpoint available to restore.
+    pub const OFTT_E_NO_CHECKPOINT: HResult = HResult(0x8004_F002);
+    /// OFTT-specific: the peer node could not be reached.
+    pub const OFTT_E_PEER_UNREACHABLE: HResult = HResult(0x8004_F003);
+
+    /// `true` for success codes (severity bit clear).
+    pub const fn is_success(self) -> bool {
+        self.0 & 0x8000_0000 == 0
+    }
+
+    /// `true` for failure codes (severity bit set).
+    pub const fn is_failure(self) -> bool {
+        !self.is_success()
+    }
+
+    /// The facility field (bits 16–26).
+    pub const fn facility(self) -> u16 {
+        ((self.0 >> 16) & 0x07FF) as u16
+    }
+
+    /// The code field (bits 0–15).
+    pub const fn code(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// A short symbolic name for known constants, or `None`.
+    pub fn name(self) -> Option<&'static str> {
+        Some(match self {
+            HResult::S_OK => "S_OK",
+            HResult::S_FALSE => "S_FALSE",
+            HResult::E_FAIL => "E_FAIL",
+            HResult::E_NOINTERFACE => "E_NOINTERFACE",
+            HResult::E_INVALIDARG => "E_INVALIDARG",
+            HResult::REGDB_E_CLASSNOTREG => "REGDB_E_CLASSNOTREG",
+            HResult::RPC_E_DISCONNECTED => "RPC_E_DISCONNECTED",
+            HResult::RPC_E_TIMEOUT => "RPC_E_TIMEOUT",
+            HResult::RPC_E_SERVER_UNAVAILABLE => "RPC_E_SERVER_UNAVAILABLE",
+            HResult::RPC_E_INVALID_DATA => "RPC_E_INVALID_DATA",
+            HResult::OFTT_E_NOT_PRIMARY => "OFTT_E_NOT_PRIMARY",
+            HResult::OFTT_E_NO_CHECKPOINT => "OFTT_E_NO_CHECKPOINT",
+            HResult::OFTT_E_PEER_UNREACHABLE => "OFTT_E_PEER_UNREACHABLE",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for HResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => write!(f, "{name} (0x{:08X})", self.0),
+            None => write!(f, "HRESULT 0x{:08X}", self.0),
+        }
+    }
+}
+
+impl fmt::LowerHex for HResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for HResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// The error type for COM-layer operations: a failure `HRESULT` plus
+/// human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComError {
+    hresult: HResult,
+    context: String,
+}
+
+impl ComError {
+    /// Creates an error from a failure code and context message.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `hresult` is a success code.
+    pub fn new(hresult: HResult, context: impl Into<String>) -> Self {
+        debug_assert!(hresult.is_failure(), "ComError built from success HRESULT");
+        ComError { hresult, context: context.into() }
+    }
+
+    /// The underlying status code.
+    pub fn hresult(&self) -> HResult {
+        self.hresult
+    }
+
+    /// The context message.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// `true` if this error indicates the remote peer is gone or
+    /// unreachable (the class of failures OFTT exists to mask).
+    pub fn is_connectivity(&self) -> bool {
+        matches!(
+            self.hresult,
+            HResult::RPC_E_DISCONNECTED
+                | HResult::RPC_E_TIMEOUT
+                | HResult::RPC_E_SERVER_UNAVAILABLE
+                | HResult::OFTT_E_PEER_UNREACHABLE
+        )
+    }
+}
+
+impl fmt::Display for ComError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.context.is_empty() {
+            write!(f, "{}", self.hresult)
+        } else {
+            write!(f, "{}: {}", self.hresult, self.context)
+        }
+    }
+}
+
+impl std::error::Error for ComError {}
+
+/// Result alias for COM-layer operations.
+pub type ComResult<T> = Result<T, ComError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_bit_drives_predicates() {
+        assert!(HResult::S_OK.is_success());
+        assert!(HResult::S_FALSE.is_success());
+        assert!(HResult::E_FAIL.is_failure());
+        assert!(HResult::RPC_E_TIMEOUT.is_failure());
+    }
+
+    #[test]
+    fn field_extraction() {
+        // RPC_E_DISCONNECTED = 0x80010108: facility 1 (RPC), code 0x0108.
+        assert_eq!(HResult::RPC_E_DISCONNECTED.facility(), 1);
+        assert_eq!(HResult::RPC_E_DISCONNECTED.code(), 0x0108);
+    }
+
+    #[test]
+    fn display_names_known_codes() {
+        assert_eq!(HResult::S_OK.to_string(), "S_OK (0x00000000)");
+        assert_eq!(HResult(0x8123_4567).to_string(), "HRESULT 0x81234567");
+    }
+
+    #[test]
+    fn com_error_display_and_classification() {
+        let e = ComError::new(HResult::RPC_E_TIMEOUT, "call to node2/opc-server");
+        assert!(e.to_string().contains("RPC_E_TIMEOUT"));
+        assert!(e.to_string().contains("node2/opc-server"));
+        assert!(e.is_connectivity());
+        let e = ComError::new(HResult::E_NOINTERFACE, "");
+        assert!(!e.is_connectivity());
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<ComError>();
+    }
+}

@@ -1,0 +1,82 @@
+//! # comsim — the COM/DCOM analog
+//!
+//! OFTT is "based on the Microsoft Component Object Model" (paper §1); its
+//! engine, FTIMs, and the OPC applications it protects are all COM objects.
+//! This crate reproduces the COM machinery those components rely on:
+//!
+//! * [`guid`] — GUIDs and the IID/CLSID newtypes.
+//! * [`hresult`] — `HRESULT` status codes and the [`hresult::ComError`]
+//!   error type, including the RPC failure codes OFTT must cope with.
+//! * [`marshal`] — a compact binary serde format standing in for NDR
+//!   proxy/stub marshaling; RPC payloads and checkpoints both use it, so
+//!   simulated wire sizes are real encoded sizes.
+//! * [`interface`] — the [`com_interface!`] micro-IDL for declaring
+//!   interfaces with named method ordinals.
+//! * [`object`] — `IUnknown` semantics: reference counting,
+//!   `QueryInterface`, marshaled dispatch.
+//! * [`registry`] — the per-node class registry (`HKEY_CLASSES_ROOT`).
+//! * [`rpc`] — ORPC with timeouts over `ds-net`, an [`rpc::ObjectServer`]
+//!   process, and the per-node SCM ([`rpc::ScmProcess`]) for DCOM
+//!   activation. Faithfully unhelpful on failure: a dead server is silence,
+//!   then `RPC_E_TIMEOUT`.
+//!
+//! ## Example: defining and invoking a class locally
+//!
+//! ```
+//! use comsim::guid::{Clsid, Iid};
+//! use comsim::hresult::ComResult;
+//! use comsim::object::{ComClass, ComObject};
+//!
+//! struct Doubler;
+//! impl ComClass for Doubler {
+//!     fn clsid(&self) -> Clsid { Clsid::from_name("Doubler") }
+//!     fn interfaces(&self) -> Vec<Iid> { vec![Iid::from_name("IDoubler")] }
+//!     fn invoke(
+//!         &mut self,
+//!         _iid: Iid,
+//!         _m: u32,
+//!         args: &[u8],
+//!         _now: ds_sim::prelude::SimTime,
+//!     ) -> ComResult<Vec<u8>> {
+//!         let x: i64 = comsim::marshal::from_bytes(args)?;
+//!         Ok(comsim::marshal::to_bytes(&(2 * x))?)
+//!     }
+//! }
+//!
+//! let mut obj = ComObject::new(Box::new(Doubler));
+//! let out = obj.invoke(
+//!     Iid::from_name("IDoubler"),
+//!     0,
+//!     &comsim::marshal::to_bytes(&21i64)?,
+//!     ds_sim::prelude::SimTime::ZERO,
+//! )?;
+//! assert_eq!(comsim::marshal::from_bytes::<i64>(&out)?, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod guid;
+pub mod hresult;
+pub mod interface;
+pub mod marshal;
+pub mod object;
+pub mod registry;
+pub mod rpc;
+
+/// Convenience re-exports of the items nearly every user needs.
+pub mod prelude {
+    pub use crate::guid::{Clsid, Guid, Iid};
+    pub use crate::hresult::{ComError, ComResult, HResult};
+    pub use crate::object::{ComClass, ComObject};
+    pub use crate::registry::{ClassRegistry, ComClassFactory};
+    pub use crate::rpc::{
+        decode_reply, ObjectServer, RpcClient, RpcCompletion, RpcPoll, RpcRequest, RpcResponse,
+        ScmProcess, RPC_TIMER_BASE,
+    };
+}
+
+pub use guid::{Clsid, Guid, Iid};
+pub use hresult::{ComError, ComResult, HResult};
+pub use object::{ComClass, ComObject};

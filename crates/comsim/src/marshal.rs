@@ -1,0 +1,809 @@
+//! Binary marshaling — the NDR (Network Data Representation) analog.
+//!
+//! DCOM marshals call arguments through proxy/stub pairs generated from IDL.
+//! Here the same role is played by a compact, non-self-describing binary
+//! serde format: little-endian fixed-width scalars, `u32` length prefixes,
+//! one tag byte for options, and `u32` variant indexes for enums. RPC
+//! payloads and OFTT checkpoints both travel through this codec, so message
+//! sizes charged to the simulated network are the real encoded sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct ReadArgs { item: String, max_age_ms: u32 }
+//!
+//! let bytes = comsim::marshal::to_bytes(&ReadArgs { item: "plant.tank1".into(), max_age_ms: 500 })?;
+//! let back: ReadArgs = comsim::marshal::from_bytes(&bytes)?;
+//! assert_eq!(back.item, "plant.tank1");
+//! # Ok::<(), comsim::marshal::MarshalError>(())
+//! ```
+
+use std::fmt;
+
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+use serde::{ser, Deserialize, Serialize};
+
+/// Errors raised while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarshalError {
+    /// A custom message from serde.
+    Message(String),
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Trailing bytes remained after deserialization finished.
+    TrailingBytes(usize),
+    /// A length prefix or variant index exceeded `u32::MAX`.
+    LengthOverflow,
+    /// The format is not self-describing; `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// An option tag byte was neither 0 nor 1, or a bool was not 0/1.
+    InvalidTag(u8),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// Sequences of unknown length cannot be encoded.
+    UnknownLength,
+}
+
+impl fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarshalError::Message(m) => f.write_str(m),
+            MarshalError::UnexpectedEof => f.write_str("unexpected end of input"),
+            MarshalError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            MarshalError::LengthOverflow => f.write_str("length exceeds u32::MAX"),
+            MarshalError::NotSelfDescribing => {
+                f.write_str("format is not self-describing; concrete type required")
+            }
+            MarshalError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            MarshalError::InvalidUtf8 => f.write_str("invalid UTF-8 in string"),
+            MarshalError::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            MarshalError::UnknownLength => f.write_str("sequence length must be known up front"),
+        }
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+impl ser::Error for MarshalError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        MarshalError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for MarshalError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        MarshalError::Message(msg.to_string())
+    }
+}
+
+/// Encodes a value to bytes.
+///
+/// # Errors
+///
+/// Returns an error if the value contains unknown-length sequences or
+/// oversized lengths.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, MarshalError> {
+    let mut ser = Serializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Decodes a value from bytes, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// Returns an error on truncated, malformed, or over-long input.
+pub fn from_bytes<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, MarshalError> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if de.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(MarshalError::TrailingBytes(de.input.len()))
+    }
+}
+
+struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    fn put_len(&mut self, len: usize) -> Result<(), MarshalError> {
+        let len32 = u32::try_from(len).map_err(|_| MarshalError::LengthOverflow)?;
+        self.out.extend_from_slice(&len32.to_le_bytes());
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = MarshalError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), MarshalError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), MarshalError> {
+        self.out.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), MarshalError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), MarshalError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), MarshalError> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), MarshalError> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), MarshalError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), MarshalError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), MarshalError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), MarshalError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), MarshalError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), MarshalError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, MarshalError> {
+        let len = len.ok_or(MarshalError::UnknownLength)?;
+        self.put_len(len)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, MarshalError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, MarshalError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, MarshalError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, MarshalError> {
+        let len = len.ok_or(MarshalError::UnknownLength)?;
+        self.put_len(len)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, MarshalError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, MarshalError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+}
+
+/// Sequence/struct body serializer.
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), MarshalError> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = MarshalError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), MarshalError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+}
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], MarshalError> {
+        if self.input.len() < n {
+            return Err(MarshalError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, MarshalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, MarshalError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_len(&mut self) -> Result<usize, MarshalError> {
+        Ok(self.get_u32()? as usize)
+    }
+}
+
+macro_rules! de_scalar {
+    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+            let b = self.take($n)?;
+            let mut arr = [0u8; $n];
+            arr.copy_from_slice(b);
+            visitor.$visit(<$ty>::from_le_bytes(arr))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = MarshalError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, MarshalError> {
+        Err(MarshalError::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        match self.get_u8()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            t => Err(MarshalError::InvalidTag(t)),
+        }
+    }
+
+    de_scalar!(deserialize_i8, visit_i8, i8, 1);
+    de_scalar!(deserialize_i16, visit_i16, i16, 2);
+    de_scalar!(deserialize_i32, visit_i32, i32, 4);
+    de_scalar!(deserialize_i64, visit_i64, i64, 8);
+    de_scalar!(deserialize_u16, visit_u16, u16, 2);
+    de_scalar!(deserialize_u32, visit_u32, u32, 4);
+    de_scalar!(deserialize_u64, visit_u64, u64, 8);
+    de_scalar!(deserialize_f32, visit_f32, f32, 4);
+    de_scalar!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        visitor.visit_u8(self.get_u8()?)
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        let raw = self.get_u32()?;
+        let c = char::from_u32(raw).ok_or(MarshalError::InvalidChar(raw))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| MarshalError::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        match self.get_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            t => Err(MarshalError::InvalidTag(t)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, MarshalError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_seq(Counted { de: self, remaining: fields.len() })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_enum(Enum { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        Err(MarshalError::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        Err(MarshalError::NotSelfDescribing)
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = MarshalError;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, MarshalError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = MarshalError;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, MarshalError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, MarshalError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Enum<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for Enum<'_, 'de> {
+    type Error = MarshalError;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), MarshalError> {
+        let index = self.de.get_u32()?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for Enum<'_, 'de> {
+    type Error = MarshalError;
+
+    fn unit_variant(self) -> Result<(), MarshalError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, MarshalError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_seq(Counted { de: self.de, remaining: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, MarshalError> {
+        visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).expect("encode");
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(true);
+        round_trip(false);
+        round_trip(0x12u8);
+        round_trip(-5i8);
+        round_trip(0x1234u16);
+        round_trip(-30_000i16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(i32::MIN);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(3.5f32);
+        round_trip(-2.25e300f64);
+        round_trip('λ');
+    }
+
+    #[test]
+    fn strings_and_collections_round_trip() {
+        round_trip(String::from("hello OPC"));
+        round_trip(String::new());
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        let mut m = BTreeMap::new();
+        m.insert("tank1".to_string(), 42.0f64);
+        m.insert("valve7".to_string(), -1.0);
+        round_trip(m);
+    }
+
+    #[test]
+    fn options_and_nesting_round_trip() {
+        round_trip(Option::<u32>::None);
+        round_trip(Some(7u32));
+        round_trip(Some(Some(vec![Some(1u8), None])));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Item {
+        name: String,
+        value: f64,
+        quality: Quality,
+        history: Vec<(u64, f64)>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Quality {
+        Good,
+        Uncertain(String),
+        Bad { code: u16, detail: String },
+    }
+
+    #[test]
+    fn structs_and_enums_round_trip() {
+        round_trip(Item {
+            name: "plant.line1.tank".into(),
+            value: 73.25,
+            quality: Quality::Good,
+            history: vec![(1, 70.0), (2, 71.5)],
+        });
+        round_trip(Quality::Uncertain("sensor drift".into()));
+        round_trip(Quality::Bad { code: 4, detail: "open circuit".into() });
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // u32 = exactly 4 bytes; a 5-char string = 4 (len) + 5.
+        assert_eq!(to_bytes(&7u32).unwrap().len(), 4);
+        assert_eq!(to_bytes(&String::from("hello")).unwrap().len(), 9);
+        // Unit enum variant = 4-byte index only.
+        assert_eq!(to_bytes(&Quality::Good).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&0xAABBCCDDu32).unwrap();
+        assert_eq!(from_bytes::<u32>(&bytes[..3]), Err(MarshalError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_bytes(&1u32).unwrap();
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(MarshalError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_an_error() {
+        assert_eq!(from_bytes::<bool>(&[2]), Err(MarshalError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error() {
+        // len=1 followed by a lone continuation byte.
+        let bytes = [1, 0, 0, 0, 0x80];
+        assert_eq!(from_bytes::<String>(&bytes), Err(MarshalError::InvalidUtf8));
+    }
+
+    #[test]
+    fn huge_length_prefix_is_an_eof_not_a_panic() {
+        // Claims 4 GiB of data, provides none.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(from_bytes::<String>(&bytes), Err(MarshalError::UnexpectedEof));
+    }
+}

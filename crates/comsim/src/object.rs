@@ -1,0 +1,251 @@
+//! The COM object model: classes, interfaces, reference counting.
+//!
+//! A [`ComClass`] is the stub side of a COM object: it declares which
+//! interfaces it supports and dispatches marshaled method calls by
+//! `(IID, method ordinal)`. [`ComObject`] wraps an instance with explicit
+//! `IUnknown`-style reference counting and `QueryInterface` semantics.
+
+use ds_sim::prelude::SimTime;
+
+use crate::guid::{Clsid, Iid};
+use crate::hresult::{ComError, ComResult, HResult};
+
+/// The `IUnknown` IID (every object supports it implicitly).
+pub fn iid_iunknown() -> Iid {
+    Iid::from_name("IUnknown")
+}
+
+/// A COM class implementation: interface list + marshaled dispatch.
+///
+/// Implementors are the "server" side of proxy/stub pairs; the `args` and
+/// return buffers travel through [`crate::marshal`].
+pub trait ComClass: Send {
+    /// The class id this instance was created from.
+    fn clsid(&self) -> Clsid;
+
+    /// Interfaces this object answers `QueryInterface` for (`IUnknown` is
+    /// implied and need not be listed).
+    fn interfaces(&self) -> Vec<Iid>;
+
+    /// Dispatches method `method` of interface `iid` with marshaled `args`
+    /// at time `now` (servers timestamp readings), returning the marshaled
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// `E_NOINTERFACE` for unknown interfaces, `E_INVALIDARG` for unknown
+    /// ordinals or malformed argument buffers, or any class-specific
+    /// failure HRESULT.
+    fn invoke(&mut self, iid: Iid, method: u32, args: &[u8], now: SimTime)
+        -> ComResult<Vec<u8>>;
+}
+
+/// An instantiated COM object with explicit reference counting.
+///
+/// # Examples
+///
+/// ```
+/// use comsim::object::{ComObject, ComClass};
+/// use comsim::guid::{Clsid, Iid};
+/// use comsim::hresult::ComResult;
+///
+/// struct Counter(u32);
+/// impl ComClass for Counter {
+///     fn clsid(&self) -> Clsid { Clsid::from_name("Counter") }
+///     fn interfaces(&self) -> Vec<Iid> { vec![Iid::from_name("ICounter")] }
+///     fn invoke(
+///         &mut self,
+///         _iid: Iid,
+///         _method: u32,
+///         _args: &[u8],
+///         _now: ds_sim::prelude::SimTime,
+///     ) -> ComResult<Vec<u8>> {
+///         self.0 += 1;
+///         comsim::marshal::to_bytes(&self.0).map_err(Into::into)
+///     }
+/// }
+///
+/// let mut obj = ComObject::new(Box::new(Counter(0)));
+/// assert!(obj.query_interface(Iid::from_name("ICounter")).is_ok());
+/// assert!(obj.query_interface(Iid::from_name("IBogus")).is_err());
+/// ```
+pub struct ComObject {
+    class: Box<dyn ComClass>,
+    ref_count: u32,
+}
+
+impl ComObject {
+    /// Wraps a class instance with an initial reference count of 1.
+    pub fn new(class: Box<dyn ComClass>) -> Self {
+        ComObject { class, ref_count: 1 }
+    }
+
+    /// The object's class id.
+    pub fn clsid(&self) -> Clsid {
+        self.class.clsid()
+    }
+
+    /// `IUnknown::AddRef`: bumps and returns the reference count.
+    pub fn add_ref(&mut self) -> u32 {
+        self.ref_count += 1;
+        self.ref_count
+    }
+
+    /// `IUnknown::Release`: drops and returns the reference count. The
+    /// caller owns destruction — at 0, drop the `ComObject`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if released below zero (a classic COM bug worth failing fast
+    /// on).
+    pub fn release(&mut self) -> u32 {
+        assert!(self.ref_count > 0, "Release called on a dead object");
+        self.ref_count -= 1;
+        self.ref_count
+    }
+
+    /// Current reference count.
+    pub fn ref_count(&self) -> u32 {
+        self.ref_count
+    }
+
+    /// `IUnknown::QueryInterface`: succeeds (and AddRefs) if the object
+    /// supports `iid`.
+    ///
+    /// # Errors
+    ///
+    /// `E_NOINTERFACE` if the interface is unsupported.
+    pub fn query_interface(&mut self, iid: Iid) -> ComResult<()> {
+        if iid == iid_iunknown() || self.class.interfaces().contains(&iid) {
+            self.add_ref();
+            Ok(())
+        } else {
+            Err(ComError::new(
+                HResult::E_NOINTERFACE,
+                format!("{} does not implement {}", self.clsid(), iid),
+            ))
+        }
+    }
+
+    /// Dispatches a marshaled call on the wrapped class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the class's dispatch errors; rejects interfaces the
+    /// object does not claim to support.
+    pub fn invoke(
+        &mut self,
+        iid: Iid,
+        method: u32,
+        args: &[u8],
+        now: SimTime,
+    ) -> ComResult<Vec<u8>> {
+        if iid != iid_iunknown() && !self.class.interfaces().contains(&iid) {
+            return Err(ComError::new(
+                HResult::E_NOINTERFACE,
+                format!("invoke on unsupported {}", iid),
+            ));
+        }
+        self.class.invoke(iid, method, args, now)
+    }
+}
+
+impl std::fmt::Debug for ComObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComObject")
+            .field("clsid", &self.clsid().to_string())
+            .field("ref_count", &self.ref_count)
+            .finish()
+    }
+}
+
+impl From<crate::marshal::MarshalError> for ComError {
+    fn from(err: crate::marshal::MarshalError) -> Self {
+        ComError::new(HResult::RPC_E_INVALID_DATA, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marshal;
+
+    struct Adder;
+    impl ComClass for Adder {
+        fn clsid(&self) -> Clsid {
+            Clsid::from_name("Adder")
+        }
+        fn interfaces(&self) -> Vec<Iid> {
+            vec![Iid::from_name("IAdder")]
+        }
+        fn invoke(
+            &mut self,
+            _iid: Iid,
+            method: u32,
+            args: &[u8],
+            _now: SimTime,
+        ) -> ComResult<Vec<u8>> {
+            match method {
+                0 => {
+                    let (a, b): (i64, i64) = marshal::from_bytes(args)?;
+                    Ok(marshal::to_bytes(&(a + b))?)
+                }
+                _ => Err(ComError::new(HResult::E_INVALIDARG, format!("no method {method}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn ref_counting_lifecycle() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        assert_eq!(obj.ref_count(), 1);
+        assert_eq!(obj.add_ref(), 2);
+        assert_eq!(obj.release(), 1);
+        assert_eq!(obj.release(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead object")]
+    fn over_release_panics() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        obj.release();
+        obj.release();
+    }
+
+    #[test]
+    fn query_interface_addrefs_on_success_only() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        obj.query_interface(Iid::from_name("IAdder")).unwrap();
+        assert_eq!(obj.ref_count(), 2);
+        obj.query_interface(iid_iunknown()).unwrap();
+        assert_eq!(obj.ref_count(), 3);
+        let err = obj.query_interface(Iid::from_name("IMissing")).unwrap_err();
+        assert_eq!(err.hresult(), HResult::E_NOINTERFACE);
+        assert_eq!(obj.ref_count(), 3);
+    }
+
+    #[test]
+    fn invoke_round_trips_through_marshaling() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        let args = marshal::to_bytes(&(20i64, 22i64)).unwrap();
+        let out = obj.invoke(Iid::from_name("IAdder"), 0, &args, SimTime::ZERO).unwrap();
+        let sum: i64 = marshal::from_bytes(&out).unwrap();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn invoke_rejects_unsupported_interface_and_method() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        let err = obj.invoke(Iid::from_name("IOther"), 0, &[], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.hresult(), HResult::E_NOINTERFACE);
+        let err = obj.invoke(Iid::from_name("IAdder"), 99, &[], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.hresult(), HResult::E_INVALIDARG);
+    }
+
+    #[test]
+    fn malformed_args_surface_as_invalid_data() {
+        let mut obj = ComObject::new(Box::new(Adder));
+        let err = obj.invoke(Iid::from_name("IAdder"), 0, &[1, 2], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.hresult(), HResult::RPC_E_INVALID_DATA);
+    }
+}

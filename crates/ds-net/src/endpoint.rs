@@ -1,0 +1,129 @@
+//! Addressing: nodes, services, processes.
+//!
+//! A *node* is a PC. A *service* is a named program slot on a node (e.g.
+//! `"oftt-engine"`, `"call-track"`); the OFTT papers' components address each
+//! other by (node, service), exactly as DCOM activation names a server on a
+//! host. A *process* is one running incarnation of a service — restarting a
+//! service yields a fresh [`ProcessId`], so messages and timers aimed at a
+//! dead incarnation are discarded rather than delivered to its successor.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a simulated PC.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A service name on a node (the DCOM "server application" analog).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceName(String);
+
+impl ServiceName {
+    /// Creates a service name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "service name must be non-empty");
+        ServiceName(name)
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceName {
+    fn from(s: &str) -> Self {
+        ServiceName::new(s)
+    }
+}
+
+impl From<String> for ServiceName {
+    fn from(s: String) -> Self {
+        ServiceName::new(s)
+    }
+}
+
+/// A (node, service) pair — the unit messages are addressed to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Which PC.
+    pub node: NodeId,
+    /// Which service on that PC.
+    pub service: ServiceName,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(node: NodeId, service: impl Into<ServiceName>) -> Self {
+        Endpoint { node, service: service.into() }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.node, self.service)
+    }
+}
+
+/// One incarnation of a running service.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u64);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display_is_compact() {
+        let ep = Endpoint::new(NodeId(3), "oftt-engine");
+        assert_eq!(ep.to_string(), "node3/oftt-engine");
+    }
+
+    #[test]
+    fn service_name_equality_by_content() {
+        assert_eq!(ServiceName::from("a"), ServiceName::new(String::from("a")));
+        assert_ne!(ServiceName::from("a"), ServiceName::from("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_service_name_rejected() {
+        ServiceName::new("");
+    }
+
+    #[test]
+    fn endpoints_are_usable_as_map_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Endpoint::new(NodeId(1), "x"), 1);
+        assert_eq!(m.get(&Endpoint::new(NodeId(1), "x")), Some(&1));
+        assert_eq!(m.get(&Endpoint::new(NodeId(2), "x")), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fault injection.
+//!
+//! The paper's demonstration (Section 4) exercises four failure classes:
+//! (a) node failure, (b) NT crash / blue screen, (c) application software
+//! failure, (d) OFTT middleware failure. Each maps to a [`Fault`] variant;
+//! network-level faults (path failure, partition) cover the dual-Ethernet
+//! discussion of Section 2.1 and the both-nodes-primary hazard of
+//! Section 3.2.
+
+use ds_sim::prelude::{SimTime, TraceCategory};
+
+use crate::cluster::{Cluster, ClusterSim};
+use crate::endpoint::{NodeId, ServiceName};
+use crate::link::PathState;
+
+/// A fault (or repair) that can be scheduled against the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Hard node failure (paper class *a*); node stays down until
+    /// [`Fault::RepairNode`].
+    CrashNode(NodeId),
+    /// Repair of a hard-crashed node: boots and relaunches auto-start
+    /// services.
+    RepairNode(NodeId),
+    /// OS crash with automatic reboot (paper class *b*).
+    RebootNode(NodeId),
+    /// Kill one service instance (paper classes *c* and *d*, depending on
+    /// whether the victim is the application or the OFTT engine).
+    KillService(NodeId, ServiceName),
+    /// Launch (or relaunch) a service from its registered spec.
+    StartService(NodeId, ServiceName),
+    /// Fail one path of the link between two nodes.
+    PathDown(NodeId, NodeId, usize),
+    /// Restore one path of the link between two nodes.
+    PathUp(NodeId, NodeId, usize),
+    /// Partition the link between two nodes entirely.
+    Partition(NodeId, NodeId),
+    /// Heal a partition.
+    Heal(NodeId, NodeId),
+}
+
+impl Fault {
+    fn apply(&self, cluster: &mut Cluster, sched: &mut ds_sim::sim::Scheduler<'_, Cluster>) {
+        match self {
+            Fault::CrashNode(n) => cluster.fault_crash_node(sched, *n),
+            Fault::RepairNode(n) => cluster.fault_repair_node(sched, *n),
+            Fault::RebootNode(n) => cluster.fault_reboot_node(sched, *n),
+            Fault::KillService(n, s) => cluster.fault_kill_service(sched, *n, s),
+            Fault::StartService(n, s) => cluster.fault_start_service(sched, *n, s.clone()),
+            Fault::PathDown(a, b, i) => {
+                if let Some(link) = cluster.link_mut(*a, *b) {
+                    link.set_path_state(*i, PathState::Down);
+                    sched.record(TraceCategory::Fault, format!("path {i} down: {a}<->{b}"));
+                }
+            }
+            Fault::PathUp(a, b, i) => {
+                if let Some(link) = cluster.link_mut(*a, *b) {
+                    link.set_path_state(*i, PathState::Up);
+                    sched.record(TraceCategory::Fault, format!("path {i} up: {a}<->{b}"));
+                }
+            }
+            Fault::Partition(a, b) => {
+                if let Some(link) = cluster.link_mut(*a, *b) {
+                    link.set_partitioned(true);
+                    sched.record(TraceCategory::Fault, format!("partition: {a}<->{b}"));
+                }
+            }
+            Fault::Heal(a, b) => {
+                if let Some(link) = cluster.link_mut(*a, *b) {
+                    link.set_partitioned(false);
+                    sched.record(TraceCategory::Fault, format!("heal: {a}<->{b}"));
+                }
+            }
+        }
+    }
+}
+
+/// Schedules one fault at an absolute time.
+pub fn inject(sim: &mut ClusterSim, at: SimTime, fault: Fault) {
+    sim.sim_mut().schedule_at(at, move |cluster: &mut Cluster, sched| {
+        fault.apply(cluster, sched);
+    });
+}
+
+/// A timed sequence of faults — one failure campaign.
+///
+/// # Examples
+///
+/// ```
+/// use ds_net::prelude::*;
+/// use ds_net::fault::{Fault, FaultPlan};
+///
+/// let mut cluster = ClusterSim::new(1);
+/// let a = cluster.add_node(NodeConfig::default());
+/// let b = cluster.add_node(NodeConfig::default());
+/// cluster.connect(a, b, Link::dual());
+///
+/// let mut plan = FaultPlan::new();
+/// plan.at(SimTime::from_secs(10), Fault::CrashNode(a));
+/// plan.at(SimTime::from_secs(40), Fault::RepairNode(a));
+/// plan.schedule(&mut cluster);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at an absolute time; returns `&mut self` for chaining.
+    pub fn at(&mut self, when: SimTime, fault: Fault) -> &mut Self {
+        self.faults.push((when, fault));
+        self
+    }
+
+    /// The planned faults in insertion order.
+    pub fn faults(&self) -> &[(SimTime, Fault)] {
+        &self.faults
+    }
+
+    /// Schedules every fault onto the simulation.
+    pub fn schedule(&self, sim: &mut ClusterSim) {
+        for (when, fault) in &self.faults {
+            inject(sim, *when, fault.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSim;
+    use crate::link::Link;
+    use crate::node::{NodeConfig, NodeStatus};
+
+    fn pair() -> (ClusterSim, NodeId, NodeId) {
+        let mut cs = ClusterSim::new(7);
+        let a = cs.add_node(NodeConfig::default());
+        let b = cs.add_node(NodeConfig::default());
+        cs.connect(a, b, Link::dual());
+        (cs, a, b)
+    }
+
+    #[test]
+    fn crash_and_repair_cycle() {
+        let (mut cs, a, _) = pair();
+        inject(&mut cs, SimTime::from_secs(1), Fault::CrashNode(a));
+        cs.run_until(SimTime::from_secs(2));
+        assert_eq!(cs.cluster().node(a).status, NodeStatus::Crashed);
+        inject(&mut cs, SimTime::from_secs(3), Fault::RepairNode(a));
+        cs.run_until(SimTime::from_secs(4));
+        assert!(cs.cluster().node(a).status.is_up());
+    }
+
+    #[test]
+    fn repair_of_up_node_is_noop() {
+        let (mut cs, a, _) = pair();
+        let boots_before = cs.cluster().node(a).boot_count;
+        inject(&mut cs, SimTime::from_secs(1), Fault::RepairNode(a));
+        cs.run_until(SimTime::from_secs(2));
+        assert_eq!(cs.cluster().node(a).boot_count, boots_before);
+    }
+
+    #[test]
+    fn reboot_goes_down_then_up() {
+        let (mut cs, a, _) = pair();
+        inject(&mut cs, SimTime::from_secs(1), Fault::RebootNode(a));
+        cs.run_until(SimTime::from_secs(2));
+        assert!(matches!(cs.cluster().node(a).status, NodeStatus::Rebooting { .. }));
+        cs.run_until(SimTime::from_secs(60));
+        assert!(cs.cluster().node(a).status.is_up());
+    }
+
+    #[test]
+    fn partition_and_heal_toggle_link() {
+        let (mut cs, a, b) = pair();
+        inject(&mut cs, SimTime::from_secs(1), Fault::Partition(a, b));
+        cs.run_until(SimTime::from_secs(2));
+        assert!(!cs.cluster().link(a, b).unwrap().is_usable());
+        inject(&mut cs, SimTime::from_secs(3), Fault::Heal(a, b));
+        cs.run_until(SimTime::from_secs(4));
+        assert!(cs.cluster().link(a, b).unwrap().is_usable());
+    }
+
+    #[test]
+    fn path_faults_degrade_then_kill_dual_link() {
+        let (mut cs, a, b) = pair();
+        inject(&mut cs, SimTime::from_secs(1), Fault::PathDown(a, b, 0));
+        cs.run_until(SimTime::from_secs(2));
+        assert!(cs.cluster().link(a, b).unwrap().is_usable());
+        inject(&mut cs, SimTime::from_secs(3), Fault::PathDown(a, b, 1));
+        cs.run_until(SimTime::from_secs(4));
+        assert!(!cs.cluster().link(a, b).unwrap().is_usable());
+        inject(&mut cs, SimTime::from_secs(5), Fault::PathUp(a, b, 1));
+        cs.run_until(SimTime::from_secs(6));
+        assert!(cs.cluster().link(a, b).unwrap().is_usable());
+    }
+
+    #[test]
+    fn fault_plan_schedules_in_order() {
+        let (mut cs, a, _) = pair();
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::from_secs(1), Fault::CrashNode(a))
+            .at(SimTime::from_secs(2), Fault::RepairNode(a));
+        assert_eq!(plan.faults().len(), 2);
+        plan.schedule(&mut cs);
+        cs.run_until(SimTime::from_secs(3));
+        assert!(cs.cluster().node(a).status.is_up());
+        assert_eq!(cs.trace().count(TraceCategory::Fault), 2); // "crashed", "up (boot)"
+    }
+}

@@ -1,0 +1,411 @@
+//! Live (real-thread) runtime for the same actor code.
+//!
+//! Runs each service on its own OS thread with a crossbeam channel mailbox
+//! and a local timer heap, implementing [`ProcessEnv`] against real time.
+//! This backend exists so the runnable examples can drive the OFTT toolkit
+//! interactively; it models no network imperfections (all services live in
+//! one OS process), so quantitative experiments use the deterministic
+//! [`crate::cluster`] backend instead.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ds_sim::prelude::{SimDuration, SimRng, SimTime, Trace, TraceCategory};
+use parking_lot::Mutex;
+
+use crate::endpoint::{Endpoint, NodeId, ServiceName};
+use crate::message::{Envelope, MsgBody};
+use crate::process::{Process, ProcessEnv, ProcessFactory, TimerHandle};
+
+enum Control {
+    Deliver(Envelope),
+    Kill,
+}
+
+#[derive(Clone)]
+struct Registry {
+    inner: Arc<Mutex<HashMap<Endpoint, Sender<Control>>>>,
+    specs: Arc<Mutex<HashMap<Endpoint, ProcessFactory>>>,
+    trace: Arc<Mutex<Trace>>,
+    epoch: Instant,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    seed: u64,
+    counter: Arc<Mutex<u64>>,
+}
+
+impl Registry {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn send(&self, envelope: Envelope) {
+        let target = self.inner.lock().get(&envelope.to).cloned();
+        if let Some(tx) = target {
+            // A full/disconnected mailbox is equivalent to a drop.
+            let _ = tx.send(Control::Deliver(envelope));
+        }
+    }
+
+    fn kill(&self, endpoint: &Endpoint) {
+        if let Some(tx) = self.inner.lock().remove(endpoint) {
+            let _ = tx.send(Control::Kill);
+        }
+    }
+
+    fn spawn(&self, endpoint: Endpoint) {
+        let actor = {
+            let specs = self.specs.lock();
+            let Some(factory) = specs.get(&endpoint) else { return };
+            factory()
+        };
+        let (tx, rx) = unbounded();
+        self.inner.lock().insert(endpoint.clone(), tx);
+        let registry = self.clone();
+        let seed = {
+            let mut c = self.counter.lock();
+            *c += 1;
+            self.seed.wrapping_add(*c)
+        };
+        let handle = std::thread::spawn(move || run_actor(actor, endpoint, registry, seed, rx));
+        self.handles.lock().push(handle);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingTimer {
+    deadline: Instant,
+    handle: u64,
+    token: u64,
+}
+
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by deadline.
+        other.deadline.cmp(&self.deadline).then(other.handle.cmp(&self.handle))
+    }
+}
+
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct LiveEnv {
+    registry: Registry,
+    endpoint: Endpoint,
+    rng: SimRng,
+    timers: BinaryHeap<PendingTimer>,
+    cancelled: std::collections::HashSet<u64>,
+    next_timer: u64,
+    exit: bool,
+}
+
+impl ProcessEnv for LiveEnv {
+    fn now(&self) -> SimTime {
+        self.registry.now()
+    }
+
+    fn self_endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    fn send(&mut self, to: Endpoint, body: MsgBody, size_bytes: u64) {
+        let envelope = Envelope::sized(self.endpoint.clone(), to, body, size_bytes);
+        self.registry.send(envelope);
+    }
+
+    fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
+        self.next_timer += 1;
+        let handle = self.next_timer;
+        let deadline = Instant::now() + Duration::from_micros(after.as_micros());
+        self.timers.push(PendingTimer { deadline, handle, token });
+        TimerHandle(handle)
+    }
+
+    fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    fn record(&mut self, category: TraceCategory, message: String) {
+        let now = self.registry.now();
+        self.registry.trace.lock().record(now, category, message);
+    }
+
+    fn kill_service(&mut self, node: NodeId, service: &ServiceName) {
+        let target = Endpoint::new(node, service.clone());
+        if target == self.endpoint {
+            self.exit = true;
+        } else {
+            self.registry.kill(&target);
+        }
+    }
+
+    fn restart_service(&mut self, node: NodeId, service: &ServiceName) {
+        let target = Endpoint::new(node, service.clone());
+        if self.registry.inner.lock().contains_key(&target) {
+            return;
+        }
+        self.registry.spawn(target);
+    }
+
+    fn exit(&mut self) {
+        self.exit = true;
+    }
+}
+
+fn run_actor(
+    mut actor: Box<dyn Process>,
+    endpoint: Endpoint,
+    registry: Registry,
+    seed: u64,
+    rx: Receiver<Control>,
+) {
+    let mut env = LiveEnv {
+        registry: registry.clone(),
+        endpoint: endpoint.clone(),
+        rng: SimRng::seed_from(seed),
+        timers: BinaryHeap::new(),
+        cancelled: std::collections::HashSet::new(),
+        next_timer: 0,
+        exit: false,
+    };
+    actor.on_start(&mut env);
+    while !env.exit {
+        // Fire due timers first.
+        let now = Instant::now();
+        let mut fired = Vec::new();
+        while let Some(top) = env.timers.peek() {
+            if top.deadline > now {
+                break;
+            }
+            let t = env.timers.pop().expect("peeked");
+            if !env.cancelled.remove(&t.handle) {
+                fired.push(t.token);
+            }
+        }
+        for token in fired {
+            actor.on_timer(token, &mut env);
+            if env.exit {
+                break;
+            }
+        }
+        if env.exit {
+            break;
+        }
+        let wait = env
+            .timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(Control::Deliver(envelope)) => actor.on_message(envelope, &mut env),
+            Ok(Control::Kill) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    registry.inner.lock().remove(&endpoint);
+}
+
+/// A live, thread-backed runtime hosting the same [`Process`] actors as the
+/// deterministic simulation.
+///
+/// # Examples
+///
+/// ```
+/// use ds_net::live::LiveNet;
+/// use ds_net::prelude::*;
+///
+/// struct Greeter;
+/// impl Process for Greeter {}
+///
+/// let mut net = LiveNet::new(1);
+/// net.register(Endpoint::new(NodeId(0), "greeter"), Box::new(|| Box::new(Greeter)));
+/// net.start(&Endpoint::new(NodeId(0), "greeter"));
+/// net.shutdown();
+/// ```
+pub struct LiveNet {
+    registry: Registry,
+}
+
+impl LiveNet {
+    /// Creates a live runtime; `seed` controls per-process RNG streams.
+    pub fn new(seed: u64) -> Self {
+        LiveNet {
+            registry: Registry {
+                inner: Arc::new(Mutex::new(HashMap::new())),
+                specs: Arc::new(Mutex::new(HashMap::new())),
+                trace: Arc::new(Mutex::new(Trace::new())),
+                epoch: Instant::now(),
+                handles: Arc::new(Mutex::new(Vec::new())),
+                seed,
+                counter: Arc::new(Mutex::new(0)),
+            },
+        }
+    }
+
+    /// Registers a service spec (not started yet).
+    pub fn register(&mut self, endpoint: Endpoint, factory: ProcessFactory) {
+        self.registry.specs.lock().insert(endpoint, factory);
+    }
+
+    /// Starts a registered service on its own thread.
+    pub fn start(&mut self, endpoint: &Endpoint) {
+        self.registry.spawn(endpoint.clone());
+    }
+
+    /// Kills a running service (no notification to the victim).
+    pub fn kill(&mut self, endpoint: &Endpoint) {
+        self.registry.kill(endpoint);
+    }
+
+    /// `true` if the service currently has a live mailbox.
+    pub fn is_running(&self, endpoint: &Endpoint) -> bool {
+        self.registry.inner.lock().contains_key(endpoint)
+    }
+
+    /// Injects a message from an external driver.
+    pub fn post<T: std::any::Any + Send>(&self, to: Endpoint, body: T) {
+        let from = Endpoint::new(to.node, "__external");
+        self.registry.send(Envelope::new(from, to, body));
+    }
+
+    /// Copies out the trace recorded so far.
+    pub fn trace_snapshot(&self) -> Trace {
+        self.registry.trace.lock().clone()
+    }
+
+    /// Milliseconds since the runtime started (live wall time).
+    pub fn now(&self) -> SimTime {
+        self.registry.now()
+    }
+
+    /// Stops every service and joins all threads.
+    pub fn shutdown(&mut self) {
+        let endpoints: Vec<Endpoint> = self.registry.inner.lock().keys().cloned().collect();
+        for ep in endpoints {
+            self.registry.kill(&ep);
+        }
+        let handles: Vec<JoinHandle<()>> = self.registry.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LiveNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessEnvExt;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct Echo;
+    impl Process for Echo {
+        fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+            let from = envelope.from.clone();
+            if let Ok(n) = envelope.body.downcast::<u32>() {
+                env.send_msg(from, n + 1);
+            }
+        }
+    }
+
+    struct Counter {
+        peer: Endpoint,
+        seen: Arc<AtomicU32>,
+    }
+    impl Process for Counter {
+        fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+            env.send_msg(self.peer.clone(), 1u32);
+        }
+        fn on_message(&mut self, envelope: Envelope, _env: &mut dyn ProcessEnv) {
+            if let Ok(n) = envelope.body.downcast::<u32>() {
+                self.seen.store(n, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn wait_for(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn live_ping_pong() {
+        let mut net = LiveNet::new(1);
+        let a = Endpoint::new(NodeId(0), "counter");
+        let b = Endpoint::new(NodeId(1), "echo");
+        let seen = Arc::new(AtomicU32::new(0));
+        let s = seen.clone();
+        let peer = b.clone();
+        net.register(b.clone(), Box::new(|| Box::new(Echo)));
+        net.register(
+            a.clone(),
+            Box::new(move || Box::new(Counter { peer: peer.clone(), seen: s.clone() })),
+        );
+        net.start(&b);
+        net.start(&a);
+        assert!(wait_for(|| seen.load(Ordering::SeqCst) == 2, Duration::from_secs(2)));
+        net.shutdown();
+    }
+
+    struct Tick {
+        fires: Arc<AtomicU32>,
+    }
+    impl Process for Tick {
+        fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+            env.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_timer(&mut self, _token: u64, env: &mut dyn ProcessEnv) {
+            self.fires.fetch_add(1, Ordering::SeqCst);
+            env.set_timer(SimDuration::from_millis(10), 0);
+        }
+    }
+
+    #[test]
+    fn live_timers_fire() {
+        let mut net = LiveNet::new(2);
+        let ep = Endpoint::new(NodeId(0), "tick");
+        let fires = Arc::new(AtomicU32::new(0));
+        let f = fires.clone();
+        net.register(ep.clone(), Box::new(move || Box::new(Tick { fires: f.clone() })));
+        net.start(&ep);
+        assert!(wait_for(|| fires.load(Ordering::SeqCst) >= 3, Duration::from_secs(2)));
+        net.kill(&ep);
+        assert!(wait_for(|| !net.is_running(&ep), Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn kill_and_restart_via_registry() {
+        let mut net = LiveNet::new(3);
+        let ep = Endpoint::new(NodeId(0), "echo");
+        net.register(ep.clone(), Box::new(|| Box::new(Echo)));
+        net.start(&ep);
+        assert!(wait_for(|| net.is_running(&ep), Duration::from_secs(2)));
+        net.kill(&ep);
+        assert!(wait_for(|| !net.is_running(&ep), Duration::from_secs(2)));
+        net.start(&ep);
+        assert!(wait_for(|| net.is_running(&ep), Duration::from_secs(2)));
+        net.shutdown();
+    }
+}

@@ -1,0 +1,107 @@
+//! Messages exchanged between processes.
+//!
+//! The body of a message is a type-erased payload; layers above (comsim,
+//! msgq, oftt) define their own concrete message types and downcast on
+//! receipt. Each envelope carries a nominal wire size so links can charge a
+//! transmission delay — this is how checkpoint size shows up in switchover
+//! latency (experiment E5).
+
+use std::any::Any;
+use std::fmt;
+
+use crate::endpoint::Endpoint;
+
+/// Default nominal size charged for small control messages, in bytes.
+pub const DEFAULT_MSG_BYTES: u64 = 128;
+
+/// A type-erased message body.
+pub struct MsgBody(Box<dyn Any + Send>);
+
+impl MsgBody {
+    /// Wraps a concrete value.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        MsgBody(Box::new(value))
+    }
+
+    /// Attempts to take the body as `T`, handing it back on mismatch.
+    pub fn downcast<T: Any>(self) -> Result<T, MsgBody> {
+        match self.0.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(b) => Err(MsgBody(b)),
+        }
+    }
+
+    /// Borrows the body as `T` if it has that type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// `true` if the body is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.0.is::<T>()
+    }
+}
+
+impl fmt::Debug for MsgBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MsgBody(..)")
+    }
+}
+
+/// A routed message: source, destination, body, and nominal size.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sender endpoint.
+    pub from: Endpoint,
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Type-erased payload.
+    pub body: MsgBody,
+    /// Nominal wire size in bytes (drives transmission delay).
+    pub size_bytes: u64,
+}
+
+impl Envelope {
+    /// Creates an envelope with the default control-message size.
+    pub fn new<T: Any + Send>(from: Endpoint, to: Endpoint, body: T) -> Self {
+        Envelope { from, to, body: MsgBody::new(body), size_bytes: DEFAULT_MSG_BYTES }
+    }
+
+    /// Creates an envelope with an explicit nominal size.
+    pub fn sized(from: Endpoint, to: Endpoint, body: MsgBody, size_bytes: u64) -> Self {
+        Envelope { from, to, body, size_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::NodeId;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn downcast_round_trip() {
+        let body = MsgBody::new(Ping(7));
+        assert!(body.is::<Ping>());
+        assert_eq!(body.downcast::<Ping>().unwrap(), Ping(7));
+    }
+
+    #[test]
+    fn downcast_mismatch_returns_body() {
+        let body = MsgBody::new(Ping(7));
+        let body = body.downcast::<String>().unwrap_err();
+        assert_eq!(body.downcast_ref::<Ping>(), Some(&Ping(7)));
+    }
+
+    #[test]
+    fn envelope_defaults_and_sizing() {
+        let a = Endpoint::new(NodeId(1), "a");
+        let b = Endpoint::new(NodeId(2), "b");
+        let e = Envelope::new(a.clone(), b.clone(), Ping(1));
+        assert_eq!(e.size_bytes, DEFAULT_MSG_BYTES);
+        let e = Envelope::sized(a, b, MsgBody::new(Ping(1)), 1 << 20);
+        assert_eq!(e.size_bytes, 1 << 20);
+    }
+}

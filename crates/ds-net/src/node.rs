@@ -1,0 +1,95 @@
+//! Nodes: the simulated PCs.
+
+use ds_sim::prelude::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::endpoint::{NodeId, ServiceName};
+
+/// Availability state of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Running normally.
+    Up,
+    /// Hard down (paper failure class *a: node failure*); stays down until
+    /// repaired by the fault layer.
+    Crashed,
+    /// OS crash + automatic restart (*b: NT crash / blue screen*); comes
+    /// back up at the given time with auto-start services relaunched.
+    Rebooting {
+        /// When the reboot completes.
+        until: SimTime,
+    },
+}
+
+impl NodeStatus {
+    /// `true` when the node can run processes and exchange messages.
+    pub fn is_up(&self) -> bool {
+        matches!(self, NodeStatus::Up)
+    }
+}
+
+/// Per-node configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Human-readable name ("Primary", "Backup", "Test and Interface").
+    pub name: String,
+    /// How long an OS reboot takes. NT 4.0 on period hardware: ~90 s; kept
+    /// short by default so tests run fast, overridden by scenarios.
+    pub reboot_duration: SimDuration,
+    /// Bound on service start delay at boot, modelling the NT startup
+    /// non-determinism of paper Section 3.2 (each auto-start service begins
+    /// at a uniformly random offset within this bound).
+    pub max_start_delay: SimDuration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            name: String::from("pc"),
+            reboot_duration: SimDuration::from_secs(30),
+            max_start_delay: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A simulated PC: status plus the services configured to start at boot.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Static configuration.
+    pub config: NodeConfig,
+    /// Availability state.
+    pub status: NodeStatus,
+    /// Services relaunched automatically after boot (NT auto-start analog).
+    pub autostart: Vec<ServiceName>,
+    /// Count of boots (initial start included); used by tests and metrics.
+    pub boot_count: u32,
+}
+
+impl Node {
+    /// Creates an up node with no auto-start services.
+    pub fn new(id: NodeId, config: NodeConfig) -> Self {
+        Node { id, config, status: NodeStatus::Up, autostart: Vec::new(), boot_count: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_predicates() {
+        assert!(NodeStatus::Up.is_up());
+        assert!(!NodeStatus::Crashed.is_up());
+        assert!(!NodeStatus::Rebooting { until: SimTime::from_secs(9) }.is_up());
+    }
+
+    #[test]
+    fn new_node_is_up() {
+        let n = Node::new(NodeId(1), NodeConfig::default());
+        assert!(n.status.is_up());
+        assert_eq!(n.boot_count, 1);
+        assert!(n.autostart.is_empty());
+    }
+}

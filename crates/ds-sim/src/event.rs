@@ -1,0 +1,65 @@
+//! Event identities and queue ordering.
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Opaque handle for a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number (unique per simulation run).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an id from its raw value. Intended for runtime layers
+    /// that tunnel event ids through their own handle types (e.g. process
+    /// timer handles); pairing it with a different simulation than the one
+    /// that issued the raw value cancels an unrelated event.
+    pub fn from_u64(raw: u64) -> Self {
+        EventId(raw)
+    }
+}
+
+/// Queue key: events fire in time order; ties break by schedule order so the
+/// simulation is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EventKey {
+    pub at: SimTime,
+    pub id: EventId,
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, and earlier-scheduled events win ties.
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_earliest_first_then_fifo_within_tie() {
+        let mut heap = BinaryHeap::new();
+        heap.push(EventKey { at: SimTime::from_millis(5), id: EventId(2) });
+        heap.push(EventKey { at: SimTime::from_millis(1), id: EventId(3) });
+        heap.push(EventKey { at: SimTime::from_millis(5), id: EventId(1) });
+        assert_eq!(heap.pop().unwrap().id, EventId(3));
+        assert_eq!(heap.pop().unwrap().id, EventId(1));
+        assert_eq!(heap.pop().unwrap().id, EventId(2));
+    }
+}

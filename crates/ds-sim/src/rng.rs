@@ -1,0 +1,176 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic behaviour in the simulator (arrival processes, network
+//! jitter, fault times) flows through a single [`SimRng`] seeded at
+//! construction, so a run is a pure function of its seed. This is what makes
+//! every experiment in EXPERIMENTS.md exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded, deterministic random source for simulation use.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform_u64(0..100), b.uniform_u64(0..100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// its own stream so adding draws in one does not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen())
+    }
+
+    /// A uniform integer in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn uniform_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform float in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or non-finite.
+    pub fn uniform_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.inner.gen_range(range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson arrival processes (telephone calls, fault times).
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        // Inverse-CDF sampling; guard the log argument away from zero.
+        let u = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let secs = -u.ln() * mean.as_secs_f64();
+        SimDuration::from_secs_f64(secs.min(86_400.0 * 365.0))
+    }
+
+    /// A duration uniformly jittered around `base` by up to `±spread`.
+    pub fn jittered(&mut self, base: SimDuration, spread: SimDuration) -> SimDuration {
+        if spread.is_zero() {
+            return base;
+        }
+        let lo = base.as_micros().saturating_sub(spread.as_micros());
+        let hi = base.as_micros().saturating_add(spread.as_micros());
+        SimDuration::from_micros(self.inner.gen_range(lo..=hi))
+    }
+
+    /// A uniform duration in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.inner.gen_range(lo.as_micros()..hi.as_micros()))
+    }
+
+    /// Picks a uniformly random element index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick an index from an empty slice");
+        self.inner.gen_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0..1_000_000), b.uniform_u64(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.uniform_u64(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.uniform_u64(0..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::seed_from(9);
+        let mut child = root.fork();
+        // Drawing from the child must not affect the parent's stream.
+        let mut root2 = SimRng::seed_from(9);
+        let _ = root2.fork();
+        for _ in 0..50 {
+            let _ = child.unit_f64();
+        }
+        assert_eq!(root.uniform_u64(0..1_000), root2.uniform_u64(0..1_000));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(123);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 0.1).abs() < 0.005, "empirical mean {avg} too far from 0.1");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from(11);
+        let base = SimDuration::from_millis(100);
+        let spread = SimDuration::from_millis(10);
+        for _ in 0..1_000 {
+            let d = rng.jittered(base, spread);
+            assert!(d >= SimDuration::from_millis(90) && d <= SimDuration::from_millis(110));
+        }
+        assert_eq!(rng.jittered(base, SimDuration::ZERO), base);
+    }
+}

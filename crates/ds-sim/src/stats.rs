@@ -1,0 +1,290 @@
+//! Small statistics helpers shared by the test suite and the experiment
+//! harness: summary statistics and fixed-width text histograms.
+
+use std::fmt;
+
+/// Accumulates samples and answers summary queries.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN — a NaN sample always indicates an upstream bug.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN sample");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation; 0 for fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum; 0 for an empty set.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum; 0 for an empty set.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((self.values.len() as f64) * q).ceil() as usize;
+        self.values[rank.saturating_sub(1).min(self.values.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Borrow the raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Samples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut me = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            me.len(),
+            me.mean(),
+            me.stddev(),
+            me.min(),
+            me.median(),
+            me.p95(),
+            me.max()
+        )
+    }
+}
+
+/// A fixed-bucket counting histogram over `u64` values (e.g. busy telephone
+/// lines, as displayed by the paper's demo application).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=max_value`.
+    pub fn new(max_value: usize) -> Self {
+        Histogram { buckets: vec![0; max_value + 1] }
+    }
+
+    /// Counts an observation, clamping overflow into the top bucket.
+    pub fn observe(&mut self, value: usize) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// The count in bucket `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram shape mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Renders a text bar chart, one row per bucket.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let bar = (count as usize * width) / max as usize;
+            out.push_str(&format!("{i:>3} | {:<width$} {count}\n", "#".repeat(bar)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.0);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut s: Samples = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(s.quantile(0.95), 95.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_samples_rejected() {
+        Samples::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(5);
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(99); // clamped into bucket 5
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_merge_and_render() {
+        let mut a = Histogram::new(2);
+        a.observe(1);
+        let mut b = Histogram::new(2);
+        b.observe(1);
+        b.observe(2);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(2), 1);
+        let txt = a.render(10);
+        assert!(txt.contains("1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn histogram_merge_shape_checked() {
+        Histogram::new(2).merge(&Histogram::new(3));
+    }
+}

@@ -1,0 +1,341 @@
+//! Client-side helpers: sending into the queue network and consuming from
+//! a queue, for embedding in application processes.
+
+use ds_net::endpoint::Endpoint;
+use ds_net::message::Envelope;
+use ds_net::process::{ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::SimDuration;
+use serde::Serialize;
+
+use crate::manager::{manager_endpoint, ManagerMsg, Push};
+use crate::queue::{QueueAddress, QueueMessage, QueueName};
+
+/// Errors from the sending helper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The payload failed to marshal.
+    Marshal(String),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Marshal(m) => write!(f, "payload marshaling failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Fire-and-forget send: marshals `payload` and hands it to the local
+/// queue manager, which owns reliability from there.
+///
+/// # Errors
+///
+/// Returns [`SendError::Marshal`] if the payload cannot be encoded.
+pub fn send_via_queue<T: Serialize>(
+    env: &mut dyn ProcessEnv,
+    dest: QueueAddress,
+    label: impl Into<String>,
+    payload: &T,
+    ttl: Option<SimDuration>,
+) -> Result<(), SendError> {
+    let body = comsim::marshal::to_bytes(payload).map_err(|e| SendError::Marshal(e.to_string()))?;
+    let local_manager = manager_endpoint(env.self_endpoint().node);
+    let size = 64 + body.len() as u64;
+    env.send_sized(
+        local_manager,
+        ManagerMsg::Enqueue { dest, label: label.into(), body, ttl },
+        size,
+    );
+    Ok(())
+}
+
+/// Consumer-side helper: attach/detach and automatic acking of pushes.
+///
+/// Embed one per consumed queue; forward unrecognized envelopes to
+/// [`QueueConsumer::handle_message`] and act on returned messages.
+#[derive(Debug, Clone)]
+pub struct QueueConsumer {
+    manager: Endpoint,
+    queue: QueueName,
+}
+
+impl QueueConsumer {
+    /// Creates a consumer of `queue` hosted by the manager on `manager`'s
+    /// node.
+    pub fn new(manager: Endpoint, queue: impl Into<QueueName>) -> Self {
+        QueueConsumer { manager, queue: queue.into() }
+    }
+
+    /// The queue this consumer reads.
+    pub fn queue(&self) -> &QueueName {
+        &self.queue
+    }
+
+    /// Registers this process as the queue's consumer (last attach wins —
+    /// exactly what a newly promoted primary wants).
+    pub fn attach(&self, env: &mut dyn ProcessEnv) {
+        let me = env.self_endpoint();
+        env.send_msg(
+            self.manager.clone(),
+            ManagerMsg::Attach { queue: self.queue.clone(), consumer: me },
+        );
+    }
+
+    /// Deregisters this process.
+    pub fn detach(&self, env: &mut dyn ProcessEnv) {
+        let me = env.self_endpoint();
+        env.send_msg(
+            self.manager.clone(),
+            ManagerMsg::Detach { queue: self.queue.clone(), consumer: me },
+        );
+    }
+
+    /// Offers an incoming envelope. If it is a push for our queue, acks it
+    /// and returns the message; otherwise hands the envelope back.
+    pub fn handle_message(
+        &self,
+        envelope: Envelope,
+        env: &mut dyn ProcessEnv,
+    ) -> Result<QueueMessage, Envelope> {
+        if !envelope.body.is::<Push>() {
+            return Err(envelope);
+        }
+        let push = envelope.body.downcast::<Push>().expect("checked with is::<Push>");
+        if push.queue != self.queue {
+            // A push for some other queue consumed by the same process;
+            // repackage for the caller's other consumers.
+            return Err(Envelope::sized(
+                envelope.from,
+                envelope.to,
+                ds_net::message::MsgBody::new(push),
+                envelope.size_bytes,
+            ));
+        }
+        env.send_msg(
+            self.manager.clone(),
+            ManagerMsg::Consumed { queue: push.queue, id: push.msg.id },
+        );
+        Ok(push.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{service_name, QueueConfig, QueueManager, QueueStats};
+    use ds_net::fault::{inject, Fault};
+    use ds_net::link::Link;
+    use ds_net::node::NodeConfig;
+    use ds_net::prelude::{ClusterSim, NodeId, Process, SimTime};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// Sends `count` strings on start via the queue network.
+    struct Producer {
+        dest: QueueAddress,
+        count: u32,
+    }
+    impl Process for Producer {
+        fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+            for i in 0..self.count {
+                send_via_queue(env, self.dest.clone(), "test", &format!("msg-{i}"), None)
+                    .expect("marshal");
+            }
+        }
+    }
+
+    /// Attaches to a queue (re-attaching periodically, since an attach sent
+    /// before the manager is up is silently dropped — the standard client
+    /// pattern) and records everything received.
+    struct Consumer {
+        inner: QueueConsumer,
+        seen: Arc<Mutex<Vec<String>>>,
+    }
+    impl Process for Consumer {
+        fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+            self.inner.attach(env);
+            env.set_timer(SimDuration::from_secs(1), 7);
+        }
+        fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+            if let Ok(msg) = self.inner.handle_message(envelope, env) {
+                let text: String = comsim::marshal::from_bytes(&msg.body).expect("decode");
+                self.seen.lock().push(text);
+            }
+        }
+        fn on_timer(&mut self, _token: u64, env: &mut dyn ProcessEnv) {
+            self.inner.attach(env);
+            env.set_timer(SimDuration::from_secs(1), 7);
+        }
+    }
+
+    struct Fixture {
+        cs: ClusterSim,
+        a: NodeId,
+        b: NodeId,
+        stats_a: Arc<Mutex<QueueStats>>,
+        stats_b: Arc<Mutex<QueueStats>>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut cs = ClusterSim::new(seed);
+        let a = cs.add_node(NodeConfig::default());
+        let b = cs.add_node(NodeConfig::default());
+        cs.connect(a, b, Link::dual());
+        let stats_a = Arc::new(Mutex::new(QueueStats::default()));
+        let stats_b = Arc::new(Mutex::new(QueueStats::default()));
+        for (node, stats) in [(a, stats_a.clone()), (b, stats_b.clone())] {
+            cs.register_service(
+                node,
+                service_name(),
+                Box::new(move || {
+                    Box::new(QueueManager::new(QueueConfig::default(), stats.clone()))
+                }),
+                true,
+            );
+        }
+        Fixture { cs, a, b, stats_a, stats_b }
+    }
+
+    /// Registers the producer to launch at t=1s, after the managers are up
+    /// (apps start after system services, as on the paper's NT nodes).
+    fn add_producer(fx: &mut Fixture, node: NodeId, dest: QueueAddress, count: u32) {
+        fx.cs.register_service(
+            node,
+            "producer",
+            Box::new(move || Box::new(Producer { dest: dest.clone(), count })),
+            false,
+        );
+        fx.cs.start_service_at(SimTime::from_secs(1), node, "producer");
+    }
+
+    fn add_consumer(fx: &mut Fixture, node: NodeId, queue: &str) -> Arc<Mutex<Vec<String>>> {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        let manager = manager_endpoint(node);
+        let queue = queue.to_string();
+        fx.cs.register_service(
+            node,
+            "consumer",
+            Box::new(move || {
+                Box::new(Consumer {
+                    inner: QueueConsumer::new(manager.clone(), queue.as_str()),
+                    seen: s.clone(),
+                })
+            }),
+            true,
+        );
+        seen
+    }
+
+    #[test]
+    fn cross_node_delivery_in_order() {
+        let mut fx = fixture(21);
+        let (a, b) = (fx.a, fx.b);
+        add_producer(&mut fx, a, QueueAddress::new(b, "inbox"), 10);
+        let seen = add_consumer(&mut fx, b, "inbox");
+        fx.cs.start();
+        fx.cs.run_until(SimTime::from_secs(5));
+        let got = seen.lock().clone();
+        assert_eq!(got, (0..10).map(|i| format!("msg-{i}")).collect::<Vec<_>>());
+        assert_eq!(fx.stats_b.lock().delivered, 10);
+        assert_eq!(fx.stats_b.lock().duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn lossy_network_still_delivers_exactly_once() {
+        let mut fx = fixture(22);
+        let (a, b) = (fx.a, fx.b);
+        // Replace the link with a very lossy single path.
+        fx.cs.connect(
+            a,
+            b,
+            Link::new(vec![ds_net::link::PathConfig::default().with_loss(0.4)]),
+        );
+        add_producer(&mut fx, a, QueueAddress::new(b, "inbox"), 20);
+        let seen = add_consumer(&mut fx, b, "inbox");
+        fx.cs.start();
+        fx.cs.run_until(SimTime::from_secs(60));
+        let got = seen.lock().clone();
+        assert_eq!(got.len(), 20, "all messages delivered despite 40% loss");
+        assert_eq!(got, (0..20).map(|i| format!("msg-{i}")).collect::<Vec<_>>());
+        assert!(
+            fx.stats_a.lock().retransmissions > 0,
+            "40% loss must force retransmissions"
+        );
+    }
+
+    #[test]
+    fn messages_survive_destination_outage() {
+        let mut fx = fixture(23);
+        let (a, b) = (fx.a, fx.b);
+        add_producer(&mut fx, a, QueueAddress::new(b, "inbox"), 5);
+        let seen = add_consumer(&mut fx, b, "inbox");
+        // Destination node is down while the producer sends, then reboots.
+        inject(&mut fx.cs, SimTime::from_micros(1), Fault::RebootNode(b));
+        fx.cs.start();
+        fx.cs.run_until(SimTime::from_secs(120));
+        let got = seen.lock().clone();
+        assert_eq!(got.len(), 5, "store-and-forward must ride out the outage");
+    }
+
+    #[test]
+    fn ttl_expires_into_dead_letter_queue() {
+        let mut fx = fixture(24);
+        let (a, b) = (fx.a, fx.b);
+        // No consumer; short TTL; destination node permanently down.
+        struct ShortTtlProducer {
+            dest: QueueAddress,
+        }
+        impl Process for ShortTtlProducer {
+            fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+                send_via_queue(
+                    env,
+                    self.dest.clone(),
+                    "test",
+                    &"doomed".to_string(),
+                    Some(SimDuration::from_secs(2)),
+                )
+                .expect("marshal");
+            }
+        }
+        let dest = QueueAddress::new(b, "inbox");
+        fx.cs.register_service(
+            a,
+            "producer",
+            Box::new(move || Box::new(ShortTtlProducer { dest: dest.clone() })),
+            true,
+        );
+        inject(&mut fx.cs, SimTime::from_micros(1), Fault::CrashNode(b));
+        fx.cs.start();
+        fx.cs.run_until(SimTime::from_secs(30));
+        assert_eq!(fx.stats_a.lock().dead_lettered, 1);
+    }
+
+    #[test]
+    fn reattach_redirects_delivery_to_new_consumer() {
+        let mut fx = fixture(25);
+        let (a, b) = (fx.a, fx.b);
+        add_producer(&mut fx, a, QueueAddress::new(b, "inbox"), 50);
+        let seen_b = add_consumer(&mut fx, b, "inbox");
+        fx.cs.start();
+        // Let some messages flow, then kill the consumer; redelivery must
+        // hold messages until a new consumer attaches.
+        fx.cs.run_until(SimTime::from_millis(800));
+        let before = seen_b.lock().len();
+        inject(
+            &mut fx.cs,
+            SimTime::from_millis(800),
+            Fault::KillService(b, "consumer".into()),
+        );
+        inject(
+            &mut fx.cs,
+            SimTime::from_secs(3),
+            Fault::StartService(b, "consumer".into()),
+        );
+        fx.cs.run_until(SimTime::from_secs(20));
+        let after = seen_b.lock().len();
+        assert_eq!(after, 50, "got {before} before kill, {after} total");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the queue network: whatever the link does —
+//! reordering jitter, heavy loss, duplication via retransmission — an
+//! attached consumer sees each sender's messages exactly once, in order.
+
+use std::sync::Arc;
+
+use ds_net::link::{Link, PathConfig};
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, Envelope, Process, ProcessEnv, SimDuration, SimTime};
+use msgq::client::{send_via_queue, QueueConsumer};
+use msgq::manager::{manager_endpoint, QueueConfig, QueueManager, QueueStats};
+use msgq::queue::QueueAddress;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+struct Producer {
+    dest: QueueAddress,
+    payloads: Vec<u32>,
+    period: SimDuration,
+    next: usize,
+}
+
+impl Process for Producer {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        env.set_timer(self.period, 1);
+    }
+    fn on_timer(&mut self, _t: u64, env: &mut dyn ProcessEnv) {
+        if let Some(value) = self.payloads.get(self.next) {
+            send_via_queue(env, self.dest.clone(), "n", value, None).expect("marshal");
+            self.next += 1;
+            env.set_timer(self.period, 1);
+        }
+    }
+}
+
+struct Consumer {
+    inner: QueueConsumer,
+    seen: Arc<Mutex<Vec<u32>>>,
+}
+
+impl Process for Consumer {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        self.inner.attach(env);
+        env.set_timer(SimDuration::from_secs(1), 7);
+    }
+    fn on_timer(&mut self, _t: u64, env: &mut dyn ProcessEnv) {
+        self.inner.attach(env);
+        env.set_timer(SimDuration::from_secs(1), 7);
+    }
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if let Ok(msg) = self.inner.handle_message(envelope, env) {
+            self.seen.lock().push(comsim::marshal::from_bytes(&msg.body).expect("decode"));
+        }
+    }
+}
+
+fn run_pipeline(seed: u64, loss: f64, payloads: Vec<u32>) -> Vec<u32> {
+    let mut cs = ClusterSim::new(seed);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, Link::new(vec![PathConfig::default().with_loss(loss)]));
+    for node in [a, b] {
+        let stats = Arc::new(Mutex::new(QueueStats::default()));
+        cs.register_service(
+            node,
+            msgq::manager::service_name(),
+            Box::new(move || Box::new(QueueManager::new(QueueConfig::default(), stats.clone()))),
+            true,
+        );
+    }
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s = seen.clone();
+    let manager = manager_endpoint(b);
+    cs.register_service(
+        b,
+        "consumer",
+        Box::new(move || {
+            Box::new(Consumer { inner: QueueConsumer::new(manager.clone(), "inbox"), seen: s.clone() })
+        }),
+        true,
+    );
+    let n = payloads.len();
+    let dest = QueueAddress::new(b, "inbox");
+    cs.register_service(
+        a,
+        "producer",
+        Box::new(move || {
+            Box::new(Producer {
+                dest: dest.clone(),
+                payloads: payloads.clone(),
+                period: SimDuration::from_millis(50),
+                next: 0,
+            })
+        }),
+        false,
+    );
+    cs.start_service_at(SimTime::from_secs(1), a, "producer");
+    cs.start();
+    // Horizon scales with workload and loss (retransmission takes time).
+    let horizon = 10 + n as u64 / 10 + (loss * 120.0) as u64;
+    cs.run_until(SimTime::from_secs(horizon));
+    let out = seen.lock().clone();
+    out
+}
+
+fn run_pipeline_all(seed: u64, loss: f64, payloads: Vec<u32>) -> Vec<u32> {
+    let want = payloads.clone();
+    let got = run_pipeline(seed, loss, payloads);
+    assert_eq!(got.len(), want.len(), "delivery incomplete at this horizon");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// A healthy link: exact in-order, exactly-once delivery.
+    #[test]
+    fn healthy_link_exactly_once_in_order(
+        seed in 0u64..1_000,
+        payloads in prop::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let got = run_pipeline_all(seed, 0.0, payloads.clone());
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// A 30%-lossy link: still exactly once, still in order (retry + dedup
+    /// + sequencing).
+    #[test]
+    fn lossy_link_exactly_once_in_order(
+        seed in 0u64..1_000,
+        payloads in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let got = run_pipeline_all(seed, 0.3, payloads.clone());
+        prop_assert_eq!(got, payloads);
+    }
+}
+
+#[test]
+fn consumer_outage_preserves_order() {
+    // Kill the consumer mid-stream; after restart, the sequence continues
+    // without loss or reordering.
+    let payloads: Vec<u32> = (0..80).collect();
+    let mut cs = ClusterSim::new(77);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, Link::dual());
+    for node in [a, b] {
+        let stats = Arc::new(Mutex::new(QueueStats::default()));
+        cs.register_service(
+            node,
+            msgq::manager::service_name(),
+            Box::new(move || Box::new(QueueManager::new(QueueConfig::default(), stats.clone()))),
+            true,
+        );
+    }
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s = seen.clone();
+    let manager = manager_endpoint(b);
+    cs.register_service(
+        b,
+        "consumer",
+        Box::new(move || {
+            Box::new(Consumer { inner: QueueConsumer::new(manager.clone(), "inbox"), seen: s.clone() })
+        }),
+        true,
+    );
+    let dest = QueueAddress::new(b, "inbox");
+    let p = payloads.clone();
+    cs.register_service(
+        a,
+        "producer",
+        Box::new(move || {
+            Box::new(Producer {
+                dest: dest.clone(),
+                payloads: p.clone(),
+                period: SimDuration::from_millis(100),
+                next: 0,
+            })
+        }),
+        false,
+    );
+    cs.start_service_at(SimTime::from_secs(1), a, "producer");
+    ds_net::fault::inject(&mut cs, SimTime::from_secs(4), ds_net::fault::Fault::KillService(b, "consumer".into()));
+    ds_net::fault::inject(&mut cs, SimTime::from_secs(7), ds_net::fault::Fault::StartService(b, "consumer".into()));
+    cs.start();
+    cs.run_until(SimTime::from_secs(30));
+    assert_eq!(*seen.lock(), payloads);
+}

@@ -1,0 +1,889 @@
+//! The experiment runners behind EXPERIMENTS.md (E1–E8).
+//!
+//! Each function runs one parameterized, seeded scenario and extracts the
+//! domain metrics; the `bench` crate sweeps parameters/seeds and prints the
+//! tables.
+
+use std::sync::Arc;
+
+use ds_net::fault::Fault;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, NodeId};
+use ds_sim::prelude::{SimDuration, SimTime};
+use oftt::checkpoint::VarSet;
+use oftt::config::{engine_service, CheckpointMode, OfttConfig, Pair, StartupFallback};
+use oftt::engine::{Engine, EngineProbe};
+use oftt::ftim::{FtApplication, FtCtx, FtProcess, FtimProbe};
+use oftt::role::Role;
+use parking_lot::Mutex;
+
+use crate::metrics::{
+    CheckpointOutcome, DetectionOutcome, DiverterOutcome, FailoverOutcome, StartupOutcome,
+};
+use crate::scenario::{Fig3Scenario, ScenarioParams, APP_SERVICE};
+
+/// The paper's four demonstrated failure classes (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// (a) node failure — hard crash, no repair within the run.
+    NodeFailure,
+    /// (b) NT crash — blue screen with automatic reboot.
+    NtCrash,
+    /// (c) application software failure — the Call Track process dies.
+    AppFailure,
+    /// (d) OFTT middleware failure — the engine process dies.
+    MiddlewareFailure,
+}
+
+impl FailureClass {
+    /// All four classes, in paper order.
+    pub fn all() -> [FailureClass; 4] {
+        [
+            FailureClass::NodeFailure,
+            FailureClass::NtCrash,
+            FailureClass::AppFailure,
+            FailureClass::MiddlewareFailure,
+        ]
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureClass::NodeFailure => "a: node failure",
+            FailureClass::NtCrash => "b: NT crash",
+            FailureClass::AppFailure => "c: app failure",
+            FailureClass::MiddlewareFailure => "d: middleware failure",
+        }
+    }
+
+    fn fault_for(self, primary: NodeId) -> Fault {
+        match self {
+            FailureClass::NodeFailure => Fault::CrashNode(primary),
+            FailureClass::NtCrash => Fault::RebootNode(primary),
+            FailureClass::AppFailure => Fault::KillService(primary, APP_SERVICE.into()),
+            FailureClass::MiddlewareFailure => Fault::KillService(primary, engine_service()),
+        }
+    }
+}
+
+/// E1–E4: run the Figure-3 demo, inject one failure of `class` at the
+/// primary, measure detection/recovery/loss.
+pub fn run_failure_experiment(
+    class: FailureClass,
+    params: &ScenarioParams,
+) -> FailoverOutcome {
+    let fault_at = SimTime::from_secs(60);
+    let feed_stop = SimTime::from_secs(150);
+    let horizon = SimTime::from_secs(180);
+
+    let mut scenario = Fig3Scenario::build(params);
+    scenario.start();
+    // Run to the fault instant, identify the primary, strike it.
+    scenario.run_until(fault_at);
+    let primary = scenario.primary_node().expect("pair formed before fault");
+    let survivor_idx = scenario.index_of(scenario.pair.peer_of(primary));
+    let primary_idx = scenario.index_of(primary);
+    scenario.inject(fault_at, class.fault_for(primary));
+    scenario.stop_feed(feed_stop);
+
+    // Step in slices to watch for dual-active windows.
+    let mut dual_active_seen = false;
+    let mut t = fault_at;
+    while t < horizon {
+        t += SimDuration::from_millis(500);
+        scenario.run_until(t);
+        if scenario.app_active(scenario.pair.a) && scenario.app_active(scenario.pair.b) {
+            dual_active_seen = true;
+        }
+    }
+
+    // Recovery: the first activation anywhere after the fault.
+    let act_survivor =
+        scenario.probes.ftims[survivor_idx].lock().activations.iter().copied().find(|t| *t >= fault_at);
+    let act_primary =
+        scenario.probes.ftims[primary_idx].lock().activations.iter().copied().find(|t| *t >= fault_at);
+    let recovery_at = match (act_survivor, act_primary) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    };
+
+    // Detection: promotion of the survivor (node/OS/middleware classes) or
+    // the engine's failure detection (application class).
+    let detection_at = match class {
+        FailureClass::AppFailure => scenario.probes.engines[primary_idx]
+            .lock()
+            .detections
+            .iter()
+            .find(|(t, _)| *t >= fault_at)
+            .map(|(t, _)| *t),
+        FailureClass::MiddlewareFailure => {
+            // Either the backup promotes, or the FTIM-restarted engine
+            // resumes primaryship first — whichever happened is the
+            // detection+takeover instant.
+            let s = scenario.probes.engines[survivor_idx]
+                .lock()
+                .first_role_after(fault_at, Role::Primary);
+            let p = scenario.probes.engines[primary_idx]
+                .lock()
+                .first_role_after(fault_at, Role::Primary);
+            match (s, p) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            }
+        }
+        _ => scenario.probes.engines[survivor_idx]
+            .lock()
+            .first_role_after(fault_at, Role::Primary),
+    };
+
+    let emitted = scenario.emitted();
+    let processed = match scenario.active_state() {
+        Some((_, state)) => state.events,
+        None => {
+            let a = scenario.probes.views[0].lock().0.events;
+            let b = scenario.probes.views[1].lock().0.events;
+            a.max(b)
+        }
+    };
+    FailoverOutcome {
+        fault_at,
+        recovered: scenario.active_state().is_some(),
+        recovery_latency: recovery_at.map(|t| t.saturating_since(fault_at)),
+        detection_latency: detection_at.map(|t| t.saturating_since(fault_at)),
+        emitted,
+        processed,
+        lost: emitted as i64 - processed as i64,
+        dual_active_seen,
+    }
+}
+
+/// A synthetic application with tunable state size and write locality,
+/// for the checkpoint-policy experiment (E5).
+struct SyntheticApp {
+    vars: Vec<Vec<u8>>,
+    dirty_per_tick: usize,
+    tick: u64,
+    view: Arc<Mutex<u64>>,
+    /// The tick value installed by the most recent restore (loss metric).
+    restored_tick: Arc<Mutex<Option<u64>>>,
+}
+
+const SYNTH_TICK: u64 = 9;
+
+impl SyntheticApp {
+    fn new(
+        var_count: usize,
+        var_bytes: usize,
+        dirty_per_tick: usize,
+        view: Arc<Mutex<u64>>,
+        restored_tick: Arc<Mutex<Option<u64>>>,
+    ) -> Self {
+        *view.lock() = 0;
+        SyntheticApp {
+            vars: vec![vec![0u8; var_bytes]; var_count],
+            dirty_per_tick: dirty_per_tick.min(var_count),
+            tick: 0,
+            view,
+            restored_tick,
+        }
+    }
+}
+
+impl FtApplication for SyntheticApp {
+    fn snapshot(&self) -> VarSet {
+        let mut out: VarSet = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| (format!("var{i:05}"), bytes.clone()))
+            .collect();
+        out.insert("tick".to_string(), comsim::marshal::to_bytes(&self.tick).unwrap());
+        out
+    }
+
+    fn restore(&mut self, image: &VarSet) {
+        for (i, var) in self.vars.iter_mut().enumerate() {
+            if let Some(bytes) = image.get(&format!("var{i:05}")) {
+                *var = bytes.clone();
+            }
+        }
+        if let Some(bytes) = image.get("tick") {
+            self.tick = comsim::marshal::from_bytes(bytes).unwrap_or(0);
+        }
+        *self.restored_tick.lock() = Some(self.tick);
+        *self.view.lock() = self.tick;
+    }
+
+    fn on_activate(&mut self, ctx: &mut FtCtx<'_>) {
+        *self.view.lock() = self.tick;
+        ctx.env().set_timer(SimDuration::from_millis(250), SYNTH_TICK);
+    }
+
+    fn on_app_timer(&mut self, token: u64, ctx: &mut FtCtx<'_>) {
+        if token != SYNTH_TICK {
+            return;
+        }
+        self.tick += 1;
+        // Touch a rotating window of variables — write locality.
+        let n = self.vars.len().max(1);
+        for k in 0..self.dirty_per_tick {
+            let idx = (self.tick as usize * self.dirty_per_tick + k) % n;
+            let stamp = self.tick.to_le_bytes();
+            let var = &mut self.vars[idx];
+            let len = stamp.len().min(var.len());
+            var[..len].copy_from_slice(&stamp[..len]);
+        }
+        *self.view.lock() = self.tick;
+        ctx.env().set_timer(SimDuration::from_millis(250), SYNTH_TICK);
+    }
+}
+
+/// Parameters for the checkpoint-policy experiment.
+#[derive(Debug, Clone)]
+pub struct CheckpointParams {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Number of state variables.
+    pub var_count: usize,
+    /// Bytes per variable.
+    pub var_bytes: usize,
+    /// Variables written per 250 ms tick.
+    pub dirty_per_tick: usize,
+    /// Checkpoint shipping policy.
+    pub mode: CheckpointMode,
+    /// Checkpoint period.
+    pub period: SimDuration,
+}
+
+/// E5: measure checkpoint traffic and post-switchover state integrity for
+/// one policy/state-shape point.
+pub fn run_checkpoint_experiment(params: &CheckpointParams) -> CheckpointOutcome {
+    let fault_at = SimTime::from_secs(60);
+    let horizon = SimTime::from_secs(90);
+
+    let mut cs = ClusterSim::new(params.seed);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, ds_net::link::Link::dual());
+    let mut config = OfttConfig::new(Pair::new(a, b));
+    config.checkpoint_mode = params.mode;
+    config.checkpoint_period = params.period;
+
+    let engines =
+        [Arc::new(Mutex::new(EngineProbe::default())), Arc::new(Mutex::new(EngineProbe::default()))];
+    let ftims =
+        [Arc::new(Mutex::new(FtimProbe::default())), Arc::new(Mutex::new(FtimProbe::default()))];
+    let views = [Arc::new(Mutex::new(0u64)), Arc::new(Mutex::new(0u64))];
+    let restored = [Arc::new(Mutex::new(None)), Arc::new(Mutex::new(None))];
+    for (idx, node) in [a, b].into_iter().enumerate() {
+        let engine_config = config.clone();
+        let probe = engines[idx].clone();
+        cs.register_service(
+            node,
+            engine_service(),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+            true,
+        );
+        let app_config = config.clone();
+        let ftim_probe = ftims[idx].clone();
+        let view = views[idx].clone();
+        let restored_tick = restored[idx].clone();
+        let (vc, vb, dirty) = (params.var_count, params.var_bytes, params.dirty_per_tick);
+        cs.register_service(
+            node,
+            "synthetic",
+            Box::new(move || {
+                Box::new(FtProcess::new(
+                    app_config.clone(),
+                    oftt::config::RecoveryRule::Switchover,
+                    SyntheticApp::new(vc, vb, dirty, view.clone(), restored_tick.clone()),
+                    ftim_probe.clone(),
+                ))
+            }),
+            true,
+        );
+    }
+    cs.start();
+    cs.run_until(fault_at);
+
+    // Identify the primary and record the tick it had reached.
+    let primary_idx = if engines[0].lock().current_role() == Some(Role::Primary) { 0 } else { 1 };
+    let primary_node = if primary_idx == 0 { a } else { b };
+    let tick_at_fault = *views[primary_idx].lock();
+    let bytes_before = ftims[primary_idx].lock().ckpt_bytes_sent;
+    ds_net::fault::inject(&mut cs, fault_at, Fault::CrashNode(primary_node));
+    cs.run_until(horizon);
+
+    let survivor_idx = 1 - primary_idx;
+    let tick_after = *views[survivor_idx].lock();
+    let tick_restored = (*restored[survivor_idx].lock()).unwrap_or(0);
+    // The survivor restored a tick within one checkpoint period + one tick
+    // of the crash point, and continued past it.
+    let ticks_per_period = (params.period.as_secs_f64() / 0.25).ceil() as u64 + 2;
+    let recovered_ok = tick_restored + ticks_per_period >= tick_at_fault && tick_after > tick_restored;
+
+    let probe = ftims[primary_idx].lock();
+    let uptime = fault_at.as_secs_f64() - 0.5; // minus startup slack
+    CheckpointOutcome {
+        ckpts_sent: probe.ckpts_sent,
+        fulls_sent: probe.fulls_sent,
+        bytes_sent: bytes_before,
+        bytes_per_sec: bytes_before as f64 / uptime,
+        recovered_state_ok: recovered_ok,
+        // Ticks rolled back by the restore = state lost to checkpoint
+        // staleness at the crash instant.
+        lost: tick_at_fault as i64 - tick_restored as i64,
+    }
+}
+
+/// Parameters for the detection-tuning experiment (E6).
+#[derive(Debug, Clone)]
+pub struct DetectionParams {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Heartbeat period.
+    pub heartbeat: SimDuration,
+    /// Peer timeout.
+    pub timeout: SimDuration,
+    /// Pair-link loss probability.
+    pub loss: f64,
+    /// Inject a primary crash (else measure false switchovers only).
+    pub inject_fault: bool,
+}
+
+/// E6: one point of the heartbeat/timeout/loss grid.
+pub fn run_detection_experiment(params: &DetectionParams) -> DetectionOutcome {
+    let fault_at = SimTime::from_secs(120);
+    let horizon = SimTime::from_secs(240);
+    let (heartbeat, timeout) = (params.heartbeat, params.timeout);
+    let mut scenario_params = ScenarioParams {
+        seed: params.seed,
+        link: crate::scenario::LinkQuality::Lossy(params.loss),
+        tune: Arc::new(move |c: &mut OfttConfig| {
+            c.heartbeat_period = heartbeat;
+            c.peer_timeout = timeout;
+            c.component_timeout = timeout;
+            // Keep the invariant heartbeat < fail_safe < peer_timeout.
+            c.fail_safe_timeout = SimDuration::from_micros(
+                (heartbeat.as_micros() + timeout.as_micros()) / 2,
+            );
+        }),
+        ..Default::default()
+    };
+    // Telephone feed is irrelevant here; quiet it down.
+    scenario_params.telephone.mean_interarrival = SimDuration::from_secs(3_600);
+    let mut scenario = Fig3Scenario::build(&scenario_params);
+    scenario.start();
+    scenario.run_until(fault_at);
+    let primary = scenario.primary_node();
+    let mut detection_latency = None;
+    if params.inject_fault {
+        if let Some(primary) = primary {
+            let survivor_idx = scenario.index_of(scenario.pair.peer_of(primary));
+            scenario.inject(fault_at, Fault::CrashNode(primary));
+            scenario.run_until(horizon);
+            detection_latency = scenario.probes.engines[survivor_idx]
+                .lock()
+                .first_role_after(fault_at, Role::Primary)
+                .map(|t| t.saturating_since(fault_at));
+        }
+    } else {
+        scenario.run_until(horizon);
+    }
+    // False switchovers: primary-role transitions beyond the initial
+    // formation, minus the one legitimate promotion if a fault was
+    // injected.
+    let promotions: usize = scenario
+        .probes
+        .engines
+        .iter()
+        .map(|p| p.lock().role_history.iter().filter(|(_, r, _)| *r == Role::Primary).count())
+        .sum();
+    let legitimate = 1 + usize::from(params.inject_fault && detection_latency.is_some());
+    DetectionOutcome {
+        detection_latency,
+        false_switchovers: promotions.saturating_sub(legitimate) as u32,
+    }
+}
+
+/// Parameters for the startup experiment (E7).
+#[derive(Debug, Clone)]
+pub struct StartupParams {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Maximum randomized service start delay per node (the NT startup
+    /// non-determinism knob).
+    pub stagger: SimDuration,
+    /// Negotiation retries (0 = the paper's original buggy design).
+    pub retries: u32,
+    /// Per-attempt negotiation wait.
+    pub startup_timeout: SimDuration,
+    /// Fallback when retries are exhausted.
+    pub fallback: StartupFallback,
+    /// Start with the pair link partitioned (the hazard §3.2's shutdown
+    /// logic guards against).
+    pub partitioned: bool,
+}
+
+/// E7: engines only — measure pair formation, erroneous shutdowns, and
+/// dual-primary incidence under startup non-determinism.
+pub fn run_startup_experiment(params: &StartupParams) -> StartupOutcome {
+    let horizon = SimTime::from_secs(120);
+    let mut cs = ClusterSim::new(params.seed);
+    let node_config = NodeConfig { max_start_delay: params.stagger, ..Default::default() };
+    let a = cs.add_node(node_config.clone());
+    let b = cs.add_node(node_config);
+    cs.connect(a, b, ds_net::link::Link::dual());
+    if params.partitioned {
+        ds_net::fault::inject(&mut cs, SimTime::ZERO, Fault::Partition(a, b));
+    }
+    let mut config = OfttConfig::new(Pair::new(a, b));
+    config.startup_retries = params.retries;
+    config.startup_timeout = params.startup_timeout;
+    config.startup_fallback = params.fallback;
+    let probes =
+        [Arc::new(Mutex::new(EngineProbe::default())), Arc::new(Mutex::new(EngineProbe::default()))];
+    for (idx, node) in [a, b].into_iter().enumerate() {
+        let engine_config = config.clone();
+        let probe = probes[idx].clone();
+        cs.register_service(
+            node,
+            engine_service(),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+            true,
+        );
+    }
+    cs.start();
+    cs.run_until(horizon);
+
+    let roles: Vec<Option<Role>> = probes.iter().map(|p| p.lock().current_role()).collect();
+    let running: Vec<bool> = [a, b]
+        .iter()
+        .map(|n| cs.cluster().is_service_running(*n, &engine_service()))
+        .collect();
+    let effective: Vec<Option<Role>> = roles
+        .iter()
+        .zip(&running)
+        .map(|(r, up)| if *up { *r } else { None })
+        .collect();
+    let primaries = effective.iter().filter(|r| **r == Some(Role::Primary)).count();
+    let backups = effective.iter().filter(|r| **r == Some(Role::Backup)).count();
+    let pair_formed = primaries == 1 && backups == 1;
+    let formation_time = if pair_formed {
+        let t1 = probes[0].lock().role_history.iter().find(|(_, r, _)| *r != Role::Negotiating).map(|(t, _, _)| *t);
+        let t2 = probes[1].lock().role_history.iter().find(|(_, r, _)| *r != Role::Negotiating).map(|(t, _, _)| *t);
+        match (t1, t2) {
+            (Some(x), Some(y)) => Some(x.max(y).saturating_since(SimTime::ZERO)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    StartupOutcome {
+        pair_formed,
+        formation_time,
+        startup_shutdowns: probes.iter().filter(|p| p.lock().shut_down_at_startup).count() as u32,
+        dual_primary: primaries == 2,
+    }
+}
+
+/// E8: diverter with vs without switchover retargeting.
+pub fn run_diverter_experiment(seed: u64, retarget: bool) -> DiverterOutcome {
+    let fault_at = SimTime::from_secs(60);
+    let feed_stop = SimTime::from_secs(150);
+    let horizon = SimTime::from_secs(200);
+    let mut params = ScenarioParams { seed, diverter_retarget: retarget, ..Default::default() };
+    // A brisk office so the loss signal is measurable.
+    params.telephone.mean_interarrival = SimDuration::from_secs(5);
+    params.telephone.mean_duration = SimDuration::from_secs(15);
+    let mut scenario = Fig3Scenario::build(&params);
+    scenario.start();
+    scenario.run_until(fault_at);
+    let primary = scenario.primary_node().expect("pair formed");
+    scenario.inject(fault_at, Fault::CrashNode(primary));
+    scenario.stop_feed(feed_stop);
+    scenario.run_until(horizon);
+    let emitted = scenario.emitted();
+    let processed = match scenario.active_state() {
+        Some((_, state)) => state.events,
+        None => 0,
+    };
+    let retransmissions = scenario.probes.test_pc_queue.lock().retransmissions;
+    DiverterOutcome {
+        emitted,
+        processed,
+        lost: emitted as i64 - processed as i64,
+        retransmissions,
+    }
+}
+
+/// One reference-configuration campaign run (experiment E9).
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// Samples folded before the fault.
+    pub samples_before: u64,
+    /// Samples folded by the end (must keep growing).
+    pub samples_after: u64,
+    /// The monitoring function survived the fault.
+    pub survived: bool,
+}
+
+/// E9: build a Figure-1 configuration, crash one pair primary, verify the
+/// monitoring function continues. `hit_server_pair` selects which pair is
+/// struck (meaningless distinction in Fig. 1b, where they coincide).
+pub fn run_config_experiment(
+    config: crate::scenario_fig1::ReferenceConfig,
+    hit_server_pair: bool,
+    seed: u64,
+) -> ConfigOutcome {
+    use crate::scenario_fig1::Fig1Scenario;
+    let fault_at = SimTime::from_secs(60);
+    let horizon = SimTime::from_secs(150);
+    let mut scenario = Fig1Scenario::build(config, seed);
+    scenario.start();
+    scenario.run_until(fault_at);
+    let samples_before = scenario.active_tagmon().map(|(_, s)| s.total_samples).unwrap_or(0);
+    let victim = if hit_server_pair {
+        scenario.server_primary()
+    } else {
+        scenario.client_primary()
+    };
+    if let Some(victim) = victim {
+        scenario.inject(fault_at, Fault::CrashNode(victim));
+    }
+    scenario.run_until(horizon);
+    let samples_after = scenario.active_tagmon().map(|(_, s)| s.total_samples).unwrap_or(0);
+    ConfigOutcome {
+        samples_before,
+        samples_after,
+        survived: samples_after > samples_before + 10,
+    }
+}
+
+/// One RPC-outage run (experiment E10).
+#[derive(Debug, Clone)]
+pub struct RpcOutcome {
+    /// Largest gap between consecutive samples in the window around the
+    /// fault — the client-visible outage.
+    pub max_gap: SimDuration,
+    /// Samples received in total.
+    pub samples: usize,
+}
+
+/// E10: client-visible outage when an OPC server dies.
+///
+/// * `with_oftt = false`: a bare DCOM-style client pinned to a single
+///   server node; the server process is killed and restarted 30 s later by
+///   "an operator" — the client sees silence in between (paper §3.3).
+/// * `with_oftt = true`: a server pair plus the rebinding Tag Monitor; the
+///   outage is one detection + rebind cycle.
+pub fn run_rpc_experiment(with_oftt: bool, seed: u64) -> RpcOutcome {
+    use crate::scenario_fig1::{BareTagClient, Fig1Scenario, ReferenceConfig};
+    let fault_at = SimTime::from_secs(60);
+    let horizon = SimTime::from_secs(150);
+    let log: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+
+    if with_oftt {
+        // Reuse Fig. 1a but attach a sample log to the Tag Monitor by
+        // running our own client beside it is unnecessary — rebuild the
+        // client pair apps with logging.
+        let mut scenario = Fig1Scenario::build(ReferenceConfig::ControlWithRemoteMonitoring, seed);
+        // Replace tag-monitor spec with a logging variant on both nodes.
+        let server_pair = scenario.server_pair;
+        for (idx, node) in [scenario.client_pair.a, scenario.client_pair.b].into_iter().enumerate()
+        {
+            let config = oftt::config::OfttConfig::new(scenario.client_pair);
+            let ftim = scenario.client_ftims[idx].clone();
+            let view = scenario.views[idx].clone();
+            let log = log.clone();
+            scenario.cs.register_service(
+                node,
+                "tag-monitor",
+                Box::new(move || {
+                    Box::new(oftt::ftim::FtProcess::new(
+                        config.clone(),
+                        oftt::config::RecoveryRule::LocalRestart { max_attempts: 2 },
+                        crate::tagmon::TagMonitor::new(
+                            server_pair,
+                            crate::scenario_fig1::watched_items(),
+                            SimDuration::from_millis(500),
+                            view.clone(),
+                        )
+                        .with_sample_log(log.clone()),
+                        ftim.clone(),
+                    ))
+                }),
+                true,
+            );
+        }
+        scenario.start();
+        scenario.run_until(fault_at);
+        if let Some(primary) = scenario.server_primary() {
+            scenario.inject(fault_at, Fault::CrashNode(primary));
+        }
+        scenario.run_until(horizon);
+    } else {
+        // Bare stack: PLC + one OPC server node + one client node.
+        let mut cs = ClusterSim::new(seed);
+        let plc = cs.add_node(NodeConfig::default());
+        let server = cs.add_node(NodeConfig::default());
+        let client = cs.add_node(NodeConfig::default());
+        cs.connect(plc, server, ds_net::link::Link::single());
+        cs.connect(server, client, ds_net::link::Link::dual());
+        let plc_ep = ds_net::Endpoint::new(plc, "plc");
+        cs.register_service(
+            plc,
+            "plc",
+            Box::new(|| {
+                Box::new(plant::plc::Plc::new(
+                    SimDuration::from_millis(100),
+                    plant::ladder::LadderProgram::empty(),
+                    Box::new(plant::plc::TankPhysics::new("tank1", 50.0, 0.25)),
+                ))
+            }),
+            true,
+        );
+        cs.register_service(
+            server,
+            crate::tagmon::OPC_SERVER_SERVICE,
+            Box::new(move || {
+                Box::new(opc::server::OpcServerProcess::spawn(opc::server::OpcServerConfig {
+                    devices: vec![("plant.line1".to_string(), plc_ep.clone())],
+                    ..Default::default()
+                }))
+            }),
+            true,
+        );
+        let server_ep = ds_net::Endpoint::new(server, crate::tagmon::OPC_SERVER_SERVICE);
+        let l = log.clone();
+        cs.register_service(
+            client,
+            "bare-client",
+            Box::new(move || {
+                Box::new(BareTagClient::new(
+                    server_ep.clone(),
+                    vec!["plant.line1.tank1.level".to_string()],
+                    l.clone(),
+                ))
+            }),
+            true,
+        );
+        cs.start();
+        // Kill the lone server; an operator restarts it 30 s later. The
+        // pinned client must also be restarted (its subscription died with
+        // the server's group table).
+        ds_net::fault::inject(
+            &mut cs,
+            fault_at,
+            Fault::KillService(server, crate::tagmon::OPC_SERVER_SERVICE.into()),
+        );
+        ds_net::fault::inject(
+            &mut cs,
+            fault_at + SimDuration::from_secs(30),
+            Fault::StartService(server, crate::tagmon::OPC_SERVER_SERVICE.into()),
+        );
+        ds_net::fault::inject(
+            &mut cs,
+            fault_at + SimDuration::from_secs(30),
+            Fault::KillService(client, "bare-client".into()),
+        );
+        ds_net::fault::inject(
+            &mut cs,
+            fault_at + SimDuration::from_secs(31),
+            Fault::StartService(client, "bare-client".into()),
+        );
+        cs.run_until(horizon);
+    }
+
+    let samples = log.lock().clone();
+    let mut max_gap = SimDuration::ZERO;
+    // Measure gaps within the post-warmup window.
+    let warmup = SimTime::from_secs(20);
+    let mut prev: Option<SimTime> = None;
+    for &t in samples.iter().filter(|t| **t >= warmup) {
+        if let Some(p) = prev {
+            let gap = t.saturating_since(p);
+            if gap > max_gap {
+                max_gap = gap;
+            }
+        }
+        prev = Some(t);
+    }
+    RpcOutcome { max_gap, samples: samples.len() }
+}
+
+/// One link-redundancy run (experiment E11 — the paper's §2.1 dual-Ethernet
+/// recommendation).
+#[derive(Debug, Clone)]
+pub struct LinkRedundancyOutcome {
+    /// A spurious switchover happened after the path failure.
+    pub spurious_switchover: bool,
+    /// Events lost over the run.
+    pub lost: i64,
+    /// Events emitted.
+    pub emitted: u64,
+}
+
+/// E11: fail one Ethernet path between the pair at t=60 s. With a dual
+/// link the failure must be invisible; with a single link the pair
+/// partitions (both sides promote) until the "cable" is replaced at
+/// t=90 s.
+pub fn run_link_redundancy_experiment(dual: bool, seed: u64) -> LinkRedundancyOutcome {
+    let fault_at = SimTime::from_secs(60);
+    let repair_at = SimTime::from_secs(90);
+    let feed_stop = SimTime::from_secs(150);
+    let horizon = SimTime::from_secs(180);
+    let params = ScenarioParams {
+        seed,
+        link: if dual {
+            crate::scenario::LinkQuality::Dual
+        } else {
+            crate::scenario::LinkQuality::Single
+        },
+        ..Default::default()
+    };
+    let mut scenario = Fig3Scenario::build(&params);
+    scenario.start();
+    scenario.run_until(fault_at);
+    let primary_before = scenario.primary_node();
+    let (a, b) = (scenario.pair.a, scenario.pair.b);
+    scenario.inject(fault_at, Fault::PathDown(a, b, 0));
+    scenario.inject(repair_at, Fault::PathUp(a, b, 0));
+    scenario.stop_feed(feed_stop);
+    scenario.run_until(horizon);
+    // A spurious switchover = any new primary promotion between the path
+    // failure and its repair.
+    let spurious = scenario
+        .probes
+        .engines
+        .iter()
+        .any(|p| {
+            p.lock()
+                .role_history
+                .iter()
+                .any(|(t, role, _)| *t > fault_at && *t < repair_at + SimDuration::from_secs(5)
+                    && *role == oftt::role::Role::Primary)
+        })
+        && primary_before.is_some();
+    let emitted = scenario.emitted();
+    let processed = scenario.active_state().map(|(_, s)| s.events).unwrap_or(0);
+    LinkRedundancyOutcome {
+        spurious_switchover: spurious,
+        lost: emitted as i64 - processed as i64,
+        emitted,
+    }
+}
+
+/// One availability-campaign run (experiment E12).
+#[derive(Debug, Clone)]
+pub struct AvailabilityOutcome {
+    /// Fraction of sampled seconds with an active application copy.
+    pub availability: f64,
+    /// Faults injected over the campaign.
+    pub faults: u32,
+    /// Campaign length.
+    pub duration: SimTime,
+}
+
+/// E12: long-run availability under recurring faults — the OFTT pair vs an
+/// unprotected single node whose failures wait for an operator.
+///
+/// Faults arrive as a Poisson process (mean `mttf`); each picks uniformly
+/// among the four §4 classes and strikes the current primary (pair) or the
+/// lone node (baseline). Hard node crashes are repaired after an operator
+/// delay (mean `mttr`); in the baseline, *every* fault needs the operator.
+pub fn run_availability_experiment(
+    with_oftt: bool,
+    seed: u64,
+    duration: SimTime,
+    mttf: SimDuration,
+    mttr: SimDuration,
+) -> AvailabilityOutcome {
+    use ds_sim::prelude::SimRng;
+    let mut fault_rng = SimRng::seed_from(seed ^ 0xFA17);
+
+    if with_oftt {
+        let params = ScenarioParams { seed, ..Default::default() };
+        let mut scenario = Fig3Scenario::build(&params);
+        scenario.start();
+        let mut faults = 0;
+        let mut active_samples = 0u64;
+        let mut samples = 0u64;
+        let mut next_fault = SimTime::from_secs(20) + fault_rng.exponential(mttf);
+        let mut t = SimTime::ZERO;
+        let step = SimDuration::from_secs(1);
+        while t < duration {
+            t += step;
+            scenario.run_until(t);
+            samples += 1;
+            if scenario.active_state().is_some() {
+                active_samples += 1;
+            }
+            if t >= next_fault {
+                next_fault = t + fault_rng.exponential(mttf);
+                let Some(primary) = scenario.primary_node() else { continue };
+                faults += 1;
+                match fault_rng.index(4) {
+                    0 => {
+                        scenario.inject(t, Fault::CrashNode(primary));
+                        let repair = t + fault_rng.exponential(mttr);
+                        scenario.inject(repair, Fault::RepairNode(primary));
+                    }
+                    1 => scenario.inject(t, Fault::RebootNode(primary)),
+                    2 => scenario.inject(t, Fault::KillService(primary, APP_SERVICE.into())),
+                    _ => scenario.inject(t, Fault::KillService(primary, engine_service())),
+                }
+            }
+        }
+        AvailabilityOutcome {
+            availability: active_samples as f64 / samples as f64,
+            faults,
+            duration,
+        }
+    } else {
+        // Baseline: one node, one unprotected application; the operator
+        // fixes everything after an exponential delay.
+        let mut cs = ClusterSim::new(seed);
+        let node = cs.add_node(NodeConfig::default());
+        struct Lone;
+        impl ds_net::process::Process for Lone {}
+        cs.register_service(node, "app", Box::new(|| Box::new(Lone)), true);
+        cs.start();
+        let mut faults = 0;
+        let mut active_samples = 0u64;
+        let mut samples = 0u64;
+        let mut next_fault = SimTime::from_secs(20) + fault_rng.exponential(mttf);
+        let mut t = SimTime::ZERO;
+        let step = SimDuration::from_secs(1);
+        while t < duration {
+            t += step;
+            cs.run_until(t);
+            samples += 1;
+            let up = cs.cluster().node(node).status.is_up()
+                && cs.cluster().is_service_running(node, &"app".into());
+            if up {
+                active_samples += 1;
+            }
+            if t >= next_fault && up {
+                next_fault = t + fault_rng.exponential(mttf);
+                faults += 1;
+                let repair = t + fault_rng.exponential(mttr);
+                if fault_rng.chance(0.5) {
+                    // Node-level fault: crash until the operator reboots it.
+                    ds_net::fault::inject(&mut cs, t, Fault::CrashNode(node));
+                    ds_net::fault::inject(&mut cs, repair, Fault::RepairNode(node));
+                } else {
+                    // Software fault: the process dies until the operator
+                    // restarts it.
+                    ds_net::fault::inject(&mut cs, t, Fault::KillService(node, "app".into()));
+                    ds_net::fault::inject(&mut cs, repair, Fault::StartService(node, "app".into()));
+                }
+            }
+        }
+        AvailabilityOutcome {
+            availability: active_samples as f64 / samples as f64,
+            faults,
+            duration,
+        }
+    }
+}

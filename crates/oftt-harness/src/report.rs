@@ -1,0 +1,107 @@
+//! Plain-text result tables, one per experiment, in the style a DSN-2000
+//! evaluation section would print.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        )?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("E1 — failover", &["class", "recovery (mean)"]);
+        t.row(&["a: node failure".into(), secs(1.53)]);
+        t.row(&["b: NT crash".into(), secs(1.4)]);
+        let s = t.to_string();
+        assert!(s.contains("E1 — failover"));
+        assert!(s.contains("a: node failure  1.530s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new("t", &["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(secs(2.5), "2.500s");
+    }
+}

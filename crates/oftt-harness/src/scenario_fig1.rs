@@ -1,0 +1,347 @@
+//! The paper's Figure-1 reference configurations.
+//!
+//! * **Fig. 1a — control with remote monitoring:** PLCs on the plant floor,
+//!   an *industrial PC* pair running OPC servers (stateless, server FTIM),
+//!   and a *monitor/control PC* pair running the OPC-client Tag Monitor
+//!   (stateful, client FTIM). Two independent OFTT pairs.
+//! * **Fig. 1b — integrated monitoring and control:** one pair runs both
+//!   the OPC servers and the Tag Monitor.
+
+use std::sync::Arc;
+
+use ds_net::endpoint::{Endpoint, NodeId};
+use ds_net::fault::{inject, Fault};
+use ds_net::link::Link;
+use ds_net::message::Envelope;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::ClusterSim;
+use ds_net::process::{Process, ProcessEnv};
+use ds_sim::prelude::{SimDuration, SimTime};
+use oftt::config::{engine_service, OfttConfig, Pair, RecoveryRule};
+use oftt::engine::{Engine, EngineProbe};
+use oftt::ftim::{FtProcess, FtimProbe, ServerFtProcess};
+use opc::client::{OpcClient, OpcEvent};
+use opc::server::{OpcServerConfig, OpcServerProcess};
+use parking_lot::Mutex;
+use plant::ladder::{CoilKind, Expr, LadderProgram, Rung};
+use plant::plc::{Plc, TankPhysics};
+
+use crate::tagmon::{TagMonState, TagMonitor, OPC_SERVER_SERVICE};
+
+/// Which reference configuration to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferenceConfig {
+    /// Fig. 1a: separate industrial-PC and monitor/control-PC pairs.
+    ControlWithRemoteMonitoring,
+    /// Fig. 1b: one integrated pair.
+    IntegratedMonitoringAndControl,
+}
+
+/// The items the Tag Monitor watches in these scenarios.
+pub fn watched_items() -> Vec<String> {
+    vec!["plant.line1.tank1.level".to_string(), "plant.line1.tank1.valve".to_string()]
+}
+
+fn level_control_program() -> LadderProgram {
+    // Bang-bang level control around 40–60%.
+    LadderProgram::new(vec![
+        Rung {
+            target: "low".into(),
+            expr: Expr::Lt(Box::new(Expr::tag("tank1.level")), Box::new(Expr::Const(40.0))),
+            coil: CoilKind::Discrete,
+        },
+        Rung {
+            target: "high".into(),
+            expr: Expr::Gt(Box::new(Expr::tag("tank1.level")), Box::new(Expr::Const(60.0))),
+            coil: CoilKind::Discrete,
+        },
+        Rung {
+            target: "tank1.valve".into(),
+            expr: Expr::Or(
+                Box::new(Expr::tag("low")),
+                Box::new(Expr::And(
+                    Box::new(Expr::tag("tank1.valve")),
+                    Box::new(Expr::Not(Box::new(Expr::tag("high")))),
+                )),
+            ),
+            coil: CoilKind::Discrete,
+        },
+    ])
+}
+
+/// A built Figure-1 deployment.
+pub struct Fig1Scenario {
+    /// The simulated cluster.
+    pub cs: ClusterSim,
+    /// The PLC's node.
+    pub plc_node: NodeId,
+    /// The pair hosting OPC servers.
+    pub server_pair: Pair,
+    /// The pair hosting the Tag Monitor (equals `server_pair` in Fig. 1b).
+    pub client_pair: Pair,
+    /// Engine probes for the server pair (a, b).
+    pub server_engines: [Arc<Mutex<EngineProbe>>; 2],
+    /// Engine probes for the client pair (a, b) — aliases the server probes
+    /// in Fig. 1b.
+    pub client_engines: [Arc<Mutex<EngineProbe>>; 2],
+    /// FTIM probes for the Tag Monitor copies.
+    pub client_ftims: [Arc<Mutex<FtimProbe>>; 2],
+    /// Tag Monitor live views per client-pair node.
+    pub views: [Arc<Mutex<(TagMonState, bool)>>; 2],
+}
+
+impl Fig1Scenario {
+    /// Builds the chosen reference configuration.
+    pub fn build(config_kind: ReferenceConfig, seed: u64) -> Self {
+        let mut cs = ClusterSim::new(seed);
+        let plc_node = cs.add_node(NodeConfig { name: "PLC".into(), ..Default::default() });
+
+        let (server_nodes, client_nodes) = match config_kind {
+            ReferenceConfig::ControlWithRemoteMonitoring => {
+                let i1 = cs.add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
+                let i2 = cs.add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
+                let m1 = cs.add_node(NodeConfig { name: "Monitor PC 1".into(), ..Default::default() });
+                let m2 = cs.add_node(NodeConfig { name: "Monitor PC 2".into(), ..Default::default() });
+                ((i1, i2), (m1, m2))
+            }
+            ReferenceConfig::IntegratedMonitoringAndControl => {
+                let n1 = cs.add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
+                let n2 = cs.add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
+                ((n1, n2), (n1, n2))
+            }
+        };
+
+        // Wiring: fieldbus from PLC to both server nodes; dual Ethernet
+        // among the PC nodes.
+        let mut pcs = vec![server_nodes.0, server_nodes.1];
+        if client_nodes != server_nodes {
+            pcs.push(client_nodes.0);
+            pcs.push(client_nodes.1);
+        }
+        for pc in &pcs {
+            cs.connect(plc_node, *pc, Link::single());
+        }
+        for (i, x) in pcs.iter().enumerate() {
+            for y in pcs.iter().skip(i + 1) {
+                cs.connect(*x, *y, Link::dual());
+            }
+        }
+
+        let server_pair = Pair::new(server_nodes.0, server_nodes.1);
+        let client_pair = Pair::new(client_nodes.0, client_nodes.1);
+
+        // The PLC with a controlled tank.
+        cs.register_service(
+            plc_node,
+            "plc",
+            Box::new(|| {
+                Box::new(Plc::new(
+                    SimDuration::from_millis(100),
+                    level_control_program(),
+                    Box::new(TankPhysics::new("tank1", 50.0, 0.25)),
+                ))
+            }),
+            true,
+        );
+
+        // Engines: one per node of each pair (shared in Fig. 1b).
+        let server_config = OfttConfig::new(server_pair);
+        let client_config = OfttConfig::new(client_pair);
+        let mut engine_probes: std::collections::BTreeMap<NodeId, Arc<Mutex<EngineProbe>>> =
+            Default::default();
+        for node in &pcs {
+            let probe = Arc::new(Mutex::new(EngineProbe::default()));
+            engine_probes.insert(*node, probe.clone());
+            let config = if server_pair.contains(*node) {
+                server_config.clone()
+            } else {
+                client_config.clone()
+            };
+            cs.register_service(
+                *node,
+                engine_service(),
+                Box::new(move || Box::new(Engine::new(config.clone(), probe.clone()))),
+                true,
+            );
+        }
+
+        // OPC servers (stateless server FTIM) on the server pair.
+        let plc_ep = Endpoint::new(plc_node, "plc");
+        for node in [server_pair.a, server_pair.b] {
+            let config = server_config.clone();
+            let plc_ep = plc_ep.clone();
+            cs.register_service(
+                node,
+                OPC_SERVER_SERVICE,
+                Box::new(move || {
+                    Box::new(ServerFtProcess::new(
+                        config.clone(),
+                        OpcServerProcess::spawn(OpcServerConfig {
+                            devices: vec![("plant.line1".to_string(), plc_ep.clone())],
+                            ..Default::default()
+                        }),
+                    ))
+                }),
+                true,
+            );
+        }
+
+        // Tag Monitor (client FTIM) on the client pair.
+        let client_ftims = [
+            Arc::new(Mutex::new(FtimProbe::default())),
+            Arc::new(Mutex::new(FtimProbe::default())),
+        ];
+        let views = [
+            Arc::new(Mutex::new((TagMonState::default(), false))),
+            Arc::new(Mutex::new((TagMonState::default(), false))),
+        ];
+        for (idx, node) in [client_pair.a, client_pair.b].into_iter().enumerate() {
+            let config = client_config.clone();
+            let ftim = client_ftims[idx].clone();
+            let view = views[idx].clone();
+            cs.register_service(
+                node,
+                "tag-monitor",
+                Box::new(move || {
+                    Box::new(FtProcess::new(
+                        config.clone(),
+                        RecoveryRule::LocalRestart { max_attempts: 2 },
+                        TagMonitor::new(
+                            server_pair,
+                            watched_items(),
+                            SimDuration::from_millis(500),
+                            view.clone(),
+                        ),
+                        ftim.clone(),
+                    ))
+                }),
+                true,
+            );
+        }
+
+        let probe_of = |n: NodeId| engine_probes.get(&n).expect("registered").clone();
+        Fig1Scenario {
+            cs,
+            plc_node,
+            server_pair,
+            client_pair,
+            server_engines: [probe_of(server_pair.a), probe_of(server_pair.b)],
+            client_engines: [probe_of(client_pair.a), probe_of(client_pair.b)],
+            client_ftims,
+            views,
+        }
+    }
+
+    /// Boots all nodes.
+    pub fn start(&mut self) {
+        self.cs.start();
+    }
+
+    /// Runs to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.cs.run_until(horizon);
+    }
+
+    /// Schedules a fault.
+    pub fn inject(&mut self, at: SimTime, fault: Fault) {
+        inject(&mut self.cs, at, fault);
+    }
+
+    /// The server pair's current primary, if exactly one.
+    pub fn server_primary(&self) -> Option<NodeId> {
+        primary_of(&self.cs, self.server_pair, &self.server_engines)
+    }
+
+    /// The client pair's current primary, if exactly one.
+    pub fn client_primary(&self) -> Option<NodeId> {
+        primary_of(&self.cs, self.client_pair, &self.client_engines)
+    }
+
+    /// The active Tag Monitor's state, if exactly one is active and alive.
+    pub fn active_tagmon(&self) -> Option<(NodeId, TagMonState)> {
+        let alive = |node: NodeId, idx: usize| {
+            self.views[idx].lock().1
+                && self.cs.cluster().node(node).status.is_up()
+                && self.cs.cluster().is_service_running(node, &"tag-monitor".into())
+        };
+        match (alive(self.client_pair.a, 0), alive(self.client_pair.b, 1)) {
+            (true, false) => Some((self.client_pair.a, self.views[0].lock().0.clone())),
+            (false, true) => Some((self.client_pair.b, self.views[1].lock().0.clone())),
+            _ => None,
+        }
+    }
+}
+
+fn primary_of(
+    cs: &ClusterSim,
+    pair: Pair,
+    probes: &[Arc<Mutex<EngineProbe>>; 2],
+) -> Option<NodeId> {
+    use oftt::role::Role;
+    let up = |n: NodeId| {
+        cs.cluster().node(n).status.is_up()
+            && cs.cluster().is_service_running(n, &engine_service())
+    };
+    let ra = probes[0].lock().current_role();
+    let rb = probes[1].lock().current_role();
+    match (up(pair.a) && ra == Some(Role::Primary), up(pair.b) && rb == Some(Role::Primary)) {
+        (true, false) => Some(pair.a),
+        (false, true) => Some(pair.b),
+        _ => None,
+    }
+}
+
+/// A deliberately *non*-fault-tolerant OPC client: binds to one fixed
+/// server and never rebinds — the baseline for experiment E10 (what a
+/// plain DCOM client experienced when its server died, paper §3.3).
+pub struct BareTagClient {
+    server: Endpoint,
+    opc: Option<OpcClient>,
+    items: Vec<String>,
+    subscribed: bool,
+    /// Timestamps of received samples (shared with the experiment).
+    pub sample_log: Arc<Mutex<Vec<SimTime>>>,
+}
+
+impl BareTagClient {
+    /// Creates a client pinned to `server`.
+    pub fn new(server: Endpoint, items: Vec<String>, sample_log: Arc<Mutex<Vec<SimTime>>>) -> Self {
+        BareTagClient { server, opc: None, items, subscribed: false, sample_log }
+    }
+}
+
+impl Process for BareTagClient {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        let mut opc = OpcClient::new(self.server.clone(), SimDuration::from_secs(2));
+        let _ = opc.add_group(env, "bare", SimDuration::from_millis(500), 0.1);
+        self.opc = Some(opc);
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        let _ = env;
+        if let Some(opc) = &mut self.opc {
+            if opc.owns_timer(token) {
+                let _ = opc.handle_timer(token);
+            }
+        }
+    }
+
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        let Some(opc) = &mut self.opc else { return };
+        match opc.handle_message(envelope, env) {
+            OpcEvent::GroupAdded(group)
+                if !self.subscribed => {
+                    self.subscribed = true;
+                    let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
+                    let _ = opc.add_items(env, group, &items);
+                }
+            OpcEvent::DataChange { items, .. } => {
+                for _ in items {
+                    self.sample_log.lock().push(now);
+                }
+            }
+            _ => {}
+        }
+    }
+}

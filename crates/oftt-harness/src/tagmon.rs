@@ -1,0 +1,291 @@
+//! The Tag Monitor application — an OFTT-protected OPC *client* for the
+//! Figure-1 reference configurations.
+//!
+//! Subscribes to plant items on whichever node of the OPC-server pair is
+//! primary, keeps per-item statistics (last/min/max/count) as checkpointed
+//! state, and rebinds its OPC connection after a server-side switchover —
+//! the paper's "monitoring/control" application shape (Figure 2, left).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ds_net::endpoint::{Endpoint, NodeId};
+use ds_net::message::Envelope;
+use ds_net::process::ProcessEnvExt;
+use ds_sim::prelude::{SimDuration, SimTime};
+use oftt::checkpoint::VarSet;
+use oftt::config::{engine_endpoint, Pair};
+use oftt::ftim::{FtApplication, FtCtx};
+use oftt::messages::{RoleReport, ToEngine};
+use oftt::role::Role;
+use opc::client::{OpcClient, OpcEvent};
+use opc::item::Value;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Per-item running statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagStats {
+    /// Most recent good value.
+    pub last: f64,
+    /// Minimum seen.
+    pub min: f64,
+    /// Maximum seen.
+    pub max: f64,
+    /// Good samples folded in.
+    pub samples: u64,
+}
+
+impl TagStats {
+    fn fold(&mut self, v: f64) {
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.samples += 1;
+    }
+
+    fn new(v: f64) -> Self {
+        TagStats { last: v, min: v, max: v, samples: 1 }
+    }
+}
+
+/// The checkpointed state: statistics per item id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TagMonState {
+    /// Statistics keyed by item id.
+    pub tags: BTreeMap<String, TagStats>,
+    /// Total data-change samples processed.
+    pub total_samples: u64,
+}
+
+/// Service name of the OPC server on the server pair's nodes.
+pub const OPC_SERVER_SERVICE: &str = "opc-server";
+
+const ROLE_POLL_TICK: u64 = 2;
+
+/// The Tag Monitor application, ready to wrap in [`oftt::ftim::FtProcess`].
+pub struct TagMonitor {
+    /// The pair hosting the OPC servers (may equal the app's own pair in
+    /// the integrated configuration, Fig. 1b).
+    server_pair: Pair,
+    items: Vec<String>,
+    update_rate: SimDuration,
+    state: TagMonState,
+    opc: Option<OpcClient>,
+    bound_server: Option<NodeId>,
+    subscribed: bool,
+    view: Arc<Mutex<(TagMonState, bool)>>,
+    sample_log: Option<Arc<Mutex<Vec<SimTime>>>>,
+}
+
+impl TagMonitor {
+    /// Creates a monitor of `items` served by `server_pair`.
+    pub fn new(
+        server_pair: Pair,
+        items: Vec<String>,
+        update_rate: SimDuration,
+        view: Arc<Mutex<(TagMonState, bool)>>,
+    ) -> Self {
+        *view.lock() = (TagMonState::default(), false);
+        TagMonitor {
+            server_pair,
+            items,
+            update_rate,
+            state: TagMonState::default(),
+            opc: None,
+            bound_server: None,
+            subscribed: false,
+            view,
+            sample_log: None,
+        }
+    }
+
+    /// Also records the arrival time of every good sample (outage-gap
+    /// measurement, experiment E10).
+    pub fn with_sample_log(mut self, log: Arc<Mutex<Vec<SimTime>>>) -> Self {
+        self.sample_log = Some(log);
+        self
+    }
+
+    fn publish(&self, active: bool) {
+        *self.view.lock() = (self.state.clone(), active);
+    }
+
+    fn query_server_roles(&self, ctx: &mut FtCtx<'_>) {
+        for node in [self.server_pair.a, self.server_pair.b] {
+            ctx.env().send_msg(engine_endpoint(node), ToEngine::QueryRole);
+        }
+    }
+
+    fn bind(&mut self, server: NodeId, ctx: &mut FtCtx<'_>) {
+        let endpoint = Endpoint::new(server, OPC_SERVER_SERVICE);
+        match &mut self.opc {
+            Some(opc) => {
+                let _ = opc.rebind(endpoint, ctx.env());
+            }
+            None => {
+                self.opc = Some(OpcClient::new(endpoint, SimDuration::from_secs(2)));
+            }
+        }
+        self.bound_server = Some(server);
+        self.subscribed = false;
+        let rate = self.update_rate;
+        if let Some(opc) = &mut self.opc {
+            let _ = opc.add_group(ctx.env(), "tagmon", rate, 0.1);
+        }
+    }
+
+    fn fold_changes(&mut self, now: SimTime, items: Vec<(String, opc::item::ItemValue)>) {
+        for (name, value) in items {
+            if !value.quality.is_good() {
+                continue;
+            }
+            let v = match &value.value {
+                Value::R8(x) => *x,
+                Value::I4(x) => *x as f64,
+                Value::Bool(b) => {
+                    if *b {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Value::Text(_) => continue,
+            };
+            self.state
+                .tags
+                .entry(name)
+                .and_modify(|s| s.fold(v))
+                .or_insert_with(|| TagStats::new(v));
+            self.state.total_samples += 1;
+            if let Some(log) = &self.sample_log {
+                log.lock().push(now);
+            }
+        }
+        self.publish(true);
+    }
+}
+
+impl FtApplication for TagMonitor {
+    fn snapshot(&self) -> VarSet {
+        [("state".to_string(), comsim::marshal::to_bytes(&self.state).expect("state marshals"))]
+            .into_iter()
+            .collect()
+    }
+
+    fn restore(&mut self, image: &VarSet) {
+        if let Some(bytes) = image.get("state") {
+            if let Ok(state) = comsim::marshal::from_bytes::<TagMonState>(bytes) {
+                self.state = state;
+            }
+        }
+        self.publish(false);
+    }
+
+    fn on_activate(&mut self, ctx: &mut FtCtx<'_>) {
+        self.query_server_roles(ctx);
+        ctx.env().set_timer(SimDuration::from_secs(2), ROLE_POLL_TICK);
+        self.publish(true);
+    }
+
+    fn on_deactivate(&mut self, ctx: &mut FtCtx<'_>) {
+        // Drop the OPC binding; the group on the server will stop being
+        // consumed (a fresh one is created on the next activation).
+        if let Some(opc) = &mut self.opc {
+            let _ = opc.rebind(Endpoint::new(ctx.env().self_endpoint().node, "__idle"), ctx.env());
+        }
+        self.opc = None;
+        self.bound_server = None;
+        self.subscribed = false;
+        self.publish(false);
+    }
+
+    fn on_app_timer(&mut self, token: u64, ctx: &mut FtCtx<'_>) {
+        if token == ROLE_POLL_TICK {
+            self.query_server_roles(ctx);
+            ctx.env().set_timer(SimDuration::from_secs(2), ROLE_POLL_TICK);
+            return;
+        }
+        if let Some(opc) = &mut self.opc {
+            if opc.owns_timer(token) {
+                if let Some(event) = opc.handle_timer(token) {
+                    self.handle_opc_event(event, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_app_message(&mut self, envelope: Envelope, ctx: &mut FtCtx<'_>) {
+        if envelope.body.is::<RoleReport>() {
+            let report = envelope.body.downcast::<RoleReport>().expect("checked");
+            if report.role == Role::Primary
+                && self.server_pair.contains(report.node)
+                && self.bound_server != Some(report.node)
+            {
+                ctx.env().record(
+                    ds_sim::prelude::TraceCategory::App,
+                    format!("tagmon binding to OPC server on {}", report.node),
+                );
+                self.bind(report.node, ctx);
+            }
+            return;
+        }
+        if let Some(opc) = &mut self.opc {
+            let event = opc.handle_message(envelope, ctx.env());
+            self.handle_opc_event(event, ctx);
+        }
+    }
+}
+
+impl TagMonitor {
+    fn handle_opc_event(&mut self, event: OpcEvent, ctx: &mut FtCtx<'_>) {
+        match event {
+            OpcEvent::GroupAdded(group)
+                if !self.subscribed => {
+                    self.subscribed = true;
+                    let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
+                    if let Some(opc) = &mut self.opc {
+                        let _ = opc.add_items(ctx.env(), group, &items);
+                    }
+                }
+            OpcEvent::DataChange { items, .. } => {
+                let now = ctx.now();
+                self.fold_changes(now, items);
+            }
+            OpcEvent::Failed { error, .. } if error.is_connectivity() => {
+                // The server we were bound to is gone; force a re-bind on
+                // the next role report.
+                self.bound_server = None;
+                self.subscribed = false;
+                self.query_server_roles(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_fold_min_max_last() {
+        let mut s = TagStats::new(5.0);
+        s.fold(3.0);
+        s.fold(9.0);
+        assert_eq!(s.last, 9.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn state_marshals() {
+        let mut state = TagMonState::default();
+        state.tags.insert("plant.t1.level".into(), TagStats::new(42.0));
+        state.total_samples = 1;
+        let bytes = comsim::marshal::to_bytes(&state).unwrap();
+        let back: TagMonState = comsim::marshal::from_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+    }
+}

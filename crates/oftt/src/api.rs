@@ -1,0 +1,95 @@
+//! The paper's C-style API, mapped onto the Rust surface.
+//!
+//! Section 2.2.2 lists the "basic set of APIs" an application adds to use
+//! OFTT. Each maps onto this crate as follows:
+//!
+//! | Paper API | This crate |
+//! |---|---|
+//! | `OFTTInitialize()` | Wrapping the app in [`FtProcess::new`] (registration happens at start) |
+//! | `OFTTSelSave()` | [`FtCtx::designate`] / [`oftt_sel_save`] |
+//! | `OFTTSave()` | [`FtCtx::save_now`] / [`oftt_save`] |
+//! | `OFTTGetMyRole()` | [`FtCtx::role`] / [`oftt_get_my_role`] |
+//! | `OFTTWatchdogCreate()` | [`FtCtx::watchdog_create`] / [`oftt_watchdog_create`] |
+//! | `OFTTWatchdogSet()` | [`FtCtx::watchdog_set`] / [`oftt_watchdog_set`] |
+//! | `OFTTWatchdogReset()` | [`FtCtx::watchdog_reset`] / [`oftt_watchdog_reset`] |
+//! | `OFTTWatchdogDelete()` | [`FtCtx::watchdog_delete`] / [`oftt_watchdog_delete`] |
+//! | `OFTTDistress()` | [`FtCtx::distress`] / [`oftt_distress`] |
+//!
+//! The free functions below are literal aliases for callers porting code
+//! written against the paper's names.
+//!
+//! [`FtProcess::new`]: crate::ftim::FtProcess::new
+//! [`FtCtx::designate`]: crate::ftim::FtCtx::designate
+//! [`FtCtx::save_now`]: crate::ftim::FtCtx::save_now
+//! [`FtCtx::role`]: crate::ftim::FtCtx::role
+//! [`FtCtx::watchdog_create`]: crate::ftim::FtCtx::watchdog_create
+//! [`FtCtx::watchdog_set`]: crate::ftim::FtCtx::watchdog_set
+//! [`FtCtx::watchdog_reset`]: crate::ftim::FtCtx::watchdog_reset
+//! [`FtCtx::watchdog_delete`]: crate::ftim::FtCtx::watchdog_delete
+//! [`FtCtx::distress`]: crate::ftim::FtCtx::distress
+
+use ds_sim::prelude::{SimDuration, SimTime};
+
+use crate::ftim::FtCtx;
+use crate::role::Role;
+use crate::watchdog::WatchdogError;
+
+/// `OFTTSelSave`: designate checkpoint variables.
+pub fn oftt_sel_save(ctx: &mut FtCtx<'_>, vars: &[&str]) {
+    ctx.designate(vars);
+}
+
+/// `OFTTSave`: checkpoint immediately.
+pub fn oftt_save(ctx: &mut FtCtx<'_>) {
+    ctx.save_now();
+}
+
+/// `OFTTGetMyRole`: identify this node's role.
+pub fn oftt_get_my_role(ctx: &FtCtx<'_>) -> Role {
+    ctx.role()
+}
+
+/// `OFTTWatchdogCreate`.
+///
+/// # Errors
+///
+/// [`WatchdogError::AlreadyExists`] on duplicate names.
+pub fn oftt_watchdog_create(
+    ctx: &mut FtCtx<'_>,
+    name: &str,
+    period: SimDuration,
+) -> Result<(), WatchdogError> {
+    ctx.watchdog_create(name, period)
+}
+
+/// `OFTTWatchdogSet`.
+///
+/// # Errors
+///
+/// [`WatchdogError::NotFound`] for unknown names.
+pub fn oftt_watchdog_set(ctx: &mut FtCtx<'_>, name: &str) -> Result<SimTime, WatchdogError> {
+    ctx.watchdog_set(name)
+}
+
+/// `OFTTWatchdogReset`.
+///
+/// # Errors
+///
+/// [`WatchdogError::NotFound`] for unknown names.
+pub fn oftt_watchdog_reset(ctx: &mut FtCtx<'_>, name: &str) -> Result<SimTime, WatchdogError> {
+    ctx.watchdog_reset(name)
+}
+
+/// `OFTTWatchdogDelete`.
+///
+/// # Errors
+///
+/// [`WatchdogError::NotFound`] for unknown names.
+pub fn oftt_watchdog_delete(ctx: &mut FtCtx<'_>, name: &str) -> Result<(), WatchdogError> {
+    ctx.watchdog_delete(name)
+}
+
+/// `OFTTDistress`: report a significant problem and request a switchover.
+pub fn oftt_distress(ctx: &mut FtCtx<'_>, reason: &str) {
+    ctx.distress(reason);
+}

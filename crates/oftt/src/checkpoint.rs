@@ -1,0 +1,330 @@
+//! Checkpoint representation, the variable store, delta computation, and
+//! the backup-side store — the heart of paper §2.2.2.
+//!
+//! Application state is a set of named, marshaled variables (the analog of
+//! the Win32 "memory walkthrough", at `OFTTSelSave` granularity). A full
+//! checkpoint carries every designated variable; a delta carries only those
+//! whose content changed since the last shipped checkpoint. The backup
+//! merges checkpoints into a [`CheckpointStore`], accepting only
+//! monotonically newer `(term, seq)` and demanding a full resend when a
+//! delta arrives out of order.
+
+use ds_sim::prelude::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named, marshaled application variable.
+pub type VarSet = BTreeMap<String, Vec<u8>>;
+
+/// Fletcher-32 over the payload — integrity for checkpoint transfers.
+pub fn checksum(vars: &VarSet) -> u32 {
+    let mut a: u32 = 0;
+    let mut b: u32 = 0;
+    let mut feed = |byte: u8| {
+        a = (a + byte as u32) % 65_535;
+        b = (b + a) % 65_535;
+    };
+    for (name, bytes) in vars {
+        for byte in name.as_bytes() {
+            feed(*byte);
+        }
+        feed(0xFF);
+        for byte in bytes {
+            feed(*byte);
+        }
+        feed(0xFE);
+    }
+    (b << 16) | a
+}
+
+/// The payload of one checkpoint message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointPayload {
+    /// Every designated variable.
+    Full(VarSet),
+    /// Only changed variables (requires an in-order predecessor).
+    Delta(VarSet),
+}
+
+impl CheckpointPayload {
+    /// The variables carried.
+    pub fn vars(&self) -> &VarSet {
+        match self {
+            CheckpointPayload::Full(v) | CheckpointPayload::Delta(v) => v,
+        }
+    }
+
+    /// `true` for full images.
+    pub fn is_full(&self) -> bool {
+        matches!(self, CheckpointPayload::Full(_))
+    }
+}
+
+/// One checkpoint in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The primary's promotion epoch when taken.
+    pub term: u64,
+    /// Sequence within the term (0, 1, 2, …).
+    pub seq: u64,
+    /// When it was taken.
+    pub taken_at: SimTime,
+    /// The variables.
+    pub payload: CheckpointPayload,
+    /// Fletcher-32 of the payload variables.
+    pub crc: u32,
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint, computing the checksum.
+    pub fn new(term: u64, seq: u64, taken_at: SimTime, payload: CheckpointPayload) -> Self {
+        let crc = checksum(payload.vars());
+        Checkpoint { term, seq, taken_at, payload, crc }
+    }
+
+    /// Verifies payload integrity.
+    pub fn verify(&self) -> bool {
+        checksum(self.payload.vars()) == self.crc
+    }
+
+    /// Nominal wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        let vars: u64 = self
+            .payload
+            .vars()
+            .iter()
+            .map(|(name, bytes)| 8 + name.len() as u64 + bytes.len() as u64)
+            .sum();
+        64 + vars
+    }
+}
+
+/// Computes the delta between the last-shipped image and the current one:
+/// variables whose bytes changed or that are new. (Deleted variables are
+/// not modeled — OFTT variables are designated once at initialization.)
+pub fn diff(last: &VarSet, current: &VarSet) -> VarSet {
+    current
+        .iter()
+        .filter(|(name, bytes)| last.get(*name) != Some(*bytes))
+        .map(|(name, bytes)| (name.clone(), bytes.clone()))
+        .collect()
+}
+
+/// Why a checkpoint was rejected by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// `(term, seq)` not newer than what the store holds.
+    Stale,
+    /// A delta arrived without its in-order predecessor.
+    OutOfOrder,
+    /// The checksum did not match.
+    Corrupt,
+}
+
+/// Outcome of offering a checkpoint to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// Installed.
+    Installed,
+    /// Rejected; deltas rejected `OutOfOrder` should trigger a NACK asking
+    /// for a full resend.
+    Rejected(RejectReason),
+}
+
+/// The backup-side checkpoint store: the merged image the application will
+/// be restored from at switchover.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    vars: VarSet,
+    term: u64,
+    seq: u64,
+    taken_at: SimTime,
+    have_full: bool,
+}
+
+impl CheckpointStore {
+    /// An empty store (nothing to restore from).
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// `true` once a full image has been installed.
+    pub fn is_restorable(&self) -> bool {
+        self.have_full
+    }
+
+    /// The `(term, seq)` of the newest installed checkpoint.
+    pub fn position(&self) -> (u64, u64) {
+        (self.term, self.seq)
+    }
+
+    /// When the newest installed checkpoint was taken (staleness metric).
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// The merged image.
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// Takes the merged image for an application restore.
+    pub fn to_restore_image(&self) -> VarSet {
+        self.vars.clone()
+    }
+
+    /// Offers a checkpoint.
+    pub fn offer(&mut self, checkpoint: &Checkpoint) -> AcceptOutcome {
+        if !checkpoint.verify() {
+            return AcceptOutcome::Rejected(RejectReason::Corrupt);
+        }
+        let newer = (checkpoint.term, checkpoint.seq) > (self.term, self.seq) || !self.have_full;
+        if !newer {
+            return AcceptOutcome::Rejected(RejectReason::Stale);
+        }
+        match &checkpoint.payload {
+            CheckpointPayload::Full(vars) => {
+                self.vars = vars.clone();
+                self.have_full = true;
+            }
+            CheckpointPayload::Delta(vars) => {
+                let in_order = self.have_full
+                    && checkpoint.term == self.term
+                    && checkpoint.seq == self.seq + 1;
+                if !in_order {
+                    return AcceptOutcome::Rejected(RejectReason::OutOfOrder);
+                }
+                for (name, bytes) in vars {
+                    self.vars.insert(name.clone(), bytes.clone());
+                }
+            }
+        }
+        self.term = checkpoint.term;
+        self.seq = checkpoint.seq;
+        self.taken_at = checkpoint.taken_at;
+        AcceptOutcome::Installed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, &[u8])]) -> VarSet {
+        pairs.iter().map(|(n, b)| (n.to_string(), b.to_vec())).collect()
+    }
+
+    #[test]
+    fn checksum_is_content_sensitive() {
+        let a = vars(&[("x", &[1, 2, 3])]);
+        let b = vars(&[("x", &[1, 2, 4])]);
+        let c = vars(&[("y", &[1, 2, 3])]);
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_ne!(checksum(&a), checksum(&c));
+        assert_eq!(checksum(&a), checksum(&vars(&[("x", &[1, 2, 3])])));
+    }
+
+    #[test]
+    fn diff_finds_changed_and_new() {
+        let last = vars(&[("a", &[1]), ("b", &[2])]);
+        let current = vars(&[("a", &[1]), ("b", &[9]), ("c", &[3])]);
+        let d = diff(&last, &current);
+        assert_eq!(d, vars(&[("b", &[9]), ("c", &[3])]));
+        assert!(diff(&current, &current).is_empty());
+    }
+
+    #[test]
+    fn store_installs_full_then_deltas() {
+        let mut store = CheckpointStore::new();
+        assert!(!store.is_restorable());
+        let full = Checkpoint::new(
+            1,
+            0,
+            SimTime::from_secs(1),
+            CheckpointPayload::Full(vars(&[("a", &[1]), ("b", &[2])])),
+        );
+        assert_eq!(store.offer(&full), AcceptOutcome::Installed);
+        assert!(store.is_restorable());
+        let delta = Checkpoint::new(
+            1,
+            1,
+            SimTime::from_secs(2),
+            CheckpointPayload::Delta(vars(&[("b", &[9])])),
+        );
+        assert_eq!(store.offer(&delta), AcceptOutcome::Installed);
+        assert_eq!(store.vars(), &vars(&[("a", &[1]), ("b", &[9])]));
+        assert_eq!(store.position(), (1, 1));
+        assert_eq!(store.taken_at(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn out_of_order_delta_is_rejected() {
+        let mut store = CheckpointStore::new();
+        let full =
+            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])])));
+        store.offer(&full);
+        // seq 2 skips seq 1.
+        let gap =
+            Checkpoint::new(1, 2, SimTime::ZERO, CheckpointPayload::Delta(vars(&[("a", &[2])])));
+        assert_eq!(store.offer(&gap), AcceptOutcome::Rejected(RejectReason::OutOfOrder));
+        // A delta before any full image is also out of order.
+        let mut empty = CheckpointStore::new();
+        let delta =
+            Checkpoint::new(1, 1, SimTime::ZERO, CheckpointPayload::Delta(vars(&[("a", &[2])])));
+        assert_eq!(empty.offer(&delta), AcceptOutcome::Rejected(RejectReason::OutOfOrder));
+    }
+
+    #[test]
+    fn stale_and_replayed_checkpoints_are_rejected() {
+        let mut store = CheckpointStore::new();
+        let full =
+            Checkpoint::new(2, 5, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])])));
+        store.offer(&full);
+        assert_eq!(store.offer(&full), AcceptOutcome::Rejected(RejectReason::Stale));
+        let older =
+            Checkpoint::new(1, 9, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[0])])));
+        assert_eq!(store.offer(&older), AcceptOutcome::Rejected(RejectReason::Stale));
+    }
+
+    #[test]
+    fn new_term_full_supersedes() {
+        let mut store = CheckpointStore::new();
+        store.offer(&Checkpoint::new(
+            1,
+            7,
+            SimTime::ZERO,
+            CheckpointPayload::Full(vars(&[("a", &[1])])),
+        ));
+        let next_term = Checkpoint::new(
+            2,
+            0,
+            SimTime::from_secs(1),
+            CheckpointPayload::Full(vars(&[("a", &[9])])),
+        );
+        assert_eq!(store.offer(&next_term), AcceptOutcome::Installed);
+        assert_eq!(store.position(), (2, 0));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut checkpoint =
+            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])])));
+        checkpoint.crc ^= 0xDEAD;
+        assert!(!checkpoint.verify());
+        let mut store = CheckpointStore::new();
+        assert_eq!(store.offer(&checkpoint), AcceptOutcome::Rejected(RejectReason::Corrupt));
+    }
+
+    #[test]
+    fn wire_size_tracks_content() {
+        let small =
+            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])])));
+        let big = Checkpoint::new(
+            1,
+            0,
+            SimTime::ZERO,
+            CheckpointPayload::Full(vars(&[("a", &vec![0u8; 100_000])])),
+        );
+        assert!(big.wire_size() > small.wire_size() + 99_000);
+    }
+}

@@ -1,0 +1,826 @@
+//! The OFTT engine — "the core of the OFTT toolkit" (paper §2.2.1).
+//!
+//! One engine runs on each pair node as its own service (the paper runs it
+//! as a client-side COM server in a separate process). It performs the four
+//! functions the paper lists:
+//!
+//! * **Role management** — startup negotiation with the peer engine
+//!   (including the §3.2 retry fix), promotion on peer silence, and
+//!   deterministic dual-primary resolution by [`crate::role::Claim`]
+//!   precedence after a partition heals.
+//! * **Failure detection** — heartbeat timeouts for every FTIM-linked
+//!   component on the node, and for the peer engine. The engine's own
+//!   failure is detected by the *peer* engine (and by local FTIMs via
+//!   missing engine heartbeats).
+//! * **Recovery management** — per-component [`RecoveryRule`]: local
+//!   restart for transient faults, switchover for permanent ones,
+//!   escalation when restarts are exhausted.
+//! * **Status reporting** — periodic [`StatusReport`]s to the System
+//!   Monitor, if one is configured.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ds_net::endpoint::{Endpoint, NodeId, ServiceName};
+use ds_net::message::Envelope;
+use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::{SimTime, TraceCategory};
+use parking_lot::Mutex;
+
+use crate::config::{engine_endpoint, OfttConfig, RecoveryRule, StartupFallback};
+use crate::messages::{
+    ComponentStatus, FromEngine, FtimKind, PeerMsg, RoleReport, StatusReport, ToEngine,
+};
+use crate::role::{Claim, Role};
+
+/// Timer tokens (below the RPC namespace).
+const TICK: u64 = 1;
+const STARTUP: u64 = 2;
+const STATUS: u64 = 3;
+
+/// Observable engine history, shared with tests and the harness.
+#[derive(Debug, Default)]
+pub struct EngineProbe {
+    /// Every role transition: (when, role, term).
+    pub role_history: Vec<(SimTime, Role, u64)>,
+    /// Every component failure detection: (when, service).
+    pub detections: Vec<(SimTime, String)>,
+    /// Local restarts performed.
+    pub restarts: u32,
+    /// Switchover requests sent to the peer.
+    pub switchover_requests: u32,
+    /// `true` if the engine shut itself down at startup (§3.2 behaviour).
+    pub shut_down_at_startup: bool,
+}
+
+impl EngineProbe {
+    /// Time of the first transition into `role` at or after `from`.
+    pub fn first_role_after(&self, from: SimTime, role: Role) -> Option<SimTime> {
+        self.role_history.iter().find(|(at, r, _)| *at >= from && *r == role).map(|(at, _, _)| *at)
+    }
+
+    /// The most recent role, if any history exists.
+    pub fn current_role(&self) -> Option<Role> {
+        self.role_history.last().map(|(_, role, _)| *role)
+    }
+}
+
+struct Component {
+    kind: FtimKind,
+    rule: RecoveryRule,
+    endpoint: Endpoint,
+    last_beat: SimTime,
+    healthy: bool,
+    restart_attempts: u32,
+}
+
+/// The engine process.
+pub struct Engine {
+    config: OfttConfig,
+    me: NodeId,
+    peer: NodeId,
+    role: Role,
+    term: u64,
+    components: BTreeMap<ServiceName, Component>,
+    last_peer_primary: SimTime,
+    last_peer_any: SimTime,
+    peer_role: Option<Role>,
+    hello_attempts: u32,
+    probe: Arc<Mutex<EngineProbe>>,
+}
+
+impl Engine {
+    /// Creates an engine for the node it will be started on. `probe` is a
+    /// shared observation channel for tests and the harness.
+    pub fn new(config: OfttConfig, probe: Arc<Mutex<EngineProbe>>) -> Self {
+        config.validate();
+        Engine {
+            config,
+            me: NodeId(u16::MAX), // resolved at on_start
+            peer: NodeId(u16::MAX),
+            role: Role::Negotiating,
+            term: 0,
+            components: BTreeMap::new(),
+            last_peer_primary: SimTime::ZERO,
+            last_peer_any: SimTime::ZERO,
+            peer_role: None,
+            hello_attempts: 0,
+            probe,
+        }
+    }
+
+    fn peer_endpoint(&self) -> Endpoint {
+        engine_endpoint(self.peer)
+    }
+
+    fn set_role(&mut self, role: Role, term: u64, reason: &str, env: &mut dyn ProcessEnv) {
+        if role == self.role && term == self.term {
+            return;
+        }
+        self.role = role;
+        self.term = term;
+        env.record(
+            TraceCategory::Engine,
+            format!("{}: role={role} term={term} ({reason})", env.self_endpoint()),
+        );
+        self.probe.lock().role_history.push((env.now(), role, term));
+        let update = FromEngine::RoleUpdate { role, term };
+        let targets: Vec<Endpoint> =
+            self.components.values().map(|c| c.endpoint.clone()).collect();
+        for target in targets {
+            env.send_msg(target, update.clone());
+        }
+    }
+
+    fn become_primary(&mut self, term: u64, reason: &str, env: &mut dyn ProcessEnv) {
+        self.set_role(Role::Primary, term, reason, env);
+    }
+
+    fn request_switchover(&mut self, reason: String, env: &mut dyn ProcessEnv) {
+        self.probe.lock().switchover_requests += 1;
+        env.record(
+            TraceCategory::Engine,
+            format!("{}: requesting switchover: {reason}", env.self_endpoint()),
+        );
+        let term = self.term;
+        let node = self.me;
+        env.send_msg(
+            self.peer_endpoint(),
+            PeerMsg::SwitchoverRequest { node, term, reason },
+        );
+        // Stop acting as primary immediately; if the peer never takes
+        // over, the backup-promotion path will return control here.
+        let next = self.term;
+        self.set_role(Role::Backup, next, "yielded after switchover request", env);
+    }
+
+    fn handle_peer(&mut self, msg: PeerMsg, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        self.last_peer_any = now;
+        match msg {
+            PeerMsg::Hello { node, role, term } => {
+                self.peer_role = Some(role);
+                let my = PeerMsg::HelloReply { node: self.me, role: self.role, term: self.term };
+                env.send_msg(engine_endpoint(node), my);
+                if self.role == Role::Negotiating && role == Role::Negotiating {
+                    // Simultaneous startup: both sides share (term, node)
+                    // knowledge and apply the same rule.
+                    let new_term = self.term.max(term) + 1;
+                    if self.me < node {
+                        self.become_primary(new_term, "startup tie-break", env);
+                    } else {
+                        self.set_role(Role::Backup, new_term, "startup tie-break", env);
+                    }
+                }
+            }
+            PeerMsg::HelloReply { node: _, role, term } => {
+                self.peer_role = Some(role);
+                if self.role != Role::Negotiating {
+                    return;
+                }
+                match role {
+                    Role::Primary => {
+                        self.last_peer_primary = now;
+                        self.set_role(Role::Backup, term, "peer is primary", env);
+                    }
+                    Role::Backup => {
+                        // Peer holds checkpoints and expects a primary: we
+                        // take the role (we may be the old primary's node
+                        // restarting after an engine failure).
+                        self.become_primary(term + 1, "peer is backup", env);
+                    }
+                    Role::Negotiating => {
+                        let new_term = self.term.max(term) + 1;
+                        if self.me < self.peer {
+                            self.become_primary(new_term, "startup tie-break", env);
+                        } else {
+                            self.set_role(Role::Backup, new_term, "startup tie-break", env);
+                        }
+                    }
+                }
+            }
+            PeerMsg::Heartbeat { node, role, term } => {
+                self.peer_role = Some(role);
+                if role == Role::Primary {
+                    self.last_peer_primary = now;
+                    match self.role {
+                        Role::Negotiating => {
+                            self.set_role(Role::Backup, term, "observed primary heartbeat", env);
+                        }
+                        Role::Backup => {
+                            if term > self.term {
+                                self.term = term;
+                            }
+                        }
+                        Role::Primary => {
+                            // Dual primary (partition heal, §3.2 hazard):
+                            // claims resolve it identically on both sides.
+                            let theirs = Claim::new(term, node);
+                            let mine = Claim::new(self.term, self.me);
+                            if theirs.beats(&mine) {
+                                self.last_peer_primary = now;
+                                self.set_role(
+                                    Role::Backup,
+                                    term,
+                                    "dual primary resolved: yielding to peer claim",
+                                    env,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            PeerMsg::SwitchoverRequest { node: _, term, reason } => {
+                if self.role != Role::Primary {
+                    let new_term = self.term.max(term) + 1;
+                    self.become_primary(new_term, &format!("switchover request: {reason}"), env);
+                }
+            }
+        }
+    }
+
+    fn handle_component(&mut self, msg: ToEngine, from: Endpoint, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        match msg {
+            ToEngine::Register { service, kind, rule } => {
+                env.record(
+                    TraceCategory::Engine,
+                    format!("{}: registered {service} ({kind:?})", env.self_endpoint()),
+                );
+                let endpoint = Endpoint::new(self.me, service.clone());
+                self.components.insert(
+                    service,
+                    Component {
+                        kind,
+                        rule,
+                        endpoint: endpoint.clone(),
+                        last_beat: now,
+                        healthy: true,
+                        restart_attempts: 0,
+                    },
+                );
+                let role = self.role;
+                let term = self.term;
+                env.send_msg(endpoint, FromEngine::RoleUpdate { role, term });
+            }
+            ToEngine::Heartbeat { service } => {
+                if let Some(component) = self.components.get_mut(&service) {
+                    component.last_beat = now;
+                    if !component.healthy {
+                        component.healthy = true;
+                        component.restart_attempts = 0;
+                        env.record(
+                            TraceCategory::Engine,
+                            format!("{}: {service} recovered", env.self_endpoint()),
+                        );
+                    }
+                }
+            }
+            ToEngine::Distress { service, reason } => {
+                env.record(
+                    TraceCategory::Engine,
+                    format!("{}: DISTRESS from {service}: {reason}", env.self_endpoint()),
+                );
+                if self.role == Role::Primary {
+                    self.request_switchover(format!("distress from {service}: {reason}"), env);
+                }
+            }
+            ToEngine::QueryRole => {
+                let report = RoleReport { node: self.me, role: self.role, term: self.term };
+                env.send_msg(from, report);
+            }
+            ToEngine::SetRecoveryRule { service, rule } => {
+                if let Some(component) = self.components.get_mut(&service) {
+                    component.rule = rule;
+                    component.restart_attempts = 0;
+                    env.record(
+                        TraceCategory::Engine,
+                        format!("{}: recovery rule for {service} set to {rule:?}", env.self_endpoint()),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_components(&mut self, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        let timeout = self.config.component_timeout;
+        let overdue: Vec<ServiceName> = self
+            .components
+            .iter()
+            .filter(|(_, c)| c.healthy && now.saturating_since(c.last_beat) > timeout)
+            .map(|(s, _)| s.clone())
+            .collect();
+        for service in overdue {
+            self.probe.lock().detections.push((now, service.as_str().to_string()));
+            env.record(
+                TraceCategory::Engine,
+                format!("{}: detected failure of {service}", env.self_endpoint()),
+            );
+            let component = self.components.get_mut(&service).expect("listed");
+            component.healthy = false;
+            let rule = component.rule;
+            let escalate = match rule {
+                RecoveryRule::LocalRestart { max_attempts } => {
+                    if component.restart_attempts < max_attempts {
+                        component.restart_attempts += 1;
+                        // Grace period: restart takes a moment to register
+                        // and resume heartbeats.
+                        component.last_beat = now;
+                        component.healthy = true;
+                        self.probe.lock().restarts += 1;
+                        let me = self.me;
+                        env.record(
+                            TraceCategory::Engine,
+                            format!(
+                                "{}: local restart of {service} (attempt {})",
+                                env.self_endpoint(),
+                                self.components[&service].restart_attempts
+                            ),
+                        );
+                        env.restart_service(me, &service);
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RecoveryRule::Switchover => true,
+            };
+            if escalate {
+                if self.role == Role::Primary {
+                    self.request_switchover(format!("{service} failed permanently"), env);
+                }
+                // Whichever role we end up in, bring the local copy back
+                // as standby software (it will only activate on a future
+                // promotion).
+                let me = self.me;
+                self.probe.lock().restarts += 1;
+                env.restart_service(me, &service);
+                if let Some(component) = self.components.get_mut(&service) {
+                    component.restart_attempts = 0;
+                    component.last_beat = now;
+                    component.healthy = true;
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        // 1. Advertise liveness to the peer and to local components.
+        let hb = PeerMsg::Heartbeat { node: self.me, role: self.role, term: self.term };
+        env.send_msg(self.peer_endpoint(), hb);
+        let targets: Vec<Endpoint> = self.components.values().map(|c| c.endpoint.clone()).collect();
+        for target in targets {
+            env.send_msg(target, FromEngine::EngineHeartbeat);
+        }
+        // 2. Backup promotion on primary silence.
+        if self.role == Role::Backup
+            && now.saturating_since(self.last_peer_primary) > self.config.peer_timeout
+        {
+            let peer_silent = now.saturating_since(self.last_peer_any) > self.config.peer_timeout;
+            let both_backup = self.peer_role == Some(Role::Backup);
+            // If the peer engine is alive but not primary, only the lower
+            // node id promotes (avoids a double promotion race).
+            if peer_silent || (both_backup && self.me < self.peer) {
+                let term = self.term + 1;
+                self.become_primary(
+                    term,
+                    if peer_silent { "peer silent: taking over" } else { "no primary: taking over" },
+                    env,
+                );
+            }
+        }
+        // 3. Local component failure detection and recovery.
+        if env.now() > SimTime::ZERO {
+            self.check_components(env);
+        }
+    }
+
+    fn send_status(&mut self, env: &mut dyn ProcessEnv) {
+        let Some(monitor) = self.config.monitor.clone() else { return };
+        let now = env.now();
+        let report = StatusReport {
+            node: self.me,
+            role: self.role,
+            term: self.term,
+            peer_visible: now.saturating_since(self.last_peer_any) <= self.config.peer_timeout,
+            components: self
+                .components
+                .iter()
+                .map(|(service, c)| ComponentStatus {
+                    service: service.as_str().to_string(),
+                    kind: c.kind,
+                    healthy: c.healthy,
+                    restart_attempts: c.restart_attempts,
+                })
+                .collect(),
+            at: now,
+        };
+        env.send_msg(monitor, report);
+    }
+}
+
+impl Process for Engine {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        self.me = env.self_endpoint().node;
+        self.peer = self.config.pair.peer_of(self.me);
+        env.record(TraceCategory::Engine, format!("{}: engine starting", env.self_endpoint()));
+        self.probe.lock().role_history.push((env.now(), Role::Negotiating, 0));
+        let hello = PeerMsg::Hello { node: self.me, role: self.role, term: self.term };
+        env.send_msg(self.peer_endpoint(), hello);
+        env.set_timer(self.config.startup_timeout, STARTUP);
+        env.set_timer(self.config.heartbeat_period, TICK);
+        env.set_timer(self.config.status_period, STATUS);
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        match token {
+            TICK => {
+                self.tick(env);
+                env.set_timer(self.config.heartbeat_period, TICK);
+            }
+            STARTUP => {
+                if self.role != Role::Negotiating {
+                    return;
+                }
+                if self.hello_attempts < self.config.startup_retries {
+                    self.hello_attempts += 1;
+                    env.record(
+                        TraceCategory::Engine,
+                        format!(
+                            "{}: startup retry {}",
+                            env.self_endpoint(),
+                            self.hello_attempts
+                        ),
+                    );
+                    let hello =
+                        PeerMsg::Hello { node: self.me, role: self.role, term: self.term };
+                    env.send_msg(self.peer_endpoint(), hello);
+                    env.set_timer(self.config.startup_timeout, STARTUP);
+                } else {
+                    match self.config.startup_fallback {
+                        StartupFallback::ShutDown => {
+                            env.record(
+                                TraceCategory::Engine,
+                                format!(
+                                    "{}: startup timeout: shutting down (original §3.2 logic)",
+                                    env.self_endpoint()
+                                ),
+                            );
+                            self.probe.lock().shut_down_at_startup = true;
+                            env.exit();
+                        }
+                        StartupFallback::BecomePrimary => {
+                            let term = self.term + 1;
+                            self.become_primary(term, "startup timeout: assuming peer dead", env);
+                        }
+                    }
+                }
+            }
+            STATUS => {
+                self.send_status(env);
+                env.set_timer(self.config.status_period, STATUS);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        let from = envelope.from.clone();
+        if envelope.body.is::<PeerMsg>() {
+            let msg = envelope.body.downcast::<PeerMsg>().expect("checked");
+            self.handle_peer(msg, env);
+        } else if envelope.body.is::<ToEngine>() {
+            let msg = envelope.body.downcast::<ToEngine>().expect("checked");
+            self.handle_component(msg, from, env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pair;
+    use ds_net::fault::{inject, Fault};
+    use ds_net::link::Link;
+    use ds_net::node::NodeConfig;
+    use ds_net::prelude::ClusterSim;
+    use ds_sim::prelude::SimDuration;
+
+    struct Rig {
+        cs: ClusterSim,
+        a: NodeId,
+        b: NodeId,
+        probe_a: Arc<Mutex<EngineProbe>>,
+        probe_b: Arc<Mutex<EngineProbe>>,
+    }
+
+    fn rig_with(seed: u64, mutate: impl Fn(&mut OfttConfig)) -> Rig {
+        let mut cs = ClusterSim::new(seed);
+        let a = cs.add_node(NodeConfig { name: "Primary".into(), ..Default::default() });
+        let b = cs.add_node(NodeConfig { name: "Backup".into(), ..Default::default() });
+        cs.connect(a, b, Link::dual());
+        let mut config = OfttConfig::new(Pair::new(a, b));
+        mutate(&mut config);
+        let probe_a = Arc::new(Mutex::new(EngineProbe::default()));
+        let probe_b = Arc::new(Mutex::new(EngineProbe::default()));
+        for (node, probe) in [(a, probe_a.clone()), (b, probe_b.clone())] {
+            let config = config.clone();
+            let probe = probe.clone();
+            cs.register_service(
+                node,
+                crate::config::engine_service(),
+                Box::new(move || Box::new(Engine::new(config.clone(), probe.clone()))),
+                true,
+            );
+        }
+        Rig { cs, a, b, probe_a, probe_b }
+    }
+
+    fn rig(seed: u64) -> Rig {
+        rig_with(seed, |_| {})
+    }
+
+    fn roles(rig: &Rig) -> (Option<Role>, Option<Role>) {
+        (rig.probe_a.lock().current_role(), rig.probe_b.lock().current_role())
+    }
+
+    #[test]
+    fn startup_elects_exactly_one_primary() {
+        for seed in 0..20 {
+            let mut r = rig(seed);
+            r.cs.start();
+            r.cs.run_until(SimTime::from_secs(10));
+            let (ra, rb) = roles(&r);
+            let pair = (ra.unwrap(), rb.unwrap());
+            assert!(
+                matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
+                "seed {seed}: got {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_crash_promotes_backup_within_timeout_scale() {
+        let mut r = rig(71);
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(10));
+        // Find which node is primary and crash it.
+        let (ra, _) = roles(&r);
+        let (primary, backup_probe) = if ra == Some(Role::Primary) {
+            (r.a, r.probe_b.clone())
+        } else {
+            (r.b, r.probe_a.clone())
+        };
+        inject(&mut r.cs, SimTime::from_secs(10), Fault::CrashNode(primary));
+        r.cs.run_until(SimTime::from_secs(20));
+        let promoted = backup_probe
+            .lock()
+            .first_role_after(SimTime::from_secs(10), Role::Primary)
+            .expect("backup promoted");
+        let latency = promoted - SimTime::from_secs(10);
+        // Detection needs peer_timeout (1s) plus at most a couple of beats.
+        assert!(
+            latency <= SimDuration::from_millis(2_000),
+            "promotion took {latency}"
+        );
+    }
+
+    #[test]
+    fn engine_kill_is_detected_by_peer_and_survivor_takes_over() {
+        let mut r = rig(72);
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(10));
+        let (ra, _) = roles(&r);
+        let (primary_node, backup_probe) = if ra == Some(Role::Primary) {
+            (r.a, r.probe_b.clone())
+        } else {
+            (r.b, r.probe_a.clone())
+        };
+        // Kill only the engine (failure class d).
+        inject(
+            &mut r.cs,
+            SimTime::from_secs(10),
+            Fault::KillService(primary_node, crate::config::engine_service()),
+        );
+        r.cs.run_until(SimTime::from_secs(20));
+        assert!(
+            backup_probe.lock().first_role_after(SimTime::from_secs(10), Role::Primary).is_some(),
+            "peer engine must take over when the primary engine dies"
+        );
+    }
+
+    #[test]
+    fn partition_heal_resolves_dual_primary() {
+        let mut r = rig(73);
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(10));
+        inject(&mut r.cs, SimTime::from_secs(10), Fault::Partition(r.a, r.b));
+        r.cs.run_until(SimTime::from_secs(20));
+        // Both sides now believe they are primary (the accepted hazard).
+        let (ra, rb) = roles(&r);
+        assert_eq!((ra, rb), (Some(Role::Primary), Some(Role::Primary)));
+        inject(&mut r.cs, SimTime::from_secs(20), Fault::Heal(r.a, r.b));
+        r.cs.run_until(SimTime::from_secs(30));
+        let (ra, rb) = roles(&r);
+        let pair = (ra.unwrap(), rb.unwrap());
+        assert!(
+            matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
+            "heal must demote one side, got {pair:?}"
+        );
+    }
+
+    #[test]
+    fn lone_engine_without_retries_shuts_down() {
+        // Original §3.2 design: start only one engine; it must give up.
+        let mut r = rig_with(74, |c| {
+            c.startup_retries = 0;
+            c.startup_timeout = SimDuration::from_secs(2);
+        });
+        // Peer engine never starts: deregister by crashing node b first.
+        inject(&mut r.cs, SimTime::from_micros(1), Fault::CrashNode(r.b));
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(30));
+        assert!(r.probe_a.lock().shut_down_at_startup);
+    }
+
+    #[test]
+    fn retries_ride_out_slow_peer_startup() {
+        // The shipped fix: node b's engine starts 8 s late; with 3 retries
+        // of 5 s each, node a waits long enough.
+        let mut r = rig_with(75, |c| {
+            c.startup_timeout = SimDuration::from_secs(5);
+            c.startup_retries = 3;
+        });
+        // Delay b's engine: kill it at boot, restart at t=8s.
+        inject(
+            &mut r.cs,
+            SimTime::from_millis(600),
+            Fault::KillService(r.b, crate::config::engine_service()),
+        );
+        inject(
+            &mut r.cs,
+            SimTime::from_secs(8),
+            Fault::StartService(r.b, crate::config::engine_service()),
+        );
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(30));
+        assert!(!r.probe_a.lock().shut_down_at_startup, "retries should cover an 8 s stagger");
+        let (ra, rb) = roles(&r);
+        let pair = (ra.unwrap(), rb.unwrap());
+        assert!(
+            matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
+            "got {pair:?}"
+        );
+    }
+
+    #[test]
+    fn repaired_node_rejoins_as_backup() {
+        let mut r = rig(76);
+        r.cs.start();
+        r.cs.run_until(SimTime::from_secs(10));
+        let (ra, _) = roles(&r);
+        let (primary, primary_probe, backup_probe) = if ra == Some(Role::Primary) {
+            (r.a, r.probe_a.clone(), r.probe_b.clone())
+        } else {
+            (r.b, r.probe_b.clone(), r.probe_a.clone())
+        };
+        inject(&mut r.cs, SimTime::from_secs(10), Fault::RebootNode(primary));
+        r.cs.run_until(SimTime::from_secs(120));
+        // The survivor is primary; the rebooted node rejoined as backup.
+        assert_eq!(backup_probe.lock().current_role(), Some(Role::Primary));
+        assert_eq!(primary_probe.lock().current_role(), Some(Role::Backup));
+    }
+}
+
+#[cfg(test)]
+mod negotiation_edge_tests {
+    use super::*;
+    use crate::config::Pair;
+    use ds_net::fault::{inject, Fault};
+    use ds_net::link::Link;
+    use ds_net::node::NodeConfig;
+    use ds_net::prelude::ClusterSim;
+    
+
+    fn rig(seed: u64) -> (ClusterSim, NodeId, NodeId, [Arc<Mutex<EngineProbe>>; 2]) {
+        let mut cs = ClusterSim::new(seed);
+        let a = cs.add_node(NodeConfig::default());
+        let b = cs.add_node(NodeConfig::default());
+        cs.connect(a, b, Link::dual());
+        let config = OfttConfig::new(Pair::new(a, b));
+        let probes = [
+            Arc::new(Mutex::new(EngineProbe::default())),
+            Arc::new(Mutex::new(EngineProbe::default())),
+        ];
+        for (idx, node) in [a, b].into_iter().enumerate() {
+            let engine_config = config.clone();
+            let probe = probes[idx].clone();
+            cs.register_service(
+                node,
+                crate::config::engine_service(),
+                Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+                true,
+            );
+        }
+        (cs, a, b, probes)
+    }
+
+    /// Terms are strictly monotone within each engine's history — a role
+    /// transition never reuses or decreases the epoch.
+    #[test]
+    fn terms_never_decrease_across_switchovers() {
+        let (mut cs, a, b, probes) = rig(801);
+        cs.start();
+        // A gauntlet: crash a, repair, crash b, repair.
+        inject(&mut cs, SimTime::from_secs(10), Fault::CrashNode(a));
+        inject(&mut cs, SimTime::from_secs(30), Fault::RepairNode(a));
+        inject(&mut cs, SimTime::from_secs(50), Fault::CrashNode(b));
+        inject(&mut cs, SimTime::from_secs(70), Fault::RepairNode(b));
+        cs.run_until(SimTime::from_secs(100));
+        for probe in &probes {
+            let history = probe.lock().role_history.clone();
+            // A (Negotiating, 0) entry marks a fresh engine incarnation
+            // after a repair — terms restart there by design and are then
+            // re-learned from the peer. Within an incarnation they must be
+            // monotone.
+            for pair in history.windows(2) {
+                if pair[1].1 == Role::Negotiating {
+                    continue;
+                }
+                assert!(
+                    pair[1].2 >= pair[0].2,
+                    "terms regressed within an incarnation: {:?} -> {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    /// A switchover request arriving at a still-negotiating engine promotes
+    /// it (the failing primary must be relieved even during a peer's
+    /// startup window).
+    #[test]
+    fn switchover_request_during_negotiation_promotes() {
+        let (mut cs, a, b, probes) = rig(802);
+        // Hold b's engine back so a forms late.
+        inject(
+            &mut cs,
+            SimTime::from_millis(600),
+            Fault::KillService(b, crate::config::engine_service()),
+        );
+        inject(
+            &mut cs,
+            SimTime::from_secs(3),
+            Fault::StartService(b, crate::config::engine_service()),
+        );
+        // While b renegotiates, push a switchover request at it.
+        cs.post(
+            SimTime::from_millis(3_700),
+            crate::config::engine_endpoint(b),
+            PeerMsg::SwitchoverRequest { node: a, term: 5, reason: "test".into() },
+        );
+        cs.run_until(SimTime::from_secs(10));
+        let role_b = probes[1].lock().current_role();
+        assert_eq!(role_b, Some(Role::Primary), "request must promote the negotiating engine");
+        // And the adopted term exceeds the requester's.
+        let term_b = probes[1].lock().role_history.last().unwrap().2;
+        assert!(term_b > 5);
+    }
+
+    /// An engine with zero registered components ticks forever without
+    /// detections or restarts (no vacuous failure handling).
+    #[test]
+    fn componentless_engine_is_quiet() {
+        let (mut cs, _a, _b, probes) = rig(803);
+        cs.start();
+        cs.run_until(SimTime::from_secs(120));
+        for probe in &probes {
+            let probe = probe.lock();
+            assert!(probe.detections.is_empty());
+            assert_eq!(probe.restarts, 0);
+            assert_eq!(probe.switchover_requests, 0);
+        }
+    }
+
+    /// Distress from the backup's application is ignored (only the primary
+    /// can hand over).
+    #[test]
+    fn distress_from_backup_is_ignored() {
+        let (mut cs, a, b, probes) = rig(804);
+        cs.start();
+        cs.run_until(SimTime::from_secs(10));
+        let backup = if probes[0].lock().current_role() == Some(Role::Backup) { a } else { b };
+        let backup_idx = if backup == a { 0 } else { 1 };
+        cs.post(
+            SimTime::from_secs(10),
+            crate::config::engine_endpoint(backup),
+            ToEngine::Distress { service: "app".into(), reason: "spurious".into() },
+        );
+        cs.run_until(SimTime::from_secs(20));
+        assert_eq!(probes[backup_idx].lock().current_role(), Some(Role::Backup));
+        assert_eq!(probes[backup_idx].lock().switchover_requests, 0);
+    }
+}

@@ -1,0 +1,717 @@
+//! The Fault Tolerance Interface Module (paper §2.2.2).
+//!
+//! The FTIM is "linked to an application that wants to use OFTT services":
+//! here, [`FtProcess`] wraps a type implementing [`FtApplication`] and runs
+//! beside it, exactly as the paper's FTIM thread ran inside the
+//! application's address space. It:
+//!
+//! * registers with the local engine and heartbeats (`OFTTInitialize`);
+//! * takes periodic checkpoints of the application's designated variables
+//!   and ships them to the peer FTIM (full or content-diffed deltas);
+//! * receives and stores the peer's checkpoints while backup;
+//! * activates the application on promotion, restoring the newest
+//!   checkpoint (from its own store at switchover, or fetched from the
+//!   peer after a local restart);
+//! * manages reliable watchdog objects that survive failover;
+//! * detects a dead local engine (failure class *d*) by missing engine
+//!   heartbeats, fail-safes the application, and restarts the engine.
+//!
+//! The paper's *OPC server FTIM* (stateless, heartbeat-only) is
+//! [`ServerFtProcess`].
+
+use std::sync::Arc;
+
+use ds_net::endpoint::Endpoint;
+use ds_net::message::Envelope;
+use ds_net::process::{Process, ProcessEnv, ProcessEnvExt, TimerHandle};
+use ds_sim::prelude::{SimDuration, SimTime, TraceCategory};
+use parking_lot::Mutex;
+
+use crate::checkpoint::{
+    AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet,
+};
+use crate::config::{engine_service, CheckpointMode, OfttConfig, RecoveryRule};
+use crate::messages::{FromEngine, FtimKind, FtimPeerMsg, ToEngine};
+use crate::role::Role;
+use crate::watchdog::{WatchdogError, WatchdogTable, WATCHDOG_VAR};
+
+/// Timer tokens at or above this value belong to the FTIM; applications
+/// must keep their own tokens below it (and below
+/// [`comsim::rpc::RPC_TIMER_BASE`]).
+pub const FTIM_TIMER_BASE: u64 = 1 << 62;
+
+const HEARTBEAT_TICK: u64 = FTIM_TIMER_BASE | 1;
+const CHECKPOINT_TICK: u64 = FTIM_TIMER_BASE | 2;
+const RESTORE_TIMEOUT: u64 = FTIM_TIMER_BASE | 3;
+
+/// A fault-tolerant application, as the paper's OPC-client developers would
+/// write one: domain logic plus named-state serialization.
+pub trait FtApplication: Send {
+    /// Marshals each named state variable (the "memory walkthrough" at
+    /// `OFTTSelSave` granularity).
+    fn snapshot(&self) -> VarSet;
+
+    /// Installs a restored image. Variables absent from the image keep
+    /// their initial values.
+    fn restore(&mut self, image: &VarSet);
+
+    /// The application just became the active primary (state, if any, has
+    /// already been restored).
+    fn on_activate(&mut self, ctx: &mut FtCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// The application must stop acting (demotion or fail-safe).
+    fn on_deactivate(&mut self, ctx: &mut FtCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Application traffic, delivered only while active.
+    fn on_app_message(&mut self, envelope: Envelope, ctx: &mut FtCtx<'_>) {
+        let _ = (envelope, ctx);
+    }
+
+    /// Application timers, delivered only while active.
+    fn on_app_timer(&mut self, token: u64, ctx: &mut FtCtx<'_>) {
+        let _ = (token, ctx);
+    }
+
+    /// A reliable watchdog expired.
+    fn on_watchdog(&mut self, name: &str, ctx: &mut FtCtx<'_>) {
+        let _ = (name, ctx);
+    }
+}
+
+/// Observable FTIM history for tests and the harness.
+#[derive(Debug, Default)]
+pub struct FtimProbe {
+    /// Activation instants.
+    pub activations: Vec<SimTime>,
+    /// Deactivation instants.
+    pub deactivations: Vec<SimTime>,
+    /// Checkpoints shipped (count, bytes).
+    pub ckpts_sent: u64,
+    /// Checkpoint bytes shipped.
+    pub ckpt_bytes_sent: u64,
+    /// Full checkpoints among those shipped.
+    pub fulls_sent: u64,
+    /// Checkpoints installed into the local store.
+    pub ckpts_installed: u64,
+    /// Highest `(term, seq)` acknowledged by the peer.
+    pub last_acked: (u64, u64),
+    /// Restores performed: (when, variables, from_local_store).
+    pub restores: Vec<(SimTime, usize, bool)>,
+    /// Activations that had no state to restore (data loss).
+    pub fresh_activations: u64,
+    /// Engine restarts this FTIM initiated (failure class d).
+    pub engine_restarts: u64,
+}
+
+/// The toolkit services exposed to application callbacks — the paper's API
+/// (`OFTTSave`, `OFTTSelSave`, `OFTTGetMyRole`, `OFTTWatchdog*`,
+/// `OFTTDistress`) maps onto these methods; see [`crate::api`].
+pub struct FtCtx<'a> {
+    env: &'a mut dyn ProcessEnv,
+    core: &'a mut FtimCore,
+}
+
+impl<'a> FtCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.env.now()
+    }
+
+    /// The underlying process environment (sending, timers, rng, trace).
+    pub fn env(&mut self) -> &mut dyn ProcessEnv {
+        self.env
+    }
+
+    /// `OFTTGetMyRole`: this node's current role.
+    pub fn role(&self) -> Role {
+        self.core.role
+    }
+
+    /// `true` while this copy is the acting primary.
+    pub fn is_active(&self) -> bool {
+        self.core.active
+    }
+
+    /// `OFTTSelSave`: designates the variables to checkpoint; variables
+    /// outside the designation are skipped. Calling with an empty list
+    /// restores the default (checkpoint everything).
+    pub fn designate(&mut self, vars: &[&str]) {
+        self.core.designated = if vars.is_empty() {
+            None
+        } else {
+            Some(vars.iter().map(|s| s.to_string()).collect())
+        };
+    }
+
+    /// `OFTTSave`: ship a checkpoint immediately, without waiting for the
+    /// period (used for event-based checkpointing).
+    pub fn save_now(&mut self) {
+        self.core.save_requested = true;
+    }
+
+    /// Changes this component's recovery rule at run time (the dynamic
+    /// decision the paper lists as unimplemented future work, §2.2.1).
+    pub fn set_recovery_rule(&mut self, rule: RecoveryRule) {
+        self.core.rule = rule;
+        let service = self.core.service_endpoint.service.clone();
+        let engine = self.core.engine_endpoint.clone();
+        self.env.send_msg(engine, ToEngine::SetRecoveryRule { service, rule });
+    }
+
+    /// `OFTTDistress`: report a serious problem and request a switchover.
+    pub fn distress(&mut self, reason: impl Into<String>) {
+        let service = self.core.service_endpoint.service.clone();
+        let engine = self.core.engine_endpoint.clone();
+        self.env.send_msg(engine, ToEngine::Distress { service, reason: reason.into() });
+    }
+
+    /// `OFTTWatchdogCreate`.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::AlreadyExists`] on duplicate names.
+    pub fn watchdog_create(
+        &mut self,
+        name: &str,
+        period: SimDuration,
+    ) -> Result<(), WatchdogError> {
+        self.core.watchdogs.create(name, period)
+    }
+
+    /// `OFTTWatchdogSet`: arms the watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn watchdog_set(&mut self, name: &str) -> Result<SimTime, WatchdogError> {
+        let now = self.env.now();
+        self.core.watchdogs.set(name, now)
+    }
+
+    /// `OFTTWatchdogReset`: kicks the watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn watchdog_reset(&mut self, name: &str) -> Result<SimTime, WatchdogError> {
+        let now = self.env.now();
+        self.core.watchdogs.reset(name, now)
+    }
+
+    /// `OFTTWatchdogDelete`.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn watchdog_delete(&mut self, name: &str) -> Result<(), WatchdogError> {
+        self.core.watchdogs.delete(name)
+    }
+}
+
+struct FtimCore {
+    config: OfttConfig,
+    rule: RecoveryRule,
+    service_endpoint: Endpoint,
+    engine_endpoint: Endpoint,
+    peer_endpoint: Endpoint,
+    role: Role,
+    term: u64,
+    active: bool,
+    designated: Option<std::collections::BTreeSet<String>>,
+    last_shipped: VarSet,
+    ckpt_seq: u64,
+    deltas_since_full: u32,
+    need_full: bool,
+    store: CheckpointStore,
+    /// `(term, seq)` of the newest checkpoint this incarnation shipped
+    /// while primary — used to decide whether the local store is actually
+    /// newer than our live state when re-activating.
+    shipped_position: (u64, u64),
+    watchdogs: WatchdogTable,
+    save_requested: bool,
+    last_engine_heard: SimTime,
+    engine_restart_pending: bool,
+    pending_restore: bool,
+    restore_timer: Option<TimerHandle>,
+    probe: Arc<Mutex<FtimProbe>>,
+}
+
+/// The client-FTIM process: wraps an [`FtApplication`].
+pub struct FtProcess<A: FtApplication> {
+    app: A,
+    core: FtimCore,
+}
+
+impl<A: FtApplication> FtProcess<A> {
+    /// Wraps `app` with OFTT services. `rule` is the component's recovery
+    /// rule; `probe` is shared observability.
+    pub fn new(
+        config: OfttConfig,
+        rule: RecoveryRule,
+        app: A,
+        probe: Arc<Mutex<FtimProbe>>,
+    ) -> Self {
+        config.validate();
+        // Endpoints are resolved at on_start; placeholders until then.
+        let placeholder = Endpoint::new(config.pair.a, "__unresolved");
+        FtProcess {
+            app,
+            core: FtimCore {
+                config,
+                rule,
+                service_endpoint: placeholder.clone(),
+                engine_endpoint: placeholder.clone(),
+                peer_endpoint: placeholder,
+                role: Role::Negotiating,
+                term: 0,
+                active: false,
+                designated: None,
+                last_shipped: VarSet::new(),
+                ckpt_seq: 0,
+                deltas_since_full: 0,
+                need_full: true,
+                store: CheckpointStore::new(),
+                shipped_position: (0, 0),
+                watchdogs: WatchdogTable::new(),
+                save_requested: false,
+                last_engine_heard: SimTime::ZERO,
+                engine_restart_pending: false,
+                pending_restore: false,
+                restore_timer: None,
+                probe,
+            },
+        }
+    }
+
+    fn ctx_call(&mut self, env: &mut dyn ProcessEnv, f: impl FnOnce(&mut A, &mut FtCtx<'_>)) {
+        {
+            let mut ctx = FtCtx { env, core: &mut self.core };
+            f(&mut self.app, &mut ctx);
+        }
+        if self.core.save_requested {
+            self.core.save_requested = false;
+            self.ship_checkpoint(env);
+        }
+    }
+
+    fn activate(&mut self, env: &mut dyn ProcessEnv, image: Option<(VarSet, bool)>) {
+        let now = env.now();
+        match image {
+            Some((vars, from_local)) => {
+                // Watchdogs travel inside the image under a reserved name.
+                if let Some(bytes) = vars.get(WATCHDOG_VAR) {
+                    if let Ok(table) = comsim::marshal::from_bytes::<WatchdogTable>(bytes) {
+                        self.core.watchdogs = table;
+                    }
+                }
+                self.app.restore(&vars);
+                self.core.probe.lock().restores.push((now, vars.len(), from_local));
+                env.record(
+                    TraceCategory::Checkpoint,
+                    format!(
+                        "{}: restored {} vars ({})",
+                        env.self_endpoint(),
+                        vars.len(),
+                        if from_local { "local store" } else { "peer store" }
+                    ),
+                );
+            }
+            None => {
+                self.core.probe.lock().fresh_activations += 1;
+                env.record(
+                    TraceCategory::Checkpoint,
+                    format!(
+                        "{}: activating with initial state (no checkpoint available)",
+                        env.self_endpoint()
+                    ),
+                );
+            }
+        }
+        self.core.active = true;
+        self.core.need_full = true;
+        self.core.ckpt_seq = 0;
+        self.core.deltas_since_full = 0;
+        self.core.last_shipped = VarSet::new();
+        self.core.probe.lock().activations.push(now);
+        env.record(TraceCategory::Engine, format!("{}: application ACTIVE", env.self_endpoint()));
+        self.ctx_call(env, |app, ctx| app.on_activate(ctx));
+    }
+
+    /// Re-activates without touching application state (the live state is
+    /// the newest copy anywhere).
+    fn activate_in_place(&mut self, env: &mut dyn ProcessEnv) {
+        self.core.active = true;
+        self.core.need_full = true;
+        self.core.deltas_since_full = 0;
+        self.core.last_shipped = VarSet::new();
+        self.core.probe.lock().activations.push(env.now());
+        env.record(
+            TraceCategory::Engine,
+            format!("{}: application ACTIVE (resumed in place)", env.self_endpoint()),
+        );
+        self.ctx_call(env, |app, ctx| app.on_activate(ctx));
+    }
+
+    fn deactivate(&mut self, env: &mut dyn ProcessEnv, reason: &str) {
+        if !self.core.active {
+            return;
+        }
+        self.core.active = false;
+        self.core.probe.lock().deactivations.push(env.now());
+        env.record(
+            TraceCategory::Engine,
+            format!("{}: application INACTIVE ({reason})", env.self_endpoint()),
+        );
+        self.ctx_call(env, |app, ctx| app.on_deactivate(ctx));
+    }
+
+    fn current_vars(&self) -> VarSet {
+        let mut vars = self.app.snapshot();
+        if let Some(designated) = &self.core.designated {
+            vars.retain(|name, _| designated.contains(name));
+        }
+        // Watchdog state rides along so watchdogs survive failover.
+        if !self.core.watchdogs.is_empty() {
+            if let Ok(bytes) = comsim::marshal::to_bytes(&self.core.watchdogs) {
+                vars.insert(WATCHDOG_VAR.to_string(), bytes);
+            }
+        }
+        vars
+    }
+
+    fn ship_checkpoint(&mut self, env: &mut dyn ProcessEnv) {
+        if !self.core.active {
+            return;
+        }
+        let vars = self.current_vars();
+        let full = match self.core.config.checkpoint_mode {
+            CheckpointMode::Full => true,
+            CheckpointMode::Selective { refresh_every } => {
+                self.core.need_full || self.core.deltas_since_full >= refresh_every
+            }
+        };
+        let payload = if full {
+            CheckpointPayload::Full(vars.clone())
+        } else {
+            let delta = crate::checkpoint::diff(&self.core.last_shipped, &vars);
+            if delta.is_empty() {
+                return; // nothing changed; the peer's copy is current
+            }
+            CheckpointPayload::Delta(delta)
+        };
+        self.core.ckpt_seq += 1;
+        if full {
+            self.core.need_full = false;
+            self.core.deltas_since_full = 0;
+        } else {
+            self.core.deltas_since_full += 1;
+        }
+        let checkpoint = Checkpoint::new(self.core.term, self.core.ckpt_seq, env.now(), payload);
+        self.core.shipped_position = (self.core.term, self.core.ckpt_seq);
+        let size = checkpoint.wire_size();
+        {
+            let mut probe = self.core.probe.lock();
+            probe.ckpts_sent += 1;
+            probe.ckpt_bytes_sent += size;
+            if full {
+                probe.fulls_sent += 1;
+            }
+        }
+        self.core.last_shipped = vars;
+        let peer = self.core.peer_endpoint.clone();
+        env.send_sized(peer, FtimPeerMsg::Ckpt(checkpoint), size);
+    }
+
+    fn handle_engine(&mut self, msg: FromEngine, env: &mut dyn ProcessEnv) {
+        self.core.last_engine_heard = env.now();
+        self.core.engine_restart_pending = false;
+        match msg {
+            FromEngine::EngineHeartbeat => {}
+            FromEngine::RoleUpdate { role, term } => {
+                self.core.role = role;
+                self.core.term = term;
+                match role {
+                    Role::Primary if !self.core.active && !self.core.pending_restore => {
+                        let store_newer = self.core.store.is_restorable()
+                            && self.core.store.position() > self.core.shipped_position;
+                        if store_newer {
+                            // Normal switchover: the peer's checkpoints in
+                            // our store are the freshest state.
+                            let image = self.core.store.to_restore_image();
+                            self.activate(env, Some((image, true)));
+                        } else if self.core.shipped_position > (0, 0) {
+                            // This incarnation was primary before (e.g. a
+                            // fail-safe blip while the engine restarted);
+                            // its live state is newer than any checkpoint —
+                            // resume in place, no rollback.
+                            self.activate_in_place(env);
+                        } else {
+                            // Fresh incarnation on the primary node (local
+                            // restart): the newest state lives in the
+                            // peer's store.
+                            self.core.pending_restore = true;
+                            let peer = self.core.peer_endpoint.clone();
+                            env.send_msg(peer, FtimPeerMsg::RestoreRequest);
+                            let timeout = self.core.config.component_timeout;
+                            self.core.restore_timer =
+                                Some(env.set_timer(timeout, RESTORE_TIMEOUT));
+                        }
+                    }
+                    Role::Backup | Role::Negotiating => {
+                        self.core.pending_restore = false;
+                        self.deactivate(env, "demoted");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn handle_peer(&mut self, msg: FtimPeerMsg, from: Endpoint, env: &mut dyn ProcessEnv) {
+        match msg {
+            FtimPeerMsg::Ckpt(checkpoint) => {
+                let (term, seq) = (checkpoint.term, checkpoint.seq);
+                match self.core.store.offer(&checkpoint) {
+                    AcceptOutcome::Installed => {
+                        self.core.probe.lock().ckpts_installed += 1;
+                        env.send_msg(from, FtimPeerMsg::CkptAck { term, seq });
+                    }
+                    AcceptOutcome::Rejected(crate::checkpoint::RejectReason::Stale) => {
+                        // Retransmission: re-ack our position so the peer
+                        // makes progress.
+                        let (term, seq) = self.core.store.position();
+                        env.send_msg(from, FtimPeerMsg::CkptAck { term, seq });
+                    }
+                    AcceptOutcome::Rejected(_) => {
+                        env.record(
+                            TraceCategory::Checkpoint,
+                            format!(
+                                "{}: checkpoint ({term},{seq}) unusable; requesting full",
+                                env.self_endpoint()
+                            ),
+                        );
+                        env.send_msg(from, FtimPeerMsg::CkptNack);
+                    }
+                }
+            }
+            FtimPeerMsg::CkptAck { term, seq } => {
+                let mut probe = self.core.probe.lock();
+                if (term, seq) > probe.last_acked {
+                    probe.last_acked = (term, seq);
+                }
+            }
+            FtimPeerMsg::CkptNack => {
+                self.core.need_full = true;
+            }
+            FtimPeerMsg::RestoreRequest => {
+                // Serve from the freshest source we have: our live state if
+                // active, else our store.
+                let reply = if self.core.active {
+                    let vars = self.current_vars();
+                    FtimPeerMsg::RestoreReply {
+                        image: Some(vars),
+                        term: self.core.term,
+                        seq: self.core.ckpt_seq,
+                    }
+                } else if self.core.store.is_restorable() {
+                    let (term, seq) = self.core.store.position();
+                    FtimPeerMsg::RestoreReply {
+                        image: Some(self.core.store.to_restore_image()),
+                        term,
+                        seq,
+                    }
+                } else {
+                    FtimPeerMsg::RestoreReply { image: None, term: 0, seq: 0 }
+                };
+                let size = match &reply {
+                    FtimPeerMsg::RestoreReply { image: Some(vars), .. } => {
+                        64 + vars.iter().map(|(n, b)| 8 + n.len() as u64 + b.len() as u64).sum::<u64>()
+                    }
+                    _ => 64,
+                };
+                env.send_sized(from, reply, size);
+            }
+            FtimPeerMsg::RestoreReply { image, .. } => {
+                if !self.core.pending_restore {
+                    return;
+                }
+                self.core.pending_restore = false;
+                if let Some(handle) = self.core.restore_timer.take() {
+                    env.cancel_timer(handle);
+                }
+                self.activate(env, image.map(|vars| (vars, false)));
+            }
+        }
+    }
+
+    fn heartbeat_tick(&mut self, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        let service = self.core.service_endpoint.service.clone();
+        let engine = self.core.engine_endpoint.clone();
+        env.send_msg(engine, ToEngine::Heartbeat { service });
+
+        // Failure class d: the local engine went silent. Fail safe (a
+        // possibly-promoted peer must not find two active applications) and
+        // bring the engine back.
+        let engine_silent = now.saturating_since(self.core.last_engine_heard)
+            > self.core.config.fail_safe_timeout;
+        if engine_silent && !self.core.engine_restart_pending && self.core.last_engine_heard > SimTime::ZERO
+        {
+            self.core.engine_restart_pending = true;
+            self.core.probe.lock().engine_restarts += 1;
+            env.record(
+                TraceCategory::Engine,
+                format!("{}: engine silent; restarting it", env.self_endpoint()),
+            );
+            self.deactivate(env, "engine silent (fail-safe)");
+            let node = env.self_endpoint().node;
+            env.restart_service(node, &engine_service());
+            // Re-register once the new engine is up (it has no component
+            // table); registration is idempotent, so just re-send now and
+            // rely on heartbeats afterwards.
+            let service = self.core.service_endpoint.service.clone();
+            let rule = self.core.rule;
+            env.send_msg(
+                self.core.engine_endpoint.clone(),
+                ToEngine::Register { service, kind: FtimKind::OpcClient, rule },
+            );
+        }
+        if self.core.engine_restart_pending {
+            // Keep re-registering until the engine answers.
+            let service = self.core.service_endpoint.service.clone();
+            let rule = self.core.rule;
+            env.send_msg(
+                self.core.engine_endpoint.clone(),
+                ToEngine::Register { service, kind: FtimKind::OpcClient, rule },
+            );
+        }
+
+        // Watchdogs (checked at heartbeat granularity).
+        if self.core.active {
+            let expired = self.core.watchdogs.collect_expired(now);
+            for name in expired {
+                env.record(
+                    TraceCategory::App,
+                    format!("{}: watchdog {name:?} expired", env.self_endpoint()),
+                );
+                self.ctx_call(env, |app, ctx| app.on_watchdog(&name, ctx));
+            }
+        }
+    }
+}
+
+impl<A: FtApplication> Process for FtProcess<A> {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        let me = env.self_endpoint();
+        let node = me.node;
+        let peer_node = self.core.config.pair.peer_of(node);
+        self.core.service_endpoint = me.clone();
+        self.core.engine_endpoint = crate::config::engine_endpoint(node);
+        self.core.peer_endpoint = Endpoint::new(peer_node, me.service.clone());
+        self.core.last_engine_heard = env.now();
+        let rule = self.core.rule;
+        env.send_msg(
+            self.core.engine_endpoint.clone(),
+            ToEngine::Register {
+                service: me.service.clone(),
+                kind: FtimKind::OpcClient,
+                rule,
+            },
+        );
+        env.set_timer(self.core.config.heartbeat_period, HEARTBEAT_TICK);
+        env.set_timer(self.core.config.checkpoint_period, CHECKPOINT_TICK);
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        match token {
+            HEARTBEAT_TICK => {
+                self.heartbeat_tick(env);
+                env.set_timer(self.core.config.heartbeat_period, HEARTBEAT_TICK);
+            }
+            CHECKPOINT_TICK => {
+                self.ship_checkpoint(env);
+                env.set_timer(self.core.config.checkpoint_period, CHECKPOINT_TICK);
+            }
+            RESTORE_TIMEOUT
+                if self.core.pending_restore => {
+                    self.core.pending_restore = false;
+                    self.core.restore_timer = None;
+                    self.activate(env, None);
+                }
+            token if token < FTIM_TIMER_BASE
+                && self.core.active => {
+                    self.ctx_call(env, |app, ctx| app.on_app_timer(token, ctx));
+                }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        let from = envelope.from.clone();
+        if envelope.body.is::<FromEngine>() {
+            let msg = envelope.body.downcast::<FromEngine>().expect("checked");
+            self.handle_engine(msg, env);
+        } else if envelope.body.is::<FtimPeerMsg>() {
+            let msg = envelope.body.downcast::<FtimPeerMsg>().expect("checked");
+            self.handle_peer(msg, from, env);
+        } else if self.core.active {
+            self.ctx_call(env, |app, ctx| app.on_app_message(envelope, ctx));
+        }
+    }
+}
+
+/// The stateless *OPC server FTIM* (paper §2.2.2): registers with the
+/// engine and heartbeats, but takes no checkpoints — wrap any [`Process`].
+pub struct ServerFtProcess<P: Process> {
+    inner: P,
+    config: OfttConfig,
+    engine: Option<Endpoint>,
+}
+
+impl<P: Process> ServerFtProcess<P> {
+    /// Wraps `inner` with registration + heartbeats.
+    pub fn new(config: OfttConfig, inner: P) -> Self {
+        ServerFtProcess { inner, config, engine: None }
+    }
+}
+
+impl<P: Process> Process for ServerFtProcess<P> {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        let me = env.self_endpoint();
+        let engine = crate::config::engine_endpoint(me.node);
+        env.send_msg(
+            engine.clone(),
+            ToEngine::Register {
+                service: me.service.clone(),
+                kind: FtimKind::OpcServer,
+                rule: RecoveryRule::LocalRestart { max_attempts: u32::MAX },
+            },
+        );
+        self.engine = Some(engine);
+        env.set_timer(self.config.heartbeat_period, HEARTBEAT_TICK);
+        self.inner.on_start(env);
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        if token == HEARTBEAT_TICK {
+            if let Some(engine) = &self.engine {
+                let service = env.self_endpoint().service;
+                env.send_msg(engine.clone(), ToEngine::Heartbeat { service });
+            }
+            env.set_timer(self.config.heartbeat_period, HEARTBEAT_TICK);
+            return;
+        }
+        self.inner.on_timer(token, env);
+    }
+
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if envelope.body.is::<FromEngine>() {
+            return; // role changes don't affect a stateless server
+        }
+        self.inner.on_message(envelope, env);
+    }
+}

@@ -1,0 +1,106 @@
+//! Roles and the precedence rule that keeps at most one primary.
+
+use std::fmt;
+
+use ds_net::endpoint::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A node's role within the pair (paper §2.2.1, "role management").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Startup: negotiating with the peer.
+    Negotiating,
+    /// Executing the application and shipping checkpoints.
+    Primary,
+    /// Holding checkpoints, ready to take over.
+    Backup,
+}
+
+impl Role {
+    /// `true` for [`Role::Primary`].
+    pub fn is_primary(self) -> bool {
+        matches!(self, Role::Primary)
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Negotiating => "negotiating",
+            Role::Primary => "primary",
+            Role::Backup => "backup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A claim to primaryship: the promotion epoch plus the claimant, totally
+/// ordered so any two engines resolve a dual-primary identically.
+///
+/// Higher term wins (a later promotion supersedes); ties break toward the
+/// lower node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Claim {
+    /// Promotion epoch.
+    pub term: u64,
+    /// Claimant node.
+    pub node: NodeId,
+}
+
+impl Claim {
+    /// Creates a claim.
+    pub fn new(term: u64, node: NodeId) -> Self {
+        Claim { term, node }
+    }
+
+    /// `true` if this claim beats `other`.
+    pub fn beats(&self, other: &Claim) -> bool {
+        self.term > other.term || (self.term == other.term && self.node < other.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates_and_display() {
+        assert!(Role::Primary.is_primary());
+        assert!(!Role::Backup.is_primary());
+        assert_eq!(Role::Negotiating.to_string(), "negotiating");
+    }
+
+    #[test]
+    fn higher_term_beats_lower() {
+        let newer = Claim::new(3, NodeId(9));
+        let older = Claim::new(2, NodeId(1));
+        assert!(newer.beats(&older));
+        assert!(!older.beats(&newer));
+    }
+
+    #[test]
+    fn equal_terms_break_toward_lower_node() {
+        let low = Claim::new(5, NodeId(1));
+        let high = Claim::new(5, NodeId(2));
+        assert!(low.beats(&high));
+        assert!(!high.beats(&low));
+    }
+
+    #[test]
+    fn precedence_is_total_and_antisymmetric() {
+        let claims = [
+            Claim::new(0, NodeId(0)),
+            Claim::new(0, NodeId(1)),
+            Claim::new(1, NodeId(0)),
+            Claim::new(1, NodeId(1)),
+        ];
+        for x in &claims {
+            assert!(!x.beats(x), "a claim never beats itself");
+            for y in &claims {
+                if x != y {
+                    assert_ne!(x.beats(y), y.beats(x), "exactly one of {x:?},{y:?} wins");
+                }
+            }
+        }
+    }
+}

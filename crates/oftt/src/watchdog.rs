@@ -1,0 +1,237 @@
+//! Reliable watchdog timer objects (`OFTTWatchdogCreate/Set/Reset/Delete`,
+//! paper §2.2.2).
+//!
+//! A watchdog is an application-visible deadline that *survives failover*:
+//! its state (deadline, period) is serialized into every checkpoint, and a
+//! newly activated primary re-arms the restored watchdogs with their
+//! remaining time. An expired watchdog is delivered to the application as
+//! `on_watchdog(name)`.
+
+use std::collections::BTreeMap;
+
+use ds_sim::prelude::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The reserved variable name watchdog state is checkpointed under.
+pub const WATCHDOG_VAR: &str = "__oftt.watchdogs";
+
+/// One watchdog's persistent state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogEntry {
+    /// Absolute expiry; `None` while unarmed.
+    pub deadline: Option<SimTime>,
+    /// The interval used by `set`/`reset`.
+    pub period: SimDuration,
+}
+
+/// The table of watchdog objects owned by one application.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogTable {
+    entries: BTreeMap<String, WatchdogEntry>,
+}
+
+/// Errors from watchdog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogError {
+    /// `create` with a name that already exists.
+    AlreadyExists(String),
+    /// `set`/`reset`/`delete` of an unknown name.
+    NotFound(String),
+}
+
+impl std::fmt::Display for WatchdogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchdogError::AlreadyExists(n) => write!(f, "watchdog {n:?} already exists"),
+            WatchdogError::NotFound(n) => write!(f, "watchdog {n:?} not found"),
+        }
+    }
+}
+
+impl std::error::Error for WatchdogError {}
+
+impl WatchdogTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        WatchdogTable::default()
+    }
+
+    /// `OFTTWatchdogCreate`: registers a watchdog (unarmed).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::AlreadyExists`] on duplicate names.
+    pub fn create(&mut self, name: &str, period: SimDuration) -> Result<(), WatchdogError> {
+        if self.entries.contains_key(name) {
+            return Err(WatchdogError::AlreadyExists(name.to_string()));
+        }
+        self.entries.insert(name.to_string(), WatchdogEntry { deadline: None, period });
+        Ok(())
+    }
+
+    /// `OFTTWatchdogSet`: arms (or re-arms) the watchdog to expire one
+    /// period from `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn set(&mut self, name: &str, now: SimTime) -> Result<SimTime, WatchdogError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
+        let deadline = now + entry.period;
+        entry.deadline = Some(deadline);
+        Ok(deadline)
+    }
+
+    /// `OFTTWatchdogReset`: the "kick" — same as [`WatchdogTable::set`]
+    /// (kept separate to mirror the paper's API).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn reset(&mut self, name: &str, now: SimTime) -> Result<SimTime, WatchdogError> {
+        self.set(name, now)
+    }
+
+    /// Disarms without deleting.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn disarm(&mut self, name: &str) -> Result<(), WatchdogError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
+        entry.deadline = None;
+        Ok(())
+    }
+
+    /// `OFTTWatchdogDelete`: removes the watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchdogError::NotFound`] for unknown names.
+    pub fn delete(&mut self, name: &str) -> Result<(), WatchdogError> {
+        self.entries
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| WatchdogError::NotFound(name.to_string()))
+    }
+
+    /// Names of watchdogs expired at `now`, disarming each (one firing per
+    /// set, like a one-shot timer).
+    pub fn collect_expired(&mut self, now: SimTime) -> Vec<String> {
+        let mut fired = Vec::new();
+        for (name, entry) in self.entries.iter_mut() {
+            if let Some(deadline) = entry.deadline {
+                if deadline <= now {
+                    entry.deadline = None;
+                    fired.push(name.clone());
+                }
+            }
+        }
+        fired
+    }
+
+    /// The earliest pending deadline, if any (drives the FTIM's timer).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries.values().filter_map(|e| e.deadline).min()
+    }
+
+    /// Whether a watchdog exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// A watchdog's current state.
+    pub fn entry(&self, name: &str) -> Option<&WatchdogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Number of watchdogs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no watchdogs exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_set_fire_cycle() {
+        let mut table = WatchdogTable::new();
+        table.create("deadman", SimDuration::from_secs(5)).unwrap();
+        assert!(table.collect_expired(SimTime::from_secs(100)).is_empty(), "unarmed");
+        let deadline = table.set("deadman", SimTime::from_secs(10)).unwrap();
+        assert_eq!(deadline, SimTime::from_secs(15));
+        assert!(table.collect_expired(SimTime::from_secs(14)).is_empty());
+        assert_eq!(table.collect_expired(SimTime::from_secs(15)), vec!["deadman".to_string()]);
+        // One-shot: a second collect finds nothing.
+        assert!(table.collect_expired(SimTime::from_secs(99)).is_empty());
+    }
+
+    #[test]
+    fn reset_postpones_expiry() {
+        let mut table = WatchdogTable::new();
+        table.create("w", SimDuration::from_secs(5)).unwrap();
+        table.set("w", SimTime::from_secs(0)).unwrap();
+        table.reset("w", SimTime::from_secs(4)).unwrap();
+        assert!(table.collect_expired(SimTime::from_secs(5)).is_empty(), "kick worked");
+        assert_eq!(table.collect_expired(SimTime::from_secs(9)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_missing_names_error() {
+        let mut table = WatchdogTable::new();
+        table.create("w", SimDuration::from_secs(1)).unwrap();
+        assert_eq!(
+            table.create("w", SimDuration::from_secs(2)),
+            Err(WatchdogError::AlreadyExists("w".into()))
+        );
+        assert_eq!(table.set("ghost", SimTime::ZERO), Err(WatchdogError::NotFound("ghost".into())));
+        assert_eq!(table.delete("ghost"), Err(WatchdogError::NotFound("ghost".into())));
+    }
+
+    #[test]
+    fn delete_and_disarm() {
+        let mut table = WatchdogTable::new();
+        table.create("w", SimDuration::from_secs(1)).unwrap();
+        table.set("w", SimTime::ZERO).unwrap();
+        table.disarm("w").unwrap();
+        assert!(table.collect_expired(SimTime::from_secs(10)).is_empty());
+        table.delete("w").unwrap();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_is_earliest() {
+        let mut table = WatchdogTable::new();
+        table.create("a", SimDuration::from_secs(10)).unwrap();
+        table.create("b", SimDuration::from_secs(3)).unwrap();
+        table.set("a", SimTime::ZERO).unwrap();
+        table.set("b", SimTime::ZERO).unwrap();
+        assert_eq!(table.next_deadline(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn table_survives_serde_round_trip() {
+        let mut table = WatchdogTable::new();
+        table.create("deadman", SimDuration::from_secs(5)).unwrap();
+        table.set("deadman", SimTime::from_secs(1)).unwrap();
+        let bytes = comsim::marshal::to_bytes(&table).unwrap();
+        let back: WatchdogTable = comsim::marshal::from_bytes(&bytes).unwrap();
+        assert_eq!(back, table);
+        // The restored table still knows its deadline — this is what makes
+        // the watchdog survive a failover.
+        assert_eq!(back.next_deadline(), Some(SimTime::from_secs(6)));
+    }
+}

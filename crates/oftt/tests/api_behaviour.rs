@@ -1,0 +1,200 @@
+//! End-to-end behaviour of the paper's API surface: `OFTTDistress` forces
+//! a switchover, `OFTTSave` ships immediately (event-based checkpointing),
+//! and `OFTTSelSave` designation filters what travels.
+
+use std::sync::Arc;
+
+use ds_net::link::Link;
+use ds_net::message::Envelope;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, NodeId, SimTime};
+use oftt::checkpoint::VarSet;
+use oftt::prelude::*;
+use parking_lot::Mutex;
+
+/// An app scripted through external command messages.
+struct Scripted {
+    big: Vec<u8>,     // a large variable
+    small: u64,       // a small variable
+    view: Arc<Mutex<(u64, bool)>>,
+}
+
+impl Scripted {
+    fn new(view: Arc<Mutex<(u64, bool)>>) -> Self {
+        *view.lock() = (0, false);
+        Scripted { big: vec![0xAB; 64 * 1024], small: 0, view }
+    }
+}
+
+impl FtApplication for Scripted {
+    fn snapshot(&self) -> VarSet {
+        [
+            ("big".to_string(), self.big.clone()),
+            ("small".to_string(), comsim::marshal::to_bytes(&self.small).unwrap()),
+        ]
+        .into_iter()
+        .collect()
+    }
+    fn restore(&mut self, image: &VarSet) {
+        if let Some(b) = image.get("big") {
+            self.big = b.clone();
+        }
+        if let Some(b) = image.get("small") {
+            self.small = comsim::marshal::from_bytes(b).unwrap();
+        }
+        *self.view.lock() = (self.small, false);
+    }
+    fn on_activate(&mut self, _ctx: &mut FtCtx<'_>) {
+        let small = self.small;
+        *self.view.lock() = (small, true);
+    }
+    fn on_deactivate(&mut self, _ctx: &mut FtCtx<'_>) {
+        let small = self.small;
+        *self.view.lock() = (small, false);
+    }
+    fn on_app_message(&mut self, envelope: Envelope, ctx: &mut FtCtx<'_>) {
+        let Some(cmd) = envelope.body.downcast_ref::<String>() else { return };
+        match cmd.as_str() {
+            "bump-and-save" => {
+                self.small += 1;
+                *self.view.lock() = (self.small, true);
+                // OFTTSave: event-based checkpoint, right now.
+                oftt::api::oftt_save(ctx);
+            }
+            "designate-small" => {
+                // OFTTSelSave: only `small` travels from here on.
+                oftt::api::oftt_sel_save(ctx, &["small"]);
+            }
+            "distress" => {
+                // OFTTDistress: ask the engine for a switchover.
+                oftt::api::oftt_distress(ctx, "operator request");
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Rig {
+    cs: ClusterSim,
+    a: NodeId,
+    b: NodeId,
+    probes: [Arc<Mutex<EngineProbe>>; 2],
+    ftims: [Arc<Mutex<FtimProbe>>; 2],
+    views: [Arc<Mutex<(u64, bool)>>; 2],
+}
+
+fn rig(seed: u64) -> Rig {
+    let mut cs = ClusterSim::new(seed);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, Link::dual());
+    let config = OfttConfig::new(Pair::new(a, b));
+    let probes = [
+        Arc::new(Mutex::new(EngineProbe::default())),
+        Arc::new(Mutex::new(EngineProbe::default())),
+    ];
+    let ftims = [
+        Arc::new(Mutex::new(FtimProbe::default())),
+        Arc::new(Mutex::new(FtimProbe::default())),
+    ];
+    let views = [Arc::new(Mutex::new((0, false))), Arc::new(Mutex::new((0, false)))];
+    for (idx, node) in [a, b].into_iter().enumerate() {
+        let engine_config = config.clone();
+        let probe = probes[idx].clone();
+        cs.register_service(
+            node,
+            engine_service(),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+            true,
+        );
+        let app_config = config.clone();
+        let ftim = ftims[idx].clone();
+        let view = views[idx].clone();
+        cs.register_service(
+            node,
+            "scripted",
+            Box::new(move || {
+                Box::new(FtProcess::new(
+                    app_config.clone(),
+                    RecoveryRule::default(),
+                    Scripted::new(view.clone()),
+                    ftim.clone(),
+                ))
+            }),
+            true,
+        );
+    }
+    Rig { cs, a, b, probes, ftims, views }
+}
+
+fn primary(rig: &Rig) -> (NodeId, usize) {
+    if rig.probes[0].lock().current_role() == Some(Role::Primary) {
+        (rig.a, 0)
+    } else {
+        (rig.b, 1)
+    }
+}
+
+#[test]
+fn oftt_save_ships_immediately() {
+    let mut r = rig(701);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    let (p, idx) = primary(&r);
+    let sent_before = r.ftims[idx].lock().ckpts_sent;
+    // Two bumps within one checkpoint period: each must ship its own
+    // event-based checkpoint.
+    r.cs.post(SimTime::from_millis(10_100), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.post(SimTime::from_millis(10_300), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.run_until(SimTime::from_millis(10_600));
+    let sent_after = r.ftims[idx].lock().ckpts_sent;
+    assert!(
+        sent_after >= sent_before + 2,
+        "OFTTSave must not wait for the period: {sent_before} -> {sent_after}"
+    );
+}
+
+#[test]
+fn designation_filters_checkpoint_traffic() {
+    let mut r = rig(702);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    let (p, idx) = primary(&r);
+    // Baseline: one undesignated save carries the 64 KiB variable.
+    r.cs.post(SimTime::from_secs(10), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.run_until(SimTime::from_secs(12));
+    let bytes_full = r.ftims[idx].lock().ckpt_bytes_sent;
+    assert!(bytes_full > 64 * 1024, "first save includes the big variable");
+    // Designate only `small`; the next saves must be tiny.
+    r.cs.post(SimTime::from_secs(12), ds_net::Endpoint::new(p, "scripted"), "designate-small".to_string());
+    r.cs.post(SimTime::from_secs(13), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.run_until(SimTime::from_secs(15));
+    let bytes_after = r.ftims[idx].lock().ckpt_bytes_sent;
+    let delta = bytes_after - bytes_full;
+    assert!(
+        delta < 8 * 1024,
+        "designated save must exclude the 64 KiB variable (shipped {delta} bytes)"
+    );
+    // And the designated state still survives a switchover.
+    ds_net::fault::inject(&mut r.cs, SimTime::from_secs(15), ds_net::fault::Fault::CrashNode(p));
+    r.cs.run_until(SimTime::from_secs(30));
+    let other = 1 - idx;
+    let (small, active) = *r.views[other].lock();
+    assert!(active);
+    assert_eq!(small, 2, "both bumps survived via designated checkpoints");
+}
+
+#[test]
+fn distress_hands_over_to_the_backup() {
+    let mut r = rig(703);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    let (p, idx) = primary(&r);
+    r.cs.post(SimTime::from_secs(10), ds_net::Endpoint::new(p, "scripted"), "distress".to_string());
+    r.cs.run_until(SimTime::from_secs(20));
+    let (new_p, new_idx) = primary(&r);
+    assert_ne!(new_p, p, "distress must move primaryship");
+    assert!(r.views[new_idx].lock().1, "the backup's app is active");
+    assert!(!r.views[idx].lock().1, "the distressed app is deactivated");
+    assert!(r.probes[idx].lock().switchover_requests >= 1);
+}

@@ -1,0 +1,148 @@
+//! Property tests for the checkpoint machinery: however checkpoints are
+//! generated, diffed, reordered, duplicated, or corrupted in flight, the
+//! backup store converges to the primary's image and never regresses.
+
+use ds_sim::prelude::SimTime;
+use oftt::checkpoint::{
+    checksum, diff, AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet,
+};
+use proptest::prelude::*;
+
+fn varset_strategy() -> impl Strategy<Value = VarSet> {
+    prop::collection::btree_map("[a-d]{1,3}", prop::collection::vec(any::<u8>(), 0..16), 0..8)
+}
+
+/// A primary-side history: successive images of the application state.
+fn history_strategy() -> impl Strategy<Value = Vec<VarSet>> {
+    prop::collection::vec(varset_strategy(), 1..12)
+}
+
+/// Builds the checkpoint stream (full first, deltas after, periodic fulls)
+/// a primary would ship for the given history. Variables never disappear in
+/// OFTT (designation is fixed), so make each image cumulative.
+fn stream_for(history: &[VarSet], refresh_every: usize) -> (Vec<Checkpoint>, VarSet) {
+    let mut cumulative = VarSet::new();
+    let mut shipped = VarSet::new();
+    let mut out = Vec::new();
+    let mut seq = 0;
+    for (i, image) in history.iter().enumerate() {
+        for (k, v) in image {
+            cumulative.insert(k.clone(), v.clone());
+        }
+        seq += 1;
+        let payload = if i == 0 || i % refresh_every == 0 {
+            CheckpointPayload::Full(cumulative.clone())
+        } else {
+            let delta = diff(&shipped, &cumulative);
+            CheckpointPayload::Delta(delta)
+        };
+        shipped = cumulative.clone();
+        out.push(Checkpoint::new(1, seq, SimTime::from_millis(seq), payload));
+    }
+    (out, cumulative)
+}
+
+proptest! {
+    /// In-order delivery of any generated stream converges the store to
+    /// the primary's final image.
+    #[test]
+    fn in_order_stream_converges(history in history_strategy(), refresh in 1usize..6) {
+        let (stream, final_image) = stream_for(&history, refresh);
+        let mut store = CheckpointStore::new();
+        for checkpoint in &stream {
+            prop_assert_eq!(store.offer(checkpoint), AcceptOutcome::Installed);
+        }
+        prop_assert_eq!(store.vars(), &final_image);
+    }
+
+    /// Duplicated checkpoints (retransmissions) are rejected as stale and
+    /// never change the image.
+    #[test]
+    fn duplicates_never_change_the_image(history in history_strategy(), dup_at in any::<prop::sample::Index>()) {
+        let (stream, final_image) = stream_for(&history, 4);
+        let mut store = CheckpointStore::new();
+        let dup = dup_at.get(&stream).clone();
+        for checkpoint in &stream {
+            store.offer(checkpoint);
+            // Replay an arbitrary earlier-or-equal checkpoint after each
+            // install; it must never be installed again.
+            if checkpoint.seq >= dup.seq {
+                prop_assert!(matches!(store.offer(&dup), AcceptOutcome::Rejected(_)));
+            }
+        }
+        prop_assert_eq!(store.vars(), &final_image);
+    }
+
+    /// Dropping any single delta forces an out-of-order rejection for the
+    /// rest of the term (exactly the condition that triggers a NACK and a
+    /// full resend) — the store never silently installs a gapped image.
+    #[test]
+    fn gapped_deltas_are_refused(history in history_strategy()) {
+        prop_assume!(history.len() >= 4);
+        let (stream, _) = stream_for(&history, 100); // one full, then deltas
+        let mut store = CheckpointStore::new();
+        store.offer(&stream[0]);
+        // Skip stream[1]; every later delta must be refused.
+        for checkpoint in &stream[2..] {
+            prop_assert_eq!(
+                store.offer(checkpoint),
+                AcceptOutcome::Rejected(oftt::checkpoint::RejectReason::OutOfOrder)
+            );
+        }
+        // A fresh full with a later seq recovers the stream.
+        let recovery = Checkpoint::new(
+            1,
+            stream.last().unwrap().seq + 1,
+            SimTime::from_secs(99),
+            CheckpointPayload::Full(VarSet::new()),
+        );
+        prop_assert_eq!(store.offer(&recovery), AcceptOutcome::Installed);
+    }
+
+    /// Bit-flips anywhere in any payload are detected by the checksum.
+    #[test]
+    fn corruption_is_always_detected(
+        image in varset_strategy(),
+        byte in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        prop_assume!(!image.is_empty());
+        let mut corrupted = image.clone();
+        // Flip one byte of one value (or extend an empty value).
+        let keys: Vec<String> = corrupted.keys().cloned().collect();
+        let key = byte.get(&keys).clone();
+        let bytes = corrupted.get_mut(&key).unwrap();
+        if bytes.is_empty() {
+            bytes.push(flip);
+        } else {
+            let i = byte.index(bytes.len());
+            bytes[i] ^= flip;
+        }
+        prop_assert_ne!(checksum(&image), checksum(&corrupted));
+        let mut checkpoint =
+            Checkpoint::new(1, 1, SimTime::ZERO, CheckpointPayload::Full(image));
+        checkpoint.payload = CheckpointPayload::Full(corrupted);
+        prop_assert!(!checkpoint.verify());
+        let mut store = CheckpointStore::new();
+        prop_assert_eq!(
+            store.offer(&checkpoint),
+            AcceptOutcome::Rejected(oftt::checkpoint::RejectReason::Corrupt)
+        );
+    }
+
+    /// diff() is exact: applying the delta to the old image yields the new
+    /// one (for cumulative histories, where keys never vanish).
+    #[test]
+    fn diff_apply_round_trips(old in varset_strategy(), update in varset_strategy()) {
+        let mut new_image = old.clone();
+        for (k, v) in &update {
+            new_image.insert(k.clone(), v.clone());
+        }
+        let delta = diff(&old, &new_image);
+        let mut rebuilt = old.clone();
+        for (k, v) in &delta {
+            rebuilt.insert(k.clone(), v.clone());
+        }
+        prop_assert_eq!(rebuilt, new_image);
+    }
+}

@@ -1,0 +1,212 @@
+//! Focused diverter tests: parking before discovery, flush on discovery,
+//! claim-based primary tracking, and the pinned (retarget-off) baseline.
+
+use std::sync::Arc;
+
+use ds_net::fault::{inject, Fault};
+use ds_net::link::Link;
+use ds_net::message::Envelope;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, Endpoint, NodeId, Process, ProcessEnv, SimDuration, SimTime};
+use msgq::client::QueueConsumer;
+use msgq::manager::{manager_endpoint, QueueConfig, QueueManager, QueueStats};
+use oftt::config::{engine_service, OfttConfig, Pair, APP_IN_QUEUE};
+use oftt::diverter::{divert, diverter_service, Diverter};
+use oftt::engine::{Engine, EngineProbe};
+use parking_lot::Mutex;
+
+/// A bare consumer of the app-in queue (no FTIM — we're testing the
+/// diverter, not the toolkit).
+struct Sink {
+    seen: Arc<Mutex<Vec<u64>>>,
+    consumer: Option<QueueConsumer>,
+}
+
+impl Process for Sink {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        let consumer = QueueConsumer::new(manager_endpoint(env.self_endpoint().node), APP_IN_QUEUE);
+        consumer.attach(env);
+        self.consumer = Some(consumer);
+        env.set_timer(SimDuration::from_secs(1), 1);
+    }
+    fn on_timer(&mut self, _t: u64, env: &mut dyn ProcessEnv) {
+        if let Some(consumer) = &self.consumer {
+            consumer.attach(env);
+        }
+        env.set_timer(SimDuration::from_secs(1), 1);
+    }
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if let Some(consumer) = &self.consumer {
+            if let Ok(msg) = consumer.handle_message(envelope, env) {
+                self.seen.lock().push(comsim::marshal::from_bytes(&msg.body).unwrap());
+            }
+        }
+    }
+}
+
+/// Feeds numbered payloads through the diverter starting immediately at
+/// process start — i.e. BEFORE the diverter can have discovered a primary,
+/// exercising the parking buffer.
+struct EarlyFeeder {
+    diverter: Endpoint,
+    count: u64,
+}
+
+impl Process for EarlyFeeder {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        for i in 0..self.count {
+            divert(env, self.diverter.clone(), "n", &i).unwrap();
+        }
+    }
+}
+
+struct Rig {
+    cs: ClusterSim,
+    a: NodeId,
+    b: NodeId,
+    seen: [Arc<Mutex<Vec<u64>>>; 2],
+    probes: [Arc<Mutex<EngineProbe>>; 2],
+}
+
+fn rig(seed: u64, retarget: bool) -> Rig {
+    let mut cs = ClusterSim::new(seed);
+    let a = cs.add_node(NodeConfig::default());
+    let b = cs.add_node(NodeConfig::default());
+    let ext = cs.add_node(NodeConfig::default());
+    cs.connect(a, b, Link::dual());
+    cs.connect(a, ext, Link::single());
+    cs.connect(b, ext, Link::single());
+    let config = OfttConfig::new(Pair::new(a, b));
+    for node in [a, b, ext] {
+        let stats = Arc::new(Mutex::new(QueueStats::default()));
+        cs.register_service(
+            node,
+            msgq::manager::service_name(),
+            Box::new(move || Box::new(QueueManager::new(QueueConfig::default(), stats.clone()))),
+            true,
+        );
+    }
+    let probes = [
+        Arc::new(Mutex::new(EngineProbe::default())),
+        Arc::new(Mutex::new(EngineProbe::default())),
+    ];
+    let seen = [Arc::new(Mutex::new(Vec::new())), Arc::new(Mutex::new(Vec::new()))];
+    for (idx, node) in [a, b].into_iter().enumerate() {
+        let engine_config = config.clone();
+        let probe = probes[idx].clone();
+        cs.register_service(
+            node,
+            engine_service(),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+            true,
+        );
+        let s = seen[idx].clone();
+        cs.register_service(
+            node,
+            "sink",
+            Box::new(move || Box::new(Sink { seen: s.clone(), consumer: None })),
+            true,
+        );
+    }
+    let diverter_config = config.clone();
+    cs.register_service(
+        ext,
+        diverter_service(),
+        Box::new(move || Box::new(Diverter::with_retarget(diverter_config.clone(), retarget))),
+        true,
+    );
+    let target = Endpoint::new(ext, diverter_service());
+    cs.register_service(
+        ext,
+        "feeder",
+        Box::new(move || Box::new(EarlyFeeder { diverter: target.clone(), count: 20 })),
+        true,
+    );
+    Rig { cs, a, b, seen, probes }
+}
+
+/// Messages sent before any primary is known are parked and flushed in
+/// order once discovery completes — none are dropped.
+#[test]
+fn parked_messages_flush_in_order_on_discovery() {
+    let mut r = rig(901, true);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(20));
+    let total: Vec<u64> = {
+        let a = r.seen[0].lock().clone();
+        let b = r.seen[1].lock().clone();
+        assert!(a.is_empty() || b.is_empty(), "one sink only");
+        if a.is_empty() {
+            b
+        } else {
+            a
+        }
+    };
+    assert_eq!(total, (0..20).collect::<Vec<u64>>());
+}
+
+/// Without retargeting, the diverter stays pinned to its first primary
+/// even when the roles move — the ablation behaviour E8 measures.
+#[test]
+fn pinned_diverter_ignores_switchover() {
+    let mut r = rig(902, false);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    // Whoever is primary, crash it; the pinned diverter keeps aiming at it.
+    let primary = if r.probes[0].lock().current_role() == Some(oftt::role::Role::Primary) {
+        r.a
+    } else {
+        r.b
+    };
+    let before: usize = r.seen.iter().map(|s| s.lock().len()).sum();
+    assert_eq!(before, 20, "all early messages landed before the fault");
+    inject(&mut r.cs, SimTime::from_secs(10), Fault::CrashNode(primary));
+    // New traffic after the crash, handed straight to the diverter.
+    let ext = Endpoint::new(NodeId(2), diverter_service());
+    for i in 100..110u64 {
+        let body = comsim::marshal::to_bytes(&i).unwrap();
+        r.cs.post(
+            SimTime::from_secs(15),
+            ext.clone(),
+            oftt::diverter::DivertMsg { label: "n".into(), body },
+        );
+    }
+    r.cs.run_until(SimTime::from_secs(40));
+    let after: usize = r.seen.iter().map(|s| s.lock().len()).sum();
+    assert_eq!(
+        after, before,
+        "pinned diverter keeps sending into the dead node; nothing new arrives"
+    );
+}
+
+/// With retargeting, the same post-crash traffic reaches the survivor.
+#[test]
+fn retargeting_diverter_follows_switchover() {
+    let mut r = rig(903, true);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    let primary = if r.probes[0].lock().current_role() == Some(oftt::role::Role::Primary) {
+        r.a
+    } else {
+        r.b
+    };
+    inject(&mut r.cs, SimTime::from_secs(10), Fault::CrashNode(primary));
+    let ext = Endpoint::new(NodeId(2), diverter_service());
+    for i in 100..110u64 {
+        let body = comsim::marshal::to_bytes(&i).unwrap();
+        r.cs.post(
+            SimTime::from_secs(15),
+            ext.clone(),
+            oftt::diverter::DivertMsg { label: "n".into(), body },
+        );
+    }
+    r.cs.run_until(SimTime::from_secs(40));
+    let survivor_idx = if primary == r.a { 1 } else { 0 };
+    let survivor_seen = r.seen[survivor_idx].lock().clone();
+    for i in 100..110u64 {
+        assert!(
+            survivor_seen.contains(&i),
+            "post-crash message {i} must reach the survivor: {survivor_seen:?}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The server's address space: a flat, ordered map of item ids with
+//! hierarchical browsing derived from the dot-separated paths.
+
+use std::collections::BTreeMap;
+
+use ds_sim::prelude::SimTime;
+
+use crate::item::{BadSub, ItemId, ItemValue, Quality, UncertainSub, Value};
+
+/// A browse result entry.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BrowseEntry {
+    /// Segment name under the browsed position.
+    pub name: String,
+    /// `true` for branches (more levels below), `false` for leaf items.
+    pub is_branch: bool,
+}
+
+/// The item store behind an OPC server.
+///
+/// # Examples
+///
+/// ```
+/// use opc::address_space::AddressSpace;
+/// use opc::item::{ItemId, ItemValue};
+/// use ds_sim::prelude::SimTime;
+///
+/// let mut space = AddressSpace::new();
+/// space.update(ItemId::new("plant.tank1.level"), ItemValue::good(42.0, SimTime::ZERO));
+/// let entries = space.browse("plant");
+/// assert_eq!(entries[0].name, "tank1");
+/// assert!(entries[0].is_branch);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    items: BTreeMap<ItemId, ItemValue>,
+}
+
+impl AddressSpace {
+    /// An empty space.
+    pub fn new() -> Self {
+        AddressSpace::default()
+    }
+
+    /// Inserts or updates an item's current value.
+    pub fn update(&mut self, id: ItemId, value: ItemValue) {
+        self.items.insert(id, value);
+    }
+
+    /// Reads an item; unknown ids yield `Bad(ConfigError)` (OPC servers
+    /// answer reads per-item, not with a call-level failure).
+    pub fn read(&self, id: &ItemId, now: SimTime) -> ItemValue {
+        match self.items.get(id) {
+            Some(v) => v.clone(),
+            None => ItemValue {
+                value: Value::R8(0.0),
+                quality: Quality::Bad(BadSub::ConfigError),
+                timestamp: now,
+            },
+        }
+    }
+
+    /// `true` if the item exists.
+    pub fn contains(&self, id: &ItemId) -> bool {
+        self.items.contains_key(id)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Marks every item's quality `Uncertain(LastUsable)` — applied when
+    /// the device connection is lost but stale values remain displayable.
+    pub fn degrade_all(&mut self) {
+        for v in self.items.values_mut() {
+            if v.quality.is_good() {
+                v.quality = Quality::Uncertain(UncertainSub::LastUsable);
+            }
+        }
+    }
+
+    /// Browses one level below `position` (empty string = root), OPC
+    /// `BrowseOPCItemIDs` style.
+    pub fn browse(&self, position: &str) -> Vec<BrowseEntry> {
+        let mut out: Vec<BrowseEntry> = Vec::new();
+        for id in self.items.keys() {
+            let path = id.as_str();
+            let rest = if position.is_empty() {
+                path
+            } else if id.is_under(position) && path.len() > position.len() {
+                &path[position.len() + 1..]
+            } else {
+                continue;
+            };
+            let (name, is_branch) = match rest.split_once('.') {
+                Some((head, _)) => (head, true),
+                None => (rest, false),
+            };
+            match out.iter_mut().find(|e| e.name == name) {
+                Some(entry) => entry.is_branch |= is_branch,
+                None => out.push(BrowseEntry { name: name.to_string(), is_branch }),
+            }
+        }
+        out
+    }
+
+    /// Iterates all items in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ItemId, &ItemValue)> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let mut s = AddressSpace::new();
+        for (id, v) in [
+            ("plant.tank1.level", 42.0),
+            ("plant.tank1.valve", 1.0),
+            ("plant.tank2.level", 13.0),
+            ("site.meta", 0.0),
+        ] {
+            s.update(ItemId::new(id), ItemValue::good(v, SimTime::ZERO));
+        }
+        s
+    }
+
+    #[test]
+    fn read_known_and_unknown() {
+        let s = space();
+        assert!(s.read(&ItemId::new("plant.tank1.level"), SimTime::ZERO).quality.is_good());
+        let missing = s.read(&ItemId::new("plant.ghost"), SimTime::from_secs(5));
+        assert_eq!(missing.quality, Quality::Bad(BadSub::ConfigError));
+        assert_eq!(missing.timestamp, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn browse_root_and_branches() {
+        let s = space();
+        let root = s.browse("");
+        assert_eq!(
+            root,
+            vec![
+                BrowseEntry { name: "plant".into(), is_branch: true },
+                BrowseEntry { name: "site".into(), is_branch: true },
+            ]
+        );
+        let plant = s.browse("plant");
+        assert_eq!(plant.len(), 2);
+        assert!(plant.iter().all(|e| e.is_branch));
+        let tank1 = s.browse("plant.tank1");
+        assert_eq!(
+            tank1,
+            vec![
+                BrowseEntry { name: "level".into(), is_branch: false },
+                BrowseEntry { name: "valve".into(), is_branch: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn browse_missing_position_is_empty() {
+        assert!(space().browse("nowhere").is_empty());
+    }
+
+    #[test]
+    fn degrade_marks_good_items_uncertain() {
+        let mut s = space();
+        s.degrade_all();
+        let v = s.read(&ItemId::new("plant.tank1.level"), SimTime::ZERO);
+        assert_eq!(v.quality, Quality::Uncertain(UncertainSub::LastUsable));
+        // Degrading twice keeps the substatus (no panic, no flip).
+        s.degrade_all();
+        let v = s.read(&ItemId::new("plant.tank1.level"), SimTime::ZERO);
+        assert_eq!(v.quality, Quality::Uncertain(UncertainSub::LastUsable));
+    }
+
+    #[test]
+    fn updates_overwrite() {
+        let mut s = space();
+        s.update(ItemId::new("plant.tank1.level"), ItemValue::good(99.0, SimTime::from_secs(1)));
+        let v = s.read(&ItemId::new("plant.tank1.level"), SimTime::ZERO);
+        assert_eq!(v.value, Value::R8(99.0));
+        assert_eq!(s.len(), 4);
+    }
+}

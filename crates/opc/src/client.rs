@@ -1,0 +1,319 @@
+//! The OPC client helper — the API surface an application (the paper's
+//! "OPC client") embeds to talk to an OPC server.
+//!
+//! Wraps a [`comsim::rpc::RpcClient`] with typed calls for the four server
+//! interfaces and decodes `OnDataChange` pushes. The owning process routes
+//! unrecognized envelopes and timers through [`OpcClient::handle_message`] /
+//! [`OpcClient::handle_timer`] and acts on the returned [`OpcEvent`]s.
+
+use std::collections::HashMap;
+
+use comsim::hresult::{ComError, ComResult, HResult};
+use comsim::rpc::{decode_reply, RpcClient, RpcPoll};
+use ds_net::endpoint::Endpoint;
+use ds_net::message::Envelope;
+use ds_net::process::ProcessEnv;
+use ds_sim::prelude::SimDuration;
+
+use crate::address_space::BrowseEntry;
+use crate::item::{ItemValue, Value};
+use crate::server::{
+    iid_opc_async_io, iid_opc_browse, iid_opc_group_mgt, iid_opc_server, iid_opc_sync_io, methods,
+    AddGroupArgs, AddItemsArgs, AsyncReadArgs, AsyncReadComplete, DataChange, GroupId,
+    ServerStatus,
+};
+
+/// What kind of reply a pending call expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Status,
+    Read,
+    AsyncReadAccepted,
+    Write,
+    Browse,
+    AddGroup,
+    AddItems,
+    RemoveGroup,
+}
+
+/// A decoded client-side event.
+#[derive(Debug)]
+pub enum OpcEvent {
+    /// `GetStatus` completed.
+    Status(ServerStatus),
+    /// `Read` completed: per-item values.
+    ReadComplete(Vec<(String, ItemValue)>),
+    /// The server accepted an async read (results follow as
+    /// [`OpcEvent::AsyncReadComplete`]).
+    AsyncReadAccepted {
+        /// The accepted transaction.
+        transaction_id: u32,
+    },
+    /// An async read's `OnReadComplete` callback arrived.
+    AsyncReadComplete {
+        /// Correlates with the accepted transaction.
+        transaction_id: u32,
+        /// Per-item results.
+        items: Vec<(String, ItemValue)>,
+    },
+    /// `Write` completed: per-item HRESULTs.
+    WriteComplete(Vec<HResult>),
+    /// `Browse` completed.
+    BrowseComplete(Vec<BrowseEntry>),
+    /// `AddGroup` completed.
+    GroupAdded(GroupId),
+    /// `AddItems` completed: per-item HRESULTs.
+    ItemsAdded(Vec<HResult>),
+    /// `RemoveGroup` completed: whether the group existed.
+    GroupRemoved(bool),
+    /// A subscription push arrived.
+    DataChange {
+        /// Source group.
+        group: GroupId,
+        /// Changed items.
+        items: Vec<(String, ItemValue)>,
+    },
+    /// A call failed (timeout, disconnection, server-side HRESULT).
+    Failed {
+        /// The failed call.
+        call_id: u64,
+        /// Why.
+        error: ComError,
+    },
+    /// The envelope wasn't OPC traffic; handle it yourself.
+    NotMine(Envelope),
+    /// A stale RPC response was dropped.
+    Ignored,
+}
+
+/// The embedded OPC client.
+pub struct OpcClient {
+    server: Endpoint,
+    rpc: RpcClient,
+    pending: HashMap<u64, PendingKind>,
+}
+
+impl OpcClient {
+    /// Creates a client bound to an OPC server endpoint with a per-call
+    /// timeout.
+    pub fn new(server: Endpoint, timeout: SimDuration) -> Self {
+        OpcClient { server, rpc: RpcClient::new(timeout), pending: HashMap::new() }
+    }
+
+    /// The bound server endpoint.
+    pub fn server(&self) -> &Endpoint {
+        &self.server
+    }
+
+    /// Rebinds to a different server endpoint (e.g. after a switchover),
+    /// failing in-flight calls with `RPC_E_DISCONNECTED`.
+    pub fn rebind(&mut self, server: Endpoint, env: &mut dyn ProcessEnv) -> Vec<OpcEvent> {
+        self.server = server;
+        let aborted = self.rpc.abort_all(env);
+        aborted
+            .into_iter()
+            .map(|done| {
+                self.pending.remove(&done.call_id);
+                OpcEvent::Failed {
+                    call_id: done.call_id,
+                    error: done.outcome.expect_err("abort_all only returns failures"),
+                }
+            })
+            .collect()
+    }
+
+    /// Calls in flight.
+    pub fn in_flight(&self) -> usize {
+        self.rpc.in_flight()
+    }
+
+    /// `IOPCServer::GetStatus`.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn get_status(&mut self, env: &mut dyn ProcessEnv) -> ComResult<u64> {
+        self.start(env, iid_opc_server(), methods::GET_STATUS, &(), PendingKind::Status)
+    }
+
+    /// `IOPCSyncIO::Read` of the given item ids.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn read(&mut self, env: &mut dyn ProcessEnv, items: &[&str]) -> ComResult<u64> {
+        let ids: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        self.start(env, iid_opc_sync_io(), methods::READ, &ids, PendingKind::Read)
+    }
+
+    /// `IOPCAsyncIO2::Read`: the completion arrives later as an
+    /// [`OpcEvent::AsyncReadComplete`] callback.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn async_read(
+        &mut self,
+        env: &mut dyn ProcessEnv,
+        transaction_id: u32,
+        items: &[&str],
+    ) -> ComResult<u64> {
+        let args = AsyncReadArgs {
+            transaction_id,
+            items: items.iter().map(|s| s.to_string()).collect(),
+            callback: env.self_endpoint(),
+        };
+        self.start(env, iid_opc_async_io(), methods::ASYNC_READ, &args, PendingKind::AsyncReadAccepted)
+    }
+
+    /// `IOPCSyncIO::Write`.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn write(
+        &mut self,
+        env: &mut dyn ProcessEnv,
+        writes: &[(String, Value)],
+    ) -> ComResult<u64> {
+        self.start(env, iid_opc_sync_io(), methods::WRITE, &writes.to_vec(), PendingKind::Write)
+    }
+
+    /// `IOPCBrowseServerAddressSpace::Browse` one level below `position`.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn browse(&mut self, env: &mut dyn ProcessEnv, position: &str) -> ComResult<u64> {
+        self.start(
+            env,
+            iid_opc_browse(),
+            methods::BROWSE,
+            &position.to_string(),
+            PendingKind::Browse,
+        )
+    }
+
+    /// `IOPCGroupMgt::AddGroup` with this process as subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn add_group(
+        &mut self,
+        env: &mut dyn ProcessEnv,
+        name: &str,
+        update_rate: SimDuration,
+        deadband_percent: f64,
+    ) -> ComResult<u64> {
+        let args = AddGroupArgs {
+            name: name.to_string(),
+            update_rate,
+            deadband_percent,
+            subscriber: env.self_endpoint(),
+        };
+        self.start(env, iid_opc_group_mgt(), methods::ADD_GROUP, &args, PendingKind::AddGroup)
+    }
+
+    /// `IOPCGroupMgt::AddItems`.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn add_items(
+        &mut self,
+        env: &mut dyn ProcessEnv,
+        group: GroupId,
+        items: &[&str],
+    ) -> ComResult<u64> {
+        let args = AddItemsArgs {
+            group,
+            items: items.iter().map(|s| s.to_string()).collect(),
+        };
+        self.start(env, iid_opc_group_mgt(), methods::ADD_ITEMS, &args, PendingKind::AddItems)
+    }
+
+    /// `IOPCGroupMgt::RemoveGroup`.
+    ///
+    /// # Errors
+    ///
+    /// Marshaling failures.
+    pub fn remove_group(&mut self, env: &mut dyn ProcessEnv, group: GroupId) -> ComResult<u64> {
+        self.start(env, iid_opc_group_mgt(), methods::REMOVE_GROUP, &group, PendingKind::RemoveGroup)
+    }
+
+    fn start<T: serde::Serialize>(
+        &mut self,
+        env: &mut dyn ProcessEnv,
+        iid: comsim::guid::Iid,
+        method: u32,
+        args: &T,
+        kind: PendingKind,
+    ) -> ComResult<u64> {
+        let call_id = self.rpc.call(env, self.server.clone(), iid, method, args)?;
+        self.pending.insert(call_id, kind);
+        Ok(call_id)
+    }
+
+    /// Offers an incoming envelope; decodes RPC completions and
+    /// `OnDataChange` pushes.
+    pub fn handle_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) -> OpcEvent {
+        if envelope.body.is::<DataChange>() {
+            let change = envelope.body.downcast::<DataChange>().expect("checked");
+            return OpcEvent::DataChange { group: change.group, items: change.items };
+        }
+        if envelope.body.is::<AsyncReadComplete>() {
+            let done = envelope.body.downcast::<AsyncReadComplete>().expect("checked");
+            return OpcEvent::AsyncReadComplete {
+                transaction_id: done.transaction_id,
+                items: done.items,
+            };
+        }
+        match self.rpc.handle_message(envelope, env) {
+            RpcPoll::NotRpc(envelope) => OpcEvent::NotMine(envelope),
+            RpcPoll::Stale => OpcEvent::Ignored,
+            RpcPoll::Completed(done) => self.decode(done.call_id, done.outcome),
+        }
+    }
+
+    /// `true` if `token` belongs to this client's RPC layer.
+    pub fn owns_timer(&self, token: u64) -> bool {
+        self.rpc.owns_timer(token)
+    }
+
+    /// Offers a fired timer; returns a failure event on timeout.
+    pub fn handle_timer(&mut self, token: u64) -> Option<OpcEvent> {
+        let done = self.rpc.handle_timer(token)?;
+        Some(self.decode(done.call_id, done.outcome))
+    }
+
+    fn decode(&mut self, call_id: u64, outcome: ComResult<Vec<u8>>) -> OpcEvent {
+        let Some(kind) = self.pending.remove(&call_id) else {
+            return OpcEvent::Ignored;
+        };
+        let bytes = match outcome {
+            Ok(bytes) => bytes,
+            Err(error) => return OpcEvent::Failed { call_id, error },
+        };
+        let decoded = match kind {
+            PendingKind::Status => decode_reply::<ServerStatus>(&bytes).map(OpcEvent::Status),
+            PendingKind::Read => {
+                decode_reply::<Vec<(String, ItemValue)>>(&bytes).map(OpcEvent::ReadComplete)
+            }
+            PendingKind::AsyncReadAccepted => decode_reply::<u32>(&bytes)
+                .map(|transaction_id| OpcEvent::AsyncReadAccepted { transaction_id }),
+            PendingKind::Write => {
+                decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::WriteComplete)
+            }
+            PendingKind::Browse => {
+                decode_reply::<Vec<BrowseEntry>>(&bytes).map(OpcEvent::BrowseComplete)
+            }
+            PendingKind::AddGroup => decode_reply::<GroupId>(&bytes).map(OpcEvent::GroupAdded),
+            PendingKind::AddItems => {
+                decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::ItemsAdded)
+            }
+            PendingKind::RemoveGroup => decode_reply::<bool>(&bytes).map(OpcEvent::GroupRemoved),
+        };
+        decoded.unwrap_or_else(|error| OpcEvent::Failed { call_id, error })
+    }
+}

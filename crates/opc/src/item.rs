@@ -1,0 +1,274 @@
+//! OPC items: ids, VARIANT-like values, qualities, timestamps.
+
+use std::fmt;
+
+use ds_sim::prelude::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A fully qualified item id — a dot-separated path into the server's
+/// address space, e.g. `plant.tank1.level`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(String);
+
+impl ItemId {
+    /// Creates an item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty or has empty segments (`"a..b"`).
+    pub fn new(path: impl Into<String>) -> Self {
+        let path = path.into();
+        assert!(!path.is_empty(), "item id must be non-empty");
+        assert!(
+            path.split('.').all(|seg| !seg.is_empty()),
+            "item id must not contain empty segments: {path:?}"
+        );
+        ItemId(path)
+    }
+
+    /// The full path.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Path segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// `true` if this item sits under `prefix` (or equals it).
+    pub fn is_under(&self, prefix: &str) -> bool {
+        self.0 == prefix || (self.0.starts_with(prefix) && self.0.as_bytes()[prefix.len()] == b'.')
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ItemId {
+    fn from(s: &str) -> Self {
+        ItemId::new(s)
+    }
+}
+
+/// The subset of VARIANT types the toolkit traffics in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// VT_BOOL.
+    Bool(bool),
+    /// VT_I4.
+    I4(i32),
+    /// VT_R8.
+    R8(f64),
+    /// VT_BSTR.
+    Text(String),
+}
+
+impl Value {
+    /// Numeric view (Bool as 0/1, Text parsed or 0).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::I4(v) => *v as f64,
+            Value::R8(v) => *v,
+            Value::Text(s) => s.parse().unwrap_or(0.0),
+        }
+    }
+
+    /// Whether two values differ by more than `deadband` percent of the
+    /// magnitude of the old value (OPC deadband semantics, simplified to
+    /// absolute change for non-numeric types).
+    pub fn exceeds_deadband(&self, newer: &Value, deadband_percent: f64) -> bool {
+        match (self, newer) {
+            (Value::R8(a), Value::R8(b)) => {
+                let threshold = deadband_percent / 100.0 * a.abs().max(1e-9);
+                (a - b).abs() > threshold
+            }
+            (a, b) => a != b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I4(v) => write!(f, "{v}"),
+            Value::R8(v) => write!(f, "{v:.3}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::R8(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I4(v)
+    }
+}
+
+impl From<plant::value::PlantValue> for Value {
+    fn from(v: plant::value::PlantValue) -> Self {
+        match v {
+            plant::value::PlantValue::Analog(x) => Value::R8(x),
+            plant::value::PlantValue::Discrete(b) => Value::Bool(b),
+        }
+    }
+}
+
+/// OPC quality: the major status plus a substatus detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quality {
+    /// The value is trustworthy.
+    Good,
+    /// The value may be stale or degraded.
+    Uncertain(UncertainSub),
+    /// The value must not be used for control.
+    Bad(BadSub),
+}
+
+/// Substatus for [`Quality::Uncertain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UncertainSub {
+    /// Last known value; source stopped updating.
+    LastUsable,
+    /// Sensor accuracy degraded.
+    SensorNotAccurate,
+}
+
+/// Substatus for [`Quality::Bad`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BadSub {
+    /// No value has ever been produced.
+    WaitingForInitialData,
+    /// Communication to the device failed.
+    CommFailure,
+    /// The item id does not exist.
+    ConfigError,
+    /// Device reports out of service.
+    OutOfService,
+}
+
+impl Quality {
+    /// `true` for [`Quality::Good`].
+    pub fn is_good(self) -> bool {
+        matches!(self, Quality::Good)
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quality::Good => f.write_str("GOOD"),
+            Quality::Uncertain(s) => write!(f, "UNCERTAIN({s:?})"),
+            Quality::Bad(s) => write!(f, "BAD({s:?})"),
+        }
+    }
+}
+
+/// A value with quality and timestamp — what OPC reads return.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemValue {
+    /// The value.
+    pub value: Value,
+    /// Its quality.
+    pub quality: Quality,
+    /// Device timestamp.
+    pub timestamp: SimTime,
+}
+
+impl ItemValue {
+    /// A good reading taken now.
+    pub fn good(value: impl Into<Value>, timestamp: SimTime) -> Self {
+        ItemValue { value: value.into(), quality: Quality::Good, timestamp }
+    }
+
+    /// A bad placeholder (no data yet).
+    pub fn waiting(timestamp: SimTime) -> Self {
+        ItemValue {
+            value: Value::R8(0.0),
+            quality: Quality::Bad(BadSub::WaitingForInitialData),
+            timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_validation() {
+        assert_eq!(ItemId::new("a.b.c").segments().count(), 3);
+        assert!(ItemId::new("a.b.c").is_under("a"));
+        assert!(ItemId::new("a.b.c").is_under("a.b"));
+        assert!(!ItemId::new("a.bc").is_under("a.b"));
+        assert!(ItemId::new("a").is_under("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segments")]
+    fn empty_segment_rejected() {
+        ItemId::new("a..b");
+    }
+
+    #[test]
+    fn value_numeric_views() {
+        assert_eq!(Value::Bool(true).as_f64(), 1.0);
+        assert_eq!(Value::I4(-3).as_f64(), -3.0);
+        assert_eq!(Value::Text("2.5".into()).as_f64(), 2.5);
+        assert_eq!(Value::Text("junk".into()).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn deadband_percent_of_old_value() {
+        let old = Value::R8(100.0);
+        assert!(!old.exceeds_deadband(&Value::R8(100.5), 1.0)); // 0.5% < 1%
+        assert!(old.exceeds_deadband(&Value::R8(102.0), 1.0)); // 2% > 1%
+        // Non-numeric: any change exceeds.
+        assert!(Value::Bool(false).exceeds_deadband(&Value::Bool(true), 50.0));
+        assert!(!Value::Bool(true).exceeds_deadband(&Value::Bool(true), 0.0));
+    }
+
+    #[test]
+    fn quality_predicates_and_display() {
+        assert!(Quality::Good.is_good());
+        assert!(!Quality::Bad(BadSub::CommFailure).is_good());
+        assert_eq!(Quality::Good.to_string(), "GOOD");
+        assert!(Quality::Bad(BadSub::CommFailure).to_string().contains("CommFailure"));
+    }
+
+    #[test]
+    fn item_value_constructors() {
+        let v = ItemValue::good(4.2, SimTime::from_secs(1));
+        assert!(v.quality.is_good());
+        let w = ItemValue::waiting(SimTime::ZERO);
+        assert_eq!(w.quality, Quality::Bad(BadSub::WaitingForInitialData));
+    }
+
+    #[test]
+    fn plant_value_conversion() {
+        assert_eq!(Value::from(plant::value::PlantValue::Analog(3.0)), Value::R8(3.0));
+        assert_eq!(Value::from(plant::value::PlantValue::Discrete(true)), Value::Bool(true));
+    }
+}

@@ -1,0 +1,43 @@
+//! # opc — the OLE for Process Control (OPC DA) analog
+//!
+//! OPC is the "standard software architecture" the paper's toolkit is built
+//! to protect (§1): hardware vendors expose devices as OPC *servers*;
+//! monitoring applications are OPC *clients*. This crate reproduces the
+//! Data Access profile the paper relies on:
+//!
+//! * [`item`] — item ids, VARIANT-like values, qualities, timestamps.
+//! * [`address_space`] — the hierarchical namespace with browsing.
+//! * [`server`] — the server COM class (GetStatus / SyncIO Read+Write /
+//!   Browse / group management) and its hosting process, which also runs
+//!   the device layer: fieldbus polling, quality degradation on device
+//!   silence, and `OnDataChange` subscription pushes.
+//! * [`client`] — the embedded client API with typed completions.
+//!
+//! The server is deliberately **stateless** across restarts (its address
+//! space repopulates from device polls) — the architectural fact behind
+//! the paper's split between checkpointing client FTIMs and
+//! non-checkpointing server FTIMs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address_space;
+pub mod client;
+pub mod item;
+pub mod server;
+
+/// Convenience re-exports of the items nearly every user needs.
+pub mod prelude {
+    pub use crate::address_space::{AddressSpace, BrowseEntry};
+    pub use crate::client::{OpcClient, OpcEvent};
+    pub use crate::item::{BadSub, ItemId, ItemValue, Quality, UncertainSub, Value};
+    pub use crate::server::{
+        clsid_opc_server, AsyncReadArgs, AsyncReadComplete, DataChange, GroupId, OpcServerConfig,
+        OpcServerProcess, ServerState, ServerStatus, SharedServer,
+    };
+}
+
+pub use address_space::AddressSpace;
+pub use client::{OpcClient, OpcEvent};
+pub use item::{ItemId, ItemValue, Quality, Value};
+pub use server::{OpcServerConfig, OpcServerProcess};

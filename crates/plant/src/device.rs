@@ -1,0 +1,339 @@
+//! Actuator and field-device models: valves with travel time, pumps with
+//! spin-up, and the alarm annunciator panel — the I/O devices a paper-era
+//! PLC drove (§1: "various types of input/output devices (such as sensors,
+//! valves)").
+
+use ds_sim::prelude::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A motor-operated valve: the commanded position is approached at a
+/// finite travel rate, and the valve can stick.
+///
+/// # Examples
+///
+/// ```
+/// use plant::device::MotorValve;
+///
+/// let mut valve = MotorValve::new(0.0, 0.1); // 10%/s travel
+/// valve.command(1.0);
+/// for _ in 0..5 {
+///     valve.step(1.0);
+/// }
+/// assert!((valve.position() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MotorValve {
+    position: f64,
+    command: f64,
+    /// Fraction of full travel per second.
+    pub travel_rate: f64,
+    /// `true` when the valve has seized (fault injection).
+    pub stuck: bool,
+}
+
+impl MotorValve {
+    /// Creates a valve at `position` (0..=1) with the given travel rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is outside `[0, 1]` or the rate is not positive.
+    pub fn new(position: f64, travel_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&position), "position is a fraction");
+        assert!(travel_rate > 0.0, "travel rate must be positive");
+        MotorValve { position, command: position, travel_rate, stuck: false }
+    }
+
+    /// Current stem position (0 = closed, 1 = open).
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Commands a new position (clamped to 0..=1).
+    pub fn command(&mut self, target: f64) {
+        self.command = target.clamp(0.0, 1.0);
+    }
+
+    /// Advances `dt` seconds of travel.
+    pub fn step(&mut self, dt: f64) {
+        if self.stuck {
+            return;
+        }
+        let max_move = self.travel_rate * dt;
+        let delta = (self.command - self.position).clamp(-max_move, max_move);
+        self.position = (self.position + delta).clamp(0.0, 1.0);
+    }
+
+    /// `true` once the stem has reached the command.
+    pub fn in_position(&self) -> bool {
+        (self.position - self.command).abs() < 1e-9
+    }
+}
+
+/// A centrifugal pump with spin-up/spin-down dynamics; delivered flow is
+/// proportional to speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pump {
+    speed: f64, // 0..=1 of rated speed
+    running: bool,
+    /// Seconds from standstill to rated speed.
+    pub spinup_secs: f64,
+    /// Rated flow at full speed, in %/s of tank span (matches TankModel).
+    pub rated_flow: f64,
+}
+
+impl Pump {
+    /// Creates a stopped pump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spinup_secs` or `rated_flow` is not positive.
+    pub fn new(spinup_secs: f64, rated_flow: f64) -> Self {
+        assert!(spinup_secs > 0.0 && rated_flow > 0.0);
+        Pump { speed: 0.0, running: false, spinup_secs, rated_flow }
+    }
+
+    /// Starts or stops the motor.
+    pub fn set_running(&mut self, running: bool) {
+        self.running = running;
+    }
+
+    /// `true` while the motor contactor is closed.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Current fraction of rated speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Advances `dt` seconds; returns the delivered flow over that step.
+    pub fn step(&mut self, dt: f64) -> f64 {
+        let target = if self.running { 1.0 } else { 0.0 };
+        let rate = dt / self.spinup_secs;
+        let delta = (target - self.speed).clamp(-rate, rate);
+        self.speed = (self.speed + delta).clamp(0.0, 1.0);
+        self.speed * self.rated_flow * dt
+    }
+}
+
+/// One annunciator window's state, ISA-18.1 style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlarmWindow {
+    /// Condition clear, acknowledged.
+    Normal,
+    /// Condition present, not yet acknowledged (flashing).
+    Unacknowledged,
+    /// Condition present, acknowledged (steady).
+    Acknowledged,
+    /// Condition cleared before acknowledgment (ringback).
+    ClearedUnacknowledged,
+}
+
+/// An alarm annunciator panel: named windows driven by process conditions,
+/// acknowledged by the operator. Its state is exactly the kind of
+/// operator-facing history the paper's Call Track app preserves across
+/// failover.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Annunciator {
+    windows: std::collections::BTreeMap<String, AlarmWindow>,
+    /// Total alarm activations (for history/metrics).
+    pub activations: u64,
+}
+
+impl Annunciator {
+    /// An empty panel.
+    pub fn new() -> Self {
+        Annunciator::default()
+    }
+
+    /// Drives one window from its process condition.
+    pub fn set_condition(&mut self, name: &str, in_alarm: bool) {
+        use AlarmWindow::*;
+        let window = self.windows.entry(name.to_string()).or_insert(Normal);
+        *window = match (*window, in_alarm) {
+            (Normal, true) => {
+                self.activations += 1;
+                Unacknowledged
+            }
+            (Normal, false) => Normal,
+            (Unacknowledged, true) => Unacknowledged,
+            (Unacknowledged, false) => ClearedUnacknowledged,
+            (Acknowledged, true) => Acknowledged,
+            (Acknowledged, false) => Normal,
+            (ClearedUnacknowledged, true) => {
+                self.activations += 1;
+                Unacknowledged
+            }
+            (ClearedUnacknowledged, false) => ClearedUnacknowledged,
+        };
+    }
+
+    /// Operator acknowledgment of one window.
+    pub fn acknowledge(&mut self, name: &str) {
+        use AlarmWindow::*;
+        if let Some(window) = self.windows.get_mut(name) {
+            *window = match *window {
+                Unacknowledged => Acknowledged,
+                ClearedUnacknowledged => Normal,
+                other => other,
+            };
+        }
+    }
+
+    /// A window's state (absent windows read Normal).
+    pub fn window(&self, name: &str) -> AlarmWindow {
+        self.windows.get(name).copied().unwrap_or(AlarmWindow::Normal)
+    }
+
+    /// Windows currently demanding attention (flashing or ringback).
+    pub fn unacknowledged(&self) -> Vec<&str> {
+        self.windows
+            .iter()
+            .filter(|(_, w)| {
+                matches!(w, AlarmWindow::Unacknowledged | AlarmWindow::ClearedUnacknowledged)
+            })
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// A sensor wrapper that can fail open-circuit (reads NaN-free fallback)
+/// — used by fault-injection scenarios at the device level.
+#[derive(Debug, Clone)]
+pub struct FallibleSensor {
+    /// Probability per read of a transient bad reading.
+    pub glitch_probability: f64,
+    /// `true` once the sensor has failed hard.
+    pub failed: bool,
+}
+
+impl FallibleSensor {
+    /// A healthy sensor with a transient glitch probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `glitch_probability` is outside `[0, 1]`.
+    pub fn new(glitch_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&glitch_probability));
+        FallibleSensor { glitch_probability, failed: false }
+    }
+
+    /// Reads a measurement: `None` models an out-of-range/open-circuit
+    /// reading the PLC should treat as bad quality.
+    pub fn read(&self, clean: f64, rng: &mut SimRng) -> Option<f64> {
+        if self.failed || rng.chance(self.glitch_probability) {
+            None
+        } else {
+            Some(clean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valve_travels_at_rate_and_clamps() {
+        let mut v = MotorValve::new(0.0, 0.25);
+        v.command(2.0); // clamped to 1.0
+        v.step(2.0);
+        assert!((v.position() - 0.5).abs() < 1e-9);
+        assert!(!v.in_position());
+        v.step(10.0);
+        assert_eq!(v.position(), 1.0);
+        assert!(v.in_position());
+    }
+
+    #[test]
+    fn stuck_valve_ignores_commands() {
+        let mut v = MotorValve::new(0.3, 0.5);
+        v.stuck = true;
+        v.command(1.0);
+        v.step(10.0);
+        assert_eq!(v.position(), 0.3);
+    }
+
+    #[test]
+    fn pump_spins_up_and_delivers_flow() {
+        let mut p = Pump::new(4.0, 2.0);
+        assert_eq!(p.step(1.0), 0.0);
+        p.set_running(true);
+        let mut total = 0.0;
+        for _ in 0..8 {
+            total += p.step(1.0);
+        }
+        assert_eq!(p.speed(), 1.0);
+        // Spin-up ramp loses some flow versus instant start (8*2=16).
+        assert!(total > 10.0 && total < 16.0, "got {total}");
+        p.set_running(false);
+        for _ in 0..8 {
+            p.step(1.0);
+        }
+        assert_eq!(p.speed(), 0.0);
+    }
+
+    #[test]
+    fn annunciator_follows_isa_sequence() {
+        use AlarmWindow::*;
+        let mut a = Annunciator::new();
+        assert_eq!(a.window("hi-level"), Normal);
+        a.set_condition("hi-level", true);
+        assert_eq!(a.window("hi-level"), Unacknowledged);
+        a.acknowledge("hi-level");
+        assert_eq!(a.window("hi-level"), Acknowledged);
+        a.set_condition("hi-level", false);
+        assert_eq!(a.window("hi-level"), Normal);
+        assert_eq!(a.activations, 1);
+    }
+
+    #[test]
+    fn annunciator_ringback_needs_ack() {
+        use AlarmWindow::*;
+        let mut a = Annunciator::new();
+        a.set_condition("trip", true);
+        a.set_condition("trip", false); // cleared before ack
+        assert_eq!(a.window("trip"), ClearedUnacknowledged);
+        assert_eq!(a.unacknowledged(), vec!["trip"]);
+        a.acknowledge("trip");
+        assert_eq!(a.window("trip"), Normal);
+        assert!(a.unacknowledged().is_empty());
+    }
+
+    #[test]
+    fn annunciator_realarm_from_ringback() {
+        use AlarmWindow::*;
+        let mut a = Annunciator::new();
+        a.set_condition("trip", true);
+        a.set_condition("trip", false);
+        a.set_condition("trip", true); // re-alarm before ack
+        assert_eq!(a.window("trip"), Unacknowledged);
+        assert_eq!(a.activations, 2);
+    }
+
+    #[test]
+    fn fallible_sensor_glitches_and_fails() {
+        let mut rng = SimRng::seed_from(5);
+        let s = FallibleSensor::new(0.5);
+        let reads: Vec<Option<f64>> = (0..100).map(|_| s.read(1.0, &mut rng)).collect();
+        let bad = reads.iter().filter(|r| r.is_none()).count();
+        assert!((30..=70).contains(&bad), "glitch rate ~50%: {bad}");
+        let mut dead = FallibleSensor::new(0.0);
+        dead.failed = true;
+        assert_eq!(dead.read(1.0, &mut rng), None);
+    }
+
+    #[test]
+    fn devices_serialize_for_checkpointing() {
+        let v = MotorValve::new(0.5, 0.1);
+        let bytes = comsim::marshal::to_bytes(&v).unwrap();
+        let back: MotorValve = comsim::marshal::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+        let mut a = Annunciator::new();
+        a.set_condition("x", true);
+        let bytes = comsim::marshal::to_bytes(&a).unwrap();
+        let back: Annunciator = comsim::marshal::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fieldbus messages — the Devicenet/Fieldbus scan protocol between PLCs
+//! and the PCs that read them (paper Figure 1).
+//!
+//! A *scan master* (typically the OPC server's device layer) polls each PLC
+//! for its IO image; operator writes travel the other way. Requests and
+//! responses are plain `ds-net` messages, so PLC-side failures look exactly
+//! like they did to the paper's systems: silence.
+
+use ds_net::endpoint::Endpoint;
+
+use crate::value::{IoImage, PlantValue};
+
+/// Scan master → PLC: request a snapshot of the IO image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollRequest {
+    /// Where the response goes.
+    pub reply_to: Endpoint,
+    /// Correlates request and response.
+    pub poll_id: u64,
+}
+
+/// PLC → scan master: the IO image at a scan boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollResponse {
+    /// Correlates with the request.
+    pub poll_id: u64,
+    /// Snapshot of every tag.
+    pub tags: IoImage,
+    /// The PLC's scan counter at snapshot time (lets the master detect a
+    /// PLC restart: the counter goes backwards).
+    pub scan_count: u64,
+}
+
+/// Operator/OPC write of a single tag (e.g. a setpoint or a valve command).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteRequest {
+    /// Tag to write.
+    pub tag: String,
+    /// New value.
+    pub value: PlantValue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_net::endpoint::NodeId;
+
+    #[test]
+    fn message_shapes_construct() {
+        let req = PollRequest { reply_to: Endpoint::new(NodeId(1), "opc-server"), poll_id: 9 };
+        assert_eq!(req.poll_id, 9);
+        let resp = PollResponse { poll_id: 9, tags: IoImage::new(), scan_count: 4 };
+        assert_eq!(resp.poll_id, req.poll_id);
+        let w = WriteRequest { tag: "setpoint".into(), value: PlantValue::Analog(70.0) };
+        assert_eq!(w.value, PlantValue::Analog(70.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! A small ladder-logic interpreter — the PLC "program".
+//!
+//! Real PLCs of the paper's era ran ladder diagrams compiled to instruction
+//! lists. This module models that with an expression tree evaluated against
+//! the [`IoImage`] once per scan: each [`Rung`] computes one output tag.
+//! Rungs execute top to bottom, later rungs seeing earlier rungs' outputs —
+//! the same single-scan data flow as a real ladder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{IoImage, PlantValue};
+
+/// An expression over the IO image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Read a tag (0.0 / false when absent).
+    Tag(String),
+    /// A numeric constant.
+    Const(f64),
+    /// Sum of both operands.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference (left minus right).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `1.0` when left > right, else `0.0`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `1.0` when left < right, else `0.0`.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Logical AND of truthiness.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR of truthiness.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT of truthiness.
+    Not(Box<Expr>),
+    /// Clamp the operand into `[lo, hi]`.
+    Clamp {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a tag read.
+    pub fn tag(name: impl Into<String>) -> Expr {
+        Expr::Tag(name.into())
+    }
+
+    /// Evaluates against an image (booleans as 0/1, PLC style).
+    pub fn eval(&self, image: &IoImage) -> f64 {
+        match self {
+            Expr::Tag(name) => image.value(name),
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval(image) + b.eval(image),
+            Expr::Sub(a, b) => a.eval(image) - b.eval(image),
+            Expr::Mul(a, b) => a.eval(image) * b.eval(image),
+            Expr::Gt(a, b) => bool_to_f64(a.eval(image) > b.eval(image)),
+            Expr::Lt(a, b) => bool_to_f64(a.eval(image) < b.eval(image)),
+            Expr::And(a, b) => bool_to_f64(truthy(a.eval(image)) && truthy(b.eval(image))),
+            Expr::Or(a, b) => bool_to_f64(truthy(a.eval(image)) || truthy(b.eval(image))),
+            Expr::Not(a) => bool_to_f64(!truthy(a.eval(image))),
+            Expr::Clamp { expr, lo, hi } => expr.eval(image).clamp(*lo, *hi),
+        }
+    }
+}
+
+fn truthy(v: f64) -> bool {
+    v != 0.0
+}
+
+fn bool_to_f64(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// How a rung's computed value is written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoilKind {
+    /// Write as an analog tag.
+    Analog,
+    /// Write as a discrete tag (truthiness of the expression).
+    Discrete,
+}
+
+/// One rung: compute `expr`, write it to `target`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rung {
+    /// Output tag name.
+    pub target: String,
+    /// The computed expression.
+    pub expr: Expr,
+    /// Output representation.
+    pub coil: CoilKind,
+}
+
+/// A full ladder program: rungs executed in order each scan.
+///
+/// # Examples
+///
+/// A high-level alarm with a pump interlock:
+///
+/// ```
+/// use plant::ladder::{Expr, Rung, CoilKind, LadderProgram};
+/// use plant::value::IoImage;
+///
+/// let program = LadderProgram::new(vec![
+///     Rung {
+///         target: "high_alarm".into(),
+///         expr: Expr::Gt(Box::new(Expr::tag("level")), Box::new(Expr::Const(90.0))),
+///         coil: CoilKind::Discrete,
+///     },
+///     Rung {
+///         target: "pump_run".into(),
+///         expr: Expr::Not(Box::new(Expr::tag("high_alarm"))),
+///         coil: CoilKind::Discrete,
+///     },
+/// ]);
+/// let mut image = IoImage::new();
+/// image.set("level", 95.0);
+/// program.scan(&mut image);
+/// assert!(image.flag("high_alarm"));
+/// assert!(!image.flag("pump_run"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LadderProgram {
+    rungs: Vec<Rung>,
+}
+
+impl LadderProgram {
+    /// Creates a program from rungs.
+    pub fn new(rungs: Vec<Rung>) -> Self {
+        LadderProgram { rungs }
+    }
+
+    /// An empty program (pass-through PLC).
+    pub fn empty() -> Self {
+        LadderProgram::default()
+    }
+
+    /// The rungs, in execution order.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    /// Executes one scan over the image.
+    pub fn scan(&self, image: &mut IoImage) {
+        for rung in &self.rungs {
+            let v = rung.expr.eval(image);
+            match rung.coil {
+                CoilKind::Analog => image.set(rung.target.clone(), PlantValue::Analog(v)),
+                CoilKind::Discrete => {
+                    image.set(rung.target.clone(), PlantValue::Discrete(truthy(v)))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(pairs: &[(&str, f64)]) -> IoImage {
+        let mut image = IoImage::new();
+        for (k, v) in pairs {
+            image.set(*k, *v);
+        }
+        image
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let image = img(&[("a", 3.0), ("b", 4.0)]);
+        assert_eq!(
+            Expr::Add(Box::new(Expr::tag("a")), Box::new(Expr::tag("b"))).eval(&image),
+            7.0
+        );
+        assert_eq!(
+            Expr::Mul(Box::new(Expr::tag("a")), Box::new(Expr::Const(2.0))).eval(&image),
+            6.0
+        );
+        assert_eq!(
+            Expr::Gt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image),
+            1.0
+        );
+        assert_eq!(
+            Expr::Lt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image),
+            0.0
+        );
+    }
+
+    #[test]
+    fn boolean_logic_uses_truthiness() {
+        let image = img(&[("x", 5.0), ("y", 0.0)]);
+        let x = || Box::new(Expr::tag("x"));
+        let y = || Box::new(Expr::tag("y"));
+        assert_eq!(Expr::And(x(), y()).eval(&image), 0.0);
+        assert_eq!(Expr::Or(x(), y()).eval(&image), 1.0);
+        assert_eq!(Expr::Not(y()).eval(&image), 1.0);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let image = img(&[("v", 150.0)]);
+        let e = Expr::Clamp { expr: Box::new(Expr::tag("v")), lo: 0.0, hi: 100.0 };
+        assert_eq!(e.eval(&image), 100.0);
+    }
+
+    #[test]
+    fn missing_tags_read_zero() {
+        let image = IoImage::new();
+        assert_eq!(Expr::tag("ghost").eval(&image), 0.0);
+    }
+
+    #[test]
+    fn rungs_see_earlier_rung_outputs() {
+        let program = LadderProgram::new(vec![
+            Rung {
+                target: "double".into(),
+                expr: Expr::Mul(Box::new(Expr::tag("in")), Box::new(Expr::Const(2.0))),
+                coil: CoilKind::Analog,
+            },
+            Rung {
+                target: "quad".into(),
+                expr: Expr::Mul(Box::new(Expr::tag("double")), Box::new(Expr::Const(2.0))),
+                coil: CoilKind::Analog,
+            },
+        ]);
+        let mut image = img(&[("in", 3.0)]);
+        program.scan(&mut image);
+        assert_eq!(image.value("double"), 6.0);
+        assert_eq!(image.value("quad"), 12.0);
+    }
+
+    #[test]
+    fn discrete_coil_writes_boolean() {
+        let program = LadderProgram::new(vec![Rung {
+            target: "alarm".into(),
+            expr: Expr::Const(42.0),
+            coil: CoilKind::Discrete,
+        }]);
+        let mut image = IoImage::new();
+        program.scan(&mut image);
+        assert_eq!(image.get("alarm"), Some(PlantValue::Discrete(true)));
+    }
+}

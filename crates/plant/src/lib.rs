@@ -1,0 +1,59 @@
+//! # plant — the industrial process being monitored
+//!
+//! The OFTT paper's context is a control room of Windows NT PCs watching
+//! PLCs on a factory floor (Figure 1). This crate supplies that floor:
+//!
+//! * [`value`] — tag values and the PLC IO image.
+//! * [`device`] — actuator models: motor valves, pumps, the alarm
+//!   annunciator, fallible sensors.
+//! * [`ladder`] — a ladder-logic interpreter (the PLC program).
+//! * [`model`] — continuous process models: tanks, first-order lags, PID,
+//!   measurement noise.
+//! * [`plc`] — the PLC process: scan cycle, physics, fieldbus serving.
+//! * [`fieldbus`] — the Devicenet/Fieldbus poll protocol.
+//! * [`telephone`] — the paper's §4 demo workload: a 5-line, 10-caller
+//!   office telephone system emitting call events.
+//! * [`workload`] — parameterized generators for the benchmark harness.
+//!
+//! ## Example: a controlled tank
+//!
+//! ```
+//! use plant::model::{PidController, TankModel};
+//!
+//! let mut tank = TankModel::new(20.0);
+//! let mut pid = PidController::new(0.08, 0.01, 0.0, 0.0, 1.0);
+//! for _ in 0..3_000 {
+//!     let valve = pid.update(1.0, 70.0, tank.level());
+//!     tank.step(1.0, valve);
+//! }
+//! assert!((tank.level() - 70.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod fieldbus;
+pub mod ladder;
+pub mod model;
+pub mod plc;
+pub mod telephone;
+pub mod value;
+pub mod workload;
+
+/// Convenience re-exports of the items nearly every user needs.
+pub mod prelude {
+    pub use crate::device::{AlarmWindow, Annunciator, FallibleSensor, MotorValve, Pump};
+    pub use crate::fieldbus::{PollRequest, PollResponse, WriteRequest};
+    pub use crate::ladder::{CoilKind, Expr, LadderProgram, Rung};
+    pub use crate::model::{FirstOrderLag, GaussianNoise, PidController, TankModel};
+    pub use crate::plc::{MultiPhysics, PlantPhysics, Plc, TankPhysics, WavePhysics};
+    pub use crate::telephone::{
+        replay_busy_lines, CallEvent, EventSink, TelephoneConfig, TelephoneSimulator,
+        TelephoneState, CALL_EVENT_LABEL,
+    };
+    pub use crate::value::{IoImage, PlantValue};
+}
+
+pub use telephone::{CallEvent, TelephoneConfig, TelephoneSimulator};
+pub use value::{IoImage, PlantValue};

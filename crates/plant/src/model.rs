@@ -1,0 +1,269 @@
+//! Continuous process models: the physics behind the sensors.
+//!
+//! First-order models integrated per PLC scan — enough dynamics for the
+//! monitoring workloads the paper targets (tank farms, temperature loops)
+//! without pretending to be a process simulator.
+
+use ds_sim::prelude::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A gravity-drained tank with a controllable inflow valve.
+///
+/// `dL/dt = inflow·valve − k·√L`, integrated by explicit Euler. Level is
+/// expressed in percent of span.
+///
+/// # Examples
+///
+/// ```
+/// use plant::model::TankModel;
+///
+/// let mut tank = TankModel::new(50.0);
+/// for _ in 0..100 {
+///     tank.step(1.0, /* valve */ 1.0);
+/// }
+/// assert!(tank.level() > 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TankModel {
+    level: f64,
+    /// Inflow rate at valve fully open, %/s.
+    pub max_inflow: f64,
+    /// Outflow coefficient (gravity drain), %/s per √%.
+    pub drain_coeff: f64,
+}
+
+impl TankModel {
+    /// Creates a tank at `level` percent with period-typical dynamics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `[0, 100]`.
+    pub fn new(level: f64) -> Self {
+        assert!((0.0..=100.0).contains(&level), "level is a percentage");
+        TankModel { level, max_inflow: 2.0, drain_coeff: 0.12 }
+    }
+
+    /// Current level, percent.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Advances `dt` seconds with the inflow valve at `valve` (0..=1).
+    pub fn step(&mut self, dt: f64, valve: f64) {
+        let valve = valve.clamp(0.0, 1.0);
+        let inflow = self.max_inflow * valve;
+        let outflow = self.drain_coeff * self.level.max(0.0).sqrt();
+        self.level = (self.level + dt * (inflow - outflow)).clamp(0.0, 100.0);
+    }
+}
+
+/// A first-order lag (RC response), for temperature loops and sensor
+/// smoothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirstOrderLag {
+    state: f64,
+    /// Time constant, seconds.
+    pub tau: f64,
+}
+
+impl FirstOrderLag {
+    /// Creates a lag with initial state and time constant `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn new(initial: f64, tau: f64) -> Self {
+        assert!(tau > 0.0, "time constant must be positive");
+        FirstOrderLag { state: initial, tau }
+    }
+
+    /// Current output.
+    pub fn output(&self) -> f64 {
+        self.state
+    }
+
+    /// Advances `dt` seconds toward `input`.
+    pub fn step(&mut self, dt: f64, input: f64) -> f64 {
+        let alpha = (dt / self.tau).clamp(0.0, 1.0);
+        self.state += alpha * (input - self.state);
+        self.state
+    }
+}
+
+/// A textbook positional PID controller with output clamping and
+/// integrator anti-windup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PidController {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Output bounds.
+    pub out_min: f64,
+    /// Output bounds.
+    pub out_max: f64,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl PidController {
+    /// Creates a controller with gains and output limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_min >= out_max`.
+    pub fn new(kp: f64, ki: f64, kd: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(out_min < out_max, "output range must be non-empty");
+        PidController { kp, ki, kd, out_min, out_max, integral: 0.0, last_error: None }
+    }
+
+    /// Computes the control output for one step.
+    pub fn update(&mut self, dt: f64, setpoint: f64, measurement: f64) -> f64 {
+        let error = setpoint - measurement;
+        let derivative = match self.last_error {
+            Some(prev) if dt > 0.0 => (error - prev) / dt,
+            _ => 0.0,
+        };
+        self.last_error = Some(error);
+        let candidate_integral = self.integral + error * dt;
+        let unclamped =
+            self.kp * error + self.ki * candidate_integral + self.kd * derivative;
+        let output = unclamped.clamp(self.out_min, self.out_max);
+        // Anti-windup: only integrate when not saturated against the error.
+        if (output - unclamped).abs() < f64::EPSILON || (unclamped > output) == (error < 0.0) {
+            self.integral = candidate_integral;
+        }
+        output
+    }
+
+    /// Resets integral and derivative history (e.g. after a failover
+    /// restore installs new state).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+/// Additive Gaussian measurement noise (Box–Muller over the deterministic
+/// sim RNG).
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    /// Standard deviation of the added noise.
+    pub sigma: f64,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        GaussianNoise { sigma }
+    }
+
+    /// Applies noise to a clean value.
+    pub fn apply(&self, clean: f64, rng: &mut SimRng) -> f64 {
+        if self.sigma == 0.0 {
+            return clean;
+        }
+        let u1 = rng.unit_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        clean + self.sigma * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tank_fills_and_drains() {
+        let mut tank = TankModel::new(50.0);
+        for _ in 0..200 {
+            tank.step(1.0, 1.0);
+        }
+        let filled = tank.level();
+        assert!(filled > 60.0, "open valve should raise level, got {filled}");
+        for _ in 0..500 {
+            tank.step(1.0, 0.0);
+        }
+        assert!(tank.level() < filled, "closed valve should drain");
+    }
+
+    #[test]
+    fn tank_level_stays_in_bounds() {
+        let mut tank = TankModel::new(99.0);
+        for _ in 0..10_000 {
+            tank.step(1.0, 1.0);
+            assert!((0.0..=100.0).contains(&tank.level()));
+        }
+        let mut tank = TankModel::new(1.0);
+        for _ in 0..10_000 {
+            tank.step(1.0, 0.0);
+            assert!((0.0..=100.0).contains(&tank.level()));
+        }
+    }
+
+    #[test]
+    fn lag_converges_to_input() {
+        let mut lag = FirstOrderLag::new(0.0, 5.0);
+        for _ in 0..200 {
+            lag.step(1.0, 10.0);
+        }
+        assert!((lag.output() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn lag_one_tau_is_63_percent() {
+        let mut lag = FirstOrderLag::new(0.0, 10.0);
+        for _ in 0..100 {
+            lag.step(0.1, 1.0);
+        }
+        // After one time constant: 1 - 1/e ≈ 0.632 (Euler ≈ 0.634).
+        assert!((lag.output() - 0.632).abs() < 0.01, "got {}", lag.output());
+    }
+
+    #[test]
+    fn pid_drives_tank_to_setpoint() {
+        let mut tank = TankModel::new(20.0);
+        let mut pid = PidController::new(0.08, 0.01, 0.0, 0.0, 1.0);
+        for _ in 0..3_000 {
+            let valve = pid.update(1.0, 70.0, tank.level());
+            tank.step(1.0, valve);
+        }
+        assert!((tank.level() - 70.0).abs() < 2.0, "level settled at {}", tank.level());
+    }
+
+    #[test]
+    fn pid_output_respects_limits() {
+        let mut pid = PidController::new(100.0, 0.0, 0.0, 0.0, 1.0);
+        assert_eq!(pid.update(1.0, 1_000.0, 0.0), 1.0);
+        assert_eq!(pid.update(1.0, -1_000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pid_reset_clears_history() {
+        let mut pid = PidController::new(1.0, 1.0, 1.0, -10.0, 10.0);
+        pid.update(1.0, 5.0, 0.0);
+        pid.reset();
+        let mut fresh = PidController::new(1.0, 1.0, 1.0, -10.0, 10.0);
+        assert_eq!(pid.update(1.0, 3.0, 0.0), fresh.update(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_seeded() {
+        let noise = GaussianNoise::new(2.0);
+        let mut rng = ds_sim::prelude::SimRng::seed_from(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| noise.apply(10.0, &mut rng) - 10.0).sum();
+        assert!((sum / n as f64).abs() < 0.05);
+        // Zero sigma is exact pass-through.
+        let clean = GaussianNoise::new(0.0);
+        assert_eq!(clean.apply(5.0, &mut rng), 5.0);
+    }
+}

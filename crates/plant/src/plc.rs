@@ -1,0 +1,348 @@
+//! The PLC process: scan cycle, physics, ladder program, fieldbus serving.
+//!
+//! Each scan: (1) the attached [`PlantPhysics`] advances the simulated
+//! process and refreshes input tags, (2) the [`LadderProgram`] executes,
+//! (3) pending fieldbus polls are answered from the fresh image — the
+//! classic read-inputs / solve-logic / write-outputs cycle.
+
+use ds_net::message::Envelope;
+use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::{SimDuration, SimRng};
+
+use crate::fieldbus::{PollRequest, PollResponse, WriteRequest};
+use crate::ladder::LadderProgram;
+use crate::model::{GaussianNoise, TankModel};
+use crate::value::IoImage;
+
+/// Supplies the "physical" inputs each scan.
+pub trait PlantPhysics: Send {
+    /// Advances the process by `dt` seconds, reading actuator tags from and
+    /// writing measurement tags into `image`.
+    fn advance(&mut self, dt: f64, image: &mut IoImage, rng: &mut SimRng);
+}
+
+/// Physics for a single tank: reads `<prefix>.valve`, writes
+/// `<prefix>.level` (with measurement noise).
+pub struct TankPhysics {
+    tank: TankModel,
+    noise: GaussianNoise,
+    prefix: String,
+}
+
+impl TankPhysics {
+    /// Creates tank physics under a tag prefix (e.g. `"tank1"`).
+    pub fn new(prefix: impl Into<String>, initial_level: f64, sigma: f64) -> Self {
+        TankPhysics {
+            tank: TankModel::new(initial_level),
+            noise: GaussianNoise::new(sigma),
+            prefix: prefix.into(),
+        }
+    }
+}
+
+impl PlantPhysics for TankPhysics {
+    fn advance(&mut self, dt: f64, image: &mut IoImage, rng: &mut SimRng) {
+        let valve = image.value(&format!("{}.valve", self.prefix));
+        self.tank.step(dt, valve);
+        let measured = self.noise.apply(self.tank.level(), rng);
+        image.set(format!("{}.level", self.prefix), measured);
+    }
+}
+
+/// Synthetic physics: `n` sine-wave tags (`sig000`, `sig001`, …) — the tag
+/// fan-out workload used by the checkpoint-size experiments.
+pub struct WavePhysics {
+    count: usize,
+    t: f64,
+}
+
+impl WavePhysics {
+    /// Creates `count` synthetic signals.
+    pub fn new(count: usize) -> Self {
+        WavePhysics { count, t: 0.0 }
+    }
+}
+
+impl PlantPhysics for WavePhysics {
+    fn advance(&mut self, dt: f64, image: &mut IoImage, _rng: &mut SimRng) {
+        self.t += dt;
+        for i in 0..self.count {
+            let phase = i as f64 * 0.1;
+            image.set(format!("sig{i:03}"), (self.t * 0.2 + phase).sin() * 50.0 + 50.0);
+        }
+    }
+}
+
+/// Composite physics: runs several models against one image.
+#[derive(Default)]
+pub struct MultiPhysics {
+    parts: Vec<Box<dyn PlantPhysics>>,
+}
+
+impl MultiPhysics {
+    /// An empty composite.
+    pub fn new() -> Self {
+        MultiPhysics::default()
+    }
+
+    /// Adds a component model.
+    pub fn push(&mut self, physics: Box<dyn PlantPhysics>) -> &mut Self {
+        self.parts.push(physics);
+        self
+    }
+}
+
+impl PlantPhysics for MultiPhysics {
+    fn advance(&mut self, dt: f64, image: &mut IoImage, rng: &mut SimRng) {
+        for p in &mut self.parts {
+            p.advance(dt, image, rng);
+        }
+    }
+}
+
+const SCAN_TOKEN: u64 = 1;
+
+/// The PLC as a cluster process.
+pub struct Plc {
+    scan_period: SimDuration,
+    program: LadderProgram,
+    physics: Box<dyn PlantPhysics>,
+    image: IoImage,
+    scan_count: u64,
+}
+
+impl Plc {
+    /// Creates a PLC with a scan period, ladder program, and plant physics.
+    pub fn new(
+        scan_period: SimDuration,
+        program: LadderProgram,
+        physics: Box<dyn PlantPhysics>,
+    ) -> Self {
+        Plc { scan_period, program, physics, image: IoImage::new(), scan_count: 0 }
+    }
+
+    /// The current IO image (for direct in-process inspection in tests).
+    pub fn image(&self) -> &IoImage {
+        &self.image
+    }
+
+    fn scan(&mut self, rng: &mut SimRng) {
+        let dt = self.scan_period.as_secs_f64();
+        self.physics.advance(dt, &mut self.image, rng);
+        self.program.scan(&mut self.image);
+        self.scan_count += 1;
+    }
+}
+
+impl Process for Plc {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        env.set_timer(self.scan_period, SCAN_TOKEN);
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        if token == SCAN_TOKEN {
+            self.scan(env.rng());
+            env.set_timer(self.scan_period, SCAN_TOKEN);
+        }
+    }
+
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if envelope.body.is::<PollRequest>() {
+            let poll = envelope.body.downcast::<PollRequest>().expect("checked");
+            let response = PollResponse {
+                poll_id: poll.poll_id,
+                tags: self.image.clone(),
+                scan_count: self.scan_count,
+            };
+            // Nominal size: ~24 bytes per tag on the scan bus.
+            let size = 64 + 24 * self.image.len() as u64;
+            env.send_sized(poll.reply_to, response, size);
+        } else if let Ok(write) = envelope.body.downcast::<WriteRequest>() {
+            self.image.set(write.tag, write.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{CoilKind, Expr, Rung};
+    use crate::value::PlantValue;
+    use ds_net::link::Link;
+    use ds_net::node::NodeConfig;
+    use ds_net::prelude::{ClusterSim, Endpoint, SimTime};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn level_control_program() -> LadderProgram {
+        // Bang-bang level control: open valve below 40%, close above 60%.
+        LadderProgram::new(vec![
+            Rung {
+                target: "low".into(),
+                expr: Expr::Lt(Box::new(Expr::tag("tank1.level")), Box::new(Expr::Const(40.0))),
+                coil: CoilKind::Discrete,
+            },
+            Rung {
+                target: "high".into(),
+                expr: Expr::Gt(Box::new(Expr::tag("tank1.level")), Box::new(Expr::Const(60.0))),
+                coil: CoilKind::Discrete,
+            },
+            Rung {
+                target: "tank1.valve".into(),
+                expr: Expr::Or(
+                    Box::new(Expr::tag("low")),
+                    Box::new(Expr::And(
+                        Box::new(Expr::tag("tank1.valve")),
+                        Box::new(Expr::Not(Box::new(Expr::tag("high")))),
+                    )),
+                ),
+                coil: CoilKind::Discrete,
+            },
+        ])
+    }
+
+    /// Polls the PLC periodically and records responses.
+    struct ScanMaster {
+        plc: Endpoint,
+        period: SimDuration,
+        responses: Arc<Mutex<Vec<PollResponse>>>,
+        next_poll: u64,
+    }
+    impl Process for ScanMaster {
+        fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+            env.set_timer(self.period, 1);
+        }
+        fn on_timer(&mut self, _t: u64, env: &mut dyn ProcessEnv) {
+            let me = env.self_endpoint();
+            env.send_msg(self.plc.clone(), PollRequest { reply_to: me, poll_id: self.next_poll });
+            self.next_poll += 1;
+            env.set_timer(self.period, 1);
+        }
+        fn on_message(&mut self, envelope: Envelope, _env: &mut dyn ProcessEnv) {
+            if let Ok(resp) = envelope.body.downcast::<PollResponse>() {
+                self.responses.lock().push(resp);
+            }
+        }
+    }
+
+    #[test]
+    fn plc_controls_level_and_serves_polls() {
+        let mut cs = ClusterSim::new(31);
+        let plc_node = cs.add_node(NodeConfig::default());
+        let pc = cs.add_node(NodeConfig::default());
+        cs.connect(plc_node, pc, Link::single());
+        cs.register_service(
+            plc_node,
+            "plc",
+            Box::new(|| {
+                Box::new(Plc::new(
+                    SimDuration::from_millis(100),
+                    level_control_program(),
+                    Box::new(TankPhysics::new("tank1", 20.0, 0.0)),
+                ))
+            }),
+            true,
+        );
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let r = responses.clone();
+        let plc_ep = Endpoint::new(plc_node, "plc");
+        cs.register_service(
+            pc,
+            "scan-master",
+            Box::new(move || {
+                Box::new(ScanMaster {
+                    plc: plc_ep.clone(),
+                    period: SimDuration::from_millis(500),
+                    responses: r.clone(),
+                    next_poll: 0,
+                })
+            }),
+            true,
+        );
+        cs.start();
+        cs.run_until(SimTime::from_secs(120));
+        let responses = responses.lock();
+        assert!(responses.len() > 200, "got {} polls", responses.len());
+        // Control keeps the level in the deadband once settled.
+        let last = &responses[responses.len() - 1];
+        let level = last.tags.value("tank1.level");
+        assert!((35.0..=65.0).contains(&level), "level out of band: {level}");
+        // Scan counter strictly increases across responses.
+        for pair in responses.windows(2) {
+            assert!(pair[1].scan_count >= pair[0].scan_count);
+        }
+    }
+
+    #[test]
+    fn writes_land_in_the_image() {
+        let mut cs = ClusterSim::new(32);
+        let plc_node = cs.add_node(NodeConfig::default());
+        let pc = cs.add_node(NodeConfig::default());
+        cs.connect(plc_node, pc, Link::single());
+        cs.register_service(
+            plc_node,
+            "plc",
+            Box::new(|| {
+                Box::new(Plc::new(
+                    SimDuration::from_millis(100),
+                    LadderProgram::empty(),
+                    Box::new(WavePhysics::new(1)),
+                ))
+            }),
+            true,
+        );
+        let responses = Arc::new(Mutex::new(Vec::new()));
+        let r = responses.clone();
+        let plc_ep = Endpoint::new(plc_node, "plc");
+        cs.register_service(
+            pc,
+            "scan-master",
+            Box::new(move || {
+                Box::new(ScanMaster {
+                    plc: plc_ep.clone(),
+                    period: SimDuration::from_millis(200),
+                    responses: r.clone(),
+                    next_poll: 0,
+                })
+            }),
+            true,
+        );
+        cs.post(
+            SimTime::from_secs(1),
+            Endpoint::new(plc_node, "plc"),
+            WriteRequest { tag: "setpoint".into(), value: PlantValue::Analog(55.0) },
+        );
+        cs.start();
+        cs.run_until(SimTime::from_secs(3));
+        let responses = responses.lock();
+        let last = responses.last().expect("polled");
+        assert_eq!(last.tags.value("setpoint"), 55.0);
+        assert!(last.tags.get("sig000").is_some(), "wave physics populated tags");
+    }
+
+    #[test]
+    fn wave_physics_emits_requested_tag_count() {
+        let mut rng = SimRng::seed_from(1);
+        let mut physics = WavePhysics::new(16);
+        let mut image = IoImage::new();
+        physics.advance(0.1, &mut image, &mut rng);
+        assert_eq!(image.len(), 16);
+        for i in 0..16 {
+            let v = image.value(&format!("sig{i:03}"));
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn multi_physics_composes() {
+        let mut rng = SimRng::seed_from(2);
+        let mut physics = MultiPhysics::new();
+        physics.push(Box::new(TankPhysics::new("a", 50.0, 0.0)));
+        physics.push(Box::new(TankPhysics::new("b", 10.0, 0.0)));
+        let mut image = IoImage::new();
+        image.set("a.valve", true);
+        physics.advance(1.0, &mut image, &mut rng);
+        assert!(image.get("a.level").is_some());
+        assert!(image.get("b.level").is_some());
+    }
+}

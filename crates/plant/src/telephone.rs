@@ -1,0 +1,391 @@
+//! The paper's demonstration workload: a simulated small-office telephone
+//! system with 5 lines and 10 callers (paper §4).
+//!
+//! Callers place calls as a Poisson process with exponentially distributed
+//! durations; a call finding every line busy is *blocked* (Erlang-B
+//! behaviour). Each state change is emitted as a [`CallEvent`] toward a
+//! configurable [`EventSink`] — directly to a process, or through the
+//! `msgq` network so the OFTT message diverter can route it to whichever
+//! node is primary.
+
+use ds_net::endpoint::Endpoint;
+use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::{SimDuration, SimTime};
+use msgq::queue::QueueAddress;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the simulated office.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelephoneConfig {
+    /// Trunk lines (the paper uses 5).
+    pub lines: usize,
+    /// Callers (the paper uses 10).
+    pub callers: usize,
+    /// Mean idle time between a caller's calls.
+    pub mean_interarrival: SimDuration,
+    /// Mean call duration.
+    pub mean_duration: SimDuration,
+}
+
+impl Default for TelephoneConfig {
+    /// The paper's office: 5 lines, 10 callers, busy enough that blocking
+    /// actually happens.
+    fn default() -> Self {
+        TelephoneConfig {
+            lines: 5,
+            callers: 10,
+            mean_interarrival: SimDuration::from_secs(60),
+            mean_duration: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// A state change in the telephone system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CallEvent {
+    /// A caller seized a line.
+    Started {
+        /// Caller index.
+        caller: u32,
+        /// Line index.
+        line: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A call completed and freed its line.
+    Ended {
+        /// Caller index.
+        caller: u32,
+        /// Line index.
+        line: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A call attempt found all lines busy.
+    Blocked {
+        /// Caller index.
+        caller: u32,
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl CallEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            CallEvent::Started { at, .. }
+            | CallEvent::Ended { at, .. }
+            | CallEvent::Blocked { at, .. } => *at,
+        }
+    }
+}
+
+/// Where emitted events go.
+#[derive(Debug, Clone)]
+pub enum EventSink {
+    /// Plain message to a process (no reliability).
+    Direct(Endpoint),
+    /// Through the queue network (reliable, divertible).
+    Queue(QueueAddress),
+    /// Discard (model-only runs).
+    Discard,
+}
+
+/// Label used for call events on the queue network.
+pub const CALL_EVENT_LABEL: &str = "call-event";
+
+/// Pure state machine of lines and callers, also usable without the
+/// process wrapper (e.g. by benches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelephoneState {
+    /// `line[i]` = caller currently on line `i`.
+    lines: Vec<Option<u32>>,
+    /// `talking[c]` = line held by caller `c`.
+    talking: Vec<Option<u32>>,
+    /// Monotone counts for consistency checks.
+    started: u64,
+    ended: u64,
+    blocked: u64,
+}
+
+impl TelephoneState {
+    /// All lines idle.
+    pub fn new(config: &TelephoneConfig) -> Self {
+        TelephoneState {
+            lines: vec![None; config.lines],
+            talking: vec![None; config.callers],
+            started: 0,
+            ended: 0,
+            blocked: 0,
+        }
+    }
+
+    /// Number of lines currently in use.
+    pub fn busy_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// `true` if the caller is mid-call.
+    pub fn is_talking(&self, caller: u32) -> bool {
+        self.talking.get(caller as usize).map(|l| l.is_some()).unwrap_or(false)
+    }
+
+    /// Totals: (started, ended, blocked).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.started, self.ended, self.blocked)
+    }
+
+    /// Attempts to seize a line for `caller`; returns the line or `None`
+    /// when blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is already talking (callers are single-line).
+    pub fn try_start(&mut self, caller: u32) -> Option<u32> {
+        assert!(!self.is_talking(caller), "caller {caller} is already on a call");
+        match self.lines.iter().position(|l| l.is_none()) {
+            Some(line) => {
+                self.lines[line] = Some(caller);
+                self.talking[caller as usize] = Some(line as u32);
+                self.started += 1;
+                Some(line as u32)
+            }
+            None => {
+                self.blocked += 1;
+                None
+            }
+        }
+    }
+
+    /// Ends `caller`'s call, freeing its line; returns the freed line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller was not talking.
+    pub fn end(&mut self, caller: u32) -> u32 {
+        let line = self.talking[caller as usize]
+            .take()
+            .unwrap_or_else(|| panic!("caller {caller} has no call to end"));
+        self.lines[line as usize] = None;
+        self.ended += 1;
+        line
+    }
+}
+
+// Timer token layout: low half selects the caller, high bit selects hangup.
+const ARRIVAL_BASE: u64 = 0;
+const HANGUP_BASE: u64 = 1 << 32;
+
+/// The telephone system simulator process (the paper's "Telephone System
+/// Simulator" on the test PC).
+pub struct TelephoneSimulator {
+    config: TelephoneConfig,
+    state: TelephoneState,
+    sink: EventSink,
+}
+
+impl TelephoneSimulator {
+    /// Creates a simulator emitting to `sink`.
+    pub fn new(config: TelephoneConfig, sink: EventSink) -> Self {
+        let state = TelephoneState::new(&config);
+        TelephoneSimulator { config, state, sink }
+    }
+
+    fn emit(&mut self, event: CallEvent, env: &mut dyn ProcessEnv) {
+        match &self.sink {
+            EventSink::Direct(target) => env.send_msg(target.clone(), event),
+            EventSink::Queue(dest) => {
+                // Queue delivery failures are the diverter's problem; the
+                // phone switch doesn't care.
+                let _ = msgq::client::send_via_queue(
+                    env,
+                    dest.clone(),
+                    CALL_EVENT_LABEL,
+                    &event,
+                    None,
+                );
+            }
+            EventSink::Discard => {}
+        }
+    }
+
+    fn arm_arrival(&mut self, caller: u32, env: &mut dyn ProcessEnv) {
+        let wait = env.rng().exponential(self.config.mean_interarrival);
+        env.set_timer(wait, ARRIVAL_BASE | caller as u64);
+    }
+
+    fn arm_hangup(&mut self, caller: u32, env: &mut dyn ProcessEnv) {
+        let hold = env.rng().exponential(self.config.mean_duration);
+        env.set_timer(hold, HANGUP_BASE | caller as u64);
+    }
+}
+
+impl Process for TelephoneSimulator {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        for caller in 0..self.config.callers as u32 {
+            self.arm_arrival(caller, env);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
+        let caller = (token & 0xFFFF_FFFF) as u32;
+        let now = env.now();
+        if token & HANGUP_BASE != 0 {
+            let line = self.state.end(caller);
+            self.emit(CallEvent::Ended { caller, line, at: now }, env);
+            self.arm_arrival(caller, env);
+        } else {
+            match self.state.try_start(caller) {
+                Some(line) => {
+                    self.emit(CallEvent::Started { caller, line, at: now }, env);
+                    self.arm_hangup(caller, env);
+                }
+                None => {
+                    self.emit(CallEvent::Blocked { caller, at: now }, env);
+                    self.arm_arrival(caller, env);
+                }
+            }
+        }
+    }
+}
+
+/// Replays call events into a busy-line count — the computation at the
+/// heart of the paper's Call Track application. Returns the running count
+/// after each event.
+///
+/// # Panics
+///
+/// Panics if the event stream is inconsistent (e.g. an `Ended` without a
+/// matching `Started`), which would indicate event loss without the OFTT
+/// diverter's guarantees.
+pub fn replay_busy_lines(events: &[CallEvent], lines: usize) -> Vec<usize> {
+    let mut busy = vec![false; lines];
+    let mut out = Vec::with_capacity(events.len());
+    for event in events {
+        match event {
+            CallEvent::Started { line, .. } => {
+                assert!(!busy[*line as usize], "line {line} started twice");
+                busy[*line as usize] = true;
+            }
+            CallEvent::Ended { line, .. } => {
+                assert!(busy[*line as usize], "line {line} ended while idle");
+                busy[*line as usize] = false;
+            }
+            CallEvent::Blocked { .. } => {}
+        }
+        out.push(busy.iter().filter(|b| **b).count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_net::node::NodeConfig;
+    use ds_net::prelude::{ClusterSim, Envelope};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn state_machine_seizes_and_frees_lines() {
+        let config = TelephoneConfig { lines: 2, callers: 3, ..Default::default() };
+        let mut state = TelephoneState::new(&config);
+        assert_eq!(state.try_start(0), Some(0));
+        assert_eq!(state.try_start(1), Some(1));
+        assert_eq!(state.busy_lines(), 2);
+        assert_eq!(state.try_start(2), None, "third caller is blocked");
+        assert_eq!(state.end(0), 0);
+        assert_eq!(state.busy_lines(), 1);
+        assert_eq!(state.try_start(2), Some(0), "freed line is reused");
+        assert_eq!(state.totals(), (3, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already on a call")]
+    fn double_start_is_a_bug() {
+        let config = TelephoneConfig::default();
+        let mut state = TelephoneState::new(&config);
+        state.try_start(0);
+        state.try_start(0);
+    }
+
+    #[test]
+    fn simulator_emits_consistent_event_stream() {
+        let mut cs = ClusterSim::new(41);
+        let node = cs.add_node(NodeConfig::default());
+        let seen: Arc<Mutex<Vec<CallEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+
+        struct Collector {
+            seen: Arc<Mutex<Vec<CallEvent>>>,
+        }
+        impl Process for Collector {
+            fn on_message(&mut self, envelope: Envelope, _env: &mut dyn ProcessEnv) {
+                if let Ok(event) = envelope.body.downcast::<CallEvent>() {
+                    self.seen.lock().push(event);
+                }
+            }
+        }
+
+        cs.register_service(
+            node,
+            "collector",
+            Box::new(move || Box::new(Collector { seen: s.clone() })),
+            true,
+        );
+        let sink = EventSink::Direct(ds_net::endpoint::Endpoint::new(node, "collector"));
+        cs.register_service(
+            node,
+            "phones",
+            Box::new(move || {
+                Box::new(TelephoneSimulator::new(TelephoneConfig::default(), sink.clone()))
+            }),
+            true,
+        );
+        cs.start();
+        cs.run_until(SimTime::from_secs(3_600)); // one simulated hour
+        let events = seen.lock().clone();
+        assert!(events.len() > 50, "expected a busy hour, got {} events", events.len());
+        // Replay never exceeds the line count and never underflows.
+        let counts = replay_busy_lines(&events, 5);
+        assert!(counts.iter().all(|&c| c <= 5));
+        // Timestamps are non-decreasing (IPC preserves order on one node).
+        for pair in events.windows(2) {
+            assert!(pair[1].at() >= pair[0].at());
+        }
+        // With 10 callers on 5 lines at these rates, blocking occurs.
+        let blocked = events.iter().filter(|e| matches!(e, CallEvent::Blocked { .. })).count();
+        assert!(blocked > 0, "expected at least one blocked call");
+    }
+
+    #[test]
+    fn replay_panics_on_lost_start() {
+        let events = vec![CallEvent::Ended { caller: 0, line: 0, at: SimTime::ZERO }];
+        let result = std::panic::catch_unwind(|| replay_busy_lines(&events, 5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn utilization_matches_offered_load_roughly() {
+        // Offered load per caller: duration/(interarrival+duration) of one
+        // Erlang-ish source; with blocking, busy fraction must be positive
+        // and below the line count.
+        let mut cs = ClusterSim::new(42);
+        let node = cs.add_node(NodeConfig::default());
+        cs.register_service(
+            node,
+            "phones",
+            Box::new(move || {
+                Box::new(TelephoneSimulator::new(TelephoneConfig::default(), EventSink::Discard))
+            }),
+            true,
+        );
+        cs.start();
+        cs.run_until(SimTime::from_secs(7_200));
+        // Model-only run: nothing to assert externally beyond "it ran" —
+        // totals are tracked in the process. This guards against runaway
+        // timer loops (the run would exceed the event budget and panic).
+        assert!(cs.now() == SimTime::from_secs(7_200));
+    }
+}

@@ -1,0 +1,171 @@
+//! Plant-level tag values and the IO image shared by devices, PLC logic,
+//! and the fieldbus.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A value carried by a plant tag: analog (4–20 mA style) or discrete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlantValue {
+    /// Continuous measurement or setpoint.
+    Analog(f64),
+    /// On/off state (contact, coil, valve limit switch).
+    Discrete(bool),
+}
+
+impl PlantValue {
+    /// Numeric view: discrete values read as 0.0/1.0 (PLC convention).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            PlantValue::Analog(v) => v,
+            PlantValue::Discrete(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Truthiness: analog values are true when nonzero (PLC convention).
+    pub fn as_bool(self) -> bool {
+        match self {
+            PlantValue::Analog(v) => v != 0.0,
+            PlantValue::Discrete(b) => b,
+        }
+    }
+}
+
+impl fmt::Display for PlantValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlantValue::Analog(v) => write!(f, "{v:.3}"),
+            PlantValue::Discrete(b) => write!(f, "{}", if *b { "ON" } else { "OFF" }),
+        }
+    }
+}
+
+impl From<f64> for PlantValue {
+    fn from(v: f64) -> Self {
+        PlantValue::Analog(v)
+    }
+}
+
+impl From<bool> for PlantValue {
+    fn from(b: bool) -> Self {
+        PlantValue::Discrete(b)
+    }
+}
+
+/// The PLC's input/output image: a named snapshot of every tag, updated
+/// once per scan cycle.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoImage {
+    tags: BTreeMap<String, PlantValue>,
+}
+
+impl IoImage {
+    /// An empty image.
+    pub fn new() -> Self {
+        IoImage::default()
+    }
+
+    /// Writes a tag.
+    pub fn set(&mut self, tag: impl Into<String>, value: impl Into<PlantValue>) {
+        self.tags.insert(tag.into(), value.into());
+    }
+
+    /// Reads a tag, if present.
+    pub fn get(&self, tag: &str) -> Option<PlantValue> {
+        self.tags.get(tag).copied()
+    }
+
+    /// Numeric read defaulting to 0.0 for missing tags (PLC registers
+    /// power up zeroed).
+    pub fn value(&self, tag: &str) -> f64 {
+        self.get(tag).map(PlantValue::as_f64).unwrap_or(0.0)
+    }
+
+    /// Boolean read defaulting to `false` for missing tags.
+    pub fn flag(&self, tag: &str) -> bool {
+        self.get(tag).map(PlantValue::as_bool).unwrap_or(false)
+    }
+
+    /// Iterates tags in name order (determinism matters downstream).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, PlantValue)> + '_ {
+        self.tags.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` when no tags exist.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+impl FromIterator<(String, PlantValue)> for IoImage {
+    fn from_iter<T: IntoIterator<Item = (String, PlantValue)>>(iter: T) -> Self {
+        IoImage { tags: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, PlantValue)> for IoImage {
+    fn extend<T: IntoIterator<Item = (String, PlantValue)>>(&mut self, iter: T) {
+        self.tags.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_follow_plc_conventions() {
+        assert_eq!(PlantValue::Analog(2.5).as_f64(), 2.5);
+        assert_eq!(PlantValue::Discrete(true).as_f64(), 1.0);
+        assert!(PlantValue::Analog(-1.0).as_bool());
+        assert!(!PlantValue::Analog(0.0).as_bool());
+        assert!(!PlantValue::Discrete(false).as_bool());
+    }
+
+    #[test]
+    fn image_reads_default_to_zero_and_false() {
+        let mut img = IoImage::new();
+        assert_eq!(img.value("missing"), 0.0);
+        assert!(!img.flag("missing"));
+        img.set("level", 7.0);
+        img.set("pump_run", true);
+        assert_eq!(img.value("level"), 7.0);
+        assert!(img.flag("pump_run"));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut img = IoImage::new();
+        img.set("zeta", 1.0);
+        img.set("alpha", 2.0);
+        let names: Vec<&str> = img.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PlantValue::Analog(1.5).to_string(), "1.500");
+        assert_eq!(PlantValue::Discrete(true).to_string(), "ON");
+    }
+
+    #[test]
+    fn from_and_collect() {
+        let img: IoImage =
+            vec![("a".to_string(), PlantValue::Analog(1.0))].into_iter().collect();
+        assert_eq!(img.len(), 1);
+        assert!(!img.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Workload generators for the benchmark harness: parameterized builders
+//! for synthetic IO images and call-history traces.
+
+use ds_sim::prelude::{SimDuration, SimRng, SimTime};
+
+use crate::telephone::{CallEvent, TelephoneConfig, TelephoneState};
+use crate::value::IoImage;
+
+/// Builds a synthetic IO image of `tag_count` analog tags with
+/// deterministic pseudo-values — the state-size knob for checkpoint
+/// experiments (E5).
+pub fn synthetic_image(tag_count: usize, rng: &mut SimRng) -> IoImage {
+    (0..tag_count)
+        .map(|i| {
+            (
+                format!("plant.area{}.tag{:05}", i % 8, i),
+                crate::value::PlantValue::Analog(rng.uniform_f64(0.0..100.0)),
+            )
+        })
+        .collect()
+}
+
+/// Generates a call-event history directly from the state machine, without
+/// running the full cluster — the paper's "Calling History generator".
+///
+/// Returns events in time order over `horizon`.
+pub fn generate_call_history(
+    config: &TelephoneConfig,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> Vec<CallEvent> {
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Pending {
+        at: SimTime,
+        seq: u64,
+        caller: u32,
+        hangup: bool,
+    }
+
+    let mut state = TelephoneState::new(config);
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<Pending>>,
+                    at: SimTime,
+                    caller: u32,
+                    hangup: bool,
+                    seq: &mut u64| {
+        heap.push(std::cmp::Reverse(Pending { at, seq: *seq, caller, hangup }));
+        *seq += 1;
+    };
+    for caller in 0..config.callers as u32 {
+        let at = SimTime::ZERO + rng.exponential(config.mean_interarrival);
+        push(&mut heap, at, caller, false, &mut seq);
+    }
+    let mut events = Vec::new();
+    while let Some(std::cmp::Reverse(p)) = heap.pop() {
+        if p.at > horizon {
+            break;
+        }
+        if p.hangup {
+            let line = state.end(p.caller);
+            events.push(CallEvent::Ended { caller: p.caller, line, at: p.at });
+            let next = p.at + rng.exponential(config.mean_interarrival);
+            push(&mut heap, next, p.caller, false, &mut seq);
+        } else {
+            match state.try_start(p.caller) {
+                Some(line) => {
+                    events.push(CallEvent::Started { caller: p.caller, line, at: p.at });
+                    let end = p.at + rng.exponential(config.mean_duration);
+                    push(&mut heap, end, p.caller, true, &mut seq);
+                }
+                None => {
+                    events.push(CallEvent::Blocked { caller: p.caller, at: p.at });
+                    let retry = p.at + rng.exponential(config.mean_interarrival);
+                    push(&mut heap, retry, p.caller, false, &mut seq);
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Parameters for a call-rate sweep (used by the failover benches to vary
+/// offered load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallLoad {
+    /// Mean idle gap between one caller's calls.
+    pub mean_interarrival: SimDuration,
+    /// Mean call duration.
+    pub mean_duration: SimDuration,
+}
+
+impl CallLoad {
+    /// The paper-scale office load.
+    pub fn nominal() -> Self {
+        CallLoad {
+            mean_interarrival: SimDuration::from_secs(60),
+            mean_duration: SimDuration::from_secs(120),
+        }
+    }
+
+    /// A heavy load (calls arrive 10× faster).
+    pub fn heavy() -> Self {
+        CallLoad {
+            mean_interarrival: SimDuration::from_secs(6),
+            mean_duration: SimDuration::from_secs(120),
+        }
+    }
+
+    /// Applies this load to a telephone config.
+    pub fn apply(&self, config: &mut TelephoneConfig) {
+        config.mean_interarrival = self.mean_interarrival;
+        config.mean_duration = self.mean_duration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telephone::replay_busy_lines;
+
+    #[test]
+    fn synthetic_image_has_requested_size() {
+        let mut rng = SimRng::seed_from(1);
+        let image = synthetic_image(100, &mut rng);
+        assert_eq!(image.len(), 100);
+    }
+
+    #[test]
+    fn history_is_time_ordered_and_consistent() {
+        let mut rng = SimRng::seed_from(2);
+        let config = TelephoneConfig::default();
+        let events = generate_call_history(&config, SimTime::from_secs(36_000), &mut rng);
+        assert!(events.len() > 300, "10 simulated hours should be busy, got {}", events.len());
+        for pair in events.windows(2) {
+            assert!(pair[1].at() >= pair[0].at());
+        }
+        let counts = replay_busy_lines(&events, config.lines);
+        assert!(counts.iter().all(|&c| c <= config.lines));
+        assert!(counts.contains(&config.lines), "full office occurs under load");
+    }
+
+    #[test]
+    fn history_is_deterministic_per_seed() {
+        let config = TelephoneConfig::default();
+        let a = generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
+        let b = generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavier_load_blocks_more() {
+        let mut light_config = TelephoneConfig::default();
+        CallLoad::nominal().apply(&mut light_config);
+        let mut heavy_config = TelephoneConfig::default();
+        CallLoad::heavy().apply(&mut heavy_config);
+        let horizon = SimTime::from_secs(36_000);
+        let count_blocked = |config: &TelephoneConfig, seed| {
+            generate_call_history(config, horizon, &mut SimRng::seed_from(seed))
+                .iter()
+                .filter(|e| matches!(e, CallEvent::Blocked { .. }))
+                .count()
+        };
+        assert!(count_blocked(&heavy_config, 3) > count_blocked(&light_config, 3));
+    }
+}

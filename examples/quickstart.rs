@@ -1,0 +1,142 @@
+//! Quickstart: make a tiny application fault tolerant with OFTT.
+//!
+//! Builds a two-node pair plus a client PC, wraps a counter application in
+//! the OFTT toolkit, crashes the primary mid-run, and shows the backup
+//! resuming from the latest checkpoint.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ds_net::fault::{inject, Fault};
+use ds_net::link::Link;
+use ds_net::node::NodeConfig;
+use ds_net::prelude::{ClusterSim, Envelope, Process, ProcessEnv, ProcessEnvExt};
+use ds_sim::prelude::{SimDuration, SimTime};
+use oftt::checkpoint::VarSet;
+use oftt::prelude::*;
+use parking_lot::Mutex;
+
+/// Step 1 — write the application against `FtApplication`: domain logic
+/// plus named-state serialization. This one counts messages.
+struct Counter {
+    count: u64,
+    view: Arc<Mutex<u64>>,
+}
+
+impl FtApplication for Counter {
+    fn snapshot(&self) -> VarSet {
+        [("count".to_string(), comsim::marshal::to_bytes(&self.count).unwrap())]
+            .into_iter()
+            .collect()
+    }
+
+    fn restore(&mut self, image: &VarSet) {
+        if let Some(bytes) = image.get("count") {
+            self.count = comsim::marshal::from_bytes(bytes).unwrap();
+        }
+    }
+
+    fn on_activate(&mut self, ctx: &mut FtCtx<'_>) {
+        println!(
+            "[{}] counter ACTIVE on {} with count={}",
+            ctx.now(),
+            ctx.env().self_endpoint(),
+            self.count
+        );
+    }
+
+    fn on_app_message(&mut self, _envelope: Envelope, _ctx: &mut FtCtx<'_>) {
+        self.count += 1;
+        *self.view.lock() = self.count;
+    }
+}
+
+/// A driver that pokes whichever node is primary, once per 100 ms.
+struct Driver {
+    pair: Pair,
+    primary: Option<ds_net::NodeId>,
+}
+
+impl Process for Driver {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        env.set_timer(SimDuration::from_millis(100), 1);
+    }
+    fn on_timer(&mut self, _token: u64, env: &mut dyn ProcessEnv) {
+        for node in [self.pair.a, self.pair.b] {
+            env.send_msg(engine_endpoint(node), oftt::messages::ToEngine::QueryRole);
+        }
+        if let Some(primary) = self.primary {
+            env.send_msg(ds_net::Endpoint::new(primary, "counter"), "tick".to_string());
+        }
+        env.set_timer(SimDuration::from_millis(100), 1);
+    }
+    fn on_message(&mut self, envelope: Envelope, _env: &mut dyn ProcessEnv) {
+        if let Ok(report) = envelope.body.downcast::<RoleReport>() {
+            if report.role == Role::Primary {
+                self.primary = Some(report.node);
+            }
+        }
+    }
+}
+
+fn main() {
+    // Step 2 — build the cluster: a redundant pair and a client PC.
+    let mut cs = ClusterSim::new(42);
+    let a = cs.add_node(NodeConfig { name: "pair-1".into(), ..Default::default() });
+    let b = cs.add_node(NodeConfig { name: "pair-2".into(), ..Default::default() });
+    let pc = cs.add_node(NodeConfig { name: "client".into(), ..Default::default() });
+    cs.connect(a, b, Link::dual());
+    cs.connect(a, pc, Link::single());
+    cs.connect(b, pc, Link::single());
+
+    // Step 3 — deploy an OFTT engine and the wrapped app on both nodes.
+    let config = OfttConfig::new(Pair::new(a, b));
+    let view = Arc::new(Mutex::new(0u64));
+    for node in [a, b] {
+        let engine_config = config.clone();
+        let probe = Arc::new(Mutex::new(EngineProbe::default()));
+        cs.register_service(
+            node,
+            engine_service(),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+            true,
+        );
+        let app_config = config.clone();
+        let v = view.clone();
+        let ftim_probe = Arc::new(Mutex::new(FtimProbe::default()));
+        cs.register_service(
+            node,
+            "counter",
+            Box::new(move || {
+                Box::new(FtProcess::new(
+                    app_config.clone(),
+                    RecoveryRule::default(),
+                    Counter { count: 0, view: v.clone() },
+                    ftim_probe.clone(),
+                ))
+            }),
+            true,
+        );
+    }
+    let pair = config.pair;
+    cs.register_service(
+        pc,
+        "driver",
+        Box::new(move || Box::new(Driver { pair, primary: None })),
+        true,
+    );
+
+    // Step 4 — run, crash the primary, keep running.
+    cs.trace_mut().set_echo(true);
+    cs.start();
+    cs.run_until(SimTime::from_secs(20));
+    println!("\n>>> count before fault: {}", view.lock());
+    println!(">>> crashing node0 (the likely primary) at t=20s\n");
+    inject(&mut cs, SimTime::from_secs(20), Fault::CrashNode(a));
+    cs.run_until(SimTime::from_secs(40));
+    println!("\n>>> count after failover and 20 more seconds: {}", view.lock());
+    println!(">>> the backup resumed from the last checkpoint and kept counting");
+}

@@ -1,0 +1,66 @@
+//! The Figure-1a reference configuration end to end: a PLC controlling a
+//! tank on the plant floor, an industrial-PC pair serving the data over
+//! OPC (stateless server FTIMs), and a monitor/control-PC pair running the
+//! OFTT-protected Tag Monitor (checkpointing client FTIM).
+//!
+//! Crashes first the OPC-server primary, then the monitor primary, and
+//! shows the monitoring function riding through both.
+//!
+//! ```text
+//! cargo run --example scada_pipeline
+//! ```
+
+use ds_net::fault::Fault;
+use ds_sim::prelude::SimTime;
+use oftt_harness::scenario_fig1::{Fig1Scenario, ReferenceConfig};
+
+fn show(scenario: &Fig1Scenario, label: &str) {
+    println!("────────────────────────────────────────────────");
+    println!("t={}  {label}", scenario.cs.now());
+    match scenario.active_tagmon() {
+        Some((node, state)) => {
+            println!("active Tag Monitor on {node}: {} samples", state.total_samples);
+            for (item, stats) in &state.tags {
+                println!(
+                    "  {item:<28} last={:>7.2}  min={:>7.2}  max={:>7.2}  n={}",
+                    stats.last, stats.min, stats.max, stats.samples
+                );
+            }
+        }
+        None => println!("(no active Tag Monitor)"),
+    }
+}
+
+fn main() {
+    let mut scenario =
+        Fig1Scenario::build(ReferenceConfig::ControlWithRemoteMonitoring, 77);
+    scenario.start();
+
+    scenario.run_until(SimTime::from_secs(60));
+    show(&scenario, "steady state: PLC -> OPC server pair -> Tag Monitor pair");
+
+    // Strike the OPC-server primary: the Tag Monitor must rebind to the
+    // surviving server node.
+    let server_primary = scenario.server_primary().expect("server pair formed");
+    println!(">>> crashing the OPC server primary: {server_primary}");
+    scenario.inject(SimTime::from_secs(60), Fault::CrashNode(server_primary));
+    scenario.run_until(SimTime::from_secs(120));
+    show(&scenario, "after OPC-server failover (client rebound)");
+
+    // Repair, then strike the monitor-pair primary: the backup Tag Monitor
+    // resumes from its checkpointed statistics.
+    scenario.inject(SimTime::from_secs(120), Fault::RepairNode(server_primary));
+    scenario.run_until(SimTime::from_secs(150));
+    let monitor_primary = scenario.client_primary().expect("monitor pair healthy");
+    println!(">>> crashing the Tag Monitor primary: {monitor_primary}");
+    scenario.inject(SimTime::from_secs(150), Fault::CrashNode(monitor_primary));
+    scenario.run_until(SimTime::from_secs(210));
+    show(&scenario, "after monitor failover (statistics restored from checkpoint)");
+
+    println!("────────────────────────────────────────────────");
+    println!(
+        "the tank level statistics above survived both failovers; min/max\n\
+         span the control deadband (40–60%), evidence that history from\n\
+         before the faults was preserved."
+    );
+}

@@ -1,0 +1,1 @@
+//! Umbrella package holding cross-crate integration tests and runnable examples.

@@ -1,0 +1,140 @@
+//! Property-based safety tests over random fault schedules: whatever
+//! sequence of node crashes, reboots, process kills, and partitions is
+//! thrown at the pair, once faults stop and connectivity is restored the
+//! system converges to exactly one active application, never duplicates
+//! meaningfully, and keeps its accounting invariants.
+
+use ds_net::fault::Fault;
+use ds_sim::prelude::SimTime;
+use oftt::config::engine_service;
+use oftt_harness::scenario::{Fig3Scenario, ScenarioParams, APP_SERVICE};
+use proptest::prelude::*;
+
+/// The fault menu exercised by the schedules.
+#[derive(Debug, Clone, Copy)]
+enum FaultChoice {
+    CrashA,
+    CrashB,
+    RebootA,
+    RebootB,
+    KillAppOnPrimary,
+    KillEngineOnPrimary,
+    Partition,
+    Heal,
+}
+
+fn fault_choice() -> impl Strategy<Value = FaultChoice> {
+    prop_oneof![
+        Just(FaultChoice::CrashA),
+        Just(FaultChoice::CrashB),
+        Just(FaultChoice::RebootA),
+        Just(FaultChoice::RebootB),
+        Just(FaultChoice::KillAppOnPrimary),
+        Just(FaultChoice::KillEngineOnPrimary),
+        Just(FaultChoice::Partition),
+        Just(FaultChoice::Heal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_fault_schedules_converge_to_one_active_app(
+        seed in 0u64..10_000,
+        schedule in prop::collection::vec((10u64..120, fault_choice()), 1..6),
+    ) {
+        let params = ScenarioParams { seed, ..Default::default() };
+        let mut scenario = Fig3Scenario::build(&params);
+        scenario.start();
+
+        // Apply the schedule, stepping between faults so "primary" targets
+        // resolve against live state.
+        let mut schedule = schedule.clone();
+        schedule.sort_by_key(|(t, _)| *t);
+        for (t, choice) in schedule {
+            let at = SimTime::from_secs(t);
+            scenario.run_until(at);
+            let (a, b) = (scenario.pair.a, scenario.pair.b);
+            let fault = match choice {
+                FaultChoice::CrashA => Some(Fault::CrashNode(a)),
+                FaultChoice::CrashB => Some(Fault::CrashNode(b)),
+                FaultChoice::RebootA => Some(Fault::RebootNode(a)),
+                FaultChoice::RebootB => Some(Fault::RebootNode(b)),
+                FaultChoice::KillAppOnPrimary => {
+                    scenario.primary_node().map(|p| Fault::KillService(p, APP_SERVICE.into()))
+                }
+                FaultChoice::KillEngineOnPrimary => {
+                    scenario.primary_node().map(|p| Fault::KillService(p, engine_service()))
+                }
+                FaultChoice::Partition => Some(Fault::Partition(a, b)),
+                FaultChoice::Heal => Some(Fault::Heal(a, b)),
+            };
+            if let Some(fault) = fault {
+                scenario.inject(at, fault);
+            }
+        }
+
+        // Quiesce: repair everything, heal the pair link, stop the feed,
+        // give the toolkit time to settle.
+        let quiesce = SimTime::from_secs(140);
+        scenario.run_until(quiesce);
+        let (a, b) = (scenario.pair.a, scenario.pair.b);
+        scenario.inject(quiesce, Fault::RepairNode(a));
+        scenario.inject(quiesce, Fault::RepairNode(b));
+        scenario.inject(quiesce, Fault::Heal(a, b));
+        scenario.stop_feed(SimTime::from_secs(200));
+        scenario.run_until(SimTime::from_secs(260));
+
+        // Safety: exactly one active application copy, on an up node.
+        let active_a = scenario.app_active(a);
+        let active_b = scenario.app_active(b);
+        prop_assert!(
+            active_a ^ active_b,
+            "after quiescence exactly one copy must be active (a={active_a}, b={active_b})"
+        );
+
+        // Liveness + accounting: the surviving state never invents events
+        // (at-least-once retry across switchover can in principle duplicate
+        // a handful; it must never exceed that).
+        let (_, state) = scenario.active_state().expect("one active");
+        let emitted = scenario.emitted();
+        prop_assert!(
+            state.events <= emitted + 5,
+            "no meaningful duplication: processed {} vs emitted {emitted}",
+            state.events
+        );
+        // Busy-line bookkeeping stays consistent through every restore —
+        // provided no activation ever happened with zero restorable state
+        // (both copies destroyed close together), which is documented data
+        // loss: events counted before the loss can then unbalance the
+        // started/ended ledger.
+        let fresh = scenario.probes.ftims[0].lock().fresh_activations
+            + scenario.probes.ftims[1].lock().fresh_activations;
+        if fresh == 0 {
+            prop_assert_eq!(state.started, state.ended + state.busy_count() as u64);
+        }
+        prop_assert!(state.busy_count() <= 5);
+    }
+
+    /// Determinism holds across arbitrary schedules: same seed + same
+    /// schedule = same trace.
+    #[test]
+    fn schedules_are_reproducible(
+        seed in 0u64..1_000,
+        crash_at in 10u64..60,
+    ) {
+        let run = |seed: u64| {
+            let params = ScenarioParams { seed, ..Default::default() };
+            let mut scenario = Fig3Scenario::build(&params);
+            scenario.start();
+            scenario.run_until(SimTime::from_secs(crash_at));
+            if let Some(p) = scenario.primary_node() {
+                scenario.inject(SimTime::from_secs(crash_at), Fault::CrashNode(p));
+            }
+            scenario.run_until(SimTime::from_secs(crash_at + 60));
+            format!("{:?}", scenario.active_state())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
