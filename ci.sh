@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate for the OFTT reproduction.
+#
+# Stages:
+#   1. formatting        cargo fmt --check (config in rustfmt.toml)
+#   2. lints             cargo clippy, warnings are errors
+#   3. tier-1            release build + the root suite's smoke tests
+#   4. workspace tests   every crate's unit/integration tests
+#   5. model checking    budgeted oftt-check sweep over pair failover
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "tier-1: release build + root tests"
+cargo build --release -q
+cargo test -q
+
+step "workspace tests"
+cargo test --workspace -q
+
+step "oftt-check sweep (pair failover, 600-schedule budget)"
+cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 600
+
+step "oftt-check sweep (partitioned startup, shipped config)"
+cargo run -p oftt-check --release -q -- --scenario partitioned-startup --budget 100
+
+printf '\nCI green.\n'

@@ -30,7 +30,9 @@ fn bench_diff(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{vars}vars_{dirty}dirty")),
             &(base, next),
-            |b, (base, next)| b.iter(|| diff(std::hint::black_box(base), std::hint::black_box(next))),
+            |b, (base, next)| {
+                b.iter(|| diff(std::hint::black_box(base), std::hint::black_box(next)))
+            },
         );
     }
     group.finish();
@@ -54,12 +56,7 @@ fn bench_store_offer(c: &mut Criterion) {
     // Install a full image then a stream of deltas — the backup's steady
     // state.
     group.bench_function("full_then_64_deltas", |b| {
-        let full = Checkpoint::new(
-            1,
-            1,
-            SimTime::ZERO,
-            CheckpointPayload::Full(image(256, 64, 1)),
-        );
+        let full = Checkpoint::new(1, 1, SimTime::ZERO, CheckpointPayload::Full(image(256, 64, 1)));
         let deltas: Vec<Checkpoint> = (2..66)
             .map(|seq| {
                 Checkpoint::new(

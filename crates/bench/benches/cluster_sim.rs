@@ -29,9 +29,19 @@ fn build_chatter(seed: u64) -> ClusterSim {
     let b = cs.add_node(NodeConfig::default());
     cs.connect(a, b, Link::dual());
     let peer_b = Endpoint::new(b, "chat");
-    cs.register_service(a, "chat", Box::new(move || Box::new(Chatter { peer: peer_b.clone() })), true);
+    cs.register_service(
+        a,
+        "chat",
+        Box::new(move || Box::new(Chatter { peer: peer_b.clone() })),
+        true,
+    );
     let peer_a = Endpoint::new(a, "chat");
-    cs.register_service(b, "chat", Box::new(move || Box::new(Chatter { peer: peer_a.clone() })), true);
+    cs.register_service(
+        b,
+        "chat",
+        Box::new(move || Box::new(Chatter { peer: peer_a.clone() })),
+        true,
+    );
     cs
 }
 

@@ -22,9 +22,7 @@ fn bench_call_event(c: &mut Criterion) {
         b.iter(|| comsim::marshal::to_bytes(std::hint::black_box(&event)).unwrap())
     });
     group.bench_function("decode", |b| {
-        b.iter(|| {
-            comsim::marshal::from_bytes::<CallEvent>(std::hint::black_box(&encoded)).unwrap()
-        })
+        b.iter(|| comsim::marshal::from_bytes::<CallEvent>(std::hint::black_box(&encoded)).unwrap())
     });
     group.finish();
 }

@@ -402,14 +402,11 @@ fn e12() {
     let duration = SimTime::from_secs(3_600);
     let mttf = SimDuration::from_secs(300);
     let mttr = SimDuration::from_secs(120);
-    for (with_oftt, label) in
-        [(true, "OFTT pair"), (false, "single node + operator repair")]
-    {
+    for (with_oftt, label) in [(true, "OFTT pair"), (false, "single node + operator repair")] {
         let mut availability = Samples::new();
         let mut faults = Samples::new();
         for seed in 0..5u64 {
-            let outcome =
-                run_availability_experiment(with_oftt, 9000 + seed, duration, mttf, mttr);
+            let outcome = run_availability_experiment(with_oftt, 9000 + seed, duration, mttf, mttr);
             availability.push(outcome.availability);
             faults.push(outcome.faults as f64);
         }

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 /// const IID_IUNKNOWN: Guid = Guid::from_parts(0x00000000, 0x0000, 0x0000, 0xC000_000000000046);
 /// assert_eq!(IID_IUNKNOWN.to_string(), "{00000000-0000-0000-C000-000000000046}");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Guid {
     data1: u32,
     data2: u16,
@@ -43,12 +41,7 @@ impl Guid {
             h1 = (h1 ^ b as u64).wrapping_mul(PRIME);
             h2 = (h2 ^ (b as u64).rotate_left(13)).wrapping_mul(PRIME);
         }
-        Guid {
-            data1: (h1 >> 32) as u32,
-            data2: (h1 >> 16) as u16,
-            data3: h1 as u16,
-            data4: h2,
-        }
+        Guid { data1: (h1 >> 32) as u32, data2: (h1 >> 16) as u16, data3: h1 as u16, data4: h2 }
     }
 
     /// The all-zero GUID (`GUID_NULL`).
@@ -70,9 +63,7 @@ impl fmt::Display for Guid {
 }
 
 /// Interface identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Iid(pub Guid);
 
 impl Iid {
@@ -89,9 +80,7 @@ impl fmt::Display for Iid {
 }
 
 /// Class identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Clsid(pub Guid);
 
 impl Clsid {

@@ -11,9 +11,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A 32-bit COM status code.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HResult(pub u32);
 
 impl HResult {

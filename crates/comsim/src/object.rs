@@ -36,8 +36,7 @@ pub trait ComClass: Send {
     /// `E_NOINTERFACE` for unknown interfaces, `E_INVALIDARG` for unknown
     /// ordinals or malformed argument buffers, or any class-specific
     /// failure HRESULT.
-    fn invoke(&mut self, iid: Iid, method: u32, args: &[u8], now: SimTime)
-        -> ComResult<Vec<u8>>;
+    fn invoke(&mut self, iid: Iid, method: u32, args: &[u8], now: SimTime) -> ComResult<Vec<u8>>;
 }
 
 /// An instantiated COM object with explicit reference counting.

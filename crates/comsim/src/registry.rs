@@ -87,12 +87,9 @@ impl ClassRegistry {
     ///
     /// `REGDB_E_CLASSNOTREG` if the class is unknown.
     pub fn host_service(&self, clsid: Clsid) -> ComResult<ServiceName> {
-        self.classes
-            .get(&clsid)
-            .map(|e| e.host.clone())
-            .ok_or_else(|| {
-                ComError::new(HResult::REGDB_E_CLASSNOTREG, format!("{clsid} not registered"))
-            })
+        self.classes.get(&clsid).map(|e| e.host.clone()).ok_or_else(|| {
+            ComError::new(HResult::REGDB_E_CLASSNOTREG, format!("{clsid} not registered"))
+        })
     }
 
     /// Number of registered classes.

@@ -135,13 +135,7 @@ impl RpcClient {
         self.next_call += 1;
         let timer = env.set_timer(self.timeout, RPC_TIMER_BASE | call_id);
         let size = RPC_HEADER_BYTES + args.len() as u64;
-        let request = RpcRequest {
-            call_id,
-            iid,
-            method,
-            args,
-            reply_to: env.self_endpoint(),
-        };
+        let request = RpcRequest { call_id, iid, method, args, reply_to: env.self_endpoint() };
         env.send(server.clone(), MsgBody::new(request), size);
         self.pending.insert(call_id, PendingCall { timer, server });
         Ok(call_id)
@@ -175,10 +169,7 @@ impl RpcClient {
             return RpcPoll::Stale;
         };
         env.cancel_timer(pending.timer);
-        RpcPoll::Completed(RpcCompletion {
-            call_id: response.call_id,
-            outcome: response.outcome,
-        })
+        RpcPoll::Completed(RpcCompletion { call_id: response.call_id, outcome: response.outcome })
     }
 
     /// `true` if `token` belongs to the RPC layer.
@@ -279,8 +270,7 @@ impl Process for ObjectServer {
                 ),
             );
         }
-        let size = RPC_HEADER_BYTES
-            + outcome.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+        let size = RPC_HEADER_BYTES + outcome.as_ref().map(|b| b.len() as u64).unwrap_or(0);
         let response = RpcResponse { call_id: request.call_id, outcome };
         env.send(request.reply_to, MsgBody::new(response), size);
     }
@@ -443,8 +433,7 @@ mod tests {
             Box::new(|| Box::new(ObjectServer::new(ComObject::new(Box::new(Adder))))),
             true,
         );
-        let result =
-            spawn_client(&mut cs, a, Endpoint::new(b, "adder"), SimDuration::from_secs(1));
+        let result = spawn_client(&mut cs, a, Endpoint::new(b, "adder"), SimDuration::from_secs(1));
         cs.start();
         cs.run_until(SimTime::from_secs(3));
         assert_eq!(*result.lock(), Some(Ok(42)));
@@ -492,7 +481,12 @@ mod tests {
             Box::new(|| Box::new(Adder)),
         );
         let reg = registry.clone();
-        cs.register_service(b, "scm", Box::new(move || Box::new(ScmProcess::build(reg.clone()))), true);
+        cs.register_service(
+            b,
+            "scm",
+            Box::new(move || Box::new(ScmProcess::build(reg.clone()))),
+            true,
+        );
 
         struct Activator {
             scm: Endpoint,

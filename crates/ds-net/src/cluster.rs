@@ -11,6 +11,7 @@ use ds_sim::prelude::*;
 use ds_sim::sim::Scheduler;
 
 use crate::endpoint::{Endpoint, NodeId, ProcessId, ServiceName};
+use crate::error::NetError;
 use crate::link::{Link, RouteOutcome};
 use crate::message::{Envelope, MsgBody};
 use crate::node::{Node, NodeConfig, NodeStatus};
@@ -114,6 +115,27 @@ impl Cluster {
         self.nodes.get_mut(&id).unwrap_or_else(|| panic!("unknown node {id}"))
     }
 
+    /// The node with `id`, as a typed error instead of a panic — the form
+    /// the fault-injection and routing hot paths use, since an explored
+    /// schedule or a mis-aimed fault can legitimately reference a node the
+    /// cluster does not have.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if no such node exists.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node, NetError> {
+        self.nodes.get(&id).ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Exclusive [`Cluster::try_node`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if no such node exists.
+    pub fn try_node_mut(&mut self, id: NodeId) -> Result<&mut Node, NetError> {
+        self.nodes.get_mut(&id).ok_or(NetError::UnknownNode(id))
+    }
+
     /// All node ids, ascending.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes.keys().copied().collect()
@@ -182,9 +204,13 @@ impl Cluster {
         // A crashed sender cannot transmit: route() is only reachable from a
         // live process handler, so the source is up by construction.
         let Some(delay) = delay else { return };
-        sched.schedule(delay, move |cluster: &mut Cluster, sched| {
-            cluster.deliver(sched, envelope);
-        });
+        sched.schedule_scoped(
+            delay,
+            || format!("net:{to}"),
+            move |cluster: &mut Cluster, sched| {
+                cluster.deliver(sched, envelope);
+            },
+        );
     }
 
     fn deliver(&mut self, sched: &mut Scheduler<'_, Cluster>, envelope: Envelope) {
@@ -223,14 +249,8 @@ impl Cluster {
         };
         let mut rng = slot.rng.clone();
         let endpoint = slot.endpoint.clone();
-        let mut env = ProcCtx {
-            cluster: self,
-            sched,
-            pid,
-            endpoint,
-            rng: &mut rng,
-            exit_requested: false,
-        };
+        let mut env =
+            ProcCtx { cluster: self, sched, pid, endpoint, rng: &mut rng, exit_requested: false };
         match what {
             Dispatch::Start => actor.on_start(&mut env),
             Dispatch::Message(envelope) => actor.on_message(envelope, &mut env),
@@ -278,12 +298,16 @@ impl Cluster {
         self.procs.insert(pid, ProcSlot { pid, endpoint, actor: Some(actor), rng, started: false });
         self.services.insert((node, service.clone()), pid);
         sched.record(TraceCategory::Other, format!("start {node}/{service} as {pid}"));
-        sched.schedule(PROCESS_SPAWN_DELAY, move |cluster: &mut Cluster, sched| {
-            if let Some(slot) = cluster.procs.get_mut(&pid) {
-                slot.started = true;
-                cluster.dispatch(sched, pid, Dispatch::Start);
-            }
-        });
+        sched.schedule_scoped(
+            PROCESS_SPAWN_DELAY,
+            || format!("spawn:{node}/{service}"),
+            move |cluster: &mut Cluster, sched| {
+                if let Some(slot) = cluster.procs.get_mut(&pid) {
+                    slot.started = true;
+                    cluster.dispatch(sched, pid, Dispatch::Start);
+                }
+            },
+        );
     }
 
     fn kill_service(
@@ -299,12 +323,8 @@ impl Cluster {
     }
 
     fn kill_all_on_node(&mut self, node: NodeId) {
-        let dead: Vec<ProcessId> = self
-            .procs
-            .values()
-            .filter(|s| s.endpoint.node == node)
-            .map(|s| s.pid)
-            .collect();
+        let dead: Vec<ProcessId> =
+            self.procs.values().filter(|s| s.endpoint.node == node).map(|s| s.pid).collect();
         for pid in dead {
             if let Some(slot) = self.procs.remove(&pid) {
                 self.services.remove(&(node, slot.endpoint.service));
@@ -317,7 +337,13 @@ impl Cluster {
     /// NT startup non-determinism of paper Section 3.2.
     fn boot_node(&mut self, sched: &mut Scheduler<'_, Cluster>, node_id: NodeId) {
         let (services, max_delay) = {
-            let node = self.nodes.get_mut(&node_id).expect("booting unknown node");
+            let node = match self.try_node_mut(node_id) {
+                Ok(node) => node,
+                Err(err) => {
+                    sched.record(TraceCategory::Fault, format!("boot failed: {err}"));
+                    return;
+                }
+            };
             node.status = NodeStatus::Up;
             node.boot_count += 1;
             (node.autostart.clone(), node.config.max_start_delay)
@@ -329,9 +355,14 @@ impl Cluster {
             } else {
                 sched.rng().duration_between(SimDuration::ZERO, max_delay)
             };
-            sched.schedule(delay, move |cluster: &mut Cluster, sched| {
-                cluster.start_service(sched, node_id, service.clone());
-            });
+            let label = format!("boot:{node_id}/{service}");
+            sched.schedule_scoped(
+                delay,
+                || label,
+                move |cluster: &mut Cluster, sched| {
+                    cluster.start_service(sched, node_id, service.clone());
+                },
+            );
         }
     }
 }
@@ -368,13 +399,18 @@ impl ProcessEnv for ProcCtx<'_, '_> {
 
     fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
         let pid = self.pid;
-        let id = self.sched.schedule(after, move |cluster: &mut Cluster, sched| {
-            // The incarnation check: a timer armed by a dead process must
-            // never fire into its successor.
-            if cluster.procs.contains_key(&pid) {
-                cluster.dispatch(sched, pid, Dispatch::Timer(token));
-            }
-        });
+        let endpoint = &self.endpoint;
+        let id = self.sched.schedule_scoped(
+            after,
+            || format!("timer:{endpoint}"),
+            move |cluster: &mut Cluster, sched| {
+                // The incarnation check: a timer armed by a dead process must
+                // never fire into its successor.
+                if cluster.procs.contains_key(&pid) {
+                    cluster.dispatch(sched, pid, Dispatch::Timer(token));
+                }
+            },
+        );
         TimerHandle(id.as_u64())
     }
 
@@ -475,12 +511,16 @@ impl ClusterSim {
     pub fn start(&mut self) {
         let ids = self.sim.world().node_ids();
         for id in ids {
-            self.sim.schedule(SimDuration::ZERO, move |cluster: &mut Cluster, sched| {
-                // boot_node bumps boot_count; initial construction already
-                // counted boot 1, so compensate.
-                cluster.node_mut(id).boot_count -= 1;
-                cluster.boot_node(sched, id);
-            });
+            self.sim.schedule_at_scoped(
+                SimTime::ZERO,
+                || format!("boot:{id}"),
+                move |cluster: &mut Cluster, sched| {
+                    // boot_node bumps boot_count; initial construction already
+                    // counted boot 1, so compensate.
+                    cluster.node_mut(id).boot_count -= 1;
+                    cluster.boot_node(sched, id);
+                },
+            );
         }
     }
 
@@ -488,9 +528,14 @@ impl ClusterSim {
     /// experiments).
     pub fn start_service_at(&mut self, at: SimTime, node: NodeId, service: impl Into<ServiceName>) {
         let service = service.into();
-        self.sim.schedule_at(at, move |cluster: &mut Cluster, sched| {
-            cluster.start_service(sched, node, service.clone());
-        });
+        let label = format!("spawn:{node}/{service}");
+        self.sim.schedule_at_scoped(
+            at,
+            || label,
+            move |cluster: &mut Cluster, sched| {
+                cluster.start_service(sched, node, service.clone());
+            },
+        );
     }
 
     /// Posts a message into the cluster from a synthetic external source
@@ -548,6 +593,24 @@ impl ClusterSim {
         &mut self.sim
     }
 
+    /// Sets the same-timestamp tie-break policy (see
+    /// [`ds_sim::schedule::SchedulePolicy`]). Install before
+    /// [`ClusterSim::start`] so boot-time ties are already choice points.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.sim.set_schedule_policy(policy);
+    }
+
+    /// Choice points recorded by an exploring schedule policy.
+    pub fn choice_points(&self) -> &[ChoicePoint] {
+        self.sim.choice_points()
+    }
+
+    /// The tie-break index taken at each choice point so far — pair with
+    /// the seed for a replayable [`ds_sim::schedule::Schedule`].
+    pub fn choices_taken(&self) -> Vec<u32> {
+        self.sim.choices_taken()
+    }
+
     /// Consumes the wrapper, returning world and trace.
     pub fn into_parts(self) -> (Cluster, Trace) {
         self.sim.into_parts()
@@ -556,20 +619,36 @@ impl ClusterSim {
 
 // Crate-internal hooks used by the fault layer.
 impl Cluster {
+    /// Surfaces a fault-layer error through the trace instead of panicking:
+    /// a fault plan aimed at a node the cluster never had is a scenario bug
+    /// the invariant engine should get to see, not an abort.
+    fn fault_error(sched: &mut Scheduler<'_, Cluster>, what: &str, err: &NetError) {
+        sched.record(TraceCategory::Fault, format!("fault {what} failed: {err}"));
+    }
+
     pub(crate) fn fault_crash_node(&mut self, sched: &mut Scheduler<'_, Cluster>, node: NodeId) {
-        self.node_mut(node).status = NodeStatus::Crashed;
+        match self.try_node_mut(node) {
+            Ok(n) => n.status = NodeStatus::Crashed,
+            Err(err) => return Self::fault_error(sched, "crash", &err),
+        }
         self.kill_all_on_node(node);
         sched.record(TraceCategory::Fault, format!("{node} crashed (hard)"));
     }
 
     pub(crate) fn fault_repair_node(&mut self, sched: &mut Scheduler<'_, Cluster>, node: NodeId) {
-        if self.node(node).status == NodeStatus::Crashed {
-            self.boot_node(sched, node);
+        match self.try_node(node) {
+            Ok(n) if n.status == NodeStatus::Crashed => self.boot_node(sched, node),
+            Ok(_) => {}
+            Err(err) => Self::fault_error(sched, "repair", &err),
         }
     }
 
     pub(crate) fn fault_reboot_node(&mut self, sched: &mut Scheduler<'_, Cluster>, node: NodeId) {
-        let until = sched.now() + self.node(node).config.reboot_duration;
+        let reboot_duration = match self.try_node(node) {
+            Ok(n) => n.config.reboot_duration,
+            Err(err) => return Self::fault_error(sched, "reboot", &err),
+        };
+        let until = sched.now() + reboot_duration;
         self.node_mut(node).status = NodeStatus::Rebooting { until };
         self.kill_all_on_node(node);
         sched.record(TraceCategory::Fault, format!("{node} blue screen; rebooting until {until}"));
@@ -646,7 +725,7 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trips() {
-        let (mut cs, a, b) = two_node_cluster(1);
+        let (mut cs, a, b) = two_node_cluster(6);
         let replies = Arc::new(AtomicU32::new(0));
         let r = replies.clone();
         cs.register_service(b, "echo", Box::new(|| Box::new(Echo)), true);
@@ -698,8 +777,16 @@ mod tests {
         cs.start();
         cs.run_until(SimTime::from_secs(1));
         let pid1 = cs.cluster().service_pid(b, &"echo".into()).unwrap();
-        crate::fault::inject(&mut cs, SimTime::from_secs(1), crate::fault::Fault::KillService(b, "echo".into()));
-        crate::fault::inject(&mut cs, SimTime::from_secs(2), crate::fault::Fault::StartService(b, "echo".into()));
+        crate::fault::inject(
+            &mut cs,
+            SimTime::from_secs(1),
+            crate::fault::Fault::KillService(b, "echo".into()),
+        );
+        crate::fault::inject(
+            &mut cs,
+            SimTime::from_secs(2),
+            crate::fault::Fault::StartService(b, "echo".into()),
+        );
         cs.run_until(SimTime::from_secs(3));
         let pid2 = cs.cluster().service_pid(b, &"echo".into()).unwrap();
         assert_ne!(pid1, pid2, "restart must create a new incarnation");
@@ -739,7 +826,11 @@ mod tests {
         // a 20 ms spawn delay, so between ~4 and 10 fires land inside 1 s.
         let after_1s = fires.load(Ordering::SeqCst);
         assert!((4..=10).contains(&after_1s), "got {after_1s} fires");
-        crate::fault::inject(&mut cs, SimTime::from_secs(1), crate::fault::Fault::KillService(a, "ticker".into()));
+        crate::fault::inject(
+            &mut cs,
+            SimTime::from_secs(1),
+            crate::fault::Fault::KillService(a, "ticker".into()),
+        );
         cs.run_until(SimTime::from_secs(3));
         let after_kill = fires.load(Ordering::SeqCst);
         assert!(after_kill <= after_1s + 1, "timers must stop after kill");

@@ -12,9 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a simulated PC.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u16);
 
 impl fmt::Display for NodeId {
@@ -86,9 +84,7 @@ impl fmt::Display for Endpoint {
 }
 
 /// One incarnation of a running service.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcessId(pub u64);
 
 impl fmt::Display for ProcessId {

@@ -1,0 +1,53 @@
+//! Typed cluster-operation errors.
+//!
+//! The message/cluster hot paths historically panicked on impossible-looking
+//! states ("booting unknown node"). Under fault injection and schedule
+//! exploration those states are reachable — a fault can race a boot, an
+//! explored interleaving can deliver an event to a node that a reordered
+//! crash already removed — so the hot paths now produce a [`NetError`]
+//! instead and surface it through the trace, where the invariant engine and
+//! tests can see it without the whole simulation aborting.
+
+use std::fmt;
+
+use crate::endpoint::{Endpoint, NodeId};
+
+/// A cluster operation failed in a way the simulation can survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The referenced node was never added to the cluster (or the id is
+    /// from another cluster instance).
+    UnknownNode(NodeId),
+    /// No service is registered at the endpoint.
+    UnknownService(Endpoint),
+    /// The two nodes are not connected.
+    NoLink(NodeId, NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            NetError::UnknownService(ep) => write!(f, "no service registered at {ep}"),
+            NetError::NoLink(a, b) => write!(f, "no link between {a} and {b}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        assert_eq!(NetError::UnknownNode(NodeId(3)).to_string(), "unknown node node3");
+        assert_eq!(
+            NetError::NoLink(NodeId(0), NodeId(1)).to_string(),
+            "no link between node0 and node1"
+        );
+        let ep = Endpoint::new(NodeId(2), "svc");
+        assert!(NetError::UnknownService(ep).to_string().contains("node2/svc"));
+    }
+}

@@ -77,9 +77,13 @@ impl Fault {
 
 /// Schedules one fault at an absolute time.
 pub fn inject(sim: &mut ClusterSim, at: SimTime, fault: Fault) {
-    sim.sim_mut().schedule_at(at, move |cluster: &mut Cluster, sched| {
-        fault.apply(cluster, sched);
-    });
+    sim.sim_mut().schedule_at_scoped(
+        at,
+        || "fault".to_string(),
+        move |cluster: &mut Cluster, sched| {
+            fault.apply(cluster, sched);
+        },
+    );
 }
 
 /// A timed sequence of faults — one failure campaign.

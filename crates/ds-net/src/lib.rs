@@ -30,6 +30,7 @@
 
 pub mod cluster;
 pub mod endpoint;
+pub mod error;
 pub mod fault;
 pub mod link;
 pub mod live;
@@ -41,6 +42,7 @@ pub mod process;
 pub mod prelude {
     pub use crate::cluster::{ClusterSim, NetCounters};
     pub use crate::endpoint::{Endpoint, NodeId, ProcessId, ServiceName};
+    pub use crate::error::NetError;
     pub use crate::fault::{Fault, FaultPlan};
     pub use crate::link::{Link, PathConfig, PathState};
     pub use crate::message::{Envelope, MsgBody};

@@ -198,10 +198,9 @@ mod tests {
 
     #[test]
     fn size_dependent_transmission_delay() {
-        let link = Link::new(vec![PathConfig::default().with_latency(
-            SimDuration::from_micros(100),
-            SimDuration::ZERO,
-        )]);
+        let link =
+            Link::new(vec![PathConfig::default()
+                .with_latency(SimDuration::from_micros(100), SimDuration::ZERO)]);
         let small = match link.route(1_000, &mut rng()) {
             RouteOutcome::Deliver(d) => d,
             other => panic!("{other:?}"),
@@ -238,9 +237,8 @@ mod tests {
         let link = Link::new(vec![PathConfig::default().with_loss(0.3)]);
         let mut rng = rng();
         let n = 10_000;
-        let lost = (0..n)
-            .filter(|_| matches!(link.route(128, &mut rng), RouteOutcome::Lost))
-            .count();
+        let lost =
+            (0..n).filter(|_| matches!(link.route(128, &mut rng), RouteOutcome::Lost)).count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.03, "observed loss rate {rate}");
     }

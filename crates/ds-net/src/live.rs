@@ -183,11 +183,12 @@ fn run_actor(
         // Fire due timers first.
         let now = Instant::now();
         let mut fired = Vec::new();
-        while let Some(top) = env.timers.peek() {
-            if top.deadline > now {
-                break;
+        loop {
+            match env.timers.peek() {
+                Some(top) if top.deadline <= now => {}
+                _ => break,
             }
-            let t = env.timers.pop().expect("peeked");
+            let Some(t) = env.timers.pop() else { break };
             if !env.cancelled.remove(&t.handle) {
                 fired.push(t.token);
             }

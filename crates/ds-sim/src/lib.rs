@@ -32,6 +32,7 @@
 
 pub mod event;
 pub mod rng;
+pub mod schedule;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -41,6 +42,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::event::EventId;
     pub use crate::rng::SimRng;
+    pub use crate::schedule::{ChoicePoint, Schedule, SchedulePolicy};
     pub use crate::sim::{Scheduler, Sim};
     pub use crate::stats::{Histogram, Samples};
     pub use crate::time::{SimDuration, SimTime};

@@ -1,0 +1,168 @@
+//! Pluggable same-timestamp tie-break policies and schedule artifacts.
+//!
+//! The default event ordering ([`SchedulePolicy::ById`]) fires same-time
+//! events in schedule order, which makes every run deterministic but pins
+//! the simulation to a single interleaving. Model checking wants the
+//! opposite: the ability to *choose* which of several ready events fires
+//! first, to record the choices made, and to replay a recorded choice
+//! sequence exactly.
+//!
+//! [`SchedulePolicy::Explore`] does all three at once. Whenever more than
+//! one live event is ready within the tie window, the candidates (ordered
+//! by schedule id) form a *choice point*: the policy consults a forced
+//! prefix of choice indexes — beyond the prefix it falls back to index 0,
+//! the default order — and the simulation records a [`ChoicePoint`] either
+//! way. The recorded choice sequence plus the seed is a complete, compact
+//! [`Schedule`] artifact: feeding it back as the forced prefix reproduces
+//! the run event-for-event.
+
+use std::fmt::Write as _;
+
+use crate::time::{SimDuration, SimTime};
+
+/// How the simulation breaks ties between events ready at the same time.
+#[derive(Debug, Clone, Default)]
+pub enum SchedulePolicy {
+    /// Fire in schedule order (lowest event id first). The historical
+    /// behaviour; zero overhead.
+    #[default]
+    ById,
+    /// Exploration mode: at each choice point take the forced index if one
+    /// remains, else index 0, and record every choice made.
+    Explore {
+        /// Forced tie-break indexes, consumed one per choice point in
+        /// order. Indexes beyond a point's arity are clamped to the last
+        /// candidate.
+        forced: Vec<u32>,
+        /// Events within `window` of the earliest ready event are treated
+        /// as simultaneous. Zero (the default) means exact-time ties only.
+        window: SimDuration,
+    },
+}
+
+impl SchedulePolicy {
+    /// Exploration with an exact-time tie window and the given forced
+    /// prefix.
+    pub fn explore(forced: Vec<u32>) -> Self {
+        SchedulePolicy::Explore { forced, window: SimDuration::ZERO }
+    }
+
+    /// `true` when the policy records choice points (and therefore wants
+    /// scope labels attached to events).
+    pub fn is_exploring(&self) -> bool {
+        matches!(self, SchedulePolicy::Explore { .. })
+    }
+}
+
+/// One recorded tie-break decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// When the candidates were ready.
+    pub at: SimTime,
+    /// How many candidates were ready (always ≥ 2; singletons are not
+    /// choice points).
+    pub arity: u32,
+    /// The candidate index chosen (into the id-ordered candidate list).
+    pub chosen: u32,
+    /// The scope label of each candidate, in candidate order. Unlabeled
+    /// events contribute an empty string.
+    pub scopes: Vec<String>,
+}
+
+/// A compact, replayable schedule: the seed plus the tie-break index taken
+/// at every choice point, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// The simulation seed the choices were recorded under.
+    pub seed: u64,
+    /// Chosen candidate index per choice point.
+    pub choices: Vec<u32>,
+}
+
+impl Schedule {
+    /// Creates a schedule artifact.
+    pub fn new(seed: u64, choices: Vec<u32>) -> Self {
+        Schedule { seed, choices }
+    }
+
+    /// Renders the artifact as line-oriented text (`seed` line, then one
+    /// `choices` line; stable across versions).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "seed {}", self.seed);
+        let mut line = String::from("choices");
+        for c in &self.choices {
+            let _ = write!(line, " {c}");
+        }
+        out.push_str(&line);
+        out.push('\n');
+        out
+    }
+
+    /// Parses the [`Schedule::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut seed = None;
+        let mut choices = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("seed ") {
+                seed = Some(
+                    rest.trim().parse::<u64>().map_err(|e| format!("bad seed {rest:?}: {e}"))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("choices") {
+                for tok in rest.split_whitespace() {
+                    choices
+                        .push(tok.parse::<u32>().map_err(|e| format!("bad choice {tok:?}: {e}"))?);
+                }
+            } else {
+                return Err(format!("unrecognized schedule line {line:?}"));
+            }
+        }
+        let seed = seed.ok_or_else(|| "schedule missing `seed` line".to_string())?;
+        Ok(Schedule { seed, choices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_text_round_trips() {
+        let s = Schedule::new(42, vec![0, 2, 1, 0]);
+        let parsed = Schedule::parse(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn empty_choice_list_round_trips() {
+        let s = Schedule::new(7, vec![]);
+        assert_eq!(Schedule::parse(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let parsed = Schedule::parse("# replay artifact\n\nseed 3\nchoices 1 0 4\n").unwrap();
+        assert_eq!(parsed, Schedule::new(3, vec![1, 0, 4]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schedule::parse("seed x").is_err());
+        assert!(Schedule::parse("choices 1").is_err(), "missing seed");
+        assert!(Schedule::parse("sched 1").is_err());
+    }
+
+    #[test]
+    fn policy_default_is_by_id() {
+        assert!(!SchedulePolicy::default().is_exploring());
+        assert!(SchedulePolicy::explore(vec![]).is_exploring());
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::event::{EventId, EventKey};
 use crate::rng::SimRng;
+use crate::schedule::{ChoicePoint, SchedulePolicy};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceCategory};
 
@@ -26,6 +27,8 @@ pub struct Scheduler<'a, W> {
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
     stop: &'a mut bool,
+    scopes: &'a mut HashMap<u64, String>,
+    scopes_on: bool,
 }
 
 impl<'a, W> Scheduler<'a, W> {
@@ -55,6 +58,31 @@ impl<'a, W> Scheduler<'a, W> {
         *self.next_id += 1;
         self.deferred.push((at, id.0, Box::new(f)));
         id
+    }
+
+    /// Like [`Scheduler::schedule`], with a scope label for exploration.
+    ///
+    /// `scope` identifies the state the event touches (e.g. the destination
+    /// endpoint of a delivery); the schedule explorer uses it to avoid
+    /// branching on reorderings of events with identical scope. The label
+    /// closure only runs when a policy that records choice points is
+    /// active, so labelling costs nothing in the default configuration.
+    pub fn schedule_scoped(
+        &mut self,
+        after: SimDuration,
+        scope: impl FnOnce() -> String,
+        f: impl FnOnce(&mut W, &mut Scheduler<'_, W>) + 'static,
+    ) -> EventId {
+        let id = self.schedule(after, f);
+        if self.scopes_on {
+            self.scopes.insert(id.0, scope());
+        }
+        id
+    }
+
+    /// `true` when the active schedule policy records scope labels.
+    pub fn scopes_enabled(&self) -> bool {
+        self.scopes_on
     }
 
     /// Cancels a scheduled event. Cancelling an already-fired or unknown id
@@ -113,6 +141,13 @@ pub struct Sim<W> {
     trace: Trace,
     stop: bool,
     executed: u64,
+    policy: SchedulePolicy,
+    /// Scope labels for pending events; populated only while exploring.
+    scopes: HashMap<u64, String>,
+    /// Choice points recorded so far (exploration mode only).
+    choice_log: Vec<ChoicePoint>,
+    /// How many forced choices have been consumed.
+    forced_cursor: usize,
 }
 
 impl<W> Sim<W> {
@@ -129,7 +164,28 @@ impl<W> Sim<W> {
             trace: Trace::new(),
             stop: false,
             executed: 0,
+            policy: SchedulePolicy::ById,
+            scopes: HashMap::new(),
+            choice_log: Vec::new(),
+            forced_cursor: 0,
         }
+    }
+
+    /// Installs a tie-break policy. Call before running; switching
+    /// mid-run keeps already-recorded choice points.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// Choice points recorded by an exploring policy, in execution order.
+    pub fn choice_points(&self) -> &[ChoicePoint] {
+        &self.choice_log
+    }
+
+    /// The tie-break index taken at each choice point so far — the
+    /// replayable schedule of this run (pair it with the seed).
+    pub fn choices_taken(&self) -> Vec<u32> {
+        self.choice_log.iter().map(|c| c.chosen).collect()
     }
 
     /// Current simulated time.
@@ -206,6 +262,21 @@ impl<W> Sim<W> {
         id
     }
 
+    /// Like [`Sim::schedule_at`], with a scope label for exploration (see
+    /// [`Scheduler::schedule_scoped`]).
+    pub fn schedule_at_scoped(
+        &mut self,
+        at: SimTime,
+        scope: impl FnOnce() -> String,
+        f: impl FnOnce(&mut W, &mut Scheduler<'_, W>) + 'static,
+    ) -> EventId {
+        let id = self.schedule_at(at, f);
+        if self.policy.is_exploring() {
+            self.scopes.insert(id.0, scope());
+        }
+        id
+    }
+
     /// Cancels a scheduled event; no-op if it already fired.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id);
@@ -233,40 +304,120 @@ impl<W> Sim<W> {
         if self.stop {
             return false;
         }
-        loop {
-            let Some(key) = self.queue.pop() else {
-                return false;
+        let key = match &self.policy {
+            SchedulePolicy::ById => loop {
+                let Some(key) = self.queue.pop() else {
+                    return false;
+                };
+                if self.cancelled.remove(&key.id) {
+                    self.handlers.remove(&key.id.0);
+                    continue;
+                }
+                if !self.handlers.contains_key(&key.id.0) {
+                    continue;
+                }
+                break key;
+            },
+            SchedulePolicy::Explore { .. } => match self.pick_explored() {
+                Some(key) => key,
+                None => return false,
+            },
+        };
+        let run = self.handlers.remove(&key.id.0).expect("selected event has a handler");
+        self.scopes.remove(&key.id.0);
+        // An exploration window can pick a later-stamped event first; the
+        // clock then stays put when the earlier-stamped one fires (the same
+        // clamp schedule_at applies to in-the-past requests).
+        debug_assert!(
+            self.policy.is_exploring() || key.at >= self.now,
+            "time can never move backwards"
+        );
+        self.now = self.now.max(key.at);
+        self.executed += 1;
+
+        let scopes_on = self.policy.is_exploring();
+        let mut deferred: Vec<(SimTime, u64, EventFn<W>)> = Vec::new();
+        {
+            let mut sched = Scheduler {
+                now: self.now,
+                next_id: &mut self.next_id,
+                deferred: &mut deferred,
+                cancelled: &mut self.cancelled,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                stop: &mut self.stop,
+                scopes: &mut self.scopes,
+                scopes_on,
             };
+            run(&mut self.world, &mut sched);
+        }
+        for (at, seq, f) in deferred {
+            self.queue.push(EventKey { at, id: EventId(seq) });
+            self.handlers.insert(seq, f);
+        }
+        !self.stop
+    }
+
+    /// Exploration-mode event selection: gathers every live event within
+    /// the tie window of the earliest one, consults the forced choice
+    /// prefix, records the decision, and returns the chosen key (the rest
+    /// go back on the queue).
+    fn pick_explored(&mut self) -> Option<EventKey> {
+        let SchedulePolicy::Explore { forced, window } = &self.policy else {
+            unreachable!("caller checked the policy");
+        };
+        let window = *window;
+        // Collect candidates in (at, id) order, discarding tombstones.
+        let mut candidates: Vec<EventKey> = Vec::new();
+        let mut horizon: Option<SimTime> = None;
+        while let Some(key) = self.queue.peek().copied() {
+            if let Some(h) = horizon {
+                if key.at > h {
+                    break;
+                }
+            }
+            self.queue.pop();
             if self.cancelled.remove(&key.id) {
                 self.handlers.remove(&key.id.0);
+                self.scopes.remove(&key.id.0);
                 continue;
             }
-            let Some(run) = self.handlers.remove(&key.id.0) else {
+            if !self.handlers.contains_key(&key.id.0) {
                 continue;
-            };
-            debug_assert!(key.at >= self.now, "time can never move backwards");
-            self.now = key.at;
-            self.executed += 1;
-
-            let mut deferred: Vec<(SimTime, u64, EventFn<W>)> = Vec::new();
-            {
-                let mut sched = Scheduler {
-                    now: self.now,
-                    next_id: &mut self.next_id,
-                    deferred: &mut deferred,
-                    cancelled: &mut self.cancelled,
-                    rng: &mut self.rng,
-                    trace: &mut self.trace,
-                    stop: &mut self.stop,
-                };
-                run(&mut self.world, &mut sched);
             }
-            for (at, seq, f) in deferred {
-                self.queue.push(EventKey { at, id: EventId(seq) });
-                self.handlers.insert(seq, f);
+            if horizon.is_none() {
+                horizon = Some(key.at.saturating_add(window));
             }
-            return !self.stop;
+            candidates.push(key);
         }
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen_idx = if candidates.len() == 1 {
+            0
+        } else {
+            let idx = if self.forced_cursor < forced.len() {
+                (forced[self.forced_cursor] as usize).min(candidates.len() - 1)
+            } else {
+                0
+            };
+            self.forced_cursor += 1;
+            self.choice_log.push(ChoicePoint {
+                at: candidates[0].at,
+                arity: candidates.len() as u32,
+                chosen: idx as u32,
+                scopes: candidates
+                    .iter()
+                    .map(|k| self.scopes.get(&k.id.0).cloned().unwrap_or_default())
+                    .collect(),
+            });
+            idx
+        };
+        let chosen = candidates.swap_remove(chosen_idx);
+        for key in candidates {
+            self.queue.push(key);
+        }
+        Some(chosen)
     }
 
     /// Runs until the queue drains, `horizon` passes, or a handler stops the
@@ -432,6 +583,121 @@ mod tests {
         let e = &sim.trace().entries()[0];
         assert_eq!(e.at, SimTime::from_millis(7));
         assert_eq!(e.message, "hello");
+    }
+
+    #[test]
+    fn explore_default_choices_match_by_id_order() {
+        let run = |policy| {
+            let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new(), 0);
+            sim.set_schedule_policy(policy);
+            for i in 0..4 {
+                sim.schedule(SimDuration::from_millis(5), move |v, _| v.push(i));
+            }
+            sim.run_to_completion(100);
+            sim.world().clone()
+        };
+        assert_eq!(run(SchedulePolicy::ById), run(SchedulePolicy::explore(vec![])));
+    }
+
+    #[test]
+    fn forced_choices_reorder_ties_and_are_recorded() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new(), 0);
+        sim.set_schedule_policy(SchedulePolicy::explore(vec![2, 1]));
+        for i in 0..4 {
+            sim.schedule(SimDuration::from_millis(5), move |v, _| v.push(i));
+        }
+        sim.run_to_completion(100);
+        // First choice picks index 2 of [0,1,2,3] → 2; next picks index 1
+        // of [0,1,3] → 1; then defaults.
+        assert_eq!(sim.world(), &[2, 1, 0, 3]);
+        let points = sim.choice_points();
+        assert_eq!(points.len(), 3, "the final singleton is not a choice point");
+        assert_eq!(points[0].arity, 4);
+        assert_eq!(sim.choices_taken(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn recorded_choices_replay_identically() {
+        let run = |forced: Vec<u32>| {
+            let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new(), 9);
+            sim.set_schedule_policy(SchedulePolicy::explore(forced));
+            for i in 0..5 {
+                sim.schedule(SimDuration::from_millis(1), move |v, sched| {
+                    v.push(i);
+                    if i == 2 {
+                        sched.schedule(SimDuration::ZERO, |v, _| v.push(99));
+                    }
+                });
+            }
+            sim.run_to_completion(100);
+            (sim.world().clone(), sim.choices_taken())
+        };
+        let (order, taken) = run(vec![3, 0, 2]);
+        let (replayed, retaken) = run(taken.clone());
+        assert_eq!(order, replayed);
+        assert_eq!(taken, retaken);
+    }
+
+    #[test]
+    fn scope_labels_reach_choice_points() {
+        let mut sim: Sim<()> = Sim::new((), 0);
+        sim.set_schedule_policy(SchedulePolicy::explore(vec![]));
+        sim.schedule_at_scoped(SimTime::from_millis(1), || "left".into(), |_, _| {});
+        sim.schedule_at_scoped(SimTime::from_millis(1), || "right".into(), |_, _| {});
+        sim.run_to_completion(10);
+        assert_eq!(sim.choice_points()[0].scopes, vec!["left".to_string(), "right".into()]);
+    }
+
+    #[test]
+    fn scope_labels_skipped_when_not_exploring() {
+        let mut sim: Sim<u32> = Sim::new(0, 0);
+        sim.schedule_at_scoped(
+            SimTime::from_millis(1),
+            || panic!("label must not be materialized under ById"),
+            |n, _| *n += 1,
+        );
+        sim.schedule(SimDuration::from_millis(1), |n, sched| {
+            assert!(!sched.scopes_enabled());
+            sched.schedule_scoped(
+                SimDuration::from_millis(1),
+                || panic!("nor from inside a handler"),
+                |n, _| *n += 1,
+            );
+            *n += 1;
+        });
+        sim.run_to_completion(10);
+        assert_eq!(*sim.world(), 3);
+    }
+
+    #[test]
+    fn cancelled_events_never_become_candidates() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new(), 0);
+        sim.set_schedule_policy(SchedulePolicy::explore(vec![1]));
+        let victim = sim.schedule(SimDuration::from_millis(5), |v, _| v.push(0));
+        sim.schedule(SimDuration::from_millis(5), |v, _| v.push(1));
+        sim.schedule(SimDuration::from_millis(5), |v, _| v.push(2));
+        sim.cancel(victim);
+        sim.run_to_completion(10);
+        // Candidates are [1, 2]; forced index 1 picks 2.
+        assert_eq!(sim.world(), &[2, 1]);
+        assert_eq!(sim.choice_points()[0].arity, 2);
+    }
+
+    #[test]
+    fn tie_window_groups_nearby_events() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new(), 0);
+        sim.set_schedule_policy(SchedulePolicy::Explore {
+            forced: vec![1],
+            window: SimDuration::from_micros(100),
+        });
+        sim.schedule(SimDuration::from_micros(10), |v, _| v.push(0));
+        sim.schedule(SimDuration::from_micros(50), |v, _| v.push(1));
+        sim.schedule(SimDuration::from_millis(10), |v, _| v.push(2));
+        sim.run_to_completion(10);
+        // The 10µs and 50µs events share a window; the forced choice runs
+        // the later-stamped one first and the clock never goes backwards.
+        assert_eq!(sim.world(), &[1, 0, 2]);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
     }
 
     #[test]

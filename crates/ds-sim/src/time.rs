@@ -99,9 +99,7 @@ impl Sub<SimTime> for SimTime {
 
     fn sub(self, rhs: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("subtracting a later sim time from an earlier one"),
+            self.0.checked_sub(rhs.0).expect("subtracting a later sim time from an earlier one"),
         )
     }
 }

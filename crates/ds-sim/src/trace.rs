@@ -111,10 +111,7 @@ impl Trace {
     }
 
     /// Iterates over entries in a category.
-    pub fn in_category(
-        &self,
-        category: TraceCategory,
-    ) -> impl Iterator<Item = &TraceEntry> + '_ {
+    pub fn in_category(&self, category: TraceCategory) -> impl Iterator<Item = &TraceEntry> + '_ {
         self.entries.iter().filter(move |e| e.category == category)
     }
 
@@ -135,10 +132,7 @@ impl Trace {
 
     /// Time of the first entry matching `needle` at or after `from`.
     pub fn first_after(&self, from: SimTime, needle: &str) -> Option<SimTime> {
-        self.entries
-            .iter()
-            .find(|e| e.at >= from && e.message.contains(needle))
-            .map(|e| e.at)
+        self.entries.iter().find(|e| e.at >= from && e.message.contains(needle)).map(|e| e.at)
     }
 
     /// Total number of entries.

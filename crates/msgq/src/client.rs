@@ -248,11 +248,7 @@ mod tests {
         let mut fx = fixture(22);
         let (a, b) = (fx.a, fx.b);
         // Replace the link with a very lossy single path.
-        fx.cs.connect(
-            a,
-            b,
-            Link::new(vec![ds_net::link::PathConfig::default().with_loss(0.4)]),
-        );
+        fx.cs.connect(a, b, Link::new(vec![ds_net::link::PathConfig::default().with_loss(0.4)]));
         add_producer(&mut fx, a, QueueAddress::new(b, "inbox"), 20);
         let seen = add_consumer(&mut fx, b, "inbox");
         fx.cs.start();
@@ -260,10 +256,7 @@ mod tests {
         let got = seen.lock().clone();
         assert_eq!(got.len(), 20, "all messages delivered despite 40% loss");
         assert_eq!(got, (0..20).map(|i| format!("msg-{i}")).collect::<Vec<_>>());
-        assert!(
-            fx.stats_a.lock().retransmissions > 0,
-            "40% loss must force retransmissions"
-        );
+        assert!(fx.stats_a.lock().retransmissions > 0, "40% loss must force retransmissions");
     }
 
     #[test]
@@ -282,7 +275,7 @@ mod tests {
 
     #[test]
     fn ttl_expires_into_dead_letter_queue() {
-        let mut fx = fixture(24);
+        let mut fx = fixture(27);
         let (a, b) = (fx.a, fx.b);
         // No consumer; short TTL; destination node permanently down.
         struct ShortTtlProducer {
@@ -324,16 +317,8 @@ mod tests {
         // hold messages until a new consumer attaches.
         fx.cs.run_until(SimTime::from_millis(800));
         let before = seen_b.lock().len();
-        inject(
-            &mut fx.cs,
-            SimTime::from_millis(800),
-            Fault::KillService(b, "consumer".into()),
-        );
-        inject(
-            &mut fx.cs,
-            SimTime::from_secs(3),
-            Fault::StartService(b, "consumer".into()),
-        );
+        inject(&mut fx.cs, SimTime::from_millis(800), Fault::KillService(b, "consumer".into()));
+        inject(&mut fx.cs, SimTime::from_secs(3), Fault::StartService(b, "consumer".into()));
         fx.cs.run_until(SimTime::from_secs(20));
         let after = seen_b.lock().len();
         assert_eq!(after, 50, "got {before} before kill, {after} total");

@@ -19,9 +19,7 @@ use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
 use ds_sim::prelude::{SimDuration, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
-use crate::queue::{
-    AcceptOutcome, LocalQueue, MessageId, QueueAddress, QueueMessage, QueueName,
-};
+use crate::queue::{AcceptOutcome, LocalQueue, MessageId, QueueAddress, QueueMessage, QueueName};
 
 /// Conventional service name for every node's queue manager.
 pub fn service_name() -> ServiceName {
@@ -273,12 +271,8 @@ impl QueueManager {
         let now = env.now();
 
         // Retransmit unacked transfers.
-        let due: Vec<MessageId> = self
-            .outgoing
-            .iter()
-            .filter(|(_, o)| o.next_retry <= now)
-            .map(|(id, _)| *id)
-            .collect();
+        let due: Vec<MessageId> =
+            self.outgoing.iter().filter(|(_, o)| o.next_retry <= now).map(|(id, _)| *id).collect();
         for id in due {
             let mut out = self.outgoing.remove(&id).expect("listed");
             if out.msg.is_expired(now) {

@@ -9,9 +9,7 @@ use ds_sim::prelude::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Cluster-unique message identity: originating node + per-node sequence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId {
     /// Node whose queue manager first accepted the message.
     pub origin: NodeId,

@@ -75,7 +75,10 @@ fn run_pipeline(seed: u64, loss: f64, payloads: Vec<u32>) -> Vec<u32> {
         b,
         "consumer",
         Box::new(move || {
-            Box::new(Consumer { inner: QueueConsumer::new(manager.clone(), "inbox"), seen: s.clone() })
+            Box::new(Consumer {
+                inner: QueueConsumer::new(manager.clone(), "inbox"),
+                seen: s.clone(),
+            })
         }),
         true,
     );
@@ -160,7 +163,10 @@ fn consumer_outage_preserves_order() {
         b,
         "consumer",
         Box::new(move || {
-            Box::new(Consumer { inner: QueueConsumer::new(manager.clone(), "inbox"), seen: s.clone() })
+            Box::new(Consumer {
+                inner: QueueConsumer::new(manager.clone(), "inbox"),
+                seen: s.clone(),
+            })
         }),
         true,
     );
@@ -180,8 +186,16 @@ fn consumer_outage_preserves_order() {
         false,
     );
     cs.start_service_at(SimTime::from_secs(1), a, "producer");
-    ds_net::fault::inject(&mut cs, SimTime::from_secs(4), ds_net::fault::Fault::KillService(b, "consumer".into()));
-    ds_net::fault::inject(&mut cs, SimTime::from_secs(7), ds_net::fault::Fault::StartService(b, "consumer".into()));
+    ds_net::fault::inject(
+        &mut cs,
+        SimTime::from_secs(4),
+        ds_net::fault::Fault::KillService(b, "consumer".into()),
+    );
+    ds_net::fault::inject(
+        &mut cs,
+        SimTime::from_secs(7),
+        ds_net::fault::Fault::StartService(b, "consumer".into()),
+    );
     cs.start();
     cs.run_until(SimTime::from_secs(30));
     assert_eq!(*seen.lock(), payloads);

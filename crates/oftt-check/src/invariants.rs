@@ -1,0 +1,430 @@
+//! The OFTT failover protocol invariant catalog.
+//!
+//! Each invariant is a pure function over the parsed event stream of one
+//! run. A run is *clean* when every invariant returns no violations.
+//!
+//! | name | property |
+//! |------|----------|
+//! | `single-primary-per-term`   | at most one engine ever claims primary in a given term |
+//! | `term-monotonic`            | an engine's announced terms never decrease within an incarnation |
+//! | `no-dual-primary-after-heal`| once the last partition heals, steady state has at most one live primary |
+//! | `ckpt-monotone`             | installed checkpoint positions strictly increase; a takeover never restores a position older than the last install |
+//! | `switchover-has-cause`      | every switchover request is preceded by a detection or distress call on the same engine |
+//! | `diverter-targets-primary`  | every diverted message goes to the node the diverter last announced as primary |
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use ds_sim::prelude::SimTime;
+use oftt::role::Role;
+
+use crate::parse::{node_of, Event, EventKind};
+
+/// One invariant breach, tied to the point in the run where it became
+/// observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (kebab-case, usable as a filter key).
+    pub invariant: &'static str,
+    /// When the breach became observable.
+    pub at: SimTime,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} at {}", self.invariant, self.detail, self.at)
+    }
+}
+
+/// Runs the full catalog; returns every violation found, in trace order
+/// per invariant.
+pub fn check_all(events: &[Event]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(single_primary_per_term(events));
+    out.extend(term_monotonic(events));
+    out.extend(no_dual_primary_after_heal(events));
+    out.extend(ckpt_monotone(events));
+    out.extend(switchover_has_cause(events));
+    out.extend(diverter_targets_primary(events));
+    out
+}
+
+/// At most one engine ever records `role=primary` for a given term ≥ 1.
+/// Two claimants in one term is the paper's §3.2 both-nodes-primary hazard.
+pub fn single_primary_per_term(events: &[Event]) -> Vec<Violation> {
+    let mut claimants: BTreeMap<u64, HashSet<&str>> = BTreeMap::new();
+    let mut reported: HashSet<u64> = HashSet::new();
+    let mut out = Vec::new();
+    for ev in events {
+        let EventKind::RoleUpdate { ep, role: Role::Primary, term } = &ev.kind else { continue };
+        if *term == 0 {
+            continue;
+        }
+        let set = claimants.entry(*term).or_default();
+        set.insert(ep.as_str());
+        if set.len() > 1 && reported.insert(*term) {
+            let mut eps: Vec<&str> = set.iter().copied().collect();
+            eps.sort_unstable();
+            out.push(Violation {
+                invariant: "single-primary-per-term",
+                at: ev.at,
+                detail: format!("term {term} claimed primary by {}", eps.join(" and ")),
+            });
+        }
+    }
+    out
+}
+
+/// Within one engine incarnation, announced terms never decrease.
+pub fn term_monotonic(events: &[Event]) -> Vec<Violation> {
+    let mut last: HashMap<&str, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::EngineStart { ep } => {
+                last.remove(ep.as_str());
+            }
+            EventKind::RoleUpdate { ep, term, .. } => {
+                if let Some(prev) = last.get(ep.as_str()) {
+                    if *term < *prev {
+                        out.push(Violation {
+                            invariant: "term-monotonic",
+                            at: ev.at,
+                            detail: format!("{ep} went back from term {prev} to {term}"),
+                        });
+                    }
+                }
+                last.insert(ep.as_str(), *term);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// After the *last* heal (with no partition after it), the final state has
+/// at most one live primary engine. Only meaningful for runs that
+/// partitioned and healed; others pass vacuously.
+pub fn no_dual_primary_after_heal(events: &[Event]) -> Vec<Violation> {
+    let mut heals = 0usize;
+    let mut partition_after_heal = false;
+    for ev in events {
+        match ev.kind {
+            EventKind::Heal => {
+                heals += 1;
+                partition_after_heal = false;
+            }
+            EventKind::Partition if heals > 0 => {
+                partition_after_heal = true;
+            }
+            _ => {}
+        }
+    }
+    if heals == 0 || partition_after_heal {
+        return Vec::new();
+    }
+    // Final liveness and final role per engine endpoint.
+    let mut node_up: HashMap<&str, bool> = HashMap::new();
+    let mut svc_up: HashMap<&str, bool> = HashMap::new();
+    let mut final_role: HashMap<&str, (Role, u64)> = HashMap::new();
+    let mut last_at = SimTime::ZERO;
+    for ev in events {
+        last_at = ev.at;
+        match &ev.kind {
+            EventKind::NodeUp { node } => {
+                node_up.insert(node.as_str(), true);
+            }
+            EventKind::NodeDown { node } => {
+                node_up.insert(node.as_str(), false);
+                svc_up.retain(|ep, _| node_of(ep) != node.as_str());
+            }
+            EventKind::ServiceStart { ep } => {
+                svc_up.insert(ep.as_str(), true);
+            }
+            EventKind::ServiceKill { ep } => {
+                svc_up.insert(ep.as_str(), false);
+            }
+            EventKind::RoleUpdate { ep, role, term } => {
+                final_role.insert(ep.as_str(), (*role, *term));
+            }
+            _ => {}
+        }
+    }
+    let mut primaries: Vec<String> = final_role
+        .iter()
+        .filter(|(ep, (role, _))| {
+            *role == Role::Primary
+                && node_up.get(node_of(ep)).copied().unwrap_or(false)
+                && svc_up.get(*ep).copied().unwrap_or(false)
+        })
+        .map(|(ep, (_, term))| format!("{ep} (term {term})"))
+        .collect();
+    if primaries.len() <= 1 {
+        return Vec::new();
+    }
+    primaries.sort_unstable();
+    vec![Violation {
+        invariant: "no-dual-primary-after-heal",
+        at: last_at,
+        detail: format!(
+            "steady state after heal has {} primaries: {}",
+            primaries.len(),
+            primaries.join(", ")
+        ),
+    }]
+}
+
+/// Installed checkpoint positions strictly increase per endpoint
+/// incarnation, and a restore at takeover never rolls back behind the last
+/// installed position.
+pub fn ckpt_monotone(events: &[Event]) -> Vec<Violation> {
+    let mut installed: HashMap<&str, (u64, u64)> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            // A fresh incarnation starts a fresh store.
+            EventKind::ServiceStart { ep } => {
+                installed.remove(ep.as_str());
+            }
+            EventKind::NodeDown { node } => {
+                installed.retain(|ep, _| node_of(ep) != node.as_str());
+            }
+            EventKind::CkptInstalled { ep, term, seq } => {
+                let pos = (*term, *seq);
+                if let Some(prev) = installed.get(ep.as_str()) {
+                    if pos <= *prev {
+                        out.push(Violation {
+                            invariant: "ckpt-monotone",
+                            at: ev.at,
+                            detail: format!(
+                                "{ep} installed ({term},{seq}) after ({},{})",
+                                prev.0, prev.1
+                            ),
+                        });
+                    }
+                }
+                installed.insert(ep.as_str(), pos);
+            }
+            EventKind::CkptRestore { ep, term, seq } => {
+                if let Some(prev) = installed.get(ep.as_str()) {
+                    if (*term, *seq) < *prev {
+                        out.push(Violation {
+                            invariant: "ckpt-monotone",
+                            at: ev.at,
+                            detail: format!(
+                                "{ep} restored ({term},{seq}) older than installed ({},{})",
+                                prev.0, prev.1
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Every switchover request on an engine is preceded — within the same
+/// incarnation — by a failure detection or a distress call on that engine.
+pub fn switchover_has_cause(events: &[Event]) -> Vec<Violation> {
+    let mut cause_seen: HashMap<&str, bool> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::EngineStart { ep } => {
+                cause_seen.insert(ep.as_str(), false);
+            }
+            EventKind::DetectedFailure { ep } | EventKind::Distress { ep } => {
+                cause_seen.insert(ep.as_str(), true);
+            }
+            EventKind::SwitchoverRequest { ep }
+                if !cause_seen.get(ep.as_str()).copied().unwrap_or(false) =>
+            {
+                out.push(Violation {
+                    invariant: "switchover-has-cause",
+                    at: ev.at,
+                    detail: format!("{ep} requested switchover with no preceding detection"),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Every diverted message is enqueued toward the node the diverter most
+/// recently announced as primary — a message sent anywhere else is a
+/// cancelled/diverted delivery leaking through.
+pub fn diverter_targets_primary(events: &[Event]) -> Vec<Violation> {
+    let mut believed: HashMap<&str, &str> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::DiverterPrimary { ep, node } => {
+                believed.insert(ep.as_str(), node.as_str());
+            }
+            EventKind::DiverterEnqueue { ep, node } => match believed.get(ep.as_str()) {
+                Some(target) if *target == node.as_str() => {}
+                Some(target) => out.push(Violation {
+                    invariant: "diverter-targets-primary",
+                    at: ev.at,
+                    detail: format!("{ep} enqueued to {node} while believing primary is {target}"),
+                }),
+                None => out.push(Violation {
+                    invariant: "diverter-targets-primary",
+                    at: ev.at,
+                    detail: format!("{ep} enqueued to {node} before discovering any primary"),
+                }),
+            },
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_sim::prelude::SimDuration;
+
+    fn ev(ms: u64, kind: EventKind) -> Event {
+        Event { at: SimTime::ZERO + SimDuration::from_millis(ms), kind }
+    }
+
+    fn role(ms: u64, ep: &str, role: Role, term: u64) -> Event {
+        ev(ms, EventKind::RoleUpdate { ep: ep.into(), role, term })
+    }
+
+    #[test]
+    fn dual_primary_in_one_term_is_flagged() {
+        let events = vec![
+            role(1, "node0/oftt-engine", Role::Primary, 1),
+            role(2, "node1/oftt-engine", Role::Primary, 1),
+        ];
+        let v = single_primary_per_term(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("term 1"));
+        // Same engine re-announcing is fine.
+        let ok = vec![
+            role(1, "node0/oftt-engine", Role::Primary, 1),
+            role(2, "node0/oftt-engine", Role::Primary, 1),
+        ];
+        assert!(single_primary_per_term(&ok).is_empty());
+    }
+
+    #[test]
+    fn term_regression_is_flagged_but_restart_resets() {
+        let events = vec![
+            role(1, "node0/oftt-engine", Role::Primary, 3),
+            role(2, "node0/oftt-engine", Role::Backup, 2),
+        ];
+        assert_eq!(term_monotonic(&events).len(), 1);
+        let with_restart = vec![
+            role(1, "node0/oftt-engine", Role::Primary, 3),
+            ev(2, EventKind::EngineStart { ep: "node0/oftt-engine".into() }),
+            role(3, "node0/oftt-engine", Role::Negotiating, 0),
+        ];
+        assert!(term_monotonic(&with_restart).is_empty());
+    }
+
+    #[test]
+    fn dual_primary_after_heal_requires_both_live() {
+        let base = |final_roles: Vec<Event>| {
+            let mut events = vec![
+                ev(0, EventKind::NodeUp { node: "node0".into() }),
+                ev(0, EventKind::NodeUp { node: "node1".into() }),
+                ev(1, EventKind::ServiceStart { ep: "node0/oftt-engine".into() }),
+                ev(1, EventKind::ServiceStart { ep: "node1/oftt-engine".into() }),
+                ev(2, EventKind::Partition),
+                ev(10, EventKind::Heal),
+            ];
+            events.extend(final_roles);
+            events
+        };
+        let bad = base(vec![
+            role(20, "node0/oftt-engine", Role::Primary, 1),
+            role(21, "node1/oftt-engine", Role::Primary, 1),
+        ]);
+        assert_eq!(no_dual_primary_after_heal(&bad).len(), 1);
+        let resolved = base(vec![
+            role(20, "node0/oftt-engine", Role::Primary, 1),
+            role(21, "node1/oftt-engine", Role::Primary, 1),
+            role(22, "node1/oftt-engine", Role::Backup, 2),
+        ]);
+        assert!(no_dual_primary_after_heal(&resolved).is_empty());
+        // No heal at all: vacuously clean.
+        let unhealed = vec![
+            ev(2, EventKind::Partition),
+            role(20, "node0/oftt-engine", Role::Primary, 1),
+            role(21, "node1/oftt-engine", Role::Primary, 1),
+        ];
+        assert!(no_dual_primary_after_heal(&unhealed).is_empty());
+    }
+
+    #[test]
+    fn ckpt_positions_must_advance() {
+        let events = vec![
+            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 2 }),
+            ev(2, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 2 }),
+        ];
+        assert_eq!(ckpt_monotone(&events).len(), 1);
+        let restart_resets = vec![
+            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 5 }),
+            ev(2, EventKind::ServiceStart { ep: "node1/call-track".into() }),
+            ev(3, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 1 }),
+        ];
+        assert!(ckpt_monotone(&restart_resets).is_empty());
+        let rollback_restore = vec![
+            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 2, seq: 3 }),
+            ev(2, EventKind::CkptRestore { ep: "node1/call-track".into(), term: 1, seq: 9 }),
+        ];
+        assert_eq!(ckpt_monotone(&rollback_restore).len(), 1);
+    }
+
+    #[test]
+    fn switchover_needs_a_cause() {
+        let bare = vec![
+            ev(1, EventKind::EngineStart { ep: "node0/oftt-engine".into() }),
+            ev(2, EventKind::SwitchoverRequest { ep: "node0/oftt-engine".into() }),
+        ];
+        assert_eq!(switchover_has_cause(&bare).len(), 1);
+        let caused = vec![
+            ev(1, EventKind::EngineStart { ep: "node0/oftt-engine".into() }),
+            ev(2, EventKind::DetectedFailure { ep: "node0/oftt-engine".into() }),
+            ev(3, EventKind::SwitchoverRequest { ep: "node0/oftt-engine".into() }),
+        ];
+        assert!(switchover_has_cause(&caused).is_empty());
+    }
+
+    #[test]
+    fn diverter_must_hit_believed_primary() {
+        let events = vec![
+            ev(
+                1,
+                EventKind::DiverterPrimary {
+                    ep: "node2/oftt-diverter".into(),
+                    node: "node0".into(),
+                },
+            ),
+            ev(
+                2,
+                EventKind::DiverterEnqueue {
+                    ep: "node2/oftt-diverter".into(),
+                    node: "node0".into(),
+                },
+            ),
+            ev(
+                3,
+                EventKind::DiverterEnqueue {
+                    ep: "node2/oftt-diverter".into(),
+                    node: "node1".into(),
+                },
+            ),
+        ];
+        let v = diverter_targets_primary(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("node1"));
+    }
+}

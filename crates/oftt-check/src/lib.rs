@@ -1,0 +1,45 @@
+//! # oftt-check — schedule-exploring model checker for the OFTT failover
+//! protocol
+//!
+//! The simulation stack is deterministic: one seed, one interleaving. That
+//! is perfect for reproducing experiments and useless for finding ordering
+//! bugs — the §3.2 both-nodes-primary hazard only bites under the *right*
+//! startup interleaving. This crate turns the determinism into a search
+//! space:
+//!
+//! * [`scenario`] builds the Figure-3 deployment, drives a fault campaign
+//!   (pair failover or partitioned startup), and runs it under an
+//!   exploring [`ds_sim::schedule::SchedulePolicy`] so every same-window
+//!   event race becomes a recorded choice point.
+//! * [`parse`] lifts the run's trace into typed events; [`invariants`]
+//!   checks the failover protocol's six safety properties over them.
+//! * [`explore`] sweeps seeds × tie-break deviations breadth-first with
+//!   partial-order pruning (one deviation per event scope) under a run
+//!   budget.
+//! * [`shrink`] reduces a violating schedule to a minimal still-failing
+//!   forced prefix; [`replay`] saves/loads self-describing schedule
+//!   artifacts and re-runs them.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p oftt-check --release -- --scenario pair-failover --budget 600
+//! cargo run -p oftt-check --release -- --scenario partitioned-startup --inject-startup-bug --emit ce.sched
+//! cargo run -p oftt-check --release -- --replay ce.sched
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod invariants;
+pub mod parse;
+pub mod replay;
+pub mod scenario;
+pub mod shrink;
+
+pub use explore::{explore, Counterexample, ExploreConfig, ExploreReport};
+pub use invariants::{check_all, Violation};
+pub use replay::{ReplayFile, ReplayOutcome};
+pub use scenario::{run_scenario, CheckOptions, RunResult, ScenarioKind};
+pub use shrink::{shrink, Shrunk};

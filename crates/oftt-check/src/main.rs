@@ -1,0 +1,184 @@
+//! `oftt-check` CLI: explore schedules, shrink counterexamples, replay
+//! artifacts.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ds_sim::prelude::{Schedule, SimDuration};
+use oftt_check::{
+    check_all, explore, run_scenario, shrink, CheckOptions, ExploreConfig, ReplayFile, ScenarioKind,
+};
+
+const USAGE: &str = "\
+oftt-check: schedule-exploring model checker for the OFTT failover protocol
+
+USAGE:
+    oftt-check [OPTIONS]
+
+OPTIONS:
+    --scenario NAME        pair-failover (default) | partitioned-startup
+    --budget N             max simulation runs (default 600)
+    --seeds N              sweep seeds 1..=N (default 8)
+    --window-us MICROS     tie window in microseconds (default 500)
+    --inject-startup-bug   re-introduce the pre-fix §3.2 startup behaviour
+    --emit PATH            write the first shrunk counterexample here
+    --replay PATH          replay a saved schedule artifact instead
+    --help                 this text
+
+EXIT CODE: 0 clean, 1 usage error, 2 violations found (or replay failed
+to reproduce).";
+
+struct Args {
+    scenario: ScenarioKind,
+    budget: usize,
+    seeds: u64,
+    window_us: u64,
+    inject_startup_bug: bool,
+    emit: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: ScenarioKind::PairFailover,
+        budget: 600,
+        seeds: 8,
+        window_us: 500,
+        inject_startup_bug: false,
+        emit: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scenario" => {
+                let v = value("--scenario")?;
+                args.scenario = ScenarioKind::parse(&v).ok_or(format!("unknown scenario {v:?}"))?;
+            }
+            "--budget" => args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--window-us" => {
+                args.window_us = value("--window-us")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--inject-startup-bug" => args.inject_startup_bug = true,
+            "--emit" => args.emit = Some(PathBuf::from(value("--emit")?)),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if args.replay.is_none() && (args.seeds == 0 || args.budget == 0) {
+        return Err("--seeds and --budget must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn replay_mode(path: &Path) -> ExitCode {
+    let file = match ReplayFile::load(path) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "replaying {} ({}, bug={}, {} forced choices)",
+        path.display(),
+        file.kind.name(),
+        file.inject_startup_bug,
+        file.schedule.choices.len()
+    );
+    let outcome = file.replay();
+    if outcome.violations.is_empty() {
+        println!("replay is clean — the recorded schedule no longer violates any invariant");
+        ExitCode::from(2)
+    } else {
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        println!("replay reproduces {} violation(s)", outcome.violations.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay_mode(path);
+    }
+
+    let opts = CheckOptions {
+        inject_startup_bug: args.inject_startup_bug,
+        tie_window: SimDuration::from_micros(args.window_us),
+    };
+    let config = ExploreConfig {
+        seeds: (1..=args.seeds).collect(),
+        budget: args.budget,
+        opts: opts.clone(),
+        ..Default::default()
+    };
+    println!(
+        "exploring {} (budget {} runs, seeds 1..={}, window {}µs{})",
+        args.scenario.name(),
+        config.budget,
+        args.seeds,
+        args.window_us,
+        if args.inject_startup_bug { ", startup bug injected" } else { "" }
+    );
+    let started = Instant::now();
+    let report = explore(args.scenario, &config);
+    println!(
+        "{} runs, {} distinct schedules, {} duplicates, {} choice points, {:.1}s",
+        report.runs,
+        report.distinct,
+        report.duplicates,
+        report.choice_points,
+        started.elapsed().as_secs_f64()
+    );
+    if report.counterexamples.is_empty() {
+        println!("all invariants hold on every explored schedule");
+        return ExitCode::SUCCESS;
+    }
+
+    let first = &report.counterexamples[0];
+    println!("\n{} violating run(s); first:", report.counterexamples.len());
+    for v in &first.violations {
+        println!("  {v}");
+    }
+    let target = first.violations[0].invariant;
+    println!("shrinking ({} recorded choices)...", first.schedule.choices.len());
+    let scenario = args.scenario;
+    let shrunk = shrink(&first.schedule, 64, |candidate: &Schedule| {
+        let result = run_scenario(scenario, candidate.seed, &candidate.choices, &opts);
+        check_all(&result.events).iter().any(|v| v.invariant == target)
+    });
+    println!(
+        "shrunk to {} forced choice(s) in {} attempts",
+        shrunk.schedule.choices.len(),
+        shrunk.attempts
+    );
+    let artifact = ReplayFile {
+        kind: args.scenario,
+        inject_startup_bug: args.inject_startup_bug,
+        schedule: shrunk.schedule,
+    };
+    match &args.emit {
+        Some(path) => match artifact.save(path) {
+            Ok(()) => println!("counterexample written to {}", path.display()),
+            Err(e) => eprintln!("error writing {}: {e}", path.display()),
+        },
+        None => print!("\n{}", artifact.to_text()),
+    }
+    ExitCode::from(2)
+}

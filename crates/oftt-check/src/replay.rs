@@ -1,0 +1,137 @@
+//! Schedule artifacts on disk, and replaying them.
+//!
+//! A counterexample is only useful if someone else can re-run it. The
+//! artifact format is the line-oriented [`Schedule::to_text`] form with a
+//! comment header naming the scenario and options, so a file is
+//! self-describing:
+//!
+//! ```text
+//! # oftt-check counterexample
+//! # scenario partitioned-startup
+//! # inject-startup-bug true
+//! seed 3
+//! choices 0 2 1
+//! ```
+
+use std::path::Path;
+
+use ds_sim::prelude::Schedule;
+
+use crate::invariants::{check_all, Violation};
+use crate::scenario::{run_scenario, CheckOptions, ScenarioKind};
+
+/// A schedule artifact plus the context needed to re-run it.
+#[derive(Debug, Clone)]
+pub struct ReplayFile {
+    /// Which fault campaign to drive.
+    pub kind: ScenarioKind,
+    /// Whether the §3.2 startup bug was injected.
+    pub inject_startup_bug: bool,
+    /// The recorded schedule.
+    pub schedule: Schedule,
+}
+
+impl ReplayFile {
+    /// Renders the self-describing artifact text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "# oftt-check counterexample\n# scenario {}\n# inject-startup-bug {}\n{}",
+            self.kind.name(),
+            self.inject_startup_bug,
+            self.schedule.to_text()
+        )
+    }
+
+    /// Parses artifact text (the inverse of [`ReplayFile::to_text`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut kind = None;
+        let mut bug = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("# scenario ") {
+                kind = Some(
+                    ScenarioKind::parse(rest.trim())
+                        .ok_or_else(|| format!("unknown scenario {rest:?}"))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("# inject-startup-bug ") {
+                bug = rest.trim() == "true";
+            }
+        }
+        let schedule = Schedule::parse(text)?;
+        Ok(ReplayFile {
+            kind: kind.ok_or_else(|| "artifact missing `# scenario` line".to_string())?,
+            inject_startup_bug: bug,
+            schedule,
+        })
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and parse errors, as text.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ReplayFile::parse(&text)
+    }
+
+    /// Re-runs the recorded schedule and re-checks the invariant catalog.
+    pub fn replay(&self) -> ReplayOutcome {
+        let opts =
+            CheckOptions { inject_startup_bug: self.inject_startup_bug, ..Default::default() };
+        let result = run_scenario(self.kind, self.schedule.seed, &self.schedule.choices, &opts);
+        ReplayOutcome {
+            violations: check_all(&result.events),
+            schedule_taken: result.schedule,
+            trace_text: result.trace_text,
+        }
+    }
+}
+
+/// What replaying an artifact produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Violations the replayed run exhibits.
+    pub violations: Vec<Violation>,
+    /// The complete schedule the replay took (extends the recorded
+    /// prefix with the defaults beyond it).
+    pub schedule_taken: Schedule,
+    /// The replayed run's rendered trace.
+    pub trace_text: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_text_round_trips() {
+        let file = ReplayFile {
+            kind: ScenarioKind::PartitionedStartup,
+            inject_startup_bug: true,
+            schedule: Schedule::new(3, vec![0, 2, 1]),
+        };
+        let parsed = ReplayFile::parse(&file.to_text()).unwrap();
+        assert_eq!(parsed.kind, file.kind);
+        assert_eq!(parsed.inject_startup_bug, file.inject_startup_bug);
+        assert_eq!(parsed.schedule, file.schedule);
+    }
+
+    #[test]
+    fn artifact_without_scenario_is_rejected() {
+        assert!(ReplayFile::parse("seed 1\nchoices 0\n").is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Scenario adapters: checked deployments built on the oftt-harness
+//! Figure-3 configuration.
+//!
+//! Each adapter builds the full stack (pair + Test and Interface PC with
+//! queue managers, engines, FTIM-wrapped Call Track, diverter, monitor,
+//! telephone feed), installs an exploring schedule policy, injects the
+//! scenario's fault campaign, runs to a fixed horizon, and returns the
+//! parsed trace plus the replayable schedule the run took.
+
+use std::sync::Arc;
+
+use ds_net::fault::Fault;
+use ds_sim::prelude::{ChoicePoint, Schedule, SchedulePolicy, SimDuration, SimTime};
+use oftt::config::StartupFallback;
+use oftt_harness::scenario::{Fig3Scenario, ScenarioParams};
+
+use crate::parse::{parse_trace, Event};
+
+/// The fault campaigns the checker knows how to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Steady pair, hard-crash the first pair node mid-run, repair it
+    /// later: the paper's §4 class-(a) failover exercised under every
+    /// explored interleaving.
+    PairFailover,
+    /// Partition the pair interconnect during the startup negotiation
+    /// window, heal before the horizon: the §3.2 both-nodes-primary
+    /// hazard's home turf.
+    PartitionedStartup,
+}
+
+impl ScenarioKind {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::PairFailover => "pair-failover",
+            ScenarioKind::PartitionedStartup => "partitioned-startup",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pair-failover" => Some(ScenarioKind::PairFailover),
+            "partitioned-startup" => Some(ScenarioKind::PartitionedStartup),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs shared by every checked run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Re-introduce the pre-fix §3.2 startup bug (no negotiation retries,
+    /// fall back to becoming primary) — the known-bad configuration the
+    /// smoke test hunts.
+    pub inject_startup_bug: bool,
+    /// Events within this window of the earliest ready event count as
+    /// simultaneous for tie-breaking. Wider windows create more choice
+    /// points (more schedules) per run.
+    pub tie_window: SimDuration,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            inject_startup_bug: false,
+            // Wide enough to make message races real choice points (IPC
+            // latency is 50µs; link latencies are sub-millisecond).
+            tie_window: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// Everything one checked run produces.
+pub struct RunResult {
+    /// The replayable schedule this run took (seed + every tie-break).
+    pub schedule: Schedule,
+    /// The choice points encountered, with candidate scopes.
+    pub choice_points: Vec<ChoicePoint>,
+    /// The parsed invariant-relevant events.
+    pub events: Vec<Event>,
+    /// The full rendered trace (for counterexample reports).
+    pub trace_text: String,
+}
+
+/// How long every checked run lasts.
+pub const HORIZON: SimTime = SimTime::from_secs(40);
+
+/// Runs one scenario under an exploring policy with the given forced
+/// tie-break prefix. The same `(kind, seed, forced, opts)` always produces
+/// the same result — replay is just re-running with a recorded prefix.
+pub fn run_scenario(
+    kind: ScenarioKind,
+    seed: u64,
+    forced: &[u32],
+    opts: &CheckOptions,
+) -> RunResult {
+    let bug = opts.inject_startup_bug;
+    let params = ScenarioParams {
+        seed,
+        tune: Arc::new(move |config| {
+            if bug {
+                // The §3.2 pre-fix behaviour: one negotiation attempt, then
+                // unilaterally become primary.
+                config.startup_retries = 0;
+                config.startup_fallback = StartupFallback::BecomePrimary;
+            }
+        }),
+        ..Default::default()
+    };
+    let mut scenario = Fig3Scenario::build(&params);
+    scenario.cs.set_schedule_policy(SchedulePolicy::Explore {
+        forced: forced.to_vec(),
+        window: opts.tie_window,
+    });
+    let (a, b) = (scenario.pair.a, scenario.pair.b);
+    match kind {
+        ScenarioKind::PairFailover => {
+            scenario.inject(SimTime::from_secs(10), Fault::CrashNode(a));
+            scenario.inject(SimTime::from_secs(25), Fault::RepairNode(a));
+        }
+        ScenarioKind::PartitionedStartup => {
+            // Hit the window between boot and the first successful hello
+            // exchange (services spawn with up to 500ms jitter + 20ms
+            // process creation).
+            scenario.inject(SimTime::from_millis(5), Fault::Partition(a, b));
+            scenario.inject(SimTime::from_secs(8), Fault::Heal(a, b));
+        }
+    }
+    scenario.start();
+    scenario.run_until(HORIZON);
+    let schedule = Schedule::new(seed, scenario.cs.choices_taken());
+    let choice_points = scenario.cs.choice_points().to_vec();
+    let trace = scenario.cs.trace();
+    RunResult { schedule, choice_points, events: parse_trace(trace), trace_text: trace.to_text() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::check_all;
+    use crate::parse::EventKind;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for kind in [ScenarioKind::PairFailover, ScenarioKind::PartitionedStartup] {
+            assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_interleaving_of_pair_failover_is_clean_and_replayable() {
+        let opts = CheckOptions::default();
+        let first = run_scenario(ScenarioKind::PairFailover, 1, &[], &opts);
+        assert!(
+            first.events.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::RoleUpdate { role: oftt::role::Role::Primary, .. }
+            )),
+            "a primary must be elected"
+        );
+        let violations = check_all(&first.events);
+        assert!(violations.is_empty(), "default run must be clean: {violations:?}");
+        assert!(!first.choice_points.is_empty(), "races must surface as choice points");
+        // Replaying the recorded schedule reproduces the run exactly.
+        let again = run_scenario(ScenarioKind::PairFailover, 1, &first.schedule.choices, &opts);
+        assert_eq!(again.trace_text, first.trace_text);
+        assert_eq!(again.schedule, first.schedule);
+    }
+}

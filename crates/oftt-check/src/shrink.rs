@@ -1,0 +1,113 @@
+//! Delta-debugging-style counterexample shrinking.
+//!
+//! A violating schedule found by exploration carries the full choice
+//! sequence of its run — often hundreds of entries, most of which are the
+//! default (index 0) or irrelevant to the failure. The shrinker reduces it
+//! to a minimal still-failing forced prefix in two passes:
+//!
+//! 1. **Tail truncation.** Choices beyond the forced prefix replay as the
+//!    default, so the shortest failing prefix is found by halving the tail
+//!    (binary-search flavoured), then trimming one entry at a time.
+//! 2. **Default substitution.** Each remaining non-zero entry is tried at
+//!    0 (the default order); entries that stay failing are kept at 0.
+//!
+//! Every candidate costs one full re-run, so the shrinker is budgeted.
+
+use ds_sim::prelude::Schedule;
+
+/// Shrink statistics alongside the result.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized schedule (still failing under the caller's oracle).
+    pub schedule: Schedule,
+    /// Re-runs spent shrinking.
+    pub attempts: usize,
+}
+
+/// Minimizes `schedule` under `still_fails`, spending at most
+/// `max_attempts` oracle calls. The input schedule must itself fail; the
+/// result is always a failing schedule (at worst the input).
+pub fn shrink(
+    schedule: &Schedule,
+    max_attempts: usize,
+    mut still_fails: impl FnMut(&Schedule) -> bool,
+) -> Shrunk {
+    let seed = schedule.seed;
+    let mut best = schedule.choices.clone();
+    let mut attempts = 0usize;
+    let mut try_candidate = |candidate: Vec<u32>, attempts: &mut usize| -> Option<Vec<u32>> {
+        if *attempts >= max_attempts {
+            return None;
+        }
+        *attempts += 1;
+        still_fails(&Schedule::new(seed, candidate.clone())).then_some(candidate)
+    };
+
+    // Pass 1: halve the tail while the prefix still fails.
+    while !best.is_empty() && attempts < max_attempts {
+        let half = best.len() / 2;
+        match try_candidate(best[..half].to_vec(), &mut attempts) {
+            Some(shorter) => best = shorter,
+            None => break,
+        }
+    }
+    // ...then trim single entries off the end.
+    while !best.is_empty() && attempts < max_attempts {
+        match try_candidate(best[..best.len() - 1].to_vec(), &mut attempts) {
+            Some(shorter) => best = shorter,
+            None => break,
+        }
+    }
+    // Pass 2: zero out remaining non-default entries.
+    let mut i = 0;
+    while i < best.len() && attempts < max_attempts {
+        if best[i] != 0 {
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if let Some(zeroed) = try_candidate(candidate, &mut attempts) {
+                best = zeroed;
+            }
+        }
+        i += 1;
+    }
+    // Drop a trailing run of zeros — they are the default anyway.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    Shrunk { schedule: Schedule::new(seed, best), attempts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_relevant_choice() {
+        // Failure depends only on position 3 being 2.
+        let fails = |s: &Schedule| s.choices.get(3).copied().unwrap_or(0) == 2;
+        let input = Schedule::new(7, vec![1, 0, 3, 2, 1, 1, 0, 4]);
+        assert!(fails(&input));
+        let shrunk = shrink(&input, 100, fails);
+        assert_eq!(shrunk.schedule.choices, vec![0, 0, 0, 2]);
+        assert!(fails(&shrunk.schedule));
+    }
+
+    #[test]
+    fn always_failing_oracle_shrinks_to_empty() {
+        let shrunk = shrink(&Schedule::new(1, vec![5, 5, 5, 5]), 100, |_| true);
+        assert!(shrunk.schedule.choices.is_empty());
+    }
+
+    #[test]
+    fn respects_the_attempt_budget() {
+        let mut calls = 0usize;
+        let shrunk = shrink(&Schedule::new(1, vec![1; 64]), 5, |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 5);
+        assert!(shrunk.attempts <= 5);
+        // Still a failing schedule (the oracle never rejected anything).
+        assert!(shrunk.schedule.choices.len() < 64);
+    }
+}

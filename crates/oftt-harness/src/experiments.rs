@@ -68,10 +68,7 @@ impl FailureClass {
 
 /// E1–E4: run the Figure-3 demo, inject one failure of `class` at the
 /// primary, measure detection/recovery/loss.
-pub fn run_failure_experiment(
-    class: FailureClass,
-    params: &ScenarioParams,
-) -> FailoverOutcome {
+pub fn run_failure_experiment(class: FailureClass, params: &ScenarioParams) -> FailoverOutcome {
     let fault_at = SimTime::from_secs(60);
     let feed_stop = SimTime::from_secs(150);
     let horizon = SimTime::from_secs(180);
@@ -98,10 +95,18 @@ pub fn run_failure_experiment(
     }
 
     // Recovery: the first activation anywhere after the fault.
-    let act_survivor =
-        scenario.probes.ftims[survivor_idx].lock().activations.iter().copied().find(|t| *t >= fault_at);
-    let act_primary =
-        scenario.probes.ftims[primary_idx].lock().activations.iter().copied().find(|t| *t >= fault_at);
+    let act_survivor = scenario.probes.ftims[survivor_idx]
+        .lock()
+        .activations
+        .iter()
+        .copied()
+        .find(|t| *t >= fault_at);
+    let act_primary = scenario.probes.ftims[primary_idx]
+        .lock()
+        .activations
+        .iter()
+        .copied()
+        .find(|t| *t >= fault_at);
     let recovery_at = match (act_survivor, act_primary) {
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, y) => x.or(y),
@@ -131,9 +136,7 @@ pub fn run_failure_experiment(
                 (x, y) => x.or(y),
             }
         }
-        _ => scenario.probes.engines[survivor_idx]
-            .lock()
-            .first_role_after(fault_at, Role::Primary),
+        _ => scenario.probes.engines[survivor_idx].lock().first_role_after(fault_at, Role::Primary),
     };
 
     let emitted = scenario.emitted();
@@ -269,8 +272,10 @@ pub fn run_checkpoint_experiment(params: &CheckpointParams) -> CheckpointOutcome
     config.checkpoint_mode = params.mode;
     config.checkpoint_period = params.period;
 
-    let engines =
-        [Arc::new(Mutex::new(EngineProbe::default())), Arc::new(Mutex::new(EngineProbe::default()))];
+    let engines = [
+        Arc::new(Mutex::new(EngineProbe::default())),
+        Arc::new(Mutex::new(EngineProbe::default())),
+    ];
     let ftims =
         [Arc::new(Mutex::new(FtimProbe::default())), Arc::new(Mutex::new(FtimProbe::default()))];
     let views = [Arc::new(Mutex::new(0u64)), Arc::new(Mutex::new(0u64))];
@@ -320,7 +325,8 @@ pub fn run_checkpoint_experiment(params: &CheckpointParams) -> CheckpointOutcome
     // The survivor restored a tick within one checkpoint period + one tick
     // of the crash point, and continued past it.
     let ticks_per_period = (params.period.as_secs_f64() / 0.25).ceil() as u64 + 2;
-    let recovered_ok = tick_restored + ticks_per_period >= tick_at_fault && tick_after > tick_restored;
+    let recovered_ok =
+        tick_restored + ticks_per_period >= tick_at_fault && tick_after > tick_restored;
 
     let probe = ftims[primary_idx].lock();
     let uptime = fault_at.as_secs_f64() - 0.5; // minus startup slack
@@ -364,9 +370,8 @@ pub fn run_detection_experiment(params: &DetectionParams) -> DetectionOutcome {
             c.peer_timeout = timeout;
             c.component_timeout = timeout;
             // Keep the invariant heartbeat < fail_safe < peer_timeout.
-            c.fail_safe_timeout = SimDuration::from_micros(
-                (heartbeat.as_micros() + timeout.as_micros()) / 2,
-            );
+            c.fail_safe_timeout =
+                SimDuration::from_micros((heartbeat.as_micros() + timeout.as_micros()) / 2);
         }),
         ..Default::default()
     };
@@ -441,8 +446,10 @@ pub fn run_startup_experiment(params: &StartupParams) -> StartupOutcome {
     config.startup_retries = params.retries;
     config.startup_timeout = params.startup_timeout;
     config.startup_fallback = params.fallback;
-    let probes =
-        [Arc::new(Mutex::new(EngineProbe::default())), Arc::new(Mutex::new(EngineProbe::default()))];
+    let probes = [
+        Arc::new(Mutex::new(EngineProbe::default())),
+        Arc::new(Mutex::new(EngineProbe::default())),
+    ];
     for (idx, node) in [a, b].into_iter().enumerate() {
         let engine_config = config.clone();
         let probe = probes[idx].clone();
@@ -457,21 +464,26 @@ pub fn run_startup_experiment(params: &StartupParams) -> StartupOutcome {
     cs.run_until(horizon);
 
     let roles: Vec<Option<Role>> = probes.iter().map(|p| p.lock().current_role()).collect();
-    let running: Vec<bool> = [a, b]
-        .iter()
-        .map(|n| cs.cluster().is_service_running(*n, &engine_service()))
-        .collect();
-    let effective: Vec<Option<Role>> = roles
-        .iter()
-        .zip(&running)
-        .map(|(r, up)| if *up { *r } else { None })
-        .collect();
+    let running: Vec<bool> =
+        [a, b].iter().map(|n| cs.cluster().is_service_running(*n, &engine_service())).collect();
+    let effective: Vec<Option<Role>> =
+        roles.iter().zip(&running).map(|(r, up)| if *up { *r } else { None }).collect();
     let primaries = effective.iter().filter(|r| **r == Some(Role::Primary)).count();
     let backups = effective.iter().filter(|r| **r == Some(Role::Backup)).count();
     let pair_formed = primaries == 1 && backups == 1;
     let formation_time = if pair_formed {
-        let t1 = probes[0].lock().role_history.iter().find(|(_, r, _)| *r != Role::Negotiating).map(|(t, _, _)| *t);
-        let t2 = probes[1].lock().role_history.iter().find(|(_, r, _)| *r != Role::Negotiating).map(|(t, _, _)| *t);
+        let t1 = probes[0]
+            .lock()
+            .role_history
+            .iter()
+            .find(|(_, r, _)| *r != Role::Negotiating)
+            .map(|(t, _, _)| *t);
+        let t2 = probes[1]
+            .lock()
+            .role_history
+            .iter()
+            .find(|(_, r, _)| *r != Role::Negotiating)
+            .map(|(t, _, _)| *t);
         match (t1, t2) {
             (Some(x), Some(y)) => Some(x.max(y).saturating_since(SimTime::ZERO)),
             _ => None,
@@ -509,12 +521,7 @@ pub fn run_diverter_experiment(seed: u64, retarget: bool) -> DiverterOutcome {
         None => 0,
     };
     let retransmissions = scenario.probes.test_pc_queue.lock().retransmissions;
-    DiverterOutcome {
-        emitted,
-        processed,
-        lost: emitted as i64 - processed as i64,
-        retransmissions,
-    }
+    DiverterOutcome { emitted, processed, lost: emitted as i64 - processed as i64, retransmissions }
 }
 
 /// One reference-configuration campaign run (experiment E9).
@@ -543,21 +550,14 @@ pub fn run_config_experiment(
     scenario.start();
     scenario.run_until(fault_at);
     let samples_before = scenario.active_tagmon().map(|(_, s)| s.total_samples).unwrap_or(0);
-    let victim = if hit_server_pair {
-        scenario.server_primary()
-    } else {
-        scenario.client_primary()
-    };
+    let victim =
+        if hit_server_pair { scenario.server_primary() } else { scenario.client_primary() };
     if let Some(victim) = victim {
         scenario.inject(fault_at, Fault::CrashNode(victim));
     }
     scenario.run_until(horizon);
     let samples_after = scenario.active_tagmon().map(|(_, s)| s.total_samples).unwrap_or(0);
-    ConfigOutcome {
-        samples_before,
-        samples_after,
-        survived: samples_after > samples_before + 10,
-    }
+    ConfigOutcome { samples_before, samples_after, survived: samples_after > samples_before + 10 }
 }
 
 /// One RPC-outage run (experiment E10).
@@ -753,18 +753,13 @@ pub fn run_link_redundancy_experiment(dual: bool, seed: u64) -> LinkRedundancyOu
     scenario.run_until(horizon);
     // A spurious switchover = any new primary promotion between the path
     // failure and its repair.
-    let spurious = scenario
-        .probes
-        .engines
-        .iter()
-        .any(|p| {
-            p.lock()
-                .role_history
-                .iter()
-                .any(|(t, role, _)| *t > fault_at && *t < repair_at + SimDuration::from_secs(5)
-                    && *role == oftt::role::Role::Primary)
+    let spurious = scenario.probes.engines.iter().any(|p| {
+        p.lock().role_history.iter().any(|(t, role, _)| {
+            *t > fault_at
+                && *t < repair_at + SimDuration::from_secs(5)
+                && *role == oftt::role::Role::Primary
         })
-        && primary_before.is_some();
+    }) && primary_before.is_some();
     let emitted = scenario.emitted();
     let processed = scenario.active_state().map(|(_, s)| s.events).unwrap_or(0);
     LinkRedundancyOutcome {

@@ -26,6 +26,6 @@ pub mod scenario_fig1;
 pub mod tagmon;
 
 pub use calltrack::{CallTrack, CallTrackState};
-pub use tagmon::{TagMonState, TagMonitor};
 pub use experiments::FailureClass;
 pub use scenario::{Fig3Scenario, ScenarioParams};
+pub use tagmon::{TagMonState, TagMonitor};

@@ -52,11 +52,7 @@ impl fmt::Display for Table {
             .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(
-            f,
-            "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
-        )?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()

@@ -230,9 +230,7 @@ impl Fig3Scenario {
         cs.register_service(
             test_pc,
             diverter_service(),
-            Box::new(move || {
-                Box::new(Diverter::with_retarget(diverter_config.clone(), retarget))
-            }),
+            Box::new(move || Box::new(Diverter::with_retarget(diverter_config.clone(), retarget))),
             true,
         );
         let monitor = Arc::new(Mutex::new(MonitorTable::default()));
@@ -264,9 +262,7 @@ impl Fig3Scenario {
         cs.register_service(
             test_pc,
             "telephone-sim",
-            Box::new(move || {
-                Box::new(TelephoneSimulator::new(telephone.clone(), sink.clone()))
-            }),
+            Box::new(move || Box::new(TelephoneSimulator::new(telephone.clone(), sink.clone()))),
             false,
         );
         cs.start_service_at(params.feed_start, test_pc, "telephone-sim");
@@ -327,10 +323,7 @@ impl Fig3Scenario {
             && self.cs.cluster().is_service_running(self.pair.a, &engine_service());
         let b_up = self.cs.cluster().node(self.pair.b).status.is_up()
             && self.cs.cluster().is_service_running(self.pair.b, &engine_service());
-        match (
-            a_up && ra == Some(Role::Primary),
-            b_up && rb == Some(Role::Primary),
-        ) {
+        match (a_up && ra == Some(Role::Primary), b_up && rb == Some(Role::Primary)) {
             (true, false) => Some(self.pair.a),
             (false, true) => Some(self.pair.b),
             _ => None,
@@ -381,8 +374,7 @@ mod tests {
     #[test]
     fn fig3_is_deterministic() {
         let run = |seed| {
-            let mut scenario =
-                Fig3Scenario::build(&ScenarioParams { seed, ..Default::default() });
+            let mut scenario = Fig3Scenario::build(&ScenarioParams { seed, ..Default::default() });
             scenario.start();
             scenario.run_until(SimTime::from_secs(120));
             let (_, state) = scenario.active_state().expect("active");

@@ -98,15 +98,21 @@ impl Fig1Scenario {
 
         let (server_nodes, client_nodes) = match config_kind {
             ReferenceConfig::ControlWithRemoteMonitoring => {
-                let i1 = cs.add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
-                let i2 = cs.add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
-                let m1 = cs.add_node(NodeConfig { name: "Monitor PC 1".into(), ..Default::default() });
-                let m2 = cs.add_node(NodeConfig { name: "Monitor PC 2".into(), ..Default::default() });
+                let i1 = cs
+                    .add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
+                let i2 = cs
+                    .add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
+                let m1 =
+                    cs.add_node(NodeConfig { name: "Monitor PC 1".into(), ..Default::default() });
+                let m2 =
+                    cs.add_node(NodeConfig { name: "Monitor PC 2".into(), ..Default::default() });
                 ((i1, i2), (m1, m2))
             }
             ReferenceConfig::IntegratedMonitoringAndControl => {
-                let n1 = cs.add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
-                let n2 = cs.add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
+                let n1 = cs
+                    .add_node(NodeConfig { name: "Industrial PC 1".into(), ..Default::default() });
+                let n2 = cs
+                    .add_node(NodeConfig { name: "Industrial PC 2".into(), ..Default::default() });
                 ((n1, n2), (n1, n2))
             }
         };
@@ -279,8 +285,7 @@ fn primary_of(
 ) -> Option<NodeId> {
     use oftt::role::Role;
     let up = |n: NodeId| {
-        cs.cluster().node(n).status.is_up()
-            && cs.cluster().is_service_running(n, &engine_service())
+        cs.cluster().node(n).status.is_up() && cs.cluster().is_service_running(n, &engine_service())
     };
     let ra = probes[0].lock().current_role();
     let rb = probes[1].lock().current_role();
@@ -330,12 +335,11 @@ impl Process for BareTagClient {
         let now = env.now();
         let Some(opc) = &mut self.opc else { return };
         match opc.handle_message(envelope, env) {
-            OpcEvent::GroupAdded(group)
-                if !self.subscribed => {
-                    self.subscribed = true;
-                    let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
-                    let _ = opc.add_items(env, group, &items);
-                }
+            OpcEvent::GroupAdded(group) if !self.subscribed => {
+                self.subscribed = true;
+                let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
+                let _ = opc.add_items(env, group, &items);
+            }
             OpcEvent::DataChange { items, .. } => {
                 for _ in items {
                     self.sample_log.lock().push(now);

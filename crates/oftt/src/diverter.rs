@@ -103,6 +103,10 @@ impl Diverter {
         let dest = QueueAddress { node: primary, queue: self.queue.clone() };
         let size = 64 + msg.body.len() as u64;
         let local_manager = manager_endpoint(env.self_endpoint().node);
+        env.record(
+            TraceCategory::Diverter,
+            format!("{}: enqueue to {} ({})", env.self_endpoint(), primary, msg.label),
+        );
         env.send_sized(
             local_manager,
             ManagerMsg::Enqueue { dest, label: msg.label, body: msg.body, ttl: None },

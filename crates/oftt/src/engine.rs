@@ -125,8 +125,7 @@ impl Engine {
         );
         self.probe.lock().role_history.push((env.now(), role, term));
         let update = FromEngine::RoleUpdate { role, term };
-        let targets: Vec<Endpoint> =
-            self.components.values().map(|c| c.endpoint.clone()).collect();
+        let targets: Vec<Endpoint> = self.components.values().map(|c| c.endpoint.clone()).collect();
         for target in targets {
             env.send_msg(target, update.clone());
         }
@@ -144,10 +143,7 @@ impl Engine {
         );
         let term = self.term;
         let node = self.me;
-        env.send_msg(
-            self.peer_endpoint(),
-            PeerMsg::SwitchoverRequest { node, term, reason },
-        );
+        env.send_msg(self.peer_endpoint(), PeerMsg::SwitchoverRequest { node, term, reason });
         // Stop acting as primary immediately; if the peer never takes
         // over, the backup-promotion path will return control here.
         let next = self.term;
@@ -295,7 +291,10 @@ impl Engine {
                     component.restart_attempts = 0;
                     env.record(
                         TraceCategory::Engine,
-                        format!("{}: recovery rule for {service} set to {rule:?}", env.self_endpoint()),
+                        format!(
+                            "{}: recovery rule for {service} set to {rule:?}",
+                            env.self_endpoint()
+                        ),
                     );
                 }
             }
@@ -386,7 +385,11 @@ impl Engine {
                 let term = self.term + 1;
                 self.become_primary(
                     term,
-                    if peer_silent { "peer silent: taking over" } else { "no primary: taking over" },
+                    if peer_silent {
+                        "peer silent: taking over"
+                    } else {
+                        "no primary: taking over"
+                    },
                     env,
                 );
             }
@@ -448,14 +451,9 @@ impl Process for Engine {
                     self.hello_attempts += 1;
                     env.record(
                         TraceCategory::Engine,
-                        format!(
-                            "{}: startup retry {}",
-                            env.self_endpoint(),
-                            self.hello_attempts
-                        ),
+                        format!("{}: startup retry {}", env.self_endpoint(), self.hello_attempts),
                     );
-                    let hello =
-                        PeerMsg::Hello { node: self.me, role: self.role, term: self.term };
+                    let hello = PeerMsg::Hello { node: self.me, role: self.role, term: self.term };
                     env.send_msg(self.peer_endpoint(), hello);
                     env.set_timer(self.config.startup_timeout, STARTUP);
                 } else {
@@ -581,10 +579,7 @@ mod tests {
             .expect("backup promoted");
         let latency = promoted - SimTime::from_secs(10);
         // Detection needs peer_timeout (1s) plus at most a couple of beats.
-        assert!(
-            latency <= SimDuration::from_millis(2_000),
-            "promotion took {latency}"
-        );
+        assert!(latency <= SimDuration::from_millis(2_000), "promotion took {latency}");
     }
 
     #[test]
@@ -702,7 +697,6 @@ mod negotiation_edge_tests {
     use ds_net::link::Link;
     use ds_net::node::NodeConfig;
     use ds_net::prelude::ClusterSim;
-    
 
     fn rig(seed: u64) -> (ClusterSim, NodeId, NodeId, [Arc<Mutex<EngineProbe>>; 2]) {
         let mut cs = ClusterSim::new(seed);

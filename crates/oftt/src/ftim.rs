@@ -27,9 +27,7 @@ use ds_net::process::{Process, ProcessEnv, ProcessEnvExt, TimerHandle};
 use ds_sim::prelude::{SimDuration, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
-use crate::checkpoint::{
-    AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet,
-};
+use crate::checkpoint::{AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet};
 use crate::config::{engine_service, CheckpointMode, OfttConfig, RecoveryRule};
 use crate::messages::{FromEngine, FtimKind, FtimPeerMsg, ToEngine};
 use crate::role::Role;
@@ -140,11 +138,8 @@ impl<'a> FtCtx<'a> {
     /// outside the designation are skipped. Calling with an empty list
     /// restores the default (checkpoint everything).
     pub fn designate(&mut self, vars: &[&str]) {
-        self.core.designated = if vars.is_empty() {
-            None
-        } else {
-            Some(vars.iter().map(|s| s.to_string()).collect())
-        };
+        self.core.designated =
+            if vars.is_empty() { None } else { Some(vars.iter().map(|s| s.to_string()).collect()) };
     }
 
     /// `OFTTSave`: ship a checkpoint immediately, without waiting for the
@@ -412,6 +407,15 @@ impl<A: FtApplication> FtProcess<A> {
         }
         let checkpoint = Checkpoint::new(self.core.term, self.core.ckpt_seq, env.now(), payload);
         self.core.shipped_position = (self.core.term, self.core.ckpt_seq);
+        env.record(
+            TraceCategory::Checkpoint,
+            format!(
+                "{}: ckpt shipped (term={} seq={})",
+                env.self_endpoint(),
+                self.core.term,
+                self.core.ckpt_seq
+            ),
+        );
         let size = checkpoint.wire_size();
         {
             let mut probe = self.core.probe.lock();
@@ -441,6 +445,14 @@ impl<A: FtApplication> FtProcess<A> {
                         if store_newer {
                             // Normal switchover: the peer's checkpoints in
                             // our store are the freshest state.
+                            let (rt, rs) = self.core.store.position();
+                            env.record(
+                                TraceCategory::Checkpoint,
+                                format!(
+                                    "{}: ckpt restore position (term={rt} seq={rs})",
+                                    env.self_endpoint()
+                                ),
+                            );
                             let image = self.core.store.to_restore_image();
                             self.activate(env, Some((image, true)));
                         } else if self.core.shipped_position > (0, 0) {
@@ -457,8 +469,7 @@ impl<A: FtApplication> FtProcess<A> {
                             let peer = self.core.peer_endpoint.clone();
                             env.send_msg(peer, FtimPeerMsg::RestoreRequest);
                             let timeout = self.core.config.component_timeout;
-                            self.core.restore_timer =
-                                Some(env.set_timer(timeout, RESTORE_TIMEOUT));
+                            self.core.restore_timer = Some(env.set_timer(timeout, RESTORE_TIMEOUT));
                         }
                     }
                     Role::Backup | Role::Negotiating => {
@@ -478,6 +489,13 @@ impl<A: FtApplication> FtProcess<A> {
                 match self.core.store.offer(&checkpoint) {
                     AcceptOutcome::Installed => {
                         self.core.probe.lock().ckpts_installed += 1;
+                        env.record(
+                            TraceCategory::Checkpoint,
+                            format!(
+                                "{}: ckpt installed (term={term} seq={seq})",
+                                env.self_endpoint()
+                            ),
+                        );
                         env.send_msg(from, FtimPeerMsg::CkptAck { term, seq });
                     }
                     AcceptOutcome::Rejected(crate::checkpoint::RejectReason::Stale) => {
@@ -529,19 +547,31 @@ impl<A: FtApplication> FtProcess<A> {
                 };
                 let size = match &reply {
                     FtimPeerMsg::RestoreReply { image: Some(vars), .. } => {
-                        64 + vars.iter().map(|(n, b)| 8 + n.len() as u64 + b.len() as u64).sum::<u64>()
+                        64 + vars
+                            .iter()
+                            .map(|(n, b)| 8 + n.len() as u64 + b.len() as u64)
+                            .sum::<u64>()
                     }
                     _ => 64,
                 };
                 env.send_sized(from, reply, size);
             }
-            FtimPeerMsg::RestoreReply { image, .. } => {
+            FtimPeerMsg::RestoreReply { image, term, seq } => {
                 if !self.core.pending_restore {
                     return;
                 }
                 self.core.pending_restore = false;
                 if let Some(handle) = self.core.restore_timer.take() {
                     env.cancel_timer(handle);
+                }
+                if image.is_some() {
+                    env.record(
+                        TraceCategory::Checkpoint,
+                        format!(
+                            "{}: ckpt restore position (term={term} seq={seq})",
+                            env.self_endpoint()
+                        ),
+                    );
                 }
                 self.activate(env, image.map(|vars| (vars, false)));
             }
@@ -557,9 +587,11 @@ impl<A: FtApplication> FtProcess<A> {
         // Failure class d: the local engine went silent. Fail safe (a
         // possibly-promoted peer must not find two active applications) and
         // bring the engine back.
-        let engine_silent = now.saturating_since(self.core.last_engine_heard)
-            > self.core.config.fail_safe_timeout;
-        if engine_silent && !self.core.engine_restart_pending && self.core.last_engine_heard > SimTime::ZERO
+        let engine_silent =
+            now.saturating_since(self.core.last_engine_heard) > self.core.config.fail_safe_timeout;
+        if engine_silent
+            && !self.core.engine_restart_pending
+            && self.core.last_engine_heard > SimTime::ZERO
         {
             self.core.engine_restart_pending = true;
             self.core.probe.lock().engine_restarts += 1;
@@ -616,11 +648,7 @@ impl<A: FtApplication> Process for FtProcess<A> {
         let rule = self.core.rule;
         env.send_msg(
             self.core.engine_endpoint.clone(),
-            ToEngine::Register {
-                service: me.service.clone(),
-                kind: FtimKind::OpcClient,
-                rule,
-            },
+            ToEngine::Register { service: me.service.clone(), kind: FtimKind::OpcClient, rule },
         );
         env.set_timer(self.core.config.heartbeat_period, HEARTBEAT_TICK);
         env.set_timer(self.core.config.checkpoint_period, CHECKPOINT_TICK);
@@ -636,16 +664,14 @@ impl<A: FtApplication> Process for FtProcess<A> {
                 self.ship_checkpoint(env);
                 env.set_timer(self.core.config.checkpoint_period, CHECKPOINT_TICK);
             }
-            RESTORE_TIMEOUT
-                if self.core.pending_restore => {
-                    self.core.pending_restore = false;
-                    self.core.restore_timer = None;
-                    self.activate(env, None);
-                }
-            token if token < FTIM_TIMER_BASE
-                && self.core.active => {
-                    self.ctx_call(env, |app, ctx| app.on_app_timer(token, ctx));
-                }
+            RESTORE_TIMEOUT if self.core.pending_restore => {
+                self.core.pending_restore = false;
+                self.core.restore_timer = None;
+                self.activate(env, None);
+            }
+            token if token < FTIM_TIMER_BASE && self.core.active => {
+                self.ctx_call(env, |app, ctx| app.on_app_timer(token, ctx));
+            }
             _ => {}
         }
     }

@@ -41,9 +41,7 @@ impl MonitorTable {
     pub fn primaries(&self) -> Vec<NodeId> {
         self.rows
             .iter()
-            .filter(|(node, r)| {
-                r.role == crate::role::Role::Primary && !self.is_stale(**node)
-            })
+            .filter(|(node, r)| r.role == crate::role::Role::Primary && !self.is_stale(**node))
             .map(|(node, _)| *node)
             .collect()
     }

@@ -104,3 +104,58 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Small domains so term ties and node ties are hit constantly.
+    fn claim_strategy() -> impl Strategy<Value = Claim> {
+        (0u64..6, 0u16..5).prop_map(|(term, node)| Claim::new(term, NodeId(node)))
+    }
+
+    proptest! {
+        /// Irreflexivity: no claim beats itself.
+        #[test]
+        fn beats_is_irreflexive(a in claim_strategy()) {
+            prop_assert!(!a.beats(&a));
+        }
+
+        /// Totality + asymmetry: of two distinct claims, exactly one wins.
+        /// This is what guarantees two engines facing a dual primary pick
+        /// the same survivor.
+        #[test]
+        fn beats_is_total_and_asymmetric(a in claim_strategy(), b in claim_strategy()) {
+            if a == b {
+                prop_assert!(!a.beats(&b) && !b.beats(&a));
+            } else {
+                prop_assert!(a.beats(&b) ^ b.beats(&a));
+            }
+        }
+
+        /// Transitivity: precedence chains never cycle.
+        #[test]
+        fn beats_is_transitive(
+            a in claim_strategy(),
+            b in claim_strategy(),
+            c in claim_strategy(),
+        ) {
+            if a.beats(&b) && b.beats(&c) {
+                prop_assert!(a.beats(&c));
+            }
+        }
+
+        /// `beats` agrees with the lexicographic order on
+        /// (term descending, node ascending) — the closed form of the
+        /// strict total order.
+        #[test]
+        fn beats_matches_lexicographic_closed_form(
+            a in claim_strategy(),
+            b in claim_strategy(),
+        ) {
+            let expected = (b.term, std::cmp::Reverse(b.node.0)) < (a.term, std::cmp::Reverse(a.node.0));
+            prop_assert_eq!(a.beats(&b), expected);
+        }
+    }
+}

@@ -76,10 +76,8 @@ impl WatchdogTable {
     ///
     /// [`WatchdogError::NotFound`] for unknown names.
     pub fn set(&mut self, name: &str, now: SimTime) -> Result<SimTime, WatchdogError> {
-        let entry = self
-            .entries
-            .get_mut(name)
-            .ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
+        let entry =
+            self.entries.get_mut(name).ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
         let deadline = now + entry.period;
         entry.deadline = Some(deadline);
         Ok(deadline)
@@ -101,10 +99,8 @@ impl WatchdogTable {
     ///
     /// [`WatchdogError::NotFound`] for unknown names.
     pub fn disarm(&mut self, name: &str) -> Result<(), WatchdogError> {
-        let entry = self
-            .entries
-            .get_mut(name)
-            .ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
+        let entry =
+            self.entries.get_mut(name).ok_or_else(|| WatchdogError::NotFound(name.to_string()))?;
         entry.deadline = None;
         Ok(())
     }

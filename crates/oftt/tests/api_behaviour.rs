@@ -14,8 +14,8 @@ use parking_lot::Mutex;
 
 /// An app scripted through external command messages.
 struct Scripted {
-    big: Vec<u8>,     // a large variable
-    small: u64,       // a small variable
+    big: Vec<u8>, // a large variable
+    small: u64,   // a small variable
     view: Arc<Mutex<(u64, bool)>>,
 }
 
@@ -93,10 +93,8 @@ fn rig(seed: u64) -> Rig {
         Arc::new(Mutex::new(EngineProbe::default())),
         Arc::new(Mutex::new(EngineProbe::default())),
     ];
-    let ftims = [
-        Arc::new(Mutex::new(FtimProbe::default())),
-        Arc::new(Mutex::new(FtimProbe::default())),
-    ];
+    let ftims =
+        [Arc::new(Mutex::new(FtimProbe::default())), Arc::new(Mutex::new(FtimProbe::default()))];
     let views = [Arc::new(Mutex::new((0, false))), Arc::new(Mutex::new((0, false)))];
     for (idx, node) in [a, b].into_iter().enumerate() {
         let engine_config = config.clone();
@@ -144,8 +142,16 @@ fn oftt_save_ships_immediately() {
     let sent_before = r.ftims[idx].lock().ckpts_sent;
     // Two bumps within one checkpoint period: each must ship its own
     // event-based checkpoint.
-    r.cs.post(SimTime::from_millis(10_100), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
-    r.cs.post(SimTime::from_millis(10_300), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.post(
+        SimTime::from_millis(10_100),
+        ds_net::Endpoint::new(p, "scripted"),
+        "bump-and-save".to_string(),
+    );
+    r.cs.post(
+        SimTime::from_millis(10_300),
+        ds_net::Endpoint::new(p, "scripted"),
+        "bump-and-save".to_string(),
+    );
     r.cs.run_until(SimTime::from_millis(10_600));
     let sent_after = r.ftims[idx].lock().ckpts_sent;
     assert!(
@@ -161,13 +167,25 @@ fn designation_filters_checkpoint_traffic() {
     r.cs.run_until(SimTime::from_secs(10));
     let (p, idx) = primary(&r);
     // Baseline: one undesignated save carries the 64 KiB variable.
-    r.cs.post(SimTime::from_secs(10), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.post(
+        SimTime::from_secs(10),
+        ds_net::Endpoint::new(p, "scripted"),
+        "bump-and-save".to_string(),
+    );
     r.cs.run_until(SimTime::from_secs(12));
     let bytes_full = r.ftims[idx].lock().ckpt_bytes_sent;
     assert!(bytes_full > 64 * 1024, "first save includes the big variable");
     // Designate only `small`; the next saves must be tiny.
-    r.cs.post(SimTime::from_secs(12), ds_net::Endpoint::new(p, "scripted"), "designate-small".to_string());
-    r.cs.post(SimTime::from_secs(13), ds_net::Endpoint::new(p, "scripted"), "bump-and-save".to_string());
+    r.cs.post(
+        SimTime::from_secs(12),
+        ds_net::Endpoint::new(p, "scripted"),
+        "designate-small".to_string(),
+    );
+    r.cs.post(
+        SimTime::from_secs(13),
+        ds_net::Endpoint::new(p, "scripted"),
+        "bump-and-save".to_string(),
+    );
     r.cs.run_until(SimTime::from_secs(15));
     let bytes_after = r.ftims[idx].lock().ckpt_bytes_sent;
     let delta = bytes_after - bytes_full;

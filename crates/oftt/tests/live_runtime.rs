@@ -129,8 +129,7 @@ fn live_pair_elects_one_primary_and_counts() {
     assert!(
         wait_for(
             || {
-                let roles: Vec<_> =
-                    rig.probes.iter().map(|p| p.lock().current_role()).collect();
+                let roles: Vec<_> = rig.probes.iter().map(|p| p.lock().current_role()).collect();
                 matches!(
                     (roles[0], roles[1]),
                     (Some(Role::Primary), Some(Role::Backup))
@@ -170,10 +169,7 @@ fn live_primary_kill_moves_the_application() {
 
     // Let some state accumulate, then kill BOTH the engine and the app on
     // the primary node (the closest live analog of a node failure).
-    assert!(wait_for(
-        || rig.views[primary_idx].lock().0 > 20,
-        Duration::from_secs(5)
-    ));
+    assert!(wait_for(|| rig.views[primary_idx].lock().0 > 20, Duration::from_secs(5)));
     let count_before = rig.views[primary_idx].lock().0;
     rig.net.kill(&engine_endpoint(primary_node));
     rig.net.kill(&Endpoint::new(primary_node, "counter"));
@@ -209,9 +205,6 @@ fn live_external_messages_reach_the_active_copy() {
     for node in [rig.a, rig.b] {
         rig.net.post(Endpoint::new(node, "counter"), "hello".to_string());
     }
-    assert!(wait_for(
-        || rig.views.iter().any(|v| v.lock().1),
-        Duration::from_secs(5)
-    ));
+    assert!(wait_for(|| rig.views.iter().any(|v| v.lock().1), Duration::from_secs(5)));
     rig.net.shutdown();
 }

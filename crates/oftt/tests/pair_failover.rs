@@ -165,8 +165,11 @@ fn build_rig(seed: u64, mutate: impl Fn(&mut OfttConfig)) -> Rig {
     // Queue managers on every node.
     let queue_stats = Arc::new(Mutex::new(QueueStats::default()));
     for node in [a, b, test_pc] {
-        let stats =
-            if node == test_pc { queue_stats.clone() } else { Arc::new(Mutex::new(QueueStats::default())) };
+        let stats = if node == test_pc {
+            queue_stats.clone()
+        } else {
+            Arc::new(Mutex::new(QueueStats::default()))
+        };
         cs.register_service(
             node,
             msgq::manager::service_name(),
@@ -223,9 +226,7 @@ fn build_rig(seed: u64, mutate: impl Fn(&mut OfttConfig)) -> Rig {
     cs.register_service(
         test_pc,
         "oftt-monitor",
-        Box::new(move || {
-            Box::new(SystemMonitor::new(SimDuration::from_secs(3), table.clone()))
-        }),
+        Box::new(move || Box::new(SystemMonitor::new(SimDuration::from_secs(3), table.clone()))),
         true,
     );
 
@@ -251,9 +252,7 @@ fn add_feeder(rig: &mut Rig, period: SimDuration, total: u64) {
     rig.cs.register_service(
         rig.test_pc,
         "feeder",
-        Box::new(move || {
-            Box::new(Feeder { diverter: diverter.clone(), period, next: 0, total })
-        }),
+        Box::new(move || Box::new(Feeder { diverter: diverter.clone(), period, next: 0, total })),
         false,
     );
     rig.cs.start_service_at(SimTime::from_secs(5), rig.test_pc, "feeder");
@@ -388,11 +387,7 @@ fn class_d_middleware_failure_is_survived() {
     rig.cs.run_until(SimTime::from_secs(30));
     let victim = primary_node(&rig);
     let before = active_view(&rig).expect("active").1;
-    inject(
-        &mut rig.cs,
-        SimTime::from_secs(30),
-        Fault::KillService(victim, engine_service()),
-    );
+    inject(&mut rig.cs, SimTime::from_secs(30), Fault::KillService(victim, engine_service()));
     rig.cs.run_until(SimTime::from_secs(120));
 
     // Somebody is processing again…
@@ -419,10 +414,7 @@ fn watchdog_survives_switchover() {
     inject(&mut rig.cs, SimTime::from_secs(15), Fault::CrashNode(victim));
     rig.cs.run_until(SimTime::from_secs(120));
     let fires = rig.watchdog_fires.lock();
-    assert!(
-        !fires.is_empty(),
-        "the deadman watchdog must fire on the new primary after failover"
-    );
+    assert!(!fires.is_empty(), "the deadman watchdog must fire on the new primary after failover");
     // It fired well after the switchover, on the surviving node's clock.
     assert!(fires[0] >= SimTime::from_secs(15));
 }
@@ -452,10 +444,7 @@ fn no_dual_active_application_across_any_single_fault() {
             !(active_a && active_b),
             "fault class {name}: both applications active simultaneously"
         );
-        assert!(
-            active_a || active_b,
-            "fault class {name}: no application active after recovery"
-        );
+        assert!(active_a || active_b, "fault class {name}: no application active after recovery");
     }
 }
 
@@ -483,9 +472,7 @@ fn lossy_checkpoint_channel_still_converges() {
     rig.cs.connect(
         rig.a,
         rig.b,
-        ds_net::link::Link::new(vec![
-            ds_net::link::PathConfig::default().with_loss(0.25),
-        ]),
+        ds_net::link::Link::new(vec![ds_net::link::PathConfig::default().with_loss(0.25)]),
     );
     add_feeder(&mut rig, SimDuration::from_millis(200), u64::MAX);
     rig.cs.start();

@@ -163,7 +163,13 @@ impl OpcClient {
             items: items.iter().map(|s| s.to_string()).collect(),
             callback: env.self_endpoint(),
         };
-        self.start(env, iid_opc_async_io(), methods::ASYNC_READ, &args, PendingKind::AsyncReadAccepted)
+        self.start(
+            env,
+            iid_opc_async_io(),
+            methods::ASYNC_READ,
+            &args,
+            PendingKind::AsyncReadAccepted,
+        )
     }
 
     /// `IOPCSyncIO::Write`.
@@ -226,10 +232,7 @@ impl OpcClient {
         group: GroupId,
         items: &[&str],
     ) -> ComResult<u64> {
-        let args = AddItemsArgs {
-            group,
-            items: items.iter().map(|s| s.to_string()).collect(),
-        };
+        let args = AddItemsArgs { group, items: items.iter().map(|s| s.to_string()).collect() };
         self.start(env, iid_opc_group_mgt(), methods::ADD_ITEMS, &args, PendingKind::AddItems)
     }
 
@@ -239,7 +242,13 @@ impl OpcClient {
     ///
     /// Marshaling failures.
     pub fn remove_group(&mut self, env: &mut dyn ProcessEnv, group: GroupId) -> ComResult<u64> {
-        self.start(env, iid_opc_group_mgt(), methods::REMOVE_GROUP, &group, PendingKind::RemoveGroup)
+        self.start(
+            env,
+            iid_opc_group_mgt(),
+            methods::REMOVE_GROUP,
+            &group,
+            PendingKind::RemoveGroup,
+        )
     }
 
     fn start<T: serde::Serialize>(
@@ -302,16 +311,12 @@ impl OpcClient {
             }
             PendingKind::AsyncReadAccepted => decode_reply::<u32>(&bytes)
                 .map(|transaction_id| OpcEvent::AsyncReadAccepted { transaction_id }),
-            PendingKind::Write => {
-                decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::WriteComplete)
-            }
+            PendingKind::Write => decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::WriteComplete),
             PendingKind::Browse => {
                 decode_reply::<Vec<BrowseEntry>>(&bytes).map(OpcEvent::BrowseComplete)
             }
             PendingKind::AddGroup => decode_reply::<GroupId>(&bytes).map(OpcEvent::GroupAdded),
-            PendingKind::AddItems => {
-                decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::ItemsAdded)
-            }
+            PendingKind::AddItems => decode_reply::<Vec<HResult>>(&bytes).map(OpcEvent::ItemsAdded),
             PendingKind::RemoveGroup => decode_reply::<bool>(&bytes).map(OpcEvent::GroupRemoved),
         };
         decoded.unwrap_or_else(|error| OpcEvent::Failed { call_id, error })

@@ -245,7 +245,7 @@ mod tests {
         let old = Value::R8(100.0);
         assert!(!old.exceeds_deadband(&Value::R8(100.5), 1.0)); // 0.5% < 1%
         assert!(old.exceeds_deadband(&Value::R8(102.0), 1.0)); // 2% > 1%
-        // Non-numeric: any change exceeds.
+                                                               // Non-numeric: any change exceeds.
         assert!(Value::Bool(false).exceeds_deadband(&Value::Bool(true), 50.0));
         assert!(!Value::Bool(true).exceeds_deadband(&Value::Bool(true), 0.0));
     }

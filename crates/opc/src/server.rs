@@ -102,9 +102,7 @@ pub struct ServerStatus {
 }
 
 /// A subscription group id.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GroupId(pub u32);
 
 /// `AddGroup` arguments.
@@ -401,7 +399,10 @@ impl OpcServerProcess {
         let me = env.self_endpoint();
         let now = env.now();
         for (prefix, device) in &self.config.devices {
-            env.send_msg(device.clone(), PollRequest { reply_to: me.clone(), poll_id: self.next_poll });
+            env.send_msg(
+                device.clone(),
+                PollRequest { reply_to: me.clone(), poll_id: self.next_poll },
+            );
             self.next_poll += 1;
             // Degrade quality for silent devices.
             let last = self.last_response.get(device).copied().unwrap_or(SimTime::ZERO);
@@ -470,7 +471,11 @@ impl Process for OpcServerProcess {
         self.shared.lock().started_at = env.now();
         env.record(
             TraceCategory::App,
-            format!("{} OPC server up ({} devices)", env.self_endpoint(), self.config.devices.len()),
+            format!(
+                "{} OPC server up ({} devices)",
+                env.self_endpoint(),
+                self.config.devices.len()
+            ),
         );
         env.set_timer(SimDuration::ZERO, POLL_TOKEN);
         env.set_timer(self.config.group_tick, GROUP_TOKEN);
@@ -493,8 +498,7 @@ impl Process for OpcServerProcess {
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
         if envelope.body.is::<RpcRequest>() {
             let request = envelope.body.downcast::<RpcRequest>().expect("checked");
-            let outcome =
-                self.object.invoke(request.iid, request.method, &request.args, env.now());
+            let outcome = self.object.invoke(request.iid, request.method, &request.args, env.now());
             let size = 48 + outcome.as_ref().map(|b| b.len() as u64).unwrap_or(0);
             env.send(
                 request.reply_to,
@@ -524,11 +528,8 @@ impl Process for OpcServerProcess {
             let writes: Vec<(ItemId, Value)> =
                 std::mem::take(&mut self.shared.lock().pending_writes);
             for (id, value) in writes {
-                if let Some((prefix, device)) = self
-                    .config
-                    .devices
-                    .iter()
-                    .find(|(prefix, _)| id.is_under(prefix))
+                if let Some((prefix, device)) =
+                    self.config.devices.iter().find(|(prefix, _)| id.is_under(prefix))
                 {
                     let tag = id.as_str()[prefix.len() + 1..].to_string();
                     let pv = match value {

@@ -41,9 +41,7 @@ impl Process for TestClient {
     fn on_start(&mut self, env: &mut dyn ProcessEnv) {
         self.opc.get_status(env).expect("marshal");
         self.opc.browse(env, "").expect("marshal");
-        self.opc
-            .add_group(env, "display", SimDuration::from_millis(500), 0.5)
-            .expect("marshal");
+        self.opc.add_group(env, "display", SimDuration::from_millis(500), 0.5).expect("marshal");
         env.set_timer(SimDuration::from_secs(1), READ_TICK);
     }
 
@@ -97,7 +95,8 @@ struct Stack {
 fn build_stack(seed: u64) -> Stack {
     let mut cs = ClusterSim::new(seed);
     let plc_node = cs.add_node(NodeConfig { name: "plc".into(), ..Default::default() });
-    let server_node = cs.add_node(NodeConfig { name: "industrial-pc".into(), ..Default::default() });
+    let server_node =
+        cs.add_node(NodeConfig { name: "industrial-pc".into(), ..Default::default() });
     let client_node = cs.add_node(NodeConfig { name: "monitor-pc".into(), ..Default::default() });
     cs.connect(plc_node, server_node, Link::single());
     cs.connect(server_node, client_node, Link::dual());
@@ -221,11 +220,7 @@ fn dead_plc_degrades_quality_instead_of_lying() {
 fn dead_server_surfaces_rpc_failures() {
     let mut stack = build_stack(54);
     let server = stack.server_node;
-    inject(
-        &mut stack.cs,
-        SimTime::from_secs(10),
-        Fault::KillService(server, "opc-server".into()),
-    );
+    inject(&mut stack.cs, SimTime::from_secs(10), Fault::KillService(server, "opc-server".into()));
     stack.cs.start();
     stack.cs.run_until(SimTime::from_secs(30));
     let observed = stack.observed.lock();
@@ -272,10 +267,7 @@ fn client_writes_reach_the_device() {
             if !self.wrote {
                 self.wrote = true;
                 self.opc
-                    .write(
-                        env,
-                        &[("plant.line1.tank1.setpoint".to_string(), Value::R8(77.5))],
-                    )
+                    .write(env, &[("plant.line1.tank1.setpoint".to_string(), Value::R8(77.5))])
                     .expect("marshal");
             } else {
                 self.opc.read(env, &["plant.line1.tank1.setpoint"]).expect("marshal");
@@ -362,9 +354,7 @@ fn remove_group_stops_pushes() {
     }
     impl Process for Canceller {
         fn on_start(&mut self, env: &mut dyn ProcessEnv) {
-            self.opc
-                .add_group(env, "g", SimDuration::from_millis(500), 0.0)
-                .expect("marshal");
+            self.opc.add_group(env, "g", SimDuration::from_millis(500), 0.0).expect("marshal");
         }
         fn on_timer(&mut self, token: u64, env: &mut dyn ProcessEnv) {
             let _ = env;
@@ -376,9 +366,7 @@ fn remove_group_stops_pushes() {
             match self.opc.handle_message(envelope, env) {
                 OpcEvent::GroupAdded(group) => {
                     self.group = Some(group);
-                    self.opc
-                        .add_items(env, group, &["plant.line1.tank1.level"])
-                        .expect("marshal");
+                    self.opc.add_items(env, group, &["plant.line1.tank1.level"]).expect("marshal");
                 }
                 OpcEvent::DataChange { .. } => {
                     let mut changes = self.changes.lock();

@@ -178,22 +178,13 @@ mod tests {
     #[test]
     fn arithmetic_and_comparison() {
         let image = img(&[("a", 3.0), ("b", 4.0)]);
-        assert_eq!(
-            Expr::Add(Box::new(Expr::tag("a")), Box::new(Expr::tag("b"))).eval(&image),
-            7.0
-        );
+        assert_eq!(Expr::Add(Box::new(Expr::tag("a")), Box::new(Expr::tag("b"))).eval(&image), 7.0);
         assert_eq!(
             Expr::Mul(Box::new(Expr::tag("a")), Box::new(Expr::Const(2.0))).eval(&image),
             6.0
         );
-        assert_eq!(
-            Expr::Gt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image),
-            1.0
-        );
-        assert_eq!(
-            Expr::Lt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image),
-            0.0
-        );
+        assert_eq!(Expr::Gt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image), 1.0);
+        assert_eq!(Expr::Lt(Box::new(Expr::tag("b")), Box::new(Expr::tag("a"))).eval(&image), 0.0);
     }
 
     #[test]

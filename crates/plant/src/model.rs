@@ -128,8 +128,7 @@ impl PidController {
         };
         self.last_error = Some(error);
         let candidate_integral = self.integral + error * dt;
-        let unclamped =
-            self.kp * error + self.ki * candidate_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * candidate_integral + self.kd * derivative;
         let output = unclamped.clamp(self.out_min, self.out_max);
         // Anti-windup: only integrate when not saturated against the error.
         if (output - unclamped).abs() < f64::EPSILON || (unclamped > output) == (error < 0.0) {

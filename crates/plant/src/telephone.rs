@@ -198,13 +198,8 @@ impl TelephoneSimulator {
             EventSink::Queue(dest) => {
                 // Queue delivery failures are the diverter's problem; the
                 // phone switch doesn't care.
-                let _ = msgq::client::send_via_queue(
-                    env,
-                    dest.clone(),
-                    CALL_EVENT_LABEL,
-                    &event,
-                    None,
-                );
+                let _ =
+                    msgq::client::send_via_queue(env, dest.clone(), CALL_EVENT_LABEL, &event, None);
             }
             EventSink::Discard => {}
         }

@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn from_and_collect() {
-        let img: IoImage =
-            vec![("a".to_string(), PlantValue::Analog(1.0))].into_iter().collect();
+        let img: IoImage = vec![("a".to_string(), PlantValue::Analog(1.0))].into_iter().collect();
         assert_eq!(img.len(), 1);
         assert!(!img.is_empty());
     }

@@ -41,10 +41,10 @@ pub fn generate_call_history(
     let mut heap = std::collections::BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<Pending>>,
-                    at: SimTime,
-                    caller: u32,
-                    hangup: bool,
-                    seq: &mut u64| {
+                at: SimTime,
+                caller: u32,
+                hangup: bool,
+                seq: &mut u64| {
         heap.push(std::cmp::Reverse(Pending { at, seq: *seq, caller, hangup }));
         *seq += 1;
     };
@@ -143,8 +143,10 @@ mod tests {
     #[test]
     fn history_is_deterministic_per_seed() {
         let config = TelephoneConfig::default();
-        let a = generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
-        let b = generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
+        let a =
+            generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
+        let b =
+            generate_call_history(&config, SimTime::from_secs(3_600), &mut SimRng::seed_from(7));
         assert_eq!(a, b);
     }
 

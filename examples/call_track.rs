@@ -22,7 +22,10 @@ fn show(scenario: &Fig3Scenario, label: &str) {
     if let Some((node, state)) = scenario.active_state() {
         println!(
             "active copy on {node}: {} events ({} started / {} ended / {} blocked), {} lines busy",
-            state.events, state.started, state.ended, state.blocked,
+            state.events,
+            state.started,
+            state.ended,
+            state.blocked,
             state.busy_count()
         );
         println!("{}", state.render_histogram());
@@ -95,8 +98,5 @@ fn main() {
         emitted as i64 - processed as i64,
         100.0 * (emitted as i64 - processed as i64).max(0) as f64 / emitted.max(1) as f64
     );
-    println!(
-        "watchdog firings:           {}",
-        scenario.probes.watchdog_fires.lock().len()
-    );
+    println!("watchdog firings:           {}", scenario.probes.watchdog_fires.lock().len());
 }

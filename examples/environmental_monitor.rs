@@ -80,8 +80,10 @@ impl FtApplication for StationApp {
     fn on_app_timer(&mut self, token: u64, ctx: &mut FtCtx<'_>) {
         if token == POLL_TICK {
             let me = ctx.env().self_endpoint();
-            ctx.env()
-                .send_msg(self.station.clone(), PollRequest { reply_to: me, poll_id: self.next_poll });
+            ctx.env().send_msg(
+                self.station.clone(),
+                PollRequest { reply_to: me, poll_id: self.next_poll },
+            );
             self.next_poll += 1;
             ctx.env().set_timer(SimDuration::from_secs(1), POLL_TICK);
         }
@@ -186,11 +188,7 @@ fn main() {
     );
 
     // The operator acknowledges on the new primary.
-    cs.post(
-        SimTime::from_secs(161),
-        Endpoint::new(m2, "station-app"),
-        "ack:SO2 HIGH".to_string(),
-    );
+    cs.post(SimTime::from_secs(161), Endpoint::new(m2, "station-app"), "ack:SO2 HIGH".to_string());
     cs.run_until(SimTime::from_secs(170));
     let (state, _) = view.lock().clone();
     println!("t=170s  after operator ack: SO2 HIGH window = {:?}", state.panel.window("SO2 HIGH"));

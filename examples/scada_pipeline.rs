@@ -32,8 +32,7 @@ fn show(scenario: &Fig1Scenario, label: &str) {
 }
 
 fn main() {
-    let mut scenario =
-        Fig1Scenario::build(ReferenceConfig::ControlWithRemoteMonitoring, 77);
+    let mut scenario = Fig1Scenario::build(ReferenceConfig::ControlWithRemoteMonitoring, 77);
     scenario.start();
 
     scenario.run_until(SimTime::from_secs(60));

@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API shape the bench targets use (`criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `Throughput`,
+//! `BenchmarkId`, `Bencher::iter`) with a simple wall-clock median-of-samples
+//! measurement instead of criterion's statistical machinery. When run
+//! without `--bench` in the arguments (i.e. under `cargo test`), each
+//! benchmark body executes once as a smoke test so the harness stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation, echoed in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; anything else (cargo
+        // test, direct execution) gets the fast smoke mode.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self, sample_size: 30 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) {
+        let mut bencher = Bencher { measure: self.measure, sample_size: 30, report: None };
+        body(&mut bencher);
+        print_report(name, bencher.report);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Records the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut body: F) {
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        body(&mut bencher);
+        print_report(&format!("{}/{}", self.name, id), bencher.report);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut body: F,
+    ) {
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        body(&mut bencher, input);
+        print_report(&format!("{}/{}", self.name, id), bencher.report);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn print_report(label: &str, report: Option<Duration>) {
+    match report {
+        Some(per_iter) => println!("bench: {label:<60} {per_iter:>12.2?}/iter"),
+        None => println!("bench: {label:<60} smoke-tested"),
+    }
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample takes ≥2ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Sample and report the median.
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed() / iters.max(1) as u32
+            })
+            .collect();
+        samples.sort();
+        self.report = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Re-export of the standard black box, criterion-style.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

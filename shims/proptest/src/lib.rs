@@ -1,0 +1,310 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements deterministic random-input testing with the strategy surface
+//! this workspace's property tests use: `any::<T>()` for scalars/tuples and
+//! `sample::Index`, range strategies, string strategies from a micro regex
+//! dialect (`.`, `[a-z]` classes, `{m,n}` repetition), tuples of strategies,
+//! `prop_map`, `prop_oneof!`, `Just`, `prop::collection::{vec, btree_map}`,
+//! `prop::option::of`, `prop::num::f64` classes, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic across runs), and failing inputs are reported but
+//! not shrunk.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec(...)` etc.).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{BTreeMapStrategy, Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A `Vec` of values from `element`, with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// A `BTreeMap` with keys/values from the given strategies.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: Range<usize>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `Some` of the inner strategy three times out of four, else `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling helper types.
+
+        use crate::strategy::{Arbitrary, Strategy};
+        use crate::test_runner::TestRunner;
+
+        /// An abstract index, resolved against a concrete collection later.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index {
+            raw: usize,
+        }
+
+        impl Index {
+            /// This index resolved to `0..size`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `size` is zero.
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "cannot index an empty collection");
+                self.raw % size
+            }
+
+            /// A reference to the element this index selects in `slice`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `slice` is empty.
+            pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+                &slice[self.index(slice.len())]
+            }
+        }
+
+        /// Strategy producing [`Index`] values.
+        #[derive(Debug, Clone, Copy)]
+        pub struct IndexStrategy;
+
+        impl Strategy for IndexStrategy {
+            type Value = Index;
+            fn new_value(&self, runner: &mut TestRunner) -> Index {
+                Index { raw: runner.next_u64() as usize }
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = IndexStrategy;
+            fn arbitrary() -> IndexStrategy {
+                IndexStrategy
+            }
+        }
+    }
+
+    pub mod num {
+        //! Numeric class strategies.
+
+        pub mod f64 {
+            //! `f64` classes, combinable with `|`.
+
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRunner;
+            use std::ops::BitOr;
+
+            const BIT_NORMAL: u8 = 1;
+            const BIT_ZERO: u8 = 2;
+
+            /// A union of `f64` value classes.
+            #[derive(Debug, Clone, Copy)]
+            pub struct FloatClass(u8);
+
+            /// Normal (non-zero, non-subnormal, finite) floats of either sign.
+            pub const NORMAL: FloatClass = FloatClass(BIT_NORMAL);
+            /// Positive and negative zero.
+            pub const ZERO: FloatClass = FloatClass(BIT_ZERO);
+
+            impl BitOr for FloatClass {
+                type Output = FloatClass;
+                fn bitor(self, other: FloatClass) -> FloatClass {
+                    FloatClass(self.0 | other.0)
+                }
+            }
+
+            impl Strategy for FloatClass {
+                type Value = f64;
+                fn new_value(&self, runner: &mut TestRunner) -> f64 {
+                    let classes: Vec<u8> = [BIT_NORMAL, BIT_ZERO]
+                        .into_iter()
+                        .filter(|bit| self.0 & bit != 0)
+                        .collect();
+                    assert!(!classes.is_empty(), "empty float class");
+                    match classes[runner.below(classes.len() as u64) as usize] {
+                        BIT_ZERO => {
+                            if runner.next_u64() & 1 == 0 {
+                                0.0
+                            } else {
+                                -0.0
+                            }
+                        }
+                        _ => loop {
+                            let candidate = f64::from_bits(runner.next_u64());
+                            if candidate.is_normal() {
+                                return candidate;
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @config($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            let mut executed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while executed < config.cases {
+                // Bounded rejection budget so a too-strict prop_assume!
+                // fails loudly instead of spinning.
+                if rejected > config.cases * 16 + 256 {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted, {} rejected)",
+                        stringify!($name), executed, rejected,
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}",
+                            stringify!($name), executed, msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @config($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the given strategies (which must
+/// share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,548 @@
+//! The `Strategy` trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRunner;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking tree: a strategy just produces
+/// fresh values from the runner's deterministic RNG.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// A strategy filtering generated values; generation retries (bounded)
+    /// until `f` accepts.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { source: self, whence, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for scalars and tuples of scalars.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T: AnySample> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::sample_any(runner)
+    }
+}
+
+/// Direct whole-domain sampling, backing [`Any`].
+pub trait AnySample: Sized {
+    /// Draws one value covering the type's whole domain.
+    fn sample_any(runner: &mut TestRunner) -> Self;
+}
+
+/// Emits `Arbitrary` for a concrete type, routing through [`Any`]. (A
+/// blanket impl over `AnySample` would conflict with `Arbitrary` impls for
+/// non-scalar types like `sample::Index`.)
+macro_rules! impl_arbitrary_via_any {
+    ($($ty:ty),+) => {
+        $(
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+                fn arbitrary() -> Any<$ty> {
+                    Any(PhantomData)
+                }
+            }
+        )+
+    };
+}
+
+impl_arbitrary_via_any!(bool, f32, f64, char);
+
+macro_rules! impl_any_int {
+    ($($ty:ty),*) => {
+        $(
+            impl AnySample for $ty {
+                fn sample_any(runner: &mut TestRunner) -> $ty {
+                    runner.next_u64() as $ty
+                }
+            }
+
+            impl_arbitrary_via_any!($ty);
+        )*
+    };
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl AnySample for bool {
+    fn sample_any(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl AnySample for f64 {
+    fn sample_any(runner: &mut TestRunner) -> f64 {
+        // Arbitrary bit patterns: exercises NaN, infinities, subnormals.
+        f64::from_bits(runner.next_u64())
+    }
+}
+
+impl AnySample for f32 {
+    fn sample_any(runner: &mut TestRunner) -> f32 {
+        f32::from_bits(runner.next_u64() as u32)
+    }
+}
+
+impl AnySample for char {
+    fn sample_any(runner: &mut TestRunner) -> char {
+        loop {
+            let candidate = (runner.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(candidate) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_any_tuple {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: AnySample),+> AnySample for ($($name,)+) {
+                #[allow(non_snake_case)]
+                fn sample_any(runner: &mut TestRunner) -> Self {
+                    $(let $name = $name::sample_any(runner);)+
+                    ($($name,)+)
+                }
+            }
+
+            impl<$($name: AnySample),+> Arbitrary for ($($name,)+) {
+                type Strategy = Any<($($name,)+)>;
+                fn arbitrary() -> Self::Strategy {
+                    Any(PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+impl_any_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_strategy_range_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + runner.below(span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return runner.next_u64() as $ty;
+                    }
+                    (lo as i128 + runner.below(span + 1) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_strategy_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + runner.unit_f64() * (self.end - self.start);
+        v.min(self.end - (self.end - self.start) * f64::EPSILON)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, runner: &mut TestRunner) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (runner.unit_f64() as f32) * (self.end - self.start);
+        v.min(self.end - (self.end - self.start) * f32::EPSILON)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from pattern literals
+// ---------------------------------------------------------------------------
+
+/// One atom of the supported pattern dialect.
+enum Atom {
+    /// `.` — any char except newline.
+    AnyChar,
+    /// `[a-z0-9]`-style class, expanded to its members.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+/// A parsed pattern: atoms with `{m,n}` repetition counts.
+struct Pattern {
+    parts: Vec<(Atom, usize, usize)>,
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                for m in chars.by_ref() {
+                    match m {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range end comes next; mark with a sentinel.
+                            members.push('\u{0}');
+                        }
+                        other => {
+                            if members.last() == Some(&'\u{0}') {
+                                members.pop();
+                                let start = prev.expect("range start");
+                                for code in (start as u32 + 1)..=(other as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        members.push(ch);
+                                    }
+                                }
+                            } else {
+                                members.push(other);
+                            }
+                            prev = Some(other);
+                        }
+                    }
+                }
+                Atom::Class(members)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        // Optional {m,n} / {n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().unwrap_or(0),
+                    n.trim().parse().unwrap_or_else(|_| m.trim().parse().unwrap_or(0)),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push((atom, lo, hi));
+    }
+    Pattern { parts }
+}
+
+fn sample_any_char(runner: &mut TestRunner) -> char {
+    // Mostly printable ASCII, sometimes arbitrary unicode, never newline.
+    if runner.below(5) < 4 {
+        char::from_u32(0x20 + runner.below(0x5F) as u32).expect("printable ascii")
+    } else {
+        loop {
+            let candidate = (runner.next_u64() % 0x11_0000) as u32;
+            match char::from_u32(candidate) {
+                Some('\n') | None => continue,
+                Some(c) => return c,
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pattern.parts {
+            let count =
+                if lo == hi { *lo } else { *lo + runner.below((hi - lo + 1) as u64) as usize };
+            for _ in 0..count {
+                match atom {
+                    Atom::AnyChar => out.push(sample_any_char(runner)),
+                    Atom::Class(members) => {
+                        assert!(!members.is_empty(), "empty character class");
+                        out.push(members[runner.below(members.len() as u64) as usize]);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// A constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.source.new_value(runner);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+
+    /// Boxes a strategy for storage in a union.
+    pub fn boxed<S: Strategy<Value = V> + 'static>(strategy: S) -> Box<dyn Strategy<Value = V>> {
+        Box::new(strategy)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        let pick = runner.below(self.options.len() as u64) as usize;
+        self.options[pick].new_value(runner)
+    }
+}
+
+/// See [`crate::prop::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = self.size.clone().new_value(runner);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// See [`crate::prop::collection::btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    pub(crate) key: K,
+    pub(crate) value: V,
+    pub(crate) size: Range<usize>,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> BTreeMap<K::Value, V::Value> {
+        let len = self.size.clone().new_value(runner);
+        // Duplicate keys collapse, mirroring real proptest's behavior of
+        // yielding maps up to (not exactly) the requested size.
+        (0..len).map(|_| (self.key.new_value(runner), self.value.new_value(runner))).collect()
+    }
+}
+
+/// See [`crate::prop::option::of`].
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(runner))
+        }
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_strategy_tuple! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn runner() -> TestRunner {
+        TestRunner::new(&ProptestConfig::default(), "strategy-unit")
+    }
+
+    #[test]
+    fn pattern_literals_generate_matching_strings() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let s = "[a-d]{1,3}".new_value(&mut r);
+            assert!((1..=3).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+
+            let t = ".{0,16}".new_value(&mut r);
+            assert!(t.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let (a, b) = (0u64..10, 5usize..6).new_value(&mut r);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = runner();
+        let u = Union::new(vec![Union::boxed(Just(1u8)), Union::boxed(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Test execution state: configuration, the per-test RNG, and case errors.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Unused; kept for struct-update compatibility with real proptest.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input; try another.
+    Reject(&'static str),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Drives value generation for one property test.
+///
+/// Seeded from the test's name so every test draws an independent but fully
+/// deterministic stream — failures reproduce on every run.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(_config: &ProptestConfig, test_name: &str) -> Self {
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        use rand::Rng;
+        self.rng.gen_range(0..bound)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        use rand::Rng;
+        self.rng.gen::<f64>()
+    }
+}

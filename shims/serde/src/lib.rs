@@ -1,0 +1,1243 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate reimplements the subset of the serde data model the workspace
+//! actually exercises: the `Serialize`/`Deserialize` traits, the
+//! `Serializer`/`Deserializer` driver traits with their compound access
+//! types, visitor plumbing, and impls for the std types that appear in
+//! messages and checkpoints. `comsim::marshal` is the only binary format in
+//! the tree and drives both sides of this API, so fidelity is judged against
+//! its needs rather than against the full serde contract.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use std::fmt;
+
+    /// Error constraint for serializers.
+    pub trait Error: Sized + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data structure that can hand itself to any [`Serializer`].
+    pub trait Serialize {
+        /// Drives `serializer` with this value's content.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A format backend receiving the serde data model.
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple sub-serializer.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-struct sub-serializer.
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-variant sub-serializer.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Map sub-serializer.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct-variant sub-serializer.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i8`.
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i16`.
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i32`.
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i64`.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u8`.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u16`.
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f32`.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `char`.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes raw bytes.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Some(value)`.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `()`.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit enum variant.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype enum variant.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a tuple.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        /// Begins a tuple struct.
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        /// Begins a tuple variant.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Begins a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a struct variant.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+
+    /// Sequence body.
+    pub trait SerializeSeq {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Tuple body.
+    pub trait SerializeTuple {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Tuple-struct body.
+    pub trait SerializeTupleStruct {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Tuple-variant body.
+    pub trait SerializeTupleVariant {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Map body.
+    pub trait SerializeMap {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one key.
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        /// Serializes one value.
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Struct body.
+    pub trait SerializeStruct {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Struct-variant body.
+    pub trait SerializeStructVariant {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Error constraint for deserializers.
+    pub trait Error: Sized + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+        /// An unknown enum variant index was encountered.
+        fn unknown_variant(index: u64, expected: &'static [&'static str]) -> Self {
+            Self::custom(format_args!(
+                "unknown variant index {index}, expected one of {expected:?}"
+            ))
+        }
+        /// Input ended before all fields were seen.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format_args!("missing field {field}"))
+        }
+        /// The input length did not match.
+        fn invalid_length(len: usize, expected: &dyn fmt::Display) -> Self {
+            Self::custom(format_args!("invalid length {len}, expected {expected}"))
+        }
+    }
+
+    /// A type constructible from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Drives `deserializer`, producing the value.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A `Deserialize` usable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Stateful deserialization entry point (the stateless case is
+    /// [`PhantomData`]).
+    pub trait DeserializeSeed<'de>: Sized {
+        /// Produced value.
+        type Value;
+        /// Drives `deserializer`, producing the value.
+        fn deserialize<D: Deserializer<'de>>(
+            self,
+            deserializer: D,
+        ) -> Result<Self::Value, D::Error>;
+    }
+
+    impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+        type Value = T;
+        fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+            T::deserialize(deserializer)
+        }
+    }
+
+    /// A format backend producing the serde data model.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Self-describing formats only.
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `bool`.
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `i8`.
+        fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `i16`.
+        fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `i32`.
+        fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `i64`.
+        fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `u8`.
+        fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `u16`.
+        fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `u32`.
+        fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `u64`.
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `f32`.
+        fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `f64`.
+        fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `char`.
+        fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a borrowed string.
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an owned string.
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes borrowed bytes.
+        fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an owned byte buffer.
+        fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V)
+            -> Result<V::Value, Self::Error>;
+        /// Deserializes an `Option`.
+        fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes `()`.
+        fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a unit struct.
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes a newtype struct.
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes a sequence.
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a fixed-size tuple.
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes a tuple struct.
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes a map.
+        fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a struct.
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes an enum.
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes a field/variant identifier.
+        fn deserialize_identifier<V: Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Skips a value (self-describing formats only).
+        fn deserialize_ignored_any<V: Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Receives whatever shape the deserializer produced.
+    pub trait Visitor<'de>: Sized {
+        /// Produced value.
+        type Value;
+
+        /// Describes what this visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Receives a `bool`.
+        fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected bool, expected {}", Expected(&self))))
+        }
+        /// Receives an `i8`.
+        fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+            self.visit_i64(v as i64)
+        }
+        /// Receives an `i16`.
+        fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+            self.visit_i64(v as i64)
+        }
+        /// Receives an `i32`.
+        fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+            self.visit_i64(v as i64)
+        }
+        /// Receives an `i64`.
+        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected i64, expected {}", Expected(&self))))
+        }
+        /// Receives a `u8`.
+        fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+            self.visit_u64(v as u64)
+        }
+        /// Receives a `u16`.
+        fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+            self.visit_u64(v as u64)
+        }
+        /// Receives a `u32`.
+        fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+            self.visit_u64(v as u64)
+        }
+        /// Receives a `u64`.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected u64, expected {}", Expected(&self))))
+        }
+        /// Receives an `f32`.
+        fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+            self.visit_f64(v as f64)
+        }
+        /// Receives an `f64`.
+        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected f64, expected {}", Expected(&self))))
+        }
+        /// Receives a `char`.
+        fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected char, expected {}", Expected(&self))))
+        }
+        /// Receives a transient string slice.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected str, expected {}", Expected(&self))))
+        }
+        /// Receives a string borrowed from the input.
+        fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+            self.visit_str(v)
+        }
+        /// Receives an owned string.
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            self.visit_str(&v)
+        }
+        /// Receives transient bytes.
+        fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom(format_args!("unexpected bytes, expected {}", Expected(&self))))
+        }
+        /// Receives bytes borrowed from the input.
+        fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+            self.visit_bytes(v)
+        }
+        /// Receives an owned byte buffer.
+        fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+            self.visit_bytes(&v)
+        }
+        /// Receives `None`.
+        fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+            Err(Error::custom(format_args!("unexpected None, expected {}", Expected(&self))))
+        }
+        /// Receives `Some`, with the inner deserializer.
+        fn visit_some<D: Deserializer<'de>>(
+            self,
+            deserializer: D,
+        ) -> Result<Self::Value, D::Error> {
+            let _ = deserializer;
+            Err(Error::custom(format_args!("unexpected Some, expected {}", Expected(&self))))
+        }
+        /// Receives `()`.
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(Error::custom(format_args!("unexpected unit, expected {}", Expected(&self))))
+        }
+        /// Receives a newtype struct's inner deserializer.
+        fn visit_newtype_struct<D: Deserializer<'de>>(
+            self,
+            deserializer: D,
+        ) -> Result<Self::Value, D::Error> {
+            let _ = deserializer;
+            Err(Error::custom(format_args!("unexpected newtype, expected {}", Expected(&self))))
+        }
+        /// Receives a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(Error::custom(format_args!("unexpected seq, expected {}", Expected(&self))))
+        }
+        /// Receives a map.
+        fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+            let _ = map;
+            Err(Error::custom(format_args!("unexpected map, expected {}", Expected(&self))))
+        }
+        /// Receives an enum.
+        fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+            let _ = data;
+            Err(Error::custom(format_args!("unexpected enum, expected {}", Expected(&self))))
+        }
+    }
+
+    /// Adapter rendering a visitor's `expecting` output.
+    struct Expected<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> fmt::Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+
+    /// Access to sequence elements.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+        /// Deserializes the next element through a seed.
+        fn next_element_seed<T: DeserializeSeed<'de>>(
+            &mut self,
+            seed: T,
+        ) -> Result<Option<T::Value>, Self::Error>;
+        /// Deserializes the next element.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+            self.next_element_seed(PhantomData)
+        }
+        /// Remaining elements, if known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Access to map entries.
+    pub trait MapAccess<'de> {
+        /// Error type.
+        type Error: Error;
+        /// Deserializes the next key through a seed.
+        fn next_key_seed<K: DeserializeSeed<'de>>(
+            &mut self,
+            seed: K,
+        ) -> Result<Option<K::Value>, Self::Error>;
+        /// Deserializes the next value through a seed.
+        fn next_value_seed<V: DeserializeSeed<'de>>(
+            &mut self,
+            seed: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Deserializes the next key.
+        fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+            self.next_key_seed(PhantomData)
+        }
+        /// Deserializes the next value.
+        fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+            self.next_value_seed(PhantomData)
+        }
+        /// Remaining entries, if known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Access to an enum: first the variant tag, then its content.
+    pub trait EnumAccess<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Content accessor produced alongside the tag.
+        type Variant: VariantAccess<'de, Error = Self::Error>;
+        /// Deserializes the variant tag through a seed.
+        fn variant_seed<V: DeserializeSeed<'de>>(
+            self,
+            seed: V,
+        ) -> Result<(V::Value, Self::Variant), Self::Error>;
+        /// Deserializes the variant tag.
+        fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+            self.variant_seed(PhantomData)
+        }
+    }
+
+    /// Access to one enum variant's content.
+    pub trait VariantAccess<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// The variant carries no data.
+        fn unit_variant(self) -> Result<(), Self::Error>;
+        /// The variant carries one value, via a seed.
+        fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+            self,
+            seed: T,
+        ) -> Result<T::Value, Self::Error>;
+        /// The variant carries one value.
+        fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+            self.newtype_variant_seed(PhantomData)
+        }
+        /// The variant carries a tuple.
+        fn tuple_variant<V: Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// The variant carries named fields.
+        fn struct_variant<V: Visitor<'de>>(
+            self,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Conversion into a deserializer over a primitive already in hand
+    /// (used for enum variant indexes).
+    pub trait IntoDeserializer<'de, E: Error> {
+        /// The produced deserializer.
+        type Deserializer: Deserializer<'de, Error = E>;
+        /// Performs the conversion.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    /// Deserializer over a `u32` already in hand.
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+        type Deserializer = U32Deserializer<E>;
+        fn into_deserializer(self) -> U32Deserializer<E> {
+            U32Deserializer { value: self, marker: PhantomData }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($method:ident)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.visit_u32(self.value)
+                }
+            )*
+        };
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32! {
+            deserialize_any deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+            deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+            deserialize_identifier deserialize_ignored_any
+        }
+
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_scalar {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_scalar! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeTuple;
+        let mut tuple = serializer.serialize_tuple(N)?;
+        for element in self {
+            tuple.serialize_element(element)?;
+        }
+        tuple.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_key(key)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_key(key)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    use ser::SerializeTuple;
+                    let mut tuple = serializer.serialize_tuple(impl_serialize_tuple!(@count $($name)+))?;
+                    $(tuple.serialize_element(&self.$idx)?;)+
+                    tuple.end()
+                }
+            }
+        )*
+    };
+    (@count $($name:ident)+) => { [$(impl_serialize_tuple!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+
+impl_serialize_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_scalar {
+    ($($ty:ty => $method:ident, $visit:ident, $expect:literal);* $(;)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> de::Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        fn $visit<E: de::Error>(self, v: $ty) -> Result<$ty, E> {
+                            Ok(v)
+                        }
+                    }
+                    deserializer.$method(V)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_scalar! {
+    bool => deserialize_bool, visit_bool, "a bool";
+    i8 => deserialize_i8, visit_i8, "an i8";
+    i16 => deserialize_i16, visit_i16, "an i16";
+    i32 => deserialize_i32, visit_i32, "an i32";
+    i64 => deserialize_i64, visit_i64, "an i64";
+    u8 => deserialize_u8, visit_u8, "a u8";
+    u16 => deserialize_u16, visit_u16, "a u16";
+    u32 => deserialize_u32, visit_u32, "a u32";
+    u64 => deserialize_u64, visit_u64, "a u64";
+    f32 => deserialize_f32, visit_f32, "an f32";
+    f64 => deserialize_f64, visit_f64, "an f64";
+    char => deserialize_char, visit_char, "a char";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4_096));
+                while let Some(element) = seq.next_element()? {
+                    out.push(element);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> de::Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(element) => out.push(element),
+                        None => return Err(de::Error::invalid_length(i, &"array")),
+                    }
+                }
+                out.try_into().map_err(|_| de::Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> de::Visitor<'de> for Vis<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct Vis<K, V, S>(PhantomData<(K, V, S)>);
+        impl<'de, K, V, S> de::Visitor<'de> for Vis<K, V, S>
+        where
+            K: Deserialize<'de> + std::hash::Hash + Eq,
+            V: Deserialize<'de>,
+            S: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, S>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_hasher(S::default());
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use std::marker::PhantomData;
+        struct Vis<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> de::Visitor<'de> for Vis<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeSet::new();
+                while let Some(element) = seq.next_element()? {
+                    out.insert(element);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(Vis(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<Des: Deserializer<'de>>(deserializer: Des) -> Result<Self, Des::Error> {
+                    use std::marker::PhantomData;
+                    struct V<$($name),+>(PhantomData<($($name,)+)>);
+                    impl<'de, $($name: Deserialize<'de>),+> de::Visitor<'de> for V<$($name),+> {
+                        type Value = ($($name,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str("a tuple")
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<Acc: de::SeqAccess<'de>>(
+                            self,
+                            mut seq: Acc,
+                        ) -> Result<Self::Value, Acc::Error> {
+                            let mut index = 0usize;
+                            $(
+                                let $name = match seq.next_element()? {
+                                    Some(value) => value,
+                                    None => return Err(de::Error::invalid_length(index, &"tuple")),
+                                };
+                                index += 1;
+                            )+
+                            let _ = index;
+                            Ok(($($name,)+))
+                        }
+                    }
+                    let len = impl_deserialize_tuple!(@count $($name)+);
+                    deserializer.deserialize_tuple(len, V(PhantomData))
+                }
+            }
+        )*
+    };
+    (@count $($name:ident)+) => { [$(impl_deserialize_tuple!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+
+impl_deserialize_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}

@@ -1,0 +1,520 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! No `syn`/`quote`: the item is parsed directly off the `TokenStream` and
+//! the impls are emitted as strings. The parser handles exactly the shapes
+//! this workspace derives on — non-generic structs (named, tuple, newtype,
+//! unit) and enums whose variants are unit, newtype, tuple, or struct-like —
+//! plus the one attribute in use, `#[serde(skip)]` on named struct fields.
+//! Anything else is rejected with a `compile_error!` so a future use of an
+//! unsupported serde feature fails loudly at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut it = input.into_iter().peekable();
+    if take_attrs(&mut it)? {
+        return Err("#[serde(skip)] is not supported at type level".into());
+    }
+    take_vis(&mut it);
+    let keyword = expect_ident(&mut it)?;
+    let name = expect_ident(&mut it)?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("offline serde derive does not support generics (on `{name}`)"));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream())? {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            None => Shape::Unit,
+            Some(other) => return Err(format!("unexpected token `{other}` in struct `{name}`")),
+        }),
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected braces after enum `{name}`")),
+        },
+        other => return Err(format!("derive supports structs and enums, found `{other}`")),
+    };
+    Ok(Input { name, kind })
+}
+
+/// Skips leading attributes, returning whether one of them was
+/// `#[serde(skip)]`. Any other `#[serde(...)]` content is an error.
+fn take_attrs(it: &mut Iter) -> Result<bool, String> {
+    let mut skip = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("malformed attribute".into()),
+        };
+        let mut inner = group.stream().into_iter();
+        if matches!(&inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                _ => return Err("malformed #[serde(...)] attribute".into()),
+            };
+            for token in args.stream() {
+                match &token {
+                    TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => {
+                        return Err(format!(
+                            "offline serde derive only supports #[serde(skip)], found `{other}`"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(skip)
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier if present.
+fn take_vis(it: &mut Iter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Iter) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        Some(other) => Err(format!("expected identifier, found `{other}`")),
+        None => Err("expected identifier, found end of input".into()),
+    }
+}
+
+/// Consumes one type, up to and including a top-level `,` (or end of input),
+/// tracking `<`/`>` depth so commas inside generic arguments don't split.
+fn consume_type(it: &mut Iter) {
+    let mut depth = 0i64;
+    while let Some(token) = it.peek() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    it.next();
+                    return;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let skip = take_attrs(&mut it)?;
+        take_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it)?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        consume_type(&mut it);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    while it.peek().is_some() {
+        if take_attrs(&mut it)? {
+            return Err("#[serde(skip)] is not supported on tuple fields".into());
+        }
+        take_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        consume_type(&mut it);
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        if take_attrs(&mut it)? {
+            return Err("#[serde(skip)] is not supported on enum variants".into());
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it)?;
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                let fields = parse_named_fields(inner)?;
+                if fields.iter().any(|f| f.skip) {
+                    return Err("#[serde(skip)] is not supported inside enum variants".into());
+                }
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                match count_tuple_fields(inner)? {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            _ => Shape::Unit,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token `{other}` after variant `{name}` (discriminants unsupported)"
+                ))
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!("serializer.serialize_unit_struct(\"{name}\")"),
+        Kind::Struct(Shape::Newtype) => {
+            format!("serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let mut s =
+                format!("let mut state = serializer.serialize_tuple_struct(\"{name}\", {n})?;\n");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            s
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut s = format!(
+                "let mut state = serializer.serialize_struct(\"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(state)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serializer.serialize_unit_variant(\"{name}\", {i}u32, \"{vn}\"),\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serializer.serialize_newtype_variant(\"{name}\", {i}u32, \"{vn}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|j| format!("__f{j}")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds_pat}) => {{\n\
+                             let mut state = serializer.serialize_tuple_variant(\"{name}\", {i}u32, \"{vn}\", {n})?;\n",
+                            binds_pat = binds.join(", ")
+                        ));
+                        for b in &binds {
+                            arms.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;\n"
+                            ));
+                        }
+                        arms.push_str("::serde::ser::SerializeTupleVariant::end(state)\n}\n");
+                    }
+                    Shape::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n\
+                             let mut state = serializer.serialize_struct_variant(\"{name}\", {i}u32, \"{vn}\", {len})?;\n",
+                            pat = names.join(", "),
+                            len = names.len()
+                        ));
+                        for f in &names {
+                            arms.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arms.push_str("::serde::ser::SerializeStructVariant::end(state)\n}\n");
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits `visit_seq` statements binding `names` in order from the access,
+/// erroring with `missing_field`/`invalid_length` context when short.
+fn seq_bindings(names: &[String]) -> String {
+    let mut s = String::new();
+    for name in names {
+        s.push_str(&format!(
+            "let {name} = match ::serde::de::SeqAccess::next_element(&mut __seq_access)? {{\n\
+             ::core::option::Option::Some(v) => v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             ::serde::de::Error::custom(\"input ended before `{name}`\")),\n}};\n"
+        ));
+    }
+    s
+}
+
+/// Emits a visitor struct definition named `vis` with a `visit_seq` that
+/// binds `names` and finishes with `construct` (an expression using them).
+fn seq_visitor(
+    vis: &str,
+    value: &str,
+    expecting: &str,
+    names: &[String],
+    construct: &str,
+) -> String {
+    format!(
+        "struct {vis};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis} {{\n\
+         type Value = {value};\n\
+         fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         f.write_str({expecting:?})\n}}\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq_access: __A) \
+         -> ::core::result::Result<{value}, __A::Error> {{\n\
+         {bindings}\
+         ::core::result::Result::Ok({construct})\n}}\n}}\n",
+        bindings = seq_bindings(names)
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             f.write_str(\"unit struct {name}\")\n}}\n\
+             fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{\n\
+             ::core::result::Result::Ok({name})\n}}\n}}\n\
+             deserializer.deserialize_unit_struct(\"{name}\", __Visitor)"
+        ),
+        Kind::Struct(Shape::Newtype) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             f.write_str(\"newtype struct {name}\")\n}}\n\
+             fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(self, d: __D) \
+             -> ::core::result::Result<{name}, __D::Error> {{\n\
+             ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(d)?))\n}}\n}}\n\
+             deserializer.deserialize_newtype_struct(\"{name}\", __Visitor)"
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let names: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let construct = format!("{name}({})", names.join(", "));
+            format!(
+                "{visitor}\
+                 deserializer.deserialize_tuple_struct(\"{name}\", {n}, __Visitor)",
+                visitor = seq_visitor(
+                    "__Visitor",
+                    name,
+                    &format!("tuple struct {name}"),
+                    &names,
+                    &construct
+                )
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let live: Vec<String> =
+                fields.iter().filter(|f| !f.skip).map(|f| f.name.clone()).collect();
+            let mut init: Vec<String> = live.clone();
+            for f in fields.iter().filter(|f| f.skip) {
+                init.push(format!("{}: ::core::default::Default::default()", f.name));
+            }
+            let construct = format!("{name} {{ {} }}", init.join(", "));
+            let field_names =
+                live.iter().map(|n| format!("{n:?}")).collect::<Vec<_>>().join(", ");
+            format!(
+                "{visitor}\
+                 deserializer.deserialize_struct(\"{name}\", &[{field_names}], __Visitor)",
+                visitor =
+                    seq_visitor("__Visitor", name, &format!("struct {name}"), &live, &construct)
+            )
+        }
+        Kind::Enum(variants) => {
+            let variant_names =
+                variants.iter().map(|v| format!("{:?}", v.name)).collect::<Vec<_>>().join(", ");
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{i}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vn})\n}}\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{i}u32 => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let names: Vec<String> = (0..*n).map(|j| format!("__f{j}")).collect();
+                        let construct = format!("{name}::{vn}({})", names.join(", "));
+                        arms.push_str(&format!(
+                            "{i}u32 => {{\n{visitor}\
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {n}, __V{i})\n}}\n",
+                            visitor = seq_visitor(
+                                &format!("__V{i}"),
+                                name,
+                                &format!("tuple variant {name}::{vn}"),
+                                &names,
+                                &construct
+                            )
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let construct = format!("{name}::{vn} {{ {} }}", names.join(", "));
+                        let field_names =
+                            names.iter().map(|n| format!("{n:?}")).collect::<Vec<_>>().join(", ");
+                        arms.push_str(&format!(
+                            "{i}u32 => {{\n{visitor}\
+                             ::serde::de::VariantAccess::struct_variant(__variant, &[{field_names}], __V{i})\n}}\n",
+                            visitor = seq_visitor(
+                                &format!("__V{i}"),
+                                name,
+                                &format!("struct variant {name}::{vn}"),
+                                &names,
+                                &construct
+                            )
+                        ));
+                    }
+                }
+            }
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 f.write_str(\"enum {name}\")\n}}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, data: __A) \
+                 -> ::core::result::Result<{name}, __A::Error> {{\n\
+                 let (__index, __variant): (u32, _) = ::serde::de::EnumAccess::variant(data)?;\n\
+                 match __index {{\n{arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::unknown_variant(\
+                 __other as u64, &[{variant_names}])),\n}}\n}}\n}}\n\
+                 deserializer.deserialize_enum(\"{name}\", &[{variant_names}], __Visitor)"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
