@@ -7,6 +7,8 @@
 #   3. tier-1            release build + the root suite's smoke tests
 #   4. workspace tests   every crate's unit/integration tests
 #   5. model checking    budgeted oftt-check sweep over pair failover
+#   6. bench smoke       one-sample BENCH_checkpoint.json emit + schema
+#                        validation (fails on schema drift)
 #
 # Exits non-zero on the first failing stage.
 
@@ -33,5 +35,12 @@ cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 600
 
 step "oftt-check sweep (partitioned startup, shipped config)"
 cargo run -p oftt-check --release -q -- --scenario partitioned-startup --budget 100
+
+step "bench smoke: checkpoint data-path artifact"
+BENCH_SMOKE_OUT=$(mktemp /tmp/BENCH_checkpoint.XXXXXX.json)
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+BENCH_SAMPLES=1 BENCH_OUT="$BENCH_SMOKE_OUT" \
+    cargo run -p bench --release -q --bin bench-checkpoint
+cargo run -p bench --release -q --bin bench-validate "$BENCH_SMOKE_OUT"
 
 printf '\nCI green.\n'

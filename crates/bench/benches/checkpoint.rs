@@ -7,7 +7,7 @@ use ds_sim::prelude::SimTime;
 use oftt::checkpoint::{checksum, diff, Checkpoint, CheckpointPayload, CheckpointStore, VarSet};
 
 fn image(vars: usize, bytes_per_var: usize, stamp: u8) -> VarSet {
-    (0..vars).map(|i| (format!("var{i:05}"), vec![stamp; bytes_per_var])).collect()
+    (0..vars).map(|i| (format!("var{i:05}"), vec![stamp; bytes_per_var].into())).collect()
 }
 
 /// `dirty` variables changed between the two images.
@@ -15,7 +15,9 @@ fn dirtied(base: &VarSet, dirty: usize) -> VarSet {
     let mut out = base.clone();
     for (i, (_, bytes)) in out.iter_mut().enumerate() {
         if i < dirty {
-            bytes[0] ^= 0xFF;
+            let mut v = bytes.to_vec();
+            v[0] ^= 0xFF;
+            *bytes = v.into();
         }
     }
     out

@@ -10,7 +10,7 @@ fn call_event() -> CallEvent {
 }
 
 fn checkpoint_image(vars: usize, bytes_per_var: usize) -> oftt::checkpoint::VarSet {
-    (0..vars).map(|i| (format!("var{i:05}"), vec![0xAB; bytes_per_var])).collect()
+    (0..vars).map(|i| (format!("var{i:05}"), vec![0xAB; bytes_per_var].into())).collect()
 }
 
 fn bench_call_event(c: &mut Criterion) {

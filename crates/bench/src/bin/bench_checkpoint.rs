@@ -1,0 +1,252 @@
+//! Emits `BENCH_checkpoint.json`: per-period cost of the checkpoint data
+//! path, full-image vs dirty-tracked, across a state-size × write-locality
+//! grid.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench-checkpoint   # writes BENCH_checkpoint.json
+//! BENCH_SAMPLES=1 ... bench-checkpoint                  # CI smoke mode
+//! BENCH_OUT=/tmp/b.json ... bench-checkpoint            # alternate path
+//! ```
+//!
+//! Each cell simulates a primary whose application mutates `dirty_pct`% of
+//! its variables per checkpoint period, and measures the end-to-end
+//! per-period cost — snapshot, checksum, wire sizing, and backup-store
+//! install — for both paths:
+//!
+//! * **full**: rebuild and checksum the whole image every period (the
+//!   pre-dirty-tracking data path);
+//! * **dirty**: digest-gated [`VarStore`] walkthrough of only the touched
+//!   variables, `take_dirty` delta, cached-digest crc, delta install.
+//!
+//! After the timed periods the dirty path's backup store is compared
+//! against a reference image (`restore_ok`) — speed means nothing if the
+//! merged image drifted.
+
+use std::time::Instant;
+
+use comsim::buf::Bytes;
+use ds_sim::prelude::SimTime;
+use oftt::checkpoint::{
+    checksum, AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet, VarStore,
+};
+
+/// One point of the grid.
+struct Cell {
+    vars: usize,
+    var_bytes: usize,
+    dirty_pct: usize,
+}
+
+const GRID: &[Cell] = &[
+    Cell { vars: 100, var_bytes: 64, dirty_pct: 10 },
+    Cell { vars: 1_000, var_bytes: 64, dirty_pct: 10 },
+    Cell { vars: 1_000, var_bytes: 256, dirty_pct: 1 },
+    Cell { vars: 10_000, var_bytes: 64, dirty_pct: 1 },
+    Cell { vars: 10_000, var_bytes: 64, dirty_pct: 10 },
+];
+
+/// Steady-state periods timed per sample.
+const PERIODS: u64 = 16;
+
+fn var_name(i: usize) -> String {
+    format!("var{i:05}")
+}
+
+/// The simulated application state: `vars` buffers that mutate in place.
+struct AppState {
+    state: Vec<Vec<u8>>,
+    names: Vec<String>,
+    dirty_per_period: usize,
+    cursor: usize,
+}
+
+impl AppState {
+    fn new(cell: &Cell) -> Self {
+        AppState {
+            state: (0..cell.vars).map(|i| vec![(i & 0xFF) as u8; cell.var_bytes]).collect(),
+            names: (0..cell.vars).map(var_name).collect(),
+            dirty_per_period: ((cell.vars * cell.dirty_pct) / 100).max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Mutates the next window of variables; returns the touched indices.
+    /// A rotating window models write locality without ever re-writing a
+    /// variable to its previous contents (which the digest gate would —
+    /// correctly — elide).
+    fn tick(&mut self, period: u64) -> std::ops::Range<usize> {
+        let start = self.cursor;
+        for off in 0..self.dirty_per_period {
+            let i = (start + off) % self.state.len();
+            let var = &mut self.state[i];
+            var[0] = var[0].wrapping_add(1);
+            let j = 1 % var.len();
+            var[j] = (period & 0xFF) as u8;
+        }
+        self.cursor = (self.cursor + self.dirty_per_period) % self.state.len();
+        start..start + self.dirty_per_period
+    }
+
+    fn image(&self) -> VarSet {
+        self.names
+            .iter()
+            .zip(&self.state)
+            .map(|(n, b)| (n.clone(), Bytes::copy_from_slice(b)))
+            .collect()
+    }
+}
+
+/// Full path: every period rebuilds, checksums, sizes, and installs the
+/// complete image. Returns `(total_ns, wire_bytes_per_period)`.
+fn run_full(cell: &Cell) -> (u64, u64) {
+    let mut app = AppState::new(cell);
+    let mut backup = CheckpointStore::new();
+    let mut wire = 0u64;
+    let started = Instant::now();
+    for period in 1..=PERIODS {
+        app.tick(period);
+        let ckpt = Checkpoint::new(
+            1,
+            period,
+            SimTime::from_millis(period),
+            CheckpointPayload::Full(app.image()),
+        );
+        wire += ckpt.wire_size();
+        assert_eq!(backup.offer(&ckpt), AcceptOutcome::Installed);
+    }
+    let ns = started.elapsed().as_nanos() as u64;
+    (ns, wire / PERIODS)
+}
+
+/// Dirty path: an untimed priming full, then per-period digest-gated
+/// walkthroughs of only the touched variables shipping deltas. Returns the
+/// final backup store for the restore-equality check.
+fn run_dirty(cell: &Cell) -> (u64, u64, CheckpointStore, VarSet) {
+    let mut app = AppState::new(cell);
+    let mut store = VarStore::new();
+    let mut backup = CheckpointStore::new();
+    // Prime: the first checkpoint of a term is always full.
+    for (i, name) in app.names.iter().enumerate() {
+        store.set(name.clone(), Bytes::copy_from_slice(&app.state[i]));
+    }
+    store.clear_dirty();
+    let full = Checkpoint::with_crc(
+        1,
+        1,
+        SimTime::ZERO,
+        CheckpointPayload::Full(store.image(None)),
+        store.image_crc(None),
+    );
+    assert_eq!(backup.offer(&full), AcceptOutcome::Installed);
+    let mut wire = 0u64;
+    let started = Instant::now();
+    for period in 2..=PERIODS + 1 {
+        let touched = app.tick(period);
+        for off in touched {
+            let i = off % app.state.len();
+            store.set(app.names[i].clone(), Bytes::copy_from_slice(&app.state[i]));
+        }
+        let delta = store.take_dirty(None);
+        let crc = store.crc_of(&delta);
+        let ckpt = Checkpoint::with_crc(
+            1,
+            period,
+            SimTime::from_millis(period),
+            CheckpointPayload::Delta(delta),
+            crc,
+        );
+        wire += ckpt.wire_size();
+        assert_eq!(backup.offer(&ckpt), AcceptOutcome::Installed);
+    }
+    let ns = started.elapsed().as_nanos() as u64;
+    (ns, wire / PERIODS, backup, app.image())
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let samples: usize = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_checkpoint.json".into());
+
+    let mut cells_json = Vec::new();
+    for cell in GRID {
+        let mut full_ns = Vec::new();
+        let mut dirty_ns = Vec::new();
+        let mut full_wire = 0u64;
+        let mut dirty_wire = 0u64;
+        let mut restore_ok = true;
+        for _ in 0..samples {
+            let (ns, wire) = run_full(cell);
+            full_ns.push(ns);
+            full_wire = wire;
+            let (ns, wire, backup, reference) = run_dirty(cell);
+            dirty_ns.push(ns);
+            dirty_wire = wire;
+            restore_ok &= backup.vars() == &reference && backup.image_crc() == checksum(&reference);
+        }
+        let full_med = median(full_ns) / PERIODS;
+        let dirty_med = (median(dirty_ns) / PERIODS).max(1);
+        let speedup = full_med as f64 / dirty_med as f64;
+        let wire_ratio = full_wire as f64 / dirty_wire.max(1) as f64;
+        println!(
+            "vars={:>6} var_bytes={:>4} dirty={:>3}%  full={:>10} ns/p {:>9} B/p   dirty={:>9} ns/p {:>7} B/p   speedup={:>7.1}x wire_ratio={:>7.1}x restore_ok={}",
+            cell.vars,
+            cell.var_bytes,
+            cell.dirty_pct,
+            full_med,
+            full_wire,
+            dirty_med,
+            dirty_wire,
+            speedup,
+            wire_ratio,
+            restore_ok,
+        );
+        cells_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"vars\": {},\n",
+                "      \"var_bytes\": {},\n",
+                "      \"dirty_pct\": {},\n",
+                "      \"full\": {{\"ns_per_period\": {}, \"wire_bytes_per_period\": {}}},\n",
+                "      \"dirty\": {{\"ns_per_period\": {}, \"wire_bytes_per_period\": {}}},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"wire_ratio\": {:.2},\n",
+                "      \"restore_ok\": {}\n",
+                "    }}"
+            ),
+            cell.vars,
+            cell.var_bytes,
+            cell.dirty_pct,
+            full_med,
+            full_wire,
+            dirty_med,
+            dirty_wire,
+            speedup,
+            wire_ratio,
+            restore_ok,
+        ));
+    }
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"oftt-bench-checkpoint-v1\",\n",
+            "  \"samples\": {},\n",
+            "  \"periods_per_sample\": {},\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        samples,
+        PERIODS,
+        cells_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &doc).expect("write bench artifact");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,125 @@
+//! Validates a `BENCH_checkpoint.json` artifact against the
+//! `oftt-bench-checkpoint-v1` schema — CI's guard against schema drift and
+//! against the dirty path quietly losing its edge.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench-validate [path]
+//! ```
+//!
+//! Exit 0 on a well-formed artifact whose 10k-vars / 1%-locality cell
+//! clears the acceptance thresholds (speedup ≥ 5×, wire ratio ≥ 20×,
+//! restore equality holds in every cell); exit 1 with a diagnostic
+//! otherwise.
+
+use bench::json::{parse, Json};
+
+fn require<'a>(obj: &'a Json, key: &str, errors: &mut Vec<String>) -> Option<&'a Json> {
+    let v = obj.get(key);
+    if v.is_none() {
+        errors.push(format!("missing key {key:?}"));
+    }
+    v
+}
+
+fn require_number(obj: &Json, key: &str, errors: &mut Vec<String>) -> Option<f64> {
+    let v = require(obj, key, errors)?;
+    let n = v.as_f64();
+    if n.is_none() {
+        errors.push(format!("key {key:?} is not a number"));
+    }
+    n
+}
+
+fn validate_path_cost(cell: &Json, key: &str, errors: &mut Vec<String>) {
+    let Some(path) = require(cell, key, errors) else { return };
+    if path.as_object().is_none() {
+        errors.push(format!("key {key:?} is not an object"));
+        return;
+    }
+    require_number(path, "ns_per_period", errors);
+    require_number(path, "wire_bytes_per_period", errors);
+}
+
+fn validate(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    if doc.as_object().is_none() {
+        return vec!["top level is not an object".into()];
+    }
+    match require(doc, "schema", &mut errors).and_then(Json::as_str) {
+        Some("oftt-bench-checkpoint-v1") => {}
+        Some(other) => errors.push(format!("unknown schema {other:?}")),
+        None => errors.push("schema is not a string".into()),
+    }
+    require_number(doc, "samples", &mut errors);
+    require_number(doc, "periods_per_sample", &mut errors);
+    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
+        errors.push("cells is not an array".into());
+        return errors;
+    };
+    if cells.is_empty() {
+        errors.push("cells is empty".into());
+    }
+    let mut acceptance_cell_seen = false;
+    for (i, cell) in cells.iter().enumerate() {
+        let mut cell_errors = Vec::new();
+        let vars = require_number(cell, "vars", &mut cell_errors);
+        let dirty_pct = require_number(cell, "dirty_pct", &mut cell_errors);
+        require_number(cell, "var_bytes", &mut cell_errors);
+        validate_path_cost(cell, "full", &mut cell_errors);
+        validate_path_cost(cell, "dirty", &mut cell_errors);
+        let speedup = require_number(cell, "speedup", &mut cell_errors);
+        let wire_ratio = require_number(cell, "wire_ratio", &mut cell_errors);
+        match require(cell, "restore_ok", &mut cell_errors).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => cell_errors.push("restore_ok is false: merged image diverged".into()),
+            None => cell_errors.push("restore_ok is not a boolean".into()),
+        }
+        // The acceptance cell: 10k variables at 1% write locality must
+        // show the dirty path ≥5× faster and ≥20× lighter on the wire.
+        if vars == Some(10_000.0) && dirty_pct == Some(1.0) {
+            acceptance_cell_seen = true;
+            if let Some(s) = speedup {
+                if s < 5.0 {
+                    cell_errors.push(format!("speedup {s:.2} below the 5x acceptance floor"));
+                }
+            }
+            if let Some(w) = wire_ratio {
+                if w < 20.0 {
+                    cell_errors.push(format!("wire_ratio {w:.2} below the 20x acceptance floor"));
+                }
+            }
+        }
+        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
+    }
+    if !acceptance_cell_seen {
+        errors.push("no acceptance cell (vars=10000, dirty_pct=1) in the grid".into());
+    }
+    errors
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_checkpoint.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench-validate: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench-validate: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let errors = validate(&doc);
+    if errors.is_empty() {
+        println!("bench-validate: {path} conforms to oftt-bench-checkpoint-v1");
+    } else {
+        for e in &errors {
+            eprintln!("bench-validate: {path}: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,3 +4,10 @@
 //!   simulator throughput, end-to-end scenario wall time.
 //! * `src/bin/oftt_experiments.rs` — regenerates every table in
 //!   EXPERIMENTS.md (`cargo run -p bench --release --bin oftt-experiments`).
+//! * `src/bin/bench_checkpoint.rs` — emits `BENCH_checkpoint.json`, the
+//!   full-vs-dirty checkpoint data-path grid
+//!   (`cargo run -p bench --release --bin bench-checkpoint`).
+//! * `src/bin/bench_validate.rs` — validates that artifact against the
+//!   `oftt-bench-checkpoint-v1` schema, for CI.
+
+pub mod json;

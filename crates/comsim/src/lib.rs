@@ -4,6 +4,9 @@
 //! engine, FTIMs, and the OPC applications it protects are all COM objects.
 //! This crate reproduces the COM machinery those components rely on:
 //!
+//! * [`buf`] — shared immutable byte buffers ([`buf::Bytes`]) for
+//!   zero-copy payload plumbing; wire-compatible with `Vec<u8>` under
+//!   [`marshal`].
 //! * [`guid`] — GUIDs and the IID/CLSID newtypes.
 //! * [`hresult`] — `HRESULT` status codes and the [`hresult::ComError`]
 //!   error type, including the RPC failure codes OFTT must cope with.
@@ -57,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod guid;
 pub mod hresult;
 pub mod interface;
@@ -67,6 +71,7 @@ pub mod rpc;
 
 /// Convenience re-exports of the items nearly every user needs.
 pub mod prelude {
+    pub use crate::buf::Bytes;
     pub use crate::guid::{Clsid, Guid, Iid};
     pub use crate::hresult::{ComError, ComResult, HResult};
     pub use crate::object::{ComClass, ComObject};

@@ -93,6 +93,17 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, MarshalErro
     Ok(ser.out)
 }
 
+/// Encodes a value into a shared [`crate::buf::Bytes`] buffer: serialized
+/// once, then passed along reference paths (queue retry buffers, checkpoint
+/// stores, pushes) without further copies.
+///
+/// # Errors
+///
+/// Same failure modes as [`to_bytes`].
+pub fn to_shared<T: Serialize + ?Sized>(value: &T) -> Result<crate::buf::Bytes, MarshalError> {
+    Ok(crate::buf::Bytes::from(to_bytes(value)?))
+}
+
 /// Decodes a value from bytes, requiring the whole input to be consumed.
 ///
 /// # Errors

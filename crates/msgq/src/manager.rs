@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use comsim::buf::Bytes;
 use ds_net::endpoint::{Endpoint, NodeId, ServiceName};
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
@@ -90,8 +91,20 @@ pub enum ManagerMsg {
         /// Application label.
         label: String,
         /// Marshaled payload.
-        body: Vec<u8>,
+        body: Bytes,
         /// Optional lifetime override.
+        ttl: Option<SimDuration>,
+    },
+    /// A local sender hands in several messages for the same queue in one
+    /// round — one wire message instead of one per item. Each item gets its
+    /// own sequence number, so delivery semantics match a burst of
+    /// [`ManagerMsg::Enqueue`]s.
+    EnqueueBatch {
+        /// Destination queue for every item.
+        dest: QueueAddress,
+        /// `(label, body)` per message, in send order.
+        items: Vec<(String, Bytes)>,
+        /// Optional lifetime override applied to every item.
         ttl: Option<SimDuration>,
     },
     /// Manager→manager transfer of one message.
@@ -362,32 +375,47 @@ impl QueueManager {
         }
     }
 
+    /// Accepts one locally-submitted message: assigns its identity, then
+    /// either stores it (local queue) or starts the transfer/retry cycle
+    /// (remote queue). Shared by `Enqueue` and `EnqueueBatch`.
+    fn enqueue_one(
+        &mut self,
+        dest: QueueAddress,
+        label: String,
+        body: Bytes,
+        ttl: Option<SimDuration>,
+        env: &mut dyn ProcessEnv,
+    ) {
+        let now = env.now();
+        let seq = self.next_seq.entry(dest.queue.clone()).or_insert(0);
+        let id = MessageId { origin: env.self_endpoint().node, seq: *seq };
+        *seq += 1;
+        let msg = QueueMessage {
+            id,
+            label,
+            body,
+            enqueued_at: now,
+            expires_at: now + ttl.unwrap_or(self.config.default_ttl),
+        };
+        self.stats.lock().accepted += 1;
+        if dest.node == env.self_endpoint().node {
+            self.accept_local(dest.queue, msg, env);
+        } else {
+            let out =
+                Outgoing { dest, msg, next_retry: now + self.config.retry_interval, attempts: 0 };
+            self.send_transfer(&out, env);
+            self.outgoing.insert(id, Outgoing { attempts: 1, ..out });
+        }
+    }
+
     fn handle(&mut self, msg: ManagerMsg, from: Endpoint, env: &mut dyn ProcessEnv) {
         match msg {
             ManagerMsg::Enqueue { dest, label, body, ttl } => {
-                let now = env.now();
-                let seq = self.next_seq.entry(dest.queue.clone()).or_insert(0);
-                let id = MessageId { origin: env.self_endpoint().node, seq: *seq };
-                *seq += 1;
-                let msg = QueueMessage {
-                    id,
-                    label,
-                    body,
-                    enqueued_at: now,
-                    expires_at: now + ttl.unwrap_or(self.config.default_ttl),
-                };
-                self.stats.lock().accepted += 1;
-                if dest.node == env.self_endpoint().node {
-                    self.accept_local(dest.queue, msg, env);
-                } else {
-                    let out = Outgoing {
-                        dest,
-                        msg,
-                        next_retry: now + self.config.retry_interval,
-                        attempts: 0,
-                    };
-                    self.send_transfer(&out, env);
-                    self.outgoing.insert(id, Outgoing { attempts: 1, ..out });
+                self.enqueue_one(dest, label, body, ttl, env);
+            }
+            ManagerMsg::EnqueueBatch { dest, items, ttl } => {
+                for (label, body) in items {
+                    self.enqueue_one(dest.clone(), label, body, ttl, env);
                 }
             }
             ManagerMsg::Transfer { queue, msg } => {

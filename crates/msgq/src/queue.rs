@@ -4,6 +4,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
+use comsim::buf::Bytes;
 use ds_net::endpoint::NodeId;
 use ds_sim::prelude::SimTime;
 use serde::{Deserialize, Serialize};
@@ -86,8 +87,9 @@ pub struct QueueMessage {
     pub id: MessageId,
     /// Application label (MSMQ's message label).
     pub label: String,
-    /// Marshaled payload.
-    pub body: Vec<u8>,
+    /// Marshaled payload — a shared buffer, so the copies the manager keeps
+    /// for retransmission and push-delivery are reference bumps.
+    pub body: Bytes,
     /// When the originating manager accepted it.
     pub enqueued_at: SimTime,
     /// Absolute expiry ("time-to-reach-queue" analog); expired messages go
@@ -164,18 +166,21 @@ impl LocalQueue {
         }
     }
 
-    /// Drops expired messages from the front portion of the queue,
-    /// returning them (destined for the DLQ).
+    /// Drops expired messages from the queue, returning them owned
+    /// (destined for the DLQ). Drains in place — no message is cloned.
     pub fn expire(&mut self, now: SimTime) -> Vec<QueueMessage> {
+        if !self.pending.iter().any(|m| m.is_expired(now)) {
+            return Vec::new();
+        }
+        let drained = std::mem::take(&mut self.pending);
         let mut out = Vec::new();
-        self.pending.retain_mut(|m| {
+        for m in drained {
             if m.is_expired(now) {
-                out.push(m.clone());
-                false
+                out.push(m);
             } else {
-                true
+                self.pending.push_back(m);
             }
-        });
+        }
         out
     }
 
@@ -203,7 +208,7 @@ mod tests {
         QueueMessage {
             id: MessageId { origin: NodeId(0), seq },
             label: "call-event".into(),
-            body: vec![1, 2, 3],
+            body: vec![1, 2, 3].into(),
             enqueued_at: SimTime::ZERO,
             expires_at,
         }
@@ -260,8 +265,26 @@ mod tests {
     fn wire_size_scales_with_body() {
         let mut m = msg(1, SimTime::MAX);
         let small = m.wire_size();
-        m.body = vec![0; 10_000];
+        m.body = vec![0; 10_000].into();
         assert_eq!(m.wire_size(), small - 3 + 10_000);
+    }
+
+    #[test]
+    fn expire_preserves_survivor_order_and_returns_owned() {
+        let mut q = LocalQueue::new();
+        q.accept(msg(1, SimTime::from_secs(5)), SimTime::ZERO);
+        q.accept(msg(2, SimTime::MAX), SimTime::ZERO);
+        q.accept(msg(3, SimTime::from_secs(5)), SimTime::ZERO);
+        q.accept(msg(4, SimTime::MAX), SimTime::ZERO);
+        let dead = q.expire(SimTime::from_secs(6));
+        assert_eq!(dead.iter().map(|m| m.id.seq).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(q.pop().unwrap().id.seq, 2);
+        assert_eq!(q.pop().unwrap().id.seq, 4);
+        // No expired messages: fast path leaves the queue untouched.
+        let mut q2 = LocalQueue::new();
+        q2.accept(msg(1, SimTime::MAX), SimTime::ZERO);
+        assert!(q2.expire(SimTime::from_secs(1)).is_empty());
+        assert_eq!(q2.len(), 1);
     }
 
     #[test]

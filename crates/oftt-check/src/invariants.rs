@@ -9,6 +9,7 @@
 //! | `term-monotonic`            | an engine's announced terms never decrease within an incarnation |
 //! | `no-dual-primary-after-heal`| once the last partition heals, steady state has at most one live primary |
 //! | `ckpt-monotone`             | installed checkpoint positions strictly increase; a takeover never restores a position older than the last install |
+//! | `ckpt-restore-integrity`    | a backup's merged image matches the primary's shipped image at the same position, and every takeover restores an image whose checksum matches what was last installed, shipped, or served at that position |
 //! | `switchover-has-cause`      | every switchover request is preceded by a detection or distress call on the same engine |
 //! | `diverter-targets-primary`  | every diverted message goes to the node the diverter last announced as primary |
 
@@ -45,6 +46,7 @@ pub fn check_all(events: &[Event]) -> Vec<Violation> {
     out.extend(term_monotonic(events));
     out.extend(no_dual_primary_after_heal(events));
     out.extend(ckpt_monotone(events));
+    out.extend(ckpt_restore_integrity(events));
     out.extend(switchover_has_cause(events));
     out.extend(diverter_targets_primary(events));
     out
@@ -190,7 +192,7 @@ pub fn ckpt_monotone(events: &[Event]) -> Vec<Violation> {
             EventKind::NodeDown { node } => {
                 installed.retain(|ep, _| node_of(ep) != node.as_str());
             }
-            EventKind::CkptInstalled { ep, term, seq } => {
+            EventKind::CkptInstalled { ep, term, seq, .. } => {
                 let pos = (*term, *seq);
                 if let Some(prev) = installed.get(ep.as_str()) {
                     if pos <= *prev {
@@ -206,7 +208,7 @@ pub fn ckpt_monotone(events: &[Event]) -> Vec<Violation> {
                 }
                 installed.insert(ep.as_str(), pos);
             }
-            EventKind::CkptRestore { ep, term, seq } => {
+            EventKind::CkptRestore { ep, term, seq, .. } => {
                 if let Some(prev) = installed.get(ep.as_str()) {
                     if (*term, *seq) < *prev {
                         out.push(Violation {
@@ -218,6 +220,87 @@ pub fn ckpt_monotone(events: &[Event]) -> Vec<Violation> {
                             ),
                         });
                     }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The checkpoint data path preserves state content, not just positions.
+///
+/// Trace lines carry the checksum of the cumulative designated image:
+/// `shipped` is the primary's image at a position, `installed` is the
+/// backup store's merged image after accepting that checkpoint, `served`
+/// is an image handed to a restarting peer, and `restore position` is the
+/// image a takeover actually rehydrated from. Two checks follow:
+///
+/// 1. an `installed` checksum must equal the `shipped` checksum at the
+///    same `(term, seq)` — the backup's merge (including the coalesced
+///    dirty-delta path) reconstructed the primary's image exactly;
+/// 2. a `restore` checksum must equal the endpoint's last `installed`
+///    checksum, or the `shipped`/`served` checksum recorded at the
+///    restore position — takeover never proceeds from an image nobody
+///    acked shipping.
+///
+/// Positions with no shipped/served record (e.g. the shipping line was
+/// truncated by a crash mid-send) are skipped rather than guessed at.
+pub fn ckpt_restore_integrity(events: &[Event]) -> Vec<Violation> {
+    // Last-wins maps: a position can legitimately be re-shipped after a
+    // NACK-triggered full resend; the latest content is authoritative.
+    let mut shipped: HashMap<(u64, u64), u32> = HashMap::new();
+    let mut served: HashMap<(u64, u64), u32> = HashMap::new();
+    let mut installed: HashMap<&str, ((u64, u64), u32)> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::ServiceStart { ep } => {
+                installed.remove(ep.as_str());
+            }
+            EventKind::NodeDown { node } => {
+                installed.retain(|ep, _| node_of(ep) != node.as_str());
+            }
+            EventKind::CkptShipped { term, seq, crc, .. } => {
+                shipped.insert((*term, *seq), *crc);
+            }
+            EventKind::CkptServed { term, seq, crc, .. } => {
+                served.insert((*term, *seq), *crc);
+            }
+            EventKind::CkptInstalled { ep, term, seq, crc } => {
+                let pos = (*term, *seq);
+                if let Some(sent) = shipped.get(&pos) {
+                    if sent != crc {
+                        out.push(Violation {
+                            invariant: "ckpt-restore-integrity",
+                            at: ev.at,
+                            detail: format!(
+                                "{ep} installed ({term},{seq}) with crc {crc} but the \
+                                 primary shipped crc {sent} at that position"
+                            ),
+                        });
+                    }
+                }
+                installed.insert(ep.as_str(), (pos, *crc));
+            }
+            EventKind::CkptRestore { ep, term, seq, crc } => {
+                let pos = (*term, *seq);
+                let last = installed.get(ep.as_str());
+                let mut acked: Vec<u32> = Vec::new();
+                if let Some((_, c)) = last {
+                    acked.push(*c);
+                }
+                acked.extend(shipped.get(&pos));
+                acked.extend(served.get(&pos));
+                if !acked.is_empty() && !acked.contains(crc) {
+                    out.push(Violation {
+                        invariant: "ckpt-restore-integrity",
+                        at: ev.at,
+                        detail: format!(
+                            "{ep} restored ({term},{seq}) with crc {crc}, matching no \
+                             installed/shipped/served image at that position ({acked:?})"
+                        ),
+                    });
                 }
             }
             _ => {}
@@ -363,24 +446,71 @@ mod tests {
         assert!(no_dual_primary_after_heal(&unhealed).is_empty());
     }
 
+    fn installed(ms: u64, ep: &str, term: u64, seq: u64, crc: u32) -> Event {
+        ev(ms, EventKind::CkptInstalled { ep: ep.into(), term, seq, crc })
+    }
+
+    fn restore(ms: u64, ep: &str, term: u64, seq: u64, crc: u32) -> Event {
+        ev(ms, EventKind::CkptRestore { ep: ep.into(), term, seq, crc })
+    }
+
     #[test]
     fn ckpt_positions_must_advance() {
         let events = vec![
-            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 2 }),
-            ev(2, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 2 }),
+            installed(1, "node1/call-track", 1, 2, 7),
+            installed(2, "node1/call-track", 1, 2, 7),
         ];
         assert_eq!(ckpt_monotone(&events).len(), 1);
         let restart_resets = vec![
-            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 5 }),
+            installed(1, "node1/call-track", 1, 5, 7),
             ev(2, EventKind::ServiceStart { ep: "node1/call-track".into() }),
-            ev(3, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 1, seq: 1 }),
+            installed(3, "node1/call-track", 1, 1, 7),
         ];
         assert!(ckpt_monotone(&restart_resets).is_empty());
         let rollback_restore = vec![
-            ev(1, EventKind::CkptInstalled { ep: "node1/call-track".into(), term: 2, seq: 3 }),
-            ev(2, EventKind::CkptRestore { ep: "node1/call-track".into(), term: 1, seq: 9 }),
+            installed(1, "node1/call-track", 2, 3, 7),
+            restore(2, "node1/call-track", 1, 9, 7),
         ];
         assert_eq!(ckpt_monotone(&rollback_restore).len(), 1);
+    }
+
+    #[test]
+    fn install_crc_must_match_shipped_crc() {
+        let shipped = |ms, term, seq, crc| {
+            ev(ms, EventKind::CkptShipped { ep: "node0/ct".into(), term, seq, crc })
+        };
+        let ok = vec![shipped(1, 1, 4, 99), installed(2, "node1/ct", 1, 4, 99)];
+        assert!(ckpt_restore_integrity(&ok).is_empty());
+        let bad = vec![shipped(1, 1, 4, 99), installed(2, "node1/ct", 1, 4, 98)];
+        let v = ckpt_restore_integrity(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("crc 98"));
+        // A re-ship of the same position (NACK → full resend) is
+        // authoritative: only the latest content must match.
+        let reshipped =
+            vec![shipped(1, 1, 4, 99), shipped(2, 1, 4, 77), installed(3, "node1/ct", 1, 4, 77)];
+        assert!(ckpt_restore_integrity(&reshipped).is_empty());
+    }
+
+    #[test]
+    fn restore_crc_must_match_an_acked_image() {
+        // Restoring the last installed image is clean.
+        let ok = vec![installed(1, "node1/ct", 1, 4, 99), restore(2, "node1/ct", 1, 4, 99)];
+        assert!(ckpt_restore_integrity(&ok).is_empty());
+        // Restoring an image nobody installed, shipped, or served at that
+        // position is a silent state divergence.
+        let bad = vec![installed(1, "node1/ct", 1, 4, 99), restore(2, "node1/ct", 1, 4, 55)];
+        assert_eq!(ckpt_restore_integrity(&bad).len(), 1);
+        // A served image is an acceptable restore source even with no
+        // local install (cold restart pulling state from the peer).
+        let served = vec![
+            ev(1, EventKind::CkptServed { ep: "node0/ct".into(), term: 2, seq: 8, crc: 42 }),
+            restore(2, "node1/ct", 2, 8, 42),
+        ];
+        assert!(ckpt_restore_integrity(&served).is_empty());
+        // No record at all for the position: skipped, not guessed.
+        let unknown = vec![restore(2, "node1/ct", 3, 1, 1234)];
+        assert!(ckpt_restore_integrity(&unknown).is_empty());
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub enum EventKind {
         /// The engine endpoint that received the distress call.
         ep: String,
     },
-    /// An FTIM shipped a checkpoint at a (term, seq) position.
+    /// An FTIM shipped a checkpoint at a (term, seq) position. `crc` is
+    /// the checksum of the primary's cumulative designated image at that
+    /// position — the state the backup must converge to.
     CkptShipped {
         /// Shipping application endpoint.
         ep: String,
@@ -59,8 +61,11 @@ pub enum EventKind {
         term: u64,
         /// Checkpoint position.
         seq: u64,
+        /// Checksum of the shipped cumulative image.
+        crc: u32,
     },
-    /// An FTIM installed a received checkpoint into its store.
+    /// An FTIM installed a received checkpoint into its store. `crc` is
+    /// the checksum of the store's merged image after installing.
     CkptInstalled {
         /// Installing application endpoint.
         ep: String,
@@ -68,9 +73,22 @@ pub enum EventKind {
         term: u64,
         /// Checkpoint position.
         seq: u64,
+        /// Checksum of the merged store image after install.
+        crc: u32,
+    },
+    /// An FTIM served its store (or live state) to a restarting peer.
+    CkptServed {
+        /// Serving application endpoint.
+        ep: String,
+        /// Position of the served image.
+        term: u64,
+        /// Position of the served image.
+        seq: u64,
+        /// Checksum of the served image.
+        crc: u32,
     },
     /// An FTIM restored application state from a (term, seq) position at
-    /// takeover.
+    /// takeover. `crc` is the checksum of the image actually restored.
     CkptRestore {
         /// Restoring application endpoint.
         ep: String,
@@ -78,6 +96,8 @@ pub enum EventKind {
         term: u64,
         /// Restore position.
         seq: u64,
+        /// Checksum of the restored image.
+        crc: u32,
     },
     /// A diverter repointed traffic: `primary is now ...`.
     DiverterPrimary {
@@ -128,12 +148,13 @@ fn split_ep(message: &str) -> Option<(&str, &str)> {
     Some((ep, rest))
 }
 
-/// Extracts `(term, seq)` from a `... (term=T seq=S)` suffix.
-fn parse_position(rest: &str) -> Option<(u64, u64)> {
+/// Extracts `(term, seq, crc)` from a `... (term=T seq=S crc=C)` suffix.
+fn parse_position(rest: &str) -> Option<(u64, u64, u32)> {
     let inner = rest.split_once("(term=")?.1;
     let (term, after) = inner.split_once(" seq=")?;
-    let seq = after.strip_suffix(')')?;
-    Some((term.trim().parse().ok()?, seq.trim().parse().ok()?))
+    let (seq, after) = after.split_once(" crc=")?;
+    let crc = after.strip_suffix(')')?;
+    Some((term.trim().parse().ok()?, seq.trim().parse().ok()?, crc.trim().parse().ok()?))
 }
 
 fn parse_role(rest: &str) -> Option<EventKind> {
@@ -173,14 +194,17 @@ fn parse_engine(ep: &str, rest: &str) -> Option<EventKind> {
 fn parse_checkpoint(ep: &str, rest: &str) -> Option<EventKind> {
     let ep = ep.to_string();
     if rest.starts_with("ckpt shipped ") {
-        let (term, seq) = parse_position(rest)?;
-        Some(EventKind::CkptShipped { ep, term, seq })
+        let (term, seq, crc) = parse_position(rest)?;
+        Some(EventKind::CkptShipped { ep, term, seq, crc })
     } else if rest.starts_with("ckpt installed ") {
-        let (term, seq) = parse_position(rest)?;
-        Some(EventKind::CkptInstalled { ep, term, seq })
+        let (term, seq, crc) = parse_position(rest)?;
+        Some(EventKind::CkptInstalled { ep, term, seq, crc })
+    } else if rest.starts_with("ckpt served ") {
+        let (term, seq, crc) = parse_position(rest)?;
+        Some(EventKind::CkptServed { ep, term, seq, crc })
     } else if rest.starts_with("ckpt restore position ") {
-        let (term, seq) = parse_position(rest)?;
-        Some(EventKind::CkptRestore { ep, term, seq })
+        let (term, seq, crc) = parse_position(rest)?;
+        Some(EventKind::CkptRestore { ep, term, seq, crc })
     } else {
         None
     }
@@ -290,15 +314,23 @@ mod tests {
     #[test]
     fn parses_checkpoint_positions() {
         let trace = trace_with(&[
-            (TraceCategory::Checkpoint, "node1/call-track: ckpt shipped (term=1 seq=4)"),
-            (TraceCategory::Checkpoint, "node0/call-track: ckpt installed (term=1 seq=4)"),
-            (TraceCategory::Checkpoint, "node0/call-track: ckpt restore position (term=1 seq=4)"),
+            (TraceCategory::Checkpoint, "node1/call-track: ckpt shipped (term=1 seq=4 crc=77)"),
+            (TraceCategory::Checkpoint, "node0/call-track: ckpt installed (term=1 seq=4 crc=77)"),
+            (TraceCategory::Checkpoint, "node1/call-track: ckpt served (term=1 seq=4 crc=77)"),
+            (
+                TraceCategory::Checkpoint,
+                "node0/call-track: ckpt restore position (term=1 seq=4 crc=77)",
+            ),
         ]);
         let events = parse_trace(&trace);
-        assert_eq!(events.len(), 3);
+        assert_eq!(events.len(), 4);
         assert_eq!(
             events[2].kind,
-            EventKind::CkptRestore { ep: "node0/call-track".into(), term: 1, seq: 4 }
+            EventKind::CkptServed { ep: "node1/call-track".into(), term: 1, seq: 4, crc: 77 }
+        );
+        assert_eq!(
+            events[3].kind,
+            EventKind::CkptRestore { ep: "node0/call-track".into(), term: 1, seq: 4, crc: 77 }
         );
     }
 

@@ -142,7 +142,7 @@ impl CallTrack {
 
 impl FtApplication for CallTrack {
     fn snapshot(&self) -> VarSet {
-        [("state".to_string(), comsim::marshal::to_bytes(&self.state).expect("state marshals"))]
+        [("state".to_string(), comsim::marshal::to_shared(&self.state).expect("state marshals"))]
             .into_iter()
             .collect()
     }

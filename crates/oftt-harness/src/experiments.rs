@@ -6,11 +6,12 @@
 
 use std::sync::Arc;
 
+use comsim::buf::Bytes;
 use ds_net::fault::Fault;
 use ds_net::node::NodeConfig;
 use ds_net::prelude::{ClusterSim, NodeId};
 use ds_sim::prelude::{SimDuration, SimTime};
-use oftt::checkpoint::VarSet;
+use oftt::checkpoint::{VarSet, VarStore};
 use oftt::config::{engine_service, CheckpointMode, OfttConfig, Pair, StartupFallback};
 use oftt::engine::{Engine, EngineProbe};
 use oftt::ftim::{FtApplication, FtCtx, FtProcess, FtimProbe};
@@ -166,6 +167,10 @@ struct SyntheticApp {
     vars: Vec<Vec<u8>>,
     dirty_per_tick: usize,
     tick: u64,
+    /// Indices written since the last incremental walkthrough — drained by
+    /// [`FtApplication::snapshot_dirty`], making the delta path O(write
+    /// set) instead of O(state).
+    touched: std::collections::BTreeSet<usize>,
     view: Arc<Mutex<u64>>,
     /// The tick value installed by the most recent restore (loss metric).
     restored_tick: Arc<Mutex<Option<u64>>>,
@@ -186,9 +191,14 @@ impl SyntheticApp {
             vars: vec![vec![0u8; var_bytes]; var_count],
             dirty_per_tick: dirty_per_tick.min(var_count),
             tick: 0,
+            touched: std::collections::BTreeSet::new(),
             view,
             restored_tick,
         }
+    }
+
+    fn var_name(i: usize) -> String {
+        format!("var{i:05}")
     }
 }
 
@@ -198,16 +208,25 @@ impl FtApplication for SyntheticApp {
             .vars
             .iter()
             .enumerate()
-            .map(|(i, bytes)| (format!("var{i:05}"), bytes.clone()))
+            .map(|(i, bytes)| (Self::var_name(i), Bytes::copy_from_slice(bytes)))
             .collect();
-        out.insert("tick".to_string(), comsim::marshal::to_bytes(&self.tick).unwrap());
+        out.insert("tick".to_string(), comsim::marshal::to_shared(&self.tick).unwrap());
         out
+    }
+
+    fn snapshot_dirty(&mut self, store: &mut VarStore) {
+        // Only the variables actually written since the last walkthrough —
+        // the paper's `OFTTSelSave` discipline applied at its finest grain.
+        for i in std::mem::take(&mut self.touched) {
+            store.set(Self::var_name(i), Bytes::copy_from_slice(&self.vars[i]));
+        }
+        store.set("tick", comsim::marshal::to_shared(&self.tick).unwrap());
     }
 
     fn restore(&mut self, image: &VarSet) {
         for (i, var) in self.vars.iter_mut().enumerate() {
-            if let Some(bytes) = image.get(&format!("var{i:05}")) {
-                *var = bytes.clone();
+            if let Some(bytes) = image.get(&Self::var_name(i)) {
+                *var = bytes.to_vec();
             }
         }
         if let Some(bytes) = image.get("tick") {
@@ -235,6 +254,7 @@ impl FtApplication for SyntheticApp {
             let var = &mut self.vars[idx];
             let len = stamp.len().min(var.len());
             var[..len].copy_from_slice(&stamp[..len]);
+            self.touched.insert(idx);
         }
         *self.view.lock() = self.tick;
         ctx.env().set_timer(SimDuration::from_millis(250), SYNTH_TICK);

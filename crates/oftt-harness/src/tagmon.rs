@@ -168,7 +168,7 @@ impl TagMonitor {
 
 impl FtApplication for TagMonitor {
     fn snapshot(&self) -> VarSet {
-        [("state".to_string(), comsim::marshal::to_bytes(&self.state).expect("state marshals"))]
+        [("state".to_string(), comsim::marshal::to_shared(&self.state).expect("state marshals"))]
             .into_iter()
             .collect()
     }

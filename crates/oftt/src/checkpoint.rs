@@ -8,33 +8,78 @@
 //! merges checkpoints into a [`CheckpointStore`], accepting only
 //! monotonically newer `(term, seq)` and demanding a full resend when a
 //! delta arrives out of order.
+//!
+//! ## The data path is O(dirty set)
+//!
+//! Variable payloads are [`Bytes`] — shared immutable buffers — so every
+//! hop after the application marshals a variable (delta assembly, store
+//! install, restore image, retransmission) is a reference bump, not a copy.
+//! The primary keeps its shipping state in a [`VarStore`], which caches a
+//! Fletcher-32 digest per variable: writes mark variables dirty only when
+//! content actually changed, a delta is drained straight off the dirty set,
+//! and a checkpoint's checksum is folded over the cached digests instead of
+//! re-walking every payload byte.
 
+use comsim::buf::Bytes;
 use ds_sim::prelude::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// A named, marshaled application variable.
-pub type VarSet = BTreeMap<String, Vec<u8>>;
+/// A named, marshaled application variable set.
+pub type VarSet = BTreeMap<String, Bytes>;
 
-/// Fletcher-32 over the payload — integrity for checkpoint transfers.
-pub fn checksum(vars: &VarSet) -> u32 {
-    let mut a: u32 = 0;
-    let mut b: u32 = 0;
-    let mut feed = |byte: u8| {
-        a = (a + byte as u32) % 65_535;
-        b = (b + a) % 65_535;
-    };
-    for (name, bytes) in vars {
-        for byte in name.as_bytes() {
-            feed(*byte);
-        }
-        feed(0xFF);
-        for byte in bytes {
-            feed(*byte);
-        }
-        feed(0xFE);
+/// Fletcher-32 accumulator (mod-65535 halves, `(b << 16) | a`).
+#[derive(Debug, Clone, Copy, Default)]
+struct Fletcher {
+    a: u32,
+    b: u32,
+}
+
+impl Fletcher {
+    fn feed(&mut self, byte: u8) {
+        self.a = (self.a + byte as u32) % 65_535;
+        self.b = (self.b + self.a) % 65_535;
     }
-    (b << 16) | a
+
+    fn feed_all(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.feed(*byte);
+        }
+    }
+
+    fn value(self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// Fletcher-32 digest of a single named variable: name bytes, a `0xFF`
+/// separator, value bytes, a `0xFE` terminator. The [`VarStore`] caches
+/// this per variable so checkpoint checksums never re-walk clean payloads.
+pub fn var_digest(name: &str, bytes: &[u8]) -> u32 {
+    let mut f = Fletcher::default();
+    f.feed_all(name.as_bytes());
+    f.feed(0xFF);
+    f.feed_all(bytes);
+    f.feed(0xFE);
+    f.value()
+}
+
+/// Folds per-variable digests (in iteration order) into one checksum —
+/// O(entries) little-endian 4-byte feeds, independent of payload size.
+pub fn fold_digests(digests: impl IntoIterator<Item = u32>) -> u32 {
+    let mut f = Fletcher::default();
+    for digest in digests {
+        f.feed_all(&digest.to_le_bytes());
+    }
+    f.value()
+}
+
+/// Checkpoint integrity checksum: the Fletcher-32 fold of every entry's
+/// [`var_digest`]. Computing it from scratch is O(payload bytes); the
+/// primary's [`VarStore`] produces the same value from cached digests in
+/// O(entries).
+pub fn checksum(vars: &VarSet) -> u32 {
+    fold_digests(vars.iter().map(|(name, bytes)| var_digest(name, bytes)))
 }
 
 /// The payload of one checkpoint message.
@@ -71,14 +116,29 @@ pub struct Checkpoint {
     pub taken_at: SimTime,
     /// The variables.
     pub payload: CheckpointPayload,
-    /// Fletcher-32 of the payload variables.
+    /// Fletcher-32 fold of the payload variables' digests.
     pub crc: u32,
 }
 
 impl Checkpoint {
-    /// Builds a checkpoint, computing the checksum.
+    /// Builds a checkpoint, computing the checksum from the payload bytes.
     pub fn new(term: u64, seq: u64, taken_at: SimTime, payload: CheckpointPayload) -> Self {
         let crc = checksum(payload.vars());
+        Checkpoint { term, seq, taken_at, payload, crc }
+    }
+
+    /// Builds a checkpoint with a caller-supplied checksum — the primary's
+    /// incremental path, where `crc` was folded from [`VarStore`]-cached
+    /// digests without touching payload bytes. Debug builds verify the
+    /// claim.
+    pub fn with_crc(
+        term: u64,
+        seq: u64,
+        taken_at: SimTime,
+        payload: CheckpointPayload,
+        crc: u32,
+    ) -> Self {
+        debug_assert_eq!(crc, checksum(payload.vars()), "cached digests diverged from payload");
         Checkpoint { term, seq, taken_at, payload, crc }
     }
 
@@ -87,27 +147,190 @@ impl Checkpoint {
         checksum(self.payload.vars()) == self.crc
     }
 
-    /// Nominal wire size in bytes.
+    /// Recomputes every entry's digest, checks them against `crc`, and
+    /// returns the digests on success — the receive path verifies and
+    /// indexes the payload in one walk.
+    fn verified_digests(&self) -> Option<BTreeMap<String, u32>> {
+        let digests: BTreeMap<String, u32> = self
+            .payload
+            .vars()
+            .iter()
+            .map(|(name, bytes)| (name.clone(), var_digest(name, bytes)))
+            .collect();
+        if fold_digests(digests.values().copied()) == self.crc {
+            Some(digests)
+        } else {
+            None
+        }
+    }
+
+    /// Exact wire size in bytes — matches `comsim::marshal::to_bytes` on
+    /// this value byte for byte (struct fields concatenated; `u32` variant
+    /// index and map length; `u32` length prefix per string/buffer).
     pub fn wire_size(&self) -> u64 {
+        // term u64 + seq u64 + taken_at u64 + payload variant u32 +
+        // map length u32 + crc u32.
+        let fixed = 8 + 8 + 8 + 4 + 4 + 4;
         let vars: u64 = self
             .payload
             .vars()
             .iter()
-            .map(|(name, bytes)| 8 + name.len() as u64 + bytes.len() as u64)
+            .map(|(name, bytes)| 4 + name.len() as u64 + 4 + bytes.len() as u64)
             .sum();
-        64 + vars
+        fixed + vars
     }
+}
+
+/// Exact wire size of a [`VarSet`] encoded on its own (`u32` map length,
+/// then length-prefixed name and value per entry).
+pub fn varset_wire_size(vars: &VarSet) -> u64 {
+    4 + vars.iter().map(|(name, bytes)| 4 + name.len() as u64 + 4 + bytes.len() as u64).sum::<u64>()
 }
 
 /// Computes the delta between the last-shipped image and the current one:
 /// variables whose bytes changed or that are new. (Deleted variables are
 /// not modeled — OFTT variables are designated once at initialization.)
+/// This is the brute-force reference; the hot path drains [`VarStore`]'s
+/// dirty set instead.
 pub fn diff(last: &VarSet, current: &VarSet) -> VarSet {
     current
         .iter()
         .filter(|(name, bytes)| last.get(*name) != Some(*bytes))
         .map(|(name, bytes)| (name.clone(), bytes.clone()))
         .collect()
+}
+
+/// Applies `delta` on top of `base` (insert-or-overwrite per entry) — the
+/// merge the backup store performs for delta checkpoints.
+pub fn merge(base: &mut VarSet, delta: &VarSet) {
+    for (name, bytes) in delta {
+        base.insert(name.clone(), bytes.clone());
+    }
+}
+
+/// One cached variable on the primary side.
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    bytes: Bytes,
+    digest: u32,
+}
+
+/// The primary-side shipping store: the current designated image plus a
+/// dirty set and per-variable content digests.
+///
+/// Writes go through [`VarStore::set`], which marks a variable dirty only
+/// when its content actually changed (digest gate first, byte comparison on
+/// digest collision — the content hash is a fast filter, not the source of
+/// truth). A period's delta is then [`VarStore::take_dirty`]: clean entries
+/// are never visited, cloned, or re-hashed.
+#[derive(Debug, Clone, Default)]
+pub struct VarStore {
+    entries: BTreeMap<String, StoreEntry>,
+    dirty: BTreeSet<String>,
+}
+
+impl VarStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VarStore::default()
+    }
+
+    /// Number of variables held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no variables are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of variables currently marked dirty.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Drops all variables and dirty marks (a fresh incarnation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dirty.clear();
+    }
+
+    /// Drops all dirty marks without touching contents — called after a
+    /// full checkpoint, which supersedes any pending delta.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Writes one variable. Returns `true` (and marks it dirty) only when
+    /// the content changed; writing identical bytes is a no-op beyond the
+    /// digest check.
+    pub fn set(&mut self, name: impl Into<String>, bytes: impl Into<Bytes>) -> bool {
+        let name = name.into();
+        let bytes = bytes.into();
+        let digest = var_digest(&name, &bytes);
+        if let Some(existing) = self.entries.get(&name) {
+            if existing.digest == digest && existing.bytes == bytes {
+                return false;
+            }
+        }
+        self.entries.insert(name.clone(), StoreEntry { bytes, digest });
+        self.dirty.insert(name);
+        true
+    }
+
+    /// The current bytes of a variable.
+    pub fn get(&self, name: &str) -> Option<&Bytes> {
+        self.entries.get(name).map(|e| &e.bytes)
+    }
+
+    /// The cached digest of a variable.
+    pub fn digest(&self, name: &str) -> Option<u32> {
+        self.entries.get(name).map(|e| e.digest)
+    }
+
+    /// Drains the dirty set into a delta [`VarSet`]. When `designated` is
+    /// given, only those names are emitted (dirty marks on undesignated
+    /// variables are consumed too — they do not travel by designation).
+    pub fn take_dirty(&mut self, designated: Option<&BTreeSet<String>>) -> VarSet {
+        let dirty = std::mem::take(&mut self.dirty);
+        dirty
+            .into_iter()
+            .filter(|name| designated.map(|d| d.contains(name)).unwrap_or(true))
+            .filter_map(|name| self.entries.get(&name).map(|e| (name, e.bytes.clone())))
+            .collect()
+    }
+
+    /// The full (optionally designation-filtered) image — cheap buffer
+    /// clones, no byte copies.
+    pub fn image(&self, designated: Option<&BTreeSet<String>>) -> VarSet {
+        self.entries
+            .iter()
+            .filter(|(name, _)| designated.map(|d| d.contains(*name)).unwrap_or(true))
+            .map(|(name, e)| (name.clone(), e.bytes.clone()))
+            .collect()
+    }
+
+    /// Checksum of the (optionally designation-filtered) image, folded from
+    /// cached digests — O(entries), no payload bytes touched.
+    pub fn image_crc(&self, designated: Option<&BTreeSet<String>>) -> u32 {
+        fold_digests(
+            self.entries
+                .iter()
+                .filter(|(name, _)| designated.map(|d| d.contains(*name)).unwrap_or(true))
+                .map(|(_, e)| e.digest),
+        )
+    }
+
+    /// Checksum of a [`VarSet`] drawn from this store, folded from cached
+    /// digests where available (falling back to hashing for foreign
+    /// entries).
+    pub fn crc_of(&self, vars: &VarSet) -> u32 {
+        fold_digests(vars.iter().map(|(name, bytes)| match self.entries.get(name) {
+            Some(e) if e.bytes == *bytes => e.digest,
+            _ => var_digest(name, bytes),
+        }))
+    }
 }
 
 /// Why a checkpoint was rejected by the store.
@@ -132,10 +355,12 @@ pub enum AcceptOutcome {
 }
 
 /// The backup-side checkpoint store: the merged image the application will
-/// be restored from at switchover.
+/// be restored from at switchover. Tracks per-variable digests alongside
+/// the image so the merged image's checksum is available in O(entries).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointStore {
     vars: VarSet,
+    digests: BTreeMap<String, u32>,
     term: u64,
     seq: u64,
     taken_at: SimTime,
@@ -168,16 +393,25 @@ impl CheckpointStore {
         &self.vars
     }
 
-    /// Takes the merged image for an application restore.
+    /// Takes the merged image for an application restore — shared-buffer
+    /// clones only.
     pub fn to_restore_image(&self) -> VarSet {
         self.vars.clone()
     }
 
+    /// Checksum of the merged image, folded from the digests recorded at
+    /// install time.
+    pub fn image_crc(&self) -> u32 {
+        fold_digests(self.digests.values().copied())
+    }
+
     /// Offers a checkpoint.
     pub fn offer(&mut self, checkpoint: &Checkpoint) -> AcceptOutcome {
-        if !checkpoint.verify() {
+        // One walk verifies integrity and yields the per-entry digests the
+        // merged image will track.
+        let Some(digests) = checkpoint.verified_digests() else {
             return AcceptOutcome::Rejected(RejectReason::Corrupt);
-        }
+        };
         let newer = (checkpoint.term, checkpoint.seq) > (self.term, self.seq) || !self.have_full;
         if !newer {
             return AcceptOutcome::Rejected(RejectReason::Stale);
@@ -185,6 +419,7 @@ impl CheckpointStore {
         match &checkpoint.payload {
             CheckpointPayload::Full(vars) => {
                 self.vars = vars.clone();
+                self.digests = digests;
                 self.have_full = true;
             }
             CheckpointPayload::Delta(vars) => {
@@ -194,9 +429,8 @@ impl CheckpointStore {
                 if !in_order {
                     return AcceptOutcome::Rejected(RejectReason::OutOfOrder);
                 }
-                for (name, bytes) in vars {
-                    self.vars.insert(name.clone(), bytes.clone());
-                }
+                merge(&mut self.vars, vars);
+                self.digests.extend(digests);
             }
         }
         self.term = checkpoint.term;
@@ -211,7 +445,7 @@ mod tests {
     use super::*;
 
     fn vars(pairs: &[(&str, &[u8])]) -> VarSet {
-        pairs.iter().map(|(n, b)| (n.to_string(), b.to_vec())).collect()
+        pairs.iter().map(|(n, b)| (n.to_string(), Bytes::copy_from_slice(b))).collect()
     }
 
     #[test]
@@ -225,12 +459,69 @@ mod tests {
     }
 
     #[test]
+    fn checksum_is_the_fold_of_var_digests() {
+        let image = vars(&[("a", &[1, 2]), ("b", &[3])]);
+        let folded = fold_digests([var_digest("a", &[1, 2]), var_digest("b", &[3])]);
+        assert_eq!(checksum(&image), folded);
+    }
+
+    #[test]
     fn diff_finds_changed_and_new() {
         let last = vars(&[("a", &[1]), ("b", &[2])]);
         let current = vars(&[("a", &[1]), ("b", &[9]), ("c", &[3])]);
         let d = diff(&last, &current);
         assert_eq!(d, vars(&[("b", &[9]), ("c", &[3])]));
         assert!(diff(&current, &current).is_empty());
+    }
+
+    #[test]
+    fn merge_applies_a_delta() {
+        let mut base = vars(&[("a", &[1]), ("b", &[2])]);
+        merge(&mut base, &vars(&[("b", &[9]), ("c", &[3])]));
+        assert_eq!(base, vars(&[("a", &[1]), ("b", &[9]), ("c", &[3])]));
+    }
+
+    #[test]
+    fn var_store_tracks_dirty_content() {
+        let mut store = VarStore::new();
+        assert!(store.set("a", vec![1u8]));
+        assert!(store.set("b", vec![2u8]));
+        assert_eq!(store.dirty_len(), 2);
+        let delta = store.take_dirty(None);
+        assert_eq!(delta, vars(&[("a", &[1]), ("b", &[2])]));
+        assert_eq!(store.dirty_len(), 0);
+        // Re-writing identical content does not dirty the variable.
+        assert!(!store.set("a", vec![1u8]));
+        assert_eq!(store.dirty_len(), 0);
+        // Changed content does.
+        assert!(store.set("a", vec![9u8]));
+        assert_eq!(store.take_dirty(None), vars(&[("a", &[9])]));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn var_store_designation_filters_delta_and_image() {
+        let mut store = VarStore::new();
+        store.set("big", vec![0u8; 64]);
+        store.set("small", vec![1u8]);
+        let only_small: BTreeSet<String> = ["small".to_string()].into();
+        assert_eq!(store.take_dirty(Some(&only_small)), vars(&[("small", &[1])]));
+        // The undesignated dirty mark was consumed, not left to leak later.
+        assert_eq!(store.dirty_len(), 0);
+        assert_eq!(store.image(Some(&only_small)), vars(&[("small", &[1])]));
+        assert_eq!(store.image_crc(Some(&only_small)), checksum(&vars(&[("small", &[1])])),);
+    }
+
+    #[test]
+    fn var_store_crc_matches_bulk_checksum() {
+        let mut store = VarStore::new();
+        for i in 0..20u8 {
+            store.set(format!("v{i}"), vec![i; 8]);
+        }
+        let image = store.image(None);
+        assert_eq!(store.image_crc(None), checksum(&image));
+        let delta = vars(&[("v3", &[3; 8]), ("v7", &[7; 8])]);
+        assert_eq!(store.crc_of(&delta), checksum(&delta));
     }
 
     #[test]
@@ -255,6 +546,8 @@ mod tests {
         assert_eq!(store.vars(), &vars(&[("a", &[1]), ("b", &[9])]));
         assert_eq!(store.position(), (1, 1));
         assert_eq!(store.taken_at(), SimTime::from_secs(2));
+        // The merged image's digest-folded crc equals a scratch checksum.
+        assert_eq!(store.image_crc(), checksum(store.vars()));
     }
 
     #[test]
@@ -316,15 +609,47 @@ mod tests {
     }
 
     #[test]
-    fn wire_size_tracks_content() {
-        let small =
-            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])])));
-        let big = Checkpoint::new(
-            1,
-            0,
-            SimTime::ZERO,
-            CheckpointPayload::Full(vars(&[("a", &vec![0u8; 100_000])])),
-        );
-        assert!(big.wire_size() > small.wire_size() + 99_000);
+    fn with_crc_matches_new() {
+        let payload = CheckpointPayload::Delta(vars(&[("a", &[1]), ("b", &[2])]));
+        let crc = checksum(payload.vars());
+        let incremental = Checkpoint::with_crc(1, 3, SimTime::ZERO, payload.clone(), crc);
+        let scratch = Checkpoint::new(1, 3, SimTime::ZERO, payload);
+        assert_eq!(incremental, scratch);
+        assert!(incremental.verify());
+    }
+
+    #[test]
+    fn wire_size_is_exact() {
+        for checkpoint in [
+            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[]))),
+            Checkpoint::new(1, 0, SimTime::ZERO, CheckpointPayload::Full(vars(&[("a", &[1])]))),
+            Checkpoint::new(
+                7,
+                9,
+                SimTime::from_secs(3),
+                CheckpointPayload::Delta(vars(&[("longer-name", &[1, 2, 3]), ("x", &[])])),
+            ),
+            Checkpoint::new(
+                1,
+                0,
+                SimTime::ZERO,
+                CheckpointPayload::Full(vars(&[("a", &vec![0u8; 100_000])])),
+            ),
+        ] {
+            let encoded = comsim::marshal::to_bytes(&checkpoint).expect("marshals");
+            assert_eq!(
+                checkpoint.wire_size(),
+                encoded.len() as u64,
+                "wire_size must match the marshaled length exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn varset_wire_size_is_exact() {
+        let image = vars(&[("a", &[1, 2, 3]), ("bb", &[])]);
+        let encoded = comsim::marshal::to_bytes(&image).expect("marshals");
+        assert_eq!(varset_wire_size(&image), encoded.len() as u64);
+        assert_eq!(varset_wire_size(&VarSet::new()), 4);
     }
 }

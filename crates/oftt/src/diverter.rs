@@ -12,10 +12,12 @@
 
 use std::collections::VecDeque;
 
+use comsim::buf::Bytes;
 use ds_net::endpoint::{Endpoint, NodeId};
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
 use ds_sim::prelude::{SimDuration, TraceCategory};
+use msgq::client::send_batch_via_queue;
 use msgq::manager::{manager_endpoint, ManagerMsg};
 use msgq::queue::{QueueAddress, QueueName};
 use serde::Serialize;
@@ -30,8 +32,9 @@ use crate::role::{Claim, Role};
 pub struct DivertMsg {
     /// Application routing label.
     pub label: String,
-    /// Marshaled payload.
-    pub body: Vec<u8>,
+    /// Marshaled payload (shared buffer — parked, enqueued, and retried
+    /// copies all reference the same allocation).
+    pub body: Bytes,
 }
 
 /// Marshals `payload` and sends it to a diverter.
@@ -45,7 +48,7 @@ pub fn divert<T: Serialize>(
     label: impl Into<String>,
     payload: &T,
 ) -> Result<(), String> {
-    let body = comsim::marshal::to_bytes(payload).map_err(|e| e.to_string())?;
+    let body = comsim::marshal::to_shared(payload).map_err(|e| e.to_string())?;
     let size = 64 + body.len() as u64;
     env.send_sized(diverter, DivertMsg { label: label.into(), body }, size);
     Ok(())
@@ -113,6 +116,26 @@ impl Diverter {
             size,
         );
     }
+
+    /// Flushes every parked message to the newly discovered primary as ONE
+    /// batch hand-off to the local manager (each message keeps its own
+    /// identity, ordering, and trace record — only the wire hop is
+    /// coalesced).
+    fn flush_parked(&mut self, primary: NodeId, env: &mut dyn ProcessEnv) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let dest = QueueAddress { node: primary, queue: self.queue.clone() };
+        let mut items = Vec::with_capacity(self.parked.len());
+        while let Some(msg) = self.parked.pop_front() {
+            env.record(
+                TraceCategory::Diverter,
+                format!("{}: enqueue to {} ({})", env.self_endpoint(), primary, msg.label),
+            );
+            items.push((msg.label, msg.body));
+        }
+        send_batch_via_queue(env, dest, items, None);
+    }
 }
 
 impl Process for Diverter {
@@ -163,9 +186,7 @@ impl Process for Diverter {
                         ManagerMsg::RetargetNode { from_node: old, to_node: claim.node },
                     );
                 }
-                while let Some(msg) = self.parked.pop_front() {
-                    self.enqueue(msg, claim.node, env);
-                }
+                self.flush_parked(claim.node, env);
             } else if self.primary.map(|c| c.node) == Some(claim.node) {
                 // Same primary, possibly a newer term — track it.
                 if claim.term > self.primary.expect("checked").term {

@@ -27,7 +27,9 @@ use ds_net::process::{Process, ProcessEnv, ProcessEnvExt, TimerHandle};
 use ds_sim::prelude::{SimDuration, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
-use crate::checkpoint::{AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet};
+use crate::checkpoint::{
+    checksum, AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet, VarStore,
+};
 use crate::config::{engine_service, CheckpointMode, OfttConfig, RecoveryRule};
 use crate::messages::{FromEngine, FtimKind, FtimPeerMsg, ToEngine};
 use crate::role::Role;
@@ -48,6 +50,19 @@ pub trait FtApplication: Send {
     /// Marshals each named state variable (the "memory walkthrough" at
     /// `OFTTSelSave` granularity).
     fn snapshot(&self) -> VarSet;
+
+    /// Incremental walkthrough: writes every variable that *may* have
+    /// changed since the last call into `store`. Clean re-writes are
+    /// filtered by the store's per-variable content digests, so the default
+    /// (a full [`FtApplication::snapshot`] walk) is correct for every
+    /// application — it just pays O(state) hashing per period. Override to
+    /// write only the variables actually touched and the delta path becomes
+    /// O(write set).
+    fn snapshot_dirty(&mut self, store: &mut VarStore) {
+        for (name, bytes) in self.snapshot() {
+            store.set(name, bytes);
+        }
+    }
 
     /// Installs a restored image. Variables absent from the image keep
     /// their initial values.
@@ -136,10 +151,13 @@ impl<'a> FtCtx<'a> {
 
     /// `OFTTSelSave`: designates the variables to checkpoint; variables
     /// outside the designation are skipped. Calling with an empty list
-    /// restores the default (checkpoint everything).
+    /// restores the default (checkpoint everything). Changing the
+    /// designation forces the next checkpoint to be a full image, since
+    /// pending deltas were filtered under the old designation.
     pub fn designate(&mut self, vars: &[&str]) {
         self.core.designated =
             if vars.is_empty() { None } else { Some(vars.iter().map(|s| s.to_string()).collect()) };
+        self.core.need_full = true;
     }
 
     /// `OFTTSave`: ship a checkpoint immediately, without waiting for the
@@ -217,7 +235,9 @@ struct FtimCore {
     term: u64,
     active: bool,
     designated: Option<std::collections::BTreeSet<String>>,
-    last_shipped: VarSet,
+    /// The primary-side shipping store: designated image + dirty set +
+    /// cached content digests. Deltas are drained off its dirty set.
+    ship_store: VarStore,
     ckpt_seq: u64,
     deltas_since_full: u32,
     need_full: bool,
@@ -265,7 +285,7 @@ impl<A: FtApplication> FtProcess<A> {
                 term: 0,
                 active: false,
                 designated: None,
-                last_shipped: VarSet::new(),
+                ship_store: VarStore::new(),
                 ckpt_seq: 0,
                 deltas_since_full: 0,
                 need_full: true,
@@ -330,7 +350,7 @@ impl<A: FtApplication> FtProcess<A> {
         self.core.need_full = true;
         self.core.ckpt_seq = 0;
         self.core.deltas_since_full = 0;
-        self.core.last_shipped = VarSet::new();
+        self.core.ship_store.clear();
         self.core.probe.lock().activations.push(now);
         env.record(TraceCategory::Engine, format!("{}: application ACTIVE", env.self_endpoint()));
         self.ctx_call(env, |app, ctx| app.on_activate(ctx));
@@ -342,7 +362,7 @@ impl<A: FtApplication> FtProcess<A> {
         self.core.active = true;
         self.core.need_full = true;
         self.core.deltas_since_full = 0;
-        self.core.last_shipped = VarSet::new();
+        self.core.ship_store.clear();
         self.core.probe.lock().activations.push(env.now());
         env.record(
             TraceCategory::Engine,
@@ -364,6 +384,19 @@ impl<A: FtApplication> FtProcess<A> {
         self.ctx_call(env, |app, ctx| app.on_deactivate(ctx));
     }
 
+    /// The designation filter with the reserved watchdog variable always
+    /// admitted — watchdog state must survive failover regardless of what
+    /// the application designates.
+    fn effective_designation(&self) -> Option<std::collections::BTreeSet<String>> {
+        self.core.designated.as_ref().map(|d| {
+            let mut d = d.clone();
+            d.insert(WATCHDOG_VAR.to_string());
+            d
+        })
+    }
+
+    /// A live designated image built directly from the application — the
+    /// restore-serve path, which must not disturb the shipping store.
     fn current_vars(&self) -> VarSet {
         let mut vars = self.app.snapshot();
         if let Some(designated) = &self.core.designated {
@@ -371,32 +404,65 @@ impl<A: FtApplication> FtProcess<A> {
         }
         // Watchdog state rides along so watchdogs survive failover.
         if !self.core.watchdogs.is_empty() {
-            if let Ok(bytes) = comsim::marshal::to_bytes(&self.core.watchdogs) {
+            if let Ok(bytes) = comsim::marshal::to_shared(&self.core.watchdogs) {
                 vars.insert(WATCHDOG_VAR.to_string(), bytes);
             }
         }
         vars
     }
 
+    /// Brings the shipping store up to date with the application. A full
+    /// sync walks the complete snapshot (re-priming a cleared store); an
+    /// incremental sync lets the application report only its write set.
+    /// Either way the store's digests gate the dirty marks, so unchanged
+    /// re-writes never dirty anything.
+    fn sync_store(&mut self, full_walk: bool) {
+        if full_walk {
+            for (name, bytes) in self.app.snapshot() {
+                self.core.ship_store.set(name, bytes);
+            }
+        } else {
+            self.app.snapshot_dirty(&mut self.core.ship_store);
+        }
+        // Watchdog state rides along; once shipped, keep it current even if
+        // the table empties (the peer must see the deletion).
+        if !self.core.watchdogs.is_empty() || self.core.ship_store.get(WATCHDOG_VAR).is_some() {
+            if let Ok(bytes) = comsim::marshal::to_shared(&self.core.watchdogs) {
+                self.core.ship_store.set(WATCHDOG_VAR, bytes);
+            }
+        }
+    }
+
     fn ship_checkpoint(&mut self, env: &mut dyn ProcessEnv) {
         if !self.core.active {
             return;
         }
-        let vars = self.current_vars();
         let full = match self.core.config.checkpoint_mode {
             CheckpointMode::Full => true,
             CheckpointMode::Selective { refresh_every } => {
                 self.core.need_full || self.core.deltas_since_full >= refresh_every
             }
         };
-        let payload = if full {
-            CheckpointPayload::Full(vars.clone())
+        self.sync_store(full);
+        let designated = self.effective_designation();
+        let designated = designated.as_ref();
+        // `image_crc` is the checksum of the *cumulative* designated image
+        // (folded from cached digests, no payload bytes touched) — the
+        // value the backup's merged store must reproduce after installing
+        // this checkpoint. For a full checkpoint it is also the payload
+        // checksum; a delta's payload checksum is folded separately.
+        let image_crc = self.core.ship_store.image_crc(designated);
+        let (payload, payload_crc) = if full {
+            let image = self.core.ship_store.image(designated);
+            self.core.ship_store.clear_dirty();
+            (CheckpointPayload::Full(image), image_crc)
         } else {
-            let delta = crate::checkpoint::diff(&self.core.last_shipped, &vars);
+            let delta = self.core.ship_store.take_dirty(designated);
             if delta.is_empty() {
                 return; // nothing changed; the peer's copy is current
             }
-            CheckpointPayload::Delta(delta)
+            let crc = self.core.ship_store.crc_of(&delta);
+            (CheckpointPayload::Delta(delta), crc)
         };
         self.core.ckpt_seq += 1;
         if full {
@@ -405,12 +471,18 @@ impl<A: FtApplication> FtProcess<A> {
         } else {
             self.core.deltas_since_full += 1;
         }
-        let checkpoint = Checkpoint::new(self.core.term, self.core.ckpt_seq, env.now(), payload);
+        let checkpoint = Checkpoint::with_crc(
+            self.core.term,
+            self.core.ckpt_seq,
+            env.now(),
+            payload,
+            payload_crc,
+        );
         self.core.shipped_position = (self.core.term, self.core.ckpt_seq);
         env.record(
             TraceCategory::Checkpoint,
             format!(
-                "{}: ckpt shipped (term={} seq={})",
+                "{}: ckpt shipped (term={} seq={} crc={image_crc})",
                 env.self_endpoint(),
                 self.core.term,
                 self.core.ckpt_seq
@@ -425,7 +497,6 @@ impl<A: FtApplication> FtProcess<A> {
                 probe.fulls_sent += 1;
             }
         }
-        self.core.last_shipped = vars;
         let peer = self.core.peer_endpoint.clone();
         env.send_sized(peer, FtimPeerMsg::Ckpt(checkpoint), size);
     }
@@ -449,8 +520,9 @@ impl<A: FtApplication> FtProcess<A> {
                             env.record(
                                 TraceCategory::Checkpoint,
                                 format!(
-                                    "{}: ckpt restore position (term={rt} seq={rs})",
-                                    env.self_endpoint()
+                                    "{}: ckpt restore position (term={rt} seq={rs} crc={})",
+                                    env.self_endpoint(),
+                                    self.core.store.image_crc()
                                 ),
                             );
                             let image = self.core.store.to_restore_image();
@@ -489,10 +561,15 @@ impl<A: FtApplication> FtProcess<A> {
                 match self.core.store.offer(&checkpoint) {
                     AcceptOutcome::Installed => {
                         self.core.probe.lock().ckpts_installed += 1;
+                        // The merged image's checksum (folded from digests
+                        // recorded at install) must equal the crc the
+                        // primary logged when shipping — oftt-check's
+                        // restore-integrity invariant audits exactly this.
+                        let crc = self.core.store.image_crc();
                         env.record(
                             TraceCategory::Checkpoint,
                             format!(
-                                "{}: ckpt installed (term={term} seq={seq})",
+                                "{}: ckpt installed (term={term} seq={seq} crc={crc})",
                                 env.self_endpoint()
                             ),
                         );
@@ -527,9 +604,21 @@ impl<A: FtApplication> FtProcess<A> {
             }
             FtimPeerMsg::RestoreRequest => {
                 // Serve from the freshest source we have: our live state if
-                // active, else our store.
+                // active, else our store. The "ckpt served" trace carries
+                // the image checksum so oftt-check can tie the eventual
+                // restore back to a state that actually existed here.
                 let reply = if self.core.active {
                     let vars = self.current_vars();
+                    env.record(
+                        TraceCategory::Checkpoint,
+                        format!(
+                            "{}: ckpt served (term={} seq={} crc={})",
+                            env.self_endpoint(),
+                            self.core.term,
+                            self.core.ckpt_seq,
+                            checksum(&vars)
+                        ),
+                    );
                     FtimPeerMsg::RestoreReply {
                         image: Some(vars),
                         term: self.core.term,
@@ -537,6 +626,14 @@ impl<A: FtApplication> FtProcess<A> {
                     }
                 } else if self.core.store.is_restorable() {
                     let (term, seq) = self.core.store.position();
+                    env.record(
+                        TraceCategory::Checkpoint,
+                        format!(
+                            "{}: ckpt served (term={term} seq={seq} crc={})",
+                            env.self_endpoint(),
+                            self.core.store.image_crc()
+                        ),
+                    );
                     FtimPeerMsg::RestoreReply {
                         image: Some(self.core.store.to_restore_image()),
                         term,
@@ -547,10 +644,7 @@ impl<A: FtApplication> FtProcess<A> {
                 };
                 let size = match &reply {
                     FtimPeerMsg::RestoreReply { image: Some(vars), .. } => {
-                        64 + vars
-                            .iter()
-                            .map(|(n, b)| 8 + n.len() as u64 + b.len() as u64)
-                            .sum::<u64>()
+                        64 + crate::checkpoint::varset_wire_size(vars)
                     }
                     _ => 64,
                 };
@@ -564,12 +658,13 @@ impl<A: FtApplication> FtProcess<A> {
                 if let Some(handle) = self.core.restore_timer.take() {
                     env.cancel_timer(handle);
                 }
-                if image.is_some() {
+                if let Some(vars) = &image {
                     env.record(
                         TraceCategory::Checkpoint,
                         format!(
-                            "{}: ckpt restore position (term={term} seq={seq})",
-                            env.self_endpoint()
+                            "{}: ckpt restore position (term={term} seq={seq} crc={})",
+                            env.self_endpoint(),
+                            checksum(vars)
                         ),
                     );
                 }

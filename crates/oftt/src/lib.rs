@@ -41,7 +41,7 @@
 //! struct Counter { n: u64 }
 //! impl FtApplication for Counter {
 //!     fn snapshot(&self) -> VarSet {
-//!         [("n".to_string(), comsim::marshal::to_bytes(&self.n).unwrap())].into_iter().collect()
+//!         [("n".to_string(), comsim::marshal::to_shared(&self.n).unwrap())].into_iter().collect()
 //!     }
 //!     fn restore(&mut self, image: &VarSet) {
 //!         if let Some(bytes) = image.get("n") {

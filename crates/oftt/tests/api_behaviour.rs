@@ -29,15 +29,15 @@ impl Scripted {
 impl FtApplication for Scripted {
     fn snapshot(&self) -> VarSet {
         [
-            ("big".to_string(), self.big.clone()),
-            ("small".to_string(), comsim::marshal::to_bytes(&self.small).unwrap()),
+            ("big".to_string(), comsim::buf::Bytes::copy_from_slice(&self.big)),
+            ("small".to_string(), comsim::marshal::to_shared(&self.small).unwrap()),
         ]
         .into_iter()
         .collect()
     }
     fn restore(&mut self, image: &VarSet) {
         if let Some(b) = image.get("big") {
-            self.big = b.clone();
+            self.big = b.to_vec();
         }
         if let Some(b) = image.get("small") {
             self.small = comsim::marshal::from_bytes(b).unwrap();
@@ -200,6 +200,42 @@ fn designation_filters_checkpoint_traffic() {
     let (small, active) = *r.views[other].lock();
     assert!(active);
     assert_eq!(small, 2, "both bumps survived via designated checkpoints");
+}
+
+#[test]
+fn nacked_delta_triggers_full_resend_carrying_coalesced_state() {
+    let mut r = rig(704);
+    r.cs.start();
+    r.cs.run_until(SimTime::from_secs(10));
+    let (p, idx) = primary(&r);
+    let scripted = ds_net::Endpoint::new(p, "scripted");
+    // Two event saves land as deltas drained off the dirty set.
+    r.cs.post(SimTime::from_millis(10_100), scripted.clone(), "bump-and-save".to_string());
+    r.cs.post(SimTime::from_millis(10_200), scripted.clone(), "bump-and-save".to_string());
+    r.cs.run_until(SimTime::from_millis(10_400));
+    let fulls_before = r.ftims[idx].lock().fulls_sent;
+    // The backup rejects a delta as out of order and NACKs — simulate the
+    // NACK arriving at the primary's FTIM directly.
+    r.cs.post(
+        SimTime::from_millis(10_500),
+        scripted.clone(),
+        oftt::messages::FtimPeerMsg::CkptNack,
+    );
+    r.cs.post(SimTime::from_millis(10_600), scripted, "bump-and-save".to_string());
+    r.cs.run_until(SimTime::from_secs(12));
+    let fulls_after = r.ftims[idx].lock().fulls_sent;
+    assert!(
+        fulls_after > fulls_before,
+        "a NACK must force a full resend ({fulls_before} -> {fulls_after})"
+    );
+    // The resent full carries the whole coalesced image: every bump
+    // survives a switchover.
+    ds_net::fault::inject(&mut r.cs, SimTime::from_secs(12), ds_net::fault::Fault::CrashNode(p));
+    r.cs.run_until(SimTime::from_secs(30));
+    let other = 1 - idx;
+    let (small, active) = *r.views[other].lock();
+    assert!(active, "the backup took over");
+    assert_eq!(small, 3, "all three bumps survived via the post-NACK full checkpoint");
 }
 
 #[test]

@@ -1,15 +1,20 @@
 //! Property tests for the checkpoint machinery: however checkpoints are
 //! generated, diffed, reordered, duplicated, or corrupted in flight, the
-//! backup store converges to the primary's image and never regresses.
+//! backup store converges to the primary's image and never regresses —
+//! and the dirty-tracked fast path is byte-identical to the brute-force
+//! reference.
 
+use comsim::buf::Bytes;
 use ds_sim::prelude::SimTime;
 use oftt::checkpoint::{
-    checksum, diff, AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet,
+    checksum, diff, merge, AcceptOutcome, Checkpoint, CheckpointPayload, CheckpointStore, VarSet,
+    VarStore,
 };
 use proptest::prelude::*;
 
 fn varset_strategy() -> impl Strategy<Value = VarSet> {
     prop::collection::btree_map("[a-d]{1,3}", prop::collection::vec(any::<u8>(), 0..16), 0..8)
+        .prop_map(|m| m.into_iter().map(|(k, v)| (k, Bytes::from(v))).collect())
 }
 
 /// A primary-side history: successive images of the application state.
@@ -26,9 +31,7 @@ fn stream_for(history: &[VarSet], refresh_every: usize) -> (Vec<Checkpoint>, Var
     let mut out = Vec::new();
     let mut seq = 0;
     for (i, image) in history.iter().enumerate() {
-        for (k, v) in image {
-            cumulative.insert(k.clone(), v.clone());
-        }
+        merge(&mut cumulative, image);
         seq += 1;
         let payload = if i == 0 || i % refresh_every == 0 {
             CheckpointPayload::Full(cumulative.clone())
@@ -44,7 +47,8 @@ fn stream_for(history: &[VarSet], refresh_every: usize) -> (Vec<Checkpoint>, Var
 
 proptest! {
     /// In-order delivery of any generated stream converges the store to
-    /// the primary's final image.
+    /// the primary's final image — and the store's digest-folded checksum
+    /// matches a from-scratch checksum of that image.
     #[test]
     fn in_order_stream_converges(history in history_strategy(), refresh in 1usize..6) {
         let (stream, final_image) = stream_for(&history, refresh);
@@ -53,6 +57,7 @@ proptest! {
             prop_assert_eq!(store.offer(checkpoint), AcceptOutcome::Installed);
         }
         prop_assert_eq!(store.vars(), &final_image);
+        prop_assert_eq!(store.image_crc(), checksum(&final_image));
     }
 
     /// Duplicated checkpoints (retransmissions) are rejected as stale and
@@ -112,12 +117,14 @@ proptest! {
         let keys: Vec<String> = corrupted.keys().cloned().collect();
         let key = byte.get(&keys).clone();
         let bytes = corrupted.get_mut(&key).unwrap();
-        if bytes.is_empty() {
-            bytes.push(flip);
+        let mut v = bytes.to_vec();
+        if v.is_empty() {
+            v.push(flip);
         } else {
-            let i = byte.index(bytes.len());
-            bytes[i] ^= flip;
+            let i = byte.index(v.len());
+            v[i] ^= flip;
         }
+        *bytes = Bytes::from(v);
         prop_assert_ne!(checksum(&image), checksum(&corrupted));
         let mut checkpoint =
             Checkpoint::new(1, 1, SimTime::ZERO, CheckpointPayload::Full(image));
@@ -130,19 +137,41 @@ proptest! {
         );
     }
 
-    /// diff() is exact: applying the delta to the old image yields the new
-    /// one (for cumulative histories, where keys never vanish).
+    /// `merge(a, diff(a, b)) == b` for cumulative images (keys never
+    /// vanish in OFTT) — the delta algebra the whole replication path
+    /// rests on.
     #[test]
-    fn diff_apply_round_trips(old in varset_strategy(), update in varset_strategy()) {
-        let mut new_image = old.clone();
-        for (k, v) in &update {
-            new_image.insert(k.clone(), v.clone());
+    fn merge_of_diff_recovers_target(a in varset_strategy(), update in varset_strategy()) {
+        let mut b = a.clone();
+        merge(&mut b, &update);
+        let delta = diff(&a, &b);
+        let mut rebuilt = a.clone();
+        merge(&mut rebuilt, &delta);
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    /// The dirty-tracked delta path ([`VarStore::take_dirty`] after a
+    /// digest-gated walkthrough) byte-matches the brute-force `diff()` of
+    /// successive cumulative images, for every step of every history.
+    #[test]
+    fn var_store_delta_matches_brute_force_diff(history in history_strategy()) {
+        let mut store = VarStore::new();
+        let mut cumulative = VarSet::new();
+        let mut prev = VarSet::new();
+        for image in &history {
+            merge(&mut cumulative, image);
+            // The fallback walkthrough: re-write every variable; the
+            // store's digests decide what is actually dirty.
+            for (k, v) in &cumulative {
+                store.set(k.clone(), v.clone());
+            }
+            let delta = store.take_dirty(None);
+            let brute = diff(&prev, &cumulative);
+            prop_assert_eq!(&delta, &brute);
+            // Cumulative-image checksums agree between the cached-digest
+            // fold and a from-scratch walk.
+            prop_assert_eq!(store.image_crc(None), checksum(&cumulative));
+            prev = cumulative.clone();
         }
-        let delta = diff(&old, &new_image);
-        let mut rebuilt = old.clone();
-        for (k, v) in &delta {
-            rebuilt.insert(k.clone(), v.clone());
-        }
-        prop_assert_eq!(rebuilt, new_image);
     }
 }

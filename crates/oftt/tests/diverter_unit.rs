@@ -168,7 +168,7 @@ fn pinned_diverter_ignores_switchover() {
         r.cs.post(
             SimTime::from_secs(15),
             ext.clone(),
-            oftt::diverter::DivertMsg { label: "n".into(), body },
+            oftt::diverter::DivertMsg { label: "n".into(), body: body.into() },
         );
     }
     r.cs.run_until(SimTime::from_secs(40));
@@ -197,7 +197,7 @@ fn retargeting_diverter_follows_switchover() {
         r.cs.post(
             SimTime::from_secs(15),
             ext.clone(),
-            oftt::diverter::DivertMsg { label: "n".into(), body },
+            oftt::diverter::DivertMsg { label: "n".into(), body: body.into() },
         );
     }
     r.cs.run_until(SimTime::from_secs(40));

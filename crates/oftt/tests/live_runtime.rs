@@ -27,7 +27,7 @@ const TICK: u64 = 1;
 
 impl FtApplication for TickCounter {
     fn snapshot(&self) -> VarSet {
-        [("count".to_string(), comsim::marshal::to_bytes(&self.count).unwrap())]
+        [("count".to_string(), comsim::marshal::to_shared(&self.count).unwrap())]
             .into_iter()
             .collect()
     }

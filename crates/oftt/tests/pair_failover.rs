@@ -39,8 +39,8 @@ impl CounterApp {
 impl FtApplication for CounterApp {
     fn snapshot(&self) -> VarSet {
         [
-            ("count".to_string(), comsim::marshal::to_bytes(&self.count).unwrap()),
-            ("last_value".to_string(), comsim::marshal::to_bytes(&self.last_value).unwrap()),
+            ("count".to_string(), comsim::marshal::to_shared(&self.count).unwrap()),
+            ("last_value".to_string(), comsim::marshal::to_shared(&self.last_value).unwrap()),
         ]
         .into_iter()
         .collect()

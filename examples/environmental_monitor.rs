@@ -61,7 +61,7 @@ const POLL_TICK: u64 = 1;
 
 impl FtApplication for StationApp {
     fn snapshot(&self) -> VarSet {
-        [("state".to_string(), comsim::marshal::to_bytes(&self.state).unwrap())]
+        [("state".to_string(), comsim::marshal::to_shared(&self.state).unwrap())]
             .into_iter()
             .collect()
     }

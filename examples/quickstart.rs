@@ -28,7 +28,7 @@ struct Counter {
 
 impl FtApplication for Counter {
     fn snapshot(&self) -> VarSet {
-        [("count".to_string(), comsim::marshal::to_bytes(&self.count).unwrap())]
+        [("count".to_string(), comsim::marshal::to_shared(&self.count).unwrap())]
             .into_iter()
             .collect()
     }
