@@ -7,7 +7,9 @@
 #   3. tier-1            release build + the root suite's smoke tests
 #   4. workspace tests   every crate's unit/integration tests
 #   5. model checking    budgeted oftt-check sweep over pair failover
-#   6. bench smoke       one-sample BENCH_checkpoint.json emit + schema
+#   6. audit sweep       oftt-audit over both sweeps (races, lock order,
+#                        stale reads, API lifecycle) + seeded-defect smoke
+#   7. bench smoke       one-sample BENCH_checkpoint.json emit + schema
 #                        validation (fails on schema drift)
 #
 # Exits non-zero on the first failing stage.
@@ -35,6 +37,19 @@ cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 600
 
 step "oftt-check sweep (partitioned startup, shipped config)"
 cargo run -p oftt-check --release -q -- --scenario partitioned-startup --budget 100
+
+step "oftt-audit clippy (deny warnings, both feature sets)"
+cargo clippy -p oftt-audit --all-targets -q -- -D warnings
+cargo clippy -p oftt-audit --all-targets --features inject_bugs -q -- -D warnings
+
+step "audit sweep (pair failover, 600-schedule budget)"
+cargo run -p oftt-audit --release -q -- scan --scenario pair-failover --budget 600
+
+step "audit sweep (partitioned startup, shipped config)"
+cargo run -p oftt-audit --release -q -- scan --scenario partitioned-startup --budget 100
+
+step "audit seeded-defect corpus (inject_bugs)"
+cargo test -p oftt-audit --features inject_bugs -q
 
 step "bench smoke: checkpoint data-path artifact"
 BENCH_SMOKE_OUT=$(mktemp /tmp/BENCH_checkpoint.XXXXXX.json)

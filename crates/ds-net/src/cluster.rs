@@ -204,6 +204,8 @@ impl Cluster {
         // A crashed sender cannot transmit: route() is only reachable from a
         // live process handler, so the source is up by construction.
         let Some(delay) = delay else { return };
+        let mut envelope = envelope;
+        envelope.clock = sched.current_clock();
         sched.schedule_scoped(
             delay,
             || format!("net:{to}"),
@@ -237,10 +239,16 @@ impl Cluster {
             return;
         }
         self.counters.delivered += 1;
-        self.dispatch(sched, pid, Dispatch::Message(envelope));
+        self.dispatch(sched, pid, Dispatch::Message(envelope), None);
     }
 
-    fn dispatch(&mut self, sched: &mut Scheduler<'_, Cluster>, pid: ProcessId, what: Dispatch) {
+    fn dispatch(
+        &mut self,
+        sched: &mut Scheduler<'_, Cluster>,
+        pid: ProcessId,
+        what: Dispatch,
+        inherited: Option<VectorClock>,
+    ) {
         let Some(slot) = self.procs.get_mut(&pid) else { return };
         let Some(mut actor) = slot.actor.take() else {
             // Re-entrant dispatch to a process already running a handler is
@@ -249,6 +257,20 @@ impl Cluster {
         };
         let mut rng = slot.rng.clone();
         let endpoint = slot.endpoint.clone();
+        if sched.causality_enabled() {
+            // Clock rules: the handling incarnation ticks its own component;
+            // a delivered message joins the sender's stamp, and a spawn
+            // joins the clock of whoever requested the (re)start.
+            sched.begin_actor(&endpoint.to_string());
+            if let Some(clock) = &inherited {
+                sched.join_clock(clock);
+            }
+            if let Dispatch::Message(envelope) = &what {
+                if let Some(clock) = &envelope.clock {
+                    sched.join_clock(clock);
+                }
+            }
+        }
         let mut env =
             ProcCtx { cluster: self, sched, pid, endpoint, rng: &mut rng, exit_requested: false };
         match what {
@@ -298,13 +320,16 @@ impl Cluster {
         self.procs.insert(pid, ProcSlot { pid, endpoint, actor: Some(actor), rng, started: false });
         self.services.insert((node, service.clone()), pid);
         sched.record(TraceCategory::Other, format!("start {node}/{service} as {pid}"));
+        // Capture the requester's clock so the spawned incarnation's
+        // `on_start` is happens-after whoever asked for the (re)start.
+        let parent_clock = sched.current_clock();
         sched.schedule_scoped(
             PROCESS_SPAWN_DELAY,
             || format!("spawn:{node}/{service}"),
             move |cluster: &mut Cluster, sched| {
                 if let Some(slot) = cluster.procs.get_mut(&pid) {
                     slot.started = true;
-                    cluster.dispatch(sched, pid, Dispatch::Start);
+                    cluster.dispatch(sched, pid, Dispatch::Start, parent_clock);
                 }
             },
         );
@@ -407,7 +432,9 @@ impl ProcessEnv for ProcCtx<'_, '_> {
                 // The incarnation check: a timer armed by a dead process must
                 // never fire into its successor.
                 if cluster.procs.contains_key(&pid) {
-                    cluster.dispatch(sched, pid, Dispatch::Timer(token));
+                    // Timers are same-actor: program order already covers
+                    // the arm→fire edge, so no clock rides along.
+                    cluster.dispatch(sched, pid, Dispatch::Timer(token), None);
                 }
             },
         );
@@ -440,6 +467,18 @@ impl ProcessEnv for ProcCtx<'_, '_> {
 
     fn exit(&mut self) {
         self.exit_requested = true;
+    }
+
+    fn observe_access(&mut self, object: &str, kind: AccessKind, detail: &str) {
+        self.sched.observe_access(object, kind, detail);
+    }
+
+    fn observe_lock(&mut self, lock: &str, acquired: bool) {
+        self.sched.observe_lock(lock, acquired);
+    }
+
+    fn observe_api(&mut self, call: &str, detail: &str) {
+        self.sched.observe_api(call, detail);
     }
 }
 
@@ -609,6 +648,22 @@ impl ClusterSim {
     /// the seed for a replayable [`ds_sim::schedule::Schedule`].
     pub fn choices_taken(&self) -> Vec<u32> {
         self.sim.choices_taken()
+    }
+
+    /// Turns causality recording on or off (off by default). Install before
+    /// [`ClusterSim::start`] so boot-time spawns already carry clocks.
+    pub fn set_causality_recording(&mut self, on: bool) {
+        self.sim.set_causality_recording(on);
+    }
+
+    /// The causality log recorded so far.
+    pub fn causality_log(&self) -> &CausalityLog {
+        self.sim.causality().log()
+    }
+
+    /// Takes the causality log, leaving an empty one.
+    pub fn take_causality_log(&mut self) -> CausalityLog {
+        self.sim.causality_mut().take_log()
     }
 
     /// Consumes the wrapper, returning world and trace.

@@ -9,6 +9,8 @@
 use std::any::Any;
 use std::fmt;
 
+use ds_sim::clock::VectorClock;
+
 use crate::endpoint::Endpoint;
 
 /// Default nominal size charged for small control messages, in bytes.
@@ -59,17 +61,20 @@ pub struct Envelope {
     pub body: MsgBody,
     /// Nominal wire size in bytes (drives transmission delay).
     pub size_bytes: u64,
+    /// Sender's vector clock at send time, stamped by the router when
+    /// causality recording is on (`None` otherwise).
+    pub clock: Option<VectorClock>,
 }
 
 impl Envelope {
     /// Creates an envelope with the default control-message size.
     pub fn new<T: Any + Send>(from: Endpoint, to: Endpoint, body: T) -> Self {
-        Envelope { from, to, body: MsgBody::new(body), size_bytes: DEFAULT_MSG_BYTES }
+        Envelope { from, to, body: MsgBody::new(body), size_bytes: DEFAULT_MSG_BYTES, clock: None }
     }
 
     /// Creates an envelope with an explicit nominal size.
     pub fn sized(from: Endpoint, to: Endpoint, body: MsgBody, size_bytes: u64) -> Self {
-        Envelope { from, to, body, size_bytes }
+        Envelope { from, to, body, size_bytes, clock: None }
     }
 }
 

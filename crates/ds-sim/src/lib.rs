@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causality;
+pub mod clock;
 pub mod event;
 pub mod rng;
 pub mod schedule;
@@ -40,6 +42,8 @@ pub mod trace;
 
 /// Convenience re-exports of the items nearly every user needs.
 pub mod prelude {
+    pub use crate::causality::{AccessKind, CausalityLog, CausalityTracker};
+    pub use crate::clock::VectorClock;
     pub use crate::event::EventId;
     pub use crate::rng::SimRng;
     pub use crate::schedule::{ChoicePoint, Schedule, SchedulePolicy};
@@ -49,6 +53,8 @@ pub mod prelude {
     pub use crate::trace::{Trace, TraceCategory, TraceEntry};
 }
 
+pub use causality::{AccessKind, CausalityLog};
+pub use clock::VectorClock;
 pub use event::EventId;
 pub use sim::{Scheduler, Sim};
 pub use time::{SimDuration, SimTime};

@@ -9,6 +9,8 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use crate::causality::{AccessKind, CausalityTracker};
+use crate::clock::VectorClock;
 use crate::event::{EventId, EventKey};
 use crate::rng::SimRng;
 use crate::schedule::{ChoicePoint, SchedulePolicy};
@@ -29,6 +31,7 @@ pub struct Scheduler<'a, W> {
     stop: &'a mut bool,
     scopes: &'a mut HashMap<u64, String>,
     scopes_on: bool,
+    causality: &'a mut CausalityTracker,
 }
 
 impl<'a, W> Scheduler<'a, W> {
@@ -101,15 +104,60 @@ impl<'a, W> Scheduler<'a, W> {
         self.trace
     }
 
-    /// Records a trace entry at the current time.
+    /// Records a trace entry at the current time, stamped with the current
+    /// actor's vector clock when causality recording is on.
     pub fn record(&mut self, category: TraceCategory, message: impl Into<String>) {
         let now = self.now;
-        self.trace.record(now, category, message);
+        let clock = self.causality.current_clock();
+        self.trace.record_clocked(now, category, message, clock);
     }
 
     /// Requests that the simulation stop after this handler returns.
     pub fn request_stop(&mut self) {
         *self.stop = true;
+    }
+
+    /// Names the actor handling the current event, ticking its clock
+    /// component (no-op while causality recording is off).
+    pub fn begin_actor(&mut self, actor: &str) {
+        self.causality.begin(actor);
+    }
+
+    /// Folds a received vector clock into the current actor's clock — the
+    /// happens-before edge of a message delivery or process spawn.
+    pub fn join_clock(&mut self, clock: &VectorClock) {
+        self.causality.join(clock);
+    }
+
+    /// The current actor's vector clock, for stamping outgoing messages.
+    /// `None` while causality recording is off or outside any actor.
+    pub fn current_clock(&self) -> Option<VectorClock> {
+        self.causality.current_clock()
+    }
+
+    /// `true` when causality recording is on (lets callers skip building
+    /// actor/object names on the hot path).
+    pub fn causality_enabled(&self) -> bool {
+        self.causality.is_recording()
+    }
+
+    /// Records a shared-state access by the current actor.
+    pub fn observe_access(&mut self, object: &str, kind: AccessKind, detail: &str) {
+        let now = self.now;
+        self.causality.record_access(now, object, kind, detail);
+    }
+
+    /// Records a lock acquire (`acquired = true`) or release by the current
+    /// actor.
+    pub fn observe_lock(&mut self, lock: &str, acquired: bool) {
+        let now = self.now;
+        self.causality.record_lock(now, lock, acquired);
+    }
+
+    /// Records a middleware API call by the current actor.
+    pub fn observe_api(&mut self, call: &str, detail: &str) {
+        let now = self.now;
+        self.causality.record_api(now, call, detail);
     }
 }
 
@@ -148,6 +196,8 @@ pub struct Sim<W> {
     choice_log: Vec<ChoicePoint>,
     /// How many forced choices have been consumed.
     forced_cursor: usize,
+    /// Vector-clock assignment and access recording (off by default).
+    causality: CausalityTracker,
 }
 
 impl<W> Sim<W> {
@@ -168,6 +218,7 @@ impl<W> Sim<W> {
             scopes: HashMap::new(),
             choice_log: Vec::new(),
             forced_cursor: 0,
+            causality: CausalityTracker::new(),
         }
     }
 
@@ -236,6 +287,22 @@ impl<W> Sim<W> {
     /// Consumes the simulation, returning the world and trace.
     pub fn into_parts(self) -> (W, Trace) {
         (self.world, self.trace)
+    }
+
+    /// Turns causality recording on or off (off by default; see
+    /// [`crate::causality`]).
+    pub fn set_causality_recording(&mut self, on: bool) {
+        self.causality.set_recording(on);
+    }
+
+    /// The causality tracker (clock state plus recorded log).
+    pub fn causality(&self) -> &CausalityTracker {
+        &self.causality
+    }
+
+    /// Exclusive access to the causality tracker (e.g. to take the log).
+    pub fn causality_mut(&mut self) -> &mut CausalityTracker {
+        &mut self.causality
     }
 
     /// Schedules `f` to run `after` from the current time.
@@ -338,6 +405,9 @@ impl<W> Sim<W> {
         let scopes_on = self.policy.is_exploring();
         let mut deferred: Vec<(SimTime, u64, EventFn<W>)> = Vec::new();
         {
+            // Event boundary: records are only attributed to an actor once
+            // the handler names one via `begin_actor`.
+            self.causality.clear_current();
             let mut sched = Scheduler {
                 now: self.now,
                 next_id: &mut self.next_id,
@@ -348,6 +418,7 @@ impl<W> Sim<W> {
                 stop: &mut self.stop,
                 scopes: &mut self.scopes,
                 scopes_on,
+                causality: &mut self.causality,
             };
             run(&mut self.world, &mut sched);
         }

@@ -9,6 +9,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::clock::VectorClock;
 use crate::time::SimTime;
 
 /// Categories of trace entries, used for filtering.
@@ -57,6 +58,10 @@ pub struct TraceEntry {
     pub category: TraceCategory,
     /// Free-form description, stable across runs for a given seed.
     pub message: String,
+    /// Vector clock of the recording actor, when causality recording was
+    /// enabled for the run. `None` otherwise; excluded from the rendered
+    /// text so determinism comparisons are unaffected.
+    pub clock: Option<VectorClock>,
 }
 
 impl fmt::Display for TraceEntry {
@@ -98,7 +103,18 @@ impl Trace {
 
     /// Appends an entry.
     pub fn record(&mut self, at: SimTime, category: TraceCategory, message: impl Into<String>) {
-        let entry = TraceEntry { at, category, message: message.into() };
+        self.record_clocked(at, category, message, None);
+    }
+
+    /// Appends an entry stamped with the recording actor's vector clock.
+    pub fn record_clocked(
+        &mut self,
+        at: SimTime,
+        category: TraceCategory,
+        message: impl Into<String>,
+        clock: Option<VectorClock>,
+    ) {
+        let entry = TraceEntry { at, category, message: message.into(), clock };
         if self.echo {
             println!("{entry}");
         }

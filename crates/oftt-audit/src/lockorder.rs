@@ -1,0 +1,218 @@
+//! Lock-order inversion detection over the instrumented `parking_lot`
+//! shim sites.
+//!
+//! Replaying each actor's lock events against a held-set builds the
+//! global lock-acquisition graph: acquiring `B` while holding `A` adds
+//! the edge `A → B`. Like a kernel lockdep, edges from *all* actors are
+//! merged into one graph — even a single actor alternating between
+//! `A → B` and `B → A` call paths is an inversion, because under the
+//! toolkit's real (multi-threaded NT) deployment another thread can run
+//! the opposite path concurrently and deadlock. Any cycle in the merged
+//! graph is reported once.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ds_sim::causality::CausalityLog;
+use ds_sim::prelude::SimTime;
+
+use crate::Finding;
+
+/// The acquisition graph: `edges[a]` holds every lock acquired while `a`
+/// was held, with the time the edge was first observed.
+#[derive(Debug, Default)]
+struct LockGraph<'a> {
+    edges: BTreeMap<&'a str, BTreeMap<&'a str, SimTime>>,
+}
+
+fn build_graph(log: &CausalityLog) -> LockGraph<'_> {
+    let mut graph = LockGraph::default();
+    let mut held: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for event in &log.locks {
+        let stack = held.entry(event.actor.as_str()).or_default();
+        if event.acquired {
+            for outer in stack.iter() {
+                if *outer != event.lock.as_str() {
+                    graph
+                        .edges
+                        .entry(outer)
+                        .or_default()
+                        .entry(event.lock.as_str())
+                        .or_insert(event.at);
+                }
+            }
+            stack.push(event.lock.as_str());
+        } else if let Some(pos) = stack.iter().rposition(|l| *l == event.lock.as_str()) {
+            stack.remove(pos);
+        }
+    }
+    graph
+}
+
+/// Tarjan's strongly-connected components over the lock graph. Any SCC
+/// with more than one lock contains a cycle — an inversion.
+fn cyclic_components<'a>(graph: &LockGraph<'a>) -> Vec<Vec<&'a str>> {
+    struct State<'a> {
+        index: BTreeMap<&'a str, usize>,
+        lowlink: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        sccs: Vec<Vec<&'a str>>,
+    }
+    fn visit<'a>(node: &'a str, graph: &LockGraph<'a>, st: &mut State<'a>) {
+        st.index.insert(node, st.next);
+        st.lowlink.insert(node, st.next);
+        st.next += 1;
+        st.stack.push(node);
+        st.on_stack.insert(node);
+        if let Some(succs) = graph.edges.get(node) {
+            for succ in succs.keys() {
+                if !st.index.contains_key(succ) {
+                    visit(succ, graph, st);
+                    let low = st.lowlink[succ].min(st.lowlink[node]);
+                    st.lowlink.insert(node, low);
+                } else if st.on_stack.contains(succ) {
+                    let low = st.index[succ].min(st.lowlink[node]);
+                    st.lowlink.insert(node, low);
+                }
+            }
+        }
+        if st.lowlink[node] == st.index[node] {
+            let mut component = Vec::new();
+            while let Some(top) = st.stack.pop() {
+                st.on_stack.remove(top);
+                component.push(top);
+                if top == node {
+                    break;
+                }
+            }
+            if component.len() > 1 {
+                component.sort_unstable();
+                st.sccs.push(component);
+            }
+        }
+    }
+    let mut st = State {
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    let nodes: Vec<&str> = graph
+        .edges
+        .iter()
+        .flat_map(|(a, succs)| std::iter::once(*a).chain(succs.keys().copied()))
+        .collect();
+    for node in nodes {
+        if !st.index.contains_key(node) {
+            visit(node, graph, &mut st);
+        }
+    }
+    st.sccs
+}
+
+/// Scans one run's lock events for acquisition-order cycles. Each cyclic
+/// component is reported once, listing the locks involved.
+pub fn find_lock_inversions(log: &CausalityLog) -> Vec<Finding> {
+    let graph = build_graph(log);
+    cyclic_components(&graph)
+        .into_iter()
+        .map(|component| {
+            let at = component
+                .iter()
+                .flat_map(|a| {
+                    graph.edges.get(a).into_iter().flat_map(|succs| {
+                        succs.iter().filter(|(b, _)| component.contains(b)).map(|(_, at)| *at)
+                    })
+                })
+                .min()
+                .unwrap_or(SimTime::ZERO);
+            Finding {
+                analyzer: "lock-order",
+                at,
+                detail: format!(
+                    "lock-order inversion: {{{}}} are acquired in conflicting orders",
+                    component.join(", ")
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_sim::prelude::CausalityTracker;
+
+    fn lock_seq(ops: &[(&str, &str, bool)]) -> CausalityLog {
+        let mut t = CausalityTracker::new();
+        t.set_recording(true);
+        for (i, (actor, lock, acquired)) in ops.iter().enumerate() {
+            t.begin(actor);
+            t.record_lock(SimTime::from_secs(i as u64), lock, *acquired);
+        }
+        t.take_log()
+    }
+
+    #[test]
+    fn opposite_orders_form_an_inversion() {
+        let log = lock_seq(&[
+            ("x", "a", true),
+            ("x", "b", true),
+            ("x", "b", false),
+            ("x", "a", false),
+            ("y", "b", true),
+            ("y", "a", true),
+            ("y", "a", false),
+            ("y", "b", false),
+        ]);
+        let findings = find_lock_inversions(&log);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("a, b"));
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let log = lock_seq(&[
+            ("x", "a", true),
+            ("x", "b", true),
+            ("x", "b", false),
+            ("x", "a", false),
+            ("y", "a", true),
+            ("y", "b", true),
+            ("y", "b", false),
+            ("y", "a", false),
+        ]);
+        assert!(find_lock_inversions(&log).is_empty());
+    }
+
+    #[test]
+    fn non_nested_locks_are_clean() {
+        let log =
+            lock_seq(&[("x", "a", true), ("x", "a", false), ("x", "b", true), ("x", "b", false)]);
+        assert!(find_lock_inversions(&log).is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found() {
+        let log = lock_seq(&[
+            ("x", "a", true),
+            ("x", "b", true),
+            ("x", "b", false),
+            ("x", "a", false),
+            ("x", "b", true),
+            ("x", "c", true),
+            ("x", "c", false),
+            ("x", "b", false),
+            ("x", "c", true),
+            ("x", "a", true),
+            ("x", "a", false),
+            ("x", "c", false),
+        ]);
+        let findings = find_lock_inversions(&log);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("a, b, c"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Race-candidate detection: conflicting accesses unordered by
+//! happens-before.
+//!
+//! Two access records conflict when they touch the same object, at least
+//! one is a write, and they come from different actors. A conflicting pair
+//! whose vector clocks are concurrent is a race candidate: no message
+//! chain, spawn, or program-order edge separates the two accesses, so the
+//! schedule explorer could legally have run them in either order against
+//! the same shared state.
+//!
+//! Object naming keeps the clean sweep quiet without masking bugs:
+//! checkpoint objects are origin-qualified and `(term, seq)`-versioned
+//! (written exactly once, read under the shipping message's clock), and
+//! store/queue/role objects are node-local with all remote interest
+//! flowing through messages. Any concurrent cross-actor conflict is
+//! therefore a genuine protocol breach, not naming noise.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ds_sim::causality::{AccessRecord, CausalityLog};
+use ds_sim::prelude::AccessKind;
+
+use crate::Finding;
+
+/// Scans one run's access records for race candidates. Each (object,
+/// actor-pair) is reported at most once — the first concurrent conflict
+/// found in log order.
+pub fn find_races(log: &CausalityLog) -> Vec<Finding> {
+    let mut by_object: BTreeMap<&str, Vec<&AccessRecord>> = BTreeMap::new();
+    for access in &log.accesses {
+        by_object.entry(access.object.as_str()).or_default().push(access);
+    }
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(&str, &str, &str)> = BTreeSet::new();
+    for (object, accesses) in by_object {
+        // A single-actor object cannot race with itself.
+        let actors: BTreeSet<&str> = accesses.iter().map(|a| a.actor.as_str()).collect();
+        if actors.len() < 2 {
+            continue;
+        }
+        for (i, a) in accesses.iter().enumerate() {
+            for b in accesses.iter().skip(i + 1) {
+                if a.actor == b.actor {
+                    continue;
+                }
+                if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                    continue;
+                }
+                if !a.clock.concurrent(&b.clock) {
+                    continue;
+                }
+                let (first, second) =
+                    if a.actor.as_str() <= b.actor.as_str() { (*a, *b) } else { (*b, *a) };
+                if reported.insert((object, first.actor.as_str(), second.actor.as_str())) {
+                    out.push(Finding {
+                        analyzer: "race",
+                        at: a.at.max(b.at),
+                        detail: format!(
+                            "race candidate on {object}: {} {} ({}) is concurrent with \
+                             {} {} ({})",
+                            first.actor,
+                            first.kind,
+                            first.detail,
+                            second.actor,
+                            second.kind,
+                            second.detail
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_sim::prelude::{CausalityTracker, SimTime};
+
+    /// Builds a log through the tracker so clocks come from the real
+    /// tick/join machinery.
+    fn two_actor_log(ordered: bool) -> CausalityLog {
+        let mut t = CausalityTracker::new();
+        t.set_recording(true);
+        t.begin("writer");
+        t.record_access(SimTime::from_secs(1), "obj", AccessKind::Write, "w");
+        let writer_clock = t.current_clock().unwrap();
+        t.begin("reader");
+        if ordered {
+            // Simulate a message from writer to reader.
+            t.join(&writer_clock);
+        }
+        t.record_access(SimTime::from_secs(2), "obj", AccessKind::Read, "r");
+        t.take_log()
+    }
+
+    #[test]
+    fn concurrent_write_read_is_a_race() {
+        let findings = find_races(&two_actor_log(false));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("obj"));
+    }
+
+    #[test]
+    fn message_ordered_accesses_are_clean() {
+        assert!(find_races(&two_actor_log(true)).is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_are_not_a_race() {
+        let mut t = CausalityTracker::new();
+        t.set_recording(true);
+        t.begin("a");
+        t.record_access(SimTime::from_secs(1), "obj", AccessKind::Read, "r1");
+        t.begin("b");
+        t.record_access(SimTime::from_secs(2), "obj", AccessKind::Read, "r2");
+        assert!(find_races(&t.take_log()).is_empty());
+    }
+
+    #[test]
+    fn same_actor_accesses_are_not_a_race() {
+        let mut t = CausalityTracker::new();
+        t.set_recording(true);
+        t.begin("a");
+        t.record_access(SimTime::from_secs(1), "obj", AccessKind::Write, "w1");
+        t.begin("a");
+        t.record_access(SimTime::from_secs(2), "obj", AccessKind::Write, "w2");
+        assert!(find_races(&t.take_log()).is_empty());
+    }
+
+    #[test]
+    fn each_object_pair_is_reported_once() {
+        let mut t = CausalityTracker::new();
+        t.set_recording(true);
+        for round in 0..3 {
+            t.begin("a");
+            t.record_access(SimTime::from_secs(round), "obj", AccessKind::Write, "w");
+            t.begin("b");
+            t.record_access(SimTime::from_secs(round), "obj", AccessKind::Write, "w");
+        }
+        // Every cross-round pair is concurrent, but one finding suffices.
+        assert_eq!(find_races(&t.take_log()).len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Stale-read hazard detection over the checkpoint serve path.
+//!
+//! When a restarting FTIM asks its peer for state, the peer serves either
+//! its live image (active side) or its checkpoint store (backup side).
+//! Serving *old* state is not automatically wrong — the server may simply
+//! not have newer state yet. The hazard is serving state older than a
+//! checkpoint position whose acknowledgement the server *causally knew
+//! about* at serve time: the ack's vector clock is dominated by the serve's
+//! clock, yet the served position is behind the acked one. A restart fed
+//! from such a serve silently rolls back state the protocol had already
+//! confirmed as replicated.
+
+use oftt_check::parse::{Event, EventKind};
+
+use crate::Finding;
+
+/// Scans one run's parsed events for stale serves. Runs recorded without
+/// vector clocks pass vacuously.
+pub fn find_stale_serves(events: &[Event]) -> Vec<Finding> {
+    let mut acks: Vec<((u64, u64), &ds_sim::prelude::VectorClock)> = Vec::new();
+    let mut out = Vec::new();
+    for ev in events {
+        let Some(clock) = &ev.clock else { continue };
+        match &ev.kind {
+            EventKind::CkptAcked { term, seq, .. } => {
+                acks.push(((*term, *seq), clock));
+            }
+            EventKind::CkptServed { ep, term, seq, .. } => {
+                let served = (*term, *seq);
+                if let Some((newer, _)) =
+                    acks.iter().find(|(pos, ack)| *pos > served && ack.le(clock))
+                {
+                    out.push(Finding {
+                        analyzer: "stale-read",
+                        at: ev.at,
+                        detail: format!(
+                            "{ep} served stale image ({term},{seq}) while causally aware of \
+                             the ack for ({},{})",
+                            newer.0, newer.1
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_sim::prelude::{SimDuration, SimTime, VectorClock};
+
+    fn clock_of(pairs: &[(u32, u64)]) -> VectorClock {
+        let mut c = VectorClock::new();
+        for &(actor, n) in pairs {
+            for _ in 0..n {
+                c.tick(actor);
+            }
+        }
+        c
+    }
+
+    fn acked(ms: u64, term: u64, seq: u64, pairs: &[(u32, u64)]) -> Event {
+        Event {
+            at: SimTime::ZERO + SimDuration::from_millis(ms),
+            kind: EventKind::CkptAcked { ep: "node0/ct".into(), term, seq },
+            clock: Some(clock_of(pairs)),
+        }
+    }
+
+    fn served(ms: u64, term: u64, seq: u64, pairs: &[(u32, u64)]) -> Event {
+        Event {
+            at: SimTime::ZERO + SimDuration::from_millis(ms),
+            kind: EventKind::CkptServed { ep: "node1/ct".into(), term, seq, crc: 1 },
+            clock: Some(clock_of(pairs)),
+        }
+    }
+
+    #[test]
+    fn serving_behind_a_known_ack_is_flagged() {
+        // Ack for (1,5) at clock {0:2}; the serve of (1,3) has clock
+        // {0:2,1:1} — it causally knew about the newer ack.
+        let events = vec![acked(1, 1, 5, &[(0, 2)]), served(2, 1, 3, &[(0, 2), (1, 1)])];
+        let findings = find_stale_serves(&events);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("(1,5)"));
+    }
+
+    #[test]
+    fn serving_without_causal_knowledge_is_clean() {
+        // Same positions, but the serve's clock is concurrent with the
+        // ack's — the server could not have known.
+        let events = vec![acked(1, 1, 5, &[(0, 2)]), served(2, 1, 3, &[(1, 1)])];
+        assert!(find_stale_serves(&events).is_empty());
+    }
+
+    #[test]
+    fn serving_at_or_past_the_acked_position_is_clean() {
+        let events = vec![
+            acked(1, 1, 5, &[(0, 2)]),
+            served(2, 1, 5, &[(0, 2), (1, 1)]),
+            served(3, 1, 7, &[(0, 2), (1, 2)]),
+        ];
+        assert!(find_stale_serves(&events).is_empty());
+    }
+
+    #[test]
+    fn unclocked_runs_pass_vacuously() {
+        let events = vec![Event {
+            at: SimTime::from_secs(1),
+            kind: EventKind::CkptServed { ep: "node1/ct".into(), term: 1, seq: 1, crc: 1 },
+            clock: None,
+        }];
+        assert!(find_stale_serves(&events).is_empty());
+    }
+}

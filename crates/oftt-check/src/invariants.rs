@@ -12,10 +12,11 @@
 //! | `ckpt-restore-integrity`    | a backup's merged image matches the primary's shipped image at the same position, and every takeover restores an image whose checksum matches what was last installed, shipped, or served at that position |
 //! | `switchover-has-cause`      | every switchover request is preceded by a detection or distress call on the same engine |
 //! | `diverter-targets-primary`  | every diverted message goes to the node the diverter last announced as primary |
+//! | `ckpt-causality`            | every install happens-after the shipping of that position, and every ack happens-after the install (vector clocks; vacuous on untraced runs) |
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use ds_sim::prelude::SimTime;
+use ds_sim::prelude::{SimTime, VectorClock};
 use oftt::role::Role;
 
 use crate::parse::{node_of, Event, EventKind};
@@ -49,6 +50,7 @@ pub fn check_all(events: &[Event]) -> Vec<Violation> {
     out.extend(ckpt_restore_integrity(events));
     out.extend(switchover_has_cause(events));
     out.extend(diverter_targets_primary(events));
+    out.extend(ckpt_causality(events));
     out
 }
 
@@ -367,13 +369,67 @@ pub fn diverter_targets_primary(events: &[Event]) -> Vec<Violation> {
     out
 }
 
+/// The checkpoint data path respects causality, not just positions and
+/// content: an `installed (term, seq)` must be happens-after the latest
+/// `shipped (term, seq)` (the install's vector clock dominates the ship's),
+/// and a `ckpt acked` at a position must be happens-after that install.
+/// A violation means the trace claims knowledge of state that could not
+/// yet have causally reached the claimant. Runs recorded without vector
+/// clocks pass vacuously.
+pub fn ckpt_causality(events: &[Event]) -> Vec<Violation> {
+    // Last-wins, like `ckpt_restore_integrity`: a NACK-triggered re-ship of
+    // a position makes the newest shipping authoritative.
+    let mut shipped: HashMap<(u64, u64), &VectorClock> = HashMap::new();
+    let mut installed: HashMap<(u64, u64), &VectorClock> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        let Some(clock) = &ev.clock else { continue };
+        match &ev.kind {
+            EventKind::CkptShipped { term, seq, .. } => {
+                shipped.insert((*term, *seq), clock);
+            }
+            EventKind::CkptInstalled { ep, term, seq, .. } => {
+                if let Some(ship) = shipped.get(&(*term, *seq)) {
+                    if !ship.le(clock) {
+                        out.push(Violation {
+                            invariant: "ckpt-causality",
+                            at: ev.at,
+                            detail: format!(
+                                "{ep} installed ({term},{seq}) without happening after its \
+                                 shipping (ship clock {ship}, install clock {clock})"
+                            ),
+                        });
+                    }
+                }
+                installed.insert((*term, *seq), clock);
+            }
+            EventKind::CkptAcked { ep, term, seq } => {
+                if let Some(install) = installed.get(&(*term, *seq)) {
+                    if !install.le(clock) {
+                        out.push(Violation {
+                            invariant: "ckpt-causality",
+                            at: ev.at,
+                            detail: format!(
+                                "{ep} saw ack for ({term},{seq}) without happening after the \
+                                 install (install clock {install}, ack clock {clock})"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ds_sim::prelude::SimDuration;
 
     fn ev(ms: u64, kind: EventKind) -> Event {
-        Event { at: SimTime::ZERO + SimDuration::from_millis(ms), kind }
+        Event { at: SimTime::ZERO + SimDuration::from_millis(ms), kind, clock: None }
     }
 
     fn role(ms: u64, ep: &str, role: Role, term: u64) -> Event {
@@ -511,6 +567,64 @@ mod tests {
         // No record at all for the position: skipped, not guessed.
         let unknown = vec![restore(2, "node1/ct", 3, 1, 1234)];
         assert!(ckpt_restore_integrity(&unknown).is_empty());
+    }
+
+    fn clock_of(pairs: &[(u32, u64)]) -> VectorClock {
+        let mut c = VectorClock::new();
+        for &(actor, n) in pairs {
+            for _ in 0..n {
+                c.tick(actor);
+            }
+        }
+        c
+    }
+
+    fn clocked(ms: u64, kind: EventKind, pairs: &[(u32, u64)]) -> Event {
+        Event {
+            at: SimTime::ZERO + SimDuration::from_millis(ms),
+            kind,
+            clock: Some(clock_of(pairs)),
+        }
+    }
+
+    #[test]
+    fn install_and_ack_must_happen_after_ship() {
+        let ship = |ms, pairs: &[(u32, u64)]| {
+            clocked(
+                ms,
+                EventKind::CkptShipped { ep: "node0/ct".into(), term: 1, seq: 4, crc: 9 },
+                pairs,
+            )
+        };
+        let install = |ms, pairs: &[(u32, u64)]| {
+            clocked(
+                ms,
+                EventKind::CkptInstalled { ep: "node1/ct".into(), term: 1, seq: 4, crc: 9 },
+                pairs,
+            )
+        };
+        let ack = |ms, pairs: &[(u32, u64)]| {
+            clocked(ms, EventKind::CkptAcked { ep: "node0/ct".into(), term: 1, seq: 4 }, pairs)
+        };
+        // Ship {0:1} → install {0:1,1:1} → ack {0:2,1:1}: a clean causal chain.
+        let ok = vec![ship(1, &[(0, 1)]), install(2, &[(0, 1), (1, 1)]), ack(3, &[(0, 2), (1, 1)])];
+        assert!(ckpt_causality(&ok).is_empty());
+        // An install concurrent with its ship is a causality breach.
+        let bad_install = vec![ship(1, &[(0, 1)]), install(2, &[(1, 1)])];
+        let v = ckpt_causality(&bad_install);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("installed (1,4)"));
+        // An ack that does not dominate the install's clock is a breach.
+        let bad_ack = vec![ship(1, &[(0, 1)]), install(2, &[(0, 1), (1, 1)]), ack(3, &[(0, 2)])];
+        let v = ckpt_causality(&bad_ack);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("ack"));
+        // Untraced runs (no clocks) pass vacuously.
+        let unclocked = vec![
+            ev(1, EventKind::CkptShipped { ep: "node0/ct".into(), term: 1, seq: 4, crc: 9 }),
+            ev(2, EventKind::CkptInstalled { ep: "node1/ct".into(), term: 1, seq: 4, crc: 9 }),
+        ];
+        assert!(ckpt_causality(&unclocked).is_empty());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   exploring [`ds_sim::schedule::SchedulePolicy`] so every same-window
 //!   event race becomes a recorded choice point.
 //! * [`parse`] lifts the run's trace into typed events; [`invariants`]
-//!   checks the failover protocol's six safety properties over them.
+//!   checks the failover protocol's eight safety properties over them
+//!   (including the vector-clock `ckpt-causality` check).
 //! * [`explore`] sweeps seeds × tie-break deviations breadth-first with
 //!   partial-order pruning (one deviation per event scope) under a run
 //!   budget.
@@ -38,7 +39,7 @@ pub mod replay;
 pub mod scenario;
 pub mod shrink;
 
-pub use explore::{explore, Counterexample, ExploreConfig, ExploreReport};
+pub use explore::{explore, explore_with, Counterexample, ExploreConfig, ExploreReport};
 pub use invariants::{check_all, Violation};
 pub use replay::{ReplayFile, ReplayOutcome};
 pub use scenario::{run_scenario, CheckOptions, RunResult, ScenarioKind};

@@ -7,7 +7,7 @@
 //! everything else. Unrecognized lines are *not* an error: the trace is a
 //! shared log and other subsystems are free to add records.
 
-use ds_sim::prelude::{SimTime, Trace, TraceCategory};
+use ds_sim::prelude::{SimTime, Trace, TraceCategory, VectorClock};
 use oftt::role::Role;
 
 /// One parsed, invariant-relevant occurrence.
@@ -17,6 +17,10 @@ pub struct Event {
     pub at: SimTime,
     /// What happened.
     pub kind: EventKind,
+    /// Logical timestamp of the emitting actor, when the run was traced
+    /// with causality recording on (`None` otherwise). Invariants that
+    /// reason about happens-before treat `None` as vacuously ordered.
+    pub clock: Option<VectorClock>,
 }
 
 /// The invariant-relevant event vocabulary.
@@ -87,6 +91,17 @@ pub enum EventKind {
         /// Checksum of the served image.
         crc: u32,
     },
+    /// A primary learned its shipped checkpoint was installed by the
+    /// backup: `ckpt acked (term=T seq=S)`. (No crc — the ack carries only
+    /// the position.)
+    CkptAcked {
+        /// The acked (shipping) application endpoint.
+        ep: String,
+        /// Checkpoint position.
+        term: u64,
+        /// Checkpoint position.
+        seq: u64,
+    },
     /// An FTIM restored application state from a (term, seq) position at
     /// takeover. `crc` is the checksum of the image actually restored.
     CkptRestore {
@@ -148,6 +163,14 @@ fn split_ep(message: &str) -> Option<(&str, &str)> {
     Some((ep, rest))
 }
 
+/// Extracts `(term, seq)` from a `... (term=T seq=S)` suffix (no crc).
+fn parse_bare_position(rest: &str) -> Option<(u64, u64)> {
+    let inner = rest.split_once("(term=")?.1;
+    let (term, after) = inner.split_once(" seq=")?;
+    let seq = after.strip_suffix(')')?;
+    Some((term.trim().parse().ok()?, seq.trim().parse().ok()?))
+}
+
 /// Extracts `(term, seq, crc)` from a `... (term=T seq=S crc=C)` suffix.
 fn parse_position(rest: &str) -> Option<(u64, u64, u32)> {
     let inner = rest.split_once("(term=")?.1;
@@ -202,6 +225,9 @@ fn parse_checkpoint(ep: &str, rest: &str) -> Option<EventKind> {
     } else if rest.starts_with("ckpt served ") {
         let (term, seq, crc) = parse_position(rest)?;
         Some(EventKind::CkptServed { ep, term, seq, crc })
+    } else if rest.starts_with("ckpt acked ") {
+        let (term, seq) = parse_bare_position(rest)?;
+        Some(EventKind::CkptAcked { ep, term, seq })
     } else if rest.starts_with("ckpt restore position ") {
         let (term, seq, crc) = parse_position(rest)?;
         Some(EventKind::CkptRestore { ep, term, seq, crc })
@@ -270,7 +296,7 @@ pub fn parse_trace(trace: &Trace) -> Vec<Event> {
             _ => None,
         };
         if let Some(kind) = kind {
-            events.push(Event { at: entry.at, kind });
+            events.push(Event { at: entry.at, kind, clock: entry.clock.clone() });
         }
     }
     events
@@ -332,6 +358,21 @@ mod tests {
             events[3].kind,
             EventKind::CkptRestore { ep: "node0/call-track".into(), term: 1, seq: 4, crc: 77 }
         );
+    }
+
+    #[test]
+    fn parses_ckpt_ack_without_crc() {
+        let trace = trace_with(&[(
+            TraceCategory::Checkpoint,
+            "node1/call-track: ckpt acked (term=1 seq=4)",
+        )]);
+        let events = parse_trace(&trace);
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::CkptAcked { ep: "node1/call-track".into(), term: 1, seq: 4 }
+        );
+        assert!(events[0].clock.is_none(), "untraced runs carry no clocks");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use ds_net::fault::Fault;
-use ds_sim::prelude::{ChoicePoint, Schedule, SchedulePolicy, SimDuration, SimTime};
+use ds_sim::prelude::{CausalityLog, ChoicePoint, Schedule, SchedulePolicy, SimDuration, SimTime};
 use oftt::config::StartupFallback;
 use oftt_harness::scenario::{Fig3Scenario, ScenarioParams};
 
@@ -82,6 +82,9 @@ pub struct RunResult {
     pub events: Vec<Event>,
     /// The full rendered trace (for counterexample reports).
     pub trace_text: String,
+    /// The causality log (vector-clocked access/lock/API records) the run
+    /// produced; consumed by oftt-audit's analyzers.
+    pub causality: CausalityLog,
 }
 
 /// How long every checked run lasts.
@@ -99,6 +102,9 @@ pub fn run_scenario(
     let bug = opts.inject_startup_bug;
     let params = ScenarioParams {
         seed,
+        // Arm the Call Track deadman so checked runs exercise the watchdog
+        // API surface (oftt-audit's lifecycle linter needs those events).
+        watchdog: Some(SimDuration::from_secs(5)),
         tune: Arc::new(move |config| {
             if bug {
                 // The §3.2 pre-fix behaviour: one negotiation attempt, then
@@ -110,6 +116,7 @@ pub fn run_scenario(
         ..Default::default()
     };
     let mut scenario = Fig3Scenario::build(&params);
+    scenario.cs.set_causality_recording(true);
     scenario.cs.set_schedule_policy(SchedulePolicy::Explore {
         forced: forced.to_vec(),
         window: opts.tie_window,
@@ -132,8 +139,15 @@ pub fn run_scenario(
     scenario.run_until(HORIZON);
     let schedule = Schedule::new(seed, scenario.cs.choices_taken());
     let choice_points = scenario.cs.choice_points().to_vec();
+    let causality = scenario.cs.take_causality_log();
     let trace = scenario.cs.trace();
-    RunResult { schedule, choice_points, events: parse_trace(trace), trace_text: trace.to_text() }
+    RunResult {
+        schedule,
+        choice_points,
+        events: parse_trace(trace),
+        trace_text: trace.to_text(),
+        causality,
+    }
 }
 
 #[cfg(test)]

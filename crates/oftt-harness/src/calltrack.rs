@@ -164,6 +164,12 @@ impl FtApplication for CallTrack {
         if let Some(period) = self.watchdog {
             let _ = ctx.watchdog_create("deadman", period);
             let _ = ctx.watchdog_set("deadman");
+            // Seeded defect (c): premature cleanup — the deadman is deleted
+            // right after arming, so every later reset from
+            // `on_app_message` is a use-after-delete the lifecycle linter
+            // must flag.
+            #[cfg(feature = "inject_bugs")]
+            let _ = ctx.watchdog_delete("deadman");
         }
         ctx.env().set_timer(SimDuration::from_secs(1), REATTACH_TICK);
         self.publish(true);
@@ -172,6 +178,12 @@ impl FtApplication for CallTrack {
     fn on_deactivate(&mut self, ctx: &mut FtCtx<'_>) {
         if let Some(consumer) = self.consumer.take() {
             consumer.detach(ctx.env());
+        }
+        if self.watchdog.is_some() {
+            // Release the deadman on the way out so a deliberate deactivation
+            // does not leave a leaked watchdog behind. Deleting twice (e.g.
+            // after a use-after-delete defect fired) is tolerated.
+            let _ = ctx.watchdog_delete("deadman");
         }
         self.publish(false);
     }

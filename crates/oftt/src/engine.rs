@@ -24,7 +24,7 @@ use std::sync::Arc;
 use ds_net::endpoint::{Endpoint, NodeId, ServiceName};
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
-use ds_sim::prelude::{SimTime, TraceCategory};
+use ds_sim::prelude::{AccessKind, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
 use crate::config::{engine_endpoint, OfttConfig, RecoveryRule, StartupFallback};
@@ -87,6 +87,10 @@ pub struct Engine {
     peer_role: Option<Role>,
     hello_attempts: u32,
     probe: Arc<Mutex<EngineProbe>>,
+    /// Seeded defect (b): a second lock acquired in opposite orders by
+    /// `tick` and `send_status` — a latent deadlock for oftt-audit to find.
+    #[cfg(feature = "inject_bugs")]
+    diag: Mutex<u64>,
 }
 
 impl Engine {
@@ -106,11 +110,23 @@ impl Engine {
             peer_role: None,
             hello_attempts: 0,
             probe,
+            #[cfg(feature = "inject_bugs")]
+            diag: Mutex::new(0),
         }
     }
 
     fn peer_endpoint(&self) -> Endpoint {
         engine_endpoint(self.peer)
+    }
+
+    /// Locks the shared probe with acquire/release visible to the
+    /// lock-order auditor.
+    fn with_probe<R>(&self, env: &mut dyn ProcessEnv, f: impl FnOnce(&mut EngineProbe) -> R) -> R {
+        let lock_name = format!("probe:{}", env.self_endpoint());
+        env.observe_lock(&lock_name, true);
+        let out = f(&mut self.probe.lock());
+        env.observe_lock(&lock_name, false);
+        out
     }
 
     fn set_role(&mut self, role: Role, term: u64, reason: &str, env: &mut dyn ProcessEnv) {
@@ -119,11 +135,13 @@ impl Engine {
         }
         self.role = role;
         self.term = term;
+        env.observe_access(&format!("role:{}", env.self_endpoint()), AccessKind::Write, reason);
         env.record(
             TraceCategory::Engine,
             format!("{}: role={role} term={term} ({reason})", env.self_endpoint()),
         );
-        self.probe.lock().role_history.push((env.now(), role, term));
+        let now = env.now();
+        self.with_probe(env, |p| p.role_history.push((now, role, term)));
         let update = FromEngine::RoleUpdate { role, term };
         let targets: Vec<Endpoint> = self.components.values().map(|c| c.endpoint.clone()).collect();
         for target in targets {
@@ -136,7 +154,7 @@ impl Engine {
     }
 
     fn request_switchover(&mut self, reason: String, env: &mut dyn ProcessEnv) {
-        self.probe.lock().switchover_requests += 1;
+        self.with_probe(env, |p| p.switchover_requests += 1);
         env.record(
             TraceCategory::Engine,
             format!("{}: requesting switchover: {reason}", env.self_endpoint()),
@@ -311,7 +329,7 @@ impl Engine {
             .map(|(s, _)| s.clone())
             .collect();
         for service in overdue {
-            self.probe.lock().detections.push((now, service.as_str().to_string()));
+            self.with_probe(env, |p| p.detections.push((now, service.as_str().to_string())));
             env.record(
                 TraceCategory::Engine,
                 format!("{}: detected failure of {service}", env.self_endpoint()),
@@ -327,7 +345,7 @@ impl Engine {
                         // and resume heartbeats.
                         component.last_beat = now;
                         component.healthy = true;
-                        self.probe.lock().restarts += 1;
+                        self.with_probe(env, |p| p.restarts += 1);
                         let me = self.me;
                         env.record(
                             TraceCategory::Engine,
@@ -353,7 +371,7 @@ impl Engine {
                 // as standby software (it will only activate on a future
                 // promotion).
                 let me = self.me;
-                self.probe.lock().restarts += 1;
+                self.with_probe(env, |p| p.restarts += 1);
                 env.restart_service(me, &service);
                 if let Some(component) = self.components.get_mut(&service) {
                     component.restart_attempts = 0;
@@ -398,9 +416,51 @@ impl Engine {
         if env.now() > SimTime::ZERO {
             self.check_components(env);
         }
+        // Seeded defect (a): a cross-node "debug peek" straight into the
+        // peer FTIM's checkpoint store. No message carries this read, so it
+        // is concurrent with the peer's install writes — a genuine data
+        // race oftt-audit must flag.
+        // Seeded defect (b), first half: probe is locked before diag here,
+        // while send_status locks diag before probe.
+        #[cfg(feature = "inject_bugs")]
+        {
+            for (service, component) in &self.components {
+                if component.kind == FtimKind::OpcClient {
+                    let peer_ep = Endpoint::new(self.peer, service.clone());
+                    env.observe_access(
+                        &format!("ckpt-store:{peer_ep}"),
+                        AccessKind::Read,
+                        "engine debug peek (injected)",
+                    );
+                }
+            }
+            let probe_lock = format!("probe:{}", env.self_endpoint());
+            let diag_lock = format!("diag:{}", env.self_endpoint());
+            env.observe_lock(&probe_lock, true);
+            let probe_guard = self.probe.lock();
+            env.observe_lock(&diag_lock, true);
+            *self.diag.lock() += probe_guard.role_history.len() as u64;
+            env.observe_lock(&diag_lock, false);
+            drop(probe_guard);
+            env.observe_lock(&probe_lock, false);
+        }
     }
 
     fn send_status(&mut self, env: &mut dyn ProcessEnv) {
+        // Seeded defect (b), second half: diag is locked before probe here —
+        // the opposite order from `tick` — closing the deadlock cycle.
+        #[cfg(feature = "inject_bugs")]
+        {
+            let probe_lock = format!("probe:{}", env.self_endpoint());
+            let diag_lock = format!("diag:{}", env.self_endpoint());
+            env.observe_lock(&diag_lock, true);
+            let diag_guard = self.diag.lock();
+            env.observe_lock(&probe_lock, true);
+            let _ = self.probe.lock().role_history.len() as u64 + *diag_guard;
+            env.observe_lock(&probe_lock, false);
+            drop(diag_guard);
+            env.observe_lock(&diag_lock, false);
+        }
         let Some(monitor) = self.config.monitor.clone() else { return };
         let now = env.now();
         let report = StatusReport {
@@ -429,7 +489,8 @@ impl Process for Engine {
         self.me = env.self_endpoint().node;
         self.peer = self.config.pair.peer_of(self.me);
         env.record(TraceCategory::Engine, format!("{}: engine starting", env.self_endpoint()));
-        self.probe.lock().role_history.push((env.now(), Role::Negotiating, 0));
+        let now = env.now();
+        self.with_probe(env, |p| p.role_history.push((now, Role::Negotiating, 0)));
         let hello = PeerMsg::Hello { node: self.me, role: self.role, term: self.term };
         env.send_msg(self.peer_endpoint(), hello);
         env.set_timer(self.config.startup_timeout, STARTUP);
@@ -466,7 +527,7 @@ impl Process for Engine {
                                     env.self_endpoint()
                                 ),
                             );
-                            self.probe.lock().shut_down_at_startup = true;
+                            self.with_probe(env, |p| p.shut_down_at_startup = true);
                             env.exit();
                         }
                         StartupFallback::BecomePrimary => {
@@ -544,14 +605,25 @@ mod tests {
         (rig.probe_a.lock().current_role(), rig.probe_b.lock().current_role())
     }
 
+    /// Both engines' settled roles, with a readable panic when either engine
+    /// never announced one.
+    #[track_caller]
+    fn settled_roles(rig: &Rig, context: &str) -> (Role, Role) {
+        match roles(rig) {
+            (Some(ra), Some(rb)) => (ra, rb),
+            partial => {
+                panic!("{context}: an engine never announced a role (node a/b = {partial:?})")
+            }
+        }
+    }
+
     #[test]
     fn startup_elects_exactly_one_primary() {
         for seed in 0..20 {
             let mut r = rig(seed);
             r.cs.start();
             r.cs.run_until(SimTime::from_secs(10));
-            let (ra, rb) = roles(&r);
-            let pair = (ra.unwrap(), rb.unwrap());
+            let pair = settled_roles(&r, &format!("seed {seed}"));
             assert!(
                 matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
                 "seed {seed}: got {pair:?}"
@@ -618,8 +690,7 @@ mod tests {
         assert_eq!((ra, rb), (Some(Role::Primary), Some(Role::Primary)));
         inject(&mut r.cs, SimTime::from_secs(20), Fault::Heal(r.a, r.b));
         r.cs.run_until(SimTime::from_secs(30));
-        let (ra, rb) = roles(&r);
-        let pair = (ra.unwrap(), rb.unwrap());
+        let pair = settled_roles(&r, "after heal");
         assert!(
             matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
             "heal must demote one side, got {pair:?}"
@@ -662,8 +733,7 @@ mod tests {
         r.cs.start();
         r.cs.run_until(SimTime::from_secs(30));
         assert!(!r.probe_a.lock().shut_down_at_startup, "retries should cover an 8 s stagger");
-        let (ra, rb) = roles(&r);
-        let pair = (ra.unwrap(), rb.unwrap());
+        let pair = settled_roles(&r, "after slow peer startup");
         assert!(
             matches!(pair, (Role::Primary, Role::Backup) | (Role::Backup, Role::Primary)),
             "got {pair:?}"

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use ds_net::endpoint::Endpoint;
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt, TimerHandle};
-use ds_sim::prelude::{SimDuration, SimTime, TraceCategory};
+use ds_sim::prelude::{AccessKind, SimDuration, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
 use crate::checkpoint::{
@@ -155,6 +155,7 @@ impl<'a> FtCtx<'a> {
     /// designation forces the next checkpoint to be a full image, since
     /// pending deltas were filtered under the old designation.
     pub fn designate(&mut self, vars: &[&str]) {
+        self.env.observe_api("sel_save", &format!("vars={}", vars.join(",")));
         self.core.designated =
             if vars.is_empty() { None } else { Some(vars.iter().map(|s| s.to_string()).collect()) };
         self.core.need_full = true;
@@ -163,6 +164,8 @@ impl<'a> FtCtx<'a> {
     /// `OFTTSave`: ship a checkpoint immediately, without waiting for the
     /// period (used for event-based checkpointing).
     pub fn save_now(&mut self) {
+        self.env
+            .observe_api("save", &format!("role={} active={}", self.core.role, self.core.active));
         self.core.save_requested = true;
     }
 
@@ -177,9 +180,11 @@ impl<'a> FtCtx<'a> {
 
     /// `OFTTDistress`: report a serious problem and request a switchover.
     pub fn distress(&mut self, reason: impl Into<String>) {
+        let reason = reason.into();
+        self.env.observe_api("distress", &reason);
         let service = self.core.service_endpoint.service.clone();
         let engine = self.core.engine_endpoint.clone();
-        self.env.send_msg(engine, ToEngine::Distress { service, reason: reason.into() });
+        self.env.send_msg(engine, ToEngine::Distress { service, reason });
     }
 
     /// `OFTTWatchdogCreate`.
@@ -192,7 +197,9 @@ impl<'a> FtCtx<'a> {
         name: &str,
         period: SimDuration,
     ) -> Result<(), WatchdogError> {
-        self.core.watchdogs.create(name, period)
+        let res = self.core.watchdogs.create(name, period);
+        self.env.observe_api("watchdog_create", &format!("name={name} ok={}", res.is_ok()));
+        res
     }
 
     /// `OFTTWatchdogSet`: arms the watchdog.
@@ -202,7 +209,9 @@ impl<'a> FtCtx<'a> {
     /// [`WatchdogError::NotFound`] for unknown names.
     pub fn watchdog_set(&mut self, name: &str) -> Result<SimTime, WatchdogError> {
         let now = self.env.now();
-        self.core.watchdogs.set(name, now)
+        let res = self.core.watchdogs.set(name, now);
+        self.env.observe_api("watchdog_set", &format!("name={name} ok={}", res.is_ok()));
+        res
     }
 
     /// `OFTTWatchdogReset`: kicks the watchdog.
@@ -212,7 +221,9 @@ impl<'a> FtCtx<'a> {
     /// [`WatchdogError::NotFound`] for unknown names.
     pub fn watchdog_reset(&mut self, name: &str) -> Result<SimTime, WatchdogError> {
         let now = self.env.now();
-        self.core.watchdogs.reset(name, now)
+        let res = self.core.watchdogs.reset(name, now);
+        self.env.observe_api("watchdog_reset", &format!("name={name} ok={}", res.is_ok()));
+        res
     }
 
     /// `OFTTWatchdogDelete`.
@@ -221,7 +232,9 @@ impl<'a> FtCtx<'a> {
     ///
     /// [`WatchdogError::NotFound`] for unknown names.
     pub fn watchdog_delete(&mut self, name: &str) -> Result<(), WatchdogError> {
-        self.core.watchdogs.delete(name)
+        let res = self.core.watchdogs.delete(name);
+        self.env.observe_api("watchdog_delete", &format!("name={name} ok={}", res.is_ok()));
+        res
     }
 }
 
@@ -321,8 +334,16 @@ impl<A: FtApplication> FtProcess<A> {
                 if let Some(bytes) = vars.get(WATCHDOG_VAR) {
                     if let Ok(table) = comsim::marshal::from_bytes::<WatchdogTable>(bytes) {
                         self.core.watchdogs = table;
+                        for name in self.core.watchdogs.names() {
+                            env.observe_api("watchdog_restore", &format!("name={name}"));
+                        }
                     }
                 }
+                env.observe_access(
+                    &format!("varstore:{}", env.self_endpoint()),
+                    AccessKind::Write,
+                    "restore image",
+                );
                 self.app.restore(&vars);
                 self.core.probe.lock().restores.push((now, vars.len(), from_local));
                 env.record(
@@ -353,6 +374,7 @@ impl<A: FtApplication> FtProcess<A> {
         self.core.ship_store.clear();
         self.core.probe.lock().activations.push(now);
         env.record(TraceCategory::Engine, format!("{}: application ACTIVE", env.self_endpoint()));
+        env.observe_api("activate", "promoted");
         self.ctx_call(env, |app, ctx| app.on_activate(ctx));
     }
 
@@ -368,6 +390,7 @@ impl<A: FtApplication> FtProcess<A> {
             TraceCategory::Engine,
             format!("{}: application ACTIVE (resumed in place)", env.self_endpoint()),
         );
+        env.observe_api("activate", "resumed in place");
         self.ctx_call(env, |app, ctx| app.on_activate(ctx));
     }
 
@@ -382,6 +405,9 @@ impl<A: FtApplication> FtProcess<A> {
             format!("{}: application INACTIVE ({reason})", env.self_endpoint()),
         );
         self.ctx_call(env, |app, ctx| app.on_deactivate(ctx));
+        // Recorded after the application's own on_deactivate cleanup so the
+        // lifecycle linter sees watchdog deletions before the deactivate.
+        env.observe_api("deactivate", reason);
     }
 
     /// The designation filter with the reserved watchdog variable always
@@ -444,6 +470,13 @@ impl<A: FtApplication> FtProcess<A> {
             }
         };
         self.sync_store(full);
+        // The walkthrough reads the application's state and rewrites the
+        // node-local shipping store.
+        env.observe_access(
+            &format!("varstore:{}", env.self_endpoint()),
+            AccessKind::Write,
+            "checkpoint walkthrough",
+        );
         let designated = self.effective_designation();
         let designated = designated.as_ref();
         // `image_crc` is the checksum of the *cumulative* designated image
@@ -479,6 +512,13 @@ impl<A: FtApplication> FtProcess<A> {
             payload_crc,
         );
         self.core.shipped_position = (self.core.term, self.core.ckpt_seq);
+        // Checkpoint objects are origin-qualified and versioned by (term,
+        // seq), so each is written exactly once — by its shipping primary.
+        env.observe_access(
+            &format!("ckpt:{}:t{}.s{}", env.self_endpoint(), self.core.term, self.core.ckpt_seq),
+            AccessKind::Write,
+            "ship",
+        );
         env.record(
             TraceCategory::Checkpoint,
             format!(
@@ -490,12 +530,16 @@ impl<A: FtApplication> FtProcess<A> {
         );
         let size = checkpoint.wire_size();
         {
+            let lock_name = format!("ftim-probe:{}", env.self_endpoint());
+            env.observe_lock(&lock_name, true);
             let mut probe = self.core.probe.lock();
             probe.ckpts_sent += 1;
             probe.ckpt_bytes_sent += size;
             if full {
                 probe.fulls_sent += 1;
             }
+            drop(probe);
+            env.observe_lock(&lock_name, false);
         }
         let peer = self.core.peer_endpoint.clone();
         env.send_sized(peer, FtimPeerMsg::Ckpt(checkpoint), size);
@@ -507,6 +551,14 @@ impl<A: FtApplication> FtProcess<A> {
         match msg {
             FromEngine::EngineHeartbeat => {}
             FromEngine::RoleUpdate { role, term } => {
+                // The engine's decision arrives by message (that edge is
+                // the ordering); the state touched here is the FTIM's own
+                // role copy, not the engine's live variable.
+                env.observe_access(
+                    &format!("ftim-role:{}", env.self_endpoint()),
+                    AccessKind::Write,
+                    "role update",
+                );
                 self.core.role = role;
                 self.core.term = term;
                 match role {
@@ -560,6 +612,16 @@ impl<A: FtApplication> FtProcess<A> {
                 let (term, seq) = (checkpoint.term, checkpoint.seq);
                 match self.core.store.offer(&checkpoint) {
                     AcceptOutcome::Installed => {
+                        env.observe_access(
+                            &format!("ckpt:{from}:t{term}.s{seq}"),
+                            AccessKind::Read,
+                            "install",
+                        );
+                        env.observe_access(
+                            &format!("ckpt-store:{}", env.self_endpoint()),
+                            AccessKind::Write,
+                            "install",
+                        );
                         self.core.probe.lock().ckpts_installed += 1;
                         // The merged image's checksum (folded from digests
                         // recorded at install) must equal the crc the
@@ -594,6 +656,10 @@ impl<A: FtApplication> FtProcess<A> {
                 }
             }
             FtimPeerMsg::CkptAck { term, seq } => {
+                env.record(
+                    TraceCategory::Checkpoint,
+                    format!("{}: ckpt acked (term={term} seq={seq})", env.self_endpoint()),
+                );
                 let mut probe = self.core.probe.lock();
                 if (term, seq) > probe.last_acked {
                     probe.last_acked = (term, seq);
@@ -608,6 +674,11 @@ impl<A: FtApplication> FtProcess<A> {
                 // the image checksum so oftt-check can tie the eventual
                 // restore back to a state that actually existed here.
                 let reply = if self.core.active {
+                    env.observe_access(
+                        &format!("varstore:{}", env.self_endpoint()),
+                        AccessKind::Read,
+                        "serve live",
+                    );
                     let vars = self.current_vars();
                     env.record(
                         TraceCategory::Checkpoint,
@@ -625,6 +696,11 @@ impl<A: FtApplication> FtProcess<A> {
                         seq: self.core.ckpt_seq,
                     }
                 } else if self.core.store.is_restorable() {
+                    env.observe_access(
+                        &format!("ckpt-store:{}", env.self_endpoint()),
+                        AccessKind::Read,
+                        "serve store",
+                    );
                     let (term, seq) = self.core.store.position();
                     env.record(
                         TraceCategory::Checkpoint,
@@ -741,6 +817,7 @@ impl<A: FtApplication> Process for FtProcess<A> {
         self.core.peer_endpoint = Endpoint::new(peer_node, me.service.clone());
         self.core.last_engine_heard = env.now();
         let rule = self.core.rule;
+        env.observe_api("initialize", &format!("service={}", me.service));
         env.send_msg(
             self.core.engine_endpoint.clone(),
             ToEngine::Register { service: me.service.clone(), kind: FtimKind::OpcClient, rule },

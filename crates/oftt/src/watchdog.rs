@@ -147,6 +147,11 @@ impl WatchdogTable {
         self.entries.get(name)
     }
 
+    /// Iterates over watchdog names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
+    }
+
     /// Number of watchdogs.
     pub fn len(&self) -> usize {
         self.entries.len()
