@@ -9,8 +9,12 @@
 #   5. model checking    budgeted oftt-check sweep over pair failover
 #   6. audit sweep       oftt-audit over both sweeps (races, lock order,
 #                        stale reads, API lifecycle) + seeded-defect smoke
-#   7. bench smoke       one-sample BENCH_checkpoint.json emit + schema
-#                        validation (fails on schema drift)
+#   7. wire smoke        two real oftt-node processes over loopback TCP:
+#                        SIGKILL the primary, assert promotion within the
+#                        detection budget and restore-crc integrity
+#   8. bench smoke       one-sample BENCH_checkpoint.json emit + a reduced
+#                        BENCH_wire.json emit, both schema-validated
+#                        (fails on schema drift)
 #
 # Exits non-zero on the first failing stage.
 
@@ -51,11 +55,21 @@ cargo run -p oftt-audit --release -q -- scan --scenario partitioned-startup --bu
 step "audit seeded-defect corpus (inject_bugs)"
 cargo test -p oftt-audit --features inject_bugs -q
 
+step "wire smoke: two-process SIGKILL failover over TCP"
+cargo build --release -q -p oftt-wire --bins
+./target/release/wire-smoke
+
 step "bench smoke: checkpoint data-path artifact"
 BENCH_SMOKE_OUT=$(mktemp /tmp/BENCH_checkpoint.XXXXXX.json)
-trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+BENCH_WIRE_OUT=$(mktemp /tmp/BENCH_wire.XXXXXX.json)
+trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_WIRE_OUT"' EXIT
 BENCH_SAMPLES=1 BENCH_OUT="$BENCH_SMOKE_OUT" \
     cargo run -p bench --release -q --bin bench-checkpoint
 cargo run -p bench --release -q --bin bench-validate "$BENCH_SMOKE_OUT"
+
+step "bench smoke: wire runtime artifact (20 kills)"
+BENCH_SAMPLES=500 BENCH_CKPT_SECS=2 BENCH_OUT="$BENCH_WIRE_OUT" \
+    cargo run -p bench --release -q --bin bench-wire
+cargo run -p bench --release -q --bin bench-validate "$BENCH_WIRE_OUT"
 
 printf '\nCI green.\n'

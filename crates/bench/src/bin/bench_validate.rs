@@ -1,15 +1,18 @@
-//! Validates a `BENCH_checkpoint.json` artifact against the
-//! `oftt-bench-checkpoint-v1` schema — CI's guard against schema drift and
-//! against the dirty path quietly losing its edge.
+//! Validates bench artifacts against their declared schema — CI's guard
+//! against schema drift and against the measured properties quietly
+//! regressing. Dispatches on the top-level `"schema"` string:
+//!
+//! * `oftt-bench-checkpoint-v1` (`BENCH_checkpoint.json`) — the 10k-vars /
+//!   1%-locality cell must clear the acceptance thresholds (speedup ≥ 5×,
+//!   wire ratio ≥ 20×, restore equality in every cell);
+//! * `oftt-bench-wire-v1` (`BENCH_wire.json`) — the socket runtime must
+//!   show the acceptance workload (10k vars at 1% locality) with zero
+//!   data-frame sheds, ≥ 20 SIGKILL failover samples, and promotion p99
+//!   inside the 3 s detection budget.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench-validate [path]
 //! ```
-//!
-//! Exit 0 on a well-formed artifact whose 10k-vars / 1%-locality cell
-//! clears the acceptance thresholds (speedup ≥ 5×, wire ratio ≥ 20×,
-//! restore equality holds in every cell); exit 1 with a diagnostic
-//! otherwise.
 
 use bench::json::{parse, Json};
 
@@ -46,10 +49,16 @@ fn validate(doc: &Json) -> Vec<String> {
         return vec!["top level is not an object".into()];
     }
     match require(doc, "schema", &mut errors).and_then(Json::as_str) {
-        Some("oftt-bench-checkpoint-v1") => {}
+        Some("oftt-bench-checkpoint-v1") => errors.extend(validate_checkpoint(doc)),
+        Some("oftt-bench-wire-v1") => errors.extend(validate_wire(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
         None => errors.push("schema is not a string".into()),
     }
+    errors
+}
+
+fn validate_checkpoint(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
     require_number(doc, "samples", &mut errors);
     require_number(doc, "periods_per_sample", &mut errors);
     let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
@@ -97,6 +106,74 @@ fn validate(doc: &Json) -> Vec<String> {
     errors
 }
 
+fn validate_wire(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+
+    if let Some(rtt) = require(doc, "rtt", &mut errors) {
+        require_number(rtt, "samples", &mut errors);
+        let p50 = require_number(rtt, "p50_us", &mut errors);
+        let p99 = require_number(rtt, "p99_us", &mut errors);
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            if p50 <= 0.0 {
+                errors.push("rtt: p50_us is not positive".into());
+            }
+            if p99 < p50 {
+                errors.push(format!("rtt: p99 {p99:.1} below p50 {p50:.1}"));
+            }
+        }
+    }
+
+    if let Some(ckpt) = require(doc, "checkpoint", &mut errors) {
+        let vars = require_number(ckpt, "vars", &mut errors);
+        let dirty_pct = require_number(ckpt, "dirty_pct", &mut errors);
+        require_number(ckpt, "var_bytes", &mut errors);
+        require_number(ckpt, "duration_ms", &mut errors);
+        let acked = require_number(ckpt, "ckpts_acked", &mut errors);
+        require_number(ckpt, "ckpts_per_sec", &mut errors);
+        require_number(ckpt, "ckpt_bytes_per_sec", &mut errors);
+        let drops = require_number(ckpt, "backpressure_drops", &mut errors);
+        require_number(ckpt, "heartbeats_shed", &mut errors);
+        // The acceptance workload, sustained with a drop-free write queue.
+        if vars != Some(10_000.0) {
+            errors.push(format!("checkpoint: vars {vars:?} is not the 10000-var workload"));
+        }
+        if dirty_pct != Some(1.0) {
+            errors.push(format!("checkpoint: dirty_pct {dirty_pct:?} is not 1% locality"));
+        }
+        if acked == Some(0.0) {
+            errors.push("checkpoint: zero checkpoints acknowledged".into());
+        }
+        if let Some(drops) = drops {
+            if drops > 0.0 {
+                errors.push(format!("checkpoint: {drops} data frames shed under load"));
+            }
+        }
+    }
+
+    if let Some(failover) = require(doc, "failover", &mut errors) {
+        let kills = require_number(failover, "kills", &mut errors);
+        let p50 = require_number(failover, "detection_ms_p50", &mut errors);
+        let p99 = require_number(failover, "detection_ms_p99", &mut errors);
+        require_number(failover, "detection_ms_max", &mut errors);
+        if let Some(kills) = kills {
+            if kills < 20.0 {
+                errors.push(format!("failover: only {kills} kills; 20 required"));
+            }
+        }
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            if p99 < p50 {
+                errors.push(format!("failover: p99 {p99} below p50 {p50}"));
+            }
+            // Promotion must land inside the smoke test's detection budget.
+            if p99 > 3000.0 {
+                errors.push(format!("failover: p99 {p99} ms over the 3000 ms budget"));
+            }
+        }
+    }
+
+    errors
+}
+
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_checkpoint.json".into());
     let text = match std::fs::read_to_string(&path) {
@@ -115,7 +192,8 @@ fn main() {
     };
     let errors = validate(&doc);
     if errors.is_empty() {
-        println!("bench-validate: {path} conforms to oftt-bench-checkpoint-v1");
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+        println!("bench-validate: {path} conforms to {schema}");
     } else {
         for e in &errors {
             eprintln!("bench-validate: {path}: {e}");

@@ -1,0 +1,470 @@
+//! Emits `BENCH_wire.json`: the socket runtime's three headline numbers.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench-wire      # writes BENCH_wire.json
+//! BENCH_SAMPLES=200 BENCH_KILLS=5 ... bench-wire     # reduced run
+//! BENCH_OUT=/tmp/w.json ... bench-wire               # alternate path
+//! ```
+//!
+//! 1. **rtt** — p50/p99 round-trip latency of a 256-byte frame between
+//!    two in-process [`WireNet`]s over loopback TCP (codec + supervisor +
+//!    socket both ways).
+//! 2. **checkpoint** — the full OFTT pair over sockets with the bench's
+//!    acceptance workload (10k designated variables, 64 B each, 1% write
+//!    locality per checkpoint period), measuring sustained checkpoint and
+//!    ack throughput. The write queue must never shed a data frame.
+//! 3. **failover** — real `oftt-node` process pairs; each cycle forms a
+//!    pair, establishes checkpoint flow, SIGKILLs the primary, and times
+//!    the survivor's promotion. Every cycle uses fresh processes and
+//!    fresh ports so each kill is an independent sample.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use comsim::buf::Bytes;
+use ds_net::endpoint::{Endpoint, NodeId};
+use ds_net::message::Envelope;
+use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use oftt::config::{engine_endpoint, OfttConfig, Pair, RecoveryRule};
+use oftt::engine::{Engine, EngineProbe};
+use oftt::ftim::{FtProcess, FtimProbe};
+use oftt::role::Role;
+use oftt_wire::app::{LoadApp, LoadConfig, LoadView};
+use oftt_wire::codec::{WireCodec, WirePing};
+use oftt_wire::harness::{free_port, pair_config, write_config, ChildNode};
+use oftt_wire::runtime::WireNet;
+use oftt_wire::supervisor::WireConfig;
+use parking_lot::Mutex;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn wait_for(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn wire_config(node: NodeId, listen_port: u16, peer: NodeId, peer_port: u16) -> WireConfig {
+    let mut config = WireConfig::loopback(node);
+    config.listen = format!("127.0.0.1:{listen_port}");
+    config.peers = vec![(peer, format!("127.0.0.1:{peer_port}"))];
+    config.seed = 7 + u64::from(node.0);
+    config
+}
+
+// ---------------------------------------------------------------- phase 1
+
+/// Sends one ping at a time and records each round trip's wall latency.
+struct TimedPinger {
+    target: Endpoint,
+    limit: usize,
+    sent_at: Instant,
+    rtts_ns: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Process for TimedPinger {
+    fn on_start(&mut self, env: &mut dyn ProcessEnv) {
+        self.sent_at = Instant::now();
+        env.send_msg(self.target.clone(), WirePing { seq: 0, pad: Bytes::from(vec![0u8; 256]) });
+    }
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if let Some(ping) = envelope.body.downcast_ref::<WirePing>() {
+            let rtt = self.sent_at.elapsed().as_nanos() as u64;
+            let mut rtts = self.rtts_ns.lock();
+            rtts.push(rtt);
+            if rtts.len() < self.limit {
+                drop(rtts);
+                self.sent_at = Instant::now();
+                env.send_msg(
+                    self.target.clone(),
+                    WirePing { seq: ping.seq + 1, pad: Bytes::from(vec![0u8; 256]) },
+                );
+            }
+        }
+    }
+}
+
+struct Echo;
+
+impl Process for Echo {
+    fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        if let Some(ping) = envelope.body.downcast_ref::<WirePing>() {
+            env.send_msg(envelope.from.clone(), ping.clone());
+        }
+    }
+}
+
+struct RttStats {
+    samples: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn bench_rtt(samples: usize) -> RttStats {
+    let (na, nb) = (NodeId(0), NodeId(1));
+    let (port_a, port_b) = (free_port(), free_port());
+    let codec = Arc::new(WireCodec::standard());
+    let mut a =
+        WireNet::new(1, wire_config(na, port_a, nb, port_b), Arc::clone(&codec)).expect("net a");
+    let mut b = WireNet::new(2, wire_config(nb, port_b, na, port_a), codec).expect("net b");
+
+    let rtts = Arc::new(Mutex::new(Vec::with_capacity(samples)));
+    {
+        let rtts = Arc::clone(&rtts);
+        let target = Endpoint::new(nb, "echo");
+        a.register(
+            Endpoint::new(na, "pinger"),
+            Box::new(move || {
+                Box::new(TimedPinger {
+                    target: target.clone(),
+                    limit: samples,
+                    sent_at: Instant::now(),
+                    rtts_ns: rtts.clone(),
+                })
+            }),
+        );
+    }
+    b.register(Endpoint::new(nb, "echo"), Box::new(|| Box::new(Echo)));
+    assert!(
+        wait_for(|| a.connected(nb) && b.connected(na), Duration::from_secs(10)),
+        "rtt phase: link must form"
+    );
+    b.start(&Endpoint::new(nb, "echo"));
+    a.start(&Endpoint::new(na, "pinger"));
+    assert!(
+        wait_for(|| rtts.lock().len() >= samples, Duration::from_secs(120)),
+        "rtt phase: volleys must complete (got {})",
+        rtts.lock().len()
+    );
+    a.shutdown();
+    b.shutdown();
+
+    let mut sorted = rtts.lock().clone();
+    sorted.sort_unstable();
+    RttStats {
+        samples,
+        p50_us: percentile(&sorted, 50.0) as f64 / 1000.0,
+        p99_us: percentile(&sorted, 99.0) as f64 / 1000.0,
+    }
+}
+
+// ---------------------------------------------------------------- phase 2
+
+struct CkptStats {
+    vars: usize,
+    var_bytes: usize,
+    dirty_pct: f64,
+    duration_ms: u64,
+    ckpts_acked: u64,
+    ckpts_per_sec: f64,
+    ckpt_bytes_per_sec: f64,
+    backpressure_drops: u64,
+    heartbeats_shed: u64,
+}
+
+struct BenchNode {
+    net: WireNet,
+    engine: Arc<Mutex<EngineProbe>>,
+    ftim: Arc<Mutex<FtimProbe>>,
+    view: Arc<Mutex<LoadView>>,
+}
+
+fn bench_node(
+    node: NodeId,
+    listen_port: u16,
+    peer: NodeId,
+    peer_port: u16,
+    load: LoadConfig,
+) -> BenchNode {
+    let mut config = OfttConfig::new(Pair::new(node.min(peer), node.max(peer)));
+    config.heartbeat_period = ds_sim::prelude::SimDuration::from_millis(50);
+    config.component_timeout = ds_sim::prelude::SimDuration::from_millis(400);
+    config.peer_timeout = ds_sim::prelude::SimDuration::from_millis(400);
+    config.fail_safe_timeout = ds_sim::prelude::SimDuration::from_millis(250);
+    config.checkpoint_period = ds_sim::prelude::SimDuration::from_millis(100);
+    config.startup_timeout = ds_sim::prelude::SimDuration::from_millis(500);
+
+    let mut net = WireNet::new(
+        u64::from(node.0) + 40,
+        wire_config(node, listen_port, peer, peer_port),
+        Arc::new(WireCodec::standard()),
+    )
+    .expect("wire net");
+    let engine = Arc::new(Mutex::new(EngineProbe::default()));
+    {
+        let engine_config = config.clone();
+        let probe = Arc::clone(&engine);
+        net.register(
+            engine_endpoint(node),
+            Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
+        );
+    }
+    let ftim = Arc::new(Mutex::new(FtimProbe::default()));
+    let view = Arc::new(Mutex::new(LoadView::default()));
+    {
+        let ftim = Arc::clone(&ftim);
+        let view = Arc::clone(&view);
+        net.register(
+            Endpoint::new(node, "app"),
+            Box::new(move || {
+                Box::new(FtProcess::new(
+                    config.clone(),
+                    RecoveryRule::LocalRestart { max_attempts: 1 },
+                    LoadApp::new(load, view.clone()),
+                    ftim.clone(),
+                ))
+            }),
+        );
+    }
+    net.start(&engine_endpoint(node));
+    net.start(&Endpoint::new(node, "app"));
+    BenchNode { net, engine, ftim, view }
+}
+
+fn bench_checkpoint_flow(run_for: Duration) -> CkptStats {
+    // The acceptance workload: 10k vars × 64 B, 1% of them rewritten per
+    // 100 ms checkpoint period (20 ms ticks × 20 vars = 100 vars/period).
+    let load = LoadConfig {
+        vars: 10_000,
+        var_bytes: 64,
+        dirty_per_tick: 20,
+        tick_period: Duration::from_millis(20),
+    };
+    let (na, nb) = (NodeId(0), NodeId(1));
+    let (port_a, port_b) = (free_port(), free_port());
+    let mut nodes =
+        vec![bench_node(na, port_a, nb, port_b, load), bench_node(nb, port_b, na, port_a, load)];
+    assert!(
+        wait_for(
+            || {
+                let roles: Vec<_> = nodes.iter().map(|n| n.engine.lock().current_role()).collect();
+                matches!(
+                    (roles[0], roles[1]),
+                    (Some(Role::Primary), Some(Role::Backup))
+                        | (Some(Role::Backup), Some(Role::Primary))
+                )
+            },
+            Duration::from_secs(15)
+        ),
+        "checkpoint phase: pair must form"
+    );
+    let primary = usize::from(nodes[0].engine.lock().current_role() != Some(Role::Primary));
+    assert!(
+        wait_for(|| nodes[primary].view.lock().ticks > 5, Duration::from_secs(10)),
+        "checkpoint phase: load must start ticking"
+    );
+
+    // Measure from a steady-state baseline.
+    let base = {
+        let p = nodes[primary].ftim.lock();
+        (p.ckpts_sent, p.ckpt_bytes_sent, p.last_acked)
+    };
+    let started = Instant::now();
+    std::thread::sleep(run_for);
+    let elapsed = started.elapsed();
+    let (sent, bytes, acked) = {
+        let p = nodes[primary].ftim.lock();
+        (p.ckpts_sent - base.0, p.ckpt_bytes_sent - base.1, p.last_acked)
+    };
+    assert!(acked > base.2, "checkpoint phase: the peer must keep acknowledging");
+    let health = nodes[primary].net.health();
+    let backpressure_drops: u64 = health.iter().map(|h| h.dropped_frames).sum();
+    let heartbeats_shed: u64 = health.iter().map(|h| h.dropped_heartbeats).sum();
+
+    for node in &mut nodes {
+        node.net.shutdown();
+    }
+    let secs = elapsed.as_secs_f64();
+    CkptStats {
+        vars: load.vars,
+        var_bytes: load.var_bytes,
+        // 5 ticks per 100 ms checkpoint period × dirty_per_tick vars.
+        dirty_pct: 100.0 * (load.dirty_per_tick as f64 * 5.0) / load.vars as f64,
+        duration_ms: elapsed.as_millis() as u64,
+        ckpts_acked: sent,
+        ckpts_per_sec: sent as f64 / secs,
+        ckpt_bytes_per_sec: bytes as f64 / secs,
+        backpressure_drops,
+        heartbeats_shed,
+    }
+}
+
+// ---------------------------------------------------------------- phase 3
+
+struct FailoverStats {
+    kills: usize,
+    detection_ms: Vec<u64>,
+}
+
+fn one_kill_cycle(dir: &std::path::Path, cycle: usize) -> u64 {
+    let (na, nb) = (NodeId(0), NodeId(1));
+    let (port_a, port_b) = (free_port(), free_port());
+    let seed = 1000 + cycle as u64 * 2;
+    let config_a = write_config(
+        dir,
+        &format!("a{cycle}.toml"),
+        &pair_config(na, port_a, nb, port_b, na, 200, seed),
+    );
+    let config_b = write_config(
+        dir,
+        &format!("b{cycle}.toml"),
+        &pair_config(nb, port_b, na, port_a, na, 200, seed + 1),
+    );
+    let mut children = vec![
+        ChildNode::spawn(na, &config_a).expect("spawn a"),
+        ChildNode::spawn(nb, &config_b).expect("spawn b"),
+    ];
+    for child in &children {
+        assert!(
+            child.wait_for_line(|l| l.starts_with("READY"), Duration::from_secs(10)).is_some(),
+            "cycle {cycle}: node never READY"
+        );
+    }
+    let deadline = Duration::from_secs(15);
+    let primary = if children[0].wait_for_line(|l| l.contains("role=primary"), deadline).is_some() {
+        0
+    } else {
+        assert!(
+            children[1].find_line(|l| l.contains("role=primary")).is_some(),
+            "cycle {cycle}: no primary"
+        );
+        1
+    };
+    let backup = 1 - primary;
+    assert!(
+        children[backup].wait_for_line(|l| l.contains("role=backup"), deadline).is_some(),
+        "cycle {cycle}: no backup"
+    );
+    assert!(
+        children[backup]
+            .wait_for_line(|l| l.contains("ckpt installed"), Duration::from_secs(10))
+            .is_some(),
+        "cycle {cycle}: checkpoint flow never established"
+    );
+
+    let killed_at = Instant::now();
+    children[primary].kill();
+    assert!(
+        children[backup]
+            .wait_for_line(|l| l.contains("role=primary"), Duration::from_secs(10))
+            .is_some(),
+        "cycle {cycle}: backup never promoted"
+    );
+    let detection = killed_at.elapsed().as_millis() as u64;
+    children[backup].kill();
+    detection
+}
+
+fn bench_failover(kills: usize) -> FailoverStats {
+    let dir = std::env::temp_dir().join(format!("bench-wire-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut detection_ms = Vec::with_capacity(kills);
+    for cycle in 0..kills {
+        let ms = one_kill_cycle(&dir, cycle);
+        println!("bench-wire: kill {:>2}/{kills}: promotion in {ms} ms", cycle + 1);
+        detection_ms.push(ms);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    FailoverStats { kills, detection_ms }
+}
+
+// ------------------------------------------------------------------ main
+
+fn main() {
+    let samples = env_usize("BENCH_SAMPLES", 2000);
+    let kills = env_usize("BENCH_KILLS", 20);
+    let ckpt_secs = env_usize("BENCH_CKPT_SECS", 3);
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_wire.json".into());
+
+    println!("bench-wire: phase 1/3 — frame round-trip latency ({samples} volleys)");
+    let rtt = bench_rtt(samples);
+    println!(
+        "bench-wire: rtt p50={:.1}us p99={:.1}us over {} volleys",
+        rtt.p50_us, rtt.p99_us, rtt.samples
+    );
+
+    println!("bench-wire: phase 2/3 — checkpoint throughput over sockets ({ckpt_secs}s)");
+    let ckpt = bench_checkpoint_flow(Duration::from_secs(ckpt_secs as u64));
+    println!(
+        "bench-wire: {} vars @ {:.1}% locality: {:.1} ckpts/s, {:.0} B/s, {} data frames shed",
+        ckpt.vars,
+        ckpt.dirty_pct,
+        ckpt.ckpts_per_sec,
+        ckpt.ckpt_bytes_per_sec,
+        ckpt.backpressure_drops
+    );
+
+    println!("bench-wire: phase 3/3 — failover under SIGKILL ({kills} kills)");
+    let failover = bench_failover(kills);
+    let mut sorted = failover.detection_ms.clone();
+    sorted.sort_unstable();
+    let (p50, p99, max) =
+        (percentile(&sorted, 50.0), percentile(&sorted, 99.0), *sorted.last().unwrap_or(&0));
+    println!(
+        "bench-wire: failover p50={p50}ms p99={p99}ms max={max}ms over {} kills",
+        failover.kills
+    );
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"oftt-bench-wire-v1\",\n",
+            "  \"rtt\": {{\n",
+            "    \"samples\": {},\n",
+            "    \"p50_us\": {:.2},\n",
+            "    \"p99_us\": {:.2}\n",
+            "  }},\n",
+            "  \"checkpoint\": {{\n",
+            "    \"vars\": {},\n",
+            "    \"var_bytes\": {},\n",
+            "    \"dirty_pct\": {:.2},\n",
+            "    \"duration_ms\": {},\n",
+            "    \"ckpts_acked\": {},\n",
+            "    \"ckpts_per_sec\": {:.2},\n",
+            "    \"ckpt_bytes_per_sec\": {:.0},\n",
+            "    \"backpressure_drops\": {},\n",
+            "    \"heartbeats_shed\": {}\n",
+            "  }},\n",
+            "  \"failover\": {{\n",
+            "    \"kills\": {},\n",
+            "    \"detection_ms_p50\": {},\n",
+            "    \"detection_ms_p99\": {},\n",
+            "    \"detection_ms_max\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        rtt.samples,
+        rtt.p50_us,
+        rtt.p99_us,
+        ckpt.vars,
+        ckpt.var_bytes,
+        ckpt.dirty_pct,
+        ckpt.duration_ms,
+        ckpt.ckpts_acked,
+        ckpt.ckpts_per_sec,
+        ckpt.ckpt_bytes_per_sec,
+        ckpt.backpressure_drops,
+        ckpt.heartbeats_shed,
+        failover.kills,
+        p50,
+        p99,
+        max,
+    );
+    std::fs::write(&out_path, &doc).expect("write bench artifact");
+    println!("wrote {out_path}");
+}

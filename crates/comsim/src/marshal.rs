@@ -119,6 +119,23 @@ pub fn from_bytes<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, MarshalE
     }
 }
 
+/// Decodes a value from the front of `bytes`, returning it together with the
+/// number of bytes consumed. Unlike [`from_bytes`], trailing bytes are left
+/// for the caller — the wire transport uses this to peel frame metadata off
+/// the front of a receive buffer and treat the remainder as the payload
+/// without copying it.
+///
+/// # Errors
+///
+/// Returns an error on truncated or malformed input.
+pub fn from_bytes_prefix<'a, T: Deserialize<'a>>(
+    bytes: &'a [u8],
+) -> Result<(T, usize), MarshalError> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    Ok((value, bytes.len() - de.input.len()))
+}
+
 struct Serializer {
     out: Vec<u8>,
 }
@@ -809,6 +826,22 @@ mod tests {
         // len=1 followed by a lone continuation byte.
         let bytes = [1, 0, 0, 0, 0x80];
         assert_eq!(from_bytes::<String>(&bytes), Err(MarshalError::InvalidUtf8));
+    }
+
+    #[test]
+    fn prefix_decode_reports_consumed_bytes() {
+        let mut bytes = to_bytes(&0x1122_3344u32).unwrap();
+        bytes.extend_from_slice(b"payload");
+        let (value, consumed) = from_bytes_prefix::<u32>(&bytes).unwrap();
+        assert_eq!(value, 0x1122_3344);
+        assert_eq!(consumed, 4);
+        assert_eq!(&bytes[consumed..], b"payload");
+    }
+
+    #[test]
+    fn prefix_decode_still_rejects_truncation() {
+        let bytes = to_bytes(&7u64).unwrap();
+        assert_eq!(from_bytes_prefix::<u64>(&bytes[..5]), Err(MarshalError::UnexpectedEof));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod live;
 pub mod message;
 pub mod node;
 pub mod process;
+pub mod transport;
 
 /// Convenience re-exports of the items nearly every user needs.
 pub mod prelude {
@@ -48,6 +49,9 @@ pub mod prelude {
     pub use crate::message::{Envelope, MsgBody};
     pub use crate::node::{NodeConfig, NodeStatus};
     pub use crate::process::{Process, ProcessEnv, ProcessEnvExt, ProcessFactory, TimerHandle};
+    pub use crate::transport::{
+        LinkState, NodeRouter, PeerHealth, TransportEvent, TransportReport,
+    };
     pub use ds_sim::prelude::*;
 }
 

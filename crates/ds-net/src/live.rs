@@ -1,55 +1,42 @@
 //! Live (real-thread) runtime for the same actor code.
 //!
 //! Runs each service on its own OS thread with a crossbeam channel mailbox
-//! and a local timer heap, implementing [`ProcessEnv`] against real time.
-//! This backend exists so the runnable examples can drive the OFTT toolkit
-//! interactively; it models no network imperfections (all services live in
-//! one OS process), so quantitative experiments use the deterministic
-//! [`crate::cluster`] backend instead.
+//! and a local timer heap, implementing [`ProcessEnv`] against real time via
+//! the shared [`crate::transport::run_actor`] loop. This backend exists so
+//! the runnable examples can drive the OFTT toolkit interactively; it models
+//! no network imperfections (all services live in one OS process), so
+//! quantitative experiments use the deterministic [`crate::cluster`] backend
+//! and machine-to-machine runs use the `oftt-wire` TCP backend instead.
+//!
+//! [`ProcessEnv`]: crate::process::ProcessEnv
 
-use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use ds_sim::prelude::{SimDuration, SimRng, SimTime, Trace, TraceCategory};
+use crossbeam::channel::{unbounded, Sender};
+use ds_sim::prelude::{SimTime, Trace, TraceCategory, WallClock};
 use parking_lot::Mutex;
 
-use crate::endpoint::{Endpoint, NodeId, ServiceName};
-use crate::message::{Envelope, MsgBody};
-use crate::process::{Process, ProcessEnv, ProcessFactory, TimerHandle};
-
-enum Control {
-    Deliver(Envelope),
-    Kill,
-}
+use crate::endpoint::Endpoint;
+use crate::message::Envelope;
+use crate::process::ProcessFactory;
+use crate::transport::{run_actor, Control, NodeRouter};
 
 #[derive(Clone)]
 struct Registry {
     inner: Arc<Mutex<HashMap<Endpoint, Sender<Control>>>>,
     specs: Arc<Mutex<HashMap<Endpoint, ProcessFactory>>>,
     trace: Arc<Mutex<Trace>>,
-    epoch: Instant,
+    clock: WallClock,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     seed: u64,
     counter: Arc<Mutex<u64>>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl Registry {
-    fn now(&self) -> SimTime {
-        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
-    }
-
-    fn send(&self, envelope: Envelope) {
-        let target = self.inner.lock().get(&envelope.to).cloned();
-        if let Some(tx) = target {
-            // A full/disconnected mailbox is equivalent to a drop.
-            let _ = tx.send(Control::Deliver(envelope));
-        }
-    }
-
     fn kill(&self, endpoint: &Endpoint) {
         if let Some(tx) = self.inner.lock().remove(endpoint) {
             let _ = tx.send(Control::Kill);
@@ -64,161 +51,74 @@ impl Registry {
         };
         let (tx, rx) = unbounded();
         self.inner.lock().insert(endpoint.clone(), tx);
-        let registry = self.clone();
+        let router: Arc<dyn NodeRouter> = Arc::new(self.clone());
         let seed = {
             let mut c = self.counter.lock();
             *c += 1;
             self.seed.wrapping_add(*c)
         };
-        let handle = std::thread::spawn(move || run_actor(actor, endpoint, registry, seed, rx));
+        let handle = std::thread::spawn(move || run_actor(actor, endpoint, router, seed, rx));
         self.handles.lock().push(handle);
     }
-}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingTimer {
-    deadline: Instant,
-    handle: u64,
-    token: u64,
-}
-
-impl Ord for PendingTimer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by deadline.
-        other.deadline.cmp(&self.deadline).then(other.handle.cmp(&self.handle))
+    fn note_drop(&self, envelope: &Envelope) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        self.trace.lock().record(
+            now,
+            TraceCategory::Net,
+            format!("live drop {} -> {}: no live mailbox", envelope.from, envelope.to),
+        );
     }
 }
 
-impl PartialOrd for PendingTimer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct LiveEnv {
-    registry: Registry,
-    endpoint: Endpoint,
-    rng: SimRng,
-    timers: BinaryHeap<PendingTimer>,
-    cancelled: std::collections::HashSet<u64>,
-    next_timer: u64,
-    exit: bool,
-}
-
-impl ProcessEnv for LiveEnv {
+impl NodeRouter for Registry {
     fn now(&self) -> SimTime {
-        self.registry.now()
+        self.clock.now()
     }
 
-    fn self_endpoint(&self) -> Endpoint {
-        self.endpoint.clone()
-    }
-
-    fn send(&mut self, to: Endpoint, body: MsgBody, size_bytes: u64) {
-        let envelope = Envelope::sized(self.endpoint.clone(), to, body, size_bytes);
-        self.registry.send(envelope);
-    }
-
-    fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
-        self.next_timer += 1;
-        let handle = self.next_timer;
-        let deadline = Instant::now() + Duration::from_micros(after.as_micros());
-        self.timers.push(PendingTimer { deadline, handle, token });
-        TimerHandle(handle)
-    }
-
-    fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.cancelled.insert(handle.0);
-    }
-
-    fn rng(&mut self) -> &mut SimRng {
-        &mut self.rng
-    }
-
-    fn record(&mut self, category: TraceCategory, message: String) {
-        let now = self.registry.now();
-        self.registry.trace.lock().record(now, category, message);
-    }
-
-    fn kill_service(&mut self, node: NodeId, service: &ServiceName) {
-        let target = Endpoint::new(node, service.clone());
-        if target == self.endpoint {
-            self.exit = true;
-        } else {
-            self.registry.kill(&target);
+    fn route(&self, envelope: Envelope) {
+        let target = self.inner.lock().get(&envelope.to).cloned();
+        match target {
+            Some(tx) => {
+                // A disconnected mailbox is equivalent to a drop, but an
+                // auditable one: trace it and count it, like the sim does.
+                if let Err(err) = tx.send(Control::Deliver(envelope)) {
+                    let crossbeam::channel::SendError(control) = err;
+                    if let Control::Deliver(envelope) = control {
+                        self.note_drop(&envelope);
+                    }
+                }
+            }
+            None => self.note_drop(&envelope),
         }
     }
 
-    fn restart_service(&mut self, node: NodeId, service: &ServiceName) {
-        let target = Endpoint::new(node, service.clone());
-        if self.registry.inner.lock().contains_key(&target) {
+    fn record(&self, category: TraceCategory, message: String) {
+        let now = self.clock.now();
+        self.trace.lock().record(now, category, message);
+    }
+
+    fn kill_service(&self, target: &Endpoint) {
+        self.kill(target);
+    }
+
+    fn restart_service(&self, target: &Endpoint) {
+        if self.inner.lock().contains_key(target) {
             return;
         }
-        self.registry.spawn(target);
+        self.spawn(target.clone());
     }
 
-    fn exit(&mut self) {
-        self.exit = true;
+    fn actor_exited(&self, endpoint: &Endpoint) {
+        self.inner.lock().remove(endpoint);
     }
-}
-
-fn run_actor(
-    mut actor: Box<dyn Process>,
-    endpoint: Endpoint,
-    registry: Registry,
-    seed: u64,
-    rx: Receiver<Control>,
-) {
-    let mut env = LiveEnv {
-        registry: registry.clone(),
-        endpoint: endpoint.clone(),
-        rng: SimRng::seed_from(seed),
-        timers: BinaryHeap::new(),
-        cancelled: std::collections::HashSet::new(),
-        next_timer: 0,
-        exit: false,
-    };
-    actor.on_start(&mut env);
-    while !env.exit {
-        // Fire due timers first.
-        let now = Instant::now();
-        let mut fired = Vec::new();
-        loop {
-            match env.timers.peek() {
-                Some(top) if top.deadline <= now => {}
-                _ => break,
-            }
-            let Some(t) = env.timers.pop() else { break };
-            if !env.cancelled.remove(&t.handle) {
-                fired.push(t.token);
-            }
-        }
-        for token in fired {
-            actor.on_timer(token, &mut env);
-            if env.exit {
-                break;
-            }
-        }
-        if env.exit {
-            break;
-        }
-        let wait = env
-            .timers
-            .peek()
-            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait) {
-            Ok(Control::Deliver(envelope)) => actor.on_message(envelope, &mut env),
-            Ok(Control::Kill) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    registry.inner.lock().remove(&endpoint);
 }
 
 /// A live, thread-backed runtime hosting the same [`Process`] actors as the
 /// deterministic simulation.
+///
+/// [`Process`]: crate::process::Process
 ///
 /// # Examples
 ///
@@ -246,10 +146,11 @@ impl LiveNet {
                 inner: Arc::new(Mutex::new(HashMap::new())),
                 specs: Arc::new(Mutex::new(HashMap::new())),
                 trace: Arc::new(Mutex::new(Trace::new())),
-                epoch: Instant::now(),
+                clock: WallClock::new(),
                 handles: Arc::new(Mutex::new(Vec::new())),
                 seed,
                 counter: Arc::new(Mutex::new(0)),
+                dropped: Arc::new(AtomicU64::new(0)),
             },
         }
     }
@@ -277,12 +178,17 @@ impl LiveNet {
     /// Injects a message from an external driver.
     pub fn post<T: std::any::Any + Send>(&self, to: Endpoint, body: T) {
         let from = Endpoint::new(to.node, "__external");
-        self.registry.send(Envelope::new(from, to, body));
+        self.registry.route(Envelope::new(from, to, body));
     }
 
     /// Copies out the trace recorded so far.
     pub fn trace_snapshot(&self) -> Trace {
         self.registry.trace.lock().clone()
+    }
+
+    /// Envelopes dropped because no live mailbox could accept them.
+    pub fn dropped_count(&self) -> u64 {
+        self.registry.dropped.load(Ordering::Relaxed)
     }
 
     /// Milliseconds since the runtime started (live wall time).
@@ -312,8 +218,11 @@ impl Drop for LiveNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::process::ProcessEnvExt;
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use crate::endpoint::NodeId;
+    use crate::process::{Process, ProcessEnv, ProcessEnvExt};
+    use ds_sim::prelude::SimDuration;
+    use std::sync::atomic::AtomicU32;
+    use std::time::{Duration, Instant};
 
     struct Echo;
     impl Process for Echo {
@@ -408,5 +317,17 @@ mod tests {
         net.start(&ep);
         assert!(wait_for(|| net.is_running(&ep), Duration::from_secs(2)));
         net.shutdown();
+    }
+
+    #[test]
+    fn missing_mailbox_drop_is_traced_and_counted() {
+        let net = LiveNet::new(4);
+        assert_eq!(net.dropped_count(), 0);
+        net.post(Endpoint::new(NodeId(0), "nobody"), 42u32);
+        assert_eq!(net.dropped_count(), 1);
+        let trace = net.trace_snapshot();
+        let entry = trace.find("no live mailbox").expect("drop should be traced");
+        assert_eq!(entry.category, TraceCategory::Net);
+        assert!(entry.message.contains("node0/nobody"));
     }
 }

@@ -49,7 +49,7 @@ pub mod prelude {
     pub use crate::schedule::{ChoicePoint, Schedule, SchedulePolicy};
     pub use crate::sim::{Scheduler, Sim};
     pub use crate::stats::{Histogram, Samples};
-    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::time::{SimDuration, SimTime, WallClock};
     pub use crate::trace::{Trace, TraceCategory, TraceEntry};
 }
 

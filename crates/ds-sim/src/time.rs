@@ -104,6 +104,47 @@ impl Sub<SimTime> for SimTime {
     }
 }
 
+/// A wall-clock anchor mapping real elapsed time onto the [`SimTime`] axis.
+///
+/// Live backends (thread-local and wire) run against real time but still
+/// record traces and drive timeouts in `SimTime`. Each runtime pins one
+/// `WallClock` at startup; `now()` is the microseconds elapsed since that
+/// anchor. Keeping the conversion in one place means live and wire traces
+/// use the same epoch convention and the arithmetic is tested once.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::time::WallClock;
+///
+/// let clock = WallClock::new();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    /// Anchors a clock at the current instant.
+    pub fn new() -> Self {
+        WallClock { epoch: std::time::Instant::now() }
+    }
+
+    /// Real time elapsed since the anchor, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
 /// A span of simulated time, in microseconds.
 ///
 /// # Examples
@@ -275,5 +316,27 @@ mod tests {
     fn ordering_matches_magnitude() {
         assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
         assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_from_its_anchor() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn wall_clock_copies_share_the_anchor() {
+        let clock = WallClock::new();
+        let copy = clock;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // Both views advance together because they share one epoch.
+        let a = clock.now();
+        let b = copy.now();
+        assert!(a.saturating_since(b) < SimDuration::from_millis(50));
+        assert!(b >= SimTime::from_millis(1));
     }
 }

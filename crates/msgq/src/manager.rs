@@ -17,8 +17,10 @@ use comsim::buf::Bytes;
 use ds_net::endpoint::{Endpoint, NodeId, ServiceName};
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use ds_net::transport::TransportEvent;
 use ds_sim::prelude::{AccessKind, SimDuration, SimTime, TraceCategory};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::queue::{AcceptOutcome, LocalQueue, MessageId, QueueAddress, QueueMessage, QueueName};
 
@@ -82,7 +84,7 @@ pub struct QueueStats {
 }
 
 /// Messages understood by the queue manager.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum ManagerMsg {
     /// A local sender hands in a message for a (possibly remote) queue.
     Enqueue {
@@ -154,7 +156,7 @@ pub enum ManagerMsg {
 /// A message pushed to an attached consumer. The consumer must reply with
 /// [`ManagerMsg::Consumed`] (or use [`crate::client::QueueConsumer`], which
 /// does so automatically).
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Push {
     /// Source queue.
     pub queue: QueueName,
@@ -418,6 +420,28 @@ impl QueueManager {
         }
     }
 
+    /// Retries every unacked transfer addressed to `peer` right away. Wired
+    /// to [`TransportEvent::PeerConnected`] reconnects: a restored link means
+    /// the retry backlog can drain now instead of waiting out
+    /// [`QueueConfig::retry_interval`].
+    fn retry_peer_now(&mut self, peer: NodeId, env: &mut dyn ProcessEnv) {
+        let now = env.now();
+        let mut due = 0;
+        for out in self.outgoing.values_mut() {
+            if out.dest.node == peer {
+                out.next_retry = now;
+                due += 1;
+            }
+        }
+        if due > 0 {
+            env.record(
+                TraceCategory::Diverter,
+                format!("{}: reconnect to {peer}, retrying {due} transfers", env.self_endpoint()),
+            );
+            self.pump(env);
+        }
+    }
+
     fn handle(&mut self, msg: ManagerMsg, from: Endpoint, env: &mut dyn ProcessEnv) {
         match msg {
             ManagerMsg::Enqueue { dest, label, body, ttl } => {
@@ -502,8 +526,15 @@ impl Process for QueueManager {
 
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
         let from = envelope.from.clone();
-        if let Ok(msg) = envelope.body.downcast::<ManagerMsg>() {
-            self.handle(msg, from, env);
+        match envelope.body.downcast::<ManagerMsg>() {
+            Ok(msg) => self.handle(msg, from, env),
+            Err(body) => {
+                if let Ok(TransportEvent::PeerConnected { peer, reconnect: true, .. }) =
+                    body.downcast::<TransportEvent>()
+                {
+                    self.retry_peer_now(peer, env);
+                }
+            }
         }
     }
 

@@ -1,0 +1,174 @@
+//! `wire-smoke`: the end-to-end proof for the socket backend.
+//!
+//! Spawns a real two-process OFTT pair on loopback, waits for the pair
+//! to form and checkpoints to flow, then SIGKILLs the primary and
+//! asserts:
+//!
+//! 1. the backup promotes itself within the detection budget;
+//! 2. the application resumes (ACTIVE) on the survivor;
+//! 3. the restored image's crc equals the crc the backup logged when it
+//!    installed that checkpoint **and** the crc the dead primary logged
+//!    when it shipped it — restore integrity across a real process
+//!    boundary, asserted purely from the trace.
+//!
+//! Exit 0 with a `PASS` line on success; exit 1 with both nodes' output
+//! tails otherwise.
+
+use std::time::{Duration, Instant};
+
+use ds_net::endpoint::NodeId;
+use oftt_wire::harness::{free_port, pair_config, parse_ckpt_triple, write_config, ChildNode};
+
+/// Promotion must land within this wall budget after the kill (peer
+/// timeout is 400ms; the rest is negotiation and scheduling slack).
+const DETECTION_BUDGET: Duration = Duration::from_secs(3);
+
+fn fail(children: &[ChildNode], why: &str) -> ! {
+    eprintln!("wire-smoke: FAIL: {why}");
+    for child in children {
+        let out = child.output();
+        let tail = out.iter().rev().take(40).collect::<Vec<_>>();
+        eprintln!("--- node{} output tail ---", child.node.0);
+        for line in tail.iter().rev() {
+            eprintln!("{line}");
+        }
+    }
+    std::process::exit(1);
+}
+
+fn count(child: &ChildNode, needle: &str) -> usize {
+    child.output().iter().filter(|l| l.contains(needle)).count()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("wire-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (na, nb) = (NodeId(0), NodeId(1));
+    let (port_a, port_b) = (free_port(), free_port());
+    let config_a = write_config(&dir, "a.toml", &pair_config(na, port_a, nb, port_b, na, 200, 11));
+    let config_b = write_config(&dir, "b.toml", &pair_config(nb, port_b, na, port_a, na, 200, 22));
+
+    let mut children = vec![
+        ChildNode::spawn(na, &config_a).expect("spawn node a"),
+        ChildNode::spawn(nb, &config_b).expect("spawn node b"),
+    ];
+
+    for idx in 0..2 {
+        if children[idx]
+            .wait_for_line(|l| l.starts_with("READY"), Duration::from_secs(10))
+            .is_none()
+        {
+            let node = children[idx].node.0;
+            fail(&children, &format!("node{node} never reported READY"));
+        }
+    }
+
+    // The pair forms: one primary, one backup.
+    let deadline = Duration::from_secs(15);
+    let primary_idx =
+        if children[0].wait_for_line(|l| l.contains("role=primary"), deadline).is_some() {
+            0
+        } else if children[1].find_line(|l| l.contains("role=primary")).is_some() {
+            1
+        } else {
+            fail(&children, "no node ever became primary");
+        };
+    let backup_idx = 1 - primary_idx;
+    if children[backup_idx].wait_for_line(|l| l.contains("role=backup"), deadline).is_none() {
+        fail(&children, "the other node never became backup");
+    }
+    println!(
+        "wire-smoke: pair formed (primary=node{}, backup=node{})",
+        children[primary_idx].node.0, children[backup_idx].node.0
+    );
+
+    // Checkpoints flow over TCP: shipped, installed, acked.
+    let flow = Duration::from_secs(10);
+    let start = Instant::now();
+    while start.elapsed() < flow {
+        if count(&children[primary_idx], "ckpt shipped") >= 3
+            && count(&children[primary_idx], "ckpt acked") >= 1
+            && count(&children[backup_idx], "ckpt installed") >= 3
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if count(&children[backup_idx], "ckpt installed") < 3
+        || count(&children[primary_idx], "ckpt acked") < 1
+    {
+        fail(&children, "checkpoint flow never established");
+    }
+
+    // SIGKILL the primary mid-flight.
+    let primary_lines_before = children[primary_idx].output();
+    let killed_at = Instant::now();
+    children[primary_idx].kill();
+
+    let promoted =
+        children[backup_idx].wait_for_line(|l| l.contains("role=primary"), DETECTION_BUDGET * 2);
+    let detection = killed_at.elapsed();
+    if promoted.is_none() {
+        fail(&children, "backup never promoted after the primary was SIGKILLed");
+    }
+    if detection > DETECTION_BUDGET {
+        fail(
+            &children,
+            &format!("promotion took {detection:?}, over the {DETECTION_BUDGET:?} budget"),
+        );
+    }
+    if children[backup_idx]
+        .wait_for_line(|l| l.contains("application ACTIVE"), Duration::from_secs(5))
+        .is_none()
+    {
+        fail(&children, "application never went ACTIVE on the survivor");
+    }
+
+    // Restore integrity: the takeover's restored image crc must match
+    // both the backup's install log and the dead primary's ship log for
+    // the same (term, seq).
+    let restore_line = children[backup_idx]
+        .wait_for_line(|l| l.contains("ckpt restore position"), Duration::from_secs(5));
+    let Some(restore_line) = restore_line else {
+        fail(&children, "no 'ckpt restore position' line on the survivor");
+    };
+    let Some((term, seq, restored_crc)) = parse_ckpt_triple(&restore_line) else {
+        fail(&children, &format!("unparsable restore line: {restore_line}"));
+    };
+    let needle = format!("ckpt installed (term={term} seq={seq}");
+    let Some(installed) = children[backup_idx].find_line(|l| l.contains(&needle)) else {
+        fail(&children, &format!("no install log for restored position t{term}.s{seq}"));
+    };
+    let installed_crc = parse_ckpt_triple(&installed).map(|(_, _, c)| c);
+    if installed_crc != Some(restored_crc) {
+        fail(
+            &children,
+            &format!(
+                "restore-integrity violation: restored crc {restored_crc} vs installed {installed_crc:?}"
+            ),
+        );
+    }
+    let ship_needle = format!("ckpt shipped (term={term} seq={seq}");
+    let shipped_crc = primary_lines_before
+        .iter()
+        .find(|l| l.contains(&ship_needle))
+        .and_then(|l| parse_ckpt_triple(l))
+        .map(|(_, _, c)| c);
+    if let Some(shipped) = shipped_crc {
+        if shipped != restored_crc {
+            fail(
+                &children,
+                &format!(
+                    "restore-integrity violation: restored crc {restored_crc} vs shipped {shipped}"
+                ),
+            );
+        }
+    }
+
+    println!(
+        "wire-smoke: PASS detection_ms={} restored=t{term}.s{seq} crc={restored_crc} shipped_crc_checked={}",
+        detection.as_millis(),
+        shipped_crc.is_some(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,323 @@
+//! The wire frame: an 18-byte header followed by a marshaled envelope
+//! meta block and an opaque message body.
+//!
+//! ```text
+//! +------+---------+-------+-----------+----------+----------+
+//! | OFTW | version | class | epoch u32 | meta u32 | body u32 |  header
+//! +------+---------+-------+-----------+----------+----------+
+//! | meta bytes (marshal(FrameMeta))                          |
+//! | body bytes (codec-tagged payload)                        |
+//! +----------------------------------------------------------+
+//! ```
+//!
+//! All integers are little-endian, matching `comsim::marshal`. The body
+//! is written with a vectored loop over borrowed slices, so a checkpoint
+//! delta held in [`Bytes`] windows reaches the socket without being
+//! copied into a contiguous staging buffer first.
+
+use std::io::{self, IoSlice, Read, Write};
+
+use comsim::buf::Bytes;
+use comsim::marshal::MarshalError;
+
+/// Frame magic: `OFTW`.
+pub const MAGIC: [u8; 4] = *b"OFTW";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Hard cap on the marshaled meta block.
+pub const MAX_META_BYTES: u32 = 64 * 1024;
+/// Default cap on `meta_len + body_len` (checkpoint images dominate).
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Scheduling class of a frame, carried in the header so backpressure can
+/// shed the right traffic without decoding bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Application/protocol data; queued and retried while connected.
+    Data = 0,
+    /// Periodic liveness traffic; first to be shed under backpressure and
+    /// never queued across a disconnect (a late heartbeat is a lie).
+    Heartbeat = 1,
+    /// Connection-establishment exchange; never queued.
+    Handshake = 2,
+}
+
+impl FrameClass {
+    fn from_byte(b: u8) -> Option<FrameClass> {
+        match b {
+            0 => Some(FrameClass::Data),
+            1 => Some(FrameClass::Heartbeat),
+            2 => Some(FrameClass::Handshake),
+            _ => None,
+        }
+    }
+}
+
+/// Protocol-level (non-IO) wire failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream did not start with [`MAGIC`] — peer desync or garbage.
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame class byte.
+    BadClass(u8),
+    /// Header advertises a frame larger than the configured cap.
+    FrameTooLarge {
+        /// Advertised meta + body length.
+        len: u64,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// Header advertises a meta block over [`MAX_META_BYTES`].
+    MetaTooLarge(u32),
+    /// Meta or body failed to unmarshal.
+    Marshal(MarshalError),
+    /// The body's codec tag is not registered.
+    UnknownTag(u32),
+    /// A checkpoint body's declared variable windows do not tile its
+    /// payload bytes.
+    BodyMismatch {
+        /// Bytes the skeleton claims.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The connection handshake was malformed.
+    Handshake(String),
+}
+
+impl From<MarshalError> for WireError {
+    fn from(e: MarshalError) -> Self {
+        WireError::Marshal(e)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadClass(c) => write!(f, "unknown frame class {c}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap {max}")
+            }
+            WireError::MetaTooLarge(len) => write!(f, "meta block of {len} bytes exceeds cap"),
+            WireError::Marshal(e) => write!(f, "unmarshal failed: {e}"),
+            WireError::UnknownTag(t) => write!(f, "unregistered body tag {t}"),
+            WireError::BodyMismatch { expected, actual } => {
+                write!(f, "checkpoint body claims {expected} bytes, carries {actual}")
+            }
+            WireError::Handshake(why) => write!(f, "handshake rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A frame-read failure: either the socket broke or the peer sent
+/// something unframeable. The supervisor treats both as fatal for the
+/// connection (a desynced length-prefixed stream cannot be resynced), but
+/// the distinction drives what gets traced.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Socket-level failure (closed, reset, timeout).
+    Io(io::Error),
+    /// Framing-level failure.
+    Protocol(WireError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io: {e}"),
+            ReadError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+/// Decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Scheduling class.
+    pub class: FrameClass,
+    /// Sender's connection epoch at write time.
+    pub epoch: u32,
+    /// Marshaled meta length.
+    pub meta_len: u32,
+    /// Body length.
+    pub body_len: u32,
+}
+
+impl FrameHeader {
+    /// Encodes the header into its fixed wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..4].copy_from_slice(&MAGIC);
+        out[4] = VERSION;
+        out[5] = self.class as u8;
+        out[6..10].copy_from_slice(&self.epoch.to_le_bytes());
+        out[10..14].copy_from_slice(&self.meta_len.to_le_bytes());
+        out[14..18].copy_from_slice(&self.body_len.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a header against `max_frame`.
+    pub fn decode(raw: &[u8; HEADER_LEN], max_frame: u32) -> Result<FrameHeader, WireError> {
+        if raw[..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&raw[..4]);
+            return Err(WireError::BadMagic(m));
+        }
+        if raw[4] != VERSION {
+            return Err(WireError::BadVersion(raw[4]));
+        }
+        let class = FrameClass::from_byte(raw[5]).ok_or(WireError::BadClass(raw[5]))?;
+        let epoch = u32::from_le_bytes(raw[6..10].try_into().expect("4 bytes"));
+        let meta_len = u32::from_le_bytes(raw[10..14].try_into().expect("4 bytes"));
+        let body_len = u32::from_le_bytes(raw[14..18].try_into().expect("4 bytes"));
+        if meta_len > MAX_META_BYTES {
+            return Err(WireError::MetaTooLarge(meta_len));
+        }
+        let total = meta_len as u64 + body_len as u64;
+        if total > max_frame as u64 {
+            return Err(WireError::FrameTooLarge { len: total, max: max_frame });
+        }
+        Ok(FrameHeader { class, epoch, meta_len, body_len })
+    }
+}
+
+/// A received frame. `meta` and `body` are zero-copy windows of one
+/// receive allocation.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The validated header.
+    pub header: FrameHeader,
+    /// Marshaled [`crate::codec::FrameMeta`].
+    pub meta: Bytes,
+    /// Codec-tagged payload.
+    pub body: Bytes,
+}
+
+/// Blocking-reads one frame. Any failure poisons the stream: a
+/// length-prefixed protocol has no resync point, so the caller must drop
+/// the connection on `Err` (it never panics — malformed input is an
+/// ordinary error here).
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, ReadError> {
+    let mut raw = [0u8; HEADER_LEN];
+    r.read_exact(&mut raw).map_err(ReadError::Io)?;
+    let header = FrameHeader::decode(&raw, max_frame).map_err(ReadError::Protocol)?;
+    let mut payload = vec![0u8; header.meta_len as usize + header.body_len as usize];
+    r.read_exact(&mut payload).map_err(ReadError::Io)?;
+    let payload = Bytes::from(payload);
+    let meta = payload.slice(..header.meta_len as usize);
+    let body = payload.slice(header.meta_len as usize..);
+    Ok(Frame { header, meta, body })
+}
+
+/// Writes one frame with a manual vectored loop (std's
+/// `write_all_vectored` is unstable): header, meta, `head`, then each
+/// shared [`Bytes`] window in order. Shared windows are borrowed, not
+/// copied — this is the zero-copy half of the checkpoint data path.
+/// Returns the total bytes written.
+pub fn write_frame(
+    w: &mut impl Write,
+    class: FrameClass,
+    epoch: u32,
+    meta: &[u8],
+    head: &[u8],
+    shared: &[Bytes],
+) -> io::Result<u64> {
+    let body_len = head.len() as u64 + shared.iter().map(|b| b.len() as u64).sum::<u64>();
+    let header = FrameHeader {
+        class,
+        epoch,
+        meta_len: meta.len() as u32,
+        body_len: u32::try_from(body_len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body over 4GiB"))?,
+    }
+    .encode();
+
+    let mut slices: Vec<&[u8]> = Vec::with_capacity(3 + shared.len());
+    slices.push(&header);
+    slices.push(meta);
+    slices.push(head);
+    for b in shared {
+        slices.push(b.as_slice());
+    }
+    slices.retain(|s| !s.is_empty());
+
+    let total: u64 = slices.iter().map(|s| s.len() as u64).sum();
+    let mut written = 0u64;
+    while written < total {
+        // Re-window the slice list past what's already on the wire.
+        let mut skip = written;
+        let mut iov = Vec::with_capacity(slices.len());
+        for s in &slices {
+            let len = s.len() as u64;
+            if skip >= len {
+                skip -= len;
+                continue;
+            }
+            iov.push(IoSlice::new(&s[skip as usize..]));
+            skip = 0;
+        }
+        let n = w.write_vectored(&iov)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+        }
+        written += n as u64;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = FrameHeader { class: FrameClass::Data, epoch: 7, meta_len: 40, body_len: 1000 };
+        let back = FrameHeader::decode(&h.encode(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_pipe() {
+        let meta = vec![1u8, 2, 3];
+        let head = vec![9u8];
+        let shared = vec![Bytes::from(vec![4u8; 10]), Bytes::from(vec![5u8; 5])];
+        let mut wire = Vec::new();
+        let n = write_frame(&mut wire, FrameClass::Heartbeat, 3, &meta, &head, &shared).unwrap();
+        assert_eq!(n, wire.len() as u64);
+        let frame = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.header.class, FrameClass::Heartbeat);
+        assert_eq!(frame.header.epoch, 3);
+        assert_eq!(frame.meta.as_slice(), &meta[..]);
+        let mut body = head.clone();
+        body.extend_from_slice(&[4u8; 10]);
+        body.extend_from_slice(&[5u8; 5]);
+        assert_eq!(frame.body.as_slice(), &body[..]);
+    }
+
+    #[test]
+    fn oversized_and_garbage_headers_are_rejected_not_panicked() {
+        let mut h =
+            FrameHeader { class: FrameClass::Data, epoch: 0, meta_len: 0, body_len: u32::MAX }
+                .encode();
+        assert!(matches!(FrameHeader::decode(&h, 1024), Err(WireError::FrameTooLarge { .. })));
+        h[0] = b'X';
+        assert!(matches!(FrameHeader::decode(&h, 1024), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameClass::Data, 0, &[1, 2], &[3, 4, 5], &[]).unwrap();
+        wire.truncate(wire.len() - 2);
+        let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+        assert!(matches!(err, ReadError::Io(_)));
+    }
+}

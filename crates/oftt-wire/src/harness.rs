@@ -1,0 +1,176 @@
+//! Child-process plumbing for the smoke test and the failover bench:
+//! spawn real `oftt-node` processes, scrape their stdout traces, and
+//! kill them the honest way (SIGKILL — no cleanup, no goodbye).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ds_net::endpoint::NodeId;
+use parking_lot::Mutex;
+
+/// Binds port 0 on loopback, returns the allocated port, releases it.
+/// (Racy by nature; fine for tests that immediately rebind.)
+pub fn free_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    listener.local_addr().expect("local addr").port()
+}
+
+/// Path to the `oftt-node` binary: a sibling of the currently running
+/// test/bench binary in the same cargo target directory.
+pub fn oftt_node_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.pop();
+    // Test binaries live in target/<profile>/deps/.
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("oftt-node");
+    path
+}
+
+/// Renders a node config file for a two-node pair.
+#[allow(clippy::too_many_arguments)]
+pub fn pair_config(
+    node: NodeId,
+    listen_port: u16,
+    peer: NodeId,
+    peer_port: u16,
+    monitor_node: NodeId,
+    app_vars: usize,
+    seed: u64,
+) -> String {
+    format!(
+        "node = {}\n\
+         listen = \"127.0.0.1:{listen_port}\"\n\
+         peer = \"{}@127.0.0.1:{peer_port}\"\n\
+         monitor_node = {}\n\
+         heartbeat_ms = 50\n\
+         component_timeout_ms = 400\n\
+         peer_timeout_ms = 400\n\
+         fail_safe_ms = 250\n\
+         checkpoint_ms = 100\n\
+         startup_ms = 500\n\
+         status_ms = 200\n\
+         app_vars = {app_vars}\n\
+         app_var_bytes = 64\n\
+         app_dirty_per_tick = 4\n\
+         app_tick_ms = 20\n\
+         seed = {seed}\n",
+        node.0, peer.0, monitor_node.0
+    )
+}
+
+/// A spawned `oftt-node` with its stdout scraped into memory.
+pub struct ChildNode {
+    /// The node's id (for diagnostics).
+    pub node: NodeId,
+    child: Child,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl ChildNode {
+    /// Spawns `oftt-node --config <path>` with piped, scraped stdout.
+    pub fn spawn(node: NodeId, config_path: &std::path::Path) -> std::io::Result<ChildNode> {
+        let mut child = Command::new(oftt_node_bin())
+            .arg("--config")
+            .arg(config_path)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => sink.lock().push(line),
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ChildNode { node, child, lines })
+    }
+
+    /// Snapshot of everything the node has printed so far.
+    pub fn output(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// Waits until some line satisfies `pred`, returning that line.
+    pub fn wait_for_line(&self, pred: impl Fn(&str) -> bool, timeout: Duration) -> Option<String> {
+        let start = Instant::now();
+        loop {
+            if let Some(line) = self.lines.lock().iter().find(|l| pred(l)) {
+                return Some(line.clone());
+            }
+            if start.elapsed() > timeout {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// The index of the first line satisfying `pred`, if any (for
+    /// ordering assertions).
+    pub fn find_line(&self, pred: impl Fn(&str) -> bool) -> Option<String> {
+        self.lines.lock().iter().find(|l| pred(l)).cloned()
+    }
+
+    /// SIGKILL — the process gets no chance to flush, say goodbye, or
+    /// close sockets gracefully. This is the failure model.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// `true` if the process has exited.
+    pub fn is_dead(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+}
+
+impl Drop for ChildNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Writes `content` to `dir/name` and returns the path.
+pub fn write_config(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create config");
+    f.write_all(content.as_bytes()).expect("write config");
+    path
+}
+
+/// Parses `(term=T seq=S crc=C)` out of a checkpoint trace line.
+pub fn parse_ckpt_triple(line: &str) -> Option<(u64, u64, u32)> {
+    let term = field(line, "term=")?;
+    let seq = field(line, "seq=")?;
+    let crc = field(line, "crc=")?;
+    Some((term, seq, crc as u32))
+}
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ckpt_triples_parse_from_trace_lines() {
+        let line = "[12.300000s   ckpt] node1/app: ckpt installed (term=3 seq=17 crc=123456)";
+        assert_eq!(parse_ckpt_triple(line), Some((3, 17, 123456)));
+        assert_eq!(parse_ckpt_triple("no triple here"), None);
+    }
+}

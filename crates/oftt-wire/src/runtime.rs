@@ -1,0 +1,362 @@
+//! [`WireNet`]: the node runtime that hosts OFTT actors over TCP.
+//!
+//! One `WireNet` per OS process hosts the services of **one node**.
+//! Local routing works exactly like [`ds_net::live::LiveNet`] (same
+//! [`run_actor`] loop, same mailbox semantics, same drop accounting);
+//! envelopes addressed to another node are encoded by the [`WireCodec`]
+//! and queued on the [`Supervisor`]'s link to that peer. The actors
+//! cannot tell which backend they are on — that is the point.
+//!
+//! [`run_actor`]: ds_net::transport::run_actor
+
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use ds_net::endpoint::{Endpoint, NodeId};
+use ds_net::message::Envelope;
+use ds_net::process::ProcessFactory;
+use ds_net::transport::{
+    run_actor, Control, NodeRouter, PeerHealth, TransportEvent, TransportReport,
+};
+use ds_sim::prelude::{SimTime, Trace, TraceCategory, WallClock};
+use parking_lot::Mutex;
+
+use crate::codec::WireCodec;
+use crate::supervisor::{Supervisor, WireConfig, WireHandler};
+
+struct WireShared {
+    node: NodeId,
+    peers: HashSet<NodeId>,
+    mailboxes: Mutex<HashMap<Endpoint, Sender<Control>>>,
+    specs: Mutex<HashMap<Endpoint, ProcessFactory>>,
+    trace: Mutex<Trace>,
+    clock: WallClock,
+    seed: u64,
+    counter: Mutex<u64>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    dropped: AtomicU64,
+    unroutable: AtomicU64,
+    event_subs: Mutex<Vec<Endpoint>>,
+    supervisor: Mutex<Option<Supervisor>>,
+    shutting_down: AtomicBool,
+}
+
+impl WireShared {
+    fn note_drop(&self, envelope: &Envelope) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        self.trace.lock().record(
+            now,
+            TraceCategory::Net,
+            format!("wire drop {} -> {}: no local mailbox", envelope.from, envelope.to),
+        );
+    }
+
+    fn deliver_local(&self, envelope: Envelope) {
+        let target = self.mailboxes.lock().get(&envelope.to).cloned();
+        match target {
+            Some(tx) => {
+                if let Err(err) = tx.send(Control::Deliver(envelope)) {
+                    let crossbeam::channel::SendError(control) = err;
+                    if let Control::Deliver(envelope) = control {
+                        self.note_drop(&envelope);
+                    }
+                }
+            }
+            None => self.note_drop(&envelope),
+        }
+    }
+
+    fn spawn(self: &Arc<Self>, endpoint: Endpoint) {
+        let actor = {
+            let specs = self.specs.lock();
+            let Some(factory) = specs.get(&endpoint) else { return };
+            factory()
+        };
+        let (tx, rx) = unbounded();
+        self.mailboxes.lock().insert(endpoint.clone(), tx);
+        let router: Arc<dyn NodeRouter> = Arc::new(ArcRouter(Arc::clone(self)));
+        let seed = {
+            let mut c = self.counter.lock();
+            *c += 1;
+            self.seed.wrapping_add(*c)
+        };
+        let handle = std::thread::spawn(move || run_actor(actor, endpoint, router, seed, rx));
+        self.handles.lock().push(handle);
+    }
+
+    fn kill(&self, endpoint: &Endpoint) {
+        if let Some(tx) = self.mailboxes.lock().remove(endpoint) {
+            let _ = tx.send(Control::Kill);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn route(&self, envelope: Envelope) {
+        if envelope.to.node == self.node {
+            self.deliver_local(envelope);
+            return;
+        }
+        if !self.peers.contains(&envelope.to.node) {
+            self.unroutable.fetch_add(1, Ordering::Relaxed);
+            let now = self.clock.now();
+            self.trace.lock().record(
+                now,
+                TraceCategory::Net,
+                format!(
+                    "wire drop {} -> {}: node {} has no configured link",
+                    envelope.from, envelope.to, envelope.to.node
+                ),
+            );
+            return;
+        }
+        let supervisor = self.supervisor.lock();
+        if let Some(sup) = supervisor.as_ref() {
+            sup.send_envelope(envelope.to.node, &envelope);
+        }
+    }
+
+    fn record_trace(&self, category: TraceCategory, message: String) {
+        let now = self.clock.now();
+        self.trace.lock().record(now, category, message);
+    }
+
+    fn kill_local(&self, target: &Endpoint) {
+        if target.node == self.node {
+            self.kill(target);
+        } else {
+            self.record_trace(
+                TraceCategory::Net,
+                format!("wire: cannot kill {target}: not on node {}", self.node),
+            );
+        }
+    }
+}
+
+impl WireHandler for WireShared {
+    fn deliver(&self, envelope: Envelope) {
+        self.deliver_local(envelope);
+    }
+
+    fn peer_event(&self, event: TransportEvent) {
+        let subs = self.event_subs.lock().clone();
+        let from = Endpoint::new(self.node, "__wire");
+        for to in subs {
+            self.deliver_local(Envelope::new(from.clone(), to, event));
+        }
+    }
+
+    fn record(&self, category: TraceCategory, message: String) {
+        self.record_trace(category, message);
+    }
+}
+
+/// Router handed to actors: wraps the `Arc` so `restart_service` can
+/// spawn (spawning needs the `Arc`, which a bare `&self` method on
+/// `WireShared` cannot recover).
+struct ArcRouter(Arc<WireShared>);
+
+impl NodeRouter for ArcRouter {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn route(&self, envelope: Envelope) {
+        self.0.route(envelope);
+    }
+    fn record(&self, category: TraceCategory, message: String) {
+        self.0.record_trace(category, message);
+    }
+    fn kill_service(&self, target: &Endpoint) {
+        self.0.kill_local(target);
+    }
+    fn restart_service(&self, target: &Endpoint) {
+        if target.node != self.0.node {
+            self.0.record_trace(
+                TraceCategory::Net,
+                format!("wire: cannot restart {target}: not on node {}", self.0.node),
+            );
+            return;
+        }
+        if self.0.mailboxes.lock().contains_key(target) {
+            return;
+        }
+        self.0.spawn(target.clone());
+    }
+    fn actor_exited(&self, endpoint: &Endpoint) {
+        self.0.mailboxes.lock().remove(endpoint);
+    }
+}
+
+/// A TCP-backed node runtime hosting [`Process`] actors.
+///
+/// [`Process`]: ds_net::process::Process
+pub struct WireNet {
+    shared: Arc<WireShared>,
+}
+
+impl WireNet {
+    /// Starts the socket layer (binds the listener, begins dialing
+    /// peers) and returns the runtime. Actors are registered and started
+    /// afterwards, like on the other backends.
+    pub fn new(seed: u64, config: WireConfig, codec: Arc<WireCodec>) -> std::io::Result<Self> {
+        let shared = Arc::new(WireShared {
+            node: config.node,
+            peers: config.peers.iter().map(|(peer, _)| *peer).collect(),
+            mailboxes: Mutex::new(HashMap::new()),
+            specs: Mutex::new(HashMap::new()),
+            trace: Mutex::new(Trace::new()),
+            clock: WallClock::new(),
+            seed,
+            counter: Mutex::new(0),
+            handles: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
+            event_subs: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
+            shutting_down: AtomicBool::new(false),
+        });
+        let handler: Arc<dyn WireHandler> = Arc::clone(&shared) as Arc<dyn WireHandler>;
+        let supervisor = Supervisor::start(config, codec, handler)?;
+        *shared.supervisor.lock() = Some(supervisor);
+        Ok(WireNet { shared })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn listen_addr(&self) -> Option<SocketAddr> {
+        self.shared.supervisor.lock().as_ref().map(|s| s.local_addr())
+    }
+
+    /// Registers a service spec (not started yet).
+    pub fn register(&mut self, endpoint: Endpoint, factory: ProcessFactory) {
+        self.shared.specs.lock().insert(endpoint, factory);
+    }
+
+    /// Starts a registered service on its own thread.
+    pub fn start(&mut self, endpoint: &Endpoint) {
+        self.shared.spawn(endpoint.clone());
+    }
+
+    /// Kills a running local service (no notification to the victim).
+    pub fn kill(&mut self, endpoint: &Endpoint) {
+        self.shared.kill(endpoint);
+    }
+
+    /// `true` if the local service currently has a live mailbox.
+    pub fn is_running(&self, endpoint: &Endpoint) -> bool {
+        self.shared.mailboxes.lock().contains_key(endpoint)
+    }
+
+    /// Injects a message from an external driver (local or remote
+    /// destination; remote bodies must be codec-registered).
+    pub fn post<T: std::any::Any + Send>(&self, to: Endpoint, body: T) {
+        let from = Endpoint::new(self.shared.node, "__external");
+        self.shared.route(Envelope::new(from, to, body));
+    }
+
+    /// Copies out the trace recorded so far.
+    pub fn trace_snapshot(&self) -> Trace {
+        self.shared.trace.lock().clone()
+    }
+
+    /// Envelopes dropped locally because no mailbox could accept them.
+    pub fn dropped_count(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes dropped because their destination node has no link.
+    pub fn unroutable_count(&self) -> u64 {
+        self.shared.unroutable.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the runtime started (live wall time).
+    pub fn now(&self) -> SimTime {
+        self.shared.clock.now()
+    }
+
+    /// Per-peer link health from the supervisor.
+    pub fn health(&self) -> Vec<PeerHealth> {
+        self.shared.supervisor.lock().as_ref().map(|s| s.health()).unwrap_or_default()
+    }
+
+    /// `true` if a handshaken connection to `peer` is currently up.
+    pub fn connected(&self, peer: NodeId) -> bool {
+        self.shared.supervisor.lock().as_ref().map(|s| s.connected(peer)).unwrap_or(false)
+    }
+
+    /// Frames received from an abandoned connection epoch and dropped.
+    pub fn stale_in(&self, peer: NodeId) -> u64 {
+        self.shared.supervisor.lock().as_ref().map(|s| s.stale_in(peer)).unwrap_or(0)
+    }
+
+    /// Subscribes a **local** service to [`TransportEvent`]s (delivered
+    /// as ordinary envelopes from `<node>/__wire`).
+    pub fn subscribe_transport_events(&mut self, endpoint: Endpoint) {
+        self.shared.event_subs.lock().push(endpoint);
+    }
+
+    /// Spawns a thread that periodically routes a [`TransportReport`] to
+    /// `monitor` (which may live on a peer node).
+    pub fn start_transport_reporter(&mut self, monitor: Endpoint, period: Duration) {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::spawn(move || loop {
+            let mut slept = Duration::ZERO;
+            while slept < period {
+                if shared.shutting_down.load(Ordering::Relaxed) {
+                    return;
+                }
+                let slice = Duration::from_millis(50).min(period - slept);
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            let peers = {
+                let sup = shared.supervisor.lock();
+                match sup.as_ref() {
+                    Some(s) => s.health(),
+                    None => return,
+                }
+            };
+            let report = TransportReport { node: shared.node, peers, at: shared.clock.now() };
+            let from = Endpoint::new(shared.node, "__wire");
+            shared.route(Envelope::new(from, monitor.clone(), report));
+        });
+        self.shared.handles.lock().push(handle);
+    }
+
+    /// Stops every service, the reporter, and the socket layer.
+    pub fn shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let endpoints: Vec<Endpoint> = self.shared.mailboxes.lock().keys().cloned().collect();
+        for ep in endpoints {
+            self.shared.kill(&ep);
+        }
+        let handles: Vec<JoinHandle<()>> = self.shared.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Taking the supervisor out breaks the WireShared <-> Supervisor
+        // Arc cycle and joins the socket threads.
+        let supervisor = self.shared.supervisor.lock().take();
+        if let Some(sup) = supervisor {
+            sup.shutdown();
+        }
+    }
+}
+
+impl Drop for WireNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

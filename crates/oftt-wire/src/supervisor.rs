@@ -1,0 +1,826 @@
+//! Per-peer connection supervision: dialing, accepting, handshakes,
+//! reconnect backoff, write queues, and teardown.
+//!
+//! One [`Supervisor`] owns every TCP concern of a node:
+//!
+//! - **Dial/accept race**: both sides dial. When two live connections for
+//!   the same link collide, the one *initiated by the lower node id*
+//!   wins and the other is closed — deterministic, no extra round trip.
+//! - **Reconnect**: capped exponential backoff with jitter (so a
+//!   restarted pair does not thundering-herd in lockstep).
+//! - **Backpressure**: each link has a bounded write queue. When full,
+//!   the oldest queued *heartbeat* is shed first (a late heartbeat is
+//!   worse than none); only then the oldest data frame. Heartbeats are
+//!   never queued across a disconnect at all.
+//! - **Epochs**: every connection gets a fresh epoch on each side,
+//!   exchanged in the handshake and stamped on every frame. A receiver
+//!   drops frames from any epoch but the current one, and teardown
+//!   purges the write queue — a reconnect can never resurrect a frame
+//!   from a dead connection.
+//!
+//! The supervisor is runtime-agnostic: it hands decoded envelopes and
+//! link events to a [`WireHandler`] and knows nothing about actors.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use comsim::buf::Bytes;
+use ds_net::endpoint::NodeId;
+use ds_net::message::Envelope;
+use ds_net::transport::{LinkState, PeerHealth, TransportEvent};
+use ds_sim::prelude::{SimDuration, SimRng, TraceCategory};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{FramePayload, WireCodec};
+use crate::frame::{
+    read_frame, write_frame, FrameClass, ReadError, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN,
+};
+
+/// Socket-layer configuration for one node.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// This node's id.
+    pub node: NodeId,
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Peer node ids and their listen addresses.
+    pub peers: Vec<(NodeId, String)>,
+    /// Receive-side cap on meta + body length.
+    pub max_frame: u32,
+    /// Write-queue bound per link, in frames.
+    pub queue_limit: usize,
+    /// First reconnect delay.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// TCP connect timeout per dial attempt.
+    pub connect_timeout: Duration,
+    /// Read timeout while waiting for the peer's handshake.
+    pub handshake_timeout: Duration,
+    /// Seed for backoff jitter.
+    pub seed: u64,
+}
+
+impl WireConfig {
+    /// A loopback config for `node` with no peers yet.
+    pub fn loopback(node: NodeId) -> Self {
+        WireConfig {
+            node,
+            listen: "127.0.0.1:0".into(),
+            peers: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+            queue_limit: 1024,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(2),
+            seed: 1,
+        }
+    }
+}
+
+/// What the supervisor needs from its hosting runtime.
+pub trait WireHandler: Send + Sync {
+    /// A decoded envelope arrived from a peer.
+    fn deliver(&self, envelope: Envelope);
+    /// A link changed state.
+    fn peer_event(&self, event: TransportEvent);
+    /// Trace a transport-level occurrence.
+    fn record(&self, category: TraceCategory, message: String);
+}
+
+/// Handshake meta block: who is dialing/answering.
+#[derive(Debug, Serialize, Deserialize)]
+struct Hello {
+    node: NodeId,
+}
+
+struct QueuedFrame {
+    class: FrameClass,
+    meta: Vec<u8>,
+    head: Vec<u8>,
+    shared: Vec<Bytes>,
+}
+
+struct Conn {
+    /// For shutdown; reader/writer threads hold their own clones.
+    stream: TcpStream,
+    /// Distinguishes this connection from any other on the link.
+    id: u64,
+    /// Who initiated it (race-resolution key).
+    dialed_by: NodeId,
+}
+
+struct LinkInner {
+    status: LinkState,
+    conn: Option<Conn>,
+    conn_seq: u64,
+    next_epoch: u32,
+    /// Epoch of the current (or most recent) connection, for health rows.
+    epoch: u32,
+    queue: VecDeque<QueuedFrame>,
+}
+
+struct Link {
+    peer: NodeId,
+    addr: String,
+    inner: Mutex<LinkInner>,
+    cv: Condvar,
+    installs: AtomicU64,
+    reconnects: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    dropped_heartbeats: AtomicU64,
+    dropped_frames: AtomicU64,
+    stale_in: AtomicU64,
+}
+
+impl Link {
+    fn new(peer: NodeId, addr: String) -> Self {
+        Link {
+            peer,
+            addr,
+            inner: Mutex::new(LinkInner {
+                status: LinkState::Connecting,
+                conn: None,
+                conn_seq: 0,
+                next_epoch: 1,
+                epoch: 0,
+                queue: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            installs: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            dropped_heartbeats: AtomicU64::new(0),
+            dropped_frames: AtomicU64::new(0),
+            stale_in: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LinkInner> {
+        // A poisoned link mutex means a panic elsewhere; propagating the
+        // inner state is still safe (all fields are plain data).
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+struct Shared {
+    config: WireConfig,
+    codec: Arc<WireCodec>,
+    handler: Arc<dyn WireHandler>,
+    links: HashMap<NodeId, Arc<Link>>,
+    listen_addr: SocketAddr,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn spawn(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) {
+        let handle = std::thread::spawn(f);
+        self.threads.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+    }
+
+    fn trace(&self, message: String) {
+        self.handler.record(TraceCategory::Net, message);
+    }
+
+    /// Tears the link's current connection down **iff** it is still
+    /// `conn_id` (a later connection must not be collateral damage).
+    fn teardown(&self, link: &Link, conn_id: u64, why: &str) {
+        let (purged_hb, purged_data) = {
+            let mut inner = link.lock();
+            let Some(conn) = inner.conn.as_ref() else { return };
+            if conn.id != conn_id {
+                return;
+            }
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            inner.conn = None;
+            inner.status = LinkState::Backoff;
+            // Purge: nothing queued for a dead connection may survive
+            // onto the next one.
+            let mut hb = 0u64;
+            let mut data = 0u64;
+            for f in inner.queue.drain(..) {
+                match f.class {
+                    FrameClass::Heartbeat => hb += 1,
+                    _ => data += 1,
+                }
+            }
+            link.cv.notify_all();
+            (hb, data)
+        };
+        link.dropped_heartbeats.fetch_add(purged_hb, Ordering::Relaxed);
+        link.dropped_frames.fetch_add(purged_data, Ordering::Relaxed);
+        if !self.shutdown.load(Ordering::Relaxed) {
+            self.trace(format!(
+                "wire link {} -> {}: down ({why}), purged {} queued frames",
+                self.config.node,
+                link.peer,
+                purged_hb + purged_data
+            ));
+            self.handler.peer_event(TransportEvent::PeerDown { peer: link.peer });
+        }
+    }
+
+    /// Installs a handshaken connection, resolving dial/accept races:
+    /// the connection initiated by the lower node id wins.
+    fn install(
+        self: &Arc<Self>,
+        link: &Arc<Link>,
+        stream: TcpStream,
+        dialed_by: NodeId,
+        my_epoch: u32,
+        peer_epoch: u32,
+    ) {
+        let preferred = self.config.node.min(link.peer);
+        let conn_id;
+        {
+            let mut inner = link.lock();
+            if let Some(existing) = inner.conn.as_ref() {
+                if existing.dialed_by != dialed_by && dialed_by != preferred {
+                    // The established connection is (or will be) the
+                    // preferred one; close the loser quietly.
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    self.trace(format!(
+                        "wire link {} -> {}: dropped duplicate connection dialed by {dialed_by}",
+                        self.config.node, link.peer
+                    ));
+                    return;
+                }
+                let _ = existing.stream.shutdown(std::net::Shutdown::Both);
+            }
+            inner.conn_seq += 1;
+            conn_id = inner.conn_seq;
+            inner.conn = Some(Conn {
+                stream: match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.trace(format!(
+                            "wire link {} -> {}: clone failed at install: {e}",
+                            self.config.node, link.peer
+                        ));
+                        return;
+                    }
+                },
+                id: conn_id,
+                dialed_by,
+            });
+            inner.status = LinkState::Connected;
+            inner.epoch = my_epoch;
+            link.cv.notify_all();
+        }
+        let installs = link.installs.fetch_add(1, Ordering::Relaxed) + 1;
+        let reconnect = installs > 1;
+        if reconnect {
+            link.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace(format!(
+            "wire link {} -> {}: connected (epoch={my_epoch}, dialed by {dialed_by})",
+            self.config.node, link.peer
+        ));
+        self.handler.peer_event(TransportEvent::PeerConnected {
+            peer: link.peer,
+            epoch: my_epoch,
+            reconnect,
+        });
+
+        // Writer: drains the queue while this connection is current.
+        match stream.try_clone() {
+            Ok(writer_stream) => {
+                let writer_shared = Arc::clone(self);
+                let writer_link = Arc::clone(link);
+                self.spawn(move || {
+                    writer_shared.write_loop(&writer_link, writer_stream, conn_id, my_epoch);
+                });
+            }
+            Err(e) => {
+                self.teardown(link, conn_id, &format!("writer clone failed: {e}"));
+                return;
+            }
+        }
+        // Reader: owns the stream until it errors.
+        let reader_shared = Arc::clone(self);
+        let reader_link = Arc::clone(link);
+        let mut reader_stream = stream;
+        self.spawn(move || {
+            reader_shared.read_loop(&reader_link, &mut reader_stream, conn_id, peer_epoch);
+        });
+    }
+
+    fn read_loop(&self, link: &Link, stream: &mut TcpStream, conn_id: u64, peer_epoch: u32) {
+        loop {
+            match read_frame(stream, self.config.max_frame) {
+                Ok(frame) => {
+                    let wire_len = HEADER_LEN as u64
+                        + frame.header.meta_len as u64
+                        + frame.header.body_len as u64;
+                    link.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
+                    if frame.header.class == FrameClass::Handshake {
+                        // Duplicate handshake mid-stream: harmless, skip.
+                        continue;
+                    }
+                    if frame.header.epoch != peer_epoch {
+                        // A frame from a connection the peer has already
+                        // abandoned; never deliver it.
+                        link.stale_in.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match self.codec.decode_frame(&frame) {
+                        Ok(envelope) => self.handler.deliver(envelope),
+                        Err(e) => {
+                            // The frame boundary held, so the stream is
+                            // still in sync: skip this body only.
+                            link.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                            self.trace(format!(
+                                "wire link {} <- {}: undecodable frame skipped: {e}",
+                                self.config.node, link.peer
+                            ));
+                        }
+                    }
+                }
+                Err(ReadError::Protocol(e)) => {
+                    self.teardown(link, conn_id, &format!("framing error: {e}"));
+                    return;
+                }
+                Err(ReadError::Io(e)) => {
+                    self.teardown(link, conn_id, &format!("read failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn write_loop(&self, link: &Link, mut stream: TcpStream, conn_id: u64, my_epoch: u32) {
+        loop {
+            let frame = {
+                let mut inner = link.lock();
+                loop {
+                    match inner.conn.as_ref() {
+                        Some(conn) if conn.id == conn_id => {}
+                        _ => return, // superseded or torn down
+                    }
+                    if let Some(frame) = inner.queue.pop_front() {
+                        break frame;
+                    }
+                    inner = self.cv_wait(link, inner, Duration::from_millis(100));
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            };
+            match write_frame(
+                &mut stream,
+                frame.class,
+                my_epoch,
+                &frame.meta,
+                &frame.head,
+                &frame.shared,
+            ) {
+                Ok(n) => {
+                    link.bytes_out.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    match frame.class {
+                        FrameClass::Heartbeat => {
+                            link.dropped_heartbeats.fetch_add(1, Ordering::Relaxed)
+                        }
+                        _ => link.dropped_frames.fetch_add(1, Ordering::Relaxed),
+                    };
+                    self.teardown(link, conn_id, &format!("write failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn cv_wait<'a>(
+        &self,
+        link: &'a Link,
+        guard: std::sync::MutexGuard<'a, LinkInner>,
+        timeout: Duration,
+    ) -> std::sync::MutexGuard<'a, LinkInner> {
+        match link.cv.wait_timeout(guard, timeout) {
+            Ok((g, _)) => g,
+            Err(e) => e.into_inner().0,
+        }
+    }
+
+    /// Queues an encoded frame for `peer`, applying the backpressure
+    /// policy. Returns `false` if the frame was shed immediately.
+    fn enqueue(&self, link: &Link, frame: QueuedFrame) -> bool {
+        let mut inner = link.lock();
+        if frame.class == FrameClass::Heartbeat && inner.status != LinkState::Connected {
+            // A heartbeat held back and delivered after a reconnect would
+            // assert liveness for the wrong moment in time.
+            drop(inner);
+            link.dropped_heartbeats.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner.queue.push_back(frame);
+        let mut shed_hb = 0u64;
+        let mut shed_data = 0u64;
+        while inner.queue.len() > self.config.queue_limit {
+            if let Some(pos) = inner.queue.iter().position(|f| f.class == FrameClass::Heartbeat) {
+                inner.queue.remove(pos);
+                shed_hb += 1;
+            } else {
+                inner.queue.pop_front();
+                shed_data += 1;
+            }
+        }
+        link.cv.notify_all();
+        drop(inner);
+        link.dropped_heartbeats.fetch_add(shed_hb, Ordering::Relaxed);
+        link.dropped_frames.fetch_add(shed_data, Ordering::Relaxed);
+        true
+    }
+
+    /// Dialer-side handshake: send our hello, await the peer's.
+    fn dial_once(self: &Arc<Self>, link: &Arc<Link>) -> Result<(), String> {
+        let addr = link
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {}: {e}", link.addr))?
+            .next()
+            .ok_or_else(|| format!("{} resolves to nothing", link.addr))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let my_epoch = {
+            let mut inner = link.lock();
+            let e = inner.next_epoch;
+            inner.next_epoch += 1;
+            e
+        };
+        let hello = comsim::marshal::to_bytes(&Hello { node: self.config.node })
+            .map_err(|e| e.to_string())?;
+        write_frame(&mut stream, FrameClass::Handshake, my_epoch, &hello, &[], &[])
+            .map_err(|e| format!("handshake send: {e}"))?;
+        stream.set_read_timeout(Some(self.config.handshake_timeout)).ok();
+        let reply = read_frame(&mut stream, self.config.max_frame)
+            .map_err(|e| format!("handshake reply: {e}"))?;
+        if reply.header.class != FrameClass::Handshake {
+            return Err("peer spoke before handshaking".into());
+        }
+        let peer_hello: Hello =
+            comsim::marshal::from_bytes(reply.meta.as_slice()).map_err(|e| e.to_string())?;
+        if peer_hello.node != link.peer {
+            return Err(format!("dialed {} but {} answered", link.peer, peer_hello.node));
+        }
+        stream.set_read_timeout(None).ok();
+        self.install(link, stream, self.config.node, my_epoch, reply.header.epoch);
+        Ok(())
+    }
+
+    /// Acceptor-side handshake: read the dialer's hello, answer it.
+    fn accept_handshake(self: &Arc<Self>, mut stream: TcpStream) {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.config.handshake_timeout)).ok();
+        let frame = match read_frame(&mut stream, self.config.max_frame) {
+            Ok(f) => f,
+            Err(e) => {
+                self.trace(format!("wire accept on {}: bad handshake: {e}", self.config.node));
+                return;
+            }
+        };
+        if frame.header.class != FrameClass::Handshake {
+            self.trace(format!(
+                "wire accept on {}: peer spoke before handshaking",
+                self.config.node
+            ));
+            return;
+        }
+        let hello: Hello = match comsim::marshal::from_bytes(frame.meta.as_slice()) {
+            Ok(h) => h,
+            Err(e) => {
+                self.trace(format!("wire accept on {}: unreadable hello: {e}", self.config.node));
+                return;
+            }
+        };
+        let Some(link) = self.links.get(&hello.node).cloned() else {
+            self.trace(format!(
+                "wire accept on {}: unknown peer {} rejected",
+                self.config.node, hello.node
+            ));
+            return;
+        };
+        let my_epoch = {
+            let mut inner = link.lock();
+            let e = inner.next_epoch;
+            inner.next_epoch += 1;
+            e
+        };
+        let reply = match comsim::marshal::to_bytes(&Hello { node: self.config.node }) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        if let Err(e) = write_frame(&mut stream, FrameClass::Handshake, my_epoch, &reply, &[], &[])
+        {
+            self.trace(format!("wire accept on {}: handshake reply failed: {e}", self.config.node));
+            return;
+        }
+        stream.set_read_timeout(None).ok();
+        self.install(&link, stream, hello.node, my_epoch, frame.header.epoch);
+    }
+
+    /// Per-peer dial thread: keep the link connected, backing off with
+    /// jitter between failures.
+    fn dial_loop(self: Arc<Self>, link: Arc<Link>) {
+        let mut rng = SimRng::seed_from(self.config.seed ^ (0x9e37 + u64::from(link.peer.0)));
+        let mut failures: u32 = 0;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let connected = { link.lock().conn.is_some() };
+            if connected {
+                failures = 0;
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            {
+                let mut inner = link.lock();
+                if inner.conn.is_none() && inner.status == LinkState::Backoff {
+                    inner.status = LinkState::Connecting;
+                }
+            }
+            match self.dial_once(&link) {
+                Ok(()) => {
+                    failures = 0;
+                }
+                Err(why) => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Another thread (the acceptor) may have installed a
+                    // connection while we were failing to dial.
+                    if link.lock().conn.is_some() {
+                        continue;
+                    }
+                    {
+                        let mut inner = link.lock();
+                        if inner.conn.is_none() {
+                            inner.status = LinkState::Backoff;
+                        }
+                    }
+                    if failures == 0 {
+                        self.trace(format!(
+                            "wire link {} -> {}: dial failed ({why}), backing off",
+                            self.config.node, link.peer
+                        ));
+                    }
+                    let exp = self
+                        .config
+                        .backoff_base
+                        .saturating_mul(1u32 << failures.min(6))
+                        .min(self.config.backoff_cap);
+                    failures = failures.saturating_add(1);
+                    let base = SimDuration::from_micros(exp.as_micros() as u64);
+                    let spread = SimDuration::from_micros((exp.as_micros() / 2) as u64);
+                    let wait = Duration::from_micros(rng.jittered(base, spread).as_micros());
+                    let mut slept = Duration::ZERO;
+                    while slept < wait && !self.shutdown.load(Ordering::Relaxed) {
+                        let slice = Duration::from_millis(25).min(wait - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accept thread: poll the listener, hand each connection to a
+    /// handshake thread.
+    fn accept_loop(self: Arc<Self>, listener: TcpListener) {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self);
+                    self.spawn(move || shared.accept_handshake(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+}
+
+/// The per-node connection supervisor.
+pub struct Supervisor {
+    shared: Arc<Shared>,
+}
+
+impl Supervisor {
+    /// Binds the listener, spawns accept and per-peer dial threads.
+    pub fn start(
+        config: WireConfig,
+        codec: Arc<WireCodec>,
+        handler: Arc<dyn WireHandler>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let listen_addr = listener.local_addr()?;
+        let links: HashMap<NodeId, Arc<Link>> = config
+            .peers
+            .iter()
+            .map(|(peer, addr)| (*peer, Arc::new(Link::new(*peer, addr.clone()))))
+            .collect();
+        let shared = Arc::new(Shared {
+            config,
+            codec,
+            handler,
+            links,
+            listen_addr,
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let acceptor = Arc::clone(&shared);
+        shared.spawn(move || acceptor.accept_loop(listener));
+        for link in shared.links.values() {
+            let dialer = Arc::clone(&shared);
+            let link = Arc::clone(link);
+            shared.spawn(move || dialer.dial_loop(link));
+        }
+        Ok(Supervisor { shared })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// Encodes and queues an envelope for `peer`. Returns `false` if the
+    /// peer is unknown, the body type unregistered, or the frame was
+    /// shed immediately.
+    pub fn send_envelope(&self, peer: NodeId, envelope: &Envelope) -> bool {
+        let Some(link) = self.shared.links.get(&peer) else {
+            return false;
+        };
+        let encoded = match self.shared.codec.encode_envelope(envelope) {
+            Some(Ok(encoded)) => encoded,
+            Some(Err(e)) => {
+                link.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                self.shared.trace(format!(
+                    "wire link {} -> {peer}: encode failed for {}: {e}",
+                    self.shared.config.node, envelope.to
+                ));
+                return false;
+            }
+            None => {
+                link.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                self.shared.trace(format!(
+                    "wire link {} -> {peer}: body type of {} -> {} not wire-registered",
+                    self.shared.config.node, envelope.from, envelope.to
+                ));
+                return false;
+            }
+        };
+        let (meta, FramePayload { class, head, shared }) = encoded;
+        self.shared.enqueue(link, QueuedFrame { class, meta, head, shared })
+    }
+
+    /// `true` if a handshaken connection to `peer` is up.
+    pub fn connected(&self, peer: NodeId) -> bool {
+        self.shared.links.get(&peer).map(|l| l.lock().conn.is_some()).unwrap_or(false)
+    }
+
+    /// Health counters for every configured link.
+    pub fn health(&self) -> Vec<PeerHealth> {
+        let mut peers: Vec<PeerHealth> = self
+            .shared
+            .links
+            .values()
+            .map(|link| {
+                let inner = link.lock();
+                PeerHealth {
+                    peer: link.peer,
+                    state: inner.status,
+                    epoch: inner.epoch,
+                    reconnects: link.reconnects.load(Ordering::Relaxed),
+                    bytes_in: link.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: link.bytes_out.load(Ordering::Relaxed),
+                    queued: inner.queue.len() as u64,
+                    dropped_heartbeats: link.dropped_heartbeats.load(Ordering::Relaxed),
+                    dropped_frames: link.dropped_frames.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        peers.sort_by_key(|p| p.peer);
+        peers
+    }
+
+    /// Frames received from an abandoned connection epoch and dropped.
+    pub fn stale_in(&self, peer: NodeId) -> u64 {
+        self.shared.links.get(&peer).map(|l| l.stale_in.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Stops all threads and closes all sockets. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in self.shared.links.values() {
+            let inner = link.lock();
+            if let Some(conn) = inner.conn.as_ref() {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+            link.cv.notify_all();
+        }
+        loop {
+            let Some(handle) = ({
+                let mut threads = self.shared.threads.lock().unwrap_or_else(|e| e.into_inner());
+                threads.pop()
+            }) else {
+                break;
+            };
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_net::endpoint::Endpoint;
+    use std::sync::Mutex as StdMutex;
+    use std::time::Instant;
+
+    struct Sink {
+        delivered: StdMutex<Vec<Envelope>>,
+        events: StdMutex<Vec<TransportEvent>>,
+    }
+
+    impl Sink {
+        fn new() -> Arc<Self> {
+            Arc::new(Sink {
+                delivered: StdMutex::new(Vec::new()),
+                events: StdMutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl WireHandler for Sink {
+        fn deliver(&self, envelope: Envelope) {
+            self.delivered.lock().unwrap().push(envelope);
+        }
+        fn peer_event(&self, event: TransportEvent) {
+            self.events.lock().unwrap().push(event);
+        }
+        fn record(&self, _category: TraceCategory, _message: String) {}
+    }
+
+    fn wait_for(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn pair_connects_and_delivers_both_ways() {
+        let codec = Arc::new(WireCodec::standard());
+        let sink_a = Sink::new();
+        let sink_b = Sink::new();
+        // A lists B at an unconnectable address; the accept path installs
+        // the link when B dials in.
+        let mut config_a = WireConfig::loopback(NodeId(0));
+        config_a.peers = vec![(NodeId(1), "127.0.0.1:1".into())];
+        let a = Supervisor::start(config_a, Arc::clone(&codec), sink_a.clone()).unwrap();
+        let mut config_b = WireConfig::loopback(NodeId(1));
+        config_b.peers = vec![(NodeId(0), a.local_addr().to_string())];
+        config_b.seed = 2;
+        let b = Supervisor::start(config_b, Arc::clone(&codec), sink_b.clone()).unwrap();
+        assert!(wait_for(|| b.connected(NodeId(0)), Duration::from_secs(3)));
+        assert!(wait_for(|| a.connected(NodeId(1)), Duration::from_secs(3)));
+
+        let env = Envelope::new(
+            Endpoint::new(NodeId(1), "x"),
+            Endpoint::new(NodeId(0), "y"),
+            "over the wire".to_string(),
+        );
+        assert!(b.send_envelope(NodeId(0), &env));
+        assert!(wait_for(|| !sink_a.delivered.lock().unwrap().is_empty(), Duration::from_secs(3)));
+        let got = sink_a.delivered.lock().unwrap().remove(0);
+        assert_eq!(got.body.downcast::<String>().unwrap(), "over the wire");
+        a.shutdown();
+        b.shutdown();
+    }
+}

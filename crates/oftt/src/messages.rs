@@ -24,7 +24,7 @@ pub enum FtimKind {
 }
 
 /// FTIM/component → local engine.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum ToEngine {
     /// `OFTTInitialize`: announce the component and its recovery rule.
     Register {
@@ -63,7 +63,7 @@ pub enum ToEngine {
 }
 
 /// Local engine → FTIM/component.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FromEngine {
     /// The node's role changed (or a registration is being acknowledged).
     RoleUpdate {
@@ -78,7 +78,7 @@ pub enum FromEngine {
 }
 
 /// Engine ↔ engine.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PeerMsg {
     /// Startup negotiation probe.
     Hello {
@@ -131,7 +131,7 @@ pub struct RoleReport {
 }
 
 /// FTIM ↔ peer FTIM (checkpoint channel).
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum FtimPeerMsg {
     /// A checkpoint from the primary-side FTIM.
     Ckpt(Checkpoint),

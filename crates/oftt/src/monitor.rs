@@ -12,6 +12,7 @@ use std::sync::Arc;
 use ds_net::endpoint::NodeId;
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv};
+use ds_net::transport::TransportReport;
 use ds_sim::prelude::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
@@ -23,12 +24,20 @@ pub struct MonitorTable {
     rows: BTreeMap<NodeId, StatusReport>,
     /// Nodes whose engine has stopped reporting.
     stale: BTreeMap<NodeId, bool>,
+    /// Latest transport health per node (wire backend only; the sim and
+    /// live backends have no links to report).
+    transport: BTreeMap<NodeId, TransportReport>,
 }
 
 impl MonitorTable {
     /// The latest report from `node`, if any.
     pub fn row(&self, node: NodeId) -> Option<&StatusReport> {
         self.rows.get(&node)
+    }
+
+    /// The latest transport health snapshot from `node`, if any.
+    pub fn transport_row(&self, node: NodeId) -> Option<&TransportReport> {
+        self.transport.get(&node)
     }
 
     /// `true` if `node`'s engine has stopped reporting.
@@ -82,6 +91,27 @@ impl MonitorTable {
                 if stale { "  ** NOT REPORTING **" } else { "" },
             ));
         }
+        if !self.transport.is_empty() {
+            out.push_str(
+                "\nNODE    PEER    LINK        EPOCH  RECONN  IN-BYTES   OUT-BYTES  DROPS\n\
+                 ------  ------  ----------  -----  ------  ---------  ---------  -----\n",
+            );
+            for (node, report) in &self.transport {
+                for peer in &report.peers {
+                    out.push_str(&format!(
+                        "{:<6}  {:<6}  {:<10}  {:<5}  {:<6}  {:<9}  {:<9}  {}\n",
+                        node.to_string(),
+                        peer.peer.to_string(),
+                        peer.state.to_string(),
+                        peer.epoch,
+                        peer.reconnects,
+                        peer.bytes_in,
+                        peer.bytes_out,
+                        peer.dropped_heartbeats + peer.dropped_frames,
+                    ));
+                }
+            }
+        }
         out
     }
 }
@@ -130,12 +160,19 @@ impl Process for SystemMonitor {
     }
 
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
-        if let Ok(report) = envelope.body.downcast::<StatusReport>() {
-            let node = report.node;
-            self.last_seen.insert(node, env.now());
-            let mut table = self.table.lock();
-            table.stale.insert(node, false);
-            table.rows.insert(node, report);
+        match envelope.body.downcast::<StatusReport>() {
+            Ok(report) => {
+                let node = report.node;
+                self.last_seen.insert(node, env.now());
+                let mut table = self.table.lock();
+                table.stale.insert(node, false);
+                table.rows.insert(node, report);
+            }
+            Err(body) => {
+                if let Ok(report) = body.downcast::<TransportReport>() {
+                    self.table.lock().transport.insert(report.node, report);
+                }
+            }
         }
     }
 }
@@ -181,5 +218,38 @@ mod tests {
         assert!(text.contains("primary"));
         assert!(text.contains("call-track[OK,r1]"));
         assert!(text.contains("2.000s"), "age column:\n{text}");
+        assert!(!text.contains("LINK"), "no transport section without reports:\n{text}");
+    }
+
+    #[test]
+    fn render_includes_transport_health_rows() {
+        use ds_net::transport::{LinkState, PeerHealth};
+        let mut table = MonitorTable::default();
+        table.rows.insert(NodeId(0), report(0, Role::Primary, SimTime::from_secs(1)));
+        table.transport.insert(
+            NodeId(0),
+            TransportReport {
+                node: NodeId(0),
+                peers: vec![PeerHealth {
+                    peer: NodeId(1),
+                    state: LinkState::Backoff,
+                    epoch: 3,
+                    reconnects: 2,
+                    bytes_in: 4096,
+                    bytes_out: 8192,
+                    queued: 0,
+                    dropped_heartbeats: 1,
+                    dropped_frames: 1,
+                }],
+                at: SimTime::from_secs(2),
+            },
+        );
+        let text = table.render(SimTime::from_secs(3));
+        assert!(text.contains("LINK"), "transport header:\n{text}");
+        assert!(text.contains("backoff"), "state column:\n{text}");
+        assert!(text.contains("4096"), "bytes-in column:\n{text}");
+        assert!(text.contains("8192"), "bytes-out column:\n{text}");
+        let drops_row = text.lines().find(|l| l.contains("backoff")).unwrap();
+        assert!(drops_row.trim_end().ends_with('2'), "summed drops column:\n{text}");
     }
 }
