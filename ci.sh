@@ -7,14 +7,18 @@
 #   3. tier-1            release build + the root suite's smoke tests
 #   4. workspace tests   every crate's unit/integration tests
 #   5. model checking    budgeted oftt-check sweep over pair failover
-#   6. audit sweep       oftt-audit over both sweeps (races, lock order,
+#   6. verify sweep      oftt-verify exhausts the abstract protocol space
+#                        (pinned state count, zero violations, no lasso)
+#                        and refines a 200-schedule trace-export sweep,
+#                        plus the seeded-defect round-trip smoke
+#   7. audit sweep       oftt-audit over both sweeps (races, lock order,
 #                        stale reads, API lifecycle) + seeded-defect smoke
-#   7. wire smoke        two real oftt-node processes over loopback TCP:
+#   8. wire smoke        two real oftt-node processes over loopback TCP:
 #                        SIGKILL the primary, assert promotion within the
 #                        detection budget and restore-crc integrity
-#   8. bench smoke       one-sample BENCH_checkpoint.json emit + a reduced
-#                        BENCH_wire.json emit, both schema-validated
-#                        (fails on schema drift)
+#   9. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
+#                        BENCH_wire.json and BENCH_verify.json emits, all
+#                        schema-validated (fails on schema drift)
 #
 # Exits non-zero on the first failing stage.
 
@@ -41,6 +45,25 @@ cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 600
 
 step "oftt-check sweep (partitioned startup, shipped config)"
 cargo run -p oftt-check --release -q -- --scenario partitioned-startup --budget 100
+
+step "oftt-verify clippy (deny warnings, both feature sets)"
+cargo clippy -p oftt-verify --all-targets -q -- -D warnings
+cargo clippy -p oftt-verify --all-targets --features inject_bugs -q -- -D warnings
+
+step "verify sweep: exhaustive abstract check + 200-schedule refinement"
+cargo build --release -q -p oftt-verify
+VERIFY_TRACES=$(mktemp -d /tmp/oftt-traces.XXXXXX)
+cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 200 \
+    --export-traces "$VERIFY_TRACES"
+# The pinned state count is the exhausted default-budget space; a
+# mismatch means the abstract model (or its bounds) changed — re-pin
+# only after reviewing why.
+./target/release/oftt-verify --liveness --expect-states 1939405 \
+    --refine "$VERIFY_TRACES"
+rm -rf "$VERIFY_TRACES"
+
+step "verify seeded-defect round trip (inject_bugs)"
+cargo test -p oftt-verify --features inject_bugs -q
 
 step "oftt-audit clippy (deny warnings, both feature sets)"
 cargo clippy -p oftt-audit --all-targets -q -- -D warnings
@@ -71,5 +94,12 @@ step "bench smoke: wire runtime artifact (20 kills)"
 BENCH_SAMPLES=500 BENCH_CKPT_SECS=2 BENCH_OUT="$BENCH_WIRE_OUT" \
     cargo run -p bench --release -q --bin bench-wire
 cargo run -p bench --release -q --bin bench-validate "$BENCH_WIRE_OUT"
+
+step "bench smoke: verification throughput artifact"
+BENCH_VERIFY_OUT=$(mktemp /tmp/BENCH_verify.XXXXXX.json)
+trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_WIRE_OUT" "$BENCH_VERIFY_OUT"' EXIT
+BENCH_REFINE_RUNS=5 BENCH_OUT="$BENCH_VERIFY_OUT" \
+    cargo run -p bench --release -q --bin bench-verify
+cargo run -p bench --release -q --bin bench-validate "$BENCH_VERIFY_OUT"
 
 printf '\nCI green.\n'

@@ -8,7 +8,11 @@
 //! * `oftt-bench-wire-v1` (`BENCH_wire.json`) — the socket runtime must
 //!   show the acceptance workload (10k vars at 1% locality) with zero
 //!   data-frame sheds, ≥ 20 SIGKILL failover samples, and promotion p99
-//!   inside the 3 s detection budget.
+//!   inside the 3 s detection budget;
+//! * `oftt-bench-verify-v1` (`BENCH_verify.json`) — every exploration
+//!   tier must come back clean (zero violations, no lasso, not capped),
+//!   the `default` tier must exhaust a ≥ 10⁶-state space at ≥ 10k
+//!   states/s, and the refinement batch must include every export.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench-validate [path]
@@ -51,6 +55,7 @@ fn validate(doc: &Json) -> Vec<String> {
     match require(doc, "schema", &mut errors).and_then(Json::as_str) {
         Some("oftt-bench-checkpoint-v1") => errors.extend(validate_checkpoint(doc)),
         Some("oftt-bench-wire-v1") => errors.extend(validate_wire(doc)),
+        Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
         None => errors.push("schema is not a string".into()),
     }
@@ -171,6 +176,78 @@ fn validate_wire(doc: &Json) -> Vec<String> {
         }
     }
 
+    errors
+}
+
+fn validate_verify(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
+        errors.push("cells is not an array".into());
+        return errors;
+    };
+    if cells.is_empty() {
+        errors.push("cells is empty".into());
+    }
+    let mut default_tier_seen = false;
+    for (i, cell) in cells.iter().enumerate() {
+        let mut cell_errors = Vec::new();
+        let name = require(cell, "name", &mut cell_errors).and_then(Json::as_str);
+        let states = require_number(cell, "states", &mut cell_errors);
+        require_number(cell, "transitions", &mut cell_errors);
+        require_number(cell, "por_reduced", &mut cell_errors);
+        require_number(cell, "truncated", &mut cell_errors);
+        require_number(cell, "elapsed_ms", &mut cell_errors);
+        let rate = require_number(cell, "states_per_sec", &mut cell_errors);
+        // Every tier is a verification verdict: it must be clean.
+        match require_number(cell, "violations", &mut cell_errors) {
+            Some(v) if v > 0.0 => cell_errors.push(format!("{v} safety violations")),
+            _ => {}
+        }
+        match require(cell, "lasso", &mut cell_errors).and_then(Json::as_bool) {
+            Some(true) => cell_errors.push("a persistent dual-primary lasso was found".into()),
+            Some(false) => {}
+            None => cell_errors.push("lasso is not a boolean".into()),
+        }
+        // The acceptance tier: the full default budget must exhaust a
+        // nontrivial space at a usable rate.
+        if name == Some("default") {
+            default_tier_seen = true;
+            if let Some(s) = states {
+                if s < 1_000_000.0 {
+                    cell_errors.push(format!(
+                        "default tier explored only {s} states; the full budget \
+                         space is over a million"
+                    ));
+                }
+            }
+            if let Some(r) = rate {
+                if r < 10_000.0 {
+                    cell_errors.push(format!("{r:.0} states/s below the 10k floor"));
+                }
+            }
+        }
+        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
+    }
+    if !default_tier_seen {
+        errors.push("no default-budget tier in the cells".into());
+    }
+
+    let Some(refinement) = require(doc, "refinement", &mut errors) else {
+        return errors;
+    };
+    let exports = require_number(refinement, "exports", &mut errors);
+    require_number(refinement, "observations", &mut errors);
+    require_number(refinement, "elapsed_ms", &mut errors);
+    require_number(refinement, "exports_per_sec", &mut errors);
+    if exports == Some(0.0) {
+        errors.push("refinement: zero exports checked".into());
+    }
+    match require_number(refinement, "failures", &mut errors) {
+        Some(f) if f > 0.0 => {
+            errors.push(format!("refinement: {f} export(s) failed trace inclusion"));
+        }
+        _ => {}
+    }
     errors
 }
 

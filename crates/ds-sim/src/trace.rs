@@ -33,9 +33,23 @@ pub enum TraceCategory {
     Other,
 }
 
-impl fmt::Display for TraceCategory {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl TraceCategory {
+    /// Every category, in a stable order (the schema enumeration versioned
+    /// trace exports rely on).
+    pub const ALL: [TraceCategory; 8] = [
+        TraceCategory::Net,
+        TraceCategory::Fault,
+        TraceCategory::Engine,
+        TraceCategory::Checkpoint,
+        TraceCategory::Diverter,
+        TraceCategory::App,
+        TraceCategory::Rpc,
+        TraceCategory::Other,
+    ];
+
+    /// The stable short name (what `Display` renders).
+    pub fn name(self) -> &'static str {
+        match self {
             TraceCategory::Net => "net",
             TraceCategory::Fault => "fault",
             TraceCategory::Engine => "engine",
@@ -44,8 +58,19 @@ impl fmt::Display for TraceCategory {
             TraceCategory::App => "app",
             TraceCategory::Rpc => "rpc",
             TraceCategory::Other => "other",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses a [`TraceCategory::name`] back into the category (the
+    /// projection hook trace exports use to round-trip entries).
+    pub fn parse_name(name: &str) -> Option<TraceCategory> {
+        TraceCategory::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -62,6 +87,29 @@ pub struct TraceEntry {
     /// enabled for the run. `None` otherwise; excluded from the rendered
     /// text so determinism comparisons are unaffected.
     pub clock: Option<VectorClock>,
+}
+
+impl TraceEntry {
+    /// The stable one-line projection used by versioned trace exports:
+    /// `<at-µs> <category> <message>`. Vector clocks are deliberately
+    /// excluded — exported traces must compare equal across causality
+    /// recording settings.
+    pub fn to_export_line(&self) -> String {
+        format!("{} {} {}", self.at.as_micros(), self.category, self.message)
+    }
+
+    /// Parses a [`TraceEntry::to_export_line`] line; `None` if the line
+    /// does not follow the projection.
+    pub fn parse_export_line(line: &str) -> Option<TraceEntry> {
+        let (at, rest) = line.split_once(' ')?;
+        let (category, message) = rest.split_once(' ')?;
+        Some(TraceEntry {
+            at: SimTime::from_micros(at.parse().ok()?),
+            category: TraceCategory::parse_name(category)?,
+            message: message.to_string(),
+            clock: None,
+        })
+    }
 }
 
 impl fmt::Display for TraceEntry {
@@ -218,5 +266,23 @@ mod tests {
         let b = sample().to_text();
         assert_eq!(a, b);
         assert!(a.contains("crash b"));
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for category in TraceCategory::ALL {
+            assert_eq!(TraceCategory::parse_name(category.name()), Some(category));
+        }
+        assert_eq!(TraceCategory::parse_name("nope"), None);
+    }
+
+    #[test]
+    fn export_lines_round_trip() {
+        for entry in sample().entries() {
+            let back = TraceEntry::parse_export_line(&entry.to_export_line()).unwrap();
+            assert_eq!(&back, entry);
+        }
+        assert!(TraceEntry::parse_export_line("garbage").is_none());
+        assert!(TraceEntry::parse_export_line("12 nosuch message").is_none());
     }
 }

@@ -13,6 +13,7 @@
 //! | `switchover-has-cause`      | every switchover request is preceded by a detection or distress call on the same engine |
 //! | `diverter-targets-primary`  | every diverted message goes to the node the diverter last announced as primary |
 //! | `ckpt-causality`            | every install happens-after the shipping of that position, and every ack happens-after the install (vector clocks; vacuous on untraced runs) |
+//! | `converged-single-primary`  | when the network is whole at the end of the run, at most one live engine is primary (vacuous while partitioned) |
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -51,6 +52,7 @@ pub fn check_all(events: &[Event]) -> Vec<Violation> {
     out.extend(switchover_has_cause(events));
     out.extend(diverter_targets_primary(events));
     out.extend(ckpt_causality(events));
+    out.extend(converged_single_primary(events));
     out
 }
 
@@ -173,6 +175,69 @@ pub fn no_dual_primary_after_heal(events: &[Event]) -> Vec<Violation> {
         at: last_at,
         detail: format!(
             "steady state after heal has {} primaries: {}",
+            primaries.len(),
+            primaries.join(", ")
+        ),
+    }]
+}
+
+/// When the network is whole at the end of the run, at most one live
+/// engine holds primary. Unlike `no-dual-primary-after-heal` this applies
+/// to every run that ends un-partitioned — including runs that never
+/// partitioned at all — so it catches dual primaries that arise from
+/// yield failures rather than splits. Runs that end while partitioned
+/// pass vacuously: two primaries across a split are unavoidable.
+pub fn converged_single_primary(events: &[Event]) -> Vec<Violation> {
+    let mut partitioned = false;
+    let mut node_up: HashMap<&str, bool> = HashMap::new();
+    let mut svc_up: HashMap<&str, bool> = HashMap::new();
+    let mut final_role: HashMap<&str, (Role, u64)> = HashMap::new();
+    let mut last_at = SimTime::ZERO;
+    for ev in events {
+        last_at = ev.at;
+        match &ev.kind {
+            EventKind::Partition => partitioned = true,
+            EventKind::Heal => partitioned = false,
+            EventKind::NodeUp { node } => {
+                node_up.insert(node.as_str(), true);
+            }
+            EventKind::NodeDown { node } => {
+                node_up.insert(node.as_str(), false);
+                svc_up.retain(|ep, _| node_of(ep) != node.as_str());
+            }
+            EventKind::ServiceStart { ep } => {
+                svc_up.insert(ep.as_str(), true);
+            }
+            EventKind::ServiceKill { ep } => {
+                svc_up.insert(ep.as_str(), false);
+            }
+            EventKind::RoleUpdate { ep, role, term } => {
+                final_role.insert(ep.as_str(), (*role, *term));
+            }
+            _ => {}
+        }
+    }
+    if partitioned {
+        return Vec::new();
+    }
+    let mut primaries: Vec<String> = final_role
+        .iter()
+        .filter(|(ep, (role, _))| {
+            *role == Role::Primary
+                && node_up.get(node_of(ep)).copied().unwrap_or(false)
+                && svc_up.get(*ep).copied().unwrap_or(false)
+        })
+        .map(|(ep, (_, term))| format!("{ep} (term {term})"))
+        .collect();
+    if primaries.len() <= 1 {
+        return Vec::new();
+    }
+    primaries.sort_unstable();
+    vec![Violation {
+        invariant: "converged-single-primary",
+        at: last_at,
+        detail: format!(
+            "run ends un-partitioned with {} live primaries: {}",
             primaries.len(),
             primaries.join(", ")
         ),
@@ -500,6 +565,43 @@ mod tests {
             role(21, "node1/oftt-engine", Role::Primary, 1),
         ];
         assert!(no_dual_primary_after_heal(&unhealed).is_empty());
+    }
+
+    #[test]
+    fn converged_single_primary_needs_a_whole_network() {
+        let boot = || {
+            vec![
+                ev(0, EventKind::NodeUp { node: "node0".into() }),
+                ev(0, EventKind::NodeUp { node: "node1".into() }),
+                ev(1, EventKind::ServiceStart { ep: "node0/oftt-engine".into() }),
+                ev(1, EventKind::ServiceStart { ep: "node1/oftt-engine".into() }),
+            ]
+        };
+        // Two live primaries at the end of an un-partitioned run: flagged,
+        // even though no heal ever happened (unlike the after-heal check).
+        let mut bad = boot();
+        bad.push(role(20, "node0/oftt-engine", Role::Primary, 1));
+        bad.push(role(21, "node1/oftt-engine", Role::Primary, 2));
+        let v = converged_single_primary(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("2 live primaries"), "got: {}", v[0].detail);
+        // The same final roles while still partitioned: vacuous.
+        let mut split = boot();
+        split.push(ev(10, EventKind::Partition));
+        split.push(role(20, "node0/oftt-engine", Role::Primary, 1));
+        split.push(role(21, "node1/oftt-engine", Role::Primary, 2));
+        assert!(converged_single_primary(&split).is_empty());
+        // One primary plus a backup: clean.
+        let mut ok = boot();
+        ok.push(role(20, "node0/oftt-engine", Role::Primary, 2));
+        ok.push(role(21, "node1/oftt-engine", Role::Backup, 2));
+        assert!(converged_single_primary(&ok).is_empty());
+        // A dead claimant does not count as a live primary.
+        let mut dead = boot();
+        dead.push(role(20, "node0/oftt-engine", Role::Primary, 1));
+        dead.push(role(21, "node1/oftt-engine", Role::Primary, 2));
+        dead.push(ev(22, EventKind::NodeDown { node: "node0".into() }));
+        assert!(converged_single_primary(&dead).is_empty());
     }
 
     fn installed(ms: u64, ep: &str, term: u64, seq: u64, crc: u32) -> Event {

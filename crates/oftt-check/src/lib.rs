@@ -31,8 +31,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unreachable_pub, unused_qualifications)]
 
 pub mod explore;
+pub mod export;
 pub mod invariants;
 pub mod parse;
 pub mod replay;
@@ -40,7 +42,11 @@ pub mod scenario;
 pub mod shrink;
 
 pub use explore::{explore, explore_with, Counterexample, ExploreConfig, ExploreReport};
+pub use export::{TraceExport, TRACE_FORMAT};
 pub use invariants::{check_all, Violation};
 pub use replay::{ReplayFile, ReplayOutcome};
-pub use scenario::{run_scenario, CheckOptions, RunResult, ScenarioKind};
+pub use scenario::{
+    run_scenario, run_script, CheckOptions, FaultScript, PairSlot, RunResult, ScenarioKind,
+    ScriptOp,
+};
 pub use shrink::{shrink, Shrunk};

@@ -7,7 +7,8 @@ use std::time::Instant;
 
 use ds_sim::prelude::{Schedule, SimDuration};
 use oftt_check::{
-    check_all, explore, run_scenario, shrink, CheckOptions, ExploreConfig, ReplayFile, ScenarioKind,
+    check_all, explore, explore_with, run_scenario, shrink, CheckOptions, ExploreConfig,
+    ReplayFile, ScenarioKind, TraceExport,
 };
 
 const USAGE: &str = "\
@@ -23,6 +24,7 @@ OPTIONS:
     --window-us MICROS     tie window in microseconds (default 500)
     --inject-startup-bug   re-introduce the pre-fix §3.2 startup behaviour
     --emit PATH            write the first shrunk counterexample here
+    --export-traces DIR    write every distinct run as an oftt-trace-v1 file
     --replay PATH          replay a saved schedule artifact instead
     --help                 this text
 
@@ -36,6 +38,7 @@ struct Args {
     window_us: u64,
     inject_startup_bug: bool,
     emit: Option<PathBuf>,
+    export_traces: Option<PathBuf>,
     replay: Option<PathBuf>,
 }
 
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         window_us: 500,
         inject_startup_bug: false,
         emit: None,
+        export_traces: None,
         replay: None,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--inject-startup-bug" => args.inject_startup_bug = true,
             "--emit" => args.emit = Some(PathBuf::from(value("--emit")?)),
+            "--export-traces" => {
+                args.export_traces = Some(PathBuf::from(value("--export-traces")?));
+            }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -121,6 +128,7 @@ fn main() -> ExitCode {
     let opts = CheckOptions {
         inject_startup_bug: args.inject_startup_bug,
         tie_window: SimDuration::from_micros(args.window_us),
+        ..Default::default()
     };
     let config = ExploreConfig {
         seeds: (1..=args.seeds).collect(),
@@ -137,7 +145,27 @@ fn main() -> ExitCode {
         if args.inject_startup_bug { ", startup bug injected" } else { "" }
     );
     let started = Instant::now();
-    let report = explore(args.scenario, &config);
+    let report = match &args.export_traces {
+        None => explore(args.scenario, &config),
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error creating {}: {e}", dir.display());
+                return ExitCode::from(1);
+            }
+            let mut exported = 0usize;
+            let report = explore_with(args.scenario, &config, |result| {
+                let export = TraceExport::from_run(args.scenario, &opts, result);
+                let name = TraceExport::file_name(args.scenario, result.schedule.seed, exported);
+                if let Err(e) = export.save(&dir.join(&name)) {
+                    eprintln!("error writing {name}: {e}");
+                } else {
+                    exported += 1;
+                }
+            });
+            println!("{} trace export(s) written to {}", exported, dir.display());
+            report
+        }
+    };
     println!(
         "{} runs, {} distinct schedules, {} duplicates, {} choice points, {:.1}s",
         report.runs,

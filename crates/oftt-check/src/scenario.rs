@@ -9,9 +9,15 @@
 
 use std::sync::Arc;
 
+use ds_net::endpoint::NodeId;
 use ds_net::fault::Fault;
-use ds_sim::prelude::{CausalityLog, ChoicePoint, Schedule, SchedulePolicy, SimDuration, SimTime};
-use oftt::config::StartupFallback;
+use ds_sim::prelude::{
+    CausalityLog, ChoicePoint, Schedule, SchedulePolicy, SimDuration, SimTime, TraceCategory,
+    TraceEntry,
+};
+use oftt::config::{engine_endpoint, engine_service, StartupFallback};
+use oftt::messages::ToEngine;
+use oftt::transition::Defects;
 use oftt_harness::scenario::{Fig3Scenario, ScenarioParams};
 
 use crate::parse::{parse_trace, Event};
@@ -59,6 +65,10 @@ pub struct CheckOptions {
     /// simultaneous for tie-breaking. Wider windows create more choice
     /// points (more schedules) per run.
     pub tie_window: SimDuration,
+    /// Seeded-defect switches forwarded into the pair's [`oftt`] config.
+    /// Only effective when the workspace is built with `--features
+    /// inject_bugs`; inert otherwise.
+    pub defects: Defects,
 }
 
 impl Default for CheckOptions {
@@ -68,6 +78,7 @@ impl Default for CheckOptions {
             // Wide enough to make message races real choice points (IPC
             // latency is 50µs; link latencies are sub-millisecond).
             tie_window: SimDuration::from_micros(500),
+            defects: Defects::default(),
         }
     }
 }
@@ -82,24 +93,41 @@ pub struct RunResult {
     pub events: Vec<Event>,
     /// The full rendered trace (for counterexample reports).
     pub trace_text: String,
+    /// The protocol-relevant trace entries (engine, checkpoint, diverter,
+    /// fault, and watchdog records), clock-stripped — the payload of
+    /// versioned trace exports.
+    pub entries: Vec<TraceEntry>,
     /// The causality log (vector-clocked access/lock/API records) the run
     /// produced; consumed by oftt-audit's analyzers.
     pub causality: CausalityLog,
 }
 
+/// The trace categories a versioned export keeps: everything the invariant
+/// parser and the refinement checker read, nothing per-packet.
+pub const EXPORT_CATEGORIES: [TraceCategory; 5] = [
+    TraceCategory::Fault,
+    TraceCategory::Engine,
+    TraceCategory::Checkpoint,
+    TraceCategory::Diverter,
+    TraceCategory::Other,
+];
+
 /// How long every checked run lasts.
 pub const HORIZON: SimTime = SimTime::from_secs(40);
 
-/// Runs one scenario under an exploring policy with the given forced
-/// tie-break prefix. The same `(kind, seed, forced, opts)` always produces
-/// the same result — replay is just re-running with a recorded prefix.
-pub fn run_scenario(
-    kind: ScenarioKind,
+/// Runs one checked deployment to the horizon under an exploring policy
+/// with the given forced tie-break prefix; `campaign` injects whatever
+/// faults the caller wants before the simulation starts. The same
+/// `(seed, forced, opts, campaign)` always produces the same result —
+/// replay is just re-running with a recorded prefix.
+fn run_with(
     seed: u64,
     forced: &[u32],
     opts: &CheckOptions,
+    campaign: impl FnOnce(&mut Fig3Scenario),
 ) -> RunResult {
     let bug = opts.inject_startup_bug;
+    let defects = opts.defects;
     let params = ScenarioParams {
         seed,
         // Arm the Call Track deadman so checked runs exercise the watchdog
@@ -112,6 +140,7 @@ pub fn run_scenario(
                 config.startup_retries = 0;
                 config.startup_fallback = StartupFallback::BecomePrimary;
             }
+            config.defects = defects;
         }),
         ..Default::default()
     };
@@ -121,33 +150,227 @@ pub fn run_scenario(
         forced: forced.to_vec(),
         window: opts.tie_window,
     });
-    let (a, b) = (scenario.pair.a, scenario.pair.b);
-    match kind {
-        ScenarioKind::PairFailover => {
-            scenario.inject(SimTime::from_secs(10), Fault::CrashNode(a));
-            scenario.inject(SimTime::from_secs(25), Fault::RepairNode(a));
-        }
-        ScenarioKind::PartitionedStartup => {
-            // Hit the window between boot and the first successful hello
-            // exchange (services spawn with up to 500ms jitter + 20ms
-            // process creation).
-            scenario.inject(SimTime::from_millis(5), Fault::Partition(a, b));
-            scenario.inject(SimTime::from_secs(8), Fault::Heal(a, b));
-        }
-    }
+    campaign(&mut scenario);
     scenario.start();
     scenario.run_until(HORIZON);
     let schedule = Schedule::new(seed, scenario.cs.choices_taken());
     let choice_points = scenario.cs.choice_points().to_vec();
     let causality = scenario.cs.take_causality_log();
     let trace = scenario.cs.trace();
+    let entries = trace
+        .entries()
+        .iter()
+        .filter(|e| EXPORT_CATEGORIES.contains(&e.category))
+        .map(|e| TraceEntry { clock: None, ..e.clone() })
+        .collect();
     RunResult {
         schedule,
         choice_points,
         events: parse_trace(trace),
         trace_text: trace.to_text(),
+        entries,
         causality,
     }
+}
+
+/// Runs one named scenario under an exploring policy with the given forced
+/// tie-break prefix.
+pub fn run_scenario(
+    kind: ScenarioKind,
+    seed: u64,
+    forced: &[u32],
+    opts: &CheckOptions,
+) -> RunResult {
+    run_with(seed, forced, opts, |scenario| {
+        let (a, b) = (scenario.pair.a, scenario.pair.b);
+        match kind {
+            ScenarioKind::PairFailover => {
+                scenario.inject(SimTime::from_secs(10), Fault::CrashNode(a));
+                scenario.inject(SimTime::from_secs(25), Fault::RepairNode(a));
+            }
+            ScenarioKind::PartitionedStartup => {
+                // Hit the window between boot and the first successful hello
+                // exchange (services spawn with up to 500ms jitter + 20ms
+                // process creation).
+                scenario.inject(SimTime::from_millis(5), Fault::Partition(a, b));
+                scenario.inject(SimTime::from_secs(8), Fault::Heal(a, b));
+            }
+        }
+    })
+}
+
+/// One side of the pair, named positionally so scripts stay independent of
+/// concrete node names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSlot {
+    /// The pair's first node (`config.pair.a`).
+    A,
+    /// The pair's second node (`config.pair.b`).
+    B,
+}
+
+impl PairSlot {
+    /// Stable script name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PairSlot::A => "a",
+            PairSlot::B => "b",
+        }
+    }
+
+    /// Parses a script name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "a" => Some(PairSlot::A),
+            "b" => Some(PairSlot::B),
+            _ => None,
+        }
+    }
+
+    fn node(self, a: NodeId, b: NodeId) -> NodeId {
+        match self {
+            PairSlot::A => a,
+            PairSlot::B => b,
+        }
+    }
+}
+
+/// One step of a scripted fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Hard-crash a pair node.
+    Crash(PairSlot),
+    /// Repair a hard-crashed pair node.
+    Repair(PairSlot),
+    /// Kill just the OFTT engine on a pair node (paper failure class *d*).
+    KillEngine(PairSlot),
+    /// Relaunch a killed engine.
+    RestartEngine(PairSlot),
+    /// Partition the pair interconnect.
+    Partition,
+    /// Heal the pair interconnect.
+    Heal,
+    /// Deliver an `OFTTDistress` self-report to a pair node's engine,
+    /// soliciting a switchover.
+    Distress(PairSlot),
+}
+
+/// A deterministic fault campaign rendered from an abstract counterexample:
+/// time-stamped [`ScriptOp`]s driven against the standard Figure-3
+/// deployment. This is how oftt-verify hands its findings back to oftt-check
+/// for concrete replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    /// The steps, in schedule order.
+    pub steps: Vec<(SimTime, ScriptOp)>,
+}
+
+impl FaultScript {
+    /// Renders the script as line-oriented text: `<at-µs> <op> [slot]` per
+    /// step, `#` comments and blank lines ignored on parse.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# oftt-check fault script\n");
+        for (at, op) in &self.steps {
+            let at = at.as_micros();
+            match op {
+                ScriptOp::Crash(slot) => out.push_str(&format!("{at} crash {}\n", slot.name())),
+                ScriptOp::Repair(slot) => out.push_str(&format!("{at} repair {}\n", slot.name())),
+                ScriptOp::KillEngine(slot) => {
+                    out.push_str(&format!("{at} kill-engine {}\n", slot.name()));
+                }
+                ScriptOp::RestartEngine(slot) => {
+                    out.push_str(&format!("{at} restart-engine {}\n", slot.name()));
+                }
+                ScriptOp::Partition => out.push_str(&format!("{at} partition\n")),
+                ScriptOp::Heal => out.push_str(&format!("{at} heal\n")),
+                ScriptOp::Distress(slot) => {
+                    out.push_str(&format!("{at} distress {}\n", slot.name()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses [`FaultScript::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut steps = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let at = parts
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .map(SimTime::from_micros)
+                .ok_or_else(|| format!("bad script time in {line:?}"))?;
+            let op = parts.next().ok_or_else(|| format!("missing script op in {line:?}"))?;
+            let slot = |parts: &mut std::str::SplitWhitespace<'_>| {
+                parts
+                    .next()
+                    .and_then(PairSlot::parse)
+                    .ok_or_else(|| format!("bad pair slot in {line:?}"))
+            };
+            let op = match op {
+                "crash" => ScriptOp::Crash(slot(&mut parts)?),
+                "repair" => ScriptOp::Repair(slot(&mut parts)?),
+                "kill-engine" => ScriptOp::KillEngine(slot(&mut parts)?),
+                "restart-engine" => ScriptOp::RestartEngine(slot(&mut parts)?),
+                "partition" => ScriptOp::Partition,
+                "heal" => ScriptOp::Heal,
+                "distress" => ScriptOp::Distress(slot(&mut parts)?),
+                other => return Err(format!("unknown script op {other:?}")),
+            };
+            if parts.next().is_some() {
+                return Err(format!("trailing tokens in {line:?}"));
+            }
+            steps.push((at, op));
+        }
+        Ok(FaultScript { steps })
+    }
+}
+
+/// Runs a scripted fault campaign against the standard checked deployment.
+pub fn run_script(
+    script: &FaultScript,
+    seed: u64,
+    forced: &[u32],
+    opts: &CheckOptions,
+) -> RunResult {
+    run_with(seed, forced, opts, |scenario| {
+        let (a, b) = (scenario.pair.a, scenario.pair.b);
+        for (at, op) in &script.steps {
+            match op {
+                ScriptOp::Crash(slot) => {
+                    scenario.inject(*at, Fault::CrashNode(slot.node(a, b)));
+                }
+                ScriptOp::Repair(slot) => {
+                    scenario.inject(*at, Fault::RepairNode(slot.node(a, b)));
+                }
+                ScriptOp::KillEngine(slot) => {
+                    scenario.inject(*at, Fault::KillService(slot.node(a, b), engine_service()));
+                }
+                ScriptOp::RestartEngine(slot) => {
+                    scenario.inject(*at, Fault::StartService(slot.node(a, b), engine_service()));
+                }
+                ScriptOp::Partition => scenario.inject(*at, Fault::Partition(a, b)),
+                ScriptOp::Heal => scenario.inject(*at, Fault::Heal(a, b)),
+                ScriptOp::Distress(slot) => scenario.cs.post(
+                    *at,
+                    engine_endpoint(slot.node(a, b)),
+                    ToEngine::Distress {
+                        service: "scripted".into(),
+                        reason: "scripted distress".into(),
+                    },
+                ),
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -182,5 +405,61 @@ mod tests {
         let again = run_scenario(ScenarioKind::PairFailover, 1, &first.schedule.choices, &opts);
         assert_eq!(again.trace_text, first.trace_text);
         assert_eq!(again.schedule, first.schedule);
+        // The export selection keeps protocol events and drops per-packet
+        // noise.
+        assert!(!first.entries.is_empty());
+        assert!(first.entries.iter().all(|e| EXPORT_CATEGORIES.contains(&e.category)));
+        assert!(first.entries.iter().all(|e| e.clock.is_none()));
+    }
+
+    #[test]
+    fn fault_scripts_round_trip_through_text() {
+        let script = FaultScript {
+            steps: vec![
+                (SimTime::from_millis(5), ScriptOp::Partition),
+                (SimTime::from_secs(8), ScriptOp::Heal),
+                (SimTime::from_secs(10), ScriptOp::Crash(PairSlot::A)),
+                (SimTime::from_secs(12), ScriptOp::KillEngine(PairSlot::B)),
+                (SimTime::from_secs(14), ScriptOp::RestartEngine(PairSlot::B)),
+                (SimTime::from_secs(20), ScriptOp::Distress(PairSlot::B)),
+                (SimTime::from_secs(25), ScriptOp::Repair(PairSlot::A)),
+            ],
+        };
+        let text = script.to_text();
+        assert_eq!(FaultScript::parse(&text).unwrap(), script);
+        assert!(FaultScript::parse("10 explode a").is_err());
+        assert!(FaultScript::parse("soon crash a").is_err());
+        assert!(FaultScript::parse("10 crash a b").is_err());
+        assert!(FaultScript::parse("10 crash c").is_err());
+    }
+
+    #[test]
+    fn scripted_failover_matches_named_scenario() {
+        // The PairFailover campaign expressed as a script produces the
+        // same deterministic run as the built-in scenario.
+        let opts = CheckOptions::default();
+        let script = FaultScript {
+            steps: vec![
+                (SimTime::from_secs(10), ScriptOp::Crash(PairSlot::A)),
+                (SimTime::from_secs(25), ScriptOp::Repair(PairSlot::A)),
+            ],
+        };
+        let scripted = run_script(&script, 1, &[], &opts);
+        let named = run_scenario(ScenarioKind::PairFailover, 1, &[], &opts);
+        assert_eq!(scripted.trace_text, named.trace_text);
+        assert!(check_all(&scripted.events).is_empty());
+    }
+
+    #[test]
+    fn distress_script_solicits_a_switchover() {
+        let opts = CheckOptions::default();
+        let script =
+            FaultScript { steps: vec![(SimTime::from_secs(10), ScriptOp::Distress(PairSlot::A))] };
+        let result = run_script(&script, 1, &[], &opts);
+        assert!(
+            result.trace_text.contains("distress") || result.trace_text.contains("switchover"),
+            "a distress report must surface in the trace"
+        );
+        assert!(check_all(&result.events).is_empty());
     }
 }

@@ -34,7 +34,11 @@ fn pair_failover_holds_invariants_across_500_distinct_schedules() {
 /// format and replays to the same violation.
 #[test]
 fn injected_startup_bug_yields_shrunk_replayable_dual_primary() {
-    let opts = CheckOptions { inject_startup_bug: true, tie_window: SimDuration::from_micros(500) };
+    let opts = CheckOptions {
+        inject_startup_bug: true,
+        tie_window: SimDuration::from_micros(500),
+        ..Default::default()
+    };
     let config =
         ExploreConfig { seeds: vec![1, 2], budget: 6, opts: opts.clone(), ..Default::default() };
     let report = explore(ScenarioKind::PartitionedStartup, &config);

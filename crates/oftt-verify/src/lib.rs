@@ -1,0 +1,38 @@
+//! oftt-verify: exhaustive explicit-state verification of the OFTT
+//! failover protocol, with trace-refinement conformance against
+//! oftt-check.
+//!
+//! Three layers, one shared transition table:
+//!
+//! * [`model`] — a finite abstraction of the redundant pair whose role
+//!   machine *is* [`oftt::transition::role_transition`], the same
+//!   function the production engine executes. The abstraction bounds
+//!   terms, channels, message age, and tick drift, and exposes fault
+//!   injection (crashes, partitions, distress, checkpoint staleness,
+//!   application hangs) through finite budgets.
+//! * [`explore`] + [`liveness`] — an exhaustive BFS over every
+//!   reachable abstract state (with a sound pure-stutter partial-order
+//!   reduction), checking the safety catalog on every transition, plus
+//!   a nested-DFS search for fair lassos that would mean a dual primary
+//!   can persist forever.
+//! * [`refine`] + [`render`] — the bridge to the concrete system:
+//!   oftt-check trace exports are projected onto the abstract
+//!   observables and checked for trace inclusion, and abstract
+//!   counterexamples are rendered back as replayable oftt-check fault
+//!   scripts.
+//!
+//! The `inject_bugs` feature threads the seeded protocol defects
+//! through the shared table and the abstract model alike, so the same
+//! bug is found abstractly (as an invariant violation and a lasso) and
+//! reproduced concretely (by replaying the rendered script under
+//! oftt-check).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(unreachable_pub, unused_qualifications)]
+
+pub mod explore;
+pub mod liveness;
+pub mod model;
+pub mod refine;
+pub mod render;

@@ -1,0 +1,310 @@
+//! Liveness: "a dual primary is always transient" under weak fairness.
+//!
+//! Safety checking proves no *state* is bad; the failover protocol also
+//! owes a *temporal* promise: if both nodes ever serve as primary at
+//! once (which transiently happens during a healed partition), the
+//! precedence rule must resolve it — the pair may not *stay* dual
+//! forever. A checker that only looks at states cannot see the
+//! difference between "dual primary exists for one heartbeat" and
+//! "dual primary persists"; that difference is a cycle, so we hunt
+//! cycles.
+//!
+//! ## Fairness
+//!
+//! An infinite schedule that simply stops ticking one node, or parks a
+//! delivered-able heartbeat in the channel forever, trivially preserves
+//! any state — and proves nothing, because the real scheduler does
+//! neither. We encode **weak fairness** as a round automaton composed
+//! with the state graph. One fairness round must witness, in order:
+//!
+//! 1. a tick of node `A` (or `A` being down — a dead node owes nothing),
+//! 2. a tick of node `B` (same exemption),
+//! 3. a *drained* moment: a state with no deliverable message queued.
+//!
+//! Any infinite fair schedule completes rounds forever; any schedule
+//! that cannot complete rounds is unfair and ignored. Fault injections
+//! (crash, partition, distress, …) each consume a finite budget, so no
+//! cycle contains one — cycles are pure protocol behavior, which is
+//! exactly the regime where "the protocol resolves it" must hold.
+//!
+//! ## Detection
+//!
+//! Product states `(state, phase, latch)` track the round phase and
+//! whether a live dual primary was seen this round; completing a round
+//! with the latch set enters the **accepting** phase. A reachable cycle
+//! through an accepting product state is a fair lasso along which the
+//! dual primary recurs every round — i.e. forever. We find such lassos
+//! with the classic nested depth-first search (Courcoubetis–Vardi–
+//! Wolper–Yannakakis): an outer DFS orders states by completion, and at
+//! each accepting state's completion an inner DFS hunts a cycle back to
+//! it. Both searches are iterative (explicit stacks) so deep state
+//! spaces cannot overflow the thread stack.
+
+use std::collections::HashMap;
+
+use crate::explore::{Edge, Explored};
+use crate::model::{Action, Slot};
+
+/// Fairness-round phases. `Accepting` behaves like `Start` but marks
+/// "the previous round saw a live dual primary".
+const START: u8 = 0;
+const TICKED_A: u8 = 1;
+const TICKED_B: u8 = 2;
+const ACCEPTING: u8 = 3;
+
+/// A product-automaton state: graph state, round phase, dual-seen latch.
+type Key = (u32, u8, bool);
+
+/// A fair cycle witnessing a persistent dual primary: replay `stem`
+/// from the initial state, then `cycle` repeats forever.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    /// Actions from the initial state to the cycle entry.
+    pub stem: Vec<Action>,
+    /// The repeating action sequence (non-empty).
+    pub cycle: Vec<Action>,
+}
+
+fn bad(ex: &Explored, idx: u32) -> bool {
+    ex.states[idx as usize].dual_primary_live()
+}
+
+/// Advances the product automaton across one graph edge.
+fn product_step(ex: &Explored, key: Key, edge: &Edge) -> Key {
+    let (idx, phase, latch) = key;
+    let src = &ex.states[idx as usize];
+    let mut p = if phase == ACCEPTING { START } else { phase };
+    if p == START && (edge.action == Action::Tick(Slot::A) || !src.nodes[0].up) {
+        p = TICKED_A;
+    }
+    if p == TICKED_A && (edge.action == Action::Tick(Slot::B) || !src.nodes[1].up) {
+        p = TICKED_B;
+    }
+    let mut latch = latch || bad(ex, edge.target);
+    if p == TICKED_B && !ex.states[edge.target as usize].has_deliverable() {
+        p = if latch { ACCEPTING } else { START };
+        latch = false;
+    }
+    (edge.target, p, latch)
+}
+
+/// Searches the explored graph for a fair lasso along which a live dual
+/// primary recurs forever. Returns the first one found (the protocol is
+/// correct iff there is none).
+pub fn find_persistent_dual_primary(ex: &Explored) -> Option<Lasso> {
+    fn intern(ids: &mut HashMap<Key, u32>, keys: &mut Vec<Key>, k: Key) -> u32 {
+        *ids.entry(k).or_insert_with(|| {
+            keys.push(k);
+            (keys.len() - 1) as u32
+        })
+    }
+
+    let mut ids: HashMap<Key, u32> = HashMap::new();
+    let mut keys: Vec<Key> = Vec::new();
+    let root = intern(&mut ids, &mut keys, (0, START, false));
+
+    // Outer ("blue") DFS in post-order; `red` marks persist across all
+    // inner searches, which is what keeps the nested search linear.
+    let mut blue: Vec<bool> = vec![false; 1];
+    let mut red: Vec<bool> = vec![false; 1];
+    let grow = |v: &mut Vec<bool>, n: usize| {
+        if v.len() < n {
+            v.resize(n, false);
+        }
+    };
+
+    // Frame: (product id, index of next edge to expand, action that led
+    // here — None for the root).
+    let mut stack: Vec<(u32, usize, Option<Action>)> = vec![(root, 0, None)];
+    blue[root as usize] = true;
+
+    while let Some(&mut (pid, ref mut next_edge, _)) = stack.last_mut() {
+        let (sidx, _, _) = keys[pid as usize];
+        let out = &ex.edges[sidx as usize];
+        if *next_edge < out.len() {
+            let e = &out[*next_edge];
+            *next_edge += 1;
+            let nk = product_step(ex, keys[pid as usize], e);
+            let nid = intern(&mut ids, &mut keys, nk);
+            grow(&mut blue, keys.len());
+            grow(&mut red, keys.len());
+            if !blue[nid as usize] {
+                blue[nid as usize] = true;
+                stack.push((nid, 0, Some(e.action)));
+            }
+            continue;
+        }
+        // Post-order completion of `pid`.
+        let (_, phase, _) = keys[pid as usize];
+        if phase == ACCEPTING {
+            if let Some(cycle) = red_search(ex, &keys, &ids, &mut red, pid) {
+                let stem: Vec<Action> = stack.iter().filter_map(|&(_, _, a)| a).collect();
+                return Some(Lasso { stem, cycle });
+            }
+        }
+        stack.pop();
+    }
+    None
+}
+
+/// Inner ("red") DFS: from `seed`'s successors, look for a path back to
+/// `seed`. Returns the cycle's action sequence if found.
+fn red_search(
+    ex: &Explored,
+    keys: &[Key],
+    ids: &HashMap<Key, u32>,
+    red: &mut [bool],
+    seed: u32,
+) -> Option<Vec<Action>> {
+    // The product graph is closed by the time the red search runs (the
+    // blue DFS interned every reachable product state below `seed`), so
+    // lookups here always hit — but stay defensive and skip misses.
+    let mut stack: Vec<(u32, usize, Option<Action>)> = vec![(seed, 0, None)];
+    while let Some(&mut (pid, ref mut next_edge, _)) = stack.last_mut() {
+        let (sidx, _, _) = keys[pid as usize];
+        let out = &ex.edges[sidx as usize];
+        if *next_edge < out.len() {
+            let e = &out[*next_edge];
+            *next_edge += 1;
+            let nk = product_step(ex, keys[pid as usize], e);
+            let Some(&nid) = ids.get(&nk) else { continue };
+            if nid == seed {
+                let mut cycle: Vec<Action> = stack.iter().filter_map(|&(_, _, a)| a).collect();
+                cycle.push(e.action);
+                return Some(cycle);
+            }
+            if !red[nid as usize] {
+                red[nid as usize] = true;
+                stack.push((nid, 0, Some(e.action)));
+            }
+            continue;
+        }
+        stack.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Edge;
+    use crate::model::{AbsNode, AbsState, Budgets, Dir};
+    use oftt::role::Role;
+
+    /// Hand-builds an `Explored` graph over synthetic states so the
+    /// detector itself can be tested in isolation.
+    fn graph(states: Vec<AbsState>, edges: Vec<Vec<(Action, u32)>>) -> Explored {
+        let edges = edges
+            .into_iter()
+            .map(|out| {
+                out.into_iter().map(|(action, target)| Edge { action, obs: None, target }).collect()
+            })
+            .collect();
+        Explored {
+            states,
+            edges,
+            violations: Vec::new(),
+            truncated: 0,
+            por_reduced: 0,
+            transitions: 0,
+            capped: false,
+        }
+    }
+
+    fn plain() -> AbsState {
+        AbsState::initial(Budgets::default())
+    }
+
+    fn dual() -> AbsState {
+        let mut s = plain();
+        for (i, n) in s.nodes.iter_mut().enumerate() {
+            *n = AbsNode { role: Role::Primary, term: (i + 1) as u8, ..AbsNode::fresh() };
+        }
+        s
+    }
+
+    #[test]
+    fn a_fair_dual_primary_cycle_is_found() {
+        // One dual-primary state with tick self-loops on both nodes:
+        // ticking A then B completes a fair round with the latch set.
+        let ex =
+            graph(vec![dual()], vec![vec![(Action::Tick(Slot::A), 0), (Action::Tick(Slot::B), 0)]]);
+        let lasso = find_persistent_dual_primary(&ex).expect("must find the lasso");
+        assert!(!lasso.cycle.is_empty());
+        assert!(lasso.cycle.contains(&Action::Tick(Slot::A)));
+        assert!(lasso.cycle.contains(&Action::Tick(Slot::B)));
+    }
+
+    #[test]
+    fn an_unfair_cycle_is_ignored() {
+        // The same dual state, but only A ever ticks: B is starved, the
+        // round never completes, no fair lasso exists.
+        let ex = graph(vec![dual()], vec![vec![(Action::Tick(Slot::A), 0)]]);
+        assert!(find_persistent_dual_primary(&ex).is_none());
+    }
+
+    #[test]
+    fn a_resolving_dual_primary_is_not_persistent() {
+        // Dual state 0 resolves to healthy state 1 before the round can
+        // complete; the healthy cycle never sets the latch.
+        let mut healthy = plain();
+        healthy.nodes[0].role = Role::Primary;
+        healthy.nodes[0].term = 1;
+        healthy.nodes[1].role = Role::Backup;
+        healthy.nodes[1].term = 1;
+        let ex = graph(
+            vec![dual(), healthy],
+            vec![
+                vec![(Action::Tick(Slot::A), 1)],
+                vec![(Action::Tick(Slot::A), 1), (Action::Tick(Slot::B), 1)],
+            ],
+        );
+        assert!(find_persistent_dual_primary(&ex).is_none());
+    }
+
+    #[test]
+    fn a_parked_deliverable_message_blocks_round_completion() {
+        // Both ticks happen but the state always holds a deliverable
+        // message, so phase 3's drained-moment requirement fails.
+        let mut s = dual();
+        s.chan[Dir::AToB.index()].push(crate::model::InFlight {
+            msg: crate::model::AbsMsg::Heartbeat { role: Role::Primary, term: 1 },
+            age: 0,
+        });
+        let ex = graph(vec![s], vec![vec![(Action::Tick(Slot::A), 0), (Action::Tick(Slot::B), 0)]]);
+        assert!(find_persistent_dual_primary(&ex).is_none());
+    }
+
+    #[test]
+    fn a_down_node_owes_no_tick() {
+        // B down: bad() requires both up, so craft A-up/B-down... a dual
+        // primary cannot exist with a down node, so instead check the
+        // exemption path doesn't panic and finds nothing on a one-node
+        // tick loop.
+        let mut s = dual();
+        s.nodes[1] = AbsNode::down();
+        let ex = graph(vec![s], vec![vec![(Action::Tick(Slot::A), 0)]]);
+        assert!(find_persistent_dual_primary(&ex).is_none());
+    }
+
+    #[test]
+    fn stem_plus_cycle_shapes_are_reported() {
+        // healthy -> dual (via a tick), then the dual state cycles.
+        let ex = graph(
+            vec![plain(), dual()],
+            vec![
+                vec![(Action::Tick(Slot::A), 1)],
+                vec![(Action::Tick(Slot::A), 1), (Action::Tick(Slot::B), 1)],
+            ],
+        );
+        let lasso = find_persistent_dual_primary(&ex).expect("lasso");
+        assert!(!lasso.cycle.is_empty());
+        // The stem reaches the cycle seed; both pieces replay over the
+        // edge relation without falling off the graph.
+        let mut at = 0u32;
+        for a in lasso.stem.iter().chain(&lasso.cycle) {
+            let e = ex.edges[at as usize].iter().find(|e| e.action == *a).expect("replayable");
+            at = e.target;
+        }
+    }
+}

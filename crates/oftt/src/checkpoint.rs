@@ -365,6 +365,17 @@ pub struct CheckpointStore {
     seq: u64,
     taken_at: SimTime,
     have_full: bool,
+    /// Seeded-defect support: the image superseded by the newest install,
+    /// kept one level deep so the stale-promotion bug has something older
+    /// to (incorrectly) restore.
+    #[cfg(feature = "inject_bugs")]
+    prev_vars: VarSet,
+    #[cfg(feature = "inject_bugs")]
+    prev_term: u64,
+    #[cfg(feature = "inject_bugs")]
+    prev_seq: u64,
+    #[cfg(feature = "inject_bugs")]
+    prev_full: bool,
 }
 
 impl CheckpointStore {
@@ -418,6 +429,8 @@ impl CheckpointStore {
         }
         match &checkpoint.payload {
             CheckpointPayload::Full(vars) => {
+                #[cfg(feature = "inject_bugs")]
+                self.remember_previous();
                 self.vars = vars.clone();
                 self.digests = digests;
                 self.have_full = true;
@@ -429,6 +442,8 @@ impl CheckpointStore {
                 if !in_order {
                     return AcceptOutcome::Rejected(RejectReason::OutOfOrder);
                 }
+                #[cfg(feature = "inject_bugs")]
+                self.remember_previous();
                 merge(&mut self.vars, vars);
                 self.digests.extend(digests);
             }
@@ -437,6 +452,29 @@ impl CheckpointStore {
         self.seq = checkpoint.seq;
         self.taken_at = checkpoint.taken_at;
         AcceptOutcome::Installed
+    }
+
+    /// Snapshots the about-to-be-superseded image into the one-deep
+    /// history (seeded-defect support).
+    #[cfg(feature = "inject_bugs")]
+    fn remember_previous(&mut self) {
+        if self.have_full {
+            self.prev_vars = self.vars.clone();
+            self.prev_term = self.term;
+            self.prev_seq = self.seq;
+            self.prev_full = true;
+        }
+    }
+
+    /// The superseded image and its `(term, seq)`, if one install has
+    /// already been displaced — what the stale-promotion defect restores.
+    #[cfg(feature = "inject_bugs")]
+    pub fn stale_restore_image(&self) -> Option<(VarSet, (u64, u64))> {
+        if self.prev_full {
+            Some((self.prev_vars.clone(), (self.prev_term, self.prev_seq)))
+        } else {
+            None
+        }
     }
 }
 

@@ -147,6 +147,9 @@ pub struct OfttConfig {
     pub monitor: Option<Endpoint>,
     /// Status report cadence.
     pub status_period: SimDuration,
+    /// Seeded-defect switches (effective only under the `inject_bugs`
+    /// feature; inert otherwise so configurations stay portable).
+    pub defects: crate::transition::Defects,
 }
 
 impl OfttConfig {
@@ -165,6 +168,7 @@ impl OfttConfig {
             checkpoint_mode: CheckpointMode::default(),
             monitor: None,
             status_period: SimDuration::from_secs(1),
+            defects: crate::transition::Defects::default(),
         }
     }
 

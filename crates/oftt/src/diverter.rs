@@ -154,8 +154,18 @@ impl Process for Diverter {
     }
 
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
+        let from = envelope.from.clone();
         if envelope.body.is::<RoleReport>() {
-            let report = envelope.body.downcast::<RoleReport>().expect("checked");
+            let report = match crate::messages::decode_body::<RoleReport>(envelope.body, &from) {
+                Ok(report) => report,
+                Err(err) => {
+                    env.record(
+                        TraceCategory::Diverter,
+                        format!("{}: dropped: {err}", env.self_endpoint()),
+                    );
+                    return;
+                }
+            };
             if report.role != Role::Primary {
                 return;
             }
@@ -187,14 +197,23 @@ impl Process for Diverter {
                     );
                 }
                 self.flush_parked(claim.node, env);
-            } else if self.primary.map(|c| c.node) == Some(claim.node) {
+            } else if let Some(current) = self.primary.filter(|c| c.node == claim.node) {
                 // Same primary, possibly a newer term — track it.
-                if claim.term > self.primary.expect("checked").term {
+                if claim.term > current.term {
                     self.primary = Some(claim);
                 }
             }
         } else if envelope.body.is::<DivertMsg>() {
-            let msg = envelope.body.downcast::<DivertMsg>().expect("checked");
+            let msg = match crate::messages::decode_body::<DivertMsg>(envelope.body, &from) {
+                Ok(msg) => msg,
+                Err(err) => {
+                    env.record(
+                        TraceCategory::Diverter,
+                        format!("{}: dropped: {err}", env.self_endpoint()),
+                    );
+                    return;
+                }
+            };
             match self.primary {
                 Some(claim) => self.enqueue(msg, claim.node, env),
                 None => self.parked.push_back(msg),

@@ -27,11 +27,12 @@ use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
 use ds_sim::prelude::{AccessKind, SimTime, TraceCategory};
 use parking_lot::Mutex;
 
-use crate::config::{engine_endpoint, OfttConfig, RecoveryRule, StartupFallback};
+use crate::config::{engine_endpoint, OfttConfig, RecoveryRule};
 use crate::messages::{
-    ComponentStatus, FromEngine, FtimKind, PeerMsg, RoleReport, StatusReport, ToEngine,
+    decode_body, ComponentStatus, FromEngine, FtimKind, PeerMsg, RoleReport, StatusReport, ToEngine,
 };
-use crate::role::{Claim, Role};
+use crate::role::Role;
+use crate::transition::{role_transition, RoleEvent, RoleOutcome, RoleView};
 
 /// Timer tokens (below the RPC namespace).
 const TICK: u64 = 1;
@@ -149,8 +150,60 @@ impl Engine {
         }
     }
 
-    fn become_primary(&mut self, term: u64, reason: &str, env: &mut dyn ProcessEnv) {
-        self.set_role(Role::Primary, term, reason, env);
+    /// The slice of state the shared transition table reads.
+    fn role_view(&self) -> RoleView {
+        RoleView {
+            me: self.me,
+            peer: self.peer,
+            role: self.role,
+            term: self.term,
+            peer_role: self.peer_role,
+        }
+    }
+
+    /// Applies a table outcome. `detail` is the dynamic reason suffix (the
+    /// switchover requester's stated reason), appended to the static text.
+    fn apply_outcome(
+        &mut self,
+        outcome: RoleOutcome,
+        detail: Option<&str>,
+        env: &mut dyn ProcessEnv,
+    ) {
+        match outcome {
+            RoleOutcome::Stay => {}
+            // Silent adoption: no announcement, no trace (by design — see
+            // `crate::transition`).
+            RoleOutcome::AdoptTerm { term } => self.term = term,
+            RoleOutcome::Announce { role, term, reason } => {
+                if role == Role::Backup {
+                    // Entering Backup restarts the primary-silence clock:
+                    // after yielding (switchover, dual-primary resolution)
+                    // the new primary gets a full peer_timeout to be heard
+                    // before silence-based self-promotion — otherwise the
+                    // stale clock expires immediately and reopens a
+                    // dual-primary window.
+                    self.last_peer_primary = env.now();
+                }
+                match detail {
+                    Some(detail) => {
+                        let text = format!("{}: {detail}", reason.text());
+                        self.set_role(role, term, &text, env);
+                    }
+                    None => self.set_role(role, term, reason.text(), env),
+                }
+            }
+            RoleOutcome::ShutDown => {
+                env.record(
+                    TraceCategory::Engine,
+                    format!(
+                        "{}: startup timeout: shutting down (original §3.2 logic)",
+                        env.self_endpoint()
+                    ),
+                );
+                self.with_probe(env, |p| p.shut_down_at_startup = true);
+                env.exit();
+            }
+        }
     }
 
     fn request_switchover(&mut self, reason: String, env: &mut dyn ProcessEnv) {
@@ -162,93 +215,58 @@ impl Engine {
         let term = self.term;
         let node = self.me;
         env.send_msg(self.peer_endpoint(), PeerMsg::SwitchoverRequest { node, term, reason });
-        // Stop acting as primary immediately; if the peer never takes
-        // over, the backup-promotion path will return control here.
-        let next = self.term;
-        self.set_role(Role::Backup, next, "yielded after switchover request", env);
+        let outcome =
+            role_transition(&self.role_view(), &RoleEvent::SwitchoverYield, &self.config.defects);
+        self.apply_outcome(outcome, None, env);
     }
 
     fn handle_peer(&mut self, msg: PeerMsg, env: &mut dyn ProcessEnv) {
         let now = env.now();
         self.last_peer_any = now;
+        let defects = self.config.defects;
         match msg {
             PeerMsg::Hello { node, role, term } => {
                 self.peer_role = Some(role);
                 let my = PeerMsg::HelloReply { node: self.me, role: self.role, term: self.term };
                 env.send_msg(engine_endpoint(node), my);
-                if self.role == Role::Negotiating && role == Role::Negotiating {
-                    // Simultaneous startup: both sides share (term, node)
-                    // knowledge and apply the same rule.
-                    let new_term = self.term.max(term) + 1;
-                    if self.me < node {
-                        self.become_primary(new_term, "startup tie-break", env);
-                    } else {
-                        self.set_role(Role::Backup, new_term, "startup tie-break", env);
-                    }
-                }
+                let outcome = role_transition(
+                    &self.role_view(),
+                    &RoleEvent::PeerHello { role, term },
+                    &defects,
+                );
+                self.apply_outcome(outcome, None, env);
             }
             PeerMsg::HelloReply { node: _, role, term } => {
                 self.peer_role = Some(role);
-                if self.role != Role::Negotiating {
-                    return;
+                if self.role == Role::Negotiating && role == Role::Primary {
+                    self.last_peer_primary = now;
                 }
-                match role {
-                    Role::Primary => {
-                        self.last_peer_primary = now;
-                        self.set_role(Role::Backup, term, "peer is primary", env);
-                    }
-                    Role::Backup => {
-                        // Peer holds checkpoints and expects a primary: we
-                        // take the role (we may be the old primary's node
-                        // restarting after an engine failure).
-                        self.become_primary(term + 1, "peer is backup", env);
-                    }
-                    Role::Negotiating => {
-                        let new_term = self.term.max(term) + 1;
-                        if self.me < self.peer {
-                            self.become_primary(new_term, "startup tie-break", env);
-                        } else {
-                            self.set_role(Role::Backup, new_term, "startup tie-break", env);
-                        }
-                    }
-                }
+                let outcome = role_transition(
+                    &self.role_view(),
+                    &RoleEvent::PeerHelloReply { role, term },
+                    &defects,
+                );
+                self.apply_outcome(outcome, None, env);
             }
-            PeerMsg::Heartbeat { node, role, term } => {
+            PeerMsg::Heartbeat { node: _, role, term } => {
                 self.peer_role = Some(role);
                 if role == Role::Primary {
                     self.last_peer_primary = now;
-                    match self.role {
-                        Role::Negotiating => {
-                            self.set_role(Role::Backup, term, "observed primary heartbeat", env);
-                        }
-                        Role::Backup => {
-                            if term > self.term {
-                                self.term = term;
-                            }
-                        }
-                        Role::Primary => {
-                            // Dual primary (partition heal, §3.2 hazard):
-                            // claims resolve it identically on both sides.
-                            let theirs = Claim::new(term, node);
-                            let mine = Claim::new(self.term, self.me);
-                            if theirs.beats(&mine) {
-                                self.last_peer_primary = now;
-                                self.set_role(
-                                    Role::Backup,
-                                    term,
-                                    "dual primary resolved: yielding to peer claim",
-                                    env,
-                                );
-                            }
-                        }
-                    }
                 }
+                let outcome = role_transition(
+                    &self.role_view(),
+                    &RoleEvent::PeerHeartbeat { role, term },
+                    &defects,
+                );
+                self.apply_outcome(outcome, None, env);
             }
             PeerMsg::SwitchoverRequest { node: _, term, reason } => {
-                if self.role != Role::Primary {
-                    let new_term = self.term.max(term) + 1;
-                    self.become_primary(new_term, &format!("switchover request: {reason}"), env);
-                }
+                let outcome = role_transition(
+                    &self.role_view(),
+                    &RoleEvent::PeerSwitchoverRequest { term },
+                    &defects,
+                );
+                self.apply_outcome(outcome, Some(&reason), env);
             }
         }
     }
@@ -334,7 +352,7 @@ impl Engine {
                 TraceCategory::Engine,
                 format!("{}: detected failure of {service}", env.self_endpoint()),
             );
-            let component = self.components.get_mut(&service).expect("listed");
+            let Some(component) = self.components.get_mut(&service) else { continue };
             component.healthy = false;
             let rule = component.rule;
             let escalate = match rule {
@@ -391,26 +409,18 @@ impl Engine {
         for target in targets {
             env.send_msg(target, FromEngine::EngineHeartbeat);
         }
-        // 2. Backup promotion on primary silence.
+        // 2. Backup promotion on primary silence. The timing predicates
+        // are evaluated here; the decision itself is the shared table's.
         if self.role == Role::Backup
             && now.saturating_since(self.last_peer_primary) > self.config.peer_timeout
         {
             let peer_silent = now.saturating_since(self.last_peer_any) > self.config.peer_timeout;
-            let both_backup = self.peer_role == Some(Role::Backup);
-            // If the peer engine is alive but not primary, only the lower
-            // node id promotes (avoids a double promotion race).
-            if peer_silent || (both_backup && self.me < self.peer) {
-                let term = self.term + 1;
-                self.become_primary(
-                    term,
-                    if peer_silent {
-                        "peer silent: taking over"
-                    } else {
-                        "no primary: taking over"
-                    },
-                    env,
-                );
-            }
+            let outcome = role_transition(
+                &self.role_view(),
+                &RoleEvent::PrimarySilenceExpired { peer_silent },
+                &self.config.defects,
+            );
+            self.apply_outcome(outcome, None, env);
         }
         // 3. Local component failure detection and recovery.
         if env.now() > SimTime::ZERO {
@@ -518,23 +528,13 @@ impl Process for Engine {
                     env.send_msg(self.peer_endpoint(), hello);
                     env.set_timer(self.config.startup_timeout, STARTUP);
                 } else {
-                    match self.config.startup_fallback {
-                        StartupFallback::ShutDown => {
-                            env.record(
-                                TraceCategory::Engine,
-                                format!(
-                                    "{}: startup timeout: shutting down (original §3.2 logic)",
-                                    env.self_endpoint()
-                                ),
-                            );
-                            self.with_probe(env, |p| p.shut_down_at_startup = true);
-                            env.exit();
-                        }
-                        StartupFallback::BecomePrimary => {
-                            let term = self.term + 1;
-                            self.become_primary(term, "startup timeout: assuming peer dead", env);
-                        }
-                    }
+                    let fallback = self.config.startup_fallback;
+                    let outcome = role_transition(
+                        &self.role_view(),
+                        &RoleEvent::StartupRetriesExhausted { fallback },
+                        &self.config.defects,
+                    );
+                    self.apply_outcome(outcome, None, env);
                 }
             }
             STATUS => {
@@ -548,11 +548,21 @@ impl Process for Engine {
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
         let from = envelope.from.clone();
         if envelope.body.is::<PeerMsg>() {
-            let msg = envelope.body.downcast::<PeerMsg>().expect("checked");
-            self.handle_peer(msg, env);
+            match decode_body::<PeerMsg>(envelope.body, &from) {
+                Ok(msg) => self.handle_peer(msg, env),
+                Err(err) => env.record(
+                    TraceCategory::Engine,
+                    format!("{}: dropped: {err}", env.self_endpoint()),
+                ),
+            }
         } else if envelope.body.is::<ToEngine>() {
-            let msg = envelope.body.downcast::<ToEngine>().expect("checked");
-            self.handle_component(msg, from, env);
+            match decode_body::<ToEngine>(envelope.body, &from) {
+                Ok(msg) => self.handle_component(msg, from, env),
+                Err(err) => env.record(
+                    TraceCategory::Engine,
+                    format!("{}: dropped: {err}", env.self_endpoint()),
+                ),
+            }
         }
     }
 }
@@ -843,7 +853,7 @@ mod negotiation_edge_tests {
         // While b renegotiates, push a switchover request at it.
         cs.post(
             SimTime::from_millis(3_700),
-            crate::config::engine_endpoint(b),
+            engine_endpoint(b),
             PeerMsg::SwitchoverRequest { node: a, term: 5, reason: "test".into() },
         );
         cs.run_until(SimTime::from_secs(10));
@@ -880,7 +890,7 @@ mod negotiation_edge_tests {
         let backup_idx = if backup == a { 0 } else { 1 };
         cs.post(
             SimTime::from_secs(10),
-            crate::config::engine_endpoint(backup),
+            engine_endpoint(backup),
             ToEngine::Distress { service: "app".into(), reason: "spurious".into() },
         );
         cs.run_until(SimTime::from_secs(20));

@@ -566,6 +566,28 @@ impl<A: FtApplication> FtProcess<A> {
                         let store_newer = self.core.store.is_restorable()
                             && self.core.store.position() > self.core.shipped_position;
                         if store_newer {
+                            // Seeded defect: promote from the image the
+                            // newest install displaced — a rollback past
+                            // acknowledged state the ckpt-monotone
+                            // invariant (and oftt-verify's promote-fresh
+                            // property) must flag.
+                            #[cfg(feature = "inject_bugs")]
+                            if self.core.config.defects.stale_promotion {
+                                if let Some((image, (rt, rs))) =
+                                    self.core.store.stale_restore_image()
+                                {
+                                    env.record(
+                                        TraceCategory::Checkpoint,
+                                        format!(
+                                            "{}: ckpt restore position (term={rt} seq={rs} crc={})",
+                                            env.self_endpoint(),
+                                            checksum(&image)
+                                        ),
+                                    );
+                                    self.activate(env, Some((image, true)));
+                                    return;
+                                }
+                            }
                             // Normal switchover: the peer's checkpoints in
                             // our store are the freshest state.
                             let (rt, rs) = self.core.store.position();
@@ -851,11 +873,21 @@ impl<A: FtApplication> Process for FtProcess<A> {
     fn on_message(&mut self, envelope: Envelope, env: &mut dyn ProcessEnv) {
         let from = envelope.from.clone();
         if envelope.body.is::<FromEngine>() {
-            let msg = envelope.body.downcast::<FromEngine>().expect("checked");
-            self.handle_engine(msg, env);
+            match crate::messages::decode_body::<FromEngine>(envelope.body, &from) {
+                Ok(msg) => self.handle_engine(msg, env),
+                Err(err) => env.record(
+                    TraceCategory::Engine,
+                    format!("{}: dropped: {err}", env.self_endpoint()),
+                ),
+            }
         } else if envelope.body.is::<FtimPeerMsg>() {
-            let msg = envelope.body.downcast::<FtimPeerMsg>().expect("checked");
-            self.handle_peer(msg, from, env);
+            match crate::messages::decode_body::<FtimPeerMsg>(envelope.body, &from) {
+                Ok(msg) => self.handle_peer(msg, from, env),
+                Err(err) => env.record(
+                    TraceCategory::Engine,
+                    format!("{}: dropped: {err}", env.self_endpoint()),
+                ),
+            }
         } else if self.core.active {
             self.ctx_call(env, |app, ctx| app.on_app_message(envelope, ctx));
         }

@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unreachable_pub, unused_qualifications)]
 
 pub mod api;
 pub mod checkpoint;
@@ -70,6 +71,7 @@ pub mod ftim;
 pub mod messages;
 pub mod monitor;
 pub mod role;
+pub mod transition;
 pub mod watchdog;
 
 /// Convenience re-exports of the items nearly every user needs.
@@ -87,6 +89,9 @@ pub mod prelude {
     pub use crate::messages::{FtimKind, RoleReport, StatusReport};
     pub use crate::monitor::{MonitorTable, SystemMonitor};
     pub use crate::role::{Claim, Role};
+    pub use crate::transition::{
+        role_transition, Defects, Reason, RoleEvent, RoleOutcome, RoleView,
+    };
     pub use crate::watchdog::{WatchdogError, WatchdogTable};
 }
 

@@ -5,13 +5,42 @@
 //! switchover), FTIM↔FTIM (checkpoint transfer and restore), and
 //! engine→monitor (status reports).
 
-use ds_net::endpoint::{NodeId, ServiceName};
+use std::fmt;
+
+use ds_net::endpoint::{Endpoint, NodeId, ServiceName};
+use ds_net::message::MsgBody;
 use ds_sim::prelude::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::RecoveryRule;
 use crate::role::Role;
+
+/// A payload on an OFTT channel that failed to decode as the expected
+/// message type — the typed replacement for the `expect("checked")`
+/// downcasts formerly scattered through the receive paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The message type the receiver expected.
+    pub expected: &'static str,
+    /// Who sent the undecodable payload.
+    pub from: Endpoint,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload from {} does not decode as {}", self.from, self.expected)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes an envelope body as `T`, returning a typed error (instead of
+/// panicking) when the payload is something else.
+pub fn decode_body<T: std::any::Any>(body: MsgBody, from: &Endpoint) -> Result<T, DecodeError> {
+    body.downcast::<T>()
+        .map_err(|_| DecodeError { expected: std::any::type_name::<T>(), from: from.clone() })
+}
 
 /// Which flavor of FTIM a component registered with (paper §2.2.2): OPC
 /// clients checkpoint, OPC servers only heartbeat.

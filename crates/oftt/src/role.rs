@@ -6,7 +6,7 @@ use ds_net::endpoint::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// A node's role within the pair (paper §2.2.1, "role management").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Role {
     /// Startup: negotiating with the peer.
     Negotiating,
