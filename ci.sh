@@ -12,20 +12,43 @@
 #                        and refines a 200-schedule trace-export sweep,
 #                        plus the seeded-defect round-trip smoke
 #   7. audit sweep       oftt-audit over both sweeps (races, lock order,
-#                        stale reads, API lifecycle) + seeded-defect smoke
-#   8. wire smoke        two real oftt-node processes over loopback TCP:
+#                        stale reads, API lifecycle) + seeded-defect smoke;
+#                        the 600-budget sweep also exports its observed
+#                        lock sites for the lint stage's cross-check
+#   8. lint sweep        oftt-lint over the whole workspace: zero
+#                        non-baselined findings, static lock graph must
+#                        cover every dynamically observed lock site, the
+#                        oftt-lint-v1 JSON must validate, and each rule
+#                        family must still fire on its seeded fixture
+#   9. wire smoke        two real oftt-node processes over loopback TCP:
 #                        SIGKILL the primary, assert promotion within the
 #                        detection budget and restore-crc integrity
-#   9. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
+#  10. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
 #                        BENCH_wire.json and BENCH_verify.json emits, all
 #                        schema-validated (fails on schema drift)
 #
-# Exits non-zero on the first failing stage.
+# Exits non-zero on the first failing stage, naming it on stderr.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() { printf '\n== %s ==\n' "$*"; }
+CURRENT_STAGE="startup"
+step() {
+    CURRENT_STAGE="$*"
+    printf '\n== %s ==\n' "$*"
+}
+trap 'printf "\nCI FAILED in stage: %s\n" "$CURRENT_STAGE" >&2' ERR
+
+# Scoped clippy for crates that carry the inject_bugs feature: both
+# feature sets must be warning-free, not just the default one.
+clippy_both_feature_sets() {
+    cargo clippy -p "$1" --all-targets -q -- -D warnings
+    cargo clippy -p "$1" --all-targets --features inject_bugs -q -- -D warnings
+}
+
+TMPFILES=()
+cleanup() { rm -rf "${TMPFILES[@]}"; }
+trap cleanup EXIT
 
 step "cargo fmt --check"
 cargo fmt --check
@@ -47,12 +70,12 @@ step "oftt-check sweep (partitioned startup, shipped config)"
 cargo run -p oftt-check --release -q -- --scenario partitioned-startup --budget 100
 
 step "oftt-verify clippy (deny warnings, both feature sets)"
-cargo clippy -p oftt-verify --all-targets -q -- -D warnings
-cargo clippy -p oftt-verify --all-targets --features inject_bugs -q -- -D warnings
+clippy_both_feature_sets oftt-verify
 
 step "verify sweep: exhaustive abstract check + 200-schedule refinement"
 cargo build --release -q -p oftt-verify
 VERIFY_TRACES=$(mktemp -d /tmp/oftt-traces.XXXXXX)
+TMPFILES+=("$VERIFY_TRACES")
 cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 200 \
     --export-traces "$VERIFY_TRACES"
 # The pinned state count is the exhausted default-budget space; a
@@ -60,17 +83,18 @@ cargo run -p oftt-check --release -q -- --scenario pair-failover --budget 200 \
 # only after reviewing why.
 ./target/release/oftt-verify --liveness --expect-states 1939405 \
     --refine "$VERIFY_TRACES"
-rm -rf "$VERIFY_TRACES"
 
 step "verify seeded-defect round trip (inject_bugs)"
 cargo test -p oftt-verify --features inject_bugs -q
 
 step "oftt-audit clippy (deny warnings, both feature sets)"
-cargo clippy -p oftt-audit --all-targets -q -- -D warnings
-cargo clippy -p oftt-audit --all-targets --features inject_bugs -q -- -D warnings
+clippy_both_feature_sets oftt-audit
 
-step "audit sweep (pair failover, 600-schedule budget)"
-cargo run -p oftt-audit --release -q -- scan --scenario pair-failover --budget 600
+step "audit sweep (pair failover, 600-schedule budget, lock export)"
+DYNAMIC_LOCKS=$(mktemp /tmp/oftt-dynamic-locks.XXXXXX.txt)
+TMPFILES+=("$DYNAMIC_LOCKS")
+cargo run -p oftt-audit --release -q -- scan --scenario pair-failover --budget 600 \
+    --export-locks "$DYNAMIC_LOCKS"
 
 step "audit sweep (partitioned startup, shipped config)"
 cargo run -p oftt-audit --release -q -- scan --scenario partitioned-startup --budget 100
@@ -78,26 +102,50 @@ cargo run -p oftt-audit --release -q -- scan --scenario partitioned-startup --bu
 step "audit seeded-defect corpus (inject_bugs)"
 cargo test -p oftt-audit --features inject_bugs -q
 
+step "lint sweep: workspace static analysis + static/dynamic lock cross-check"
+LINT_JSON=$(mktemp /tmp/LINT.XXXXXX.json)
+TMPFILES+=("$LINT_JSON")
+cargo build --release -q -p oftt-lint
+./target/release/oftt-lint --workspace \
+    --baseline lint-baseline.txt \
+    --dynamic-locks "$DYNAMIC_LOCKS" \
+    --json "$LINT_JSON"
+cargo run -p bench --release -q --bin bench-validate "$LINT_JSON"
+
+step "lint seeded-fixture smoke (each rule family fires on its defect)"
+for fixture in crates/oftt-lint/fixtures/*.rs; do
+    rc=0
+    ./target/release/oftt-lint "$fixture" >/dev/null || rc=$?
+    # Exit 2 is "findings reported"; anything else means the seeded
+    # defect went undetected (0) or the run itself broke (1).
+    if [ "$rc" -ne 2 ]; then
+        printf 'fixture %s: expected exit 2 (findings), got %s\n' "$fixture" "$rc" >&2
+        false
+    fi
+done
+cargo test -p oftt-lint -q
+
 step "wire smoke: two-process SIGKILL failover over TCP"
 cargo build --release -q -p oftt-wire --bins
 ./target/release/wire-smoke
 
 step "bench smoke: checkpoint data-path artifact"
 BENCH_SMOKE_OUT=$(mktemp /tmp/BENCH_checkpoint.XXXXXX.json)
-BENCH_WIRE_OUT=$(mktemp /tmp/BENCH_wire.XXXXXX.json)
-trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_WIRE_OUT"' EXIT
+TMPFILES+=("$BENCH_SMOKE_OUT")
 BENCH_SAMPLES=1 BENCH_OUT="$BENCH_SMOKE_OUT" \
     cargo run -p bench --release -q --bin bench-checkpoint
 cargo run -p bench --release -q --bin bench-validate "$BENCH_SMOKE_OUT"
 
 step "bench smoke: wire runtime artifact (20 kills)"
+BENCH_WIRE_OUT=$(mktemp /tmp/BENCH_wire.XXXXXX.json)
+TMPFILES+=("$BENCH_WIRE_OUT")
 BENCH_SAMPLES=500 BENCH_CKPT_SECS=2 BENCH_OUT="$BENCH_WIRE_OUT" \
     cargo run -p bench --release -q --bin bench-wire
 cargo run -p bench --release -q --bin bench-validate "$BENCH_WIRE_OUT"
 
 step "bench smoke: verification throughput artifact"
 BENCH_VERIFY_OUT=$(mktemp /tmp/BENCH_verify.XXXXXX.json)
-trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_WIRE_OUT" "$BENCH_VERIFY_OUT"' EXIT
+TMPFILES+=("$BENCH_VERIFY_OUT")
 BENCH_REFINE_RUNS=5 BENCH_OUT="$BENCH_VERIFY_OUT" \
     cargo run -p bench --release -q --bin bench-verify
 cargo run -p bench --release -q --bin bench-validate "$BENCH_VERIFY_OUT"

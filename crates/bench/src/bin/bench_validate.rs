@@ -1,255 +1,14 @@
 //! Validates bench artifacts against their declared schema — CI's guard
 //! against schema drift and against the measured properties quietly
-//! regressing. Dispatches on the top-level `"schema"` string:
-//!
-//! * `oftt-bench-checkpoint-v1` (`BENCH_checkpoint.json`) — the 10k-vars /
-//!   1%-locality cell must clear the acceptance thresholds (speedup ≥ 5×,
-//!   wire ratio ≥ 20×, restore equality in every cell);
-//! * `oftt-bench-wire-v1` (`BENCH_wire.json`) — the socket runtime must
-//!   show the acceptance workload (10k vars at 1% locality) with zero
-//!   data-frame sheds, ≥ 20 SIGKILL failover samples, and promotion p99
-//!   inside the 3 s detection budget;
-//! * `oftt-bench-verify-v1` (`BENCH_verify.json`) — every exploration
-//!   tier must come back clean (zero violations, no lasso, not capped),
-//!   the `default` tier must exhaust a ≥ 10⁶-state space at ≥ 10k
-//!   states/s, and the refinement batch must include every export.
+//! regressing. All schema arms live in [`bench::validate`]; this binary
+//! just reads the file, parses it, and reports.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench-validate [path]
 //! ```
 
 use bench::json::{parse, Json};
-
-fn require<'a>(obj: &'a Json, key: &str, errors: &mut Vec<String>) -> Option<&'a Json> {
-    let v = obj.get(key);
-    if v.is_none() {
-        errors.push(format!("missing key {key:?}"));
-    }
-    v
-}
-
-fn require_number(obj: &Json, key: &str, errors: &mut Vec<String>) -> Option<f64> {
-    let v = require(obj, key, errors)?;
-    let n = v.as_f64();
-    if n.is_none() {
-        errors.push(format!("key {key:?} is not a number"));
-    }
-    n
-}
-
-fn validate_path_cost(cell: &Json, key: &str, errors: &mut Vec<String>) {
-    let Some(path) = require(cell, key, errors) else { return };
-    if path.as_object().is_none() {
-        errors.push(format!("key {key:?} is not an object"));
-        return;
-    }
-    require_number(path, "ns_per_period", errors);
-    require_number(path, "wire_bytes_per_period", errors);
-}
-
-fn validate(doc: &Json) -> Vec<String> {
-    let mut errors = Vec::new();
-    if doc.as_object().is_none() {
-        return vec!["top level is not an object".into()];
-    }
-    match require(doc, "schema", &mut errors).and_then(Json::as_str) {
-        Some("oftt-bench-checkpoint-v1") => errors.extend(validate_checkpoint(doc)),
-        Some("oftt-bench-wire-v1") => errors.extend(validate_wire(doc)),
-        Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
-        Some(other) => errors.push(format!("unknown schema {other:?}")),
-        None => errors.push("schema is not a string".into()),
-    }
-    errors
-}
-
-fn validate_checkpoint(doc: &Json) -> Vec<String> {
-    let mut errors = Vec::new();
-    require_number(doc, "samples", &mut errors);
-    require_number(doc, "periods_per_sample", &mut errors);
-    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
-        errors.push("cells is not an array".into());
-        return errors;
-    };
-    if cells.is_empty() {
-        errors.push("cells is empty".into());
-    }
-    let mut acceptance_cell_seen = false;
-    for (i, cell) in cells.iter().enumerate() {
-        let mut cell_errors = Vec::new();
-        let vars = require_number(cell, "vars", &mut cell_errors);
-        let dirty_pct = require_number(cell, "dirty_pct", &mut cell_errors);
-        require_number(cell, "var_bytes", &mut cell_errors);
-        validate_path_cost(cell, "full", &mut cell_errors);
-        validate_path_cost(cell, "dirty", &mut cell_errors);
-        let speedup = require_number(cell, "speedup", &mut cell_errors);
-        let wire_ratio = require_number(cell, "wire_ratio", &mut cell_errors);
-        match require(cell, "restore_ok", &mut cell_errors).and_then(Json::as_bool) {
-            Some(true) => {}
-            Some(false) => cell_errors.push("restore_ok is false: merged image diverged".into()),
-            None => cell_errors.push("restore_ok is not a boolean".into()),
-        }
-        // The acceptance cell: 10k variables at 1% write locality must
-        // show the dirty path ≥5× faster and ≥20× lighter on the wire.
-        if vars == Some(10_000.0) && dirty_pct == Some(1.0) {
-            acceptance_cell_seen = true;
-            if let Some(s) = speedup {
-                if s < 5.0 {
-                    cell_errors.push(format!("speedup {s:.2} below the 5x acceptance floor"));
-                }
-            }
-            if let Some(w) = wire_ratio {
-                if w < 20.0 {
-                    cell_errors.push(format!("wire_ratio {w:.2} below the 20x acceptance floor"));
-                }
-            }
-        }
-        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
-    }
-    if !acceptance_cell_seen {
-        errors.push("no acceptance cell (vars=10000, dirty_pct=1) in the grid".into());
-    }
-    errors
-}
-
-fn validate_wire(doc: &Json) -> Vec<String> {
-    let mut errors = Vec::new();
-
-    if let Some(rtt) = require(doc, "rtt", &mut errors) {
-        require_number(rtt, "samples", &mut errors);
-        let p50 = require_number(rtt, "p50_us", &mut errors);
-        let p99 = require_number(rtt, "p99_us", &mut errors);
-        if let (Some(p50), Some(p99)) = (p50, p99) {
-            if p50 <= 0.0 {
-                errors.push("rtt: p50_us is not positive".into());
-            }
-            if p99 < p50 {
-                errors.push(format!("rtt: p99 {p99:.1} below p50 {p50:.1}"));
-            }
-        }
-    }
-
-    if let Some(ckpt) = require(doc, "checkpoint", &mut errors) {
-        let vars = require_number(ckpt, "vars", &mut errors);
-        let dirty_pct = require_number(ckpt, "dirty_pct", &mut errors);
-        require_number(ckpt, "var_bytes", &mut errors);
-        require_number(ckpt, "duration_ms", &mut errors);
-        let acked = require_number(ckpt, "ckpts_acked", &mut errors);
-        require_number(ckpt, "ckpts_per_sec", &mut errors);
-        require_number(ckpt, "ckpt_bytes_per_sec", &mut errors);
-        let drops = require_number(ckpt, "backpressure_drops", &mut errors);
-        require_number(ckpt, "heartbeats_shed", &mut errors);
-        // The acceptance workload, sustained with a drop-free write queue.
-        if vars != Some(10_000.0) {
-            errors.push(format!("checkpoint: vars {vars:?} is not the 10000-var workload"));
-        }
-        if dirty_pct != Some(1.0) {
-            errors.push(format!("checkpoint: dirty_pct {dirty_pct:?} is not 1% locality"));
-        }
-        if acked == Some(0.0) {
-            errors.push("checkpoint: zero checkpoints acknowledged".into());
-        }
-        if let Some(drops) = drops {
-            if drops > 0.0 {
-                errors.push(format!("checkpoint: {drops} data frames shed under load"));
-            }
-        }
-    }
-
-    if let Some(failover) = require(doc, "failover", &mut errors) {
-        let kills = require_number(failover, "kills", &mut errors);
-        let p50 = require_number(failover, "detection_ms_p50", &mut errors);
-        let p99 = require_number(failover, "detection_ms_p99", &mut errors);
-        require_number(failover, "detection_ms_max", &mut errors);
-        if let Some(kills) = kills {
-            if kills < 20.0 {
-                errors.push(format!("failover: only {kills} kills; 20 required"));
-            }
-        }
-        if let (Some(p50), Some(p99)) = (p50, p99) {
-            if p99 < p50 {
-                errors.push(format!("failover: p99 {p99} below p50 {p50}"));
-            }
-            // Promotion must land inside the smoke test's detection budget.
-            if p99 > 3000.0 {
-                errors.push(format!("failover: p99 {p99} ms over the 3000 ms budget"));
-            }
-        }
-    }
-
-    errors
-}
-
-fn validate_verify(doc: &Json) -> Vec<String> {
-    let mut errors = Vec::new();
-    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
-        errors.push("cells is not an array".into());
-        return errors;
-    };
-    if cells.is_empty() {
-        errors.push("cells is empty".into());
-    }
-    let mut default_tier_seen = false;
-    for (i, cell) in cells.iter().enumerate() {
-        let mut cell_errors = Vec::new();
-        let name = require(cell, "name", &mut cell_errors).and_then(Json::as_str);
-        let states = require_number(cell, "states", &mut cell_errors);
-        require_number(cell, "transitions", &mut cell_errors);
-        require_number(cell, "por_reduced", &mut cell_errors);
-        require_number(cell, "truncated", &mut cell_errors);
-        require_number(cell, "elapsed_ms", &mut cell_errors);
-        let rate = require_number(cell, "states_per_sec", &mut cell_errors);
-        // Every tier is a verification verdict: it must be clean.
-        match require_number(cell, "violations", &mut cell_errors) {
-            Some(v) if v > 0.0 => cell_errors.push(format!("{v} safety violations")),
-            _ => {}
-        }
-        match require(cell, "lasso", &mut cell_errors).and_then(Json::as_bool) {
-            Some(true) => cell_errors.push("a persistent dual-primary lasso was found".into()),
-            Some(false) => {}
-            None => cell_errors.push("lasso is not a boolean".into()),
-        }
-        // The acceptance tier: the full default budget must exhaust a
-        // nontrivial space at a usable rate.
-        if name == Some("default") {
-            default_tier_seen = true;
-            if let Some(s) = states {
-                if s < 1_000_000.0 {
-                    cell_errors.push(format!(
-                        "default tier explored only {s} states; the full budget \
-                         space is over a million"
-                    ));
-                }
-            }
-            if let Some(r) = rate {
-                if r < 10_000.0 {
-                    cell_errors.push(format!("{r:.0} states/s below the 10k floor"));
-                }
-            }
-        }
-        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
-    }
-    if !default_tier_seen {
-        errors.push("no default-budget tier in the cells".into());
-    }
-
-    let Some(refinement) = require(doc, "refinement", &mut errors) else {
-        return errors;
-    };
-    let exports = require_number(refinement, "exports", &mut errors);
-    require_number(refinement, "observations", &mut errors);
-    require_number(refinement, "elapsed_ms", &mut errors);
-    require_number(refinement, "exports_per_sec", &mut errors);
-    if exports == Some(0.0) {
-        errors.push("refinement: zero exports checked".into());
-    }
-    match require_number(refinement, "failures", &mut errors) {
-        Some(f) if f > 0.0 => {
-            errors.push(format!("refinement: {f} export(s) failed trace inclusion"));
-        }
-        _ => {}
-    }
-    errors
-}
+use bench::validate::validate;
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_checkpoint.json".into());

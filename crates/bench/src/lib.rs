@@ -7,7 +7,8 @@
 //! * `src/bin/bench_checkpoint.rs` — emits `BENCH_checkpoint.json`, the
 //!   full-vs-dirty checkpoint data-path grid
 //!   (`cargo run -p bench --release --bin bench-checkpoint`).
-//! * `src/bin/bench_validate.rs` — validates that artifact against the
-//!   `oftt-bench-checkpoint-v1` schema, for CI.
+//! * `src/bin/bench_validate.rs` — validates every CI artifact against its
+//!   declared schema (the arms live in [`validate`]).
 
 pub mod json;
+pub mod validate;

@@ -1,0 +1,396 @@
+//! The unified bench-artifact schema validator.
+//!
+//! Every artifact CI emits — `BENCH_checkpoint.json`, `BENCH_wire.json`,
+//! `BENCH_verify.json`, and the `oftt-lint-v1` report — declares its
+//! schema in a top-level `"schema"` string and is checked here against
+//! both its shape and its acceptance thresholds. The `bench-validate`
+//! binary is a thin wrapper over [`validate`]; keeping the arms in one
+//! module means a new artifact adds a dispatch case instead of a fourth
+//! copy of the `require`/`require_number` scaffolding.
+//!
+//! Per-schema acceptance rules:
+//!
+//! * `oftt-bench-checkpoint-v1` — the 10k-vars / 1%-locality cell must
+//!   clear the acceptance thresholds (speedup ≥ 5×, wire ratio ≥ 20×,
+//!   restore equality in every cell);
+//! * `oftt-bench-wire-v1` — the socket runtime must show the acceptance
+//!   workload (10k vars at 1% locality) with zero data-frame sheds,
+//!   ≥ 20 SIGKILL failover samples, and promotion p99 inside the 3 s
+//!   detection budget;
+//! * `oftt-bench-verify-v1` — every exploration tier must come back clean
+//!   (zero violations, no lasso, not capped), the `default` tier must
+//!   exhaust a ≥ 10⁶-state space at ≥ 10k states/s, and the refinement
+//!   batch must include every export;
+//! * `oftt-lint-v1` — the static analyzer's workspace report: zero
+//!   non-baselined findings, zero dynamic lock sites missing from the
+//!   static acquisition graph, and a scan that actually covered the
+//!   workspace (≥ 40 files).
+
+use crate::json::Json;
+
+fn require<'a>(obj: &'a Json, key: &str, errors: &mut Vec<String>) -> Option<&'a Json> {
+    let v = obj.get(key);
+    if v.is_none() {
+        errors.push(format!("missing key {key:?}"));
+    }
+    v
+}
+
+fn require_number(obj: &Json, key: &str, errors: &mut Vec<String>) -> Option<f64> {
+    let v = require(obj, key, errors)?;
+    let n = v.as_f64();
+    if n.is_none() {
+        errors.push(format!("key {key:?} is not a number"));
+    }
+    n
+}
+
+fn validate_path_cost(cell: &Json, key: &str, errors: &mut Vec<String>) {
+    let Some(path) = require(cell, key, errors) else { return };
+    if path.as_object().is_none() {
+        errors.push(format!("key {key:?} is not an object"));
+        return;
+    }
+    require_number(path, "ns_per_period", errors);
+    require_number(path, "wire_bytes_per_period", errors);
+}
+
+/// Validates a parsed artifact, dispatching on its `"schema"` string.
+/// Returns every violation found (empty means the artifact conforms).
+pub fn validate(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    if doc.as_object().is_none() {
+        return vec!["top level is not an object".into()];
+    }
+    match require(doc, "schema", &mut errors).and_then(Json::as_str) {
+        Some("oftt-bench-checkpoint-v1") => errors.extend(validate_checkpoint(doc)),
+        Some("oftt-bench-wire-v1") => errors.extend(validate_wire(doc)),
+        Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
+        Some("oftt-lint-v1") => errors.extend(validate_lint(doc)),
+        Some(other) => errors.push(format!("unknown schema {other:?}")),
+        None => errors.push("schema is not a string".into()),
+    }
+    errors
+}
+
+fn validate_checkpoint(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    require_number(doc, "samples", &mut errors);
+    require_number(doc, "periods_per_sample", &mut errors);
+    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
+        errors.push("cells is not an array".into());
+        return errors;
+    };
+    if cells.is_empty() {
+        errors.push("cells is empty".into());
+    }
+    let mut acceptance_cell_seen = false;
+    for (i, cell) in cells.iter().enumerate() {
+        let mut cell_errors = Vec::new();
+        let vars = require_number(cell, "vars", &mut cell_errors);
+        let dirty_pct = require_number(cell, "dirty_pct", &mut cell_errors);
+        require_number(cell, "var_bytes", &mut cell_errors);
+        validate_path_cost(cell, "full", &mut cell_errors);
+        validate_path_cost(cell, "dirty", &mut cell_errors);
+        let speedup = require_number(cell, "speedup", &mut cell_errors);
+        let wire_ratio = require_number(cell, "wire_ratio", &mut cell_errors);
+        match require(cell, "restore_ok", &mut cell_errors).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => cell_errors.push("restore_ok is false: merged image diverged".into()),
+            None => cell_errors.push("restore_ok is not a boolean".into()),
+        }
+        // The acceptance cell: 10k variables at 1% write locality must
+        // show the dirty path ≥5× faster and ≥20× lighter on the wire.
+        if vars == Some(10_000.0) && dirty_pct == Some(1.0) {
+            acceptance_cell_seen = true;
+            if let Some(s) = speedup {
+                if s < 5.0 {
+                    cell_errors.push(format!("speedup {s:.2} below the 5x acceptance floor"));
+                }
+            }
+            if let Some(w) = wire_ratio {
+                if w < 20.0 {
+                    cell_errors.push(format!("wire_ratio {w:.2} below the 20x acceptance floor"));
+                }
+            }
+        }
+        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
+    }
+    if !acceptance_cell_seen {
+        errors.push("no acceptance cell (vars=10000, dirty_pct=1) in the grid".into());
+    }
+    errors
+}
+
+fn validate_wire(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+
+    if let Some(rtt) = require(doc, "rtt", &mut errors) {
+        require_number(rtt, "samples", &mut errors);
+        let p50 = require_number(rtt, "p50_us", &mut errors);
+        let p99 = require_number(rtt, "p99_us", &mut errors);
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            if p50 <= 0.0 {
+                errors.push("rtt: p50_us is not positive".into());
+            }
+            if p99 < p50 {
+                errors.push(format!("rtt: p99 {p99:.1} below p50 {p50:.1}"));
+            }
+        }
+    }
+
+    if let Some(ckpt) = require(doc, "checkpoint", &mut errors) {
+        let vars = require_number(ckpt, "vars", &mut errors);
+        let dirty_pct = require_number(ckpt, "dirty_pct", &mut errors);
+        require_number(ckpt, "var_bytes", &mut errors);
+        require_number(ckpt, "duration_ms", &mut errors);
+        let acked = require_number(ckpt, "ckpts_acked", &mut errors);
+        require_number(ckpt, "ckpts_per_sec", &mut errors);
+        require_number(ckpt, "ckpt_bytes_per_sec", &mut errors);
+        let drops = require_number(ckpt, "backpressure_drops", &mut errors);
+        require_number(ckpt, "heartbeats_shed", &mut errors);
+        // The acceptance workload, sustained with a drop-free write queue.
+        if vars != Some(10_000.0) {
+            errors.push(format!("checkpoint: vars {vars:?} is not the 10000-var workload"));
+        }
+        if dirty_pct != Some(1.0) {
+            errors.push(format!("checkpoint: dirty_pct {dirty_pct:?} is not 1% locality"));
+        }
+        if acked == Some(0.0) {
+            errors.push("checkpoint: zero checkpoints acknowledged".into());
+        }
+        if let Some(drops) = drops {
+            if drops > 0.0 {
+                errors.push(format!("checkpoint: {drops} data frames shed under load"));
+            }
+        }
+    }
+
+    if let Some(failover) = require(doc, "failover", &mut errors) {
+        let kills = require_number(failover, "kills", &mut errors);
+        let p50 = require_number(failover, "detection_ms_p50", &mut errors);
+        let p99 = require_number(failover, "detection_ms_p99", &mut errors);
+        require_number(failover, "detection_ms_max", &mut errors);
+        if let Some(kills) = kills {
+            if kills < 20.0 {
+                errors.push(format!("failover: only {kills} kills; 20 required"));
+            }
+        }
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            if p99 < p50 {
+                errors.push(format!("failover: p99 {p99} below p50 {p50}"));
+            }
+            // Promotion must land inside the smoke test's detection budget.
+            if p99 > 3000.0 {
+                errors.push(format!("failover: p99 {p99} ms over the 3000 ms budget"));
+            }
+        }
+    }
+
+    errors
+}
+
+fn validate_verify(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(cells) = require(doc, "cells", &mut errors).and_then(Json::as_array) else {
+        errors.push("cells is not an array".into());
+        return errors;
+    };
+    if cells.is_empty() {
+        errors.push("cells is empty".into());
+    }
+    let mut default_tier_seen = false;
+    for (i, cell) in cells.iter().enumerate() {
+        let mut cell_errors = Vec::new();
+        let name = require(cell, "name", &mut cell_errors).and_then(Json::as_str);
+        let states = require_number(cell, "states", &mut cell_errors);
+        require_number(cell, "transitions", &mut cell_errors);
+        require_number(cell, "por_reduced", &mut cell_errors);
+        require_number(cell, "truncated", &mut cell_errors);
+        require_number(cell, "elapsed_ms", &mut cell_errors);
+        let rate = require_number(cell, "states_per_sec", &mut cell_errors);
+        // Every tier is a verification verdict: it must be clean.
+        match require_number(cell, "violations", &mut cell_errors) {
+            Some(v) if v > 0.0 => cell_errors.push(format!("{v} safety violations")),
+            _ => {}
+        }
+        match require(cell, "lasso", &mut cell_errors).and_then(Json::as_bool) {
+            Some(true) => cell_errors.push("a persistent dual-primary lasso was found".into()),
+            Some(false) => {}
+            None => cell_errors.push("lasso is not a boolean".into()),
+        }
+        // The acceptance tier: the full default budget must exhaust a
+        // nontrivial space at a usable rate.
+        if name == Some("default") {
+            default_tier_seen = true;
+            if let Some(s) = states {
+                if s < 1_000_000.0 {
+                    cell_errors.push(format!(
+                        "default tier explored only {s} states; the full budget \
+                         space is over a million"
+                    ));
+                }
+            }
+            if let Some(r) = rate {
+                if r < 10_000.0 {
+                    cell_errors.push(format!("{r:.0} states/s below the 10k floor"));
+                }
+            }
+        }
+        errors.extend(cell_errors.into_iter().map(|e| format!("cells[{i}]: {e}")));
+    }
+    if !default_tier_seen {
+        errors.push("no default-budget tier in the cells".into());
+    }
+
+    let Some(refinement) = require(doc, "refinement", &mut errors) else {
+        return errors;
+    };
+    let exports = require_number(refinement, "exports", &mut errors);
+    require_number(refinement, "observations", &mut errors);
+    require_number(refinement, "elapsed_ms", &mut errors);
+    require_number(refinement, "exports_per_sec", &mut errors);
+    if exports == Some(0.0) {
+        errors.push("refinement: zero exports checked".into());
+    }
+    match require_number(refinement, "failures", &mut errors) {
+        Some(f) if f > 0.0 => {
+            errors.push(format!("refinement: {f} export(s) failed trace inclusion"));
+        }
+        _ => {}
+    }
+    errors
+}
+
+fn validate_lint(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let files = require_number(doc, "files_scanned", &mut errors);
+    require_number(doc, "suppressed", &mut errors);
+    // The CI artifact comes from the clean tree: a scan that barely
+    // covered the workspace means the walker broke, not that the code
+    // shrank to nothing.
+    if let Some(files) = files {
+        if files < 40.0 {
+            errors.push(format!("only {files} files scanned; the workspace has far more"));
+        }
+    }
+    match require(doc, "findings", &mut errors).and_then(Json::as_array) {
+        Some(findings) => {
+            for (i, finding) in findings.iter().enumerate() {
+                let mut f_errors = Vec::new();
+                require(finding, "rule", &mut f_errors).and_then(Json::as_str);
+                require(finding, "file", &mut f_errors).and_then(Json::as_str);
+                require_number(finding, "line", &mut f_errors);
+                require(finding, "message", &mut f_errors).and_then(Json::as_str);
+                errors.extend(f_errors.into_iter().map(|e| format!("findings[{i}]: {e}")));
+            }
+            // The acceptance verdict: zero non-baselined findings.
+            if !findings.is_empty() {
+                errors.push(format!("{} non-baselined finding(s) in the report", findings.len()));
+            }
+        }
+        None => errors.push("findings is not an array".into()),
+    }
+    if let Some(graph) = require(doc, "lock_graph", &mut errors) {
+        let locks = require_number(graph, "locks", &mut errors);
+        require_number(graph, "edges", &mut errors);
+        if locks == Some(0.0) {
+            errors.push("lock_graph: no static lock sites found".into());
+        }
+    }
+    if let Some(dynamic) = require(doc, "dynamic_locks", &mut errors) {
+        require_number(dynamic, "checked", &mut errors);
+        match require_number(dynamic, "uncovered", &mut errors) {
+            Some(u) if u > 0.0 => {
+                errors.push(format!(
+                    "dynamic_locks: {u} dynamically observed lock site(s) missing \
+                     from the static acquisition graph"
+                ));
+            }
+            _ => {}
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let doc = parse(r#"{"schema": "mystery-v9"}"#).unwrap();
+        let errors = validate(&doc);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("unknown schema"));
+    }
+
+    #[test]
+    fn clean_lint_report_conforms() {
+        let doc = parse(
+            r#"{
+              "schema": "oftt-lint-v1",
+              "files_scanned": 90,
+              "suppressed": 2,
+              "findings": [],
+              "lock_graph": {"locks": 7, "edges": 3},
+              "dynamic_locks": {"checked": 2, "uncovered": 0}
+            }"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn lint_report_with_findings_fails_acceptance() {
+        let doc = parse(
+            r#"{
+              "schema": "oftt-lint-v1",
+              "files_scanned": 90,
+              "suppressed": 0,
+              "findings": [{"rule": "panic-path", "file": "a.rs", "line": 3,
+                            "message": "unwrap on a hot path"}],
+              "lock_graph": {"locks": 7, "edges": 3},
+              "dynamic_locks": {"checked": 2, "uncovered": 0}
+            }"#,
+        )
+        .unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("non-baselined finding")), "{errors:?}");
+    }
+
+    #[test]
+    fn lint_report_with_uncovered_dynamic_lock_fails() {
+        let doc = parse(
+            r#"{
+              "schema": "oftt-lint-v1",
+              "files_scanned": 90,
+              "suppressed": 0,
+              "findings": [],
+              "lock_graph": {"locks": 7, "edges": 3},
+              "dynamic_locks": {"checked": 2, "uncovered": 1}
+            }"#,
+        )
+        .unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("missing")), "{errors:?}");
+    }
+
+    #[test]
+    fn thin_lint_scan_is_rejected() {
+        let doc = parse(
+            r#"{
+              "schema": "oftt-lint-v1",
+              "files_scanned": 3,
+              "suppressed": 0,
+              "findings": [],
+              "lock_graph": {"locks": 1, "edges": 0},
+              "dynamic_locks": {"checked": 2, "uncovered": 0}
+            }"#,
+        )
+        .unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("files scanned")), "{errors:?}");
+    }
+}

@@ -13,6 +13,8 @@
 //! `Vec<u8>` (`u32` length prefix + raw bytes), so switching a message
 //! field between the two is wire-compatible in both directions.
 
+// oftt-lint: nonblocking
+
 use std::fmt;
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;

@@ -1,6 +1,8 @@
 //! Queue data structures: message identity, addressing, and the in-memory
 //! store kept by each queue manager.
 
+// oftt-lint: nonblocking
+
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 

@@ -49,7 +49,7 @@ pub mod race;
 pub mod stale;
 pub mod sweep;
 
-pub use sweep::{analyze_run, audit_sweep, AuditReport};
+pub use sweep::{analyze_run, audit_sweep, lock_site_names, AuditReport};
 
 /// One analyzer finding, tied to the point in the run where it became
 /// observable.

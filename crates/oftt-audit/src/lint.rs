@@ -27,6 +27,22 @@ use oftt_check::parse::{Event, EventKind};
 
 use crate::Finding;
 
+/// Checkpoint calls that are illegal before `initialize`. Shared with
+/// `oftt-lint`, whose static call-order rule enforces the same table at
+/// source level so the two linters cannot drift apart.
+pub const CHECKPOINT_CALLS: &[&str] = &["save", "sel_save"];
+
+/// Calls after which a watchdog name exists (creation and restore both
+/// count — a duplicate `watchdog_create` after a restore is legal).
+pub const WATCHDOG_CREATE_CALLS: &[&str] = &["watchdog_create", "watchdog_restore"];
+
+/// Calls that require the named watchdog to exist.
+pub const WATCHDOG_USE_CALLS: &[&str] = &["watchdog_set", "watchdog_reset"];
+
+/// The call that removes a watchdog; any later use of the same name
+/// without re-creation is the ignored-`NotFound` misuse.
+pub const WATCHDOG_DELETE_CALL: &str = "watchdog_delete";
+
 /// Per-application lifecycle model.
 #[derive(Debug, Default)]
 struct AppState {
@@ -62,59 +78,44 @@ fn apply_call(states: &mut BTreeMap<String, AppState>, call: &ApiEvent, out: &mu
     let mut flag = |detail: String| {
         out.push(Finding { analyzer: "lint", at: call.at, detail });
     };
-    match call.call.as_str() {
-        "initialize" => {
-            state.initialized = true;
-            state.watchdogs.clear();
+    let name = call.call.as_str();
+    if name == "initialize" {
+        state.initialized = true;
+        state.watchdogs.clear();
+    } else if CHECKPOINT_CALLS.contains(&name) {
+        if !state.initialized {
+            flag(format!("{} called {} before initialize", call.actor, call.call));
         }
-        "save" | "sel_save" => {
-            if !state.initialized {
-                flag(format!("{} called {} before initialize", call.actor, call.call));
-            }
-            if call.call == "save" && field(&call.detail, "role") == Some("backup") {
-                flag(format!("{} requested a checkpoint save while role=backup", call.actor));
-            }
+        if name == "save" && field(&call.detail, "role") == Some("backup") {
+            flag(format!("{} requested a checkpoint save while role=backup", call.actor));
         }
-        "watchdog_restore" => {
-            if let Some(name) = field(&call.detail, "name") {
-                state.watchdogs.insert(name.to_string());
-            }
+    } else if WATCHDOG_CREATE_CALLS.contains(&name) {
+        // ok=false on a create means AlreadyExists (legal after a
+        // restore); either way the watchdog exists afterwards.
+        if let Some(wd) = field(&call.detail, "name") {
+            state.watchdogs.insert(wd.to_string());
         }
-        "watchdog_create" => {
-            // ok=false means AlreadyExists (legal after a restore); either
-            // way the watchdog exists afterwards.
-            if let Some(name) = field(&call.detail, "name") {
-                state.watchdogs.insert(name.to_string());
-            }
+    } else if WATCHDOG_USE_CALLS.contains(&name) {
+        let Some(wd) = field(&call.detail, "name") else { return };
+        if field(&call.detail, "ok") == Some("false") {
+            flag(format!("{} {} on nonexistent or deleted watchdog '{wd}'", call.actor, call.call));
+        } else {
+            // The toolkit accepted it, so it exists — resync.
+            state.watchdogs.insert(wd.to_string());
         }
-        "watchdog_set" | "watchdog_reset" => {
-            let Some(name) = field(&call.detail, "name") else { return };
-            if field(&call.detail, "ok") == Some("false") {
-                flag(format!(
-                    "{} {} on nonexistent or deleted watchdog '{name}'",
-                    call.actor, call.call
-                ));
-            } else {
-                // The toolkit accepted it, so it exists — resync.
-                state.watchdogs.insert(name.to_string());
-            }
+    } else if name == WATCHDOG_DELETE_CALL {
+        let Some(wd) = field(&call.detail, "name") else { return };
+        if field(&call.detail, "ok") == Some("false") {
+            flag(format!(
+                "{} watchdog_delete on nonexistent or deleted watchdog '{wd}'",
+                call.actor
+            ));
         }
-        "watchdog_delete" => {
-            let Some(name) = field(&call.detail, "name") else { return };
-            if field(&call.detail, "ok") == Some("false") {
-                flag(format!(
-                    "{} watchdog_delete on nonexistent or deleted watchdog '{name}'",
-                    call.actor
-                ));
-            }
-            state.watchdogs.remove(name);
-        }
-        "deactivate" if !state.watchdogs.is_empty() => {
-            let leaked: Vec<&str> = state.watchdogs.iter().map(String::as_str).collect();
-            flag(format!("{} deactivated with live watchdogs: {}", call.actor, leaked.join(", ")));
-            state.watchdogs.clear();
-        }
-        _ => {}
+        state.watchdogs.remove(wd);
+    } else if name == "deactivate" && !state.watchdogs.is_empty() {
+        let leaked: Vec<&str> = state.watchdogs.iter().map(String::as_str).collect();
+        flag(format!("{} deactivated with live watchdogs: {}", call.actor, leaked.join(", ")));
+        state.watchdogs.clear();
     }
 }
 

@@ -21,6 +21,9 @@ OPTIONS (scan):
     --budget N             max simulation runs (default 600)
     --seeds N              sweep seeds 1..=N (default 8)
     --window-us MICROS     tie window in microseconds (default 500)
+    --export-locks FILE    write the base names of every dynamically
+                           observed lock site (one per line) for
+                           oftt-lint's static-coverage cross-check
 
 OPTIONS (lint):
     --scenario NAME        pair-failover (default) | partitioned-startup
@@ -34,6 +37,7 @@ struct Args {
     seeds: u64,
     window_us: u64,
     seed: u64,
+    export_locks: Option<String>,
 }
 
 fn parse_args(it: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -43,6 +47,7 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Args, String> {
         seeds: 8,
         window_us: 500,
         seed: 1,
+        export_locks: None,
     };
     let mut it = it;
     while let Some(arg) = it.next() {
@@ -58,6 +63,7 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--window-us" => {
                 args.window_us = value("--window-us")?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--export-locks" => args.export_locks = Some(value("--export-locks")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -97,6 +103,18 @@ fn scan_mode(args: &Args) -> ExitCode {
         report.explore.choice_points,
         started.elapsed().as_secs_f64()
     );
+    if let Some(path) = &args.export_locks {
+        let mut text = String::new();
+        for site in &report.lock_sites {
+            text.push_str(site);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("{} dynamic lock site(s) exported to {path}", report.lock_sites.len());
+    }
     if !report.explore.counterexamples.is_empty() {
         println!(
             "note: {} protocol-invariant counterexample(s) also found — run oftt-check",

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 
+use ds_sim::causality::CausalityLog;
 use oftt_check::{explore_with, ExploreConfig, ExploreReport, RunResult, ScenarioKind};
 
 use crate::{lint, lockorder, race, stale, Finding};
@@ -22,6 +23,25 @@ pub struct AuditReport {
     pub explore: ExploreReport,
     /// Deduplicated analyzer findings across every distinct schedule.
     pub findings: Vec<Finding>,
+    /// Base names of every lock site observed dynamically across the
+    /// sweep (the text before the first `:` of each instrumented lock
+    /// name). `oftt-lint`'s static acquisition graph must cover all of
+    /// them — the static ⊇ dynamic cross-validation.
+    pub lock_sites: BTreeSet<String>,
+}
+
+/// The base names of every lock event in one run's causality log. Lock
+/// names are instance-qualified (`probe:node0/engine`); the base name is
+/// the part before the first `:`, which is what a source-level analyzer
+/// can see.
+pub fn lock_site_names(log: &CausalityLog) -> BTreeSet<String> {
+    log.locks
+        .iter()
+        .map(|event| {
+            let name = event.lock.as_str();
+            name.split(':').next().unwrap_or(name).to_string()
+        })
+        .collect()
 }
 
 /// Runs all four analyzers over a single run's artifacts.
@@ -37,12 +57,14 @@ pub fn analyze_run(result: &RunResult) -> Vec<Finding> {
 pub fn audit_sweep(kind: ScenarioKind, config: &ExploreConfig) -> AuditReport {
     let mut findings = Vec::new();
     let mut seen: BTreeSet<(&'static str, String)> = BTreeSet::new();
+    let mut lock_sites = BTreeSet::new();
     let explore = explore_with(kind, config, |result| {
         for finding in analyze_run(result) {
             if seen.insert((finding.analyzer, finding.detail.clone())) {
                 findings.push(finding);
             }
         }
+        lock_sites.extend(lock_site_names(&result.causality));
     });
-    AuditReport { explore, findings }
+    AuditReport { explore, findings, lock_sites }
 }

@@ -1,0 +1,10 @@
+//! Seeded defect for the nonblocking rule: a module that declares the
+//! bounded-latency contract and then sleeps on it. Not compiled —
+//! scanned by `tests/fixtures.rs`.
+
+// oftt-lint: nonblocking
+
+fn poll_badly(rx: &Receiver<Sample>) -> Sample {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    rx.recv()
+}

@@ -1,0 +1,14 @@
+//! Seeded defects for the api-lifecycle rule: a watchdog used after
+//! `watchdog_delete`, and a checkpoint taken before `initialize` in the
+//! same function. Not compiled — scanned by `tests/fixtures.rs`.
+
+fn watchdog_misuse(ctx: &mut FtCtx) {
+    ctx.watchdog_create("pump", 100);
+    ctx.watchdog_delete("pump");
+    ctx.watchdog_reset("pump");
+}
+
+fn early_checkpoint(ctx: &mut FtCtx) {
+    ctx.save_now();
+    ctx.initialize(conf);
+}

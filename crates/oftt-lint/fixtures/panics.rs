@@ -1,0 +1,13 @@
+//! Seeded defects for the no-panic rule: an unwrap, a panic macro, and
+//! an index expression on an annotated hot path. Not compiled — scanned
+//! by `tests/fixtures.rs`.
+
+// oftt-lint: no-panic
+
+fn hot(frames: &[u8], first: Option<u8>) -> u8 {
+    let lead = frames[0];
+    if lead == 0 {
+        panic!("empty lead byte");
+    }
+    lead + first.unwrap()
+}

@@ -1,0 +1,21 @@
+//! Seeded defect for the role-confinement rule: a `.role`/`.term` store
+//! in a function carrying no `role-choke-point` / `role-mirror`
+//! annotation. Not compiled — scanned by `tests/fixtures.rs`.
+
+struct Core {
+    role: u8,
+    term: u64,
+}
+
+struct Node {
+    core: Core,
+}
+
+impl Node {
+    /// Promotes itself without going through the transition table —
+    /// exactly the write the confinement rule exists to catch.
+    fn sneak_promote(&mut self) {
+        self.core.role = 1;
+        self.core.term += 1;
+    }
+}

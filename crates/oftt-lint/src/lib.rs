@@ -1,0 +1,224 @@
+//! # oftt-lint — source-level static analysis proving the code matches
+//! the protocol
+//!
+//! oftt-verify proves the failover *protocol* correct and oftt-audit
+//! checks what the *executed* schedules did; both leave a gap — code the
+//! sweep never drives. This crate closes it from the other side: a
+//! hand-rolled lexer ([`lexer`]) and item scanner ([`scanner`]) — no
+//! rustc plugin, no external parser — feed five rule families
+//! ([`rules`]) that check structural protocol properties over **all**
+//! source, reached or not:
+//!
+//! 1. **role-confinement** — every `.role`/`.term` store flows through
+//!    the annotated transition apply path ([`rules::role`]);
+//! 2. **lock-order** — the static acquisition graph of nested `.lock()`
+//!    calls is cycle-free, and *covers* every lock oftt-audit observed
+//!    dynamically, so the static verdict is never vacuous
+//!    ([`rules::locks`]);
+//! 3. **nonblocking** — no blocking calls in modules that declare a
+//!    bounded-latency contract ([`rules::blocking`]);
+//! 4. **api-lifecycle** — the FTIM call-order DFA, statically, from the
+//!    same tables the dynamic linter uses ([`rules::lifecycle`]);
+//! 5. **no-panic** — no unwrap/expect/panic-macro/index on annotated
+//!    hot paths ([`rules::panics`]).
+//!
+//! Findings are typed ([`report::Finding`]), suppressible through a
+//! checked-in baseline, and serialized as an `oftt-lint-v1` JSON report
+//! validated by the unified bench validator in CI.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p oftt-lint -- --workspace
+//! cargo run -p oftt-lint -- --workspace --baseline lint-baseline.txt \
+//!     --dynamic-locks target/dynamic-locks.txt --json target/LINT.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use report::{Finding, Report};
+use scanner::{FileKind, FileModel};
+
+/// What to scan and how.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Workspace root; file paths in findings are relative to it.
+    pub root: PathBuf,
+    /// Explicit files to scan instead of walking the workspace. Paths
+    /// that the workspace walk would exclude (fixtures) are honored
+    /// here — an explicit path is an explicit opt-in.
+    pub paths: Vec<PathBuf>,
+    /// Scan `#[cfg(feature = "inject_bugs")]` spans too (the seeded
+    /// defects are rule violations by design).
+    pub include_injected: bool,
+    /// Dynamic lock base names from `oftt-audit scan --export-locks`,
+    /// for the static ⊇ dynamic coverage cross-check.
+    pub dynamic_locks: Vec<String>,
+}
+
+/// Directories the workspace walk never descends into.
+const EXCLUDED_DIRS: &[&str] = &["target", "shims", ".git", "fixtures"];
+
+/// Classifies a workspace-relative path. `None` means "not scanned".
+pub fn classify(rel: &str) -> Option<FileKind> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.iter().any(|p| EXCLUDED_DIRS.contains(p)) {
+        return None;
+    }
+    let test_like = ["tests", "examples", "benches"];
+    if parts.iter().any(|p| test_like.contains(p)) {
+        return Some(FileKind::TestLike);
+    }
+    if parts.contains(&"src") {
+        return Some(FileKind::Runtime);
+    }
+    // Stray root-level .rs (build scripts and the like): treat as
+    // test-like so only the lifecycle rule and lexer totality apply.
+    Some(FileKind::TestLike)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, FileKind)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(&path, root, out);
+            }
+        } else if let Some(kind) = relative(&path, root).as_deref().and_then(classify) {
+            out.push((path, kind));
+        }
+    }
+}
+
+fn relative(path: &Path, root: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    Some(rel.to_string_lossy().replace('\\', "/"))
+}
+
+/// Scans one source string under a chosen classification and returns
+/// its findings. This is the single-file core of [`run_scan`], exposed
+/// for fixture and adversarial tests.
+pub fn scan_source(
+    file: &str,
+    source: &str,
+    kind: FileKind,
+    include_injected: bool,
+) -> (FileModel, Vec<Finding>) {
+    let model = scanner::scan(source, kind, include_injected);
+    let mut findings = Vec::new();
+    for d in &model.diagnostics {
+        let rule = if d.message.contains("directive") { "directive" } else { "lex" };
+        findings.push(Finding {
+            rule,
+            file: file.to_string(),
+            line: d.line,
+            message: d.message.clone(),
+        });
+    }
+    findings.extend(rules::role::check(file, &model));
+    findings.extend(rules::blocking::check(file, &model));
+    findings.extend(rules::lifecycle::check(file, &model));
+    findings.extend(rules::panics::check(file, &model));
+    (model, findings)
+}
+
+/// Runs the full scan described by `opts` and returns the report
+/// (pre-baseline: `suppressed` is 0 here; the caller applies the
+/// baseline via [`report::apply_baseline`]).
+pub fn run_scan(opts: &Options) -> Report {
+    let mut report = Report::default();
+    let files: Vec<(PathBuf, FileKind)> = if opts.paths.is_empty() {
+        let mut found = Vec::new();
+        walk(&opts.root, &opts.root, &mut found);
+        found
+    } else {
+        opts.paths
+            .iter()
+            .map(|p| {
+                let kind = relative(p, &opts.root)
+                    .as_deref()
+                    .and_then(classify)
+                    .unwrap_or(FileKind::Runtime);
+                (p.clone(), kind)
+            })
+            .collect()
+    };
+    let mut models: Vec<(String, FileModel)> = Vec::new();
+    for (path, kind) in files {
+        let rel = relative(&path, &opts.root).unwrap_or_default();
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                report.findings.push(Finding {
+                    rule: "lex",
+                    file: rel,
+                    line: 0,
+                    message: format!("cannot read file: {e}"),
+                });
+                continue;
+            }
+        };
+        let (model, findings) = scan_source(&rel, &source, kind, opts.include_injected);
+        report.findings.extend(findings);
+        report.files_scanned += 1;
+        models.push((rel, model));
+    }
+    let lock_scan = rules::locks::check(&models);
+    report.findings.extend(lock_scan.findings);
+    report.lock_names = lock_scan.names;
+    report.lock_edges = lock_scan.edges.keys().cloned().collect::<BTreeSet<_>>();
+    report.dynamic_checked = opts.dynamic_locks.len();
+    let (coverage_findings, uncovered) =
+        rules::locks::dynamic_coverage(&report.lock_names, &opts.dynamic_locks);
+    report.findings.extend(coverage_findings);
+    report.dynamic_uncovered = uncovered;
+    report.findings.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_routes_the_tree() {
+        assert_eq!(classify("crates/oftt/src/engine.rs"), Some(FileKind::Runtime));
+        assert_eq!(classify("src/lib.rs"), Some(FileKind::Runtime));
+        assert_eq!(classify("crates/oftt/tests/failover.rs"), Some(FileKind::TestLike));
+        assert_eq!(classify("tests/integration.rs"), Some(FileKind::TestLike));
+        assert_eq!(classify("examples/pair.rs"), Some(FileKind::TestLike));
+        assert_eq!(classify("crates/bench/benches/ckpt.rs"), Some(FileKind::TestLike));
+        assert_eq!(classify("shims/rand/src/lib.rs"), None);
+        assert_eq!(classify("target/debug/build/x.rs"), None);
+        assert_eq!(classify("crates/oftt-lint/fixtures/role_leak.rs"), None);
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn scan_source_merges_rule_families() {
+        let (_, findings) = scan_source(
+            "x.rs",
+            "// oftt-lint: no-panic\nfn f(x: Option<u8>) { x.unwrap(); self.role = r; }",
+            FileKind::Runtime,
+            false,
+        );
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"role-confinement"));
+    }
+}

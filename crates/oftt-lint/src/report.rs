@@ -1,0 +1,255 @@
+//! Findings, the baseline/suppression file, and the `oftt-lint-v1`
+//! machine-readable report.
+//!
+//! The baseline is a tab-separated `rule \t file \t message` list, one
+//! suppressed finding per line, `#` comments allowed. Line numbers are
+//! deliberately absent: a baseline keyed on line numbers rots on every
+//! unrelated edit, while (rule, file, message) survives drift and still
+//! pins *which* finding was accepted. `--write-baseline` regenerates the
+//! file from the current findings.
+//!
+//! The JSON report is validated in CI by the unified bench validator
+//! (`crates/bench/src/validate.rs`, `oftt-lint-v1` arm): acceptance is
+//! zero non-baselined findings, zero dynamic lock sites missing from the
+//! static graph, and a scan that actually covered the workspace.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// The rule family: `role-confinement`, `lock-order`, `lock-coverage`,
+    /// `nonblocking`, `api-lifecycle`, `no-panic`, `lex`, or `directive`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The full scan result, ready to print or serialize.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Non-suppressed findings, sorted.
+    pub findings: Vec<Finding>,
+    /// How many findings the baseline suppressed.
+    pub suppressed: usize,
+    /// How many files the scan covered.
+    pub files_scanned: usize,
+    /// Every statically discovered lock name.
+    pub lock_names: BTreeSet<String>,
+    /// Static acquisition-order edges (outer, inner).
+    pub lock_edges: BTreeSet<(String, String)>,
+    /// How many dynamically observed lock sites were cross-checked.
+    pub dynamic_checked: usize,
+    /// Dynamic lock sites with no static acquisition — must be empty.
+    pub dynamic_uncovered: Vec<String>,
+}
+
+/// Parses a baseline file into suppression keys. Unparseable lines are
+/// returned as errors rather than silently ignored — a malformed
+/// baseline must not quietly stop suppressing.
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<(String, String, String)>, String> {
+    let mut keys = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(message)) => {
+                keys.insert((rule.to_string(), file.to_string(), message.to_string()));
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected rule<TAB>file<TAB>message, got {line:?}",
+                    i + 1
+                ));
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Splits findings into (kept, suppressed-count) against a baseline.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &BTreeSet<(String, String, String)>,
+) -> (Vec<Finding>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for f in findings {
+        let key = (f.rule.to_string(), f.file.clone(), f.message.clone());
+        if baseline.contains(&key) {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Renders findings as baseline lines (for `--write-baseline`).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# oftt-lint baseline: accepted findings, one per line as\n\
+         # rule<TAB>file<TAB>message. Regenerate with `oftt-lint --write-baseline`.\n",
+    );
+    let keys: BTreeSet<(&str, &str, &str)> =
+        findings.iter().map(|f| (f.rule, f.file.as_str(), f.message.as_str())).collect();
+    for (rule, file, message) in keys {
+        out.push_str(&format!("{rule}\t{file}\t{message}\n"));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the report as an `oftt-lint-v1` JSON document.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"schema\": \"oftt-lint-v1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"lock_graph\": {{\"locks\": {}, \"edges\": {}, \"lock_names\": [{}], \
+         \"edge_list\": [{}]}},\n",
+        report.lock_names.len(),
+        report.lock_edges.len(),
+        report
+            .lock_names
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        report
+            .lock_edges
+            .iter()
+            .map(|(a, b)| format!("[\"{}\", \"{}\"]", json_escape(a), json_escape(b)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"dynamic_locks\": {{\"checked\": {}, \"uncovered\": {}, \"uncovered_names\": [{}]}}\n",
+        report.dynamic_checked,
+        report.dynamic_uncovered.len(),
+        report
+            .dynamic_uncovered
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, message: &str) -> Finding {
+        Finding { rule, file: file.to_string(), line, message: message.to_string() }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let findings = vec![
+            finding("no-panic", "a.rs", 3, "unwrap on a hot path"),
+            finding("nonblocking", "b.rs", 9, "call to blocking `sleep`"),
+        ];
+        let text = render_baseline(&findings);
+        let keys = parse_baseline(&text).unwrap();
+        let (kept, suppressed) = apply_baseline(findings, &keys);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn baseline_suppresses_regardless_of_line_drift() {
+        let keys = parse_baseline("no-panic\ta.rs\tunwrap on a hot path\n").unwrap();
+        let moved = vec![finding("no-panic", "a.rs", 999, "unwrap on a hot path")];
+        let (kept, suppressed) = apply_baseline(moved, &keys);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn non_baselined_findings_survive() {
+        let keys = parse_baseline("# just a comment\n").unwrap();
+        let findings = vec![finding("lex", "c.rs", 1, "unterminated string literal")];
+        let (kept, suppressed) = apply_baseline(findings, &keys);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("no tabs here\n").is_err());
+    }
+
+    #[test]
+    fn json_report_has_the_v1_shape() {
+        let mut report = Report { files_scanned: 90, suppressed: 1, ..Default::default() };
+        report.lock_names.insert("probe".into());
+        report.lock_edges.insert(("probe".into(), "diag".into()));
+        report.dynamic_checked = 2;
+        let json = to_json(&report);
+        assert!(json.contains("\"schema\": \"oftt-lint-v1\""));
+        assert!(json.contains("\"files_scanned\": 90"));
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"locks\": 1"));
+        assert!(json.contains("\"uncovered\": 0"));
+    }
+
+    #[test]
+    fn json_escapes_finding_text() {
+        let report = Report {
+            findings: vec![finding("lex", "weird\\path.rs", 1, "a \"quoted\" thing\n")],
+            ..Default::default()
+        };
+        let json = to_json(&report);
+        assert!(json.contains("weird\\\\path.rs"));
+        assert!(json.contains("a \\\"quoted\\\" thing\\n"));
+    }
+}

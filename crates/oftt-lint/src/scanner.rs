@@ -1,0 +1,425 @@
+//! Turns a lexed file into the model the rule families consume: a
+//! filtered token stream (attributes and cfg-gated code removed), the
+//! function items with their body spans, and every `oftt-lint` directive
+//! resolved to its scope.
+//!
+//! ## Directive scopes
+//!
+//! * **File-scoped** — `nonblocking`, `no-panic`: opt the whole file into
+//!   a rule family, wherever the comment sits (conventionally the top).
+//! * **Function-scoped** — `role-choke-point`, `role-mirror`: attach to
+//!   the next `fn` item at or below the comment line. A choke point is
+//!   the transition apply path itself; a mirror is a confined secondary
+//!   copy (e.g. the FTIM shadowing the engine's role for its own
+//!   dispatch). Both exempt that one function from the role-confinement
+//!   rule — and nothing else.
+//! * **Site-scoped** — `lock(NAME)`: names the `.lock()` acquisition on
+//!   the same or the following line, overriding the receiver-derived
+//!   name. This is how a static site joins the dynamic instrumentation's
+//!   namespace when the receiver field is called something else.
+//!
+//! ## What gets removed
+//!
+//! For [`FileKind::Runtime`] files, items gated behind `#[cfg(test)]`,
+//! `#[test]`, or `#[cfg(feature = "inject_bugs")]` (unless the scan opts
+//! into injected code) are dropped: test scaffolding legitimately
+//! unwraps, sleeps, and leaks watchdogs, and the seeded-defect blocks are
+//! *supposed* to violate the rules. All other attributes are stripped
+//! from the stream too, so rules never see `#[derive(...)]` idents.
+//! [`FileKind::TestLike`] files keep their test items — the lifecycle
+//! rule exists precisely to check API usage in tests and examples.
+
+use crate::lexer::{self, Diagnostic, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// How a file is treated by the rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Shipping code: every rule family applies; cfg(test)/seeded-defect
+    /// items are skipped.
+    Runtime,
+    /// Tests, examples, benches: only the API-lifecycle rule and lexer
+    /// diagnostics apply, and test items are kept.
+    TestLike,
+}
+
+/// One `fn` item with its body's span in the filtered token stream.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the body, *including* the outer braces. Empty
+    /// for bodyless trait-method declarations.
+    pub body: Range<usize>,
+    /// Function-scoped directives attached to this item.
+    pub directives: Vec<String>,
+}
+
+impl FnItem {
+    /// True if the function carries the given directive.
+    pub fn has_directive(&self, name: &str) -> bool {
+        self.directives.iter().any(|d| d == name)
+    }
+}
+
+/// The scanned model of one file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// How the file is classified.
+    pub kind: FileKind,
+    /// File-scoped directives (`nonblocking`, `no-panic`).
+    pub file_directives: Vec<String>,
+    /// `lock(NAME)` annotations by the line the comment sits on. A
+    /// `.lock()` on line `L` is named by an annotation on `L` or `L-1`.
+    pub lock_names: BTreeMap<u32, String>,
+    /// The filtered token stream.
+    pub tokens: Vec<Token>,
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnItem>,
+    /// Lexer diagnostics plus directive-resolution problems.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FileModel {
+    /// True if the file carries the given file-scoped directive.
+    pub fn has_file_directive(&self, name: &str) -> bool {
+        self.file_directives.iter().any(|d| d == name)
+    }
+
+    /// The annotated lock name for a `.lock()` on `line`, if any.
+    pub fn lock_name_at(&self, line: u32) -> Option<&str> {
+        self.lock_names
+            .get(&line)
+            .or_else(|| line.checked_sub(1).and_then(|prev| self.lock_names.get(&prev)))
+            .map(String::as_str)
+    }
+}
+
+/// Directives the scanner understands; anything else is a diagnostic so
+/// a typo (`non-blocking`, `lock probe`) fails loudly instead of
+/// silently disabling a rule.
+const FILE_DIRECTIVES: &[&str] = &["nonblocking", "no-panic"];
+const FN_DIRECTIVES: &[&str] = &["role-choke-point", "role-mirror"];
+
+/// Scans one file's source. Total, like the lexer underneath it.
+pub fn scan(source: &str, kind: FileKind, include_injected: bool) -> FileModel {
+    let lexed = lexer::lex(source);
+    let mut model = FileModel {
+        kind,
+        file_directives: Vec::new(),
+        lock_names: BTreeMap::new(),
+        tokens: Vec::new(),
+        fns: Vec::new(),
+        diagnostics: lexed.diagnostics,
+    };
+    filter_tokens(&lexed.tokens, kind, include_injected, &mut model);
+    extract_fns(&mut model);
+    resolve_directives(&lexed.directives, &mut model);
+    model
+}
+
+fn ident_is(token: Option<&Token>, text: &str) -> bool {
+    matches!(token.map(|t| &t.kind), Some(TokenKind::Ident(s)) if s == text)
+}
+
+fn punct_is(token: Option<&Token>, c: char) -> bool {
+    matches!(token.map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+/// Copies the token stream into the model, dropping attribute spans and
+/// (for runtime files) the items those attributes gate out of the build
+/// or into test-only compilation.
+fn filter_tokens(tokens: &[Token], kind: FileKind, include_injected: bool, model: &mut FileModel) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if punct_is(tokens.get(i), '#') {
+            let attr_start = if punct_is(tokens.get(i + 1), '[') {
+                Some(i + 1)
+            } else if punct_is(tokens.get(i + 1), '!') && punct_is(tokens.get(i + 2), '[') {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = attr_start {
+                let close = matching(tokens, open, '[', ']');
+                let gated = kind == FileKind::Runtime
+                    && is_gating_attr(
+                        &tokens[open..=close.min(tokens.len() - 1)],
+                        include_injected,
+                    );
+                i = close + 1;
+                if gated {
+                    // Consume any further attributes stacked on the item.
+                    while punct_is(tokens.get(i), '#') && punct_is(tokens.get(i + 1), '[') {
+                        i = matching(tokens, i + 1, '[', ']') + 1;
+                    }
+                    i = skip_item(tokens, i);
+                }
+                continue;
+            }
+        }
+        model.tokens.push(tokens[i].clone());
+        i += 1;
+    }
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// be the opening bracket itself). Clamped to the stream end on
+/// malformed input.
+fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if punct_is(tokens.get(i), open_c) {
+            depth += 1;
+        } else if punct_is(tokens.get(i), close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Does this attribute's token span gate the following item out of the
+/// runtime build (or into test-only / seeded-defect compilation)?
+fn is_gating_attr(attr: &[Token], include_injected: bool) -> bool {
+    let mut text = String::new();
+    for token in attr {
+        match &token.kind {
+            TokenKind::Ident(s) => {
+                text.push_str(s);
+                text.push(' ');
+            }
+            TokenKind::Str(s) => {
+                text.push_str(s);
+                text.push(' ');
+            }
+            _ => {}
+        }
+    }
+    // `cfg(not(test))` is runtime code, not test code.
+    if text.contains("not ") {
+        return false;
+    }
+    if text.contains("test") {
+        return true;
+    }
+    !include_injected && text.contains("inject_bugs")
+}
+
+/// Skips the item starting at `i`: either through its balanced `{...}`
+/// block, or through the first `;` / `,` at nesting depth zero (gated
+/// use-decls, struct fields, expression statements).
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') | TokenKind::Punct(',') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds every `fn` item in the filtered stream and records its body
+/// span. Closures don't use the keyword, so they simply stay inside the
+/// enclosing function's span; nested `fn` items are recorded in their
+/// own right as well.
+fn extract_fns(model: &mut FileModel) {
+    let tokens = &model.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident_is(tokens.get(i), "fn") {
+            if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                let line = tokens[i].line;
+                let name = name.clone();
+                // Find the body `{` (or `;` for a bodyless declaration),
+                // ignoring braces inside parens/brackets (const-generic
+                // defaults, array-type return values).
+                let mut j = i + 2;
+                let mut nesting = 0isize;
+                let body = loop {
+                    match tokens.get(j).map(|t| &t.kind) {
+                        Some(TokenKind::Punct('(' | '[')) => nesting += 1,
+                        Some(TokenKind::Punct(')' | ']')) => nesting -= 1,
+                        Some(TokenKind::Punct('{')) if nesting == 0 => {
+                            break j..matching(tokens, j, '{', '}') + 1;
+                        }
+                        Some(TokenKind::Punct(';')) if nesting == 0 => break j..j,
+                        Some(_) => {}
+                        None => break j..j,
+                    }
+                    j += 1;
+                };
+                model.fns.push(FnItem { name, line, body, directives: Vec::new() });
+                // Continue *inside* the body so nested fns are found too.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Sorts every directive comment into its scope; unknown directives and
+/// fn-scoped directives with no following function become diagnostics.
+fn resolve_directives(directives: &[lexer::Directive], model: &mut FileModel) {
+    for d in directives {
+        let text = d.text.as_str();
+        if FILE_DIRECTIVES.contains(&text) {
+            model.file_directives.push(text.to_string());
+        } else if FN_DIRECTIVES.contains(&text) {
+            // Attach to the first fn at or below the comment.
+            match model.fns.iter_mut().filter(|f| f.line >= d.line).min_by_key(|f| f.line) {
+                Some(item) => item.directives.push(text.to_string()),
+                None => model.diagnostics.push(Diagnostic {
+                    line: d.line,
+                    message: format!("directive `{text}` is not followed by a function"),
+                }),
+            }
+        } else if let Some(name) =
+            text.strip_prefix("lock(").and_then(|rest| rest.strip_suffix(')'))
+        {
+            let name = name.trim();
+            if name.is_empty() {
+                model.diagnostics.push(Diagnostic {
+                    line: d.line,
+                    message: "lock() directive names no lock".to_string(),
+                });
+            } else {
+                model.lock_names.insert(d.line, name.to_string());
+            }
+        } else {
+            model.diagnostics.push(Diagnostic {
+                line: d.line,
+                message: format!("unknown oftt-lint directive `{text}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(source: &str) -> FileModel {
+        scan(source, FileKind::Runtime, false)
+    }
+
+    #[test]
+    fn finds_fns_with_their_bodies() {
+        let model = runtime("fn a() { 1 } impl X { fn b(&self) -> u32 { 2 } }");
+        let names: Vec<&str> = model.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!model.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn bodyless_trait_methods_get_empty_spans() {
+        let model = runtime("trait T { fn sig(&self) -> u8; fn with_body(&self) {} }");
+        assert_eq!(model.fns.len(), 2);
+        assert!(model.fns[0].body.is_empty());
+        assert!(!model.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_dropped_from_runtime_files() {
+        let source = "fn real() {} #[cfg(test)] mod tests { fn fake() { panic!() } }";
+        let model = runtime(source);
+        let names: Vec<&str> = model.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_kept_in_testlike_files() {
+        let source = "#[test] fn a_test() { assert!(true) }";
+        let model = scan(source, FileKind::TestLike, false);
+        assert_eq!(model.fns.len(), 1);
+    }
+
+    #[test]
+    fn inject_bugs_blocks_are_dropped_unless_opted_in() {
+        let source = r#"fn f() { #[cfg(feature = "inject_bugs")] { bad() } good() }"#;
+        let dropped = runtime(source);
+        let has = |m: &FileModel, name: &str| {
+            m.tokens.iter().any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == name))
+        };
+        assert!(!has(&dropped, "bad"));
+        assert!(has(&dropped, "good"));
+        let kept = scan(source, FileKind::Runtime, true);
+        assert!(has(&kept, "bad"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_runtime_code() {
+        let source = "#[cfg(not(test))] fn real() {}";
+        let model = runtime(source);
+        assert_eq!(model.fns.len(), 1);
+    }
+
+    #[test]
+    fn directives_resolve_to_their_scopes() {
+        let source = "\
+// oftt-lint: nonblocking
+// oftt-lint: role-choke-point
+fn set_role() {}
+fn other() {
+    let g = self.x.lock(); // oftt-lint: lock(probe)
+}
+";
+        let model = runtime(source);
+        assert!(model.has_file_directive("nonblocking"));
+        assert!(model.fns[0].has_directive("role-choke-point"));
+        assert!(!model.fns[1].has_directive("role-choke-point"));
+        assert_eq!(model.lock_name_at(5), Some("probe"));
+        assert_eq!(model.lock_name_at(6), Some("probe"));
+        assert_eq!(model.lock_name_at(7), None);
+        assert!(model.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unknown_directives_are_diagnosed() {
+        let model = runtime("// oftt-lint: non-blocking\nfn f() {}");
+        assert_eq!(model.diagnostics.len(), 1);
+        assert!(model.diagnostics[0].message.contains("unknown oftt-lint directive"));
+    }
+
+    #[test]
+    fn dangling_fn_directive_is_diagnosed() {
+        let model = runtime("fn f() {}\n// oftt-lint: role-choke-point\n");
+        assert_eq!(model.diagnostics.len(), 1);
+        assert!(model.diagnostics[0].message.contains("not followed by a function"));
+    }
+
+    #[test]
+    fn attributes_are_stripped_from_the_stream() {
+        let model = runtime("#[derive(Debug, Clone)] struct S; #[inline] fn f() {}");
+        assert!(!model.tokens.iter().any(|t| matches!(
+            &t.kind, TokenKind::Ident(s) if s == "derive" || s == "inline"
+        )));
+        assert_eq!(model.fns.len(), 1);
+    }
+
+    #[test]
+    fn malformed_source_never_panics() {
+        for source in ["fn", "fn f(", "#[cfg(test)]", "#[", "fn f() { {", "impl {"] {
+            let _ = runtime(source);
+            let _ = scan(source, FileKind::TestLike, false);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Snapshot: the real workspace lints clean. This is the negative half
+//! of the analyzer's contract (`fixtures.rs` is the positive half) and
+//! the test that makes an accidental new violation — a role store
+//! outside a choke point, a blocking call on an annotated path — fail
+//! `cargo test` before it ever reaches the CI lint stage.
+
+use std::path::PathBuf;
+
+use oftt_lint::{run_scan, Options};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn workspace_scan_reports_zero_findings() {
+    let root = workspace_root();
+    let report = run_scan(&Options { root, ..Options::default() });
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean; new findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Coverage floor: the walk found the real tree, not an empty dir.
+    assert!(report.files_scanned >= 40, "only {} files scanned", report.files_scanned);
+    // The static lock graph is non-vacuous: the instrumented probe locks
+    // and the FTIM-side probe annotations are all visible statically.
+    assert!(report.lock_names.contains("probe"), "{:?}", report.lock_names);
+    assert!(report.lock_names.contains("ftim-probe"), "{:?}", report.lock_names);
+    assert!(!report.lock_edges.is_empty(), "no nested acquisitions found");
+}
+
+#[test]
+fn injected_bug_spans_contain_the_seeded_deadlock() {
+    let root = workspace_root();
+    let report = run_scan(&Options { root, include_injected: true, ..Options::default() });
+    // The inject_bugs feature seeds a real lock-order inversion in the
+    // engine; scanning those spans must surface it as a cycle.
+    assert!(
+        report.findings.iter().any(|f| f.rule == "lock-order" && f.message.contains("diag")),
+        "expected the seeded diag/probe inversion, got:\n{:#?}",
+        report.findings
+    );
+}

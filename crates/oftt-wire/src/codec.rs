@@ -18,6 +18,8 @@
 //!   same allocations the socket writes (and on receive, windows of the
 //!   single read buffer). That is the zero-copy checkpoint data path.
 
+// oftt-lint: nonblocking
+
 use std::any::Any;
 use std::collections::HashMap;
 

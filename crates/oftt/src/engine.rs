@@ -130,6 +130,7 @@ impl Engine {
         out
     }
 
+    // oftt-lint: role-choke-point
     fn set_role(&mut self, role: Role, term: u64, reason: &str, env: &mut dyn ProcessEnv) {
         if role == self.role && term == self.term {
             return;
@@ -163,6 +164,7 @@ impl Engine {
 
     /// Applies a table outcome. `detail` is the dynamic reason suffix (the
     /// switchover requester's stated reason), appended to the static text.
+    // oftt-lint: role-choke-point
     fn apply_outcome(
         &mut self,
         outcome: RoleOutcome,

@@ -345,6 +345,7 @@ impl<A: FtApplication> FtProcess<A> {
                     "restore image",
                 );
                 self.app.restore(&vars);
+                // oftt-lint: lock(ftim-probe)
                 self.core.probe.lock().restores.push((now, vars.len(), from_local));
                 env.record(
                     TraceCategory::Checkpoint,
@@ -357,6 +358,7 @@ impl<A: FtApplication> FtProcess<A> {
                 );
             }
             None => {
+                // oftt-lint: lock(ftim-probe)
                 self.core.probe.lock().fresh_activations += 1;
                 env.record(
                     TraceCategory::Checkpoint,
@@ -372,6 +374,7 @@ impl<A: FtApplication> FtProcess<A> {
         self.core.ckpt_seq = 0;
         self.core.deltas_since_full = 0;
         self.core.ship_store.clear();
+        // oftt-lint: lock(ftim-probe)
         self.core.probe.lock().activations.push(now);
         env.record(TraceCategory::Engine, format!("{}: application ACTIVE", env.self_endpoint()));
         env.observe_api("activate", "promoted");
@@ -385,6 +388,7 @@ impl<A: FtApplication> FtProcess<A> {
         self.core.need_full = true;
         self.core.deltas_since_full = 0;
         self.core.ship_store.clear();
+        // oftt-lint: lock(ftim-probe)
         self.core.probe.lock().activations.push(env.now());
         env.record(
             TraceCategory::Engine,
@@ -399,6 +403,7 @@ impl<A: FtApplication> FtProcess<A> {
             return;
         }
         self.core.active = false;
+        // oftt-lint: lock(ftim-probe)
         self.core.probe.lock().deactivations.push(env.now());
         env.record(
             TraceCategory::Engine,
@@ -532,6 +537,7 @@ impl<A: FtApplication> FtProcess<A> {
         {
             let lock_name = format!("ftim-probe:{}", env.self_endpoint());
             env.observe_lock(&lock_name, true);
+            // oftt-lint: lock(ftim-probe)
             let mut probe = self.core.probe.lock();
             probe.ckpts_sent += 1;
             probe.ckpt_bytes_sent += size;
@@ -543,6 +549,15 @@ impl<A: FtApplication> FtProcess<A> {
         }
         let peer = self.core.peer_endpoint.clone();
         env.send_sized(peer, FtimPeerMsg::Ckpt(checkpoint), size);
+    }
+
+    /// Adopts the engine's announced role/term as the FTIM's own
+    /// dispatch copy. The transition table already made the decision;
+    /// this is the confined mirror write.
+    // oftt-lint: role-mirror
+    fn adopt_role(&mut self, role: Role, term: u64) {
+        self.core.role = role;
+        self.core.term = term;
     }
 
     fn handle_engine(&mut self, msg: FromEngine, env: &mut dyn ProcessEnv) {
@@ -559,8 +574,7 @@ impl<A: FtApplication> FtProcess<A> {
                     AccessKind::Write,
                     "role update",
                 );
-                self.core.role = role;
-                self.core.term = term;
+                self.adopt_role(role, term);
                 match role {
                     Role::Primary if !self.core.active && !self.core.pending_restore => {
                         let store_newer = self.core.store.is_restorable()
@@ -644,6 +658,7 @@ impl<A: FtApplication> FtProcess<A> {
                             AccessKind::Write,
                             "install",
                         );
+                        // oftt-lint: lock(ftim-probe)
                         self.core.probe.lock().ckpts_installed += 1;
                         // The merged image's checksum (folded from digests
                         // recorded at install) must equal the crc the
@@ -682,6 +697,7 @@ impl<A: FtApplication> FtProcess<A> {
                     TraceCategory::Checkpoint,
                     format!("{}: ckpt acked (term={term} seq={seq})", env.self_endpoint()),
                 );
+                // oftt-lint: lock(ftim-probe)
                 let mut probe = self.core.probe.lock();
                 if (term, seq) > probe.last_acked {
                     probe.last_acked = (term, seq);
@@ -787,6 +803,7 @@ impl<A: FtApplication> FtProcess<A> {
             && self.core.last_engine_heard > SimTime::ZERO
         {
             self.core.engine_restart_pending = true;
+            // oftt-lint: lock(ftim-probe)
             self.core.probe.lock().engine_restarts += 1;
             env.record(
                 TraceCategory::Engine,

@@ -1,5 +1,8 @@
 //! Roles and the precedence rule that keeps at most one primary.
 
+// oftt-lint: nonblocking
+// oftt-lint: no-panic
+
 use std::fmt;
 
 use ds_net::endpoint::NodeId;

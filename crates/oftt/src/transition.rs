@@ -15,6 +15,9 @@
 //! no role announcement, no trace line — which downstream tools (and the
 //! abstract model) must reproduce exactly.
 
+// oftt-lint: nonblocking
+// oftt-lint: no-panic
+
 use ds_net::endpoint::NodeId;
 use serde::{Deserialize, Serialize};
 
