@@ -23,7 +23,11 @@
 #   9. wire smoke        two real oftt-node processes over loopback TCP:
 #                        SIGKILL the primary, assert promotion within the
 #                        detection budget and restore-crc integrity
-#  10. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
+#  10. saturation smoke  reduced reactor load gate: one max-rate stream
+#                        plus 128 concurrent streaming apps, asserting
+#                        the ≥ 7.86 MB/s aggregate floor, a fixed reactor
+#                        thread count, and zero protocol errors
+#  11. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
 #                        BENCH_wire.json and BENCH_verify.json emits, all
 #                        schema-validated (fails on schema drift)
 #
@@ -128,6 +132,9 @@ cargo test -p oftt-lint -q
 step "wire smoke: two-process SIGKILL failover over TCP"
 cargo build --release -q -p oftt-wire --bins
 ./target/release/wire-smoke
+
+step "saturation smoke: reactor throughput floor under load"
+cargo run -p bench --release -q --bin bench-wire -- --saturation-smoke
 
 step "bench smoke: checkpoint data-path artifact"
 BENCH_SMOKE_OUT=$(mktemp /tmp/BENCH_checkpoint.XXXXXX.json)

@@ -1,8 +1,10 @@
-//! Emits `BENCH_wire.json`: the socket runtime's three headline numbers.
+//! Emits `BENCH_wire.json` (schema `oftt-bench-wire-v2`): the socket
+//! runtime's headline numbers.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench-wire      # writes BENCH_wire.json
 //! BENCH_SAMPLES=200 BENCH_KILLS=5 ... bench-wire     # reduced run
+//! BENCH_SAT_CONNS=64 BENCH_SAT_SECS=1 ... bench-wire # reduced saturation
 //! BENCH_OUT=/tmp/w.json ... bench-wire               # alternate path
 //! ```
 //!
@@ -12,28 +14,46 @@
 //! 2. **checkpoint** — the full OFTT pair over sockets with the bench's
 //!    acceptance workload (10k designated variables, 64 B each, 1% write
 //!    locality per checkpoint period), measuring sustained checkpoint and
-//!    ack throughput. The write queue must never shed a data frame.
-//! 3. **failover** — real `oftt-node` process pairs; each cycle forms a
+//!    ack throughput at the protocol's own pace. This is the latency row;
+//!    the write queue must never shed a data frame.
+//! 3. **checkpoint_stream** — one simulated application streaming
+//!    acceptance-sized delta checkpoints through the reactor at max rate
+//!    with a send window, acked per checkpoint: the single-link ceiling.
+//! 4. **saturation** — hundreds of simulated applications doing the same
+//!    concurrently against one supervisor with a fixed reactor thread
+//!    count: aggregate ckpts/s, bytes/s, and p50/p99 ack RTT under load.
+//! 5. **digest** — the Fletcher-32 variable digest, reference
+//!    byte-at-a-time loop vs. the chunked production path, in MB/s.
+//! 6. **failover** — real `oftt-node` process pairs; each cycle forms a
 //!    pair, establishes checkpoint flow, SIGKILLs the primary, and times
 //!    the survivor's promotion. Every cycle uses fresh processes and
 //!    fresh ports so each kill is an independent sample.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use comsim::buf::Bytes;
 use ds_net::endpoint::{Endpoint, NodeId};
 use ds_net::message::Envelope;
 use ds_net::process::{Process, ProcessEnv, ProcessEnvExt};
+use ds_net::transport::TransportEvent;
+use ds_sim::prelude::SimTime;
+use ds_sim::trace::TraceCategory;
+use oftt::checkpoint::{fold_digests, var_digest, var_digest_reference};
+use oftt::checkpoint::{Checkpoint, CheckpointPayload, VarSet};
 use oftt::config::{engine_endpoint, OfttConfig, Pair, RecoveryRule};
 use oftt::engine::{Engine, EngineProbe};
 use oftt::ftim::{FtProcess, FtimProbe};
+use oftt::messages::FtimPeerMsg;
 use oftt::role::Role;
 use oftt_wire::app::{LoadApp, LoadConfig, LoadView};
 use oftt_wire::codec::{WireCodec, WirePing};
-use oftt_wire::harness::{free_port, pair_config, write_config, ChildNode};
+use oftt_wire::frame::FrameClass;
+use oftt_wire::harness::{free_port, pair_config, write_config, ChildNode, RawPeer};
 use oftt_wire::runtime::WireNet;
-use oftt_wire::supervisor::WireConfig;
+use oftt_wire::supervisor::{Supervisor, WireConfig, WireHandler};
 use parking_lot::Mutex;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -304,7 +324,265 @@ fn bench_checkpoint_flow(run_for: Duration) -> CkptStats {
     }
 }
 
-// ---------------------------------------------------------------- phase 3
+// ----------------------------------------------------------- phases 3 & 4
+
+struct SatStats {
+    conns: usize,
+    window: usize,
+    io_threads: usize,
+    ckpt_wire_bytes: u64,
+    duration_ms: u64,
+    ckpts_acked: u64,
+    ckpts_per_sec: f64,
+    bytes_per_sec: f64,
+    rtt_p50_us: f64,
+    rtt_p99_us: f64,
+    protocol_errors: u64,
+    pool_hit_pct: f64,
+}
+
+/// Acks every decoded checkpoint straight back to its sender.
+struct AckHandler {
+    sup: OnceLock<Arc<Supervisor>>,
+    decode_misses: AtomicU64,
+}
+
+impl WireHandler for AckHandler {
+    fn deliver(&self, envelope: Envelope) {
+        let seq = match envelope.body.downcast_ref::<FtimPeerMsg>() {
+            Some(FtimPeerMsg::Ckpt(ckpt)) => ckpt.seq,
+            _ => {
+                self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let from = envelope.from.node;
+        if let Some(sup) = self.sup.get() {
+            let ack = Envelope::new(
+                Endpoint::new(NodeId(0), "ack"),
+                Endpoint::new(from, "app"),
+                WirePing { seq, pad: Bytes::from(Vec::new()) },
+            );
+            sup.send_envelope(from, &ack);
+        }
+    }
+    fn peer_event(&self, _event: TransportEvent) {}
+    fn record(&self, _category: TraceCategory, _message: String) {}
+}
+
+#[derive(Default)]
+struct ClientResult {
+    acked: u64,
+    rtts_ns: Vec<u64>,
+    errors: u64,
+}
+
+/// One simulated application: stream windowed delta checkpoints at max
+/// rate, timing each checkpoint's ack. Acks come back in send order
+/// (per-link FIFO end to end), so a timestamp queue matches them up.
+fn stream_client(
+    idx: usize,
+    addr: &str,
+    codec: &WireCodec,
+    stop: &AtomicBool,
+    window: usize,
+    vars: usize,
+    var_bytes: usize,
+) -> ClientResult {
+    let node = NodeId(1 + idx as u16);
+    let mut result = ClientResult::default();
+    let mut peer = match RawPeer::connect(addr, node, 1) {
+        Ok(peer) => peer,
+        Err(_) => {
+            result.errors += 1;
+            return result;
+        }
+    };
+    peer.set_read_timeout(Some(Duration::from_millis(200)));
+
+    let mut set = VarSet::new();
+    for v in 0..vars {
+        set.insert(format!("v{v:04}"), Bytes::from(vec![idx as u8; var_bytes]));
+    }
+    let crc = fold_digests(set.iter().map(|(n, b)| var_digest(n, b.as_slice())));
+    let mut seq = 0u64;
+    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let send_next = |peer: &mut RawPeer, seq: u64| -> bool {
+        let ckpt = Checkpoint::with_crc(
+            1,
+            seq,
+            SimTime::from_millis(seq),
+            CheckpointPayload::Delta(set.clone()),
+            crc,
+        );
+        let envelope = Envelope::new(
+            Endpoint::new(node, "app"),
+            Endpoint::new(NodeId(0), "ckpt"),
+            FtimPeerMsg::Ckpt(ckpt),
+        );
+        peer.send_envelope(codec, &envelope).is_ok()
+    };
+
+    for _ in 0..window {
+        if !send_next(&mut peer, seq) {
+            result.errors += 1;
+            return result;
+        }
+        in_flight.push_back(Instant::now());
+        seq += 1;
+    }
+    while !stop.load(Ordering::Relaxed) {
+        match peer.recv() {
+            Ok(frame) if frame.header.class == FrameClass::Data => {
+                if let Some(sent_at) = in_flight.pop_front() {
+                    result.rtts_ns.push(sent_at.elapsed().as_nanos() as u64);
+                }
+                result.acked += 1;
+                if !send_next(&mut peer, seq) {
+                    result.errors += 1;
+                    break;
+                }
+                in_flight.push_back(Instant::now());
+                seq += 1;
+            }
+            Ok(_) => {} // heartbeat or duplicate handshake: not an ack
+            Err(oftt_wire::frame::ReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) => {}
+            Err(_) => {
+                result.errors += 1;
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// `conns` windowed checkpoint streams against one supervisor with a
+/// fixed reactor thread count. With `conns == 1` this is the single-link
+/// ceiling (the `checkpoint_stream` cell); with hundreds it is the
+/// saturation cell.
+fn bench_saturation(conns: usize, window: usize, io_threads: usize, run_for: Duration) -> SatStats {
+    // Acceptance-sized delta: 1% of 10k vars x 64 B per checkpoint.
+    let (vars, var_bytes) = (100, 64);
+    let codec = Arc::new(WireCodec::standard());
+    let handler = Arc::new(AckHandler { sup: OnceLock::new(), decode_misses: AtomicU64::new(0) });
+    let mut config = WireConfig::loopback(NodeId(0));
+    config.accept_unknown = true;
+    config.io_threads = io_threads;
+    config.queue_limit = 4 * window.max(64);
+    let sup = Arc::new(
+        Supervisor::start(config, Arc::clone(&codec), handler.clone()).expect("supervisor"),
+    );
+    let _ = handler.sup.set(Arc::clone(&sup));
+    let addr = sup.local_addr().to_string();
+
+    // The wire size of one checkpoint, for the bytes/s aggregate.
+    let mut sample = VarSet::new();
+    for v in 0..vars {
+        sample.insert(format!("v{v:04}"), Bytes::from(vec![0u8; var_bytes]));
+    }
+    let ckpt_wire_bytes =
+        Checkpoint::new(1, 0, SimTime::from_millis(0), CheckpointPayload::Delta(sample))
+            .wire_size();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|idx| {
+            let addr = addr.clone();
+            let codec = Arc::clone(&codec);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                stream_client(idx, &addr, &codec, &stop, window, vars, var_bytes)
+            })
+        })
+        .collect();
+    std::thread::sleep(run_for);
+    stop.store(true, Ordering::SeqCst);
+    let elapsed = started.elapsed();
+
+    let mut acked = 0u64;
+    let mut errors = 0u64;
+    let mut rtts: Vec<u64> = Vec::new();
+    for client in clients {
+        let result = client.join().expect("client thread");
+        acked += result.acked;
+        errors += result.errors;
+        rtts.extend(result.rtts_ns);
+    }
+    // Backpressure sheds are protocol errors here (the bounded queues are
+    // sized for the window); frames purged when a client hangs up at the
+    // end of the run are not — that loss is the disconnect itself.
+    errors += handler.decode_misses.load(Ordering::Relaxed);
+    errors += sup.health().iter().map(|h| h.dropped_frames).sum::<u64>();
+    let fixed_threads = sup.io_threads();
+    let pool = sup.pool_stats();
+    sup.shutdown();
+
+    rtts.sort_unstable();
+    let secs = elapsed.as_secs_f64();
+    SatStats {
+        conns,
+        window,
+        io_threads: fixed_threads,
+        ckpt_wire_bytes,
+        duration_ms: elapsed.as_millis() as u64,
+        ckpts_acked: acked,
+        ckpts_per_sec: acked as f64 / secs,
+        bytes_per_sec: acked as f64 * ckpt_wire_bytes as f64 / secs,
+        rtt_p50_us: percentile(&rtts, 50.0) as f64 / 1000.0,
+        rtt_p99_us: percentile(&rtts, 99.0) as f64 / 1000.0,
+        protocol_errors: errors,
+        pool_hit_pct: pool.hit_pct(),
+    }
+}
+
+// ---------------------------------------------------------------- phase 5
+
+struct DigestStats {
+    payload_mb: f64,
+    reference_mb_per_sec: f64,
+    optimized_mb_per_sec: f64,
+    speedup: f64,
+}
+
+/// The Fletcher-32 variable digest: definitional byte-at-a-time loop
+/// vs. the chunked, deferred-modulo production path.
+fn bench_digest() -> DigestStats {
+    const MB: usize = 1024 * 1024;
+    let payload = vec![0xA7u8; 8 * MB];
+    let passes = 8usize;
+    let total_mb = (passes * payload.len()) as f64 / MB as f64;
+
+    let mut fold = 0u32;
+    let started = Instant::now();
+    for _ in 0..passes {
+        fold ^= var_digest_reference("var", std::hint::black_box(&payload));
+    }
+    let reference_secs = started.elapsed().as_secs_f64();
+
+    let mut fast_fold = 0u32;
+    let started = Instant::now();
+    for _ in 0..passes {
+        fast_fold ^= var_digest("var", std::hint::black_box(&payload));
+    }
+    let optimized_secs = started.elapsed().as_secs_f64();
+    assert_eq!(fold, fast_fold, "digest paths must agree");
+
+    let reference = total_mb / reference_secs;
+    let optimized = total_mb / optimized_secs;
+    DigestStats {
+        payload_mb: total_mb,
+        reference_mb_per_sec: reference,
+        optimized_mb_per_sec: optimized,
+        speedup: optimized / reference,
+    }
+}
+
+// ---------------------------------------------------------------- phase 6
 
 struct FailoverStats {
     kills: usize,
@@ -385,20 +663,102 @@ fn bench_failover(kills: usize) -> FailoverStats {
 
 // ------------------------------------------------------------------ main
 
+fn sat_json(name: &str, sat: &SatStats) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"conns\": {},\n",
+            "    \"window\": {},\n",
+            "    \"io_threads\": {},\n",
+            "    \"ckpt_wire_bytes\": {},\n",
+            "    \"duration_ms\": {},\n",
+            "    \"ckpts_acked\": {},\n",
+            "    \"ckpts_per_sec\": {:.2},\n",
+            "    \"bytes_per_sec\": {:.0},\n",
+            "    \"rtt_p50_us\": {:.2},\n",
+            "    \"rtt_p99_us\": {:.2},\n",
+            "    \"protocol_errors\": {},\n",
+            "    \"pool_hit_pct\": {:.1}\n",
+            "  }}"
+        ),
+        name,
+        sat.conns,
+        sat.window,
+        sat.io_threads,
+        sat.ckpt_wire_bytes,
+        sat.duration_ms,
+        sat.ckpts_acked,
+        sat.ckpts_per_sec,
+        sat.bytes_per_sec,
+        sat.rtt_p50_us,
+        sat.rtt_p99_us,
+        sat.protocol_errors,
+        sat.pool_hit_pct,
+    )
+}
+
+/// CI's reduced saturation gate: stream + saturation cells only, with
+/// the acceptance floor (≥ 100× the paced v1 ship rate) and the
+/// zero-protocol-error invariant asserted in-process.
+fn saturation_smoke() {
+    let conns = env_usize("BENCH_SAT_CONNS", 128);
+    let secs = env_usize("BENCH_SAT_SECS", 2);
+    const FLOOR_BYTES_PER_SEC: f64 = 7_860_000.0;
+
+    println!("bench-wire: saturation smoke — 1 link at max rate");
+    let stream = bench_saturation(1, 32, 2, Duration::from_secs(1));
+    println!(
+        "bench-wire: stream {:.2} MB/s, ack p50={:.0}us p99={:.0}us, {} protocol errors",
+        stream.bytes_per_sec / (1024.0 * 1024.0),
+        stream.rtt_p50_us,
+        stream.rtt_p99_us,
+        stream.protocol_errors
+    );
+    println!("bench-wire: saturation smoke — {conns} streaming apps ({secs}s)");
+    let sat = bench_saturation(conns, 8, 4, Duration::from_secs(secs as u64));
+    println!(
+        "bench-wire: saturation {:.2} MB/s over {} conns / {} io threads, {} protocol errors",
+        sat.bytes_per_sec / (1024.0 * 1024.0),
+        sat.conns,
+        sat.io_threads,
+        sat.protocol_errors
+    );
+
+    assert_eq!(sat.io_threads, 4, "reactor thread count must stay fixed under load");
+    assert_eq!(
+        stream.protocol_errors + sat.protocol_errors,
+        0,
+        "saturation must complete with zero protocol errors"
+    );
+    assert!(
+        sat.bytes_per_sec >= FLOOR_BYTES_PER_SEC,
+        "saturation {:.0} B/s below the {FLOOR_BYTES_PER_SEC:.0} B/s acceptance floor",
+        sat.bytes_per_sec
+    );
+    println!("bench-wire: saturation smoke passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--saturation-smoke") {
+        saturation_smoke();
+        return;
+    }
     let samples = env_usize("BENCH_SAMPLES", 2000);
     let kills = env_usize("BENCH_KILLS", 20);
     let ckpt_secs = env_usize("BENCH_CKPT_SECS", 3);
+    let sat_conns = env_usize("BENCH_SAT_CONNS", 400);
+    let sat_secs = env_usize("BENCH_SAT_SECS", 3);
+    let stream_secs = env_usize("BENCH_STREAM_SECS", 2);
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_wire.json".into());
 
-    println!("bench-wire: phase 1/3 — frame round-trip latency ({samples} volleys)");
+    println!("bench-wire: phase 1/6 — frame round-trip latency ({samples} volleys)");
     let rtt = bench_rtt(samples);
     println!(
         "bench-wire: rtt p50={:.1}us p99={:.1}us over {} volleys",
         rtt.p50_us, rtt.p99_us, rtt.samples
     );
 
-    println!("bench-wire: phase 2/3 — checkpoint throughput over sockets ({ckpt_secs}s)");
+    println!("bench-wire: phase 2/6 — paced checkpoint flow over sockets ({ckpt_secs}s)");
     let ckpt = bench_checkpoint_flow(Duration::from_secs(ckpt_secs as u64));
     println!(
         "bench-wire: {} vars @ {:.1}% locality: {:.1} ckpts/s, {:.0} B/s, {} data frames shed",
@@ -409,7 +769,38 @@ fn main() {
         ckpt.backpressure_drops
     );
 
-    println!("bench-wire: phase 3/3 — failover under SIGKILL ({kills} kills)");
+    println!("bench-wire: phase 3/6 — max-rate checkpoint stream, one link ({stream_secs}s)");
+    let stream = bench_saturation(1, 32, 2, Duration::from_secs(stream_secs as u64));
+    println!(
+        "bench-wire: stream {:.0} ckpts/s, {:.2} MB/s, ack p50={:.0}us p99={:.0}us",
+        stream.ckpts_per_sec,
+        stream.bytes_per_sec / (1024.0 * 1024.0),
+        stream.rtt_p50_us,
+        stream.rtt_p99_us
+    );
+
+    println!("bench-wire: phase 4/6 — saturation, {sat_conns} streaming apps ({sat_secs}s)");
+    let saturation = bench_saturation(sat_conns, 8, 4, Duration::from_secs(sat_secs as u64));
+    println!(
+        "bench-wire: saturation {:.0} ckpts/s, {:.2} MB/s over {} conns / {} io threads, \
+         ack p50={:.0}us p99={:.0}us, {} protocol errors",
+        saturation.ckpts_per_sec,
+        saturation.bytes_per_sec / (1024.0 * 1024.0),
+        saturation.conns,
+        saturation.io_threads,
+        saturation.rtt_p50_us,
+        saturation.rtt_p99_us,
+        saturation.protocol_errors
+    );
+
+    println!("bench-wire: phase 5/6 — Fletcher-32 digest micro-bench");
+    let digest = bench_digest();
+    println!(
+        "bench-wire: digest reference {:.0} MB/s, optimized {:.0} MB/s ({:.1}x)",
+        digest.reference_mb_per_sec, digest.optimized_mb_per_sec, digest.speedup
+    );
+
+    println!("bench-wire: phase 6/6 — failover under SIGKILL ({kills} kills)");
     let failover = bench_failover(kills);
     let mut sorted = failover.detection_ms.clone();
     sorted.sort_unstable();
@@ -423,7 +814,7 @@ fn main() {
     let doc = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"oftt-bench-wire-v1\",\n",
+            "  \"schema\": \"oftt-bench-wire-v2\",\n",
             "  \"rtt\": {{\n",
             "    \"samples\": {},\n",
             "    \"p50_us\": {:.2},\n",
@@ -439,6 +830,14 @@ fn main() {
             "    \"ckpt_bytes_per_sec\": {:.0},\n",
             "    \"backpressure_drops\": {},\n",
             "    \"heartbeats_shed\": {}\n",
+            "  }},\n",
+            "{},\n",
+            "{},\n",
+            "  \"digest\": {{\n",
+            "    \"payload_mb\": {:.0},\n",
+            "    \"reference_mb_per_sec\": {:.1},\n",
+            "    \"optimized_mb_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
             "  }},\n",
             "  \"failover\": {{\n",
             "    \"kills\": {},\n",
@@ -460,6 +859,12 @@ fn main() {
         ckpt.ckpt_bytes_per_sec,
         ckpt.backpressure_drops,
         ckpt.heartbeats_shed,
+        sat_json("checkpoint_stream", &stream),
+        sat_json("saturation", &saturation),
+        digest.payload_mb,
+        digest.reference_mb_per_sec,
+        digest.optimized_mb_per_sec,
+        digest.speedup,
         failover.kills,
         p50,
         p99,

@@ -17,6 +17,11 @@
 //!   workload (10k vars at 1% locality) with zero data-frame sheds,
 //!   ≥ 20 SIGKILL failover samples, and promotion p99 inside the 3 s
 //!   detection budget;
+//! * `oftt-bench-wire-v2` — everything v1 requires, plus the reactor
+//!   cells: `checkpoint_stream` and `saturation` must ack checkpoints
+//!   with zero protocol errors, the saturation aggregate must clear
+//!   100× the paced v1 ship rate (≥ 7.86 MB/s), and the optimized
+//!   digest must not regress below the byte-at-a-time reference;
 //! * `oftt-bench-verify-v1` — every exploration tier must come back clean
 //!   (zero violations, no lasso, not capped), the `default` tier must
 //!   exhaust a ≥ 10⁶-state space at ≥ 10k states/s, and the refinement
@@ -65,6 +70,7 @@ pub fn validate(doc: &Json) -> Vec<String> {
     match require(doc, "schema", &mut errors).and_then(Json::as_str) {
         Some("oftt-bench-checkpoint-v1") => errors.extend(validate_checkpoint(doc)),
         Some("oftt-bench-wire-v1") => errors.extend(validate_wire(doc)),
+        Some("oftt-bench-wire-v2") => errors.extend(validate_wire_v2(doc)),
         Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
         Some("oftt-lint-v1") => errors.extend(validate_lint(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
@@ -187,6 +193,67 @@ fn validate_wire(doc: &Json) -> Vec<String> {
         }
     }
 
+    errors
+}
+
+/// Shape and sanity of one windowed-streaming cell (`checkpoint_stream`
+/// or `saturation`). Returns the cell's `bytes_per_sec` for acceptance
+/// checks the caller applies.
+fn validate_stream_cell(doc: &Json, key: &str, errors: &mut Vec<String>) -> Option<f64> {
+    let cell = require(doc, key, errors)?;
+    require_number(cell, "conns", errors);
+    require_number(cell, "window", errors);
+    let io_threads = require_number(cell, "io_threads", errors);
+    require_number(cell, "ckpt_wire_bytes", errors);
+    require_number(cell, "duration_ms", errors);
+    let acked = require_number(cell, "ckpts_acked", errors);
+    require_number(cell, "ckpts_per_sec", errors);
+    let bytes_per_sec = require_number(cell, "bytes_per_sec", errors);
+    let p50 = require_number(cell, "rtt_p50_us", errors);
+    let p99 = require_number(cell, "rtt_p99_us", errors);
+    require_number(cell, "pool_hit_pct", errors);
+    if let Some(t) = io_threads {
+        if t < 1.0 {
+            errors.push(format!("{key}: io_threads {t} below 1"));
+        }
+    }
+    if acked == Some(0.0) {
+        errors.push(format!("{key}: zero checkpoints acknowledged"));
+    }
+    if let (Some(p50), Some(p99)) = (p50, p99) {
+        if p99 < p50 {
+            errors.push(format!("{key}: rtt p99 {p99:.1} below p50 {p50:.1}"));
+        }
+    }
+    match require_number(cell, "protocol_errors", errors) {
+        Some(e) if e > 0.0 => errors.push(format!("{key}: {e} protocol error(s) under load")),
+        _ => {}
+    }
+    bytes_per_sec
+}
+
+fn validate_wire_v2(doc: &Json) -> Vec<String> {
+    let mut errors = validate_wire(doc);
+    validate_stream_cell(doc, "checkpoint_stream", &mut errors);
+    let sat_bytes = validate_stream_cell(doc, "saturation", &mut errors);
+    // The reactor acceptance floor: the saturated aggregate must beat the
+    // paced v1 ship rate (~78.6 KB/s) by at least two orders of magnitude.
+    if let Some(bytes) = sat_bytes {
+        if bytes < 7_860_000.0 {
+            errors.push(format!("saturation: {bytes:.0} B/s below the 7.86 MB/s acceptance floor"));
+        }
+    }
+    if let Some(digest) = require(doc, "digest", &mut errors) {
+        require_number(digest, "payload_mb", &mut errors);
+        require_number(digest, "reference_mb_per_sec", &mut errors);
+        require_number(digest, "optimized_mb_per_sec", &mut errors);
+        match require_number(digest, "speedup", &mut errors) {
+            Some(s) if s < 1.0 => {
+                errors.push(format!("digest: optimized path {s:.2}x slower than the reference"));
+            }
+            _ => {}
+        }
+    }
     errors
 }
 
@@ -324,6 +391,65 @@ mod tests {
         let errors = validate(&doc);
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("unknown schema"));
+    }
+
+    fn wire_v2_doc(sat_bytes_per_sec: &str, protocol_errors: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "oftt-bench-wire-v2",
+              "rtt": {{"samples": 2000, "p50_us": 21.0, "p99_us": 90.0}},
+              "checkpoint": {{
+                "vars": 10000, "var_bytes": 64, "dirty_pct": 1.0,
+                "duration_ms": 3000, "ckpts_acked": 30, "ckpts_per_sec": 10.0,
+                "ckpt_bytes_per_sec": 78559, "backpressure_drops": 0,
+                "heartbeats_shed": 0
+              }},
+              "checkpoint_stream": {{
+                "conns": 1, "window": 32, "io_threads": 2,
+                "ckpt_wire_bytes": 7728, "duration_ms": 2000,
+                "ckpts_acked": 40000, "ckpts_per_sec": 20000.0,
+                "bytes_per_sec": 150000000, "rtt_p50_us": 1300.0,
+                "rtt_p99_us": 2400.0, "protocol_errors": 0,
+                "pool_hit_pct": 99.0
+              }},
+              "saturation": {{
+                "conns": 400, "window": 8, "io_threads": 4,
+                "ckpt_wire_bytes": 7728, "duration_ms": 3000,
+                "ckpts_acked": 60000, "ckpts_per_sec": 20000.0,
+                "bytes_per_sec": {sat_bytes_per_sec}, "rtt_p50_us": 20000.0,
+                "rtt_p99_us": 45000.0, "protocol_errors": {protocol_errors},
+                "pool_hit_pct": 99.0
+              }},
+              "digest": {{
+                "payload_mb": 64, "reference_mb_per_sec": 284.0,
+                "optimized_mb_per_sec": 1879.0, "speedup": 6.6
+              }},
+              "failover": {{
+                "kills": 20, "detection_ms_p50": 395,
+                "detection_ms_p99": 406, "detection_ms_max": 410
+              }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn clean_wire_v2_report_conforms() {
+        let doc = parse(&wire_v2_doc("150000000", "0")).unwrap();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn wire_v2_below_saturation_floor_fails() {
+        let doc = parse(&wire_v2_doc("500000", "0")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("acceptance floor")), "{errors:?}");
+    }
+
+    #[test]
+    fn wire_v2_with_protocol_errors_fails() {
+        let doc = parse(&wire_v2_doc("150000000", "3")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("protocol error")), "{errors:?}");
     }
 
     #[test]

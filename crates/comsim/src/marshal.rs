@@ -93,6 +93,29 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, MarshalErro
     Ok(ser.out)
 }
 
+/// Encodes a value by appending to `out`, reusing the buffer's existing
+/// capacity. The wire transport's frame encoder feeds pooled buffers
+/// through here so a saturated ship path stops paying one allocation per
+/// frame; callers that want a fresh buffer keep using [`to_bytes`].
+///
+/// On error, `out` may hold a partial encoding — callers treat the
+/// buffer's contents as garbage and only rely on it being safely
+/// reusable after `clear()`.
+///
+/// # Errors
+///
+/// Same failure modes as [`to_bytes`].
+pub fn to_bytes_into<T: Serialize + ?Sized>(
+    value: &T,
+    out: &mut Vec<u8>,
+) -> Result<(), MarshalError> {
+    let buf = std::mem::take(out);
+    let mut ser = Serializer { out: buf };
+    let result = value.serialize(&mut ser);
+    *out = ser.out;
+    result
+}
+
 /// Encodes a value into a shared [`crate::buf::Bytes`] buffer: serialized
 /// once, then passed along reference paths (queue retry buffers, checkpoint
 /// stores, pushes) without further copies.
@@ -849,5 +872,19 @@ mod tests {
         // Claims 4 GiB of data, provides none.
         let bytes = [0xFF, 0xFF, 0xFF, 0xFF];
         assert_eq!(from_bytes::<String>(&bytes), Err(MarshalError::UnexpectedEof));
+    }
+
+    #[test]
+    fn to_bytes_into_appends_and_reuses_capacity() {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(b"prefix");
+        to_bytes_into(&42u64, &mut buf).unwrap();
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(from_bytes::<u64>(&buf[6..]).unwrap(), 42);
+        let cap = buf.capacity();
+        buf.clear();
+        to_bytes_into(&"hello".to_string(), &mut buf).unwrap();
+        assert_eq!(buf, to_bytes(&"hello".to_string()).unwrap());
+        assert_eq!(buf.capacity(), cap, "reused the buffer, no realloc");
     }
 }

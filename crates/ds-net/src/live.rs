@@ -24,9 +24,14 @@ use crate::message::Envelope;
 use crate::process::ProcessFactory;
 use crate::transport::{run_actor, Control, NodeRouter};
 
+/// A live mailbox: its sender plus the generation of the spawn that
+/// registered it, so a killed actor exiting late cannot retire a
+/// successor's registration.
+type Mailbox = (Sender<Control>, u64);
+
 #[derive(Clone)]
 struct Registry {
-    inner: Arc<Mutex<HashMap<Endpoint, Sender<Control>>>>,
+    inner: Arc<Mutex<HashMap<Endpoint, Mailbox>>>,
     specs: Arc<Mutex<HashMap<Endpoint, ProcessFactory>>>,
     trace: Arc<Mutex<Trace>>,
     clock: WallClock,
@@ -38,7 +43,7 @@ struct Registry {
 
 impl Registry {
     fn kill(&self, endpoint: &Endpoint) {
-        if let Some(tx) = self.inner.lock().remove(endpoint) {
+        if let Some((tx, _)) = self.inner.lock().remove(endpoint) {
             let _ = tx.send(Control::Kill);
         }
     }
@@ -50,14 +55,16 @@ impl Registry {
             factory()
         };
         let (tx, rx) = unbounded();
-        self.inner.lock().insert(endpoint.clone(), tx);
-        let router: Arc<dyn NodeRouter> = Arc::new(self.clone());
-        let seed = {
+        let generation = {
             let mut c = self.counter.lock();
             *c += 1;
-            self.seed.wrapping_add(*c)
+            *c
         };
-        let handle = std::thread::spawn(move || run_actor(actor, endpoint, router, seed, rx));
+        self.inner.lock().insert(endpoint.clone(), (tx, generation));
+        let router: Arc<dyn NodeRouter> = Arc::new(self.clone());
+        let seed = self.seed.wrapping_add(generation);
+        let handle =
+            std::thread::spawn(move || run_actor(actor, endpoint, router, seed, generation, rx));
         self.handles.lock().push(handle);
     }
 
@@ -78,7 +85,7 @@ impl NodeRouter for Registry {
     }
 
     fn route(&self, envelope: Envelope) {
-        let target = self.inner.lock().get(&envelope.to).cloned();
+        let target = self.inner.lock().get(&envelope.to).map(|(tx, _)| tx.clone());
         match target {
             Some(tx) => {
                 // A disconnected mailbox is equivalent to a drop, but an
@@ -110,8 +117,11 @@ impl NodeRouter for Registry {
         self.spawn(target.clone());
     }
 
-    fn actor_exited(&self, endpoint: &Endpoint) {
-        self.inner.lock().remove(endpoint);
+    fn actor_exited(&self, endpoint: &Endpoint, generation: u64) {
+        let mut inner = self.inner.lock();
+        if inner.get(endpoint).is_some_and(|(_, g)| *g == generation) {
+            inner.remove(endpoint);
+        }
     }
 }
 

@@ -57,8 +57,12 @@ pub trait NodeRouter: Send + Sync {
     fn restart_service(&self, target: &Endpoint);
 
     /// Called by the actor loop as its final action, so the runtime can
-    /// retire the mailbox registration.
-    fn actor_exited(&self, endpoint: &Endpoint);
+    /// retire the mailbox registration. `generation` is the registration
+    /// identity handed to [`run_actor`]; the runtime must ignore the call
+    /// if the endpoint has since been re-registered under a newer
+    /// generation (a killed actor exiting late must not retire its
+    /// successor's mailbox).
+    fn actor_exited(&self, endpoint: &Endpoint, generation: u64);
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,12 +151,14 @@ impl ProcessEnv for RouterEnv {
 /// Drives one actor against real time: fires due timers, then blocks on the
 /// mailbox until the next deadline. Runs until the actor exits, is killed,
 /// or its mailbox sender side is dropped. Shared verbatim by the live and
-/// wire runtimes.
+/// wire runtimes. `generation` identifies this registration and is echoed
+/// in the final [`NodeRouter::actor_exited`] call.
 pub fn run_actor(
     mut actor: Box<dyn Process>,
     endpoint: Endpoint,
     router: Arc<dyn NodeRouter>,
     seed: u64,
+    generation: u64,
     rx: Receiver<Control>,
 ) {
     let mut env = RouterEnv {
@@ -200,7 +206,7 @@ pub fn run_actor(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    router.actor_exited(&endpoint);
+    router.actor_exited(&endpoint, generation);
 }
 
 /// Connection state of one peer link, as seen by its supervisor.
@@ -245,8 +251,11 @@ pub struct PeerHealth {
     pub queued: u64,
     /// Heartbeat-class frames shed by backpressure or while disconnected.
     pub dropped_heartbeats: u64,
-    /// Data-class frames shed by backpressure or connection teardown.
+    /// Data-class frames shed by backpressure (never by teardown).
     pub dropped_frames: u64,
+    /// Frames of any class lost because their connection died — queued
+    /// or already pulled into a write batch, but never delivered.
+    pub purged: u64,
 }
 
 /// Periodic transport health snapshot for a node, sent to the System
@@ -306,6 +315,7 @@ mod tests {
             queued: 1,
             dropped_heartbeats: 5,
             dropped_frames: 0,
+            purged: 0,
         };
         let report = TransportReport {
             node: NodeId(3),

@@ -38,6 +38,7 @@
 pub mod client;
 pub mod manager;
 pub mod queue;
+pub mod shard;
 
 /// Convenience re-exports of the items nearly every user needs.
 pub mod prelude {

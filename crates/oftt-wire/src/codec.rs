@@ -24,7 +24,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use comsim::buf::Bytes;
-use comsim::marshal::{from_bytes, from_bytes_prefix, to_bytes};
+use comsim::marshal::{from_bytes, from_bytes_prefix, to_bytes, to_bytes_into};
 use ds_net::endpoint::Endpoint;
 use ds_net::message::{Envelope, MsgBody};
 use ds_net::transport::{TransportEvent, TransportReport};
@@ -326,6 +326,31 @@ impl WireCodec {
         })
     }
 
+    /// Like [`WireCodec::encode_envelope`], but marshals the meta block
+    /// into a caller-provided (typically pooled) buffer, so the ship
+    /// path pays no per-frame meta allocation. On error the buffer's
+    /// contents are unspecified but it remains reusable after `clear`.
+    pub fn encode_envelope_into(
+        &self,
+        envelope: &Envelope,
+        meta_out: &mut Vec<u8>,
+    ) -> Option<Result<FramePayload, WireError>> {
+        let (tag, payload) = match self.encode(&envelope.body)? {
+            Ok(ok) => ok,
+            Err(e) => return Some(Err(e)),
+        };
+        let meta = FrameMeta {
+            from: envelope.from.clone(),
+            to: envelope.to.clone(),
+            tag,
+            size_bytes: envelope.size_bytes,
+        };
+        Some(match to_bytes_into(&meta, meta_out) {
+            Ok(()) => Ok(payload),
+            Err(e) => Err(WireError::from(e)),
+        })
+    }
+
     /// Decodes a received frame back into an envelope (vector clocks do
     /// not cross the wire; real transports have no global clock line).
     pub fn decode_frame(&self, frame: &Frame) -> Result<Envelope, WireError> {
@@ -482,6 +507,7 @@ mod tests {
                 queued: 0,
                 dropped_heartbeats: 0,
                 dropped_frames: 0,
+                purged: 0,
             }],
             at: SimTime::from_millis(50),
         };

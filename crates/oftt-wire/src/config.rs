@@ -67,6 +67,8 @@ pub struct NodeConfig {
     pub seed: u64,
     /// Exit after this long, if set (ms).
     pub run_for_ms: Option<u64>,
+    /// Reactor I/O threads serving all connections.
+    pub io_threads: usize,
 }
 
 impl NodeConfig {
@@ -90,6 +92,7 @@ impl NodeConfig {
             app_tick_ms: 20,
             seed: 1,
             run_for_ms: None,
+            io_threads: 2,
         }
     }
 
@@ -137,6 +140,7 @@ impl NodeConfig {
                 "app_tick_ms" => config.app_tick_ms = num()?,
                 "seed" => config.seed = num()?,
                 "run_for_ms" => config.run_for_ms = Some(num()?),
+                "io_threads" => config.io_threads = (num()? as usize).max(1),
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -182,6 +186,7 @@ impl NodeConfig {
         wire.listen = self.listen.clone();
         wire.peers = self.peers.clone();
         wire.seed = self.seed;
+        wire.io_threads = self.io_threads;
         wire
     }
 
@@ -212,6 +217,7 @@ mod tests {
             checkpoint_ms = 100
             app_vars = 128
             seed = 7
+            io_threads = 3
         "#;
         let config = NodeConfig::parse(text).unwrap();
         assert_eq!(config.node, NodeId(0));
@@ -220,6 +226,8 @@ mod tests {
         assert_eq!(config.monitor_node, Some(NodeId(0)));
         assert_eq!(config.app_vars, 128);
         assert_eq!(config.seed, 7);
+        assert_eq!(config.io_threads, 3);
+        assert_eq!(config.to_wire_config().io_threads, 3);
         let oftt = config.to_oftt_config().unwrap();
         assert_eq!(oftt.pair, Pair::new(NodeId(0), NodeId(1)));
         assert_eq!(oftt.monitor, Some(Endpoint::new(NodeId(0), MONITOR_SERVICE)));

@@ -17,6 +17,7 @@
 
 // oftt-lint: no-panic
 
+use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
 
 use comsim::buf::Bytes;
@@ -300,6 +301,267 @@ pub fn write_frame(
     Ok(total)
 }
 
+/// One read-step outcome from a [`FrameAssembler`].
+#[derive(Debug)]
+pub enum ReadStep {
+    /// A complete frame was assembled.
+    Frame(Frame),
+    /// The socket has no more bytes right now (`WouldBlock`); poll again
+    /// on readability.
+    NeedMore,
+    /// The peer closed the stream cleanly on a frame boundary.
+    Closed,
+}
+
+enum AsmState {
+    Header { raw: [u8; HEADER_LEN], have: usize },
+    Payload { header: FrameHeader, buf: Vec<u8>, have: usize },
+}
+
+/// Incremental frame parser for nonblocking sockets.
+///
+/// [`read_frame`] assumes a blocking stream and two `read_exact`s; a
+/// reactor cannot block, and a readiness notification may deliver half a
+/// header or a megabyte mid-body. The assembler carries the partial
+/// state across calls: feed it the socket whenever it is readable and it
+/// emits complete frames, [`ReadStep::NeedMore`] on `WouldBlock`, or
+/// [`ReadStep::Closed`] on a clean EOF. Mid-frame EOF and framing errors
+/// are real errors — a desynced length-prefixed stream has no resync
+/// point, exactly as in the blocking path.
+pub struct FrameAssembler {
+    max_frame: u32,
+    state: AsmState,
+}
+
+impl FrameAssembler {
+    /// An assembler enforcing `max_frame` as the meta+body cap.
+    pub fn new(max_frame: u32) -> Self {
+        FrameAssembler { max_frame, state: AsmState::Header { raw: [0; HEADER_LEN], have: 0 } }
+    }
+
+    /// Advances the state machine with at most a few `read` calls,
+    /// returning as soon as one frame is complete (call again — more may
+    /// be buffered), the socket runs dry, or the stream ends.
+    pub fn read_step(&mut self, r: &mut impl Read) -> Result<ReadStep, ReadError> {
+        loop {
+            match &mut self.state {
+                AsmState::Header { raw, have } => {
+                    if *have < HEADER_LEN {
+                        let at_boundary = *have == 0;
+                        let Some(dst) = raw.get_mut(*have..) else {
+                            return Ok(ReadStep::NeedMore); // unreachable: have < HEADER_LEN
+                        };
+                        match r.read(dst) {
+                            Ok(0) => {
+                                return if at_boundary {
+                                    Ok(ReadStep::Closed)
+                                } else {
+                                    Err(ReadError::Io(io::Error::new(
+                                        io::ErrorKind::UnexpectedEof,
+                                        "eof inside a frame header",
+                                    )))
+                                };
+                            }
+                            Ok(n) => {
+                                *have += n;
+                                continue;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                return Ok(ReadStep::NeedMore);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(ReadError::Io(e)),
+                        }
+                    }
+                    let header =
+                        FrameHeader::decode(raw, self.max_frame).map_err(ReadError::Protocol)?;
+                    let total = header.meta_len as usize + header.body_len as usize;
+                    self.state = AsmState::Payload { header, buf: vec![0u8; total], have: 0 };
+                }
+                AsmState::Payload { header, buf, have } => {
+                    if *have < buf.len() {
+                        let Some(dst) = buf.get_mut(*have..) else {
+                            return Ok(ReadStep::NeedMore); // unreachable: have < len
+                        };
+                        match r.read(dst) {
+                            Ok(0) => {
+                                return Err(ReadError::Io(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "eof inside a frame body",
+                                )));
+                            }
+                            Ok(n) => {
+                                *have += n;
+                                continue;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                return Ok(ReadStep::NeedMore);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(ReadError::Io(e)),
+                        }
+                    }
+                    let header = *header;
+                    let payload = Bytes::from(std::mem::take(buf));
+                    self.state = AsmState::Header { raw: [0; HEADER_LEN], have: 0 };
+                    let meta = payload.slice(..header.meta_len as usize);
+                    let body = payload.slice(header.meta_len as usize..);
+                    return Ok(ReadStep::Frame(Frame { header, meta, body }));
+                }
+            }
+        }
+    }
+}
+
+/// An encoded frame queued for a coalesced write: everything except the
+/// header, which is stamped with the connection's epoch when the frame
+/// joins a [`FrameBatch`] (frames queued across a reconnect must carry
+/// the *new* connection's epoch).
+#[derive(Debug)]
+pub struct OutFrame {
+    /// Scheduling class.
+    pub class: FrameClass,
+    /// Marshaled meta block.
+    pub meta: Vec<u8>,
+    /// Contiguous body prefix.
+    pub head: Vec<u8>,
+    /// Zero-copy body suffix windows.
+    pub shared: Vec<Bytes>,
+}
+
+impl OutFrame {
+    /// Total bytes this frame occupies on the wire, header included.
+    pub fn wire_len(&self) -> u64 {
+        HEADER_LEN as u64
+            + self.meta.len() as u64
+            + self.head.len() as u64
+            + self.shared.iter().map(|b| b.len() as u64).sum::<u64>()
+    }
+}
+
+struct BatchEntry {
+    header: [u8; HEADER_LEN],
+    frame: OutFrame,
+    len: u64,
+}
+
+/// Hard cap on iovec segments per `write_vectored` call (Linux allows
+/// 1024; staying far below keeps the per-call stack cost small).
+const MAX_IOV: usize = 64;
+
+/// Coalesces queued frames into vectored mega-writes with partial-write
+/// resumption.
+///
+/// The reactor pushes any number of encoded frames, then calls
+/// [`FrameBatch::write_once`] whenever the socket is writable: one
+/// `write_vectored` spans as many queued frames as fit in [`MAX_IOV`]
+/// segments, and a short write — even one that splits a header — is
+/// resumed exactly where it stopped on the next call. Fully written
+/// frames are handed back through [`FrameBatch::pop_written`] so their
+/// buffers can return to the pool.
+#[derive(Default)]
+pub struct FrameBatch {
+    entries: VecDeque<BatchEntry>,
+    /// Bytes of the front entry already written.
+    offset: u64,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Frames currently queued (including the partially written front).
+    pub fn frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes not yet on the wire.
+    pub fn pending_bytes(&self) -> u64 {
+        let total: u64 = self.entries.iter().map(|e| e.len).sum();
+        total.saturating_sub(self.offset)
+    }
+
+    /// Stamps `frame` with `epoch` and queues it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bodies over 4 GiB (the header's length field is `u32`).
+    pub fn push(&mut self, frame: OutFrame, epoch: u32) -> Result<(), WireError> {
+        let body_len =
+            frame.head.len() as u64 + frame.shared.iter().map(|b| b.len() as u64).sum::<u64>();
+        let body_len = u32::try_from(body_len)
+            .map_err(|_| WireError::FrameTooLarge { len: body_len, max: u32::MAX })?;
+        let header =
+            FrameHeader { class: frame.class, epoch, meta_len: frame.meta.len() as u32, body_len };
+        let len = HEADER_LEN as u64 + header.meta_len as u64 + body_len as u64;
+        self.entries.push_back(BatchEntry { header: header.encode(), frame, len });
+        Ok(())
+    }
+
+    /// Issues one `write_vectored` spanning the unwritten tail, starting
+    /// mid-frame if the previous call stopped there. Returns the bytes
+    /// accepted (0 only for an empty batch). `WouldBlock` propagates as
+    /// an error for the caller to interpret; a 0-byte write on a
+    /// non-empty batch is reported as `WriteZero`.
+    pub fn write_once(&mut self, w: &mut impl Write) -> io::Result<u64> {
+        let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV.min(self.entries.len() * 4));
+        let mut skip = self.offset;
+        'fill: for entry in &self.entries {
+            let segments =
+                [entry.header.as_slice(), entry.frame.meta.as_slice(), entry.frame.head.as_slice()];
+            let shared = entry.frame.shared.iter().map(|b| b.as_slice());
+            for seg in segments.into_iter().chain(shared) {
+                let len = seg.len() as u64;
+                if skip >= len {
+                    skip -= len;
+                    continue;
+                }
+                if iov.len() == MAX_IOV {
+                    break 'fill;
+                }
+                // `skip < len`, so the window is nonempty; `get` keeps
+                // the path panic-free.
+                iov.push(IoSlice::new(seg.get(skip as usize..).unwrap_or(&[])));
+                skip = 0;
+            }
+        }
+        if iov.is_empty() {
+            return Ok(0);
+        }
+        let n = w.write_vectored(&iov)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
+        }
+        self.offset += n as u64;
+        Ok(n as u64)
+    }
+
+    /// Pops the next fully written frame, if any, so its buffers can be
+    /// recycled. Call repeatedly after [`FrameBatch::write_once`].
+    pub fn pop_written(&mut self) -> Option<OutFrame> {
+        let front_len = self.entries.front().map(|e| e.len)?;
+        if self.offset < front_len {
+            return None;
+        }
+        self.offset -= front_len;
+        self.entries.pop_front().map(|e| e.frame)
+    }
+
+    /// Drains every queued frame (written or not) — used on teardown so
+    /// the caller can count and recycle them.
+    pub fn purge(&mut self) -> Vec<OutFrame> {
+        self.offset = 0;
+        self.entries.drain(..).map(|e| e.frame).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +608,218 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap_err();
         assert!(matches!(err, ReadError::Io(_)));
+    }
+
+    /// Yields at most `chunk` bytes per read and interleaves WouldBlock
+    /// between reads, like a socket drip-feeding under load.
+    struct DribbleReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        starve_next: bool,
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.starve_next {
+                self.starve_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+            }
+            self.starve_next = true;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn sample_wire(frames: &[(FrameClass, u32, Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for (class, epoch, meta, body) in frames {
+            write_frame(&mut wire, *class, *epoch, meta, body, &[]).unwrap();
+        }
+        wire
+    }
+
+    #[test]
+    fn assembler_reassembles_dribbled_bytes() {
+        let spec = vec![
+            (FrameClass::Handshake, 1, vec![7u8; 30], vec![]),
+            (FrameClass::Data, 2, vec![1u8, 2], vec![9u8; 300]),
+            (FrameClass::Heartbeat, 2, vec![], vec![5u8]),
+        ];
+        for chunk in [1usize, 3, 17, 4096] {
+            let mut r =
+                DribbleReader { data: sample_wire(&spec), pos: 0, chunk, starve_next: false };
+            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut got = Vec::new();
+            loop {
+                match asm.read_step(&mut r).unwrap() {
+                    ReadStep::Frame(f) => got.push(f),
+                    ReadStep::NeedMore => continue,
+                    ReadStep::Closed => break,
+                }
+            }
+            assert_eq!(got.len(), spec.len(), "chunk={chunk}");
+            for (frame, (class, epoch, meta, body)) in got.iter().zip(&spec) {
+                assert_eq!(frame.header.class, *class);
+                assert_eq!(frame.header.epoch, *epoch);
+                assert_eq!(frame.meta.as_slice(), &meta[..]);
+                assert_eq!(frame.body.as_slice(), &body[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_mid_frame_eof_is_an_error_and_boundary_eof_is_closed() {
+        let wire = sample_wire(&[(FrameClass::Data, 1, vec![1], vec![2, 3])]);
+        // Boundary EOF after a complete frame → Closed.
+        let mut r = io::Cursor::new(wire.clone());
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+        assert!(matches!(asm.read_step(&mut r).unwrap(), ReadStep::Frame(_)));
+        assert!(matches!(asm.read_step(&mut r).unwrap(), ReadStep::Closed));
+        // EOF mid-header and mid-body → UnexpectedEof.
+        for cut in [5usize, wire.len() - 1] {
+            let mut r = io::Cursor::new(wire[..cut].to_vec());
+            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+            let err = asm.read_step(&mut r).unwrap_err();
+            assert!(
+                matches!(err, ReadError::Io(ref e) if e.kind() == io::ErrorKind::UnexpectedEof)
+            );
+        }
+    }
+
+    fn out_frame(class: FrameClass, meta: Vec<u8>, head: Vec<u8>, shared: Vec<Bytes>) -> OutFrame {
+        OutFrame { class, meta, head, shared }
+    }
+
+    /// Accepts at most `per_call` bytes per write, so every frame (and
+    /// most headers) is split across many calls.
+    struct ThrottledWriter {
+        out: Vec<u8>,
+        per_call: usize,
+    }
+
+    impl Write for ThrottledWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = self.per_call.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batch_resumes_partial_writes_split_mid_frame() {
+        for per_call in [1usize, 3, 7] {
+            let mut batch = FrameBatch::new();
+            batch
+                .push(
+                    out_frame(
+                        FrameClass::Data,
+                        vec![1, 2, 3],
+                        vec![4; 40],
+                        vec![Bytes::from(vec![5u8; 100]), Bytes::from(vec![6u8; 9])],
+                    ),
+                    11,
+                )
+                .unwrap();
+            batch.push(out_frame(FrameClass::Heartbeat, vec![7], vec![], vec![]), 11).unwrap();
+            batch
+                .push(
+                    out_frame(
+                        FrameClass::Data,
+                        vec![],
+                        vec![8; 5],
+                        vec![Bytes::from(vec![9u8; 64])],
+                    ),
+                    12,
+                )
+                .unwrap();
+            let expect_bytes = batch.pending_bytes();
+            let mut w = ThrottledWriter { out: Vec::new(), per_call };
+            let mut recycled = 0usize;
+            while !batch.is_empty() {
+                let n = batch.write_once(&mut w).unwrap();
+                assert!(n > 0 && n <= per_call as u64);
+                while batch.pop_written().is_some() {
+                    recycled += 1;
+                }
+            }
+            assert_eq!(recycled, 3);
+            assert_eq!(w.out.len() as u64, expect_bytes, "per_call={per_call}");
+            // The byte stream re-parses into exactly the pushed frames.
+            let mut r = w.out.as_slice();
+            let f1 = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(f1.header.epoch, 11);
+            assert_eq!(f1.meta.as_slice(), &[1, 2, 3]);
+            assert_eq!(f1.body.len(), 40 + 100 + 9);
+            let f2 = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(f2.header.class, FrameClass::Heartbeat);
+            let f3 = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(f3.header.epoch, 12);
+            assert_eq!(f3.body.len(), 5 + 64);
+            assert!(r.is_empty());
+        }
+    }
+
+    /// Counts write calls while accepting everything offered.
+    struct CountingWriter {
+        out: Vec<u8>,
+        calls: usize,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            let mut n = 0;
+            for b in bufs {
+                self.out.extend_from_slice(b);
+                n += b.len();
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batch_coalesces_many_frames_into_one_vectored_write() {
+        let mut batch = FrameBatch::new();
+        for i in 0..10u8 {
+            batch.push(out_frame(FrameClass::Data, vec![i], vec![i; 8], vec![]), 1).unwrap();
+        }
+        let mut w = CountingWriter { out: Vec::new(), calls: 0 };
+        while !batch.is_empty() {
+            batch.write_once(&mut w).unwrap();
+            while batch.pop_written().is_some() {}
+        }
+        assert_eq!(w.calls, 1, "10 frames should leave in one mega-write");
+        let mut r = w.out.as_slice();
+        for i in 0..10u8 {
+            let f = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(f.meta.as_slice(), &[i]);
+        }
+    }
+
+    #[test]
+    fn batch_purge_returns_everything_and_resets() {
+        let mut batch = FrameBatch::new();
+        batch.push(out_frame(FrameClass::Data, vec![1], vec![2], vec![]), 1).unwrap();
+        batch.push(out_frame(FrameClass::Heartbeat, vec![], vec![], vec![]), 1).unwrap();
+        let mut w = ThrottledWriter { out: Vec::new(), per_call: 4 };
+        batch.write_once(&mut w).unwrap();
+        let purged = batch.purge();
+        assert_eq!(purged.len(), 2);
+        assert!(batch.is_empty());
+        assert_eq!(batch.pending_bytes(), 0);
     }
 }

@@ -140,6 +140,105 @@ impl Drop for ChildNode {
     }
 }
 
+/// A minimal frame-speaking peer for tests and benches: one blocking
+/// socket, a real epoch handshake, and no supervision on top. Lets a
+/// test or bench pose as a whole fleet of application nodes without
+/// paying for a [`crate::supervisor::Supervisor`] per identity.
+pub struct RawPeer {
+    stream: std::net::TcpStream,
+    /// The node id this peer claimed in its hello.
+    pub node: NodeId,
+    /// Epoch stamped on our outgoing frames.
+    pub epoch: u32,
+    /// Epoch the remote end stamped on its handshake reply.
+    pub peer_epoch: u32,
+    max_frame: u32,
+}
+
+impl RawPeer {
+    /// Connects, sends a hello as `node`, and blocks for the reply.
+    pub fn connect(addr: &str, node: NodeId, epoch: u32) -> Result<RawPeer, String> {
+        let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_nodelay(true).ok();
+        RawPeer::handshake(stream, node, epoch)
+    }
+
+    /// Runs the hello exchange over an already-connected stream.
+    pub fn handshake(
+        mut stream: std::net::TcpStream,
+        node: NodeId,
+        epoch: u32,
+    ) -> Result<RawPeer, String> {
+        use crate::frame::{read_frame, write_frame, FrameClass, DEFAULT_MAX_FRAME_BYTES};
+        let hello = comsim::marshal::to_bytes(&crate::supervisor::Hello { node })
+            .map_err(|e| format!("marshal hello: {e}"))?;
+        write_frame(&mut stream, FrameClass::Handshake, epoch, &hello, &[], &[])
+            .map_err(|e| format!("send hello: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let reply = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+            .map_err(|e| format!("hello reply: {e}"))?;
+        if reply.header.class != FrameClass::Handshake {
+            return Err(format!("expected handshake reply, got {:?}", reply.header.class));
+        }
+        stream.set_read_timeout(None).ok();
+        Ok(RawPeer {
+            stream,
+            node,
+            epoch,
+            peer_epoch: reply.header.epoch,
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Writes one frame, blocking until it is fully on the wire.
+    pub fn send(
+        &mut self,
+        class: crate::frame::FrameClass,
+        meta: &[u8],
+        body: &[u8],
+    ) -> std::io::Result<u64> {
+        crate::frame::write_frame(&mut self.stream, class, self.epoch, meta, body, &[])
+    }
+
+    /// Encodes an envelope with `codec` and writes it as one frame,
+    /// exactly as the supervisor's send path would.
+    pub fn send_envelope(
+        &mut self,
+        codec: &crate::codec::WireCodec,
+        envelope: &ds_net::message::Envelope,
+    ) -> Result<u64, String> {
+        let (meta, payload) = codec
+            .encode_envelope(envelope)
+            .ok_or("body type not wire-registered")?
+            .map_err(|e| format!("encode: {e}"))?;
+        crate::frame::write_frame(
+            &mut self.stream,
+            payload.class,
+            self.epoch,
+            &meta,
+            &payload.head,
+            &payload.shared,
+        )
+        .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Blocking-reads the next frame.
+    pub fn recv(&mut self) -> Result<crate::frame::Frame, crate::frame::ReadError> {
+        crate::frame::read_frame(&mut self.stream, self.max_frame)
+    }
+
+    /// Sets (or clears) the read timeout on the underlying socket.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) {
+        self.stream.set_read_timeout(timeout).ok();
+    }
+
+    /// The underlying stream, for tests that need to stop reading or
+    /// shrink socket buffers to provoke backpressure.
+    pub fn stream(&self) -> &std::net::TcpStream {
+        &self.stream
+    }
+}
+
 /// Writes `content` to `dir/name` and returns the path.
 pub fn write_config(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
     let path = dir.join(name);

@@ -20,10 +20,17 @@
 //! - [`codec`]: maps [`ds_net::message::MsgBody`] (a `dyn Any`) to and
 //!   from tagged frames via `comsim::marshal`; checkpoint deltas ship
 //!   their variable windows as shared byte slices end-to-end.
+//! - [`pool`]: size-classed buffer freelist feeding the encode path so a
+//!   saturated sender stops paying per-frame allocations.
+//! - [`reactor`]: the readiness-driven I/O core — a fixed, small set of
+//!   threads each running an epoll/poll loop over nonblocking sockets,
+//!   with incremental frame assembly on read and coalesced vectored
+//!   mega-writes on write.
 //! - [`supervisor`]: per-peer connection lifecycle — dial/accept race
 //!   resolution, capped + jittered reconnect backoff, bounded write
 //!   queues with drop-oldest-heartbeat backpressure, and epoch stamping
-//!   so a reconnect can never resurrect a stale frame.
+//!   so a reconnect can never resurrect a stale frame — layered as
+//!   per-connection state machines over the reactor.
 //! - [`runtime`]: [`runtime::WireNet`], the [`ProcessEnv`]-providing node
 //!   runtime the OFTT services run on.
 //! - [`fault`]: a loopback TCP proxy that injects delay, loss, and
@@ -45,6 +52,8 @@ pub mod config;
 pub mod fault;
 pub mod frame;
 pub mod harness;
+pub mod pool;
+pub mod reactor;
 pub mod runtime;
 pub mod supervisor;
 

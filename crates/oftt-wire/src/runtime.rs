@@ -24,7 +24,7 @@ use ds_net::transport::{
     run_actor, Control, NodeRouter, PeerHealth, TransportEvent, TransportReport,
 };
 use ds_sim::prelude::{SimTime, Trace, TraceCategory, WallClock};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::codec::WireCodec;
 use crate::supervisor::{Supervisor, WireConfig, WireHandler};
@@ -32,7 +32,10 @@ use crate::supervisor::{Supervisor, WireConfig, WireHandler};
 struct WireShared {
     node: NodeId,
     peers: HashSet<NodeId>,
-    mailboxes: Mutex<HashMap<Endpoint, Sender<Control>>>,
+    /// Live mailboxes, each tagged with the generation of the spawn that
+    /// registered it (a killed actor exiting late must not retire a
+    /// successor's registration).
+    mailboxes: RwLock<HashMap<Endpoint, (Sender<Control>, u64)>>,
     specs: Mutex<HashMap<Endpoint, ProcessFactory>>,
     trace: Mutex<Trace>,
     clock: WallClock,
@@ -42,7 +45,7 @@ struct WireShared {
     dropped: AtomicU64,
     unroutable: AtomicU64,
     event_subs: Mutex<Vec<Endpoint>>,
-    supervisor: Mutex<Option<Supervisor>>,
+    supervisor: RwLock<Option<Supervisor>>,
     shutting_down: AtomicBool,
 }
 
@@ -58,7 +61,7 @@ impl WireShared {
     }
 
     fn deliver_local(&self, envelope: Envelope) {
-        let target = self.mailboxes.lock().get(&envelope.to).cloned();
+        let target = self.mailboxes.read().get(&envelope.to).map(|(tx, _)| tx.clone());
         match target {
             Some(tx) => {
                 if let Err(err) = tx.send(Control::Deliver(envelope)) {
@@ -79,19 +82,21 @@ impl WireShared {
             factory()
         };
         let (tx, rx) = unbounded();
-        self.mailboxes.lock().insert(endpoint.clone(), tx);
-        let router: Arc<dyn NodeRouter> = Arc::new(ArcRouter(Arc::clone(self)));
-        let seed = {
+        let generation = {
             let mut c = self.counter.lock();
             *c += 1;
-            self.seed.wrapping_add(*c)
+            *c
         };
-        let handle = std::thread::spawn(move || run_actor(actor, endpoint, router, seed, rx));
+        self.mailboxes.write().insert(endpoint.clone(), (tx, generation));
+        let router: Arc<dyn NodeRouter> = Arc::new(ArcRouter(Arc::clone(self)));
+        let seed = self.seed.wrapping_add(generation);
+        let handle =
+            std::thread::spawn(move || run_actor(actor, endpoint, router, seed, generation, rx));
         self.handles.lock().push(handle);
     }
 
     fn kill(&self, endpoint: &Endpoint) {
-        if let Some(tx) = self.mailboxes.lock().remove(endpoint) {
+        if let Some((tx, _)) = self.mailboxes.write().remove(endpoint) {
             let _ = tx.send(Control::Kill);
         }
     }
@@ -118,7 +123,7 @@ impl WireShared {
             );
             return;
         }
-        let supervisor = self.supervisor.lock();
+        let supervisor = self.supervisor.read();
         if let Some(sup) = supervisor.as_ref() {
             sup.send_envelope(envelope.to.node, &envelope);
         }
@@ -185,13 +190,16 @@ impl NodeRouter for ArcRouter {
             );
             return;
         }
-        if self.0.mailboxes.lock().contains_key(target) {
+        if self.0.mailboxes.read().contains_key(target) {
             return;
         }
         self.0.spawn(target.clone());
     }
-    fn actor_exited(&self, endpoint: &Endpoint) {
-        self.0.mailboxes.lock().remove(endpoint);
+    fn actor_exited(&self, endpoint: &Endpoint, generation: u64) {
+        let mut mailboxes = self.0.mailboxes.write();
+        if mailboxes.get(endpoint).is_some_and(|(_, g)| *g == generation) {
+            mailboxes.remove(endpoint);
+        }
     }
 }
 
@@ -210,7 +218,7 @@ impl WireNet {
         let shared = Arc::new(WireShared {
             node: config.node,
             peers: config.peers.iter().map(|(peer, _)| *peer).collect(),
-            mailboxes: Mutex::new(HashMap::new()),
+            mailboxes: RwLock::new(HashMap::new()),
             specs: Mutex::new(HashMap::new()),
             trace: Mutex::new(Trace::new()),
             clock: WallClock::new(),
@@ -220,12 +228,12 @@ impl WireNet {
             dropped: AtomicU64::new(0),
             unroutable: AtomicU64::new(0),
             event_subs: Mutex::new(Vec::new()),
-            supervisor: Mutex::new(None),
+            supervisor: RwLock::new(None),
             shutting_down: AtomicBool::new(false),
         });
         let handler: Arc<dyn WireHandler> = Arc::clone(&shared) as Arc<dyn WireHandler>;
         let supervisor = Supervisor::start(config, codec, handler)?;
-        *shared.supervisor.lock() = Some(supervisor);
+        *shared.supervisor.write() = Some(supervisor);
         Ok(WireNet { shared })
     }
 
@@ -236,7 +244,7 @@ impl WireNet {
 
     /// The bound listen address (resolves port 0).
     pub fn listen_addr(&self) -> Option<SocketAddr> {
-        self.shared.supervisor.lock().as_ref().map(|s| s.local_addr())
+        self.shared.supervisor.read().as_ref().map(|s| s.local_addr())
     }
 
     /// Registers a service spec (not started yet).
@@ -256,7 +264,7 @@ impl WireNet {
 
     /// `true` if the local service currently has a live mailbox.
     pub fn is_running(&self, endpoint: &Endpoint) -> bool {
-        self.shared.mailboxes.lock().contains_key(endpoint)
+        self.shared.mailboxes.read().contains_key(endpoint)
     }
 
     /// Injects a message from an external driver (local or remote
@@ -288,17 +296,28 @@ impl WireNet {
 
     /// Per-peer link health from the supervisor.
     pub fn health(&self) -> Vec<PeerHealth> {
-        self.shared.supervisor.lock().as_ref().map(|s| s.health()).unwrap_or_default()
+        self.shared.supervisor.read().as_ref().map(|s| s.health()).unwrap_or_default()
     }
 
     /// `true` if a handshaken connection to `peer` is currently up.
     pub fn connected(&self, peer: NodeId) -> bool {
-        self.shared.supervisor.lock().as_ref().map(|s| s.connected(peer)).unwrap_or(false)
+        self.shared.supervisor.read().as_ref().map(|s| s.connected(peer)).unwrap_or(false)
     }
 
     /// Frames received from an abandoned connection epoch and dropped.
     pub fn stale_in(&self, peer: NodeId) -> u64 {
-        self.shared.supervisor.lock().as_ref().map(|s| s.stale_in(peer)).unwrap_or(0)
+        self.shared.supervisor.read().as_ref().map(|s| s.stale_in(peer)).unwrap_or(0)
+    }
+
+    /// The fixed reactor thread count serving every connection (O(1) in
+    /// the number of peers).
+    pub fn io_threads(&self) -> usize {
+        self.shared.supervisor.read().as_ref().map_or(0, |s| s.io_threads())
+    }
+
+    /// Encode-path buffer pool counters from the supervisor.
+    pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        self.shared.supervisor.read().as_ref().map(|s| s.pool_stats())
     }
 
     /// Subscribes a **local** service to [`TransportEvent`]s (delivered
@@ -322,7 +341,7 @@ impl WireNet {
                 slept += slice;
             }
             let peers = {
-                let sup = shared.supervisor.lock();
+                let sup = shared.supervisor.read();
                 match sup.as_ref() {
                     Some(s) => s.health(),
                     None => return,
@@ -338,7 +357,7 @@ impl WireNet {
     /// Stops every service, the reporter, and the socket layer.
     pub fn shutdown(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        let endpoints: Vec<Endpoint> = self.shared.mailboxes.lock().keys().cloned().collect();
+        let endpoints: Vec<Endpoint> = self.shared.mailboxes.read().keys().cloned().collect();
         for ep in endpoints {
             self.shared.kill(&ep);
         }
@@ -348,7 +367,7 @@ impl WireNet {
         }
         // Taking the supervisor out breaks the WireShared <-> Supervisor
         // Arc cycle and joins the socket threads.
-        let supervisor = self.shared.supervisor.lock().take();
+        let supervisor = self.shared.supervisor.write().take();
         if let Some(sup) = supervisor {
             sup.shutdown();
         }

@@ -1,5 +1,6 @@
 //! Per-peer connection supervision: dialing, accepting, handshakes,
-//! reconnect backoff, write queues, and teardown.
+//! reconnect backoff, write queues, and teardown — layered as
+//! per-connection state machines over the [`Reactor`].
 //!
 //! One [`Supervisor`] owns every TCP concern of a node:
 //!
@@ -18,28 +19,43 @@
 //!   purges the write queue — a reconnect can never resurrect a frame
 //!   from a dead connection.
 //!
+//! The I/O itself is the reactor's: a fixed [`WireConfig::io_threads`]
+//! threads serve every connection, so a node monitoring a thousand
+//! applications costs the same thread count as a bare pair. Outbound
+//! frames sit in sharded per-destination queues ([`ShardedQueues`]),
+//! are pulled by the owning reactor thread in batches, stamped with the
+//! connection's epoch at pull time, and leave in coalesced vectored
+//! writes; frame buffers cycle through a [`BufPool`] instead of the
+//! allocator.
+//!
 //! The supervisor is runtime-agnostic: it hands decoded envelopes and
 //! link events to a [`WireHandler`] and knows nothing about actors.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::ErrorKind;
+use std::collections::HashMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use comsim::buf::Bytes;
 use ds_net::endpoint::NodeId;
 use ds_net::message::Envelope;
 use ds_net::transport::{LinkState, PeerHealth, TransportEvent};
 use ds_sim::prelude::{SimDuration, SimRng, TraceCategory};
+use msgq::shard::ShardedQueues;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{FramePayload, WireCodec};
 use crate::frame::{
-    read_frame, write_frame, FrameClass, ReadError, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN,
+    read_frame, write_frame, Frame, FrameClass, OutFrame, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN,
 };
+use crate::pool::{BufPool, PoolStats};
+use crate::reactor::{ConnId, Directive, Reactor, ReactorHandler, StampedFrame};
+
+/// Frames a reactor thread pulls from a link queue per refill.
+const PULL_BATCH: usize = 128;
 
 /// Socket-layer configuration for one node.
 #[derive(Debug, Clone)]
@@ -64,6 +80,12 @@ pub struct WireConfig {
     pub handshake_timeout: Duration,
     /// Seed for backoff jitter.
     pub seed: u64,
+    /// Reactor threads serving all connections (O(1) in connections).
+    pub io_threads: usize,
+    /// Accept handshakes from node ids not listed in `peers`, creating
+    /// accept-only links on the fly. Off for a fixed OFTT pair; on for a
+    /// node serving a fleet of monitored applications.
+    pub accept_unknown: bool,
 }
 
 impl WireConfig {
@@ -80,6 +102,8 @@ impl WireConfig {
             connect_timeout: Duration::from_secs(1),
             handshake_timeout: Duration::from_secs(2),
             seed: 1,
+            io_threads: 2,
+            accept_unknown: false,
         }
     }
 }
@@ -96,191 +120,174 @@ pub trait WireHandler: Send + Sync {
 
 /// Handshake meta block: who is dialing/answering.
 #[derive(Debug, Serialize, Deserialize)]
-struct Hello {
-    node: NodeId,
+pub(crate) struct Hello {
+    pub(crate) node: NodeId,
 }
 
-struct QueuedFrame {
-    class: FrameClass,
-    meta: Vec<u8>,
-    head: Vec<u8>,
-    shared: Vec<Bytes>,
-}
-
-struct Conn {
-    /// For shutdown; reader/writer threads hold their own clones.
-    stream: TcpStream,
-    /// Distinguishes this connection from any other on the link.
-    id: u64,
+/// The connection currently carrying a link.
+#[derive(Clone, Copy)]
+struct CurrentConn {
+    id: ConnId,
     /// Who initiated it (race-resolution key).
     dialed_by: NodeId,
 }
 
 struct LinkInner {
     status: LinkState,
-    conn: Option<Conn>,
-    conn_seq: u64,
+    conn: Option<CurrentConn>,
     next_epoch: u32,
     /// Epoch of the current (or most recent) connection, for health rows.
     epoch: u32,
-    queue: VecDeque<QueuedFrame>,
 }
 
 struct Link {
     peer: NodeId,
-    addr: String,
+    /// Dial address; `None` for accept-only links (the peer dials us).
+    addr: Option<String>,
     inner: Mutex<LinkInner>,
-    cv: Condvar,
+    /// Set while a flush command is in flight to the reactor, so a burst
+    /// of sends costs one wakeup, not one per frame.
+    flush_armed: AtomicBool,
     installs: AtomicU64,
     reconnects: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     dropped_heartbeats: AtomicU64,
     dropped_frames: AtomicU64,
+    purged: AtomicU64,
     stale_in: AtomicU64,
 }
 
 impl Link {
-    fn new(peer: NodeId, addr: String) -> Self {
+    fn new(peer: NodeId, addr: Option<String>) -> Self {
         Link {
             peer,
             addr,
             inner: Mutex::new(LinkInner {
                 status: LinkState::Connecting,
                 conn: None,
-                conn_seq: 0,
                 next_epoch: 1,
                 epoch: 0,
-                queue: VecDeque::new(),
             }),
-            cv: Condvar::new(),
+            flush_armed: AtomicBool::new(false),
             installs: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             dropped_heartbeats: AtomicU64::new(0),
             dropped_frames: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
             stale_in: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, LinkInner> {
-        // A poisoned link mutex means a panic elsewhere; propagating the
-        // inner state is still safe (all fields are plain data).
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn dest(&self) -> u64 {
+        u64::from(self.peer.0)
     }
+}
+
+/// Per-connection protocol state, keyed by reactor [`ConnId`].
+enum ConnCtx {
+    /// Accepted; waiting for the dialer's hello.
+    AwaitHello { deadline: Instant },
+    /// Handshaken and installed (or superseded but not yet closed).
+    Established {
+        link: Arc<Link>,
+        my_epoch: u32,
+        peer_epoch: u32,
+        /// Frames bound to this connection specifically (the handshake
+        /// reply), served before the link queue.
+        pending: Vec<OutFrame>,
+    },
 }
 
 struct Shared {
     config: WireConfig,
     codec: Arc<WireCodec>,
     handler: Arc<dyn WireHandler>,
-    links: HashMap<NodeId, Arc<Link>>,
+    /// Configured peers plus (with `accept_unknown`) links created at
+    /// accept time.
+    links: RwLock<HashMap<NodeId, Arc<Link>>>,
+    /// Protocol state per live connection.
+    conns: Mutex<HashMap<ConnId, ConnCtx>>,
+    /// Outbound frames per peer. All mutations happen while holding the
+    /// owning link's `inner` lock (lock order: `inner` then shard), so
+    /// the status check and the queue operation are atomic together.
+    queues: ShardedQueues<OutFrame>,
+    pool: BufPool,
+    reactor: OnceLock<Arc<Reactor>>,
     listen_addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Dialer parking lot: woken on teardown for immediate redial.
+    dial_mu: StdMutex<()>,
+    dial_cv: Condvar,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl Shared {
-    fn spawn(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) {
-        let handle = std::thread::spawn(f);
-        self.threads.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
-    }
+/// Outcome of installing a handshaken connection on a link.
+enum Install {
+    Won { reconnect: bool },
+    LostRace,
+}
 
+impl Shared {
     fn trace(&self, message: String) {
         self.handler.record(TraceCategory::Net, message);
     }
 
-    /// Tears the link's current connection down **iff** it is still
-    /// `conn_id` (a later connection must not be collateral damage).
-    fn teardown(&self, link: &Link, conn_id: u64, why: &str) {
-        let (purged_hb, purged_data) = {
-            let mut inner = link.lock();
-            let Some(conn) = inner.conn.as_ref() else { return };
-            if conn.id != conn_id {
-                return;
-            }
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-            inner.conn = None;
-            inner.status = LinkState::Backoff;
-            // Purge: nothing queued for a dead connection may survive
-            // onto the next one.
-            let mut hb = 0u64;
-            let mut data = 0u64;
-            for f in inner.queue.drain(..) {
-                match f.class {
-                    FrameClass::Heartbeat => hb += 1,
-                    _ => data += 1,
-                }
-            }
-            link.cv.notify_all();
-            (hb, data)
-        };
-        link.dropped_heartbeats.fetch_add(purged_hb, Ordering::Relaxed);
-        link.dropped_frames.fetch_add(purged_data, Ordering::Relaxed);
-        if !self.shutdown.load(Ordering::Relaxed) {
-            self.trace(format!(
-                "wire link {} -> {}: down ({why}), purged {} queued frames",
-                self.config.node,
-                link.peer,
-                purged_hb + purged_data
-            ));
-            self.handler.peer_event(TransportEvent::PeerDown { peer: link.peer });
-        }
+    fn link_for(&self, peer: NodeId) -> Option<Arc<Link>> {
+        self.links.read().get(&peer).cloned()
+    }
+
+    fn reactor(&self) -> Option<&Arc<Reactor>> {
+        self.reactor.get()
+    }
+
+    fn wake_dialer(&self) {
+        let _guard = self.dial_mu.lock().unwrap_or_else(|e| e.into_inner());
+        self.dial_cv.notify_all();
+    }
+
+    fn recycle_frame(&self, frame: OutFrame) {
+        self.pool.give(frame.meta);
+        self.pool.give(frame.head);
     }
 
     /// Installs a handshaken connection, resolving dial/accept races:
-    /// the connection initiated by the lower node id wins.
-    fn install(
-        self: &Arc<Self>,
-        link: &Arc<Link>,
-        stream: TcpStream,
-        dialed_by: NodeId,
-        my_epoch: u32,
-        peer_epoch: u32,
-    ) {
+    /// the connection initiated by the lower node id wins. The loser of
+    /// a race (existing or new) is closed via the reactor.
+    fn install(&self, link: &Link, conn: ConnId, dialed_by: NodeId, my_epoch: u32) -> Install {
         let preferred = self.config.node.min(link.peer);
-        let conn_id;
-        {
-            let mut inner = link.lock();
-            if let Some(existing) = inner.conn.as_ref() {
-                if existing.dialed_by != dialed_by && dialed_by != preferred {
+        let superseded = {
+            let mut inner = link.inner.lock();
+            let old = match inner.conn {
+                Some(existing) if existing.dialed_by != dialed_by && dialed_by != preferred => {
                     // The established connection is (or will be) the
-                    // preferred one; close the loser quietly.
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    self.trace(format!(
-                        "wire link {} -> {}: dropped duplicate connection dialed by {dialed_by}",
-                        self.config.node, link.peer
-                    ));
-                    return;
+                    // preferred one; the newcomer loses quietly.
+                    return Install::LostRace;
                 }
-                let _ = existing.stream.shutdown(std::net::Shutdown::Both);
-            }
-            inner.conn_seq += 1;
-            conn_id = inner.conn_seq;
-            inner.conn = Some(Conn {
-                stream: match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(e) => {
-                        self.trace(format!(
-                            "wire link {} -> {}: clone failed at install: {e}",
-                            self.config.node, link.peer
-                        ));
-                        return;
-                    }
-                },
-                id: conn_id,
-                dialed_by,
-            });
+                Some(existing) => Some(existing.id),
+                None => None,
+            };
+            inner.conn = Some(CurrentConn { id: conn, dialed_by });
             inner.status = LinkState::Connected;
             inner.epoch = my_epoch;
-            link.cv.notify_all();
+            old
+        };
+        if let Some(old) = superseded {
+            if let Some(reactor) = self.reactor() {
+                reactor.close(old);
+            }
         }
         let installs = link.installs.fetch_add(1, Ordering::Relaxed) + 1;
         let reconnect = installs > 1;
         if reconnect {
             link.reconnects.fetch_add(1, Ordering::Relaxed);
         }
+        Install::Won { reconnect }
+    }
+
+    fn announce_install(&self, link: &Link, my_epoch: u32, dialed_by: NodeId, reconnect: bool) {
         self.trace(format!(
             "wire link {} -> {}: connected (epoch={my_epoch}, dialed by {dialed_by})",
             self.config.node, link.peer
@@ -290,171 +297,196 @@ impl Shared {
             epoch: my_epoch,
             reconnect,
         });
+    }
 
-        // Writer: drains the queue while this connection is current.
-        match stream.try_clone() {
-            Ok(writer_stream) => {
-                let writer_shared = Arc::clone(self);
-                let writer_link = Arc::clone(link);
-                self.spawn(move || {
-                    writer_shared.write_loop(&writer_link, writer_stream, conn_id, my_epoch);
+    /// Link-level teardown after a connection died. Only the *current*
+    /// connection tears the link down — a superseded loser closing late
+    /// must not be collateral damage. `unsent_*` counts frames that were
+    /// pulled into the connection's write batch but never hit the wire.
+    fn teardown(&self, link: &Link, conn: ConnId, why: &str, unsent_hb: u64, unsent_data: u64) {
+        let mut purged_hb = 0u64;
+        let mut purged_data = 0u64;
+        let is_current = {
+            let mut inner = link.inner.lock();
+            let current = inner.conn.map(|c| c.id) == Some(conn);
+            if current {
+                inner.conn = None;
+                inner.status = LinkState::Backoff;
+                // Purge under `inner`: nothing queued for a dead
+                // connection may survive onto the next one.
+                for f in self.queues.purge(link.dest()) {
+                    match f.class {
+                        FrameClass::Heartbeat => purged_hb += 1,
+                        _ => purged_data += 1,
+                    }
+                    self.recycle_frame(f);
+                }
+            }
+            current
+        };
+        // Frames that die with their connection are purges, not sheds:
+        // the backpressure counters stay a pure drop-policy signal.
+        link.purged.fetch_add(unsent_hb + unsent_data + purged_hb + purged_data, Ordering::Relaxed);
+        if is_current && !self.shutdown.load(Ordering::Relaxed) {
+            self.trace(format!(
+                "wire link {} -> {}: down ({why}), purged {} queued frames",
+                self.config.node,
+                link.peer,
+                unsent_hb + unsent_data + purged_hb + purged_data
+            ));
+            self.handler.peer_event(TransportEvent::PeerDown { peer: link.peer });
+            self.wake_dialer();
+        }
+    }
+
+    /// Queues an encoded frame for the link, applying the backpressure
+    /// policy, and nudges the reactor. Returns `false` if the frame was
+    /// shed immediately.
+    fn enqueue(&self, link: &Link, frame: OutFrame) -> bool {
+        let is_heartbeat = frame.class == FrameClass::Heartbeat;
+        let mut shed = Vec::new();
+        let (accepted, conn) = {
+            let inner = link.inner.lock();
+            if is_heartbeat && inner.status != LinkState::Connected {
+                // A heartbeat held back and delivered after a reconnect
+                // would assert liveness for the wrong moment in time.
+                (false, None)
+            } else {
+                self.queues.with_queue(link.dest(), |q| {
+                    q.push_back(frame);
+                    while q.len() > self.config.queue_limit {
+                        if let Some(pos) = q.iter().position(|f| f.class == FrameClass::Heartbeat) {
+                            if let Some(f) = q.remove(pos) {
+                                shed.push(f);
+                            }
+                        } else if let Some(f) = q.pop_front() {
+                            shed.push(f);
+                        }
+                    }
                 });
+                (true, inner.conn.map(|c| c.id))
             }
-            Err(e) => {
-                self.teardown(link, conn_id, &format!("writer clone failed: {e}"));
-                return;
-            }
-        }
-        // Reader: owns the stream until it errors.
-        let reader_shared = Arc::clone(self);
-        let reader_link = Arc::clone(link);
-        let mut reader_stream = stream;
-        self.spawn(move || {
-            reader_shared.read_loop(&reader_link, &mut reader_stream, conn_id, peer_epoch);
-        });
-    }
-
-    fn read_loop(&self, link: &Link, stream: &mut TcpStream, conn_id: u64, peer_epoch: u32) {
-        loop {
-            match read_frame(stream, self.config.max_frame) {
-                Ok(frame) => {
-                    let wire_len = HEADER_LEN as u64
-                        + frame.header.meta_len as u64
-                        + frame.header.body_len as u64;
-                    link.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
-                    if frame.header.class == FrameClass::Handshake {
-                        // Duplicate handshake mid-stream: harmless, skip.
-                        continue;
-                    }
-                    if frame.header.epoch != peer_epoch {
-                        // A frame from a connection the peer has already
-                        // abandoned; never deliver it.
-                        link.stale_in.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    match self.codec.decode_frame(&frame) {
-                        Ok(envelope) => self.handler.deliver(envelope),
-                        Err(e) => {
-                            // The frame boundary held, so the stream is
-                            // still in sync: skip this body only.
-                            link.dropped_frames.fetch_add(1, Ordering::Relaxed);
-                            self.trace(format!(
-                                "wire link {} <- {}: undecodable frame skipped: {e}",
-                                self.config.node, link.peer
-                            ));
-                        }
-                    }
-                }
-                Err(ReadError::Protocol(e)) => {
-                    self.teardown(link, conn_id, &format!("framing error: {e}"));
-                    return;
-                }
-                Err(ReadError::Io(e)) => {
-                    self.teardown(link, conn_id, &format!("read failed: {e}"));
-                    return;
-                }
-            }
-        }
-    }
-
-    fn write_loop(&self, link: &Link, mut stream: TcpStream, conn_id: u64, my_epoch: u32) {
-        loop {
-            let frame = {
-                let mut inner = link.lock();
-                loop {
-                    match inner.conn.as_ref() {
-                        Some(conn) if conn.id == conn_id => {}
-                        _ => return, // superseded or torn down
-                    }
-                    if let Some(frame) = inner.queue.pop_front() {
-                        break frame;
-                    }
-                    inner = self.cv_wait(link, inner, Duration::from_millis(100));
-                    if self.shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                }
-            };
-            match write_frame(
-                &mut stream,
-                frame.class,
-                my_epoch,
-                &frame.meta,
-                &frame.head,
-                &frame.shared,
-            ) {
-                Ok(n) => {
-                    link.bytes_out.fetch_add(n, Ordering::Relaxed);
-                }
-                Err(e) => {
-                    match frame.class {
-                        FrameClass::Heartbeat => {
-                            link.dropped_heartbeats.fetch_add(1, Ordering::Relaxed)
-                        }
-                        _ => link.dropped_frames.fetch_add(1, Ordering::Relaxed),
-                    };
-                    self.teardown(link, conn_id, &format!("write failed: {e}"));
-                    return;
-                }
-            }
-        }
-    }
-
-    fn cv_wait<'a>(
-        &self,
-        link: &'a Link,
-        guard: std::sync::MutexGuard<'a, LinkInner>,
-        timeout: Duration,
-    ) -> std::sync::MutexGuard<'a, LinkInner> {
-        match link.cv.wait_timeout(guard, timeout) {
-            Ok((g, _)) => g,
-            Err(e) => e.into_inner().0,
-        }
-    }
-
-    /// Queues an encoded frame for `peer`, applying the backpressure
-    /// policy. Returns `false` if the frame was shed immediately.
-    fn enqueue(&self, link: &Link, frame: QueuedFrame) -> bool {
-        let mut inner = link.lock();
-        if frame.class == FrameClass::Heartbeat && inner.status != LinkState::Connected {
-            // A heartbeat held back and delivered after a reconnect would
-            // assert liveness for the wrong moment in time.
-            drop(inner);
+        };
+        if !accepted {
             link.dropped_heartbeats.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        inner.queue.push_back(frame);
         let mut shed_hb = 0u64;
         let mut shed_data = 0u64;
-        while inner.queue.len() > self.config.queue_limit {
-            if let Some(pos) = inner.queue.iter().position(|f| f.class == FrameClass::Heartbeat) {
-                inner.queue.remove(pos);
-                shed_hb += 1;
-            } else {
-                inner.queue.pop_front();
-                shed_data += 1;
+        for f in shed {
+            match f.class {
+                FrameClass::Heartbeat => shed_hb += 1,
+                _ => shed_data += 1,
             }
+            self.recycle_frame(f);
         }
-        link.cv.notify_all();
-        drop(inner);
         link.dropped_heartbeats.fetch_add(shed_hb, Ordering::Relaxed);
         link.dropped_frames.fetch_add(shed_data, Ordering::Relaxed);
+        // One wakeup per burst: the reactor clears the arm when it
+        // starts draining, so anything enqueued after that re-arms.
+        if let Some(conn) = conn {
+            if !link.flush_armed.swap(true, Ordering::AcqRel) {
+                if let Some(reactor) = self.reactor() {
+                    reactor.flush(conn);
+                }
+            }
+        }
         true
     }
 
-    /// Dialer-side handshake: send our hello, await the peer's.
+    /// Handles the hello frame on an accepted connection: resolve the
+    /// link, allocate an epoch, stage the reply, install.
+    fn handle_hello(&self, conn: ConnId, frame: &Frame) -> Directive {
+        if frame.header.class != FrameClass::Handshake {
+            self.trace(format!(
+                "wire accept on {}: peer spoke before handshaking",
+                self.config.node
+            ));
+            return Directive::Close;
+        }
+        let hello: Hello = match comsim::marshal::from_bytes(frame.meta.as_slice()) {
+            Ok(h) => h,
+            Err(e) => {
+                self.trace(format!("wire accept on {}: unreadable hello: {e}", self.config.node));
+                return Directive::Close;
+            }
+        };
+        let link = match self.link_for(hello.node) {
+            Some(link) => link,
+            None if self.config.accept_unknown => {
+                let mut links = self.links.write();
+                Arc::clone(
+                    links
+                        .entry(hello.node)
+                        .or_insert_with(|| Arc::new(Link::new(hello.node, None))),
+                )
+            }
+            None => {
+                self.trace(format!(
+                    "wire accept on {}: unknown peer {} rejected",
+                    self.config.node, hello.node
+                ));
+                return Directive::Close;
+            }
+        };
+        let my_epoch = {
+            let mut inner = link.inner.lock();
+            let e = inner.next_epoch;
+            inner.next_epoch += 1;
+            e
+        };
+        let reconnect = match self.install(&link, conn, hello.node, my_epoch) {
+            Install::Won { reconnect } => reconnect,
+            Install::LostRace => {
+                self.trace(format!(
+                    "wire link {} -> {}: dropped duplicate connection dialed by {}",
+                    self.config.node, link.peer, hello.node
+                ));
+                return Directive::Close;
+            }
+        };
+        let mut reply_meta = self.pool.take(64);
+        if comsim::marshal::to_bytes_into(&Hello { node: self.config.node }, &mut reply_meta)
+            .is_err()
+        {
+            return Directive::Close;
+        }
+        let reply = OutFrame {
+            class: FrameClass::Handshake,
+            meta: reply_meta,
+            head: Vec::new(),
+            shared: Vec::new(),
+        };
+        {
+            let mut conns = self.conns.lock();
+            conns.insert(
+                conn,
+                ConnCtx::Established {
+                    link: Arc::clone(&link),
+                    my_epoch,
+                    peer_epoch: frame.header.epoch,
+                    pending: vec![reply],
+                },
+            );
+        }
+        self.announce_install(&link, my_epoch, hello.node, reconnect);
+        Directive::Continue
+    }
+
+    /// Dialer-side handshake: connect, send our hello, await the peer's,
+    /// then hand the socket to the reactor.
     fn dial_once(self: &Arc<Self>, link: &Arc<Link>) -> Result<(), String> {
-        let addr = link
-            .addr
+        let addr_str = link.addr.as_deref().ok_or("accept-only link")?;
+        let addr = addr_str
             .to_socket_addrs()
-            .map_err(|e| format!("resolve {}: {e}", link.addr))?
+            .map_err(|e| format!("resolve {addr_str}: {e}"))?
             .next()
-            .ok_or_else(|| format!("{} resolves to nothing", link.addr))?;
+            .ok_or_else(|| format!("{addr_str} resolves to nothing"))?;
         let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
             .map_err(|e| format!("connect {addr}: {e}"))?;
         stream.set_nodelay(true).ok();
         let my_epoch = {
-            let mut inner = link.lock();
+            let mut inner = link.inner.lock();
             let e = inner.next_epoch;
             inner.next_epoch += 1;
             e
@@ -475,138 +507,281 @@ impl Shared {
             return Err(format!("dialed {} but {} answered", link.peer, peer_hello.node));
         }
         stream.set_read_timeout(None).ok();
-        self.install(link, stream, self.config.node, my_epoch, reply.header.epoch);
-        Ok(())
-    }
-
-    /// Acceptor-side handshake: read the dialer's hello, answer it.
-    fn accept_handshake(self: &Arc<Self>, mut stream: TcpStream) {
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(self.config.handshake_timeout)).ok();
-        let frame = match read_frame(&mut stream, self.config.max_frame) {
-            Ok(f) => f,
-            Err(e) => {
-                self.trace(format!("wire accept on {}: bad handshake: {e}", self.config.node));
-                return;
-            }
-        };
-        if frame.header.class != FrameClass::Handshake {
-            self.trace(format!(
-                "wire accept on {}: peer spoke before handshaking",
-                self.config.node
-            ));
-            return;
-        }
-        let hello: Hello = match comsim::marshal::from_bytes(frame.meta.as_slice()) {
-            Ok(h) => h,
-            Err(e) => {
-                self.trace(format!("wire accept on {}: unreadable hello: {e}", self.config.node));
-                return;
-            }
-        };
-        let Some(link) = self.links.get(&hello.node).cloned() else {
-            self.trace(format!(
-                "wire accept on {}: unknown peer {} rejected",
-                self.config.node, hello.node
-            ));
-            return;
-        };
-        let my_epoch = {
-            let mut inner = link.lock();
-            let e = inner.next_epoch;
-            inner.next_epoch += 1;
-            e
-        };
-        let reply = match comsim::marshal::to_bytes(&Hello { node: self.config.node }) {
-            Ok(r) => r,
-            Err(_) => return,
-        };
-        if let Err(e) = write_frame(&mut stream, FrameClass::Handshake, my_epoch, &reply, &[], &[])
+        let reactor = Arc::clone(self.reactor().ok_or("reactor not started")?);
+        let conn = reactor.reserve_conn();
         {
-            self.trace(format!("wire accept on {}: handshake reply failed: {e}", self.config.node));
-            return;
+            let mut conns = self.conns.lock();
+            conns.insert(
+                conn,
+                ConnCtx::Established {
+                    link: Arc::clone(link),
+                    my_epoch,
+                    peer_epoch: reply.header.epoch,
+                    pending: Vec::new(),
+                },
+            );
         }
-        stream.set_read_timeout(None).ok();
-        self.install(&link, stream, hello.node, my_epoch, frame.header.epoch);
+        match self.install(link, conn, self.config.node, my_epoch) {
+            Install::Won { reconnect } => {
+                if let Err(e) = reactor.attach(conn, stream) {
+                    self.conns.lock().remove(&conn);
+                    let mut inner = link.inner.lock();
+                    if inner.conn.map(|c| c.id) == Some(conn) {
+                        inner.conn = None;
+                        inner.status = LinkState::Backoff;
+                    }
+                    return Err(format!("attach: {e}"));
+                }
+                self.announce_install(link, my_epoch, self.config.node, reconnect);
+                Ok(())
+            }
+            Install::LostRace => {
+                // The accept path installed the preferred connection
+                // while we dialed; ours closes quietly.
+                self.conns.lock().remove(&conn);
+                self.trace(format!(
+                    "wire link {} -> {}: dropped duplicate connection dialed by {}",
+                    self.config.node, link.peer, self.config.node
+                ));
+                Ok(())
+            }
+        }
     }
 
-    /// Per-peer dial thread: keep the link connected, backing off with
-    /// jitter between failures.
-    fn dial_loop(self: Arc<Self>, link: Arc<Link>) {
-        let mut rng = SimRng::seed_from(self.config.seed ^ (0x9e37 + u64::from(link.peer.0)));
-        let mut failures: u32 = 0;
+    /// The single dial thread for all peers: keeps every dialable link
+    /// connected, with capped jittered backoff per link, parked on a
+    /// condvar that teardown pokes for immediate redial.
+    fn dial_loop(self: Arc<Self>) {
+        struct DialState {
+            failures: u32,
+            next_attempt: Instant,
+        }
+        let mut rng = SimRng::seed_from(self.config.seed ^ 0x9e37);
+        let mut states: HashMap<NodeId, DialState> = HashMap::new();
         while !self.shutdown.load(Ordering::Relaxed) {
-            let connected = { link.lock().conn.is_some() };
-            if connected {
-                failures = 0;
-                std::thread::sleep(Duration::from_millis(25));
-                continue;
-            }
-            {
-                let mut inner = link.lock();
-                if inner.conn.is_none() && inner.status == LinkState::Backoff {
-                    inner.status = LinkState::Connecting;
+            let dialable: Vec<Arc<Link>> = {
+                let links = self.links.read();
+                links.values().filter(|l| l.addr.is_some()).cloned().collect()
+            };
+            let now = Instant::now();
+            let mut next_due: Option<Instant> = None;
+            for link in &dialable {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
                 }
-            }
-            match self.dial_once(&link) {
-                Ok(()) => {
-                    failures = 0;
+                let connected = { link.inner.lock().conn.is_some() };
+                let state =
+                    states.entry(link.peer).or_insert(DialState { failures: 0, next_attempt: now });
+                if connected {
+                    state.failures = 0;
+                    state.next_attempt = now;
+                    continue;
                 }
-                Err(why) => {
-                    if self.shutdown.load(Ordering::Relaxed) {
-                        return;
+                if state.next_attempt > now {
+                    next_due =
+                        Some(next_due.map_or(state.next_attempt, |d| d.min(state.next_attempt)));
+                    continue;
+                }
+                {
+                    let mut inner = link.inner.lock();
+                    if inner.conn.is_none() && inner.status == LinkState::Backoff {
+                        inner.status = LinkState::Connecting;
                     }
-                    // Another thread (the acceptor) may have installed a
-                    // connection while we were failing to dial.
-                    if link.lock().conn.is_some() {
-                        continue;
+                }
+                match self.dial_once(link) {
+                    Ok(()) => {
+                        state.failures = 0;
                     }
-                    {
-                        let mut inner = link.lock();
-                        if inner.conn.is_none() {
-                            inner.status = LinkState::Backoff;
+                    Err(why) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            return;
                         }
+                        // The acceptor may have installed a connection
+                        // while the dial was failing.
+                        if link.inner.lock().conn.is_some() {
+                            state.failures = 0;
+                            continue;
+                        }
+                        {
+                            let mut inner = link.inner.lock();
+                            if inner.conn.is_none() {
+                                inner.status = LinkState::Backoff;
+                            }
+                        }
+                        if state.failures == 0 {
+                            self.trace(format!(
+                                "wire link {} -> {}: dial failed ({why}), backing off",
+                                self.config.node, link.peer
+                            ));
+                        }
+                        let exp = self
+                            .config
+                            .backoff_base
+                            .saturating_mul(1u32 << state.failures.min(6))
+                            .min(self.config.backoff_cap);
+                        state.failures = state.failures.saturating_add(1);
+                        let base = SimDuration::from_micros(exp.as_micros() as u64);
+                        let spread = SimDuration::from_micros((exp.as_micros() / 2) as u64);
+                        let wait = Duration::from_micros(rng.jittered(base, spread).as_micros());
+                        state.next_attempt = Instant::now() + wait;
+                        next_due = Some(
+                            next_due.map_or(state.next_attempt, |d| d.min(state.next_attempt)),
+                        );
                     }
-                    if failures == 0 {
+                }
+            }
+            // Park until the earliest backoff expires, a teardown pokes
+            // us, or a periodic recheck (new accept-only links, races).
+            let park = next_due
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(100))
+                .clamp(Duration::from_millis(1), Duration::from_millis(100));
+            let guard = self.dial_mu.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = self
+                .dial_cv
+                .wait_timeout(guard, park)
+                .map(|(g, _)| drop(g))
+                .map_err(|e| drop(e.into_inner().0));
+        }
+    }
+}
+
+impl ReactorHandler for Shared {
+    fn on_accept(&self, conn: ConnId, _addr: SocketAddr) {
+        let deadline = Instant::now() + self.config.handshake_timeout;
+        self.conns.lock().insert(conn, ConnCtx::AwaitHello { deadline });
+    }
+
+    fn on_frame(&self, conn: ConnId, frame: Frame) -> Directive {
+        enum Kind {
+            Pending,
+            Est { link: Arc<Link>, peer_epoch: u32 },
+        }
+        let kind = {
+            let conns = self.conns.lock();
+            match conns.get(&conn) {
+                None => return Directive::Close,
+                Some(ConnCtx::AwaitHello { .. }) => Kind::Pending,
+                Some(ConnCtx::Established { link, peer_epoch, .. }) => {
+                    Kind::Est { link: Arc::clone(link), peer_epoch: *peer_epoch }
+                }
+            }
+        };
+        match kind {
+            Kind::Pending => self.handle_hello(conn, &frame),
+            Kind::Est { link, peer_epoch } => {
+                let wire_len =
+                    HEADER_LEN as u64 + frame.header.meta_len as u64 + frame.header.body_len as u64;
+                link.bytes_in.fetch_add(wire_len, Ordering::Relaxed);
+                if frame.header.class == FrameClass::Handshake {
+                    // Duplicate handshake mid-stream: harmless, skip.
+                    return Directive::Continue;
+                }
+                if frame.header.epoch != peer_epoch {
+                    // A frame from a connection the peer has already
+                    // abandoned; never deliver it.
+                    link.stale_in.fetch_add(1, Ordering::Relaxed);
+                    return Directive::Continue;
+                }
+                match self.codec.decode_frame(&frame) {
+                    Ok(envelope) => self.handler.deliver(envelope),
+                    Err(e) => {
+                        // The frame boundary held, so the stream is
+                        // still in sync: skip this body only.
+                        link.dropped_frames.fetch_add(1, Ordering::Relaxed);
                         self.trace(format!(
-                            "wire link {} -> {}: dial failed ({why}), backing off",
+                            "wire link {} <- {}: undecodable frame skipped: {e}",
                             self.config.node, link.peer
                         ));
                     }
-                    let exp = self
-                        .config
-                        .backoff_base
-                        .saturating_mul(1u32 << failures.min(6))
-                        .min(self.config.backoff_cap);
-                    failures = failures.saturating_add(1);
-                    let base = SimDuration::from_micros(exp.as_micros() as u64);
-                    let spread = SimDuration::from_micros((exp.as_micros() / 2) as u64);
-                    let wait = Duration::from_micros(rng.jittered(base, spread).as_micros());
-                    let mut slept = Duration::ZERO;
-                    while slept < wait && !self.shutdown.load(Ordering::Relaxed) {
-                        let slice = Duration::from_millis(25).min(wait - slept);
-                        std::thread::sleep(slice);
-                        slept += slice;
-                    }
                 }
+                Directive::Continue
             }
         }
     }
 
-    /// Accept thread: poll the listener, hand each connection to a
-    /// handshake thread.
-    fn accept_loop(self: Arc<Self>, listener: TcpListener) {
-        while !self.shutdown.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let shared = Arc::clone(&self);
-                    self.spawn(move || shared.accept_handshake(stream));
+    fn next_frames(&self, conn: ConnId, out: &mut Vec<StampedFrame>) {
+        let (link, my_epoch) = {
+            let mut conns = self.conns.lock();
+            let Some(ConnCtx::Established { link, my_epoch, pending, .. }) = conns.get_mut(&conn)
+            else {
+                return;
+            };
+            let epoch = *my_epoch;
+            for frame in pending.drain(..) {
+                out.push(StampedFrame { frame, epoch });
+            }
+            (Arc::clone(link), epoch)
+        };
+        // Clear the arm before draining: any sender that enqueues from
+        // here on will arm and flush again, so nothing is stranded.
+        link.flush_armed.store(false, Ordering::Release);
+        let mut pulled = Vec::new();
+        {
+            let inner = link.inner.lock();
+            if inner.conn.map(|c| c.id) != Some(conn) {
+                // Superseded: the queue now belongs to the newer
+                // connection; ship only this conn's pending frames.
+                return;
+            }
+            self.queues.drain_into(link.dest(), PULL_BATCH, &mut pulled);
+        }
+        out.extend(pulled.into_iter().map(|frame| StampedFrame { frame, epoch: my_epoch }));
+    }
+
+    fn on_wrote(&self, conn: ConnId, bytes: u64) {
+        let link = {
+            let conns = self.conns.lock();
+            match conns.get(&conn) {
+                Some(ConnCtx::Established { link, .. }) => Some(Arc::clone(link)),
+                _ => None,
+            }
+        };
+        if let Some(link) = link {
+            link.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    fn recycle(&self, frame: OutFrame) {
+        self.recycle_frame(frame);
+    }
+
+    fn on_closed(&self, conn: ConnId, error: Option<&io::Error>, unsent: Vec<OutFrame>) {
+        let ctx = self.conns.lock().remove(&conn);
+        let mut unsent_hb = 0u64;
+        let mut unsent_data = 0u64;
+        for f in unsent {
+            match f.class {
+                FrameClass::Heartbeat => unsent_hb += 1,
+                FrameClass::Handshake => {}
+                _ => unsent_data += 1,
+            }
+            self.recycle_frame(f);
+        }
+        match ctx {
+            Some(ConnCtx::Established { link, pending, .. }) => {
+                for f in pending {
+                    self.recycle_frame(f);
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
+                let why = error.map_or_else(|| "closed".to_string(), |e| e.to_string());
+                self.teardown(&link, conn, &why, unsent_hb, unsent_data);
+            }
+            Some(ConnCtx::AwaitHello { .. }) => {
+                if let Some(e) = error {
+                    self.trace(format!("wire accept on {}: {e}", self.config.node));
                 }
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(25));
+            }
+            None => {}
+        }
+    }
+
+    fn on_tick(&self, close: &mut Vec<ConnId>) {
+        let now = Instant::now();
+        let conns = self.conns.lock();
+        for (id, ctx) in conns.iter() {
+            if let ConnCtx::AwaitHello { deadline } = ctx {
+                if *deadline <= now {
+                    close.push(*id);
                 }
             }
         }
@@ -619,36 +794,48 @@ pub struct Supervisor {
 }
 
 impl Supervisor {
-    /// Binds the listener, spawns accept and per-peer dial threads.
+    /// Binds the listener, starts the reactor threads and the dialer.
     pub fn start(
         config: WireConfig,
         codec: Arc<WireCodec>,
         handler: Arc<dyn WireHandler>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.listen)?;
-        listener.set_nonblocking(true)?;
         let listen_addr = listener.local_addr()?;
         let links: HashMap<NodeId, Arc<Link>> = config
             .peers
             .iter()
-            .map(|(peer, addr)| (*peer, Arc::new(Link::new(*peer, addr.clone()))))
+            .map(|(peer, addr)| (*peer, Arc::new(Link::new(*peer, Some(addr.clone())))))
             .collect();
+        let io_threads = config.io_threads.max(1);
+        let max_frame = config.max_frame;
         let shared = Arc::new(Shared {
             config,
             codec,
             handler,
-            links,
+            links: RwLock::new(links),
+            conns: Mutex::new(HashMap::new()),
+            queues: ShardedQueues::new(io_threads * 4),
+            pool: BufPool::new(),
+            reactor: OnceLock::new(),
             listen_addr,
             shutdown: AtomicBool::new(false),
+            dial_mu: StdMutex::new(()),
+            dial_cv: Condvar::new(),
             threads: Mutex::new(Vec::new()),
         });
-        let acceptor = Arc::clone(&shared);
-        shared.spawn(move || acceptor.accept_loop(listener));
-        for link in shared.links.values() {
-            let dialer = Arc::clone(&shared);
-            let link = Arc::clone(link);
-            shared.spawn(move || dialer.dial_loop(link));
-        }
+        let reactor = Reactor::start(
+            Arc::clone(&shared) as Arc<dyn ReactorHandler>,
+            Some(listener),
+            io_threads,
+            max_frame,
+        )?;
+        let _ = shared.reactor.set(reactor);
+        let dialer = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("wire-dialer".into())
+            .spawn(move || dialer.dial_loop())?;
+        shared.threads.lock().push(handle);
         Ok(Supervisor { shared })
     }
 
@@ -657,59 +844,75 @@ impl Supervisor {
         self.shared.listen_addr
     }
 
+    /// The fixed reactor thread count serving all connections.
+    pub fn io_threads(&self) -> usize {
+        self.shared.reactor().map_or(0, |r| r.io_threads())
+    }
+
+    /// Buffer-pool effectiveness counters for the encode path.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+
     /// Encodes and queues an envelope for `peer`. Returns `false` if the
     /// peer is unknown, the body type unregistered, or the frame was
     /// shed immediately.
     pub fn send_envelope(&self, peer: NodeId, envelope: &Envelope) -> bool {
-        let Some(link) = self.shared.links.get(&peer) else {
+        let Some(link) = self.shared.link_for(peer) else {
             return false;
         };
-        let encoded = match self.shared.codec.encode_envelope(envelope) {
-            Some(Ok(encoded)) => encoded,
+        let mut meta_buf = self.shared.pool.take(64);
+        match self.shared.codec.encode_envelope_into(envelope, &mut meta_buf) {
+            Some(Ok(FramePayload { class, head, shared })) => {
+                self.shared.enqueue(&link, OutFrame { class, meta: meta_buf, head, shared })
+            }
             Some(Err(e)) => {
+                self.shared.pool.give(meta_buf);
                 link.dropped_frames.fetch_add(1, Ordering::Relaxed);
                 self.shared.trace(format!(
                     "wire link {} -> {peer}: encode failed for {}: {e}",
                     self.shared.config.node, envelope.to
                 ));
-                return false;
+                false
             }
             None => {
+                self.shared.pool.give(meta_buf);
                 link.dropped_frames.fetch_add(1, Ordering::Relaxed);
                 self.shared.trace(format!(
                     "wire link {} -> {peer}: body type of {} -> {} not wire-registered",
                     self.shared.config.node, envelope.from, envelope.to
                 ));
-                return false;
+                false
             }
-        };
-        let (meta, FramePayload { class, head, shared }) = encoded;
-        self.shared.enqueue(link, QueuedFrame { class, meta, head, shared })
+        }
     }
 
     /// `true` if a handshaken connection to `peer` is up.
     pub fn connected(&self, peer: NodeId) -> bool {
-        self.shared.links.get(&peer).map(|l| l.lock().conn.is_some()).unwrap_or(false)
+        self.shared.link_for(peer).map(|l| l.inner.lock().conn.is_some()).unwrap_or(false)
     }
 
-    /// Health counters for every configured link.
+    /// Health counters for every known link.
     pub fn health(&self) -> Vec<PeerHealth> {
-        let mut peers: Vec<PeerHealth> = self
-            .shared
-            .links
-            .values()
+        let links: Vec<Arc<Link>> = self.shared.links.read().values().cloned().collect();
+        let mut peers: Vec<PeerHealth> = links
+            .iter()
             .map(|link| {
-                let inner = link.lock();
+                let (state, epoch) = {
+                    let inner = link.inner.lock();
+                    (inner.status, inner.epoch)
+                };
                 PeerHealth {
                     peer: link.peer,
-                    state: inner.status,
-                    epoch: inner.epoch,
+                    state,
+                    epoch,
                     reconnects: link.reconnects.load(Ordering::Relaxed),
                     bytes_in: link.bytes_in.load(Ordering::Relaxed),
                     bytes_out: link.bytes_out.load(Ordering::Relaxed),
-                    queued: inner.queue.len() as u64,
+                    queued: self.shared.queues.len(link.dest()) as u64,
                     dropped_heartbeats: link.dropped_heartbeats.load(Ordering::Relaxed),
                     dropped_frames: link.dropped_frames.load(Ordering::Relaxed),
+                    purged: link.purged.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -719,29 +922,26 @@ impl Supervisor {
 
     /// Frames received from an abandoned connection epoch and dropped.
     pub fn stale_in(&self, peer: NodeId) -> u64 {
-        self.shared.links.get(&peer).map(|l| l.stale_in.load(Ordering::Relaxed)).unwrap_or(0)
+        self.shared.link_for(peer).map(|l| l.stale_in.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
-    /// Stops all threads and closes all sockets. Idempotent.
+    /// Stops the dialer and the reactor, closing all sockets. Idempotent.
     pub fn shutdown(&self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for link in self.shared.links.values() {
-            let inner = link.lock();
-            if let Some(conn) = inner.conn.as_ref() {
-                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-            }
-            link.cv.notify_all();
-        }
+        self.shared.wake_dialer();
         loop {
             let Some(handle) = ({
-                let mut threads = self.shared.threads.lock().unwrap_or_else(|e| e.into_inner());
+                let mut threads = self.shared.threads.lock();
                 threads.pop()
             }) else {
                 break;
             };
             let _ = handle.join();
+        }
+        if let Some(reactor) = self.shared.reactor() {
+            reactor.shutdown();
         }
     }
 }
@@ -756,19 +956,18 @@ impl Drop for Supervisor {
 mod tests {
     use super::*;
     use ds_net::endpoint::Endpoint;
-    use std::sync::Mutex as StdMutex;
-    use std::time::Instant;
+    use std::sync::Mutex as TestMutex;
 
     struct Sink {
-        delivered: StdMutex<Vec<Envelope>>,
-        events: StdMutex<Vec<TransportEvent>>,
+        delivered: TestMutex<Vec<Envelope>>,
+        events: TestMutex<Vec<TransportEvent>>,
     }
 
     impl Sink {
         fn new() -> Arc<Self> {
             Arc::new(Sink {
-                delivered: StdMutex::new(Vec::new()),
-                events: StdMutex::new(Vec::new()),
+                delivered: TestMutex::new(Vec::new()),
+                events: TestMutex::new(Vec::new()),
             })
         }
     }

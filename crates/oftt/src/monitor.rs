@@ -107,7 +107,7 @@ impl MonitorTable {
                         peer.reconnects,
                         peer.bytes_in,
                         peer.bytes_out,
-                        peer.dropped_heartbeats + peer.dropped_frames,
+                        peer.dropped_heartbeats + peer.dropped_frames + peer.purged,
                     ));
                 }
             }
@@ -240,6 +240,7 @@ mod tests {
                     queued: 0,
                     dropped_heartbeats: 1,
                     dropped_frames: 1,
+                    purged: 0,
                 }],
                 at: SimTime::from_secs(2),
             },
