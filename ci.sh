@@ -20,14 +20,20 @@
 #                        cover every dynamically observed lock site, the
 #                        oftt-lint-v1 JSON must validate, and each rule
 #                        family must still fire on its seeded fixture
-#   9. wire smoke        two real oftt-node processes over loopback TCP:
+#   9. lint effects      interprocedural acceptance: the seeded
+#                        diag→probe deadlock (split across a call
+#                        boundary) must be rediscovered by the
+#                        call-derived lock-order analysis under
+#                        --include-injected, and the bench-lint
+#                        throughput artifact must emit and validate
+#  10. wire smoke        two real oftt-node processes over loopback TCP:
 #                        SIGKILL the primary, assert promotion within the
 #                        detection budget and restore-crc integrity
-#  10. saturation smoke  reduced reactor load gate: one max-rate stream
+#  11. saturation smoke  reduced reactor load gate: one max-rate stream
 #                        plus 128 concurrent streaming apps, asserting
 #                        the ≥ 7.86 MB/s aggregate floor, a fixed reactor
 #                        thread count, and zero protocol errors
-#  11. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
+#  12. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
 #                        BENCH_wire.json and BENCH_verify.json emits, all
 #                        schema-validated (fails on schema drift)
 #
@@ -128,6 +134,29 @@ for fixture in crates/oftt-lint/fixtures/*.rs; do
     fi
 done
 cargo test -p oftt-lint -q
+
+step "lint-effects: transitive deadlock rediscovery + bench artifact"
+# The seeded diag→probe inversion spans a call boundary (the probe half
+# lives in a helper the diag holder calls), so only the call-derived
+# lock-order analysis can close the cycle — a per-function scan cannot.
+INJECTED_OUT=$(mktemp /tmp/oftt-lint-injected.XXXXXX.txt)
+TMPFILES+=("$INJECTED_OUT")
+rc=0
+./target/release/oftt-lint --workspace --include-injected \
+    --baseline lint-baseline.txt >"$INJECTED_OUT" || rc=$?
+if [ "$rc" -ne 2 ]; then
+    printf 'injected scan: expected exit 2 (findings), got %s\n' "$rc" >&2
+    false
+fi
+grep -q 'lock-order.*diag' "$INJECTED_OUT" || {
+    printf 'injected scan did not rediscover the diag/probe deadlock\n' >&2
+    false
+}
+BENCH_LINT_OUT=$(mktemp /tmp/BENCH_lint.XXXXXX.json)
+TMPFILES+=("$BENCH_LINT_OUT")
+BENCH_LINT_RUNS=1 BENCH_OUT="$BENCH_LINT_OUT" \
+    cargo run -p bench --release -q --bin bench-lint
+cargo run -p bench --release -q --bin bench-validate "$BENCH_LINT_OUT"
 
 step "wire smoke: two-process SIGKILL failover over TCP"
 cargo build --release -q -p oftt-wire --bins

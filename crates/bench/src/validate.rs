@@ -73,6 +73,7 @@ pub fn validate(doc: &Json) -> Vec<String> {
         Some("oftt-bench-wire-v2") => errors.extend(validate_wire_v2(doc)),
         Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
         Some("oftt-lint-v1") => errors.extend(validate_lint(doc)),
+        Some("oftt-bench-lint-v1") => errors.extend(validate_bench_lint(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
         None => errors.push("schema is not a string".into()),
     }
@@ -380,6 +381,40 @@ fn validate_lint(doc: &Json) -> Vec<String> {
     errors
 }
 
+fn validate_bench_lint(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    // Coverage floors: a scan that saw a toy-sized universe means the
+    // walker or the call-graph builder broke, not that the code shrank.
+    let floors: &[(&str, f64)] = &[
+        ("files_scanned", 40.0),
+        ("functions", 500.0),
+        ("call_edges", 1000.0),
+        ("fixpoint_iterations", 2.0),
+        ("reactor_roots", 1.0),
+        ("reactor_reachable", 10.0),
+    ];
+    for &(key, floor) in floors {
+        if let Some(n) = require_number(doc, key, &mut errors) {
+            if n < floor {
+                errors.push(format!("{key} is {n}, below the coverage floor {floor}"));
+            }
+        }
+    }
+    // The acceptance verdict: the tree is clean modulo the checked-in
+    // baseline, and the analysis finished in measurable time.
+    match require_number(doc, "findings", &mut errors) {
+        Some(n) if n > 0.0 => errors.push(format!("{n} non-baselined finding(s)")),
+        _ => {}
+    }
+    require_number(doc, "suppressed", &mut errors);
+    require_number(doc, "elapsed_ms", &mut errors);
+    match require_number(doc, "files_per_sec", &mut errors) {
+        Some(n) if n <= 0.0 => errors.push("files_per_sec is not positive".into()),
+        _ => {}
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +426,42 @@ mod tests {
         let errors = validate(&doc);
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("unknown schema"));
+    }
+
+    fn bench_lint_doc(findings: &str, functions: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "oftt-bench-lint-v1",
+              "runs": 3,
+              "files_scanned": 164,
+              "functions": {functions},
+              "call_edges": 3600,
+              "fixpoint_iterations": 10,
+              "reactor_roots": 7,
+              "reactor_reachable": 60,
+              "findings": {findings},
+              "suppressed": 14,
+              "elapsed_ms": 120,
+              "files_per_sec": 1366
+            }}"#
+        )
+    }
+
+    #[test]
+    fn conforming_bench_lint_doc_passes() {
+        let doc = parse(&bench_lint_doc("0", "1415")).unwrap();
+        assert_eq!(validate(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn bench_lint_rejects_non_baselined_findings_and_thin_coverage() {
+        let doc = parse(&bench_lint_doc("2", "1415")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("non-baselined")), "{errors:?}");
+
+        let doc = parse(&bench_lint_doc("0", "3")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("coverage floor")), "{errors:?}");
     }
 
     fn wire_v2_doc(sat_bytes_per_sec: &str, protocol_errors: &str) -> String {

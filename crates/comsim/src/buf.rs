@@ -58,23 +58,42 @@ impl Bytes {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
-        let start = match range.start_bound() {
-            std::ops::Bound::Included(&n) => n,
-            std::ops::Bound::Excluded(&n) => n + 1,
-            std::ops::Bound::Unbounded => 0,
-        };
-        let end = match range.end_bound() {
-            std::ops::Bound::Included(&n) => n + 1,
-            std::ops::Bound::Excluded(&n) => n,
-            std::ops::Bound::Unbounded => self.len,
-        };
+        let (start, end) = self.resolve_range(&range);
         assert!(start <= end && end <= self.len, "slice {start}..{end} out of 0..{}", self.len);
         Bytes { data: self.data.clone(), offset: self.offset + start, len: end - start }
     }
 
+    /// Checked variant of [`Bytes::slice`]: `None` instead of a panic
+    /// when the range leaves `0..len` — for callers under a `no-panic`
+    /// contract that must turn bad bounds into ordinary errors.
+    pub fn try_slice(&self, range: impl RangeBounds<usize>) -> Option<Self> {
+        let (start, end) = self.resolve_range(&range);
+        if start > end || end > self.len {
+            return None;
+        }
+        Some(Bytes { data: self.data.clone(), offset: self.offset + start, len: end - start })
+    }
+
+    fn resolve_range(&self, range: &impl RangeBounds<usize>) -> (usize, usize) {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n.saturating_add(1),
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n.saturating_add(1),
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        (start, end)
+    }
+
     /// The visible window as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.offset..self.offset + self.len]
+        // The window invariant (`offset + len <= data.len()`) holds by
+        // construction; the checked form keeps this panic-free even if
+        // a future constructor breaks it.
+        self.data.get(self.offset..self.offset + self.len).unwrap_or(&[])
     }
 
     /// Copies the window out into an owned `Vec`.

@@ -43,7 +43,10 @@ struct Registry {
 
 impl Registry {
     fn kill(&self, endpoint: &Endpoint) {
-        if let Some((tx, _)) = self.inner.lock().remove(endpoint) {
+        // Bind first so the registry guard is released before the
+        // control send — no lock held across channel traffic.
+        let removed = self.inner.lock().remove(endpoint);
+        if let Some((tx, _)) = removed {
             let _ = tx.send(Control::Kill);
         }
     }

@@ -55,12 +55,14 @@ impl<T> ShardedQueues<T> {
     /// touch), holding only that shard's lock.
     pub fn with_queue<R>(&self, dest: DestId, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
         let mut dests = self.shard(dest).dests.lock();
-        if let Some(pos) = dests.iter().position(|(d, _)| *d == dest) {
-            return f(&mut dests[pos].1);
+        if dests.iter().all(|(d, _)| *d != dest) {
+            dests.push((dest, VecDeque::new()));
         }
-        dests.push((dest, VecDeque::new()));
-        let last = dests.len() - 1;
-        f(&mut dests[last].1)
+        match dests.iter_mut().find(|(d, _)| *d == dest) {
+            Some((_, queue)) => f(queue),
+            // Unreachable: the entry was just found or pushed.
+            None => f(&mut VecDeque::new()),
+        }
     }
 
     /// Appends `item` for `dest`, returning the queue length after the
@@ -74,6 +76,7 @@ impl<T> ShardedQueues<T> {
 
     /// Pops up to `max` items from the front of `dest`'s queue into
     /// `out`, preserving FIFO order.
+    // oftt-lint: reactor-root
     pub fn drain_into(&self, dest: DestId, max: usize, out: &mut Vec<T>) {
         self.with_queue(dest, |q| {
             for _ in 0..max {

@@ -1,0 +1,19 @@
+//! Seeded defect for the lock-across-blocking rule: the guard is held
+//! across a call into a function that only *transitively* blocks — the
+//! sleep is two calls away, so the rule needs the inferred `blocks`
+//! effect of the callee, not a syntactic match. Not compiled — scanned
+//! by `tests/fixtures.rs`.
+
+fn pump(s: &Shared) {
+    let g = s.state.lock();
+    persist();
+    drop(g);
+}
+
+fn persist() {
+    sync_disk();
+}
+
+fn sync_disk() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

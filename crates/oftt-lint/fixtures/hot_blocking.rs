@@ -1,0 +1,17 @@
+//! Seeded defect for the reactor-hot-path rule: a blocking primitive
+//! two calls below a reactor root, so only the interprocedural walk can
+//! see it — and the finding must spell the full witness chain. Not
+//! compiled — scanned by `tests/fixtures.rs`.
+
+// oftt-lint: reactor-root
+fn on_frame() {
+    step();
+}
+
+fn step() {
+    nap();
+}
+
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,14 @@
+//! Seeded defect for the reactor-hot-path rule: a panic path (raw
+//! indexing) inside a helper the root reaches through a call, so the
+//! single-function scan sees nothing and the effect fixpoint must carry
+//! `may_panic` up the chain. Not compiled — scanned by
+//! `tests/fixtures.rs`.
+
+// oftt-lint: reactor-root
+fn on_frame(raw: &[u8]) {
+    decode(raw);
+}
+
+fn decode(raw: &[u8]) -> u8 {
+    raw[0]
+}

@@ -22,6 +22,23 @@
 //! 5. **no-panic** — no unwrap/expect/panic-macro/index on annotated
 //!    hot paths ([`rules::panics`]).
 //!
+//! On top of the per-module families, an **interprocedural effect
+//! analysis** ([`effects`]) builds a workspace-wide call graph
+//! ([`callgraph`]) and runs a bottom-up fixpoint inferring `blocks`,
+//! `may_panic`, `allocates`, and the transitive lock-acquisition set
+//! per function, feeding three more families:
+//!
+//! 6. **reactor-hot-path** — everything reachable from
+//!    `// oftt-lint: reactor-root` entry points is transitively
+//!    nonblocking and panic-free, allocating only through the `arena`
+//!    ([`rules::hotpath`]);
+//! 7. **lock-across-blocking** — no guard live across a call that
+//!    transitively blocks ([`rules::lock_block`]);
+//! 8. **annotation-drift** — `nonblocking`/`no-panic` directives the
+//!    inferred effects contradict ([`rules::drift`]); and the
+//!    lock-order graph gains call-derived edges so cross-function
+//!    acquisition chains are cycle-checked too.
+//!
 //! Findings are typed ([`report::Finding`]), suppressible through a
 //! checked-in baseline, and serialized as an `oftt-lint-v1` JSON report
 //! validated by the unified bench validator in CI.
@@ -37,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -178,10 +197,22 @@ pub fn run_scan(opts: &Options) -> Report {
         report.files_scanned += 1;
         models.push((rel, model));
     }
-    let lock_scan = rules::locks::check(&models);
-    report.findings.extend(lock_scan.findings);
-    report.lock_names = lock_scan.names;
-    report.lock_edges = lock_scan.edges.keys().cloned().collect::<BTreeSet<_>>();
+    // The interprocedural pass: call graph, effect fixpoint, and the
+    // rule families that consume them. The lock graph it returns is the
+    // intra-procedural graph *plus* call-derived edges, so the Tarjan
+    // cycle check sees cross-function acquisition chains.
+    let analysis = effects::Analysis::analyze(&models);
+    report.findings.extend(rules::hotpath::check(&analysis));
+    report.findings.extend(rules::lock_block::check(&analysis));
+    report.findings.extend(rules::drift::check(&models, &analysis));
+    report.findings.extend(analysis.lock.findings.iter().cloned());
+    report.lock_names = analysis.lock.names.clone();
+    report.lock_edges = analysis.lock.edges.keys().cloned().collect::<BTreeSet<_>>();
+    report.functions = analysis.fns.len();
+    report.call_edges = analysis.edge_count;
+    report.fixpoint_iterations = analysis.iterations;
+    report.reactor_roots = analysis.roots.len();
+    report.reactor_reachable = analysis.reactor_reachable().len();
     report.dynamic_checked = opts.dynamic_locks.len();
     let (coverage_findings, uncovered) =
         rules::locks::dynamic_coverage(&report.lock_names, &opts.dynamic_locks);

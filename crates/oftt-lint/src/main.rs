@@ -10,7 +10,9 @@ use oftt_lint::Options;
 const USAGE: &str = "\
 oftt-lint: source-level static analyzer for the OFTT workspace — role
 confinement, static lock-order (cross-checked against oftt-audit's
-dynamic lock sites), blocking calls, API lifecycle, and panic paths
+dynamic lock sites), blocking calls, API lifecycle, panic paths, and
+an interprocedural effect analysis (reactor-hot-path,
+lock-across-blocking, transitive lock-order, annotation-drift)
 
 USAGE:
     oftt-lint --workspace [OPTIONS]
@@ -83,9 +85,15 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Cli, String> {
 
 fn print_summary(report: &Report) {
     println!(
-        "{} file(s) scanned; {} lock(s), {} acquisition edge(s) in the static graph; \
+        "{} file(s) scanned; {} fn(s), {} call edge(s), fixpoint in {} pass(es); \
+         {} reactor root(s) reaching {} fn(s); {} lock(s), {} acquisition edge(s); \
          {} dynamic lock site(s) cross-checked",
         report.files_scanned,
+        report.functions,
+        report.call_edges,
+        report.fixpoint_iterations,
+        report.reactor_roots,
+        report.reactor_reachable,
         report.lock_names.len(),
         report.lock_edges.len(),
         report.dynamic_checked,

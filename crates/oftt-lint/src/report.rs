@@ -45,6 +45,16 @@ pub struct Report {
     pub suppressed: usize,
     /// How many files the scan covered.
     pub files_scanned: usize,
+    /// Runtime functions in the call-graph universe.
+    pub functions: usize,
+    /// Resolved call edges between them.
+    pub call_edges: usize,
+    /// Effect-fixpoint passes until stabilization.
+    pub fixpoint_iterations: usize,
+    /// Functions annotated `reactor-root`.
+    pub reactor_roots: usize,
+    /// Functions reachable from the reactor roots.
+    pub reactor_reachable: usize,
     /// Every statically discovered lock name.
     pub lock_names: BTreeSet<String>,
     /// Static acquisition-order edges (outer, inner).
@@ -151,6 +161,15 @@ pub fn to_json(report: &Report) -> String {
         out.push_str("\n  ");
     }
     out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"callgraph\": {{\"functions\": {}, \"edges\": {}, \"fixpoint_iterations\": {}, \
+         \"reactor_roots\": {}, \"reactor_reachable\": {}}},\n",
+        report.functions,
+        report.call_edges,
+        report.fixpoint_iterations,
+        report.reactor_roots,
+        report.reactor_reachable,
+    ));
     out.push_str(&format!(
         "  \"lock_graph\": {{\"locks\": {}, \"edges\": {}, \"lock_names\": [{}], \
          \"edge_list\": [{}]}},\n",

@@ -51,7 +51,7 @@ enum Release {
     /// binding lives in closes (depth drops below `depth`).
     Binding { var: String, depth: i32 },
     /// A temporary: released at the first `;` at its acquisition depth,
-    /// or when its enclosing block closes.
+    /// or when a `}` (not continued by `else`) closes back to it.
     Statement { depth: i32 },
 }
 
@@ -60,8 +60,22 @@ struct Held {
     release: Release,
 }
 
+/// What one function's abstract interpretation learned, beyond the
+/// edges merged into the global graph: its own acquisitions (the
+/// transitive `acquires` effect seeds from these) and the guard set
+/// held at each call site the effect engine asked about.
+#[derive(Debug, Default)]
+pub struct FnLockFacts {
+    /// Every `(lock name, line)` this function acquires directly.
+    pub acquisitions: Vec<(String, u32)>,
+    /// Guard names held when the walk passed each requested call token.
+    pub held_at: BTreeMap<usize, Vec<String>>,
+}
+
 /// Interprets every runtime function in `models` and builds the merged
 /// graph. `models` pairs each workspace-relative path with its scan.
+/// This is the *intra*-procedural graph; [`crate::effects`] extends it
+/// with call-derived edges before cycle detection in the full scan.
 pub fn check(models: &[(String, FileModel)]) -> LockScan {
     let mut scan = LockScan::default();
     for (file, model) in models {
@@ -69,19 +83,33 @@ pub fn check(models: &[(String, FileModel)]) -> LockScan {
             continue;
         }
         for item in &model.fns {
-            interpret_fn(file, model, item, &mut scan);
+            interpret_fn(file, model, item, &[], &mut scan);
         }
     }
     scan.findings.extend(find_cycles(&scan.edges));
     scan
 }
 
-fn interpret_fn(file: &str, model: &FileModel, item: &crate::scanner::FnItem, scan: &mut LockScan) {
+/// Abstractly interprets one function: merges its nested-acquisition
+/// edges into `scan` and returns its [`FnLockFacts`]. `call_toks` are
+/// the (sorted) token indices of call sites whose held sets the caller
+/// wants recorded.
+pub(crate) fn interpret_fn(
+    file: &str,
+    model: &FileModel,
+    item: &crate::scanner::FnItem,
+    call_toks: &[usize],
+    scan: &mut LockScan,
+) -> FnLockFacts {
     let tokens = &model.tokens;
+    let mut facts = FnLockFacts::default();
     let mut held: Vec<Held> = Vec::new();
     let mut depth: i32 = 0;
     let mut i = item.body.start;
     while i < item.body.end {
+        if call_toks.binary_search(&i).is_ok() {
+            facts.held_at.insert(i, held.iter().map(|h| h.name.clone()).collect());
+        }
         // A nested fn's sites belong to the nested item; jump over it.
         if let Some(nested) = model.fns.iter().find(|g| {
             g.body.start == i && g.body.start > item.body.start && g.body.end <= item.body.end
@@ -93,9 +121,14 @@ fn interpret_fn(file: &str, model: &FileModel, item: &crate::scanner::FnItem, sc
             Some(TokenKind::Punct('{')) => depth += 1,
             Some(TokenKind::Punct('}')) => {
                 depth -= 1;
+                // A `}` closing back to a temporary's acquisition depth
+                // ends the construct that owned it (`match m.lock() {…}`,
+                // `if let … = m.lock().x() {…}`) — except `} else`,
+                // which continues the same construct.
+                let continues = ident(tokens, i + 1) == Some("else");
                 held.retain(|h| match &h.release {
                     Release::Binding { depth: d, .. } => *d <= depth,
-                    Release::Statement { depth: d } => *d <= depth,
+                    Release::Statement { depth: d } => *d < depth || (*d == depth && continues),
                 });
             }
             Some(TokenKind::Punct(';')) => {
@@ -122,6 +155,7 @@ fn interpret_fn(file: &str, model: &FileModel, item: &crate::scanner::FnItem, sc
                     .or_else(|| receiver_base(tokens, i))
                     .unwrap_or_else(|| "<receiver>".to_string());
                 scan.names.insert(name.clone());
+                facts.acquisitions.push((name.clone(), line));
                 for outer in &held {
                     if outer.name != name {
                         scan.edges
@@ -137,6 +171,7 @@ fn interpret_fn(file: &str, model: &FileModel, item: &crate::scanner::FnItem, sc
         }
         i += 1;
     }
+    facts
 }
 
 /// Decides how the guard acquired by the `.lock()` whose `.` sits at
@@ -188,7 +223,7 @@ fn binding_release(
 /// component with more than one lock is an acquisition-order cycle. Same
 /// construction as oftt-audit's dynamic `lockorder` analyzer, so the
 /// static and dynamic verdicts are directly comparable.
-fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
+pub(crate) fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
     let mut succs: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     for (a, b) in edges.keys() {
         succs.entry(a).or_default().insert(b);

@@ -1,9 +1,12 @@
-//! The five rule families, plus the small token-pattern helpers they
+//! The rule families, plus the small token-pattern helpers they
 //! share. Each rule consumes a [`crate::scanner::FileModel`] and returns
 //! [`crate::report::Finding`]s; none of them re-tokenizes anything.
 
 pub mod blocking;
+pub mod drift;
+pub mod hotpath;
 pub mod lifecycle;
+pub mod lock_block;
 pub mod locks;
 pub mod panics;
 pub mod role;

@@ -20,8 +20,30 @@ use crate::scanner::{FileKind, FileModel};
 
 use super::{ident, punct};
 
-const PANIC_MACROS: &[&str] =
+/// Macros that abort the thread. The effect engine treats a call to any
+/// of these as a direct `may_panic` source, workspace-wide.
+pub const PANIC_MACROS: &[&str] =
     &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// True if the `[` at `i` opens an *index expression* — `buf[i]`,
+/// `map[&k]`, `raw[1..3]` — rather than an array literal, slice
+/// pattern, or type. Shared between the per-module rule and the
+/// workspace-wide effect engine.
+pub(crate) fn indexes_value(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    // Keywords may precede a slice pattern or array literal
+    // (`let [a, b]`, `return [0; 2]`) — never an indexed value.
+    const KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "in", "return", "break", "continue", "if", "else", "while", "for",
+        "match", "move",
+    ];
+    match i.checked_sub(1) {
+        Some(p) => match ident(tokens, p) {
+            Some(word) => !KEYWORDS.contains(&word),
+            None => matches!(punct(tokens, p), Some(')' | ']')),
+        },
+        None => false,
+    }
+}
 
 /// Checks one file. Applies only to runtime files carrying the
 /// `no-panic` directive.
@@ -54,28 +76,13 @@ pub fn check(file: &str, model: &FileModel) -> Vec<Finding> {
                     format!("`{name}!` in a module annotated `// oftt-lint: no-panic`"),
                 );
             }
-        } else if punct(tokens, i) == Some('[') {
-            // Keywords may precede a slice pattern or array literal
-            // (`let [a, b]`, `return [0; 2]`) — never an indexed value.
-            const KEYWORDS: &[&str] = &[
-                "let", "mut", "ref", "in", "return", "break", "continue", "if", "else", "while",
-                "for", "match", "move",
-            ];
-            let indexes = match i.checked_sub(1) {
-                Some(p) => match ident(tokens, p) {
-                    Some(word) => !KEYWORDS.contains(&word),
-                    None => matches!(punct(tokens, p), Some(')' | ']')),
-                },
-                None => false,
-            };
-            if indexes {
-                flag(
-                    tokens[i].line,
-                    "index expression can panic on out-of-range access in a module \
-                     annotated `// oftt-lint: no-panic` — use `.get(…)` or a checked slice"
-                        .to_string(),
-                );
-            }
+        } else if punct(tokens, i) == Some('[') && indexes_value(tokens, i) {
+            flag(
+                tokens[i].line,
+                "index expression can panic on out-of-range access in a module \
+                 annotated `// oftt-lint: no-panic` — use `.get(…)` or a checked slice"
+                    .to_string(),
+            );
         }
     }
     out

@@ -7,12 +7,17 @@
 //!
 //! * **File-scoped** — `nonblocking`, `no-panic`: opt the whole file into
 //!   a rule family, wherever the comment sits (conventionally the top).
-//! * **Function-scoped** — `role-choke-point`, `role-mirror`: attach to
-//!   the next `fn` item at or below the comment line. A choke point is
-//!   the transition apply path itself; a mirror is a confined secondary
-//!   copy (e.g. the FTIM shadowing the engine's role for its own
-//!   dispatch). Both exempt that one function from the role-confinement
-//!   rule — and nothing else.
+//! * **Function-scoped** — `role-choke-point`, `role-mirror`,
+//!   `reactor-root`, `arena`, `cold-path`: attach to the next `fn` item
+//!   at or below the comment line. A choke point is the transition
+//!   apply path itself; a mirror is a confined secondary copy (e.g. the
+//!   FTIM shadowing the engine's role for its own dispatch) — both
+//!   exempt that one function from the role-confinement rule and
+//!   nothing else. A reactor root is an entry point the reactor hot
+//!   path rule walks from; an arena fn is a sanctioned allocator
+//!   (`BufPool`) whose own allocation primitives are policy-exempt; a
+//!   cold-path fn is declared off the hot path (handshake, teardown,
+//!   harness-only code) and the hot-path walk stops at it.
 //! * **Site-scoped** — `lock(NAME)`: names the `.lock()` acquisition on
 //!   the same or the following line, overriding the receiver-derived
 //!   name. This is how a static site joins the dynamic instrumentation's
@@ -49,6 +54,9 @@ pub enum FileKind {
 pub struct FnItem {
     /// The function's name.
     pub name: String,
+    /// The self type of the enclosing `impl`/`trait` block, if any.
+    /// `Self::f()` and `self.f()` call sites resolve against this.
+    pub owner: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
     /// Token indices of the body, *including* the outer braces. Empty
@@ -102,7 +110,8 @@ impl FileModel {
 /// a typo (`non-blocking`, `lock probe`) fails loudly instead of
 /// silently disabling a rule.
 const FILE_DIRECTIVES: &[&str] = &["nonblocking", "no-panic"];
-const FN_DIRECTIVES: &[&str] = &["role-choke-point", "role-mirror"];
+const FN_DIRECTIVES: &[&str] =
+    &["role-choke-point", "role-mirror", "reactor-root", "arena", "cold-path"];
 
 /// Scans one file's source. Total, like the lexer underneath it.
 pub fn scan(source: &str, kind: FileKind, include_injected: bool) -> FileModel {
@@ -236,18 +245,106 @@ fn skip_item(tokens: &[Token], start: usize) -> usize {
     i
 }
 
+/// Spans of `impl`/`trait` block bodies with the self type they define
+/// methods on. `impl Trait for Type` records `Type`; `impl Type` and
+/// `trait Type` record `Type` directly. The word `impl` in type
+/// position (`-> impl Iterator`) is ignored by an item-position check.
+fn impl_spans(tokens: &[Token]) -> Vec<(Range<usize>, String)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        let keyword = match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) if s == "impl" || s == "trait" => s.as_str(),
+            _ => continue,
+        };
+        // Item position: start of file, after a block or statement end,
+        // or after `unsafe`. `impl` elsewhere is a type (`-> impl Fn()`).
+        let item_pos = match i.checked_sub(1).and_then(|p| tokens.get(p)).map(|t| &t.kind) {
+            None => true,
+            Some(TokenKind::Punct('{' | '}' | ';')) => true,
+            Some(TokenKind::Ident(s)) => s == "unsafe",
+            _ => false,
+        };
+        if !item_pos {
+            continue;
+        }
+        if keyword == "trait" {
+            if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                let open = match (i + 2..tokens.len()).find(|&j| punct_is(tokens.get(j), '{')) {
+                    Some(j) => j,
+                    None => continue,
+                };
+                spans.push((open..matching(tokens, open, '{', '}') + 1, name.clone()));
+            }
+            continue;
+        }
+        // impl header: skip generics, then the last plain ident at angle
+        // depth 0 before `{`/`where` is the self type; a `for` keyword
+        // (not HRTB `for<`) restarts the search on its right-hand side.
+        let mut owner: Option<String> = None;
+        let mut angle = 0isize;
+        let mut in_where = false;
+        let mut j = i + 1;
+        let mut open = None;
+        while let Some(token) = tokens.get(j) {
+            match &token.kind {
+                TokenKind::Punct('<') => angle += 1,
+                // `->` in an impl header (e.g. `impl Fn() -> u8`) must
+                // not close an angle bracket.
+                TokenKind::Punct('>')
+                    if !punct_is(j.checked_sub(1).and_then(|p| tokens.get(p)), '-') =>
+                {
+                    angle -= 1
+                }
+                TokenKind::Punct('{') if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if angle <= 0 => break,
+                TokenKind::Ident(s) if angle <= 0 && !in_where => {
+                    if s == "where" {
+                        // Type is complete; scan on for the body brace.
+                        in_where = true;
+                    } else if s == "for" {
+                        // `impl Trait for Type`: the self type is on the
+                        // right-hand side. `for<'a>` is an HRTB, not that.
+                        if !punct_is(tokens.get(j + 1), '<') {
+                            owner = None;
+                        }
+                    } else if s != "dyn" && s != "mut" && s != "const" && s != "unsafe" {
+                        owner = Some(s.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(open), Some(owner)) = (open, owner) {
+            spans.push((open..matching(tokens, open, '{', '}') + 1, owner));
+        }
+    }
+    spans
+}
+
 /// Finds every `fn` item in the filtered stream and records its body
 /// span. Closures don't use the keyword, so they simply stay inside the
 /// enclosing function's span; nested `fn` items are recorded in their
 /// own right as well.
 fn extract_fns(model: &mut FileModel) {
     let tokens = &model.tokens;
+    let impls = impl_spans(tokens);
     let mut i = 0;
     while i < tokens.len() {
         if ident_is(tokens.get(i), "fn") {
             if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
                 let line = tokens[i].line;
                 let name = name.clone();
+                // Innermost impl/trait block containing this fn names
+                // the owner type.
+                let owner = impls
+                    .iter()
+                    .filter(|(span, _)| span.contains(&i))
+                    .min_by_key(|(span, _)| span.len())
+                    .map(|(_, owner)| owner.clone());
                 // Find the body `{` (or `;` for a bodyless declaration),
                 // ignoring braces inside parens/brackets (const-generic
                 // defaults, array-type return values).
@@ -266,7 +363,7 @@ fn extract_fns(model: &mut FileModel) {
                     }
                     j += 1;
                 };
-                model.fns.push(FnItem { name, line, body, directives: Vec::new() });
+                model.fns.push(FnItem { name, owner, line, body, directives: Vec::new() });
                 // Continue *inside* the body so nested fns are found too.
                 i += 2;
                 continue;
@@ -413,6 +510,44 @@ fn other() {
             &t.kind, TokenKind::Ident(s) if s == "derive" || s == "inline"
         )));
         assert_eq!(model.fns.len(), 1);
+    }
+
+    #[test]
+    fn impl_owners_attach_to_methods() {
+        let model = runtime(
+            "fn free() {} \
+             impl Pool { fn take(&mut self) {} } \
+             impl<T: Clone> fmt::Display for Shard<T> { fn fmt(&self) {} } \
+             trait Handler: Send { fn on_frame(&self); } \
+             unsafe impl Sync for Pool {} \
+             fn ret() -> impl Iterator<Item = u8> { std::iter::empty() }",
+        );
+        let owners: Vec<(&str, Option<&str>)> =
+            model.fns.iter().map(|f| (f.name.as_str(), f.owner.as_deref())).collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("free", None),
+                ("take", Some("Pool")),
+                ("fmt", Some("Shard")),
+                ("on_frame", Some("Handler")),
+                ("ret", None),
+            ]
+        );
+    }
+
+    #[test]
+    fn where_clauses_do_not_confuse_impl_owners() {
+        let model = runtime("impl<T> Queues<T> where T: Clone + Send { fn push(&self) {} }");
+        assert_eq!(model.fns[0].owner.as_deref(), Some("Queues"));
+    }
+
+    #[test]
+    fn reactor_root_directive_attaches_to_fn() {
+        let model = runtime("// oftt-lint: reactor-root\nfn on_frame() {}\nfn other() {}");
+        assert!(model.fns[0].has_directive("reactor-root"));
+        assert!(!model.fns[1].has_directive("reactor-root"));
+        assert!(model.diagnostics.is_empty());
     }
 
     #[test]

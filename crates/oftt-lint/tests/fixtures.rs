@@ -68,6 +68,51 @@ fn panics_fixture_fires_no_panic() {
 }
 
 #[test]
+fn hot_blocking_fixture_fires_reactor_hot_path() {
+    let report = scan_fixture("hot_blocking.rs");
+    assert_eq!(rules_fired(&report), ["reactor-hot-path"]);
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert!(f.message.contains("blocking call `sleep`"), "{}", f.message);
+    // The witness chain spells the full path from the root.
+    assert!(f.message.contains("on_frame → step → nap"), "{}", f.message);
+}
+
+#[test]
+fn hot_panic_fixture_fires_reactor_hot_path() {
+    let report = scan_fixture("hot_panic.rs");
+    assert_eq!(rules_fired(&report), ["reactor-hot-path"]);
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert!(f.message.contains("panic path `index`"), "{}", f.message);
+    assert!(f.message.contains("on_frame → decode"), "{}", f.message);
+}
+
+#[test]
+fn guard_block_fixture_fires_lock_across_blocking() {
+    let report = scan_fixture("guard_block.rs");
+    assert_eq!(rules_fired(&report), ["lock-across-blocking"]);
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert!(f.message.contains("`state`"), "{}", f.message);
+    assert!(f.message.contains("`persist`"), "{}", f.message);
+    // The blocking ground is named even though it is two calls away.
+    assert!(f.message.contains("sleep"), "{}", f.message);
+}
+
+#[test]
+fn transitive_cycle_fixture_fires_lock_order() {
+    let report = scan_fixture("transitive_cycle.rs");
+    assert_eq!(rules_fired(&report), ["lock-order"]);
+    let cycle = &report.findings[0];
+    assert!(cycle.message.contains("outer"), "{}", cycle.message);
+    assert!(cycle.message.contains("inner"), "{}", cycle.message);
+    // No single function nests the pair: both edges are call-derived.
+    assert!(report.lock_edges.contains(&("outer".into(), "inner".into())));
+    assert!(report.lock_edges.contains(&("inner".into(), "outer".into())));
+}
+
+#[test]
 fn fixtures_are_invisible_to_the_workspace_walk() {
     assert_eq!(oftt_lint::classify("crates/oftt-lint/fixtures/lock_cycle.rs"), None);
 }

@@ -144,7 +144,10 @@ fn main() {
             for entry in &entries[printed..] {
                 let _ = writeln!(stdout, "{entry}");
             }
-            let _ = stdout.flush();
+            drop(stdout);
+            // Flush on a fresh handle: same underlying buffer, but no
+            // guard pinned across the (blocking) flush syscall.
+            let _ = std::io::stdout().flush();
             printed = entries.len();
         }
         if let Some(deadline) = deadline {

@@ -302,7 +302,11 @@ impl WireCodec {
     /// Decodes a received body by tag.
     pub fn decode(&self, tag: u32, body: &Bytes) -> Result<MsgBody, WireError> {
         let idx = *self.by_tag.get(&tag).ok_or(WireError::UnknownTag(tag))?;
-        (self.entries[idx].decode)(body)
+        // `by_tag` indexes into `entries` by construction; the checked
+        // form turns a hypothetically stale index into a protocol error
+        // instead of a panic on the reactor thread.
+        let entry = self.entries.get(idx).ok_or(WireError::UnknownTag(tag))?;
+        (entry.decode)(body)
     }
 
     /// Encodes a whole envelope into `(marshaled meta, payload)`.
@@ -330,6 +334,7 @@ impl WireCodec {
     /// into a caller-provided (typically pooled) buffer, so the ship
     /// path pays no per-frame meta allocation. On error the buffer's
     /// contents are unspecified but it remains reusable after `clear`.
+    // oftt-lint: reactor-root
     pub fn encode_envelope_into(
         &self,
         envelope: &Envelope,
@@ -353,6 +358,7 @@ impl WireCodec {
 
     /// Decodes a received frame back into an envelope (vector clocks do
     /// not cross the wire; real transports have no global clock line).
+    // oftt-lint: reactor-root
     pub fn decode_frame(&self, frame: &Frame) -> Result<Envelope, WireError> {
         let meta: FrameMeta = from_bytes(frame.meta.as_slice())?;
         let body = self.decode(meta.tag, &frame.body)?;

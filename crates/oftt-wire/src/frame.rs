@@ -238,9 +238,20 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, ReadError>
     let mut payload = vec![0u8; header.meta_len as usize + header.body_len as usize];
     r.read_exact(&mut payload).map_err(ReadError::Io)?;
     let payload = Bytes::from(payload);
-    let meta = payload.slice(..header.meta_len as usize);
-    let body = payload.slice(header.meta_len as usize..);
+    let (meta, body) = split_payload(&payload, header.meta_len)?;
     Ok(Frame { header, meta, body })
+}
+
+/// Splits a frame payload into its meta and body windows without any
+/// panic path: the windows are in bounds by construction (the payload
+/// buffer is allocated from the same header fields), but this module's
+/// `no-panic` contract must not rest on that invariant holding in a
+/// different crate.
+fn split_payload(payload: &Bytes, meta_len: u32) -> Result<(Bytes, Bytes), ReadError> {
+    let meta_len = meta_len as usize;
+    payload.try_slice(..meta_len).zip(payload.try_slice(meta_len..)).ok_or(ReadError::Protocol(
+        WireError::BodyMismatch { expected: meta_len as u64, actual: payload.len() as u64 },
+    ))
 }
 
 /// Writes one frame with a manual vectored loop (std's
@@ -404,8 +415,7 @@ impl FrameAssembler {
                     let header = *header;
                     let payload = Bytes::from(std::mem::take(buf));
                     self.state = AsmState::Header { raw: [0; HEADER_LEN], have: 0 };
-                    let meta = payload.slice(..header.meta_len as usize);
-                    let body = payload.slice(header.meta_len as usize..);
+                    let (meta, body) = split_payload(&payload, header.meta_len)?;
                     return Ok(ReadStep::Frame(Frame { header, meta, body }));
                 }
             }

@@ -202,6 +202,11 @@ impl RawPeer {
 
     /// Encodes an envelope with `codec` and writes it as one frame,
     /// exactly as the supervisor's send path would.
+    ///
+    /// The harness is a blocking single-threaded test peer and is never
+    /// registered as a reactor callback, so its send path is declared
+    /// off the reactor hot path.
+    // oftt-lint: cold-path
     pub fn send_envelope(
         &mut self,
         codec: &crate::codec::WireCodec,

@@ -95,12 +95,13 @@ impl BufPool {
 
     /// An empty `Vec` with at least `min_capacity` capacity — pooled if
     /// a shelf has one, freshly allocated otherwise.
+    // oftt-lint: arena
     pub fn take(&self, min_capacity: usize) -> Vec<u8> {
         self.takes.fetch_add(1, Ordering::Relaxed);
         if let Some(class) = Self::class_for(min_capacity) {
             // Any shelf at or above the class fits the request; checking
             // only the exact class keeps the lock count at one.
-            let recycled = { self.shelves[class].lock().pop() };
+            let recycled = self.shelves.get(class).and_then(|shelf| shelf.lock().pop());
             if let Some(mut buf) = recycled {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 buf.clear();
@@ -113,6 +114,7 @@ impl BufPool {
 
     /// Returns a buffer to its shelf. Tiny, oversized, or
     /// overflow-of-shelf buffers are dropped to the allocator instead.
+    // oftt-lint: arena
     pub fn give(&self, buf: Vec<u8>) {
         self.gives.fetch_add(1, Ordering::Relaxed);
         let cap = buf.capacity();
@@ -122,8 +124,10 @@ impl BufPool {
         // Shelve by the class the buffer can *serve*: round capacity
         // down so a take never receives less than the class promises.
         let serve = if cap.is_power_of_two() { cap } else { cap.next_power_of_two() >> 1 };
-        let Some(class) = Self::class_for(serve) else { return };
-        let mut shelf = self.shelves[class].lock();
+        let Some(shelf) = Self::class_for(serve).and_then(|c| self.shelves.get(c)) else {
+            return;
+        };
+        let mut shelf = shelf.lock();
         if shelf.len() < SHELF_LIMIT {
             shelf.push(buf);
         }

@@ -399,6 +399,7 @@ impl ShardRun {
         self.drain_writes(conn);
     }
 
+    // oftt-lint: reactor-root
     fn read_ready(&mut self, id: ConnId) {
         let mut delivered = 0usize;
         loop {
@@ -446,6 +447,7 @@ impl ShardRun {
 
     /// Pulls queued frames and writes until the socket pushes back or
     /// there is nothing left, arming/disarming write interest to match.
+    // oftt-lint: reactor-root
     fn drain_writes(&mut self, id: ConnId) {
         let mut pulled = Vec::new();
         loop {
@@ -501,6 +503,10 @@ impl ShardRun {
         }
     }
 
+    /// Runs once per connection teardown, not per frame — declared off
+    /// the reactor hot path (it may format the close reason and drain
+    /// the batch for recycling).
+    // oftt-lint: cold-path
     fn close_conn(&mut self, id: ConnId, error: Option<io::Error>) {
         let Some(mut conn) = self.conns.remove(&id) else { return };
         let _ = self.shard.poll.deregister(&conn.stream);

@@ -396,6 +396,11 @@ impl Shared {
 
     /// Handles the hello frame on an accepted connection: resolve the
     /// link, allocate an epoch, stage the reply, install.
+    ///
+    /// Runs once per connection establishment, not per frame — declared
+    /// off the reactor hot path, so the handshake may format traces and
+    /// build link state freely.
+    // oftt-lint: cold-path
     fn handle_hello(&self, conn: ConnId, frame: &Frame) -> Directive {
         if frame.header.class != FrameClass::Handshake {
             self.trace(format!(
@@ -652,6 +657,7 @@ impl ReactorHandler for Shared {
         self.conns.lock().insert(conn, ConnCtx::AwaitHello { deadline });
     }
 
+    // oftt-lint: reactor-root
     fn on_frame(&self, conn: ConnId, frame: Frame) -> Directive {
         enum Kind {
             Pending,
@@ -700,6 +706,7 @@ impl ReactorHandler for Shared {
         }
     }
 
+    // oftt-lint: reactor-root
     fn next_frames(&self, conn: ConnId, out: &mut Vec<StampedFrame>) {
         let (link, my_epoch) = {
             let mut conns = self.conns.lock();

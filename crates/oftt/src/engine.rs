@@ -458,18 +458,31 @@ impl Engine {
         }
     }
 
+    /// Seeded defect (b) helper: reads the probe under its own lock.
+    /// Called from `send_status` *while `diag` is held*, so the
+    /// diag → probe half of the inversion exists only across this call
+    /// boundary — a single-function scan cannot see it; the
+    /// call-derived (transitive) lock-order analysis must reconstruct
+    /// it.
+    #[cfg(feature = "inject_bugs")]
+    fn diag_probe_peek(&self, env: &mut dyn ProcessEnv) -> u64 {
+        let probe_lock = format!("probe:{}", env.self_endpoint());
+        env.observe_lock(&probe_lock, true);
+        let n = self.probe.lock().role_history.len() as u64;
+        env.observe_lock(&probe_lock, false);
+        n
+    }
+
     fn send_status(&mut self, env: &mut dyn ProcessEnv) {
-        // Seeded defect (b), second half: diag is locked before probe here —
-        // the opposite order from `tick` — closing the deadlock cycle.
+        // Seeded defect (b), second half: diag is locked here and probe
+        // is then locked inside `diag_probe_peek` — the opposite order
+        // from `tick` — closing the deadlock cycle across a call.
         #[cfg(feature = "inject_bugs")]
         {
-            let probe_lock = format!("probe:{}", env.self_endpoint());
             let diag_lock = format!("diag:{}", env.self_endpoint());
             env.observe_lock(&diag_lock, true);
             let diag_guard = self.diag.lock();
-            env.observe_lock(&probe_lock, true);
-            let _ = self.probe.lock().role_history.len() as u64 + *diag_guard;
-            env.observe_lock(&probe_lock, false);
+            let _ = self.diag_probe_peek(env) + *diag_guard;
             drop(diag_guard);
             env.observe_lock(&diag_lock, false);
         }
