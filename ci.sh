@@ -36,6 +36,13 @@
 #  12. bench smoke       one-sample BENCH_checkpoint.json emit + reduced
 #                        BENCH_wire.json and BENCH_verify.json emits, all
 #                        schema-validated (fails on schema drift)
+#  13. campaign smoke    trimmed 20-seed scenario campaign (reboot loop +
+#                        the seeded startup defect): every run goes
+#                        through the oftt-check invariant engine; any
+#                        violation, non-recovered seed, or missed
+#                        expected violation exits nonzero via the
+#                        campaign gate, and the emitted BENCH_campaign
+#                        artifact must validate as oftt-bench-campaign-v1
 #
 # Exits non-zero on the first failing stage, naming it on stderr.
 
@@ -185,5 +192,17 @@ TMPFILES+=("$BENCH_VERIFY_OUT")
 BENCH_REFINE_RUNS=5 BENCH_OUT="$BENCH_VERIFY_OUT" \
     cargo run -p bench --release -q --bin bench-verify
 cargo run -p bench --release -q --bin bench-validate "$BENCH_VERIFY_OUT"
+
+step "campaign smoke: 20-seed statistical sweep + artifact gate"
+# The gate exits 2 on any invariant violation, non-recovered seed,
+# breached pin, or an expected violation the instrument failed to
+# surface — `set -e` turns any of those into a CI failure.
+BENCH_CAMPAIGN_OUT=$(mktemp /tmp/BENCH_campaign.XXXXXX.json)
+TMPFILES+=("$BENCH_CAMPAIGN_OUT")
+cargo run -p oftt-campaign --release -q -- run \
+    --scenario examples/campaigns/reboot_loop.json \
+    --scenario examples/campaigns/startup_bug.json \
+    --seeds 20 --out "$BENCH_CAMPAIGN_OUT"
+cargo run -p bench --release -q --bin bench-validate "$BENCH_CAMPAIGN_OUT"
 
 printf '\nCI green.\n'

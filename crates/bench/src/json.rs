@@ -5,6 +5,13 @@
 //! fail on schema drift without any new dependency. It covers exactly the
 //! JSON subset the emitters produce: objects, arrays, strings without
 //! escapes beyond `\"` and `\\`, numbers, booleans, and null.
+//!
+//! The parser is strict about object keys: spelling the same key twice in
+//! one object is an error, not a silent last-one-wins. Loaders of
+//! human-authored documents (campaign scenario files) rely on that — a
+//! duplicated override would otherwise shadow its first occurrence without
+//! a trace. [`parse_doc`] surfaces the offending key as a typed
+//! [`JsonErrorKind::DuplicateKey`].
 
 use std::collections::BTreeMap;
 
@@ -72,35 +79,79 @@ impl Json {
     }
 }
 
+/// A structured parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset where the failure was detected.
+    pub at: usize,
+    /// What went wrong.
+    pub kind: JsonErrorKind,
+}
+
+/// The kinds of parse failure, typed so loaders can react per kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonErrorKind {
+    /// An object spelled the same key twice; carries the key verbatim.
+    DuplicateKey(String),
+    /// Any other malformation, described.
+    Malformed(String),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            JsonErrorKind::DuplicateKey(key) => {
+                write!(f, "duplicate key {key:?} at byte {}", self.at)
+            }
+            JsonErrorKind::Malformed(what) => write!(f, "{what} at byte {}", self.at),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn bad(at: usize, what: impl Into<String>) -> JsonError {
+    JsonError { at, kind: JsonErrorKind::Malformed(what.into()) }
+}
+
 /// Parses a complete JSON document; trailing garbage is an error.
+/// String-typed error for validator plumbing — see [`parse_doc`] for the
+/// typed form.
 pub fn parse(text: &str) -> Result<Json, String> {
+    parse_doc(text).map_err(|e| e.to_string())
+}
+
+/// Parses a complete JSON document with a typed error: duplicate object
+/// keys and malformations are distinguished, and the byte offset is
+/// carried alongside.
+pub fn parse_doc(text: &str) -> Result<Json, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(bad(pos, "trailing data"));
     }
     Ok(value)
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&ch) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+        Err(bad(*pos, format!("expected '{}'", ch as char)))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
@@ -110,33 +161,30 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
         Some(_) => parse_number(bytes, pos),
-        None => Err("unexpected end of input".into()),
+        None => Err(bad(*pos, "unexpected end of input")),
     }
 }
 
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes.get(*pos..).unwrap_or(&[]).starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("bad literal at byte {}", *pos))
+        Err(bad(*pos, "bad literal"))
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Number)
-        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[]))
+        .map_err(|e| bad(start, e.to_string()))?;
+    text.parse::<f64>().map(Json::Number).map_err(|_| bad(start, format!("bad number {text:?}")))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
@@ -150,23 +198,25 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 match bytes.get(*pos) {
                     Some(b'"') => out.push('"'),
                     Some(b'\\') => out.push('\\'),
-                    other => return Err(format!("unsupported escape {other:?} at byte {}", *pos)),
+                    other => return Err(bad(*pos, format!("unsupported escape {other:?}"))),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar worth of bytes.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let ch = rest.chars().next().ok_or("unexpected end of string")?;
+                let rest = std::str::from_utf8(bytes.get(*pos..).unwrap_or(&[]))
+                    .map_err(|e| bad(*pos, e.to_string()))?;
+                let ch =
+                    rest.chars().next().ok_or_else(|| bad(*pos, "unexpected end of string"))?;
                 out.push(ch);
                 *pos += ch.len_utf8();
             }
-            None => return Err("unterminated string".into()),
+            None => return Err(bad(*pos, "unterminated string")),
         }
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -176,10 +226,13 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
     loop {
         skip_ws(bytes, pos);
+        let key_at = *pos;
         let key = parse_string(bytes, pos)?;
         expect(bytes, pos, b':')?;
         let value = parse_value(bytes, pos)?;
-        map.insert(key, value);
+        if map.insert(key.clone(), value).is_some() {
+            return Err(JsonError { at: key_at, kind: JsonErrorKind::DuplicateKey(key) });
+        }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -187,12 +240,12 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Object(map));
             }
-            other => return Err(format!("expected ',' or '}}', got {other:?} at byte {}", *pos)),
+            other => return Err(bad(*pos, format!("expected ',' or '}}', got {other:?}"))),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -209,7 +262,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Array(items));
             }
-            other => return Err(format!("expected ',' or ']', got {other:?} at byte {}", *pos)),
+            other => return Err(bad(*pos, format!("expected ',' or ']', got {other:?}"))),
         }
     }
 }
@@ -239,5 +292,17 @@ mod tests {
         assert!(parse(r#"{"a" 1}"#).is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_typed_errors_naming_the_key() {
+        let err = parse_doc(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::DuplicateKey("a".into()));
+        assert!(err.to_string().contains("duplicate key \"a\""));
+        // Nested objects are checked too.
+        let err = parse_doc(r#"{"outer": {"x": 1, "x": 2}}"#).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::DuplicateKey("x".into()));
+        // The string form carries the same message.
+        assert!(parse(r#"{"a": 1, "a": 2}"#).unwrap_err().contains("duplicate key"));
     }
 }

@@ -29,7 +29,16 @@
 //! * `oftt-lint-v1` — the static analyzer's workspace report: zero
 //!   non-baselined findings, zero dynamic lock sites missing from the
 //!   static acquisition graph, and a scan that actually covered the
-//!   workspace (≥ 40 files).
+//!   workspace (≥ 40 files);
+//! * `oftt-bench-campaign-v1` — a campaign sweep's cross-seed
+//!   aggregates: every scenario's failover distribution must be ordered
+//!   (p50 ≤ p95 ≤ p99 ≤ max), availability in `[0, 1]`, and the
+//!   correctness gate must hold — scenarios not expecting violations
+//!   must show zero violations and zero non-recovered seeds, scenarios
+//!   *expecting* them (seeded-bug demonstrations) must actually surface
+//!   at least one violating seed. Optional per-scenario `pin` thresholds
+//!   (`min_availability`, `max_failover_p99_ms`, `min_failover_samples`)
+//!   turn measured distributions into regression walls.
 
 use crate::json::Json;
 
@@ -74,6 +83,7 @@ pub fn validate(doc: &Json) -> Vec<String> {
         Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
         Some("oftt-lint-v1") => errors.extend(validate_lint(doc)),
         Some("oftt-bench-lint-v1") => errors.extend(validate_bench_lint(doc)),
+        Some("oftt-bench-campaign-v1") => errors.extend(validate_campaign(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
         None => errors.push("schema is not a string".into()),
     }
@@ -415,6 +425,129 @@ fn validate_bench_lint(doc: &Json) -> Vec<String> {
     errors
 }
 
+fn validate_campaign(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    require_number(doc, "total_runs", &mut errors);
+    require_number(doc, "elapsed_ms", &mut errors);
+    require_number(doc, "jobs", &mut errors);
+    let Some(scenarios) = require(doc, "scenarios", &mut errors).and_then(Json::as_array) else {
+        errors.push("scenarios is not an array".into());
+        return errors;
+    };
+    if scenarios.is_empty() {
+        errors.push("scenarios is empty".into());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        let mut sc_errors = Vec::new();
+        let name = require(sc, "name", &mut sc_errors).and_then(Json::as_str).unwrap_or("?");
+        let seeds = require_number(sc, "seeds", &mut sc_errors);
+        require_number(sc, "horizon_ms", &mut sc_errors);
+        let recovered = require_number(sc, "recovered", &mut sc_errors);
+        let non_recovered = require_number(sc, "non_recovered", &mut sc_errors);
+        let violations = require_number(sc, "violations", &mut sc_errors);
+        let violating_seeds = require_number(sc, "violating_seeds", &mut sc_errors);
+        let samples = require_number(sc, "failover_samples", &mut sc_errors);
+        let p50 = require_number(sc, "failover_ms_p50", &mut sc_errors);
+        let p95 = require_number(sc, "failover_ms_p95", &mut sc_errors);
+        let p99 = require_number(sc, "failover_ms_p99", &mut sc_errors);
+        let max = require_number(sc, "failover_ms_max", &mut sc_errors);
+        let avail_mean = require_number(sc, "availability_mean", &mut sc_errors);
+        let avail_min = require_number(sc, "availability_min", &mut sc_errors);
+        let expect = match require(sc, "expect_violations", &mut sc_errors).and_then(Json::as_bool)
+        {
+            Some(b) => b,
+            None => {
+                sc_errors.push("expect_violations is not a boolean".into());
+                false
+            }
+        };
+        if seeds.is_some_and(|s| s < 1.0) {
+            sc_errors.push("seeds below 1".into());
+        }
+        if let (Some(seeds), Some(r), Some(nr)) = (seeds, recovered, non_recovered) {
+            if r + nr != seeds {
+                sc_errors.push(format!("recovered {r} + non_recovered {nr} != seeds {seeds}"));
+            }
+        }
+        // The distribution must be internally ordered; a crossed quantile
+        // means the aggregator, not the protocol, broke.
+        if let (Some(p50), Some(p95), Some(p99), Some(max)) = (p50, p95, p99, max) {
+            if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+                sc_errors.push(format!(
+                    "failover quantiles out of order: p50 {p50} p95 {p95} p99 {p99} max {max}"
+                ));
+            }
+        }
+        for (key, v) in [("availability_mean", avail_mean), ("availability_min", avail_min)] {
+            if v.is_some_and(|v| !(0.0..=1.0).contains(&v)) {
+                sc_errors.push(format!("{key} outside [0, 1]"));
+            }
+        }
+        if let (Some(mean), Some(min)) = (avail_mean, avail_min) {
+            if min > mean {
+                sc_errors.push(format!("availability_min {min} above mean {mean}"));
+            }
+        }
+        // The correctness gate. A fault-free campaign that shows a single
+        // invariant violation or a seed that never re-elected is a
+        // protocol regression; a seeded-bug campaign that shows *no*
+        // violation means the instrument went blind.
+        if expect {
+            if violating_seeds == Some(0.0) {
+                sc_errors.push(
+                    "expected violations but no seed surfaced one (instrument blind?)".into(),
+                );
+            }
+        } else {
+            if let Some(v) = violations {
+                if v > 0.0 {
+                    sc_errors.push(format!("{v} invariant violation(s) across the sweep"));
+                }
+            }
+            if let Some(nr) = non_recovered {
+                if nr > 0.0 {
+                    sc_errors.push(format!("{nr} seed(s) never recovered a primary"));
+                }
+            }
+        }
+        // Optional pinned thresholds: the regression wall.
+        if let Some(pin) = sc.get("pin") {
+            if pin.as_object().is_none() {
+                sc_errors.push("pin is not an object".into());
+            }
+            if let Some(floor) = pin.get("min_availability").and_then(Json::as_f64) {
+                if avail_min.is_some_and(|v| v < floor) {
+                    sc_errors.push(format!(
+                        "availability_min {} below the pinned floor {floor}",
+                        avail_min.unwrap_or(0.0)
+                    ));
+                }
+            }
+            if let Some(ceil) = pin.get("max_failover_p99_ms").and_then(Json::as_f64) {
+                if p99.is_some_and(|v| v > ceil) {
+                    sc_errors.push(format!(
+                        "failover_ms_p99 {} over the pinned ceiling {ceil}",
+                        p99.unwrap_or(0.0)
+                    ));
+                }
+            }
+            // Scenarios that exist to measure failovers pin a sample
+            // floor; campaigns where the primary legitimately never dies
+            // (pure partitions) just don't.
+            if let Some(floor) = pin.get("min_failover_samples").and_then(Json::as_f64) {
+                if samples.is_some_and(|v| v < floor) {
+                    sc_errors.push(format!(
+                        "failover_samples {} below the pinned floor {floor}",
+                        samples.unwrap_or(0.0)
+                    ));
+                }
+            }
+        }
+        errors.extend(sc_errors.into_iter().map(|e| format!("scenarios[{i}] ({name}): {e}")));
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +705,89 @@ mod tests {
         .unwrap();
         let errors = validate(&doc);
         assert!(errors.iter().any(|e| e.contains("missing")), "{errors:?}");
+    }
+
+    fn campaign_doc(scenario: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "oftt-bench-campaign-v1",
+              "total_runs": 200,
+              "elapsed_ms": 41000,
+              "jobs": 8,
+              "scenarios": [{scenario}]
+            }}"#
+        )
+    }
+
+    fn clean_scenario(extra: &str) -> String {
+        format!(
+            r#"{{
+              "name": "partition_storm",
+              "seeds": 100, "horizon_ms": 40000,
+              "expect_violations": false,
+              "recovered": 100, "non_recovered": 0,
+              "violations": 0, "violating_seeds": 0,
+              "failover_samples": 180,
+              "failover_ms_p50": 610.0, "failover_ms_p95": 840.0,
+              "failover_ms_p99": 910.0, "failover_ms_max": 1180.0,
+              "availability_mean": 0.991, "availability_min": 0.972{extra}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn clean_campaign_report_conforms() {
+        let doc = parse(&campaign_doc(&clean_scenario(""))).unwrap();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+        // With pins the measured values clear.
+        let pinned = clean_scenario(
+            r#", "pin": {"min_availability": 0.9, "max_failover_p99_ms": 3000,
+                         "min_failover_samples": 100}"#,
+        );
+        let doc = parse(&campaign_doc(&pinned)).unwrap();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn campaign_violations_and_non_recovery_fail_the_gate() {
+        let sc = clean_scenario("")
+            .replace(r#""violations": 0"#, r#""violations": 2"#)
+            .replace(r#""violating_seeds": 0"#, r#""violating_seeds": 1"#);
+        let doc = parse(&campaign_doc(&sc)).unwrap();
+        assert!(validate(&doc).iter().any(|e| e.contains("invariant violation")));
+
+        let sc = clean_scenario("")
+            .replace(r#""recovered": 100"#, r#""recovered": 97"#)
+            .replace(r#""non_recovered": 0"#, r#""non_recovered": 3"#);
+        let doc = parse(&campaign_doc(&sc)).unwrap();
+        assert!(validate(&doc).iter().any(|e| e.contains("never recovered")));
+    }
+
+    #[test]
+    fn campaign_expecting_violations_must_surface_one() {
+        let sc = clean_scenario("")
+            .replace(r#""expect_violations": false"#, r#""expect_violations": true"#);
+        let doc = parse(&campaign_doc(&sc)).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("instrument blind")), "{errors:?}");
+    }
+
+    #[test]
+    fn campaign_crossed_quantiles_and_broken_pins_fail() {
+        let sc = clean_scenario("")
+            .replace(r#""failover_ms_p95": 840.0"#, r#""failover_ms_p95": 2000.0"#);
+        let doc = parse(&campaign_doc(&sc)).unwrap();
+        assert!(validate(&doc).iter().any(|e| e.contains("quantiles out of order")));
+
+        let pinned = clean_scenario(
+            r#", "pin": {"min_availability": 0.99, "max_failover_p99_ms": 500,
+                         "min_failover_samples": 500}"#,
+        );
+        let doc = parse(&campaign_doc(&pinned)).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("availability_min") && e.contains("floor")));
+        assert!(errors.iter().any(|e| e.contains("pinned ceiling")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("failover_samples") && e.contains("floor")));
     }
 
     #[test]

@@ -37,6 +37,21 @@ pub enum Fault {
     Partition(NodeId, NodeId),
     /// Heal a partition.
     Heal(NodeId, NodeId),
+    /// Retune every path of the link between two nodes (latency in µs,
+    /// jitter in µs, bandwidth in bytes/s) — degraded-but-alive media.
+    /// Restore by tuning back to the nominal figures.
+    TuneLink {
+        /// One end of the link.
+        a: NodeId,
+        /// The other end.
+        b: NodeId,
+        /// New base latency, µs.
+        latency_us: u64,
+        /// New jitter (±), µs.
+        jitter_us: u64,
+        /// New bandwidth, bytes per second.
+        bandwidth_bps: u64,
+    },
 }
 
 impl Fault {
@@ -49,14 +64,31 @@ impl Fault {
             Fault::StartService(n, s) => cluster.fault_start_service(sched, *n, s.clone()),
             Fault::PathDown(a, b, i) => {
                 if let Some(link) = cluster.link_mut(*a, *b) {
-                    link.set_path_state(*i, PathState::Down);
-                    sched.record(TraceCategory::Fault, format!("path {i} down: {a}<->{b}"));
+                    // Scripted campaigns may address paths a narrower link
+                    // does not have; record and move on rather than abort
+                    // the whole run.
+                    if *i < link.path_count() {
+                        link.set_path_state(*i, PathState::Down);
+                        sched.record(TraceCategory::Fault, format!("path {i} down: {a}<->{b}"));
+                    } else {
+                        sched.record(
+                            TraceCategory::Fault,
+                            format!("path {i} down ignored (no such path): {a}<->{b}"),
+                        );
+                    }
                 }
             }
             Fault::PathUp(a, b, i) => {
                 if let Some(link) = cluster.link_mut(*a, *b) {
-                    link.set_path_state(*i, PathState::Up);
-                    sched.record(TraceCategory::Fault, format!("path {i} up: {a}<->{b}"));
+                    if *i < link.path_count() {
+                        link.set_path_state(*i, PathState::Up);
+                        sched.record(TraceCategory::Fault, format!("path {i} up: {a}<->{b}"));
+                    } else {
+                        sched.record(
+                            TraceCategory::Fault,
+                            format!("path {i} up ignored (no such path): {a}<->{b}"),
+                        );
+                    }
                 }
             }
             Fault::Partition(a, b) => {
@@ -69,6 +101,22 @@ impl Fault {
                 if let Some(link) = cluster.link_mut(*a, *b) {
                     link.set_partitioned(false);
                     sched.record(TraceCategory::Fault, format!("heal: {a}<->{b}"));
+                }
+            }
+            Fault::TuneLink { a, b, latency_us, jitter_us, bandwidth_bps } => {
+                if let Some(link) = cluster.link_mut(*a, *b) {
+                    link.tune_paths(
+                        ds_sim::prelude::SimDuration::from_micros(*latency_us),
+                        ds_sim::prelude::SimDuration::from_micros(*jitter_us),
+                        *bandwidth_bps,
+                    );
+                    sched.record(
+                        TraceCategory::Fault,
+                        format!(
+                            "tune: {a}<->{b} latency={latency_us}us \
+                             jitter={jitter_us}us bw={bandwidth_bps}Bps"
+                        ),
+                    );
                 }
             }
         }
@@ -202,6 +250,26 @@ mod tests {
         inject(&mut cs, SimTime::from_secs(5), Fault::PathUp(a, b, 1));
         cs.run_until(SimTime::from_secs(6));
         assert!(cs.cluster().link(a, b).unwrap().is_usable());
+    }
+
+    #[test]
+    fn tune_link_slows_traffic_without_dropping_it() {
+        let (mut cs, a, b) = pair();
+        inject(
+            &mut cs,
+            SimTime::from_secs(1),
+            Fault::TuneLink { a, b, latency_us: 50_000, jitter_us: 0, bandwidth_bps: 10_000 },
+        );
+        cs.run_until(SimTime::from_secs(2));
+        let link = cs.cluster().link(a, b).unwrap();
+        assert!(link.is_usable(), "tuned link still carries traffic");
+        match link.route(1_000, &mut ds_sim::prelude::SimRng::seed_from(1)) {
+            crate::link::RouteOutcome::Deliver(d) => {
+                // 50ms base + 1000B / 10kBps = 100ms transmission.
+                assert!(d >= ds_sim::prelude::SimDuration::from_millis(140), "got {d}");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
     }
 
     #[test]

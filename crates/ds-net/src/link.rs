@@ -141,6 +141,18 @@ impl Link {
         self.paths[index].state
     }
 
+    /// Retunes latency, jitter, and bandwidth on every path, keeping each
+    /// path's loss probability and up/down state. This is the fault layer's
+    /// handle for degraded-but-alive media (saturated switch, flow-controlled
+    /// NIC): traffic still flows, just slowly.
+    pub fn tune_paths(&mut self, base: SimDuration, jitter: SimDuration, bandwidth_bps: u64) {
+        for path in &mut self.paths {
+            path.config.base_latency = base;
+            path.config.jitter = jitter;
+            path.config.bandwidth_bps = bandwidth_bps.max(1);
+        }
+    }
+
     /// Marks the whole link partitioned (no path passes traffic) or heals it.
     pub fn set_partitioned(&mut self, partitioned: bool) {
         self.partitioned = partitioned;

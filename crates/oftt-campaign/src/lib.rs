@@ -1,0 +1,52 @@
+//! # oftt-campaign — declarative scenario campaigns over the checked
+//! simulator
+//!
+//! One deterministic run answers "what happened under this seed"; the
+//! paper's claims are statistical — availability fractions, failover-time
+//! distributions. This crate turns the ds-sim/oftt-check harness into a
+//! statistical instrument:
+//!
+//! * [`scenario`] loads declarative JSON scenario files (fault-script
+//!   template + seed population + validated parameter overrides), with
+//!   unknown keys, duplicate keys, and out-of-range seed spans as typed
+//!   hard errors;
+//! * [`expand`] unrolls the template per seed with deterministic jitter
+//!   (`SimRng::derive(seed, fnv(name) ^ step)`), so every run is exactly
+//!   reproducible from `(file, seed)`;
+//! * [`exec`] fans the runs across worker threads — each executes the
+//!   full trace-invariant engine plus the [`oftt_check::RunOutcome`]
+//!   availability model;
+//! * [`stats`] pools the outcomes into per-scenario distributions
+//!   (p50/p95/p99/max failover, availability mean/min, violation and
+//!   non-recovery counts) and applies the acceptance gate;
+//! * [`report`] emits the `oftt-bench-campaign-v1` artifact CI validates
+//!   and the human summary table.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p oftt-campaign --release -- run \
+//!     --scenario examples/campaigns/partition_storm.json \
+//!     --out BENCH_campaign.json
+//! ```
+//!
+//! Exit status: `0` clean, `1` load/usage error, `2` gate failure
+//! (unexpected violations, non-recovered seeds, or a breached pin).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(unreachable_pub, unused_qualifications)]
+
+pub mod error;
+pub mod exec;
+pub mod expand;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use error::CampaignError;
+pub use exec::{default_jobs, run_campaign, run_one, RunRecord};
+pub use expand::expand;
+pub use report::{render_json, render_summary};
+pub use scenario::{Pin, Scenario, StepTemplate, MAX_SEEDS};
+pub use stats::{aggregate, gate_failures, ScenarioStats};

@@ -1,0 +1,146 @@
+// oftt-lint: no-panic
+//! Artifact emission and the human-facing summary.
+//!
+//! The JSON is hand-formatted to the `oftt-bench-campaign-v1` schema the
+//! workspace validator (`crates/bench/src/validate.rs`) checks, matching
+//! the other bench emitters: no serializer dependency, keys always in the
+//! same order, so diffs between campaign artifacts are line-diffs.
+
+use crate::stats::ScenarioStats;
+
+/// Renders the campaign artifact (`oftt-bench-campaign-v1`).
+pub fn render_json(
+    stats: &[ScenarioStats],
+    total_runs: usize,
+    elapsed_ms: u64,
+    jobs: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"oftt-bench-campaign-v1\",\n");
+    out.push_str(&format!("  \"total_runs\": {total_runs},\n"));
+    out.push_str(&format!("  \"elapsed_ms\": {elapsed_ms},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    let last = stats.len().saturating_sub(1);
+    for (i, sc) in stats.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", sc.name));
+        out.push_str(&format!("      \"seeds\": {},\n", sc.seeds));
+        out.push_str(&format!("      \"horizon_ms\": {},\n", sc.horizon_ms));
+        out.push_str(&format!("      \"expect_violations\": {},\n", sc.expect_violations));
+        out.push_str(&format!("      \"recovered\": {},\n", sc.recovered));
+        out.push_str(&format!("      \"non_recovered\": {},\n", sc.non_recovered));
+        out.push_str(&format!("      \"violations\": {},\n", sc.violations));
+        out.push_str(&format!("      \"violating_seeds\": {},\n", sc.violating_seeds));
+        out.push_str(&format!("      \"failover_samples\": {},\n", sc.failover_samples));
+        out.push_str(&format!("      \"failover_ms_p50\": {:.3},\n", sc.failover_ms_p50));
+        out.push_str(&format!("      \"failover_ms_p95\": {:.3},\n", sc.failover_ms_p95));
+        out.push_str(&format!("      \"failover_ms_p99\": {:.3},\n", sc.failover_ms_p99));
+        out.push_str(&format!("      \"failover_ms_max\": {:.3},\n", sc.failover_ms_max));
+        out.push_str(&format!("      \"availability_mean\": {:.6},\n", sc.availability_mean));
+        out.push_str(&format!("      \"availability_min\": {:.6}", sc.availability_min));
+        if sc.pin.is_set() {
+            out.push_str(",\n      \"pin\": {");
+            let mut parts = Vec::new();
+            if let Some(v) = sc.pin.min_availability {
+                parts.push(format!("\"min_availability\": {v}"));
+            }
+            if let Some(v) = sc.pin.max_failover_p99_ms {
+                parts.push(format!("\"max_failover_p99_ms\": {v}"));
+            }
+            if let Some(v) = sc.pin.min_failover_samples {
+                parts.push(format!("\"min_failover_samples\": {v}"));
+            }
+            out.push_str(&parts.join(", "));
+            out.push('}');
+        }
+        out.push_str(if i == last { "\n    }\n" } else { "\n    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The per-scenario summary the CLI prints.
+pub fn render_summary(stats: &[ScenarioStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>5} {:>5} {:>4} {:>8} {:>9} {:>9} {:>9} {:>10}\n",
+        "scenario", "seeds", "recov", "viol", "samples", "p50 ms", "p99 ms", "max ms", "avail"
+    ));
+    for sc in stats {
+        out.push_str(&format!(
+            "{:<20} {:>5} {:>5} {:>4} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>10.6}\n",
+            sc.name,
+            sc.seeds,
+            sc.recovered,
+            sc.violations,
+            sc.failover_samples,
+            sc.failover_ms_p50,
+            sc.failover_ms_p99,
+            sc.failover_ms_max,
+            sc.availability_mean,
+        ));
+        if !sc.violating_seed_list.is_empty() {
+            out.push_str(&format!(
+                "  {} violating seed(s): {:?}{}\n",
+                if sc.expect_violations { "expected" } else { "UNEXPECTED" },
+                sc.violating_seed_list.iter().take(10).collect::<Vec<_>>(),
+                if sc.violating_seed_list.len() > 10 { " …" } else { "" },
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Pin;
+
+    fn stats(pin: Pin) -> ScenarioStats {
+        ScenarioStats {
+            name: "storm".into(),
+            seeds: 20,
+            horizon_ms: 40000,
+            expect_violations: false,
+            recovered: 20,
+            non_recovered: 0,
+            violations: 0,
+            violating_seeds: 0,
+            violating_seed_list: Vec::new(),
+            failover_samples: 41,
+            failover_ms_p50: 612.5,
+            failover_ms_p95: 840.0,
+            failover_ms_p99: 901.25,
+            failover_ms_max: 1180.0,
+            availability_mean: 0.991234,
+            availability_min: 0.972,
+            pin,
+        }
+    }
+
+    #[test]
+    fn rendered_artifact_parses_and_validates() {
+        let pin = Pin {
+            min_availability: Some(0.9),
+            max_failover_p99_ms: Some(3000.0),
+            min_failover_samples: Some(20),
+        };
+        let json = render_json(&[stats(pin), stats(Pin::default())], 40, 1234, 8);
+        let doc = bench::json::parse(&json).unwrap();
+        assert_eq!(bench::validate::validate(&doc), Vec::<String>::new());
+        assert_eq!(
+            doc.get("scenarios").unwrap().as_array().unwrap().len(),
+            2,
+            "both scenarios present"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_the_scenario() {
+        let text = render_summary(&[stats(Pin::default())]);
+        assert!(text.contains("storm"));
+        assert!(text.contains("0.991234"));
+    }
+}

@@ -1,0 +1,615 @@
+// oftt-lint: no-panic
+//! Declarative scenario files.
+//!
+//! A scenario is a JSON document that names a seed population, a fault
+//! script *template*, and the knobs of the checked deployment it runs
+//! against. The loader is deliberately unforgiving: unknown keys anywhere
+//! (the scenario shell, a script step, the pin block, an override) are
+//! hard errors, duplicate keys are hard errors, and every numeric field
+//! is range-checked at load time — a campaign that runs 100 seeds per
+//! scenario must not discover a typo'd `peer_timeout_sm` forty simulated
+//! minutes in, silently running the default instead.
+//!
+//! ## Schema
+//!
+//! ```json
+//! {
+//!   "name": "partition_storm",
+//!   "description": "repeated short partitions during steady state",
+//!   "seeds": {"range": [1, 100]},
+//!   "horizon_ms": 40000,
+//!   "tie_window_us": 500,
+//!   "inject_startup_bug": false,
+//!   "expect_violations": false,
+//!   "overrides": {"peer_timeout_ms": 1500},
+//!   "pin": {"min_availability": 0.9, "max_failover_p99_ms": 3000},
+//!   "script": [
+//!     {"at_ms": 8000, "op": "partition", "repeat": 4, "every_ms": 6000,
+//!      "jitter_ms": 500},
+//!     {"at_ms": 9000, "op": "heal", "repeat": 4, "every_ms": 6000}
+//!   ]
+//! }
+//! ```
+//!
+//! `seeds` is either an explicit array (`[1, 2, 7]`, duplicates rejected)
+//! or an inclusive `{"range": [lo, hi]}`; either form is capped at
+//! [`MAX_SEEDS`]. Script ops are the [`ScriptOp`] vocabulary by their
+//! script names (`crash`, `repair`, `kill-engine`, `restart-engine`,
+//! `partition`, `heal`, `distress`, `reboot`, `path-down`, `path-up`,
+//! `slow-link`); slot ops take `"slot": "a" | "b"`, path ops take
+//! `"path": <index>`, `slow-link` takes `latency_us` / `jitter_us` /
+//! `bandwidth_bps`. `repeat` / `every_ms` / `jitter_ms` turn one step
+//! into a deterministic per-seed storm (see [`crate::expand`]).
+
+use std::collections::BTreeSet;
+
+use bench::json::{parse_doc, Json, JsonErrorKind};
+use ds_sim::prelude::{SimDuration, SimTime};
+use oftt_check::{PairSlot, ScriptOp};
+use oftt_harness::overrides::{OverrideValue, ParamOverrides};
+
+use crate::error::CampaignError;
+
+/// The most seeds one scenario may name — a guard against a fat-fingered
+/// range (`[1, 10000000]`) launching a multi-day sweep.
+pub const MAX_SEEDS: usize = 100_000;
+
+/// Pinned acceptance thresholds a scenario carries into the artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Pin {
+    /// The sweep's minimum per-seed availability must not fall below this.
+    pub min_availability: Option<f64>,
+    /// The failover p99 (ms) must not exceed this.
+    pub max_failover_p99_ms: Option<f64>,
+    /// The sweep must produce at least this many failover samples.
+    pub min_failover_samples: Option<u64>,
+}
+
+impl Pin {
+    /// `true` if any threshold is set.
+    pub fn is_set(&self) -> bool {
+        self.min_availability.is_some()
+            || self.max_failover_p99_ms.is_some()
+            || self.min_failover_samples.is_some()
+    }
+}
+
+/// One script step before per-seed expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTemplate {
+    /// When the first instance fires.
+    pub at: SimTime,
+    /// What it does.
+    pub op: ScriptOp,
+    /// How many instances to emit (default 1).
+    pub repeat: u64,
+    /// Spacing between instances (required when `repeat > 1`).
+    pub every: SimDuration,
+    /// Uniform per-instance start jitter in `[0, jitter]`, drawn from the
+    /// seed-derived stream (default 0: fully rigid schedule).
+    pub jitter: SimDuration,
+}
+
+/// A loaded, validated scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The scenario's name (also its stream label for jitter derivation).
+    pub name: String,
+    /// Free-text documentation, not interpreted.
+    pub description: String,
+    /// The seed population, deduplicated, in file order.
+    pub seeds: Vec<u64>,
+    /// How long each run lasts.
+    pub horizon: SimTime,
+    /// The explorer's simultaneity window.
+    pub tie_window: SimDuration,
+    /// Re-introduce the pre-fix §3.2 startup bug (seeded-defect
+    /// demonstration campaigns).
+    pub inject_startup_bug: bool,
+    /// `true` for campaigns that *demonstrate* a defect: the gate then
+    /// requires at least one violating seed instead of zero.
+    pub expect_violations: bool,
+    /// Validated parameter deltas applied to every run.
+    pub overrides: ParamOverrides,
+    /// Pinned acceptance thresholds (may be empty).
+    pub pin: Pin,
+    /// The fault-script template.
+    pub steps: Vec<StepTemplate>,
+}
+
+/// `f64` → exact `u64`, or a description of why not.
+fn as_integer(n: f64) -> Result<u64, String> {
+    if n.fract() != 0.0 {
+        return Err(format!("{n} is not an integer"));
+    }
+    if !(0.0..=(u64::MAX as f64)).contains(&n) {
+        return Err(format!("{n} is out of range"));
+    }
+    Ok(n as u64)
+}
+
+impl Scenario {
+    /// Reads and loads one scenario file.
+    pub fn load_file(path: &str) -> Result<Scenario, CampaignError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CampaignError::Io { path: path.to_string(), detail: e.to_string() })?;
+        Scenario::load(path, &text)
+    }
+
+    /// Loads a scenario from already-read text; `path` labels errors.
+    pub fn load(path: &str, text: &str) -> Result<Scenario, CampaignError> {
+        let doc = parse_doc(text).map_err(|e| match e.kind {
+            JsonErrorKind::DuplicateKey(key) => {
+                CampaignError::DuplicateKey { path: path.to_string(), key }
+            }
+            JsonErrorKind::Malformed(_) => {
+                CampaignError::Json { path: path.to_string(), detail: e.to_string() }
+            }
+        })?;
+        Loader { path }.scenario(&doc)
+    }
+}
+
+/// The loading context: one file, threaded through every helper so each
+/// error names its origin.
+struct Loader<'a> {
+    path: &'a str,
+}
+
+impl Loader<'_> {
+    fn bad(&self, field: impl Into<String>, detail: impl Into<String>) -> CampaignError {
+        CampaignError::BadField {
+            path: self.path.to_string(),
+            field: field.into(),
+            detail: detail.into(),
+        }
+    }
+
+    fn unknown(&self, context: &'static str, key: &str) -> CampaignError {
+        CampaignError::UnknownKey { path: self.path.to_string(), context, key: key.to_string() }
+    }
+
+    fn seed_err(&self, detail: impl Into<String>) -> CampaignError {
+        CampaignError::BadSeedSpan { path: self.path.to_string(), detail: detail.into() }
+    }
+
+    fn text(&self, v: &Json, field: &str) -> Result<String, CampaignError> {
+        v.as_str().map(str::to_string).ok_or_else(|| self.bad(field, "expected a string"))
+    }
+
+    fn flag(&self, v: &Json, field: &str) -> Result<bool, CampaignError> {
+        v.as_bool().ok_or_else(|| self.bad(field, "expected a boolean"))
+    }
+
+    fn integer(&self, v: &Json, field: &str) -> Result<u64, CampaignError> {
+        let n = v.as_f64().ok_or_else(|| self.bad(field, "expected a number"))?;
+        as_integer(n).map_err(|detail| self.bad(field, detail))
+    }
+
+    /// A positive duration field, given in the named unit.
+    fn duration(
+        &self,
+        v: &Json,
+        field: &str,
+        to_duration: fn(u64) -> SimDuration,
+    ) -> Result<SimDuration, CampaignError> {
+        let n = self.integer(v, field)?;
+        if n == 0 {
+            return Err(self.bad(field, "must be positive"));
+        }
+        Ok(to_duration(n))
+    }
+
+    fn scenario(&self, doc: &Json) -> Result<Scenario, CampaignError> {
+        let Some(map) = doc.as_object() else {
+            return Err(self.bad("scenario", "top level is not an object"));
+        };
+        let mut name = None;
+        let mut description = String::new();
+        let mut seeds = None;
+        let mut horizon = SimTime::from_secs(40);
+        let mut tie_window = SimDuration::from_micros(500);
+        let mut inject_startup_bug = false;
+        let mut expect_violations = false;
+        let mut overrides = ParamOverrides::default();
+        let mut pin = Pin::default();
+        let mut steps = Vec::new();
+        for (key, value) in map {
+            match key.as_str() {
+                "name" => name = Some(self.text(value, "name")?),
+                "description" => description = self.text(value, "description")?,
+                "seeds" => seeds = Some(self.seeds(value)?),
+                "horizon_ms" => {
+                    let d = self.duration(value, "horizon_ms", SimDuration::from_millis)?;
+                    horizon = SimTime::from_micros(d.as_micros());
+                }
+                "tie_window_us" => {
+                    tie_window = self.duration(value, "tie_window_us", SimDuration::from_micros)?;
+                }
+                "inject_startup_bug" => {
+                    inject_startup_bug = self.flag(value, "inject_startup_bug")?;
+                }
+                "expect_violations" => {
+                    expect_violations = self.flag(value, "expect_violations")?;
+                }
+                "overrides" => overrides = self.overrides(value)?,
+                "pin" => pin = self.pin(value)?,
+                "script" => steps = self.script(value)?,
+                other => return Err(self.unknown("scenario", other)),
+            }
+        }
+        let name = name.ok_or_else(|| self.bad("name", "required field is missing"))?;
+        if name.is_empty() {
+            return Err(self.bad("name", "must not be empty"));
+        }
+        let seeds = seeds.ok_or_else(|| self.seed_err("required field \"seeds\" is missing"))?;
+        Ok(Scenario {
+            name,
+            description,
+            seeds,
+            horizon,
+            tie_window,
+            inject_startup_bug,
+            expect_violations,
+            overrides,
+            pin,
+            steps,
+        })
+    }
+
+    fn seeds(&self, v: &Json) -> Result<Vec<u64>, CampaignError> {
+        if let Some(items) = v.as_array() {
+            if items.is_empty() {
+                return Err(self.seed_err("the seed list is empty"));
+            }
+            if items.len() > MAX_SEEDS {
+                return Err(self.seed_err(format!(
+                    "{} explicit seeds exceed the {MAX_SEEDS}-seed cap",
+                    items.len()
+                )));
+            }
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let seed = self.integer(item, "seeds")?;
+                if !seen.insert(seed) {
+                    return Err(self.seed_err(format!("seed {seed} is listed twice")));
+                }
+                out.push(seed);
+            }
+            return Ok(out);
+        }
+        let Some(map) = v.as_object() else {
+            return Err(self.seed_err("expected an array of seeds or {\"range\": [lo, hi]}"));
+        };
+        for key in map.keys() {
+            if key != "range" {
+                return Err(self.unknown("seeds", key));
+            }
+        }
+        let Some(range) = v.get("range").and_then(Json::as_array) else {
+            return Err(self.seed_err("\"range\" must be a two-element array"));
+        };
+        let (lo, hi) = match (range.first(), range.get(1), range.len()) {
+            (Some(lo), Some(hi), 2) => {
+                (self.integer(lo, "seeds.range")?, self.integer(hi, "seeds.range")?)
+            }
+            _ => return Err(self.seed_err("\"range\" must be a two-element array")),
+        };
+        if lo > hi {
+            return Err(self.seed_err(format!("range [{lo}, {hi}] is inverted")));
+        }
+        let span = hi - lo + 1;
+        if span > MAX_SEEDS as u64 {
+            return Err(self.seed_err(format!(
+                "range [{lo}, {hi}] spans {span} seeds, over the {MAX_SEEDS}-seed cap"
+            )));
+        }
+        Ok((lo..=hi).collect())
+    }
+
+    fn overrides(&self, v: &Json) -> Result<ParamOverrides, CampaignError> {
+        let Some(map) = v.as_object() else {
+            return Err(self.bad("overrides", "expected an object"));
+        };
+        let mut out = ParamOverrides::default();
+        for (key, value) in map {
+            let value = match value {
+                Json::Number(n) => OverrideValue::Number(*n),
+                Json::String(s) => OverrideValue::Text(s.clone()),
+                Json::Bool(b) => OverrideValue::Flag(*b),
+                _ => {
+                    return Err(self
+                        .bad(format!("overrides.{key}"), "expected a number, string, or boolean"));
+                }
+            };
+            out.set(key, &value)
+                .map_err(|inner| CampaignError::Override { path: self.path.to_string(), inner })?;
+        }
+        Ok(out)
+    }
+
+    fn pin(&self, v: &Json) -> Result<Pin, CampaignError> {
+        let Some(map) = v.as_object() else {
+            return Err(self.bad("pin", "expected an object"));
+        };
+        let mut pin = Pin::default();
+        for (key, value) in map {
+            match key.as_str() {
+                "min_availability" => {
+                    let n = value
+                        .as_f64()
+                        .ok_or_else(|| self.bad("pin.min_availability", "expected a number"))?;
+                    if !(0.0..=1.0).contains(&n) {
+                        return Err(self.bad("pin.min_availability", "must be within [0, 1]"));
+                    }
+                    pin.min_availability = Some(n);
+                }
+                "max_failover_p99_ms" => {
+                    let n = value
+                        .as_f64()
+                        .ok_or_else(|| self.bad("pin.max_failover_p99_ms", "expected a number"))?;
+                    if n <= 0.0 {
+                        return Err(self.bad("pin.max_failover_p99_ms", "must be positive"));
+                    }
+                    pin.max_failover_p99_ms = Some(n);
+                }
+                "min_failover_samples" => {
+                    pin.min_failover_samples =
+                        Some(self.integer(value, "pin.min_failover_samples")?);
+                }
+                other => return Err(self.unknown("pin", other)),
+            }
+        }
+        Ok(pin)
+    }
+
+    fn script(&self, v: &Json) -> Result<Vec<StepTemplate>, CampaignError> {
+        let Some(items) = v.as_array() else {
+            return Err(self.bad("script", "expected an array of steps"));
+        };
+        items.iter().map(|step| self.step(step)).collect()
+    }
+
+    fn step(&self, v: &Json) -> Result<StepTemplate, CampaignError> {
+        let Some(map) = v.as_object() else {
+            return Err(self.bad("script step", "expected an object"));
+        };
+        let mut at = None;
+        let mut op = None;
+        let mut slot = None;
+        let mut path_index = None;
+        let mut latency_us = None;
+        let mut jitter_us = None;
+        let mut bandwidth_bps = None;
+        let mut repeat = 1u64;
+        let mut every = None;
+        let mut jitter = SimDuration::from_micros(0);
+        for (key, value) in map {
+            match key.as_str() {
+                "at_ms" => {
+                    let ms = self.integer(value, "at_ms")?;
+                    at = Some(SimTime::from_millis(ms));
+                }
+                "op" => op = Some(self.text(value, "op")?),
+                "slot" => {
+                    let s = self.text(value, "slot")?;
+                    slot = Some(
+                        PairSlot::parse(&s)
+                            .ok_or_else(|| self.bad("slot", "expected \"a\" or \"b\""))?,
+                    );
+                }
+                "path" => {
+                    let n = self.integer(value, "path")?;
+                    path_index =
+                        Some(u8::try_from(n).map_err(|_| self.bad("path", "index out of range"))?);
+                }
+                "latency_us" => latency_us = Some(self.integer(value, "latency_us")?),
+                "jitter_us" => jitter_us = Some(self.integer(value, "jitter_us")?),
+                "bandwidth_bps" => {
+                    let n = self.integer(value, "bandwidth_bps")?;
+                    if n == 0 {
+                        return Err(self.bad("bandwidth_bps", "must be positive"));
+                    }
+                    bandwidth_bps = Some(n);
+                }
+                "repeat" => {
+                    repeat = self.integer(value, "repeat")?;
+                    if !(1..=10_000).contains(&repeat) {
+                        return Err(self.bad("repeat", "must be within [1, 10000]"));
+                    }
+                }
+                "every_ms" => {
+                    every = Some(self.duration(value, "every_ms", SimDuration::from_millis)?)
+                }
+                "jitter_ms" => {
+                    let ms = self.integer(value, "jitter_ms")?;
+                    jitter = SimDuration::from_millis(ms);
+                }
+                other => return Err(self.unknown("script step", other)),
+            }
+        }
+        let at = at.ok_or_else(|| self.bad("at_ms", "required step field is missing"))?;
+        let op_name = op.ok_or_else(|| self.bad("op", "required step field is missing"))?;
+        // Each op takes exactly its operands; a stray operand on the wrong
+        // op is a confused file, not noise to ignore.
+        let needs_slot = matches!(
+            op_name.as_str(),
+            "crash" | "repair" | "kill-engine" | "restart-engine" | "distress" | "reboot"
+        );
+        let needs_path = matches!(op_name.as_str(), "path-down" | "path-up");
+        let needs_media = op_name == "slow-link";
+        if slot.is_some() != needs_slot {
+            let detail =
+                if needs_slot { "this op requires a slot" } else { "this op takes no slot" };
+            return Err(self.bad(format!("script step {op_name:?}"), detail));
+        }
+        if path_index.is_some() != needs_path {
+            let detail =
+                if needs_path { "this op requires a path" } else { "this op takes no path" };
+            return Err(self.bad(format!("script step {op_name:?}"), detail));
+        }
+        if (latency_us.is_some() || jitter_us.is_some() || bandwidth_bps.is_some()) != needs_media {
+            let detail = if needs_media {
+                "slow-link requires latency_us, jitter_us, and bandwidth_bps"
+            } else {
+                "this op takes no media parameters"
+            };
+            return Err(self.bad(format!("script step {op_name:?}"), detail));
+        }
+        let op = match (op_name.as_str(), slot, path_index) {
+            ("crash", Some(slot), _) => ScriptOp::Crash(slot),
+            ("repair", Some(slot), _) => ScriptOp::Repair(slot),
+            ("kill-engine", Some(slot), _) => ScriptOp::KillEngine(slot),
+            ("restart-engine", Some(slot), _) => ScriptOp::RestartEngine(slot),
+            ("distress", Some(slot), _) => ScriptOp::Distress(slot),
+            ("reboot", Some(slot), _) => ScriptOp::Reboot(slot),
+            ("partition", ..) => ScriptOp::Partition,
+            ("heal", ..) => ScriptOp::Heal,
+            ("path-down", _, Some(path)) => ScriptOp::PathDown(path),
+            ("path-up", _, Some(path)) => ScriptOp::PathUp(path),
+            ("slow-link", ..) => match (latency_us, jitter_us, bandwidth_bps) {
+                (Some(latency_us), Some(jitter_us), Some(bandwidth_bps)) => {
+                    ScriptOp::SlowLink { latency_us, jitter_us, bandwidth_bps }
+                }
+                _ => {
+                    return Err(self.bad(
+                        "script step \"slow-link\"",
+                        "slow-link requires latency_us, jitter_us, and bandwidth_bps",
+                    ));
+                }
+            },
+            (other, ..) => return Err(self.bad("op", format!("unknown op {other:?}"))),
+        };
+        let every = match (every, repeat) {
+            (Some(every), _) => every,
+            (None, 1) => SimDuration::from_micros(0),
+            (None, _) => {
+                return Err(self.bad("every_ms", "required when repeat > 1"));
+            }
+        };
+        Ok(StepTemplate { at, op, repeat, every, jitter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+        "name": "storm",
+        "description": "doc",
+        "seeds": {"range": [1, 20]},
+        "horizon_ms": 30000,
+        "tie_window_us": 400,
+        "inject_startup_bug": false,
+        "expect_violations": false,
+        "overrides": {"peer_timeout_ms": 1500, "link": "single"},
+        "pin": {"min_availability": 0.9, "max_failover_p99_ms": 4000},
+        "script": [
+            {"at_ms": 8000, "op": "partition", "repeat": 3, "every_ms": 5000,
+             "jitter_ms": 400},
+            {"at_ms": 9000, "op": "heal", "repeat": 3, "every_ms": 5000},
+            {"at_ms": 25000, "op": "crash", "slot": "a"},
+            {"at_ms": 30000, "op": "repair", "slot": "a"},
+            {"at_ms": 5000, "op": "path-down", "path": 0},
+            {"at_ms": 6000, "op": "slow-link", "latency_us": 5000,
+             "jitter_us": 1000, "bandwidth_bps": 100000}
+        ]
+    }"#;
+
+    #[test]
+    fn full_scenario_loads() {
+        let sc = Scenario::load("full.json", FULL).unwrap();
+        assert_eq!(sc.name, "storm");
+        assert_eq!(sc.seeds, (1..=20).collect::<Vec<_>>());
+        assert_eq!(sc.horizon, SimTime::from_secs(30));
+        assert_eq!(sc.tie_window, SimDuration::from_micros(400));
+        assert_eq!(sc.pin.min_availability, Some(0.9));
+        assert_eq!(sc.steps.len(), 6);
+        let first = sc.steps.first().unwrap();
+        assert_eq!(first.op, ScriptOp::Partition);
+        assert_eq!(first.repeat, 3);
+        assert_eq!(first.jitter, SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn unknown_keys_anywhere_are_hard_errors() {
+        let shell = r#"{"name": "x", "seeds": [1], "horizen_ms": 1000}"#;
+        match Scenario::load("t.json", shell).unwrap_err() {
+            CampaignError::UnknownKey { context: "scenario", key, .. } => {
+                assert_eq!(key, "horizen_ms");
+            }
+            other => panic!("{other}"),
+        }
+        let step = r#"{"name": "x", "seeds": [1],
+                       "script": [{"at_ms": 1, "op": "heal", "slots": "a"}]}"#;
+        match Scenario::load("t.json", step).unwrap_err() {
+            CampaignError::UnknownKey { context: "script step", key, .. } => {
+                assert_eq!(key, "slots");
+            }
+            other => panic!("{other}"),
+        }
+        let pin = r#"{"name": "x", "seeds": [1], "pin": {"min_avail": 0.5}}"#;
+        match Scenario::load("t.json", pin).unwrap_err() {
+            CampaignError::UnknownKey { context: "pin", key, .. } => assert_eq!(key, "min_avail"),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_override_keys_carry_the_harness_error() {
+        let text = r#"{"name": "x", "seeds": [1],
+                       "overrides": {"peer_timeout_sm": 1500}}"#;
+        match Scenario::load("t.json", text).unwrap_err() {
+            CampaignError::Override { inner, .. } => {
+                assert!(inner.to_string().contains("peer_timeout_sm"), "{inner}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_json_keys_are_typed_errors() {
+        let text = r#"{"name": "x", "seeds": [1],
+                       "overrides": {"peer_timeout_ms": 1500, "peer_timeout_ms": 2000}}"#;
+        match Scenario::load("t.json", text).unwrap_err() {
+            CampaignError::DuplicateKey { key, .. } => assert_eq!(key, "peer_timeout_ms"),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn bad_seed_spans_are_rejected() {
+        for (text, needle) in [
+            (r#"{"name": "x", "seeds": {"range": [9, 3]}}"#, "inverted"),
+            (r#"{"name": "x", "seeds": {"range": [1, 10000000]}}"#, "cap"),
+            (r#"{"name": "x", "seeds": [4, 4]}"#, "twice"),
+            (r#"{"name": "x", "seeds": []}"#, "empty"),
+            (r#"{"name": "x"}"#, "missing"),
+        ] {
+            match Scenario::load("t.json", text).unwrap_err() {
+                CampaignError::BadSeedSpan { detail, .. } => {
+                    assert!(detail.contains(needle), "{detail:?} vs {needle:?}");
+                }
+                other => panic!("{text}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn misplaced_operands_are_rejected() {
+        let stray = r#"{"name": "x", "seeds": [1],
+                        "script": [{"at_ms": 1, "op": "partition", "slot": "a"}]}"#;
+        let err = Scenario::load("t.json", stray).unwrap_err().to_string();
+        assert!(err.contains("takes no slot"), "{err}");
+        let missing = r#"{"name": "x", "seeds": [1],
+                          "script": [{"at_ms": 1, "op": "crash"}]}"#;
+        let err = Scenario::load("t.json", missing).unwrap_err().to_string();
+        assert!(err.contains("requires a slot"), "{err}");
+        let repeat = r#"{"name": "x", "seeds": [1],
+                         "script": [{"at_ms": 1, "op": "heal", "repeat": 3}]}"#;
+        let err = Scenario::load("t.json", repeat).unwrap_err().to_string();
+        assert!(err.contains("every_ms"), "{err}");
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`parse`] lifts the run's trace into typed events; [`invariants`]
 //!   checks the failover protocol's eight safety properties over them
 //!   (including the vector-clock `ckpt-causality` check).
+//! * [`outcome`] derives the statistical view of the same events —
+//!   failover-time samples, availability fraction, recovery status — the
+//!   structured result campaign sweeps aggregate across seeds.
 //! * [`explore`] sweeps seeds × tie-break deviations breadth-first with
 //!   partial-order pruning (one deviation per event scope) under a run
 //!   budget.
@@ -36,6 +39,7 @@
 pub mod explore;
 pub mod export;
 pub mod invariants;
+pub mod outcome;
 pub mod parse;
 pub mod replay;
 pub mod scenario;
@@ -44,6 +48,7 @@ pub mod shrink;
 pub use explore::{explore, explore_with, Counterexample, ExploreConfig, ExploreReport};
 pub use export::{TraceExport, TRACE_FORMAT};
 pub use invariants::{check_all, Violation};
+pub use outcome::RunOutcome;
 pub use replay::{ReplayFile, ReplayOutcome};
 pub use scenario::{
     run_scenario, run_script, CheckOptions, FaultScript, PairSlot, RunResult, ScenarioKind,

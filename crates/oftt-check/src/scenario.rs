@@ -18,6 +18,7 @@ use ds_sim::prelude::{
 use oftt::config::{engine_endpoint, engine_service, StartupFallback};
 use oftt::messages::ToEngine;
 use oftt::transition::Defects;
+use oftt_harness::overrides::ParamOverrides;
 use oftt_harness::scenario::{Fig3Scenario, ScenarioParams};
 
 use crate::parse::{parse_trace, Event};
@@ -69,6 +70,12 @@ pub struct CheckOptions {
     /// Only effective when the workspace is built with `--features
     /// inject_bugs`; inert otherwise.
     pub defects: Defects,
+    /// How long the run lasts (defaults to [`HORIZON`]). Campaign sweeps
+    /// shorten this for smoke tiers and stretch it for long-outage studies.
+    pub horizon: SimTime,
+    /// Validated parameter deltas applied on top of the standard checked
+    /// deployment — the campaign runner's override hook. Empty by default.
+    pub overrides: ParamOverrides,
 }
 
 impl Default for CheckOptions {
@@ -79,6 +86,8 @@ impl Default for CheckOptions {
             // latency is 50µs; link latencies are sub-millisecond).
             tie_window: SimDuration::from_micros(500),
             defects: Defects::default(),
+            horizon: HORIZON,
+            overrides: ParamOverrides::default(),
         }
     }
 }
@@ -128,7 +137,7 @@ fn run_with(
 ) -> RunResult {
     let bug = opts.inject_startup_bug;
     let defects = opts.defects;
-    let params = ScenarioParams {
+    let mut params = ScenarioParams {
         seed,
         // Arm the Call Track deadman so checked runs exercise the watchdog
         // API surface (oftt-audit's lifecycle linter needs those events).
@@ -144,6 +153,7 @@ fn run_with(
         }),
         ..Default::default()
     };
+    opts.overrides.apply(&mut params);
     let mut scenario = Fig3Scenario::build(&params);
     scenario.cs.set_causality_recording(true);
     scenario.cs.set_schedule_policy(SchedulePolicy::Explore {
@@ -152,7 +162,7 @@ fn run_with(
     });
     campaign(&mut scenario);
     scenario.start();
-    scenario.run_until(HORIZON);
+    scenario.run_until(opts.horizon);
     let schedule = Schedule::new(seed, scenario.cs.choices_taken());
     let choice_points = scenario.cs.choice_points().to_vec();
     let causality = scenario.cs.take_causality_log();
@@ -253,6 +263,24 @@ pub enum ScriptOp {
     /// Deliver an `OFTTDistress` self-report to a pair node's engine,
     /// soliciting a switchover.
     Distress(PairSlot),
+    /// Blue-screen a pair node: it goes down and reboots on its own
+    /// (paper failure class *b*) — the reboot-loop campaigns' workhorse.
+    Reboot(PairSlot),
+    /// Fail one path (by index) of the pair interconnect.
+    PathDown(u8),
+    /// Restore one path (by index) of the pair interconnect.
+    PathUp(u8),
+    /// Retune the pair interconnect's media: base latency (µs), jitter
+    /// (µs), bandwidth (bytes/s). Traffic still flows, just degraded;
+    /// restore by tuning back to the nominal `300 100 12500000`.
+    SlowLink {
+        /// New base latency, µs.
+        latency_us: u64,
+        /// New jitter (±), µs.
+        jitter_us: u64,
+        /// New bandwidth, bytes per second.
+        bandwidth_bps: u64,
+    },
 }
 
 /// A deterministic fault campaign rendered from an abstract counterexample:
@@ -286,6 +314,14 @@ impl FaultScript {
                 ScriptOp::Distress(slot) => {
                     out.push_str(&format!("{at} distress {}\n", slot.name()));
                 }
+                ScriptOp::Reboot(slot) => out.push_str(&format!("{at} reboot {}\n", slot.name())),
+                ScriptOp::PathDown(path) => out.push_str(&format!("{at} path-down {path}\n")),
+                ScriptOp::PathUp(path) => out.push_str(&format!("{at} path-up {path}\n")),
+                ScriptOp::SlowLink { latency_us, jitter_us, bandwidth_bps } => {
+                    out.push_str(&format!(
+                        "{at} slow-link {latency_us} {jitter_us} {bandwidth_bps}\n"
+                    ));
+                }
             }
         }
         out
@@ -316,6 +352,12 @@ impl FaultScript {
                     .and_then(PairSlot::parse)
                     .ok_or_else(|| format!("bad pair slot in {line:?}"))
             };
+            let number = |parts: &mut std::str::SplitWhitespace<'_>| {
+                parts
+                    .next()
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| format!("bad numeric operand in {line:?}"))
+            };
             let op = match op {
                 "crash" => ScriptOp::Crash(slot(&mut parts)?),
                 "repair" => ScriptOp::Repair(slot(&mut parts)?),
@@ -324,6 +366,20 @@ impl FaultScript {
                 "partition" => ScriptOp::Partition,
                 "heal" => ScriptOp::Heal,
                 "distress" => ScriptOp::Distress(slot(&mut parts)?),
+                "reboot" => ScriptOp::Reboot(slot(&mut parts)?),
+                "path-down" => ScriptOp::PathDown(
+                    u8::try_from(number(&mut parts)?)
+                        .map_err(|_| format!("path index out of range in {line:?}"))?,
+                ),
+                "path-up" => ScriptOp::PathUp(
+                    u8::try_from(number(&mut parts)?)
+                        .map_err(|_| format!("path index out of range in {line:?}"))?,
+                ),
+                "slow-link" => ScriptOp::SlowLink {
+                    latency_us: number(&mut parts)?,
+                    jitter_us: number(&mut parts)?,
+                    bandwidth_bps: number(&mut parts)?,
+                },
                 other => return Err(format!("unknown script op {other:?}")),
             };
             if parts.next().is_some() {
@@ -368,6 +424,27 @@ pub fn run_script(
                         reason: "scripted distress".into(),
                     },
                 ),
+                ScriptOp::Reboot(slot) => {
+                    scenario.inject(*at, Fault::RebootNode(slot.node(a, b)));
+                }
+                ScriptOp::PathDown(path) => {
+                    scenario.inject(*at, Fault::PathDown(a, b, *path as usize));
+                }
+                ScriptOp::PathUp(path) => {
+                    scenario.inject(*at, Fault::PathUp(a, b, *path as usize));
+                }
+                ScriptOp::SlowLink { latency_us, jitter_us, bandwidth_bps } => {
+                    scenario.inject(
+                        *at,
+                        Fault::TuneLink {
+                            a,
+                            b,
+                            latency_us: *latency_us,
+                            jitter_us: *jitter_us,
+                            bandwidth_bps: *bandwidth_bps,
+                        },
+                    );
+                }
             }
         }
     })
@@ -423,6 +500,13 @@ mod tests {
                 (SimTime::from_secs(14), ScriptOp::RestartEngine(PairSlot::B)),
                 (SimTime::from_secs(20), ScriptOp::Distress(PairSlot::B)),
                 (SimTime::from_secs(25), ScriptOp::Repair(PairSlot::A)),
+                (SimTime::from_secs(26), ScriptOp::Reboot(PairSlot::B)),
+                (SimTime::from_secs(27), ScriptOp::PathDown(0)),
+                (SimTime::from_secs(28), ScriptOp::PathUp(0)),
+                (
+                    SimTime::from_secs(30),
+                    ScriptOp::SlowLink { latency_us: 5_000, jitter_us: 500, bandwidth_bps: 10_000 },
+                ),
             ],
         };
         let text = script.to_text();
@@ -431,6 +515,9 @@ mod tests {
         assert!(FaultScript::parse("soon crash a").is_err());
         assert!(FaultScript::parse("10 crash a b").is_err());
         assert!(FaultScript::parse("10 crash c").is_err());
+        assert!(FaultScript::parse("10 path-down x").is_err());
+        assert!(FaultScript::parse("10 path-down 300").is_err());
+        assert!(FaultScript::parse("10 slow-link 5000").is_err());
     }
 
     #[test]

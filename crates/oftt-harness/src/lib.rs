@@ -11,6 +11,8 @@
 //! * [`tagmon`] — the OFTT-protected OPC-client Tag Monitor application.
 //! * [`experiments`] — the E1–E8 runners: failure classes, checkpoint
 //!   policy, detection tuning, startup non-determinism, diverter ablation.
+//! * [`overrides`] — validated `key = value` parameter deltas for
+//!   declarative sweeps (unknown keys are hard errors).
 //! * [`metrics`] — outcome records and aggregation.
 //! * [`report`] — plain-text result tables.
 
@@ -20,6 +22,7 @@
 pub mod calltrack;
 pub mod experiments;
 pub mod metrics;
+pub mod overrides;
 pub mod report;
 pub mod scenario;
 pub mod scenario_fig1;
@@ -27,5 +30,6 @@ pub mod tagmon;
 
 pub use calltrack::{CallTrack, CallTrackState};
 pub use experiments::FailureClass;
+pub use overrides::{OverrideError, OverrideValue, ParamOverrides};
 pub use scenario::{Fig3Scenario, ScenarioParams};
 pub use tagmon::{TagMonState, TagMonitor};

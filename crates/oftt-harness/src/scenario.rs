@@ -37,6 +37,19 @@ pub enum LinkQuality {
     Single,
     /// A single Ethernet with this message-loss probability.
     Lossy(f64),
+    /// A single Ethernet with every medium parameter explicit — the
+    /// campaign runner's custom-media knob (congested switch, long-haul
+    /// segment, starved NIC).
+    Tuned {
+        /// Message-loss probability in `[0, 1]`.
+        loss: f64,
+        /// Base one-way latency, µs.
+        latency_us: u64,
+        /// Uniform jitter (±), µs.
+        jitter_us: u64,
+        /// Usable bandwidth, bytes per second.
+        bandwidth_bps: u64,
+    },
 }
 
 impl LinkQuality {
@@ -45,6 +58,15 @@ impl LinkQuality {
             LinkQuality::Dual => Link::dual(),
             LinkQuality::Single => Link::single(),
             LinkQuality::Lossy(p) => Link::new(vec![PathConfig::default().with_loss(p)]),
+            LinkQuality::Tuned { loss, latency_us, jitter_us, bandwidth_bps } => {
+                Link::new(vec![PathConfig::default()
+                    .with_loss(loss)
+                    .with_latency(
+                        SimDuration::from_micros(latency_us),
+                        SimDuration::from_micros(jitter_us),
+                    )
+                    .with_bandwidth_bps(bandwidth_bps)])
+            }
         }
     }
 }
@@ -70,6 +92,13 @@ pub struct ScenarioParams {
     /// Diverter retargeting across switchover (disable for the E8
     /// baseline).
     pub diverter_retarget: bool,
+    /// Per-node local-clock rate factors, indexed (a, b). A node with
+    /// factor `f` sees all of its OFTT timers (heartbeats, timeouts,
+    /// checkpoint cadence) stretched by `f` — the honest model of a local
+    /// clock running slow (`f > 1`) or fast (`f < 1`) relative to true
+    /// simulation time. Uniform scaling preserves the config's timeout
+    /// orderings.
+    pub drift: [f64; 2],
 }
 
 impl Default for ScenarioParams {
@@ -89,8 +118,29 @@ impl Default for ScenarioParams {
             rule: RecoveryRule::LocalRestart { max_attempts: 2 },
             feed_start: SimTime::from_secs(5),
             diverter_retarget: true,
+            drift: [1.0, 1.0],
         }
     }
+}
+
+/// Scales every node-local OFTT timer by `factor` (see
+/// [`ScenarioParams::drift`]). `1.0` returns the config unchanged.
+fn drift_config(config: &OfttConfig, factor: f64) -> OfttConfig {
+    if factor == 1.0 {
+        return config.clone();
+    }
+    let scale = |d: SimDuration| {
+        SimDuration::from_micros(((d.as_micros() as f64) * factor).round().max(1.0) as u64)
+    };
+    let mut out = config.clone();
+    out.heartbeat_period = scale(config.heartbeat_period);
+    out.component_timeout = scale(config.component_timeout);
+    out.peer_timeout = scale(config.peer_timeout);
+    out.fail_safe_timeout = scale(config.fail_safe_timeout);
+    out.checkpoint_period = scale(config.checkpoint_period);
+    out.startup_timeout = scale(config.startup_timeout);
+    out.status_period = scale(config.status_period);
+    out
 }
 
 /// Converts simulator [`CallEvent`]s into diverter messages, counting them
@@ -194,7 +244,8 @@ impl Fig3Scenario {
         ];
         let watchdog_fires = Arc::new(Mutex::new(Vec::new()));
         for (idx, node) in [a, b].into_iter().enumerate() {
-            let engine_config = config.clone();
+            let node_config = drift_config(&config, params.drift[idx]);
+            let engine_config = node_config.clone();
             let probe = engines[idx].clone();
             cs.register_service(
                 node,
@@ -202,7 +253,7 @@ impl Fig3Scenario {
                 Box::new(move || Box::new(Engine::new(engine_config.clone(), probe.clone()))),
                 true,
             );
-            let app_config = config.clone();
+            let app_config = node_config;
             let ftim_probe = ftims[idx].clone();
             let view = views[idx].clone();
             let fires = watchdog_fires.clone();
@@ -369,6 +420,20 @@ mod tests {
         assert_eq!(state.events, emitted, "every event, exactly once");
         assert_eq!(state.started, state.ended + state.busy_count() as u64);
         assert_eq!(scenario.probes.monitor.lock().primaries().len(), 1);
+    }
+
+    #[test]
+    fn drift_scales_timers_uniformly_and_keeps_orderings() {
+        let pair = Pair::new(ds_net::endpoint::NodeId(0), ds_net::endpoint::NodeId(1));
+        let config = OfttConfig::new(pair);
+        let slow = drift_config(&config, 1.5);
+        assert_eq!(slow.heartbeat_period, SimDuration::from_micros(375_000));
+        assert_eq!(slow.peer_timeout, SimDuration::from_micros(1_500_000));
+        assert_eq!(slow.check(), Ok(()), "uniform scaling preserves the timeout orderings");
+        let fast = drift_config(&config, 0.5);
+        assert_eq!(fast.heartbeat_period, SimDuration::from_micros(125_000));
+        assert_eq!(fast.check(), Ok(()));
+        assert_eq!(drift_config(&config, 1.0), config);
     }
 
     #[test]

@@ -19,9 +19,12 @@
 
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
+use std::sync::Arc;
 
 use comsim::buf::Bytes;
 use comsim::marshal::MarshalError;
+
+use crate::pool::BufPool;
 
 /// Frame magic: `OFTW`.
 pub const MAGIC: [u8; 4] = *b"OFTW";
@@ -339,15 +342,26 @@ enum AsmState {
 /// [`ReadStep::Closed`] on a clean EOF. Mid-frame EOF and framing errors
 /// are real errors — a desynced length-prefixed stream has no resync
 /// point, exactly as in the blocking path.
+///
+/// The payload staging buffer is drawn from the shared [`BufPool`] when
+/// a header completes and returned when the frame is emitted, so the
+/// steady-state read path performs no heap allocation beyond the single
+/// shared-`Bytes` copy that makes every later hop zero-copy.
 pub struct FrameAssembler {
     max_frame: u32,
+    pool: Arc<BufPool>,
     state: AsmState,
 }
 
 impl FrameAssembler {
-    /// An assembler enforcing `max_frame` as the meta+body cap.
-    pub fn new(max_frame: u32) -> Self {
-        FrameAssembler { max_frame, state: AsmState::Header { raw: [0; HEADER_LEN], have: 0 } }
+    /// An assembler enforcing `max_frame` as the meta+body cap, staging
+    /// payload bytes through `pool`.
+    pub fn new(max_frame: u32, pool: Arc<BufPool>) -> Self {
+        FrameAssembler {
+            max_frame,
+            pool,
+            state: AsmState::Header { raw: [0; HEADER_LEN], have: 0 },
+        }
     }
 
     /// Advances the state machine with at most a few `read` calls,
@@ -387,7 +401,9 @@ impl FrameAssembler {
                     let header =
                         FrameHeader::decode(raw, self.max_frame).map_err(ReadError::Protocol)?;
                     let total = header.meta_len as usize + header.body_len as usize;
-                    self.state = AsmState::Payload { header, buf: vec![0u8; total], have: 0 };
+                    let mut buf = self.pool.take(total);
+                    buf.resize(total, 0);
+                    self.state = AsmState::Payload { header, buf, have: 0 };
                 }
                 AsmState::Payload { header, buf, have } => {
                     if *have < buf.len() {
@@ -413,8 +429,14 @@ impl FrameAssembler {
                         }
                     }
                     let header = *header;
-                    let payload = Bytes::from(std::mem::take(buf));
+                    let staging = std::mem::take(buf);
                     self.state = AsmState::Header { raw: [0; HEADER_LEN], have: 0 };
+                    // The one accepted copy per frame: wire bytes move
+                    // into a shared `Bytes` so every later hop is
+                    // zero-copy, and the staging buffer goes back to
+                    // the pool instead of the allocator.
+                    let payload = Bytes::copy_from_slice(&staging);
+                    self.pool.give(staging);
                     let (meta, body) = split_payload(&payload, header.meta_len)?;
                     return Ok(ReadStep::Frame(Frame { header, meta, body }));
                 }
@@ -521,7 +543,11 @@ impl FrameBatch {
     /// an error for the caller to interpret; a 0-byte write on a
     /// non-empty batch is reported as `WriteZero`.
     pub fn write_once(&mut self, w: &mut impl Write) -> io::Result<u64> {
-        let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV.min(self.entries.len() * 4));
+        // The scratch is a fixed stack array — MAX_IOV is small enough
+        // that this costs ~1 KiB of stack and keeps the write path off
+        // the allocator entirely.
+        let mut iov = [IoSlice::new(&[]); MAX_IOV];
+        let mut used = 0usize;
         let mut skip = self.offset;
         'fill: for entry in &self.entries {
             let segments =
@@ -533,19 +559,20 @@ impl FrameBatch {
                     skip -= len;
                     continue;
                 }
-                if iov.len() == MAX_IOV {
-                    break 'fill;
-                }
+                let Some(slot) = iov.get_mut(used) else {
+                    break 'fill; // used == MAX_IOV
+                };
                 // `skip < len`, so the window is nonempty; `get` keeps
                 // the path panic-free.
-                iov.push(IoSlice::new(seg.get(skip as usize..).unwrap_or(&[])));
+                *slot = IoSlice::new(seg.get(skip as usize..).unwrap_or(&[]));
+                used += 1;
                 skip = 0;
             }
         }
-        if iov.is_empty() {
+        if used == 0 {
             return Ok(0);
         }
-        let n = w.write_vectored(&iov)?;
+        let n = w.write_vectored(iov.get(..used).unwrap_or(&[]))?;
         if n == 0 {
             return Err(io::Error::new(io::ErrorKind::WriteZero, "socket accepted 0 bytes"));
         }
@@ -661,7 +688,7 @@ mod tests {
         for chunk in [1usize, 3, 17, 4096] {
             let mut r =
                 DribbleReader { data: sample_wire(&spec), pos: 0, chunk, starve_next: false };
-            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES, Arc::new(BufPool::new()));
             let mut got = Vec::new();
             loop {
                 match asm.read_step(&mut r).unwrap() {
@@ -681,17 +708,44 @@ mod tests {
     }
 
     #[test]
+    fn assembler_recycles_staging_buffers_through_the_pool() {
+        let spec = vec![
+            (FrameClass::Data, 1, vec![1u8, 2], vec![9u8; 300]),
+            (FrameClass::Data, 2, vec![3u8], vec![8u8; 280]),
+            (FrameClass::Data, 3, vec![4u8], vec![7u8; 310]),
+        ];
+        let pool = Arc::new(BufPool::new());
+        let mut r = io::Cursor::new(sample_wire(&spec));
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES, Arc::clone(&pool));
+        let mut frames = 0;
+        loop {
+            match asm.read_step(&mut r).unwrap() {
+                ReadStep::Frame(_) => frames += 1,
+                ReadStep::NeedMore => continue,
+                ReadStep::Closed => break,
+            }
+        }
+        assert_eq!(frames, spec.len());
+        let stats = pool.stats();
+        // One take+give per frame; every take after the first is served
+        // from the shelf the previous frame's buffer went back to.
+        assert_eq!(stats.takes, spec.len() as u64);
+        assert_eq!(stats.gives, spec.len() as u64);
+        assert_eq!(stats.hits, spec.len() as u64 - 1);
+    }
+
+    #[test]
     fn assembler_mid_frame_eof_is_an_error_and_boundary_eof_is_closed() {
         let wire = sample_wire(&[(FrameClass::Data, 1, vec![1], vec![2, 3])]);
         // Boundary EOF after a complete frame → Closed.
         let mut r = io::Cursor::new(wire.clone());
-        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES, Arc::new(BufPool::new()));
         assert!(matches!(asm.read_step(&mut r).unwrap(), ReadStep::Frame(_)));
         assert!(matches!(asm.read_step(&mut r).unwrap(), ReadStep::Closed));
         // EOF mid-header and mid-body → UnexpectedEof.
         for cut in [5usize, wire.len() - 1] {
             let mut r = io::Cursor::new(wire[..cut].to_vec());
-            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES, Arc::new(BufPool::new()));
             let err = asm.read_step(&mut r).unwrap_err();
             assert!(
                 matches!(err, ReadError::Io(ref e) if e.kind() == io::ErrorKind::UnexpectedEof)

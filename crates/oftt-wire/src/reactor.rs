@@ -36,6 +36,7 @@ use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
 
 use crate::frame::{Frame, FrameAssembler, FrameBatch, OutFrame, ReadError, ReadStep, WireError};
+use crate::pool::BufPool;
 
 /// Identifies one TCP connection for the life of the reactor. Ids are
 /// never reused, so a late command aimed at a closed connection is
@@ -158,11 +159,16 @@ impl Reactor {
     /// Starts `io_threads` reactor threads (clamped to at least 1). If a
     /// `listener` is given it is served by the first thread and accepted
     /// connections are spread across all threads round-robin.
+    ///
+    /// Every connection's frame assembler stages payload bytes through
+    /// `pool`, so the caller can share one arena between its encode path
+    /// and the reactor's read path.
     pub fn start(
         handler: Arc<dyn ReactorHandler>,
         listener: Option<TcpListener>,
         io_threads: usize,
         max_frame: u32,
+        pool: Arc<BufPool>,
     ) -> io::Result<Arc<Reactor>> {
         let n = io_threads.max(1);
         let mut shards = Vec::with_capacity(n);
@@ -192,6 +198,7 @@ impl Reactor {
                 listener: if idx == 0 { listener.take() } else { None },
                 conns: HashMap::new(),
                 max_frame,
+                pool: Arc::clone(&pool),
             };
             joiners.push(
                 thread::Builder::new()
@@ -281,6 +288,7 @@ struct ShardRun {
     listener: Option<TcpListener>,
     conns: HashMap<ConnId, Conn>,
     max_frame: u32,
+    pool: Arc<BufPool>,
 }
 
 impl ShardRun {
@@ -383,7 +391,7 @@ impl ShardRun {
             conn,
             Conn {
                 stream,
-                asm: FrameAssembler::new(self.max_frame),
+                asm: FrameAssembler::new(self.max_frame, Arc::clone(&self.pool)),
                 batch: FrameBatch::new(),
                 want_write: false,
             },
@@ -578,8 +586,14 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handler = Arc::new(Echo::new());
-        let reactor =
-            Reactor::start(handler.clone(), Some(listener), 2, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let reactor = Reactor::start(
+            handler.clone(),
+            Some(listener),
+            2,
+            DEFAULT_MAX_FRAME_BYTES,
+            Arc::new(BufPool::new()),
+        )
+        .unwrap();
         assert_eq!(reactor.io_threads(), 2);
 
         let mut clients = Vec::new();
@@ -605,8 +619,14 @@ mod tests {
         let handler = Arc::new(Echo::new());
         let (tx, rx) = mpsc::channel();
         *handler.closed_tx.lock() = Some(tx);
-        let reactor =
-            Reactor::start(handler.clone(), Some(listener), 1, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let reactor = Reactor::start(
+            handler.clone(),
+            Some(listener),
+            1,
+            DEFAULT_MAX_FRAME_BYTES,
+            Arc::new(BufPool::new()),
+        )
+        .unwrap();
 
         let mut c = TcpStream::connect(addr).unwrap();
         write_frame(&mut c, FrameClass::Data, 9, &[], &[42], &[]).unwrap();
@@ -627,8 +647,14 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handler = Arc::new(Echo::new());
-        let reactor =
-            Reactor::start(handler.clone(), Some(listener), 1, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let reactor = Reactor::start(
+            handler.clone(),
+            Some(listener),
+            1,
+            DEFAULT_MAX_FRAME_BYTES,
+            Arc::new(BufPool::new()),
+        )
+        .unwrap();
 
         let mut c = TcpStream::connect(addr).unwrap();
         let body = vec![0xABu8; 4 * 1024 * 1024];

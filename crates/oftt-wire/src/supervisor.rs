@@ -214,7 +214,10 @@ struct Shared {
     /// owning link's `inner` lock (lock order: `inner` then shard), so
     /// the status check and the queue operation are atomic together.
     queues: ShardedQueues<OutFrame>,
-    pool: BufPool,
+    /// One arena for both directions: the encode path draws meta/head
+    /// buffers here and the reactor's frame assemblers stage inbound
+    /// payloads from the same shelves.
+    pool: Arc<BufPool>,
     reactor: OnceLock<Arc<Reactor>>,
     listen_addr: SocketAddr,
     shutdown: AtomicBool,
@@ -816,6 +819,7 @@ impl Supervisor {
             .collect();
         let io_threads = config.io_threads.max(1);
         let max_frame = config.max_frame;
+        let pool = Arc::new(BufPool::new());
         let shared = Arc::new(Shared {
             config,
             codec,
@@ -823,7 +827,7 @@ impl Supervisor {
             links: RwLock::new(links),
             conns: Mutex::new(HashMap::new()),
             queues: ShardedQueues::new(io_threads * 4),
-            pool: BufPool::new(),
+            pool: Arc::clone(&pool),
             reactor: OnceLock::new(),
             listen_addr,
             shutdown: AtomicBool::new(false),
@@ -836,6 +840,7 @@ impl Supervisor {
             Some(listener),
             io_threads,
             max_frame,
+            pool,
         )?;
         let _ = shared.reactor.set(reactor);
         let dialer = Arc::clone(&shared);

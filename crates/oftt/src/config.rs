@@ -172,30 +172,42 @@ impl OfttConfig {
         }
     }
 
+    /// Checks internal consistency, returning the first broken ordering.
+    /// Callers that assemble configurations from untrusted input (the
+    /// campaign runner's parameter overrides) use this to reject bad
+    /// combinations before a service ever boots with them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated timeout ordering.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.component_timeout <= self.heartbeat_period {
+            return Err("component timeout must exceed the heartbeat period");
+        }
+        if self.peer_timeout <= self.heartbeat_period {
+            return Err("peer timeout must exceed the heartbeat period");
+        }
+        if self.fail_safe_timeout <= self.heartbeat_period {
+            return Err("fail-safe timeout must exceed the heartbeat period");
+        }
+        if self.fail_safe_timeout >= self.peer_timeout {
+            return Err("fail-safe must beat peer takeover, or class-d failures can \
+                 leave two active applications");
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics if a timeout is not longer than the heartbeat period (the
-    /// detector would false-positive on every beat).
+    /// detector would false-positive on every beat); see
+    /// [`OfttConfig::check`] for the non-panicking form.
     pub fn validate(&self) {
-        assert!(
-            self.component_timeout > self.heartbeat_period,
-            "component timeout must exceed the heartbeat period"
-        );
-        assert!(
-            self.peer_timeout > self.heartbeat_period,
-            "peer timeout must exceed the heartbeat period"
-        );
-        assert!(
-            self.fail_safe_timeout > self.heartbeat_period,
-            "fail-safe timeout must exceed the heartbeat period"
-        );
-        assert!(
-            self.fail_safe_timeout < self.peer_timeout,
-            "fail-safe must beat peer takeover, or class-d failures can \
-             leave two active applications"
-        );
+        if let Err(why) = self.check() {
+            panic!("{why}");
+        }
     }
 }
 
@@ -227,6 +239,14 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         OfttConfig::new(Pair::new(NodeId(0), NodeId(1))).validate();
+    }
+
+    #[test]
+    fn check_reports_broken_orderings_without_panicking() {
+        let mut config = OfttConfig::new(Pair::new(NodeId(0), NodeId(1)));
+        assert_eq!(config.check(), Ok(()));
+        config.fail_safe_timeout = config.peer_timeout;
+        assert!(config.check().unwrap_err().contains("fail-safe"));
     }
 
     #[test]
