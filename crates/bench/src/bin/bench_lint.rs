@@ -8,12 +8,17 @@
 //! ```
 //!
 //! The scan runs end to end (walk, lex, scan, call-graph construction,
-//! effect fixpoint, every rule family) `runs` times against the
+//! effect fixpoint, CFG construction, the flow-sensitive dataflow
+//! families, every syntactic rule family) `runs` times against the
 //! workspace root; the fastest wall time is reported, the way the other
 //! bench arms report their best cell. Findings are counted *after* the
 //! checked-in `lint-baseline.txt` is applied, so the acceptance verdict
-//! the validator enforces — zero non-baselined findings — matches what
-//! CI enforces on the tree.
+//! the validator enforces — zero non-baselined findings, zero stale
+//! baseline entries — matches what CI enforces on the tree. The v2
+//! schema adds the typestate-coverage counters (`cfg_blocks`,
+//! `dataflow_ms`, `pool_sites`, `pool_tracked`, `dfa_transitions`) so
+//! the validator can prove the flow-sensitive stage actually ran over
+//! the real tree rather than vacuously passing.
 
 use std::time::Instant;
 
@@ -46,29 +51,39 @@ fn main() {
         last = Some(report);
     }
     let report = last.expect("at least one run");
-    let (kept, suppressed) = apply_baseline(report.findings, &baseline);
+    let (kept, suppressed, stale) = apply_baseline(report.findings, &baseline);
     let files_per_sec = report.files_scanned as f64 / (best_ms.max(1) as f64 / 1000.0);
 
     println!(
         "lint: {} files {} fns {} edges, fixpoint x{}, {} roots -> {} reachable, \
-         {} finding(s) ({} suppressed)  best {} ms  {:.0} files/s",
+         {} CFG block(s) in {} ms, {} pool site(s)/{} tracked, {} DFA transition(s), \
+         {} finding(s) ({} suppressed, {} stale)  best {} ms  {:.0} files/s",
         report.files_scanned,
         report.functions,
         report.call_edges,
         report.fixpoint_iterations,
         report.reactor_roots,
         report.reactor_reachable,
+        report.cfg_blocks,
+        report.dataflow_ms,
+        report.pool_sites,
+        report.pool_tracked,
+        report.dfa_transitions,
         kept.len(),
         suppressed,
+        stale.len(),
         best_ms,
         files_per_sec,
     );
     for f in &kept {
         eprintln!("  non-baselined: {}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
     }
+    for (rule, file, message) in &stale {
+        eprintln!("  stale baseline entry: [{rule}] {file}: {message}");
+    }
 
     let doc = format!(
-        "{{\n  \"schema\": \"oftt-bench-lint-v1\",\n  \
+        "{{\n  \"schema\": \"oftt-bench-lint-v2\",\n  \
          \"runs\": {runs},\n  \
          \"files_scanned\": {},\n  \
          \"functions\": {},\n  \
@@ -76,8 +91,14 @@ fn main() {
          \"fixpoint_iterations\": {},\n  \
          \"reactor_roots\": {},\n  \
          \"reactor_reachable\": {},\n  \
+         \"cfg_blocks\": {},\n  \
+         \"dataflow_ms\": {},\n  \
+         \"pool_sites\": {},\n  \
+         \"pool_tracked\": {},\n  \
+         \"dfa_transitions\": {},\n  \
          \"findings\": {},\n  \
          \"suppressed\": {},\n  \
+         \"stale_baseline\": {},\n  \
          \"elapsed_ms\": {best_ms},\n  \
          \"files_per_sec\": {files_per_sec:.0}\n}}\n",
         report.files_scanned,
@@ -86,8 +107,14 @@ fn main() {
         report.fixpoint_iterations,
         report.reactor_roots,
         report.reactor_reachable,
+        report.cfg_blocks,
+        report.dataflow_ms,
+        report.pool_sites,
+        report.pool_tracked,
+        report.dfa_transitions,
         kept.len(),
         suppressed,
+        stale.len(),
     );
     std::fs::write(&out_path, doc).expect("write bench artifact");
     println!("wrote {out_path}");

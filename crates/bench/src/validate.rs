@@ -82,7 +82,9 @@ pub fn validate(doc: &Json) -> Vec<String> {
         Some("oftt-bench-wire-v2") => errors.extend(validate_wire_v2(doc)),
         Some("oftt-bench-verify-v1") => errors.extend(validate_verify(doc)),
         Some("oftt-lint-v1") => errors.extend(validate_lint(doc)),
+        Some("oftt-lint-v2") => errors.extend(validate_lint_v2(doc)),
         Some("oftt-bench-lint-v1") => errors.extend(validate_bench_lint(doc)),
+        Some("oftt-bench-lint-v2") => errors.extend(validate_bench_lint_v2(doc)),
         Some("oftt-bench-campaign-v1") => errors.extend(validate_campaign(doc)),
         Some(other) => errors.push(format!("unknown schema {other:?}")),
         None => errors.push("schema is not a string".into()),
@@ -391,6 +393,42 @@ fn validate_lint(doc: &Json) -> Vec<String> {
     errors
 }
 
+fn validate_lint_v2(doc: &Json) -> Vec<String> {
+    // v2 is v1 plus the flow-sensitive dataflow stage: everything the
+    // v1 report promised still holds, and on top of it the CFG/typestate
+    // counters must show the stage ran non-vacuously over the tree.
+    let mut errors = validate_lint(doc);
+    if let Some(dataflow) = require(doc, "dataflow", &mut errors) {
+        let floors: &[(&str, f64)] = &[
+            ("cfg_blocks", 1000.0),
+            ("pool_sites", 3.0),
+            ("pool_tracked", 2.0),
+            ("dfa_transitions", 3.0),
+        ];
+        for &(key, floor) in floors {
+            if let Some(n) = require_number(dataflow, key, &mut errors) {
+                if n < floor {
+                    errors.push(format!("dataflow: {key} is {n}, below the floor {floor}"));
+                }
+            }
+        }
+        require_number(dataflow, "dataflow_ms", &mut errors);
+    }
+    if let Some(dynamic) = require(doc, "dynamic_pools", &mut errors) {
+        require_number(dynamic, "checked", &mut errors);
+        match require_number(dynamic, "uncovered", &mut errors) {
+            Some(u) if u > 0.0 => {
+                errors.push(format!(
+                    "dynamic_pools: {u} dynamically observed pool op(s) missing \
+                     from the static pool-site inventory"
+                ));
+            }
+            _ => {}
+        }
+    }
+    errors
+}
+
 fn validate_bench_lint(doc: &Json) -> Vec<String> {
     let mut errors = Vec::new();
     // Coverage floors: a scan that saw a toy-sized universe means the
@@ -420,6 +458,34 @@ fn validate_bench_lint(doc: &Json) -> Vec<String> {
     require_number(doc, "elapsed_ms", &mut errors);
     match require_number(doc, "files_per_sec", &mut errors) {
         Some(n) if n <= 0.0 => errors.push("files_per_sec is not positive".into()),
+        _ => {}
+    }
+    errors
+}
+
+fn validate_bench_lint_v2(doc: &Json) -> Vec<String> {
+    // v1 floors plus the flow-sensitive coverage counters. A stale
+    // baseline entry is as much a rot signal as a missed finding: the
+    // defect it excused is gone, so the excuse must go too.
+    let mut errors = validate_bench_lint(doc);
+    let floors: &[(&str, f64)] = &[
+        ("cfg_blocks", 1000.0),
+        ("pool_sites", 3.0),
+        ("pool_tracked", 2.0),
+        ("dfa_transitions", 3.0),
+    ];
+    for &(key, floor) in floors {
+        if let Some(n) = require_number(doc, key, &mut errors) {
+            if n < floor {
+                errors.push(format!("{key} is {n}, below the coverage floor {floor}"));
+            }
+        }
+    }
+    require_number(doc, "dataflow_ms", &mut errors);
+    match require_number(doc, "stale_baseline", &mut errors) {
+        Some(n) if n > 0.0 => {
+            errors.push(format!("{n} stale baseline entr(ies) match no current finding"));
+        }
         _ => {}
     }
     errors
@@ -597,6 +663,48 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("coverage floor")), "{errors:?}");
     }
 
+    fn bench_lint_v2_doc(cfg_blocks: &str, stale: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "oftt-bench-lint-v2",
+              "runs": 3,
+              "files_scanned": 170,
+              "functions": 1450,
+              "call_edges": 3700,
+              "fixpoint_iterations": 10,
+              "reactor_roots": 7,
+              "reactor_reachable": 60,
+              "cfg_blocks": {cfg_blocks},
+              "dataflow_ms": 4,
+              "pool_sites": 5,
+              "pool_tracked": 3,
+              "dfa_transitions": 3,
+              "findings": 0,
+              "suppressed": 8,
+              "stale_baseline": {stale},
+              "elapsed_ms": 120,
+              "files_per_sec": 1366
+            }}"#
+        )
+    }
+
+    #[test]
+    fn conforming_bench_lint_v2_doc_passes() {
+        let doc = parse(&bench_lint_v2_doc("2400", "0")).unwrap();
+        assert_eq!(validate(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn bench_lint_v2_rejects_thin_dataflow_and_stale_baseline() {
+        let doc = parse(&bench_lint_v2_doc("12", "0")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("cfg_blocks")), "{errors:?}");
+
+        let doc = parse(&bench_lint_v2_doc("2400", "2")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("stale baseline")), "{errors:?}");
+    }
+
     fn wire_v2_doc(sat_bytes_per_sec: &str, protocol_errors: &str) -> String {
         format!(
             r#"{{
@@ -705,6 +813,45 @@ mod tests {
         .unwrap();
         let errors = validate(&doc);
         assert!(errors.iter().any(|e| e.contains("missing")), "{errors:?}");
+    }
+
+    fn lint_v2_doc(dfa_transitions: &str, pool_uncovered: &str) -> String {
+        format!(
+            r#"{{
+              "schema": "oftt-lint-v2",
+              "files_scanned": 90,
+              "suppressed": 2,
+              "findings": [],
+              "lock_graph": {{"locks": 7, "edges": 3}},
+              "dynamic_locks": {{"checked": 2, "uncovered": 0}},
+              "dataflow": {{"cfg_blocks": 2400, "dataflow_ms": 4, "pool_sites": 5,
+                           "pool_tracked": 3, "dfa_transitions": {dfa_transitions}}},
+              "dynamic_pools": {{"checked": 2, "uncovered": {pool_uncovered}}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn clean_lint_v2_report_conforms() {
+        let doc = parse(&lint_v2_doc("3", "0")).unwrap();
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn lint_v2_report_with_thin_dfa_coverage_fails() {
+        let doc = parse(&lint_v2_doc("0", "0")).unwrap();
+        let errors = validate(&doc);
+        assert!(errors.iter().any(|e| e.contains("dfa_transitions")), "{errors:?}");
+    }
+
+    #[test]
+    fn lint_v2_report_with_uncovered_dynamic_pool_op_fails() {
+        let doc = parse(&lint_v2_doc("3", "1")).unwrap();
+        let errors = validate(&doc);
+        assert!(
+            errors.iter().any(|e| e.contains("pool op") && e.contains("missing")),
+            "{errors:?}"
+        );
     }
 
     fn campaign_doc(scenario: &str) -> String {

@@ -17,6 +17,9 @@
 //!   interfaces with named method ordinals.
 //! * [`object`] — `IUnknown` semantics: reference counting,
 //!   `QueryInterface`, marshaled dispatch.
+//! * [`pool`] — size-classed reusable `Vec<u8>` freelists
+//!   ([`pool::BufPool`]) backing both the wire transport's frame encode
+//!   path and the FTIM's checkpoint marshaling staging.
 //! * [`registry`] — the per-node class registry (`HKEY_CLASSES_ROOT`).
 //! * [`rpc`] — ORPC with timeouts over `ds-net`, an [`rpc::ObjectServer`]
 //!   process, and the per-node SCM ([`rpc::ScmProcess`]) for DCOM
@@ -66,6 +69,7 @@ pub mod hresult;
 pub mod interface;
 pub mod marshal;
 pub mod object;
+pub mod pool;
 pub mod registry;
 pub mod rpc;
 

@@ -1,0 +1,18 @@
+//! Seeded defect for the conn-dfa rule: a connection is constructed
+//! directly in `Established`, skipping the declared
+//! `new => AwaitHello => Established` handshake path — it would carry
+//! no negotiated epoch.
+
+// oftt-lint: dfa(ConnState, new => AwaitHello, AwaitHello => Established)
+enum ConnState {
+    AwaitHello { deadline: u64 },
+    Established { epoch: u32 },
+}
+
+fn accept(m: &mut Conns) {
+    m.insert(1, ConnState::AwaitHello { deadline: 10 });
+}
+
+fn hijack(m: &mut Conns) {
+    m.insert(2, ConnState::Established { epoch: 0 });
+}

@@ -1,0 +1,18 @@
+//! Seeded defect for the pool-typestate rule: one path gives the
+//! buffer back and then the fall-through gives it again — the freelist
+//! would hold the same allocation twice and hand it to two takers.
+
+struct Flush {
+    frame_pool: BufPool,
+    failed: bool,
+}
+
+impl Flush {
+    fn flush(&self) {
+        let buf = self.frame_pool.take(128);
+        if self.failed {
+            self.frame_pool.give(buf);
+        }
+        self.frame_pool.give(buf);
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded defect for the pool-typestate rule: the happy path ships the
+//! buffer, but the `?` on the encode call returns early with the taken
+//! buffer still live — every encode failure drains the pool by one.
+
+struct Enc {
+    pool: BufPool,
+    codec: Codec,
+}
+
+impl Enc {
+    fn encode(&self, env: &Envelope) -> Result<(), Error> {
+        let mut buf = self.pool.take(64);
+        self.codec.write_into(env, &mut buf)?;
+        self.ship(buf);
+        Ok(())
+    }
+
+    fn ship(&self, buf: Vec<u8>) {
+        drop(buf);
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded defect for the epoch-stamping rule: frames drained from the
+//! sharded queues reach the write path without being wrapped in
+//! `StampedFrame` — after any reconnect the receiver silently drops
+//! them as stale.
+
+struct Pump {
+    queues: ShardedQueues,
+    dest: QueueId,
+}
+
+impl Pump {
+    fn next_frames(&self, out: &mut Vec<StampedFrame>) {
+        let mut pulled = Vec::new();
+        self.queues.drain_into(self.dest, 32, &mut pulled);
+        out.extend(pulled);
+    }
+}

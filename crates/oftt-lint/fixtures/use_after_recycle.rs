@@ -1,0 +1,17 @@
+//! Seeded defect for the pool-typestate rule: a pooled buffer is read
+//! after it already went back to the pool — a concurrent `take` may
+//! hand the same allocation to another connection while we still hold
+//! a view into it.
+
+struct Tx {
+    pool: BufPool,
+}
+
+impl Tx {
+    fn send(&self, out: &mut Vec<u8>) {
+        let mut buf = self.pool.take(64);
+        buf.extend_from_slice(b"header");
+        self.pool.give(buf);
+        out.extend_from_slice(&buf);
+    }
+}

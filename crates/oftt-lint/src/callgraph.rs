@@ -38,9 +38,14 @@
 //!   never weak-resolve at all.
 //!
 //! When neither tier nor the tables claim a call, it is conservatively
-//! *havoc'd*. Call-through-value (`(entry.encode)(body)`, closures
-//! passed as arguments) is invisible to name resolution; that gap is
-//! part of the documented havoc policy, not a silent assumption.
+//! *havoc'd* — with one carve-out: a bare call whose name is a
+//! `Fn*`-bound parameter of the enclosing function is the callee
+//! invoking its closure argument, and each call site records which of
+//! its arguments are closure *literals* ([`Call::closure_args`]) so the
+//! effect engine can check the invoked parameter was bound to a body
+//! the caller's own scan already walked. Call-through-value in any
+//! other shape (`(entry.encode)(body)`, closures stored in fields)
+//! stays havoc'd — a documented policy, not a silent assumption.
 
 use std::collections::BTreeMap;
 
@@ -65,6 +70,18 @@ pub struct Call {
     pub receiver: Option<String>,
     /// True for `name!(…)` macro invocations.
     pub is_macro: bool,
+    /// Zero-based argument positions holding a closure *literal*
+    /// (`|…| …` or `move |…| …`), counted without the method-call
+    /// receiver — the same numbering [`crate::scanner::FnItem::params`]
+    /// uses. The effect engine uses this to resolve higher-order calls:
+    /// a callee that invokes its `f` parameter is only transparent when
+    /// the argument at `f`'s position is a literal closure whose body
+    /// tokens the caller's own scan already walked.
+    pub closure_args: Vec<usize>,
+    /// Per argument (same numbering), the ident when the argument is
+    /// exactly one bare identifier — a by-value move of a local, the
+    /// shape the pool-buffer typestate tracks ownership across.
+    pub bare_args: Vec<Option<String>>,
 }
 
 /// Words that read like `word (…)` without being calls.
@@ -121,6 +138,8 @@ fn call_at(tokens: &[Token], i: usize, name: &str) -> Option<Call> {
             qualifier: None,
             receiver: None,
             is_macro: true,
+            closure_args: Vec::new(),
+            bare_args: Vec::new(),
         });
     }
     // The argument list opens right after the name, or after a
@@ -140,7 +159,7 @@ fn call_at(tokens: &[Token], i: usize, name: &str) -> Option<Call> {
     } else {
         return None;
     };
-    let _ = open;
+    let (closure_args, bare_args) = arg_shapes(tokens, open);
     // Method call: the name follows a `.`.
     if punct(tokens, i.wrapping_sub(1)) == Some('.') && i > 0 {
         return Some(Call {
@@ -150,6 +169,8 @@ fn call_at(tokens: &[Token], i: usize, name: &str) -> Option<Call> {
             qualifier: None,
             receiver: receiver_base(tokens, i - 1),
             is_macro: false,
+            closure_args,
+            bare_args,
         });
     }
     // Path-qualified call: the name follows `::`.
@@ -162,7 +183,77 @@ fn call_at(tokens: &[Token], i: usize, name: &str) -> Option<Call> {
     } else {
         None
     };
-    Some(Call { tok: i, line, name: name.to_string(), qualifier, receiver: None, is_macro: false })
+    Some(Call {
+        tok: i,
+        line,
+        name: name.to_string(),
+        qualifier,
+        receiver: None,
+        is_macro: false,
+        closure_args,
+        bare_args,
+    })
+}
+
+/// Shapes of the arguments in the list opening at `open`: the zero-based
+/// positions holding closure literals (`|…|` or `move |…|`), and — per
+/// argument — the ident when the argument is exactly one bare
+/// identifier. Commas are split at paren/bracket/brace depth one —
+/// angle brackets are not tracked (comparison operators would unbalance
+/// them), so a turbofish *inside an argument* can shift later indices;
+/// calls whose shapes matter here do not take that form in this
+/// workspace.
+fn arg_shapes(tokens: &[Token], open: usize) -> (Vec<usize>, Vec<Option<String>>) {
+    let mut closures = Vec::new();
+    let mut bares: Vec<Option<String>> = Vec::new();
+    let mut depth = 0isize;
+    // The current argument: (token count, sole ident so far).
+    let mut arg_len = 0usize;
+    let mut arg_ident: Option<String> = None;
+    let mut any_arg = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let at_arg_start = arg_len == 0;
+        match punct(tokens, i) {
+            Some('(' | '[' | '{') if depth == 0 && i == open => depth = 1,
+            Some('(' | '[' | '{') => {
+                depth += 1;
+                arg_len += 1;
+                any_arg = true;
+            }
+            Some(')' | ']' | '}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
+                }
+                arg_len += 1;
+            }
+            Some(',') if depth == 1 => {
+                bares.push(if arg_len == 1 { arg_ident.take() } else { None });
+                arg_ident = None;
+                arg_len = 0;
+            }
+            _ => {
+                any_arg = true;
+                if at_arg_start && depth == 1 {
+                    let is_closure = punct(tokens, i) == Some('|')
+                        || (ident(tokens, i) == Some("move") && punct(tokens, i + 1) == Some('|'));
+                    if is_closure {
+                        closures.push(bares.len());
+                    }
+                }
+                if let Some(name) = ident(tokens, i) {
+                    arg_ident = Some(name.to_string());
+                }
+                arg_len += 1;
+            }
+        }
+        i += 1;
+    }
+    if any_arg || arg_len > 0 {
+        bares.push(if arg_len == 1 { arg_ident } else { None });
+    }
+    (closures, bares)
 }
 
 /// The qualifying segment ending at `j` (the token just left of `::`):
@@ -568,6 +659,31 @@ mod tests {
             vec![("g".into(), None, None, false),]
         );
         assert_eq!(shapes("fn f() { assert![x > 0]; }"), vec![("assert".into(), None, None, true)]);
+    }
+
+    #[test]
+    fn closure_literal_argument_positions_are_recorded() {
+        let calls = calls_of("fn f(&self) { self.with_queue(dest, |q| q.pop()); }");
+        let wq = calls.iter().find(|c| c.name == "with_queue").unwrap();
+        assert_eq!(wq.closure_args, vec![1]);
+        let calls = calls_of("fn f() { spawn(move || run()); retain(x, 3); }");
+        assert_eq!(calls.iter().find(|c| c.name == "spawn").unwrap().closure_args, vec![0]);
+        assert!(calls.iter().find(|c| c.name == "retain").unwrap().closure_args.is_empty());
+        // The closure's own body calls are still walked.
+        assert!(calls.iter().any(|c| c.name == "run"));
+    }
+
+    #[test]
+    fn bare_ident_arguments_are_recorded_per_position() {
+        let calls = calls_of("fn f(&self) { self.pool.give(staging); ship(dest, buf, b.len()); }");
+        let give = calls.iter().find(|c| c.name == "give").unwrap();
+        assert_eq!(give.bare_args, vec![Some("staging".to_string())]);
+        let ship = calls.iter().find(|c| c.name == "ship").unwrap();
+        assert_eq!(ship.bare_args, vec![Some("dest".to_string()), Some("buf".to_string()), None]);
+        // `&buf` borrows — two tokens, not a bare move.
+        let calls = calls_of("fn f() { fill(&mut buf); done(); }");
+        assert_eq!(calls.iter().find(|c| c.name == "fill").unwrap().bare_args, vec![None]);
+        assert!(calls.iter().find(|c| c.name == "done").unwrap().bare_args.is_empty());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Forward dataflow over [`crate::cfg`] graphs: a worklist solver,
+//! generic over an abstract [`Domain`], with join-at-merge.
+//!
+//! The domains this repo runs (pool-buffer typestate, epoch stamping)
+//! are *may*-style union lattices — a binding's abstract value is the
+//! set of states it may be in on some path — so `join` is set union and
+//! the solver converges because states only grow. A belt-and-braces
+//! iteration cap guards against a non-monotone domain bug turning the
+//! solver into a spin loop: on cap, the partial (sound-side) solution
+//! is returned and the cap is visible in [`Solution::capped`].
+//!
+//! Rules use the solver in two passes: first [`solve`] to fixpoint,
+//! then one reporting sweep per block seeded with the solved block
+//! input — `transfer` runs many times per block during the fixpoint, so
+//! emitting findings inside it would duplicate them.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use crate::cfg::Cfg;
+
+/// An abstract interpretation domain for one function.
+pub trait Domain {
+    /// The abstract state flowing along CFG edges.
+    type State: Clone + PartialEq;
+
+    /// The state at function entry.
+    fn entry_state(&self) -> Self::State;
+
+    /// The bottom element: the input of a block no path has reached.
+    fn empty_state(&self) -> Self::State;
+
+    /// Joins `from` into `into`; returns whether `into` changed. Must
+    /// be monotone (never shrink `into`) for the solver to converge.
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool;
+
+    /// Applies one block's units to `state` in order.
+    fn transfer(&mut self, block: usize, units: &[Range<usize>], state: &mut Self::State);
+}
+
+/// The fixpoint: per-block input and output states.
+pub struct Solution<S> {
+    /// State at each block's entry (joined over predecessors).
+    pub inputs: Vec<S>,
+    /// State at each block's exit (input pushed through `transfer`).
+    pub outputs: Vec<S>,
+    /// Number of transfer applications until the fixpoint.
+    pub iterations: usize,
+    /// Whether the safety cap fired (a domain monotonicity bug).
+    pub capped: bool,
+}
+
+/// Solves `dom` over `cfg` to fixpoint with a FIFO worklist.
+pub fn solve<D: Domain>(cfg: &Cfg, dom: &mut D) -> Solution<D::State> {
+    let n = cfg.blocks.len();
+    let mut inputs: Vec<D::State> = (0..n).map(|_| dom.empty_state()).collect();
+    let mut outputs: Vec<D::State> = (0..n).map(|_| dom.empty_state()).collect();
+    if n == 0 {
+        return Solution { inputs, outputs, iterations: 0, capped: false };
+    }
+    inputs[cfg.entry] = dom.entry_state();
+    let mut queued = vec![false; n];
+    // A successor is (re)queued when its input grows — or the first
+    // time it is reached at all, since a bottom-valued flow would not
+    // change its bottom-initialized input yet its units still need one
+    // transfer application.
+    let mut reached = vec![false; n];
+    let mut worklist = VecDeque::new();
+    worklist.push_back(cfg.entry);
+    queued[cfg.entry] = true;
+    reached[cfg.entry] = true;
+    let mut iterations = 0usize;
+    let cap = n * 64 + 256;
+    let mut capped = false;
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        if iterations >= cap {
+            capped = true;
+            break;
+        }
+        iterations += 1;
+        let mut state = inputs[b].clone();
+        dom.transfer(b, &cfg.blocks[b].units, &mut state);
+        outputs[b] = state;
+        for &s in &cfg.blocks[b].succs {
+            let first = !reached[s];
+            reached[s] = true;
+            let out = outputs[b].clone();
+            let grew = dom.join(&mut inputs[s], &out);
+            if (grew || first) && !queued[s] {
+                worklist.push_back(s);
+                queued[s] = true;
+            }
+        }
+    }
+    Solution { inputs, outputs, iterations, capped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::lexer::TokenKind;
+    use crate::scanner::{scan, FileKind, FileModel};
+    use std::collections::BTreeSet;
+
+    /// A toy domain: the set of idents that may have been "seen" on
+    /// some path to a point. Exercises joins and loop convergence.
+    struct SeenIdents<'a> {
+        model: &'a FileModel,
+    }
+
+    impl Domain for SeenIdents<'_> {
+        type State = BTreeSet<String>;
+
+        fn entry_state(&self) -> Self::State {
+            BTreeSet::new()
+        }
+
+        fn empty_state(&self) -> Self::State {
+            BTreeSet::new()
+        }
+
+        fn join(&self, into: &mut Self::State, from: &Self::State) -> bool {
+            let before = into.len();
+            into.extend(from.iter().cloned());
+            into.len() != before
+        }
+
+        fn transfer(&mut self, _b: usize, units: &[Range<usize>], state: &mut Self::State) {
+            for u in units {
+                for t in &self.model.tokens[u.clone()] {
+                    if let TokenKind::Ident(s) = &t.kind {
+                        state.insert(s.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn exit_state(src: &str) -> (BTreeSet<String>, Solution<BTreeSet<String>>) {
+        let model = scan(src, FileKind::Runtime, false);
+        let cfg = build(&model, &model.fns[0]);
+        let mut dom = SeenIdents { model: &model };
+        let sol = solve(&cfg, &mut dom);
+        (sol.inputs[cfg.exit].clone(), sol)
+    }
+
+    #[test]
+    fn branches_join_at_exit() {
+        let (exit, sol) = exit_state("fn f(x: bool) { if x { a(); } else { b(); } }");
+        assert!(exit.contains("a") && exit.contains("b"));
+        assert!(!sol.capped);
+    }
+
+    #[test]
+    fn loops_converge() {
+        let (exit, sol) = exit_state("fn f() { loop { step(); if done() { break; } } tail(); }");
+        assert!(exit.contains("step") && exit.contains("tail"));
+        assert!(!sol.capped);
+        assert!(sol.iterations < 64, "small graph, few iterations: {}", sol.iterations);
+    }
+
+    #[test]
+    fn early_return_state_reaches_exit() {
+        let (exit, _) = exit_state("fn f(x: bool) { pre(); if x { return; } post(); }");
+        assert!(exit.contains("pre") && exit.contains("post"));
+    }
+
+    #[test]
+    fn try_operator_joins_pre_statement_state_into_exit() {
+        // On the error path, `after` has not run — but `before` has.
+        let (exit, _) = exit_state("fn f() -> R { before(); mid()?; after(); Ok(()) }");
+        assert!(exit.contains("before") && exit.contains("after"));
+    }
+
+    #[test]
+    fn match_guards_and_all_arms_join_at_exit() {
+        // The guard is a unit of its arm's block chain, so its effects
+        // flow; every arm joins into the post-match state.
+        let (exit, sol) = exit_state(
+            "fn f(x: u32) { match x { 0 => zero(), n if guard(n) => pos(), _ => other() } \
+             tail(); }",
+        );
+        for name in ["guard", "zero", "pos", "other", "tail"] {
+            assert!(exit.contains(name), "missing {name}: {exit:?}");
+        }
+        assert!(!sol.capped);
+    }
+
+    #[test]
+    fn nested_early_returns_each_carry_their_own_state_to_exit() {
+        let (exit, _) = exit_state(
+            "fn f(a: bool, b: bool) { outer(); if a { inner(); if b { return; } mid(); \
+             if !b { return; } } post(); }",
+        );
+        // Exit joins the shallow return (no `mid`), the deep return,
+        // and the fall-through — so everything is *may*-seen there.
+        for name in ["outer", "inner", "mid", "post"] {
+            assert!(exit.contains(name), "missing {name}: {exit:?}");
+        }
+    }
+
+    #[test]
+    fn code_after_diverging_branches_does_not_flow_to_exit() {
+        // Both arms return, so the join block is unreachable; the
+        // solver must not propagate its units' effects to the exit.
+        let (exit, _) = exit_state("fn f(x: bool) { if x { return; } else { return; } dead(); }");
+        assert!(!exit.contains("dead"), "unreachable code leaked into the exit state: {exit:?}");
+    }
+
+    #[test]
+    fn let_else_edge_carries_state_at_the_binder_only() {
+        // Regression: the diverging else branch forks at the binder —
+        // statements *after* the let-else must not be visible on it.
+        let src = "fn f() { early(); let Some(x) = g() else { diverge(); return; }; late(); }";
+        let model = scan(src, FileKind::Runtime, false);
+        let cfg = build(&model, &model.fns[0]);
+        let mut dom = SeenIdents { model: &model };
+        let sol = solve(&cfg, &mut dom);
+        let else_block = (0..cfg.blocks.len())
+            .find(|&b| {
+                cfg.blocks[b].units.iter().any(|u| {
+                    model.tokens[u.clone()]
+                        .iter()
+                        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "diverge"))
+                })
+            })
+            .expect("else body block");
+        let input = &sol.inputs[else_block];
+        assert!(input.contains("early"), "{input:?}");
+        assert!(!input.contains("late"), "else edge carried post-binder state: {input:?}");
+    }
+}

@@ -377,6 +377,14 @@ const BENIGN_CALLS: &[&str] = &[
     "checked_sub_duration",
     "mul_f64",
     "checked_mul_duration",
+    // serde-shaped decoding: the workspace's only `deserialize` is
+    // `comsim::marshal`'s visitor entry point, dispatched through the
+    // `Deserialize` trait so name resolution cannot see through it.
+    // The marshal `Deserializer` is total over arbitrary bytes (typed
+    // errors, no panic), bounded (no I/O), and allocates only into the
+    // caller-supplied value — a table fact standing in for the trait
+    // dispatch the resolver declines.
+    "deserialize",
     // sync constructs that never wait (`spawn` creates a thread and
     // returns; what the thread *does* is its own effect, see
     // `spawn_arg_spans`)
@@ -481,6 +489,9 @@ pub struct Prim {
 pub struct ResolvedCall {
     /// The callee name as written.
     pub name: String,
+    /// Index of the callee-name token in the file's filtered stream —
+    /// the flow-sensitive rules use it to place calls inside CFG units.
+    pub tok: usize,
     /// 1-based line of the call.
     pub line: u32,
     /// Workspace functions this may dispatch to (empty for intrinsics
@@ -490,6 +501,16 @@ pub struct ResolvedCall {
     pub held: Vec<String>,
     /// The intrinsic effect of the call itself, if it is a primitive.
     pub prim: Option<EffectKind>,
+    /// The receiver's base identifier for method calls (see
+    /// [`Call::receiver`]) — pool-site naming keys off it.
+    pub receiver: Option<String>,
+    /// Zero-based argument positions holding closure literals (see
+    /// [`Call::closure_args`]).
+    pub closure_args: Vec<usize>,
+    /// Per argument, the ident when the argument is exactly one bare
+    /// identifier (a by-value move of a local) — the buffer-lifecycle
+    /// rules track pooled buffers across these.
+    pub bare_args: Vec<Option<String>>,
 }
 
 /// One function in the analysis universe.
@@ -517,6 +538,11 @@ pub struct FnInfo {
     pub calls: Vec<ResolvedCall>,
     /// Locks this function acquires directly.
     pub acquisitions: Vec<(String, u32)>,
+    /// Parameter indices this function *invokes* as closures (`f(…)`
+    /// where `f` is an `Fn*`-bound parameter). Callers must bind these
+    /// positions to closure literals — their scan then owns the body's
+    /// effects — or the call havocs at the caller.
+    pub invoked_closure_params: Vec<usize>,
 }
 
 /// The inferred effect vector of one function.
@@ -561,6 +587,15 @@ pub struct Analysis {
     pub iterations: usize,
     /// Reactor roots (functions annotated `reactor-root`).
     pub roots: Vec<FnId>,
+    /// Per function: the returned `Vec<u8>` is a pooled buffer — seeded
+    /// by `arena`-annotated takes, propagated through `-> Vec<u8>`
+    /// functions that call one. A binding initialized from such a call
+    /// enters the pool-buffer typestate.
+    pub returns_buffer: Vec<bool>,
+    /// Per function: the set of owned-`Vec<u8>` parameter indices the
+    /// body disposes of (moves onward) — passing a pooled buffer into
+    /// one of these positions is a sanctioned handoff, not a leak.
+    pub consumes: Vec<std::collections::BTreeSet<usize>>,
 }
 
 impl Analysis {
@@ -593,6 +628,7 @@ impl Analysis {
                 prims: Vec::new(),
                 calls: Vec::new(),
                 acquisitions: facts.acquisitions,
+                invoked_closure_params: Vec::new(),
             };
             // Locks taken inside a spawned closure are the new thread's
             // acquisitions, not an ordering under the spawner's guards.
@@ -620,6 +656,39 @@ impl Analysis {
             }
             fns.push(info);
         }
+        // Closure-argument check: a callee that invokes its `Fn*`-bound
+        // parameter is only transparent when the caller binds that
+        // position to a closure *literal* — the caller's own scan then
+        // walked the body. Any other shape (a forwarded function value,
+        // a field-stored callback) re-havocs at the caller, restoring
+        // the conservative policy exactly where the evidence ends.
+        let mut opaque: Vec<(FnId, Prim)> = Vec::new();
+        for (f, info) in fns.iter().enumerate() {
+            for call in &info.calls {
+                for &g in &call.targets {
+                    for &p in &fns[g].invoked_closure_params {
+                        if !call.closure_args.contains(&p) {
+                            opaque.push((
+                                f,
+                                Prim {
+                                    kind: EffectKind::Havoc,
+                                    what: format!(
+                                        "{} (callable argument {} is not a closure literal)",
+                                        call.name,
+                                        p + 1
+                                    ),
+                                    line: call.line,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (f, prim) in opaque {
+            fns[f].prims.push(prim);
+        }
+        let (returns_buffer, consumes) = buffer_summaries(models, &fns);
         let (effects, iterations) = fixpoint(&fns);
         // Call-derived lock edges: a guard held at a call site orders
         // before everything the callee transitively acquires.
@@ -643,7 +712,7 @@ impl Analysis {
         }
         lock.findings.extend(locks::find_cycles(&lock.edges));
         let roots: Vec<FnId> = (0..fns.len()).filter(|&i| fns[i].root).collect();
-        Analysis { fns, effects, lock, edge_count, iterations, roots }
+        Analysis { fns, effects, lock, edge_count, iterations, roots, returns_buffer, consumes }
     }
 
     /// The functions reachable from the reactor roots, as
@@ -834,10 +903,14 @@ fn classify(
 ) -> ResolvedCall {
     let mut out = ResolvedCall {
         name: call.name.clone(),
+        tok: call.tok,
         line: call.line,
         targets: Vec::new(),
         held: Vec::new(),
         prim: None,
+        receiver: call.receiver.clone(),
+        closure_args: call.closure_args.clone(),
+        bare_args: call.bare_args.clone(),
     };
     let prim = |info: &mut FnInfo, out: &mut ResolvedCall, kind: EffectKind, what: String| {
         info.prims.push(Prim { kind, what, line: call.line });
@@ -867,6 +940,22 @@ fn classify(
     // names.
     out.targets = index.resolve_strong(models, caller, call);
     if !out.targets.is_empty() {
+        return out;
+    }
+    // A bare call whose name is an `Fn*`-bound parameter of the caller
+    // invokes the caller-supplied closure, not a named function. The
+    // invocation itself is effect-free *here*: the closure's body lives
+    // at some call site of this function, whose own scan walked those
+    // tokens and owns their effects. The invoked position is recorded
+    // so the post-resolution pass can verify every caller actually
+    // binds it to a closure literal (anything else re-havocs at the
+    // caller — see [`Analysis::analyze`]).
+    if call.qualifier.is_none() && call.receiver.is_none() && caller.callable_param(name) {
+        if let Some(p) = caller.params.iter().position(|p| p.callable && p.name == name) {
+            if !info.invoked_closure_params.contains(&p) {
+                info.invoked_closure_params.push(p);
+            }
+        }
         return out;
     }
     if is_blocking_effect(name) {
@@ -927,6 +1016,61 @@ fn classify(
     }
     prim(info, &mut out, EffectKind::Havoc, name.to_string());
     out
+}
+
+/// The buffer-lifecycle summaries, computed alongside the effect
+/// fixpoint:
+///
+/// * **returns-buffer** — seeded by `arena`-annotated functions whose
+///   header declares `-> Vec<u8>` (the pool's `take`), then propagated
+///   through `-> Vec<u8>` functions that call a returns-buffer function
+///   (wrappers handing a pooled buffer outward).
+/// * **consumes** — an owned-`Vec<u8>` parameter the body moves onward
+///   as a bare argument of some call (`pool.give(buf)`, `list.push(buf)`,
+///   a consuming helper). An owned non-`Copy` buffer moved into a call
+///   is gone from the function — it can neither leak there nor be
+///   recycled twice — so the caller-side typestate treats passing into
+///   a consuming position as a sanctioned handoff.
+fn buffer_summaries(
+    models: &[(String, FileModel)],
+    fns: &[FnInfo],
+) -> (Vec<bool>, Vec<std::collections::BTreeSet<usize>>) {
+    let item = |info: &FnInfo| &models[info.model].1.fns[info.item];
+    let mut returns: Vec<bool> =
+        fns.iter().map(|info| info.arena && item(info).returns_buf).collect();
+    let consumes: Vec<std::collections::BTreeSet<usize>> = fns
+        .iter()
+        .map(|info| {
+            item(info)
+                .params
+                .iter()
+                .enumerate()
+                .filter(|(_, param)| {
+                    param.owned_buf
+                        && info.calls.iter().any(|c| {
+                            c.bare_args.iter().any(|a| a.as_deref() == Some(param.name.as_str()))
+                        })
+                })
+                .map(|(p, _)| p)
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (f, info) in fns.iter().enumerate() {
+            if returns[f] || !item(info).returns_buf {
+                continue;
+            }
+            if info.calls.iter().any(|c| c.targets.iter().any(|&g| returns[g])) {
+                returns[f] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (returns, consumes)
 }
 
 /// The bottom-up fixpoint: monotone over a finite lattice (four option
@@ -1116,6 +1260,64 @@ mod tests {
         )]);
         assert!(a.effects[fid(&a, "ping")].blocks.is_some());
         assert!(a.iterations >= 2);
+    }
+
+    #[test]
+    fn invoked_closure_params_resolve_through_literal_arguments() {
+        let a = analyze(&[(
+            "a.rs",
+            "impl Shard { fn with_queue<R>(&self, dest: u64, f: impl FnOnce(&mut u8) -> R) -> R \
+             { let mut q = self.shard.lock(); f(&mut q) }\n\
+             fn drain_into(&self) { self.with_queue(7, |q| q.wrapping_add(1)); } }",
+        )]);
+        // `f(…)` inside with_queue is the closure parameter, not havoc.
+        let wq = fid(&a, "with_queue");
+        assert!(a.effects[wq].havoc.is_none(), "closure invocation must not havoc");
+        assert_eq!(a.fns[wq].invoked_closure_params, vec![1]);
+        // The literal-closure caller stays clean too.
+        assert!(a.effects[fid(&a, "drain_into")].havoc.is_none());
+    }
+
+    #[test]
+    fn non_literal_callable_argument_re_havocs_at_the_caller() {
+        let a = analyze(&[(
+            "a.rs",
+            "fn apply(f: impl Fn()) { f() }\n\
+             fn forwards(g: impl Fn()) { apply(g); }\n\
+             fn literal() { apply(|| ()); }",
+        )]);
+        assert!(a.effects[fid(&a, "apply")].havoc.is_none());
+        assert!(
+            a.effects[fid(&a, "forwards")].havoc.is_some(),
+            "a forwarded callable is opaque to the caller's scan"
+        );
+        assert!(a.effects[fid(&a, "literal")].havoc.is_none());
+    }
+
+    #[test]
+    fn deserialize_is_a_table_fact_not_a_havoc() {
+        let a = analyze(&[("a.rs", "fn decode(b: &[u8]) { d.deserialize(v); }")]);
+        assert!(a.effects[fid(&a, "decode")].havoc.is_none());
+    }
+
+    #[test]
+    fn buffer_summaries_seed_and_propagate() {
+        let a = analyze(&[(
+            "a.rs",
+            "impl BufPool {\n\
+             // oftt-lint: arena\n\
+             fn take(&self, min: usize) -> Vec<u8> { Vec::with_capacity(min) }\n\
+             fn give(&self, buf: Vec<u8>) { self.free.lock().push(buf); }\n\
+             }\n\
+             impl Enc { fn staging(&self) -> Vec<u8> { self.buf_pool.take(64) } }\n\
+             fn fresh() -> Vec<u8> { Vec::new() }\n\
+             fn sink(buf: Vec<u8>, n: usize) { }",
+        )]);
+        assert!(a.returns_buffer[fid(&a, "take")]);
+        assert!(a.returns_buffer[fid(&a, "staging")], "wrapper propagates returns-buffer");
+        assert!(!a.returns_buffer[fid(&a, "fresh")], "a plain Vec::new is not pooled");
+        assert!(a.consumes[fid(&a, "give")].contains(&0), "give moves its buffer onward");
+        assert!(a.consumes[fid(&a, "sink")].is_empty(), "sink drops its buffer");
     }
 
     #[test]

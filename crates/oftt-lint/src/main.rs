@@ -1,31 +1,37 @@
 //! `oftt-lint` CLI: scan the workspace (or explicit files), apply the
-//! baseline, and emit human text plus the `oftt-lint-v1` JSON report.
+//! baseline, and emit human text plus the `oftt-lint-v2` JSON report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use oftt_lint::report::{self, Report};
+use oftt_lint::report::{self, Finding, Report};
 use oftt_lint::Options;
 
 const USAGE: &str = "\
 oftt-lint: source-level static analyzer for the OFTT workspace — role
 confinement, static lock-order (cross-checked against oftt-audit's
-dynamic lock sites), blocking calls, API lifecycle, panic paths, and
-an interprocedural effect analysis (reactor-hot-path,
-lock-across-blocking, transitive lock-order, annotation-drift)
+dynamic lock sites), blocking calls, API lifecycle, panic paths, an
+interprocedural effect analysis (reactor-hot-path,
+lock-across-blocking, transitive lock-order, annotation-drift), and
+flow-sensitive dataflow over per-function CFGs (pool-buffer typestate
+cross-checked against oftt-audit's dynamic pool ops, epoch stamping,
+connection-DFA conformance)
 
 USAGE:
     oftt-lint --workspace [OPTIONS]
     oftt-lint PATH... [OPTIONS]
 
 OPTIONS:
-    --root DIR             workspace root (default: current directory)
-    --baseline FILE        suppress findings listed in FILE
-    --write-baseline       rewrite --baseline FILE from current findings
-    --json FILE            write the oftt-lint-v1 JSON report to FILE
-    --dynamic-locks FILE   dynamic lock names from `oftt-audit scan
-                           --export-locks` for the coverage cross-check
-    --include-injected     scan #[cfg(feature = \"inject_bugs\")] spans too
+    --root DIR               workspace root (default: current directory)
+    --baseline FILE          suppress findings listed in FILE; entries
+                             matching no finding are stale-baseline findings
+    --write-baseline         rewrite --baseline FILE from current findings
+    --json FILE              write the oftt-lint-v2 JSON report to FILE
+    --dynamic-locks FILE     dynamic lock names from `oftt-audit scan
+                             --export-locks` for the coverage cross-check
+    --dynamic-pool-ops FILE  dynamic pool ops from `oftt-audit scan
+                             --export-pool-ops` for the same cross-check
+    --include-injected       scan #[cfg(feature = \"inject_bugs\")] spans too
 
 EXIT CODE: 0 clean, 1 usage/IO error, 2 findings.";
 
@@ -46,6 +52,7 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Cli, String> {
         json: None,
     };
     let mut dynamic_locks_file: Option<String> = None;
+    let mut dynamic_pools_file: Option<String> = None;
     let mut it = it;
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -56,6 +63,7 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--write-baseline" => cli.write_baseline = true,
             "--json" => cli.json = Some(PathBuf::from(value("--json")?)),
             "--dynamic-locks" => dynamic_locks_file = Some(value("--dynamic-locks")?),
+            "--dynamic-pool-ops" => dynamic_pools_file = Some(value("--dynamic-pool-ops")?),
             "--include-injected" => cli.opts.include_injected = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -80,6 +88,12 @@ fn parse_args(it: impl Iterator<Item = String>) -> Result<Cli, String> {
         cli.opts.dynamic_locks =
             text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from).collect();
     }
+    if let Some(path) = dynamic_pools_file {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read --dynamic-pool-ops {path}: {e}"))?;
+        cli.opts.dynamic_pool_ops =
+            text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from).collect();
+    }
     Ok(cli)
 }
 
@@ -97,6 +111,16 @@ fn print_summary(report: &Report) {
         report.lock_names.len(),
         report.lock_edges.len(),
         report.dynamic_checked,
+    );
+    println!(
+        "dataflow: {} CFG block(s) in {} ms; {} pool site(s), {} pooled binding(s) tracked; \
+         {} DFA transition(s) checked; {} dynamic pool op(s) cross-checked",
+        report.cfg_blocks,
+        report.dataflow_ms,
+        report.pool_sites,
+        report.pool_tracked,
+        report.dfa_transitions,
+        report.dynamic_pool_checked,
     );
 }
 
@@ -133,10 +157,24 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
-        let (kept, suppressed) =
+        let (kept, suppressed, stale) =
             report::apply_baseline(std::mem::take(&mut report.findings), &keys);
         report.findings = kept;
         report.suppressed = suppressed;
+        // A baseline entry nothing matched is an accepted finding that no
+        // longer exists — the suppression must be deleted, not carried.
+        for (rule, file, message) in stale {
+            report.findings.push(Finding {
+                rule: "stale-baseline",
+                file: path.display().to_string(),
+                line: 0,
+                message: format!(
+                    "baseline entry matches no current finding (fixed or reworded?): \
+                     {rule}\\t{file}\\t{message}"
+                ),
+            });
+        }
+        report.findings.sort();
     }
     if let Some(path) = &cli.json {
         if let Err(e) = std::fs::write(path, report::to_json(&report)) {

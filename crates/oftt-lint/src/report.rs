@@ -1,4 +1,4 @@
-//! Findings, the baseline/suppression file, and the `oftt-lint-v1`
+//! Findings, the baseline/suppression file, and the `oftt-lint-v2`
 //! machine-readable report.
 //!
 //! The baseline is a tab-separated `rule \t file \t message` list, one
@@ -6,12 +6,16 @@
 //! deliberately absent: a baseline keyed on line numbers rots on every
 //! unrelated edit, while (rule, file, message) survives drift and still
 //! pins *which* finding was accepted. `--write-baseline` regenerates the
-//! file from the current findings.
+//! file from the current findings. A baseline entry that matches *no*
+//! current finding is stale — [`apply_baseline`] returns those keys and
+//! the CLI turns each into a `stale-baseline` finding, so a fixed
+//! defect cannot leave a silent suppression behind.
 //!
 //! The JSON report is validated in CI by the unified bench validator
-//! (`crates/bench/src/validate.rs`, `oftt-lint-v1` arm): acceptance is
-//! zero non-baselined findings, zero dynamic lock sites missing from the
-//! static graph, and a scan that actually covered the workspace.
+//! (`crates/bench/src/validate.rs`, `oftt-lint-v2` arm): acceptance is
+//! zero non-baselined findings, zero dynamic lock or pool sites missing
+//! from the static model, and a scan that actually covered the
+//! workspace (non-zero CFG blocks and typestate coverage).
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -63,6 +67,21 @@ pub struct Report {
     pub dynamic_checked: usize,
     /// Dynamic lock sites with no static acquisition — must be empty.
     pub dynamic_uncovered: Vec<String>,
+    /// Basic blocks across every per-function CFG.
+    pub cfg_blocks: usize,
+    /// Wall-clock spent in the flow-sensitive stage (CFG construction
+    /// plus every dataflow solve), in milliseconds.
+    pub dataflow_ms: u128,
+    /// Static pool call sites (`name:op`) the typestate rule found.
+    pub pool_sites: usize,
+    /// Pooled-buffer bindings tracked through the typestate dataflow.
+    pub pool_tracked: usize,
+    /// DFA-governed constructions checked against a declared table.
+    pub dfa_transitions: usize,
+    /// How many dynamically observed pool ops were cross-checked.
+    pub dynamic_pool_checked: usize,
+    /// Dynamic pool ops with no static site — must be empty.
+    pub dynamic_pool_uncovered: Vec<String>,
 }
 
 /// Parses a baseline file into suppression keys. Unparseable lines are
@@ -91,22 +110,27 @@ pub fn parse_baseline(text: &str) -> Result<BTreeSet<(String, String, String)>, 
     Ok(keys)
 }
 
-/// Splits findings into (kept, suppressed-count) against a baseline.
+/// Splits findings into (kept, suppressed-count, stale-keys) against a
+/// baseline. A stale key is a baseline entry that matched nothing — the
+/// accepted finding no longer exists and the suppression must go.
 pub fn apply_baseline(
     findings: Vec<Finding>,
     baseline: &BTreeSet<(String, String, String)>,
-) -> (Vec<Finding>, usize) {
+) -> (Vec<Finding>, usize, Vec<(String, String, String)>) {
     let mut kept = Vec::new();
     let mut suppressed = 0;
+    let mut matched: BTreeSet<&(String, String, String)> = BTreeSet::new();
     for f in findings {
         let key = (f.rule.to_string(), f.file.clone(), f.message.clone());
-        if baseline.contains(&key) {
+        if let Some(hit) = baseline.get(&key) {
             suppressed += 1;
+            matched.insert(hit);
         } else {
             kept.push(f);
         }
     }
-    (kept, suppressed)
+    let stale = baseline.iter().filter(|k| !matched.contains(k)).cloned().collect();
+    (kept, suppressed, stale)
 }
 
 /// Renders findings as baseline lines (for `--write-baseline`).
@@ -139,9 +163,9 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serializes the report as an `oftt-lint-v1` JSON document.
+/// Serializes the report as an `oftt-lint-v2` JSON document.
 pub fn to_json(report: &Report) -> String {
-    let mut out = String::from("{\n  \"schema\": \"oftt-lint-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"oftt-lint-v2\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
     out.push_str("  \"findings\": [");
@@ -189,11 +213,31 @@ pub fn to_json(report: &Report) -> String {
             .join(", ")
     ));
     out.push_str(&format!(
-        "  \"dynamic_locks\": {{\"checked\": {}, \"uncovered\": {}, \"uncovered_names\": [{}]}}\n",
+        "  \"dynamic_locks\": {{\"checked\": {}, \"uncovered\": {}, \"uncovered_names\": [{}]}},\n",
         report.dynamic_checked,
         report.dynamic_uncovered.len(),
         report
             .dynamic_uncovered
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"dataflow\": {{\"cfg_blocks\": {}, \"dataflow_ms\": {}, \"pool_sites\": {}, \
+         \"pool_tracked\": {}, \"dfa_transitions\": {}}},\n",
+        report.cfg_blocks,
+        report.dataflow_ms,
+        report.pool_sites,
+        report.pool_tracked,
+        report.dfa_transitions,
+    ));
+    out.push_str(&format!(
+        "  \"dynamic_pools\": {{\"checked\": {}, \"uncovered\": {}, \"uncovered_names\": [{}]}}\n",
+        report.dynamic_pool_checked,
+        report.dynamic_pool_uncovered.len(),
+        report
+            .dynamic_pool_uncovered
             .iter()
             .map(|n| format!("\"{}\"", json_escape(n)))
             .collect::<Vec<_>>()
@@ -219,27 +263,50 @@ mod tests {
         ];
         let text = render_baseline(&findings);
         let keys = parse_baseline(&text).unwrap();
-        let (kept, suppressed) = apply_baseline(findings, &keys);
+        let (kept, suppressed, stale) = apply_baseline(findings, &keys);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 2);
+        assert!(stale.is_empty());
     }
 
     #[test]
     fn baseline_suppresses_regardless_of_line_drift() {
         let keys = parse_baseline("no-panic\ta.rs\tunwrap on a hot path\n").unwrap();
         let moved = vec![finding("no-panic", "a.rs", 999, "unwrap on a hot path")];
-        let (kept, suppressed) = apply_baseline(moved, &keys);
+        let (kept, suppressed, stale) = apply_baseline(moved, &keys);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_baseline_entries_come_back_stale() {
+        let keys = parse_baseline(
+            "no-panic\ta.rs\tunwrap on a hot path\nnonblocking\tgone.rs\told accepted finding\n",
+        )
+        .unwrap();
+        let findings = vec![finding("no-panic", "a.rs", 3, "unwrap on a hot path")];
+        let (kept, suppressed, stale) = apply_baseline(findings, &keys);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(
+            stale,
+            vec![(
+                "nonblocking".to_string(),
+                "gone.rs".to_string(),
+                "old accepted finding".to_string()
+            )]
+        );
     }
 
     #[test]
     fn non_baselined_findings_survive() {
         let keys = parse_baseline("# just a comment\n").unwrap();
         let findings = vec![finding("lex", "c.rs", 1, "unterminated string literal")];
-        let (kept, suppressed) = apply_baseline(findings, &keys);
+        let (kept, suppressed, stale) = apply_baseline(findings, &keys);
         assert_eq!(kept.len(), 1);
         assert_eq!(suppressed, 0);
+        assert!(stale.is_empty());
     }
 
     #[test]
@@ -248,17 +315,26 @@ mod tests {
     }
 
     #[test]
-    fn json_report_has_the_v1_shape() {
+    fn json_report_has_the_v2_shape() {
         let mut report = Report { files_scanned: 90, suppressed: 1, ..Default::default() };
         report.lock_names.insert("probe".into());
         report.lock_edges.insert(("probe".into(), "diag".into()));
         report.dynamic_checked = 2;
+        report.cfg_blocks = 410;
+        report.pool_sites = 4;
+        report.pool_tracked = 6;
+        report.dfa_transitions = 3;
+        report.dynamic_pool_checked = 2;
         let json = to_json(&report);
-        assert!(json.contains("\"schema\": \"oftt-lint-v1\""));
+        assert!(json.contains("\"schema\": \"oftt-lint-v2\""));
         assert!(json.contains("\"files_scanned\": 90"));
         assert!(json.contains("\"findings\": []"));
         assert!(json.contains("\"locks\": 1"));
         assert!(json.contains("\"uncovered\": 0"));
+        assert!(json.contains("\"cfg_blocks\": 410"));
+        assert!(json.contains("\"pool_sites\": 4"));
+        assert!(json.contains("\"dfa_transitions\": 3"));
+        assert!(json.contains("\"dynamic_pools\": {\"checked\": 2"));
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! **conn-dfa** — connection state machines only take transitions their
+//! declared table admits.
+//!
+//! The supervisor's per-connection lifecycle is a small DFA
+//! (AwaitHello → Established), and the protocol's correctness arguments
+//! lean on it: a connection that reaches `Established` without passing
+//! the hello exchange skips epoch negotiation entirely. The table is
+//! declared once next to the enum:
+//!
+//! ```text
+//! // oftt-lint: dfa(ConnCtx, new => AwaitHello, new => Established, AwaitHello => Established)
+//! ```
+//!
+//! and this rule statically extracts every *construction* of a declared
+//! variant, resolves its source state, and checks the `(from, to)` pair
+//! against the table. The source state is `new` (fresh connection — no
+//! prior tracked state) unless the site is annotated
+//! `// oftt-lint: dfa-from(STATE)`, which asserts the construction
+//! replaces an entry currently in `STATE` (the handshake handler's
+//! AwaitHello → Established swap).
+//!
+//! Occurrences are classified syntactically from the token stream:
+//!
+//! * **pattern** — destructuring in a `match` arm (a `=>` follows,
+//!   after the variant's field group and any closing parens), an
+//!   or-pattern (`|` adjacent), a guard (`if` follows the fields), or a
+//!   `let`/`if let` binder (nearest of `let`/`=`/`;` scanning backward
+//!   is `let`). Patterns *observe* states and are never transitions.
+//! * **read** — `==`/`!=` comparisons and `use` imports; also not
+//!   transitions.
+//! * everything else is a **construction** and must justify its edge.
+//!
+//! A `dfa-from(STATE)` annotation naming a state that no table lists as
+//! a transition source is itself a finding — a stale annotation must
+//! not silently admit edges.
+
+use crate::report::Finding;
+use crate::rules::{ident, punct};
+use crate::scanner::FileModel;
+
+/// The conn-dfa extraction result.
+pub struct DfaScan {
+    /// Violations and stale-annotation findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Constructions checked against a declared table.
+    pub transitions_checked: usize,
+}
+
+/// True if the `Enum :: Variant` occurrence at `e..=v` is a pattern
+/// (or a guard head), not a construction.
+fn is_pattern(toks: &[crate::lexer::Token], e: usize, v: usize) -> bool {
+    // Or-patterns touch a `|` on either side.
+    if punct(toks, v + 1) == Some('|') || (e > 0 && punct(toks, e - 1) == Some('|')) {
+        return true;
+    }
+    // Forward: skip the field group and closing parens, then look for
+    // `=>` (match arm) or `if` (arm guard).
+    let mut j = v + 1;
+    if let Some(open @ ('{' | '(')) = punct(toks, j) {
+        let close = if open == '{' { '}' } else { ')' };
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match punct(toks, j) {
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    while punct(toks, j) == Some(')') {
+        j += 1;
+    }
+    if punct(toks, j) == Some('=') && punct(toks, j + 1) == Some('>') {
+        return true;
+    }
+    if ident(toks, j) == Some("if") {
+        return true;
+    }
+    // Backward: a `let` with no intervening `=` means we're the
+    // pattern side of a `let` / `if let` / `while let` binder.
+    let mut k = e;
+    for _ in 0..16 {
+        let Some(p) = k.checked_sub(1) else { break };
+        k = p;
+        if ident(toks, k) == Some("let") {
+            return true;
+        }
+        if matches!(punct(toks, k), Some('=') | Some(';') | Some('{') | Some('}')) {
+            break;
+        }
+    }
+    false
+}
+
+/// Checks every file that declares a `dfa(...)` table.
+pub fn check(models: &[(String, FileModel)]) -> DfaScan {
+    let mut scan = DfaScan { findings: Vec::new(), transitions_checked: 0 };
+    for (file, model) in models {
+        if model.dfa_decls.is_empty() {
+            continue;
+        }
+        let toks = &model.tokens;
+        for e in 0..toks.len() {
+            let Some(en) = ident(toks, e) else { continue };
+            let Some(decl) = model.dfa_decls.iter().find(|d| d.enum_name == en) else {
+                continue;
+            };
+            if punct(toks, e + 1) != Some(':') || punct(toks, e + 2) != Some(':') {
+                continue;
+            }
+            let v = e + 3;
+            let Some(variant) = ident(toks, v) else { continue };
+            if e > 0 && ident(toks, e - 1) == Some("use") {
+                continue;
+            }
+            // `== Enum::V` / `!= Enum::V` comparisons observe, not
+            // transition.
+            if e >= 2
+                && punct(toks, e - 1) == Some('=')
+                && matches!(punct(toks, e - 2), Some('=') | Some('!'))
+            {
+                continue;
+            }
+            if is_pattern(toks, e, v) {
+                continue;
+            }
+            scan.transitions_checked += 1;
+            let line = toks[e].line;
+            let from = model.dfa_from_at(line).unwrap_or("new");
+            if !decl.transitions.iter().any(|(f, t)| f == from && t == variant) {
+                scan.findings.push(Finding {
+                    rule: "conn-dfa",
+                    file: file.clone(),
+                    line,
+                    message: format!(
+                        "construction of `{en}::{variant}` takes the undeclared transition \
+                         `{from} => {variant}` — add it to the `dfa({en}, …)` table or \
+                         annotate the true source state with `// oftt-lint: dfa-from(STATE)`"
+                    ),
+                });
+            }
+        }
+        // Stale `dfa-from` annotations would silently admit edges.
+        for (&line, state) in &model.dfa_from {
+            let known =
+                model.dfa_decls.iter().any(|d| d.transitions.iter().any(|(f, _)| f == state));
+            if !known {
+                scan.findings.push(Finding {
+                    rule: "conn-dfa",
+                    file: file.clone(),
+                    line,
+                    message: format!(
+                        "dfa-from({state}) names a state no dfa() table declares as a \
+                         transition source"
+                    ),
+                });
+            }
+        }
+    }
+    scan.findings.sort();
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{scan as scan_src, FileKind};
+
+    fn run(src: &str) -> DfaScan {
+        let models = vec![("a.rs".to_string(), scan_src(src, FileKind::Runtime, false))];
+        check(&models)
+    }
+
+    const DECL: &str = "// oftt-lint: dfa(Conn, new => AwaitHello, AwaitHello => Established)\n";
+
+    #[test]
+    fn declared_constructions_pass() {
+        let s = run(&format!(
+            "{DECL}fn f(m: &mut Map) {{\n\
+             m.insert(k, Conn::AwaitHello {{ deadline }});\n\
+             // oftt-lint: dfa-from(AwaitHello)\n\
+             m.insert(k, Conn::Established {{ link }});\n\
+             }}"
+        ));
+        assert_eq!(s.findings, Vec::new());
+        assert_eq!(s.transitions_checked, 2);
+    }
+
+    #[test]
+    fn undeclared_edge_is_found() {
+        let s = run(&format!(
+            "{DECL}fn f(m: &mut Map) {{ m.insert(k, Conn::Established {{ link }}); }}"
+        ));
+        assert_eq!(s.findings.len(), 1, "{:?}", s.findings);
+        assert!(s.findings[0].message.contains("`new => Established`"));
+    }
+
+    #[test]
+    fn patterns_and_comparisons_are_not_transitions() {
+        let s = run(&format!(
+            "{DECL}fn f(m: &Map, state: Conn) {{\n\
+             match m.get(&k) {{\n\
+                 Some(Conn::AwaitHello {{ .. }}) => {{}}\n\
+                 Some(Conn::Established {{ link, .. }}) if link.up() => {{}}\n\
+                 _ => {{}}\n\
+             }}\n\
+             if let Conn::AwaitHello {{ deadline }} = state {{}}\n\
+             let Some(Conn::Established {{ link, .. }}) = m.get(&k) else {{ return; }};\n\
+             if state == Conn::AwaitHello {{}}\n\
+             }}"
+        ));
+        // Only the `==` comparison of a unit-path would even be a
+        // candidate, and it's excluded as a read.
+        assert_eq!(s.findings, Vec::new());
+        assert_eq!(s.transitions_checked, 0);
+    }
+
+    #[test]
+    fn or_patterns_are_not_transitions() {
+        let s = run(&format!(
+            "{DECL}fn f(state: &Conn) -> bool {{\n\
+             matches!(state, Conn::AwaitHello {{ .. }} | Conn::Established {{ .. }})\n\
+             }}"
+        ));
+        assert_eq!(s.findings, Vec::new());
+    }
+
+    #[test]
+    fn stale_dfa_from_annotation_is_found() {
+        let s = run(&format!(
+            "{DECL}fn f(m: &mut Map) {{\n\
+             // oftt-lint: dfa-from(Zombie)\n\
+             m.insert(k, Conn::Established {{ link }});\n\
+             }}"
+        ));
+        assert!(
+            s.findings.iter().any(|f| f.message.contains("dfa-from(Zombie)")),
+            "{:?}",
+            s.findings
+        );
+    }
+
+    #[test]
+    fn files_without_a_table_are_ignored() {
+        let s = run("fn f(m: &mut Map) { m.insert(k, Conn::Weird { x }); }");
+        assert_eq!(s.findings, Vec::new());
+        assert_eq!(s.transitions_checked, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! **epoch-stamping** — flow-sensitive proof that frames pulled from
+//! the sharded queues are stamped with the connection epoch before they
+//! reach the vectored write path.
+//!
+//! The wire protocol drops frames whose header epoch doesn't match the
+//! receiver's current connection epoch, so a frame shipped with a stale
+//! (or default) epoch is silently discarded after a reconnect — a
+//! liveness bug the model checker only catches if a schedule happens to
+//! interleave a reconnect with a flush. This rule proves the stamping
+//! obligation over *all* paths instead:
+//!
+//! * a binding becomes **drained** when passed `&mut` to a
+//!   `drain_into(…)` call — it now holds raw [`OutFrame`]s with no
+//!   epoch;
+//! * a unit that mentions the binding together with `StampedFrame`
+//!   (the only constructor carrying an epoch into the write path)
+//!   **stamps** it;
+//! * any other consuming mention of a drained binding — `.into_iter()`,
+//!   `extend(pulled)`, a bare-argument move — while unstamped is a
+//!   finding, with the reactor root chain as witness when the function
+//!   is hot-path reachable.
+//!
+//! The lattice is the may-set {Drained, Stamped} per binding with union
+//! join: a path that stamps and a path that doesn't still flags the
+//! unstamped consumption.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, Domain};
+use crate::effects::Analysis;
+use crate::report::Finding;
+use crate::rules::{ident, punct};
+use crate::scanner::FileModel;
+
+/// May have been filled by `drain_into` and not yet stamped.
+const DRAINED: u8 = 1;
+/// Every drained frame was re-wrapped through `StampedFrame`.
+const STAMPED: u8 = 2;
+
+struct EpochDomain<'a> {
+    model: &'a FileModel,
+    file: &'a str,
+    chain: Option<&'a str>,
+    report: bool,
+    findings: Vec<Finding>,
+    seen: BTreeSet<u32>,
+    tracked: BTreeSet<String>,
+}
+
+impl EpochDomain<'_> {
+    /// The bindings passed `&mut NAME` to a `drain_into` call in this
+    /// unit.
+    fn drained_bindings(&self, unit: &Range<usize>) -> Vec<String> {
+        let toks = &self.model.tokens;
+        let mut out = Vec::new();
+        let mut i = unit.start;
+        while i < unit.end.min(toks.len()) {
+            if ident(toks, i) == Some("drain_into") {
+                let mut k = i + 1;
+                while k < unit.end.min(toks.len()) {
+                    if punct(toks, k) == Some('&')
+                        && ident(toks, k + 1) == Some("mut")
+                        && ident(toks, k + 2).is_some()
+                    {
+                        out.push(ident(toks, k + 2).unwrap().to_string());
+                        k += 2;
+                    }
+                    if punct(toks, k) == Some(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn transfer_unit(&mut self, unit: &Range<usize>, state: &mut BTreeMap<String, u8>) {
+        let toks = &self.model.tokens;
+        let drained = self.drained_bindings(unit);
+        let stamps = self.model.tokens[unit.start..unit.end.min(toks.len())]
+            .iter()
+            .any(|t| matches!(&t.kind, crate::lexer::TokenKind::Ident(s) if s == "StampedFrame"));
+        let mut i = unit.start;
+        while i < unit.end.min(toks.len()) {
+            let Some(name) = ident(toks, i) else {
+                i += 1;
+                continue;
+            };
+            let Some(&bits) = state.get(name) else {
+                i += 1;
+                continue;
+            };
+            let after_dot = punct(toks, i.wrapping_sub(1)) == Some('.') && i > 0;
+            let borrowed_mut = punct(toks, i.wrapping_sub(1)) == Some('&')
+                || (ident(toks, i.wrapping_sub(1)) == Some("mut")
+                    && punct(toks, i.wrapping_sub(2)) == Some('&'));
+            if after_dot || borrowed_mut {
+                i += 1;
+                continue;
+            }
+            // A consuming mention: receiver of a method chain
+            // (`pulled.into_iter()`), a bare-argument move
+            // (`extend(pulled)`), a struct-literal field.
+            let consuming = punct(toks, i + 1) == Some('.')
+                || (matches!(punct(toks, i.wrapping_sub(1)), Some('(') | Some(','))
+                    && matches!(punct(toks, i + 1), Some(')') | Some(',')));
+            let unstamped = consuming && bits & DRAINED != 0 && bits & STAMPED == 0 && !stamps;
+            if unstamped && self.report && self.seen.insert(toks[i].line) {
+                let via = self.chain.map(|c| format!(" (via {c})")).unwrap_or_default();
+                self.findings.push(Finding {
+                    rule: "epoch-stamping",
+                    file: self.file.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "frames drained into `{name}` reach the write path without an \
+                         epoch stamp{via} — wrap them in `StampedFrame {{ frame, epoch }}` \
+                         or the receiver drops them after any reconnect"
+                    ),
+                });
+            }
+            if consuming && stamps {
+                state.insert(name.to_string(), STAMPED);
+            }
+            i += 1;
+        }
+        for name in drained {
+            state.insert(name.clone(), DRAINED);
+            self.tracked.insert(name);
+        }
+    }
+}
+
+impl Domain for EpochDomain<'_> {
+    type State = BTreeMap<String, u8>;
+
+    fn entry_state(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn empty_state(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool {
+        let mut changed = false;
+        for (name, &bits) in from {
+            let slot = into.entry(name.clone()).or_insert(0);
+            if *slot | bits != *slot {
+                *slot |= bits;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&mut self, _b: usize, units: &[Range<usize>], state: &mut Self::State) {
+        for unit in units {
+            self.transfer_unit(unit, state);
+        }
+    }
+}
+
+/// Runs the epoch-stamping dataflow over every runtime function that
+/// drains the sharded queues. `cfgs` is aligned with `analysis.fns`.
+pub fn check(models: &[(String, FileModel)], analysis: &Analysis, cfgs: &[Cfg]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let reach: BTreeMap<usize, usize> = analysis.reactor_reachable().into_iter().collect();
+    for (f, info) in analysis.fns.iter().enumerate() {
+        if !info.calls.iter().any(|c| c.name == "drain_into") {
+            continue;
+        }
+        let model = &models[info.model].1;
+        let chain = reach.contains_key(&f).then(|| analysis.root_chain(&reach, f));
+        let mut dom = EpochDomain {
+            model,
+            file: info.file.as_str(),
+            chain: chain.as_deref(),
+            report: false,
+            findings: Vec::new(),
+            seen: BTreeSet::new(),
+            tracked: BTreeSet::new(),
+        };
+        let cfg = &cfgs[f];
+        let solution = dataflow::solve(cfg, &mut dom);
+        if dom.tracked.is_empty() {
+            continue;
+        }
+        dom.report = true;
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut state = solution.inputs[b].clone();
+            dom.transfer(b, &block.units, &mut state);
+        }
+        findings.append(&mut dom.findings);
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::scanner::{scan, FileKind};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let models = vec![("a.rs".to_string(), scan(src, FileKind::Runtime, false))];
+        let analysis = Analysis::analyze(&models);
+        let cfgs: Vec<Cfg> = analysis
+            .fns
+            .iter()
+            .map(|info| cfg::build(&models[info.model].1, &models[info.model].1.fns[info.item]))
+            .collect();
+        check(&models, &analysis, &cfgs)
+    }
+
+    #[test]
+    fn the_real_stamping_shape_passes() {
+        let findings = run("impl Sup {\n\
+            fn next_frames(&self, out: &mut Vec<StampedFrame>, my_epoch: u32) {\n\
+                let mut pulled = Vec::new();\n\
+                self.queues.drain_into(dest, 32, &mut pulled);\n\
+                out.extend(pulled.into_iter().map(|frame| StampedFrame { frame, epoch: my_epoch }));\n\
+            }\n\
+            }");
+        assert_eq!(findings, Vec::new());
+    }
+
+    #[test]
+    fn unstamped_consumption_is_found() {
+        let findings = run("impl Sup {\n\
+            fn next_frames(&self, out: &mut Vec<StampedFrame>) {\n\
+                let mut pulled = Vec::new();\n\
+                self.queues.drain_into(dest, 32, &mut pulled);\n\
+                out.extend(pulled);\n\
+            }\n\
+            }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("without an epoch stamp"));
+    }
+
+    #[test]
+    fn stamping_on_one_branch_only_still_flags_the_other() {
+        let findings = run("impl Sup {\n\
+            fn next_frames(&self, out: &mut Vec<StampedFrame>, fast: bool, my_epoch: u32) {\n\
+                let mut pulled = Vec::new();\n\
+                self.queues.drain_into(dest, 32, &mut pulled);\n\
+                if fast {\n\
+                    out.extend(pulled);\n\
+                } else {\n\
+                    out.extend(pulled.into_iter().map(|frame| StampedFrame { frame, epoch: my_epoch }));\n\
+                }\n\
+            }\n\
+            }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn reactor_reachable_findings_carry_the_root_chain() {
+        let findings = run("impl Sup {\n\
+            // oftt-lint: reactor-root\n\
+            fn next_frames(&self) { self.pull(); }\n\
+            fn pull(&self) {\n\
+                let mut pulled = Vec::new();\n\
+                self.queues.drain_into(dest, 32, &mut pulled);\n\
+                self.ship(pulled);\n\
+            }\n\
+            fn ship(&self, frames: Vec<OutFrame>) {}\n\
+            }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("via next_frames → pull"), "{findings:?}");
+    }
+}

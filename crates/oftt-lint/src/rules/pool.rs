@@ -1,0 +1,516 @@
+//! **pool-buffer typestate** — flow-sensitive lifecycle proof for
+//! pooled byte buffers, the flagship client of the CFG + dataflow
+//! engine ([`crate::cfg`], [`crate::dataflow`]).
+//!
+//! Every binding initialized from a pool take (`pool.take(n)`, an
+//! `// oftt-lint: pool(name)`-annotated site, or any function the
+//! returns-buffer summary marks) must follow
+//!
+//! ```text
+//! take → fill* → (ship | recycle)
+//! ```
+//!
+//! on **every** path. The abstract state of a binding is the *set* of
+//! lifecycle points it may occupy (union join at merges):
+//!
+//! * `LIVE_EMPTY` — taken, not yet written;
+//! * `LIVE_FILLED` — taken and written through `&mut`/method use;
+//! * `SHIPPED` — moved onward as a bare argument (into a consuming
+//!   callee position, a container, a struct) — the receiver owns it;
+//! * `RECYCLED` — returned to a pool via a `give` site.
+//!
+//! Findings: **use-after-recycle** (any use while `RECYCLED` is
+//! possible), **double-recycle** (a give while already `RECYCLED`), and
+//! **leak-on-early-return** (function exit — including `?` edges and
+//! early `return`s — while the buffer may still be `LIVE_*`).
+//!
+//! A second, non-flow product is the static pool-site inventory
+//! (`name:take` / `name:give` strings): [`dynamic_coverage`] checks it
+//! against the ops oftt-audit observed across the 600-schedule sweep —
+//! the same static ⊇ dynamic cross-validation the lock rule runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, Domain};
+use crate::effects::{Analysis, ResolvedCall};
+use crate::report::Finding;
+use crate::rules::{ident, punct};
+use crate::scanner::FileModel;
+
+/// Lifecycle points as bits; a binding's abstract value is a bit-set.
+pub const LIVE_EMPTY: u8 = 1;
+/// Taken and written at least once on some path.
+pub const LIVE_FILLED: u8 = 2;
+/// Moved onward — owned by a callee, container, or struct.
+pub const SHIPPED: u8 = 4;
+/// Returned to a pool.
+pub const RECYCLED: u8 = 8;
+
+const LIVE: u8 = LIVE_EMPTY | LIVE_FILLED;
+
+/// The pool rule's whole product.
+#[derive(Debug, Default)]
+pub struct PoolScan {
+    /// Typestate findings, in file order.
+    pub findings: Vec<Finding>,
+    /// Static pool sites as `name:op` strings (`ckpt_staging:take`).
+    pub static_sites: BTreeSet<String>,
+    /// Pooled bindings tracked through the dataflow.
+    pub tracked: usize,
+    /// Total dataflow transfer applications across all functions.
+    pub iterations: usize,
+}
+
+/// The pool name of a take/give call site: an
+/// `// oftt-lint: pool(name)` annotation on the line wins; otherwise a
+/// receiver whose base identifier is `pool` or ends in `_pool` names
+/// the site after the receiver. `None` means "not a pool op" —
+/// `std::mem::take` and `Option::take` have no pool-shaped receiver and
+/// no annotation.
+fn pool_site(model: &FileModel, call: &ResolvedCall) -> Option<String> {
+    if call.name != "take" && call.name != "give" {
+        return None;
+    }
+    if let Some(name) = model.pool_name_at(call.line) {
+        return Some(name.to_string());
+    }
+    let recv = call.receiver.as_deref()?;
+    if recv == "pool" || recv.ends_with("_pool") {
+        return Some(recv.to_string());
+    }
+    None
+}
+
+/// One function's pool-typestate domain over its CFG.
+struct PoolDomain<'a> {
+    model: &'a FileModel,
+    /// Call sites by name-token index.
+    calls: BTreeMap<usize, &'a ResolvedCall>,
+    analysis: &'a Analysis,
+    file: &'a str,
+    /// Take line per binding, for leak messages.
+    take_lines: BTreeMap<String, u32>,
+    /// Emit findings (the post-fixpoint reporting pass).
+    report: bool,
+    findings: Vec<Finding>,
+    /// Findings already emitted, to dedup across blocks.
+    seen: BTreeSet<(u32, String)>,
+}
+
+impl PoolDomain<'_> {
+    fn emit(&mut self, line: u32, message: String) {
+        if self.report && self.seen.insert((line, message.clone())) {
+            self.findings.push(Finding {
+                rule: "pool-typestate",
+                file: self.file.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+
+    /// The binding a `let [mut] NAME = …` unit introduces, if its
+    /// initializer is a pool take or a returns-buffer call.
+    fn take_binding(&self, unit: &Range<usize>) -> Option<(String, u32)> {
+        let toks = &self.model.tokens;
+        if ident(toks, unit.start) != Some("let") {
+            return None;
+        }
+        let mut k = unit.start + 1;
+        if ident(toks, k) == Some("mut") {
+            k += 1;
+        }
+        let name = ident(toks, k)?.to_string();
+        if punct(toks, k + 1) != Some('=') {
+            return None;
+        }
+        let pooled = self.calls.range(unit.clone()).any(|(_, c)| {
+            (c.name == "take" && pool_site(self.model, c).is_some())
+                || c.targets.iter().any(|&g| self.analysis.returns_buffer[g])
+        });
+        pooled.then(|| (name, toks[unit.start].line))
+    }
+
+    fn transfer_unit(&mut self, unit: &Range<usize>, state: &mut BTreeMap<String, u8>) {
+        let toks = &self.model.tokens;
+        let take = self.take_binding(unit);
+        // Pass 1: calls — gives recycle, bare-argument moves ship.
+        let unit_calls: Vec<&ResolvedCall> =
+            self.calls.range(unit.clone()).map(|(_, c)| *c).collect();
+        let call_args: BTreeSet<&str> = unit_calls
+            .iter()
+            .flat_map(|c| c.bare_args.iter().flatten())
+            .map(String::as_str)
+            .collect();
+        for call in unit_calls {
+            let is_give = call.name == "give" && pool_site(self.model, call).is_some();
+            for arg in call.bare_args.iter().flatten() {
+                let Some(&bits) = state.get(arg.as_str()) else { continue };
+                if bits & RECYCLED != 0 {
+                    self.emit(
+                        toks[call.tok].line,
+                        format!(
+                            "pooled buffer `{arg}` {} after it may already be recycled — \
+                             a freelist entry would be {}",
+                            if is_give { "recycled again" } else { "used" },
+                            if is_give { "double-inserted" } else { "aliased by the next take" },
+                        ),
+                    );
+                }
+                let new_bits = if is_give { RECYCLED } else { SHIPPED };
+                state.insert(arg.clone(), new_bits);
+            }
+        }
+        // Pass 2: remaining mentions are uses (borrows, method
+        // receivers, `&mut` fills) or non-call moves. Skip the binding
+        // position of a `let` and field-access positions (`x.name`).
+        let mut i = unit.start;
+        while i < unit.end.min(toks.len()) {
+            let Some(name) = ident(toks, i) else {
+                i += 1;
+                continue;
+            };
+            let Some(&bits) = state.get(name) else {
+                i += 1;
+                continue;
+            };
+            let after_dot = punct(toks, i.wrapping_sub(1)) == Some('.') && i > 0;
+            let let_pos =
+                matches!(i.checked_sub(1).and_then(|p| ident(toks, p)), Some("let") | Some("mut"));
+            if after_dot || let_pos {
+                i += 1;
+                continue;
+            }
+            // A binding standing alone between delimiters moves out:
+            // a struct-literal shorthand field (`{ header, buf, … }`),
+            // a tuple element, a block tail (`{ buf }`) — or a call's
+            // bare argument, which pass 1 already transitioned (skip).
+            // A named struct-literal field value (`meta: reply_meta`)
+            // moves out too; the `::`-exclusion keeps path segments
+            // (`Enum::reply_meta`) from matching.
+            let delimited =
+                matches!(punct(toks, i.wrapping_sub(1)), Some('(') | Some(',') | Some('{'))
+                    && matches!(punct(toks, i + 1), Some(')') | Some(',') | Some('}'));
+            let named_field = punct(toks, i.wrapping_sub(1)) == Some(':')
+                && punct(toks, i.wrapping_sub(2)) != Some(':')
+                && matches!(punct(toks, i + 1), Some(',') | Some('}'));
+            if delimited || named_field {
+                if delimited && call_args.contains(name) {
+                    i += 1;
+                    continue;
+                }
+                if bits & RECYCLED != 0 {
+                    self.emit(
+                        toks[i].line,
+                        format!(
+                            "pooled buffer `{name}` used after it may already be recycled — \
+                             the freelist may hand the same allocation to a concurrent taker"
+                        ),
+                    );
+                }
+                state.insert(name.to_string(), SHIPPED);
+                i += 1;
+                continue;
+            }
+            if bits & RECYCLED != 0 {
+                self.emit(
+                    toks[i].line,
+                    format!(
+                        "pooled buffer `{name}` used after it may already be recycled — \
+                         the freelist may hand the same allocation to a concurrent taker"
+                    ),
+                );
+            }
+            if bits & LIVE_EMPTY != 0 {
+                // A use fills (or at least touches) the buffer.
+                state.insert(name.to_string(), (bits & !LIVE_EMPTY) | LIVE_FILLED);
+            }
+            i += 1;
+        }
+        // The take binds *after* the unit's own events: the initializer
+        // expression cannot use the binding it introduces.
+        if let Some((name, line)) = take {
+            state.insert(name.clone(), LIVE_EMPTY);
+            self.take_lines.entry(name).or_insert(line);
+        }
+    }
+}
+
+impl Domain for PoolDomain<'_> {
+    type State = BTreeMap<String, u8>;
+
+    fn entry_state(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn empty_state(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool {
+        let mut changed = false;
+        for (name, &bits) in from {
+            let slot = into.entry(name.clone()).or_insert(0);
+            if *slot | bits != *slot {
+                *slot |= bits;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&mut self, _b: usize, units: &[Range<usize>], state: &mut Self::State) {
+        for unit in units {
+            self.transfer_unit(unit, state);
+        }
+    }
+}
+
+/// Runs the typestate over every runtime function (using the
+/// pre-built `cfgs`, aligned with `analysis.fns`) and inventories the
+/// static pool sites.
+pub fn check(models: &[(String, FileModel)], analysis: &Analysis, cfgs: &[Cfg]) -> PoolScan {
+    let mut scan = PoolScan::default();
+    for (f, info) in analysis.fns.iter().enumerate() {
+        let model = &models[info.model].1;
+        let calls: BTreeMap<usize, &ResolvedCall> = info.calls.iter().map(|c| (c.tok, c)).collect();
+        for call in info.calls.iter() {
+            if let Some(site) = pool_site(model, call) {
+                scan.static_sites.insert(format!("{site}:{}", call.name));
+            }
+        }
+        let cfg = &cfgs[f];
+        let mut dom = PoolDomain {
+            model,
+            calls,
+            analysis,
+            file: info.file.as_str(),
+            take_lines: BTreeMap::new(),
+            report: false,
+            findings: Vec::new(),
+            seen: BTreeSet::new(),
+        };
+        let solution = dataflow::solve(cfg, &mut dom);
+        scan.iterations += solution.iterations;
+        if dom.take_lines.is_empty() {
+            continue;
+        }
+        scan.tracked += dom.take_lines.len();
+        // Reporting pass: one sweep per block from its solved input.
+        dom.report = true;
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut state = solution.inputs[b].clone();
+            dom.transfer(b, &block.units, &mut state);
+        }
+        // Leak check: the state joined into the exit block.
+        for (name, &bits) in &solution.inputs[cfg.exit] {
+            if bits & LIVE != 0 {
+                let line = dom.take_lines.get(name).copied().unwrap_or(info.line);
+                dom.findings.push(Finding {
+                    rule: "pool-typestate",
+                    file: info.file.clone(),
+                    line,
+                    message: format!(
+                        "pooled buffer `{name}` taken in `{}` may reach function exit \
+                         without ship or recycle (an early return or `?` path leaks it \
+                         from the pool)",
+                        info.name
+                    ),
+                });
+            }
+        }
+        scan.findings.append(&mut dom.findings);
+    }
+    scan.findings.sort();
+    scan
+}
+
+/// The static ⊇ dynamic cross-check: every `name:op` pool operation
+/// oftt-audit observed across its sweep must have a statically
+/// discovered site. Returns the findings and the uncovered op list.
+pub fn dynamic_coverage(
+    static_sites: &BTreeSet<String>,
+    dynamic: &[String],
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut uncovered = Vec::new();
+    for op in dynamic {
+        if !static_sites.contains(op) {
+            let name = op.split(':').next().unwrap_or(op);
+            findings.push(Finding {
+                rule: "pool-coverage",
+                file: "<oftt-audit sweep>".to_string(),
+                line: 0,
+                message: format!(
+                    "dynamically observed pool op `{op}` has no statically discovered \
+                     site — the typestate scan missed it (name the site with \
+                     `// oftt-lint: pool({name})` if the receiver is called something else)"
+                ),
+            });
+            uncovered.push(op.clone());
+        }
+    }
+    (findings, uncovered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::scanner::{scan as scan_src, FileKind};
+
+    /// A pool impl the sources under test share, so take/give resolve
+    /// and the returns-buffer summary seeds.
+    const POOL: &str = "impl BufPool {\n\
+        // oftt-lint: arena\n\
+        pub fn take(&self, min: usize) -> Vec<u8> { Vec::with_capacity(min) }\n\
+        pub fn give(&self, buf: Vec<u8>) { self.free.lock().push(buf); }\n\
+        }\n";
+
+    fn run(body: &str) -> PoolScan {
+        let src = format!("{POOL}{body}");
+        let models = vec![("a.rs".to_string(), scan_src(&src, FileKind::Runtime, false))];
+        let analysis = Analysis::analyze(&models);
+        let cfgs: Vec<Cfg> = analysis
+            .fns
+            .iter()
+            .map(|info| cfg::build(&models[info.model].1, &models[info.model].1.fns[info.item]))
+            .collect();
+        check(&models, &analysis, &cfgs)
+    }
+
+    fn messages(scan: &PoolScan) -> Vec<&str> {
+        scan.findings.iter().map(|f| f.message.as_str()).collect()
+    }
+
+    #[test]
+    fn the_clean_take_fill_recycle_shape_passes() {
+        let scan = run("impl Enc {\n\
+            fn encode(&self) {\n\
+                let mut staging = self.buf_pool.take(64);\n\
+                staging.extend_from_slice(b\"x\");\n\
+                self.buf_pool.give(staging);\n\
+            }\n\
+            }");
+        assert_eq!(messages(&scan), Vec::<&str>::new());
+        assert_eq!(scan.tracked, 1);
+        assert!(scan.static_sites.contains("buf_pool:take"));
+        assert!(scan.static_sites.contains("buf_pool:give"));
+    }
+
+    #[test]
+    fn take_ship_into_consumer_passes() {
+        let scan = run("fn sink(buf: Vec<u8>) { keeper.push(buf); }\n\
+            impl Enc {\n\
+            fn encode(&self) {\n\
+                let staging = self.buf_pool.take(64);\n\
+                sink(staging);\n\
+            }\n\
+            }");
+        assert_eq!(messages(&scan), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn use_after_recycle_is_found() {
+        let scan = run("impl Enc {\n\
+            fn encode(&self) {\n\
+                let mut staging = self.buf_pool.take(64);\n\
+                self.buf_pool.give(staging);\n\
+                staging.clear();\n\
+            }\n\
+            }");
+        assert!(
+            messages(&scan).iter().any(|m| m.contains("used after it may already be recycled")),
+            "{:?}",
+            scan.findings
+        );
+    }
+
+    #[test]
+    fn double_recycle_is_found() {
+        let scan = run("impl Enc {\n\
+            fn encode(&self, cond: bool) {\n\
+                let staging = self.buf_pool.take(64);\n\
+                if cond { self.buf_pool.give(staging); }\n\
+                self.buf_pool.give(staging);\n\
+            }\n\
+            }");
+        assert!(
+            messages(&scan).iter().any(|m| m.contains("recycled again")),
+            "{:?}",
+            scan.findings
+        );
+    }
+
+    #[test]
+    fn leak_on_early_return_is_found() {
+        let scan = run("impl Enc {\n\
+            fn encode(&self, cond: bool) -> Result<(), E> {\n\
+                let mut staging = self.buf_pool.take(64);\n\
+                self.encode_into(&mut staging)?;\n\
+                self.buf_pool.give(staging);\n\
+                Ok(())\n\
+            }\n\
+            fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), E> { Ok(()) }\n\
+            }");
+        assert!(
+            messages(&scan).iter().any(|m| m.contains("may reach function exit")),
+            "{:?}",
+            scan.findings
+        );
+    }
+
+    #[test]
+    fn give_on_both_branches_is_not_a_leak_or_double() {
+        let scan = run("impl Enc {\n\
+            fn encode(&self, ok: bool) {\n\
+                let staging = self.buf_pool.take(64);\n\
+                if ok {\n\
+                    self.ship(staging);\n\
+                } else {\n\
+                    self.buf_pool.give(staging);\n\
+                }\n\
+            }\n\
+            fn ship(&self, buf: Vec<u8>) { self.out.lock().push(buf); }\n\
+            }");
+        assert_eq!(messages(&scan), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn annotated_sites_use_the_annotation_name() {
+        let scan = run("impl Core {\n\
+            fn snapshot(&self) {\n\
+                // oftt-lint: pool(ckpt_staging)\n\
+                let staging = self.ckpt_pool.take(64);\n\
+                // oftt-lint: pool(ckpt_staging)\n\
+                self.ckpt_pool.give(staging);\n\
+            }\n\
+            }");
+        assert!(scan.static_sites.contains("ckpt_staging:take"), "{:?}", scan.static_sites);
+        assert!(scan.static_sites.contains("ckpt_staging:give"));
+        assert_eq!(messages(&scan), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn mem_take_is_not_a_pool_op() {
+        let scan =
+            run("fn rotate(slot: &mut Vec<u8>) { let old = std::mem::take(slot); use_it(old); }");
+        assert!(scan.static_sites.is_empty());
+        assert_eq!(scan.tracked, 0);
+    }
+
+    #[test]
+    fn dynamic_coverage_reports_unseen_ops() {
+        let mut sites = BTreeSet::new();
+        sites.insert("ckpt_staging:take".to_string());
+        let (findings, uncovered) = dynamic_coverage(
+            &sites,
+            &["ckpt_staging:take".to_string(), "ckpt_staging:give".to_string()],
+        );
+        assert_eq!(uncovered, vec!["ckpt_staging:give".to_string()]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("ckpt_staging:give"));
+    }
+}

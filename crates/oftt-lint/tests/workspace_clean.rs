@@ -21,7 +21,7 @@ fn workspace_scan_reports_zero_findings_beyond_the_baseline() {
         std::fs::read_to_string(root.join("lint-baseline.txt")).expect("lint-baseline.txt");
     let baseline = parse_baseline(&baseline_text).expect("well-formed baseline");
     let report = run_scan(&Options { root, ..Options::default() });
-    let (kept, suppressed) = apply_baseline(report.findings, &baseline);
+    let (kept, suppressed, stale) = apply_baseline(report.findings, &baseline);
     assert!(
         kept.is_empty(),
         "the workspace must lint clean modulo the baseline; new findings:\n{}",
@@ -30,14 +30,22 @@ fn workspace_scan_reports_zero_findings_beyond_the_baseline() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    // The baseline is live, not a graveyard: a key may suppress several
-    // findings (same message, different lines), so the count is a floor
-    // (stale entries would drop it below the entry count).
+    // The baseline is live, not a graveyard: every entry must still
+    // suppress something, and a key may suppress several findings (same
+    // message, different lines), so the count is a floor.
+    assert!(stale.is_empty(), "stale baseline entries — prune them:\n{stale:#?}");
     assert!(
         suppressed >= baseline.len(),
         "baseline has {} entries but only {suppressed} fired — prune the stale ones",
         baseline.len()
     );
+    // The flow-sensitive layer is non-vacuous: CFGs cover the workspace
+    // and the typestate families actually tracked the transport's pools
+    // and connection DFA.
+    assert!(report.cfg_blocks >= 2000, "only {} CFG blocks built", report.cfg_blocks);
+    assert!(report.pool_sites >= 4, "only {} static pool sites", report.pool_sites);
+    assert!(report.pool_tracked >= 2, "only {} pooled bindings tracked", report.pool_tracked);
+    assert!(report.dfa_transitions >= 3, "only {} DFA transitions checked", report.dfa_transitions);
     // Coverage floor: the walk found the real tree, not an empty dir.
     assert!(report.files_scanned >= 40, "only {} files scanned", report.files_scanned);
     // The interprocedural layer is non-vacuous: the call graph covers

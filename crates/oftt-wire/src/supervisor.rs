@@ -54,6 +54,12 @@ use crate::frame::{
 use crate::pool::{BufPool, PoolStats};
 use crate::reactor::{ConnId, Directive, Reactor, ReactorHandler, StampedFrame};
 
+// The per-connection lifecycle the flow-sensitive linter holds every
+// `ConnCtx` construction to: accepted sockets park in AwaitHello, dialed
+// sockets are born Established (the dialer has already completed the
+// handshake inline), and only a hello promotes AwaitHello onward.
+// oftt-lint: dfa(ConnCtx, new => AwaitHello, new => Established, AwaitHello => Established)
+
 /// Frames a reactor thread pulls from a link queue per refill.
 const PULL_BATCH: usize = 128;
 
@@ -457,6 +463,7 @@ impl Shared {
         if comsim::marshal::to_bytes_into(&Hello { node: self.config.node }, &mut reply_meta)
             .is_err()
         {
+            self.pool.give(reply_meta);
             return Directive::Close;
         }
         let reply = OutFrame {
@@ -469,6 +476,7 @@ impl Shared {
             let mut conns = self.conns.lock();
             conns.insert(
                 conn,
+                // oftt-lint: dfa-from(AwaitHello)
                 ConnCtx::Established {
                     link: Arc::clone(&link),
                     my_epoch,

@@ -265,6 +265,10 @@ struct FtimCore {
     engine_restart_pending: bool,
     pending_restore: bool,
     restore_timer: Option<TimerHandle>,
+    /// Staging buffers for watchdog-table marshaling: every checkpoint
+    /// walkthrough re-encodes the table, and the pool keeps that from
+    /// costing a heap round trip per period.
+    ckpt_pool: comsim::pool::BufPool,
     probe: Arc<Mutex<FtimProbe>>,
 }
 
@@ -310,6 +314,7 @@ impl<A: FtApplication> FtProcess<A> {
                 engine_restart_pending: false,
                 pending_restore: false,
                 restore_timer: None,
+                ckpt_pool: comsim::pool::BufPool::new(),
                 probe,
             },
         }
@@ -428,16 +433,27 @@ impl<A: FtApplication> FtProcess<A> {
 
     /// A live designated image built directly from the application — the
     /// restore-serve path, which must not disturb the shipping store.
-    fn current_vars(&self) -> VarSet {
+    fn current_vars(&self, env: &mut dyn ProcessEnv) -> VarSet {
         let mut vars = self.app.snapshot();
         if let Some(designated) = &self.core.designated {
             vars.retain(|name, _| designated.contains(name));
         }
-        // Watchdog state rides along so watchdogs survive failover.
+        // Watchdog state rides along so watchdogs survive failover. The
+        // table is marshaled through a pooled staging buffer; the lint's
+        // pool typestate proves take → fill → give on every path here.
         if !self.core.watchdogs.is_empty() {
-            if let Ok(bytes) = comsim::marshal::to_shared(&self.core.watchdogs) {
-                vars.insert(WATCHDOG_VAR.to_string(), bytes);
+            // oftt-lint: pool(ckpt_staging)
+            let mut staging = self.core.ckpt_pool.take(64);
+            env.observe_api("pool", "ckpt_staging:take");
+            if comsim::marshal::to_bytes_into(&self.core.watchdogs, &mut staging).is_ok() {
+                vars.insert(
+                    WATCHDOG_VAR.to_string(),
+                    comsim::buf::Bytes::copy_from_slice(&staging),
+                );
             }
+            // oftt-lint: pool(ckpt_staging)
+            self.core.ckpt_pool.give(staging);
+            env.observe_api("pool", "ckpt_staging:give");
         }
         vars
     }
@@ -447,7 +463,7 @@ impl<A: FtApplication> FtProcess<A> {
     /// incremental sync lets the application report only its write set.
     /// Either way the store's digests gate the dirty marks, so unchanged
     /// re-writes never dirty anything.
-    fn sync_store(&mut self, full_walk: bool) {
+    fn sync_store(&mut self, env: &mut dyn ProcessEnv, full_walk: bool) {
         if full_walk {
             for (name, bytes) in self.app.snapshot() {
                 self.core.ship_store.set(name, bytes);
@@ -456,11 +472,21 @@ impl<A: FtApplication> FtProcess<A> {
             self.app.snapshot_dirty(&mut self.core.ship_store);
         }
         // Watchdog state rides along; once shipped, keep it current even if
-        // the table empties (the peer must see the deletion).
+        // the table empties (the peer must see the deletion). Marshaled
+        // through the pooled staging buffer, observed for the lint's
+        // static-covers-dynamic pool cross-check.
         if !self.core.watchdogs.is_empty() || self.core.ship_store.get(WATCHDOG_VAR).is_some() {
-            if let Ok(bytes) = comsim::marshal::to_shared(&self.core.watchdogs) {
-                self.core.ship_store.set(WATCHDOG_VAR, bytes);
+            // oftt-lint: pool(ckpt_staging)
+            let mut staging = self.core.ckpt_pool.take(64);
+            env.observe_api("pool", "ckpt_staging:take");
+            if comsim::marshal::to_bytes_into(&self.core.watchdogs, &mut staging).is_ok() {
+                self.core
+                    .ship_store
+                    .set(WATCHDOG_VAR, comsim::buf::Bytes::copy_from_slice(&staging));
             }
+            // oftt-lint: pool(ckpt_staging)
+            self.core.ckpt_pool.give(staging);
+            env.observe_api("pool", "ckpt_staging:give");
         }
     }
 
@@ -474,7 +500,7 @@ impl<A: FtApplication> FtProcess<A> {
                 self.core.need_full || self.core.deltas_since_full >= refresh_every
             }
         };
-        self.sync_store(full);
+        self.sync_store(env, full);
         // The walkthrough reads the application's state and rewrites the
         // node-local shipping store.
         env.observe_access(
@@ -717,7 +743,7 @@ impl<A: FtApplication> FtProcess<A> {
                         AccessKind::Read,
                         "serve live",
                     );
-                    let vars = self.current_vars();
+                    let vars = self.current_vars(env);
                     env.record(
                         TraceCategory::Checkpoint,
                         format!(
